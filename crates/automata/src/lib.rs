@@ -1,0 +1,36 @@
+//! # xdx-automata — unranked tree automata and pattern/DTD satisfiability
+//!
+//! The automata substrate behind the consistency results of Arenas & Libkin,
+//! *"XML Data Exchange: Consistency and Query Answering"* (PODS 2005 /
+//! JACM 2008).
+//!
+//! Appendix A of the paper recalls unranked nondeterministic finite tree
+//! automata (UNFTA): states, accepting states, and for every (state, label)
+//! pair a *regular horizontal language* over the state set constraining the
+//! children's state word. DTDs embed into UNFTAs directly (states = element
+//! types, horizontal languages = content models), and the EXPTIME membership
+//! proof of Theorem 4.1 works by building automata for tree patterns,
+//! complementing them, taking products with the DTD automata and testing
+//! emptiness.
+//!
+//! This crate provides:
+//!
+//! * [`unfta`] — an explicit [`unfta::Unfta`] type with runs, acceptance and
+//!   emptiness, plus the DTD-to-automaton embedding;
+//! * [`satisfiability`] — the engine actually used by the consistency
+//!   checker: given a DTD and two sets of (attribute-erased) tree patterns,
+//!   decide whether some conforming tree satisfies all patterns of the first
+//!   set and none of the second. It explores exactly the reachable part of
+//!   the product automaton of the paper's proof (profiles of witnessed
+//!   subformulae), so it is observationally equivalent to the paper's
+//!   construction while staying practical; the worst case remains
+//!   exponential, as Theorem 4.1 says it must.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod satisfiability;
+pub mod unfta;
+
+pub use satisfiability::{PatternSatisfiability, Profile};
+pub use unfta::Unfta;

@@ -1,0 +1,381 @@
+//! Satisfiability of tree patterns under a DTD.
+//!
+//! The decision problem at the heart of Theorem 4.1 is: given a DTD `D` and
+//! two finite sets of (variable-free) tree patterns `Pos` and `Neg`, is there
+//! a tree `T ⊨ D` with `T ⊨ ϕ` for every `ϕ ∈ Pos` and `T ⊭ ψ` for every
+//! `ψ ∈ Neg`?
+//!
+//! The paper answers it by compiling every pattern into a deterministic
+//! unranked tree automaton, complementing the negative ones, taking the
+//! product with the DTD automaton and testing emptiness — an explicitly
+//! exponential construction. This module performs the *same* decision by
+//! exploring only the reachable part of that product: the "state" of a node
+//! is its [`Profile`] — which subformulae it witnesses and which are
+//! witnessed somewhere in its subtree — and we compute, per element type, the
+//! set of profiles achievable by conforming subtrees, by a fixpoint that
+//! walks the content-model NFAs. Worst-case behaviour is still exponential
+//! (it has to be: the problem is EXPTIME-complete), but inputs arising from
+//! realistic settings stay small.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use xdx_patterns::{LabelTest, TreePattern};
+use xdx_xmltree::{Dtd, ElementType};
+
+/// The profile of a node with respect to a set of subformulae: the
+/// subformulae it witnesses, and the subformulae witnessed by some node of
+/// its subtree (itself included).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Profile {
+    /// Indices of subformulae witnessed at the node itself.
+    pub witnessed: BTreeSet<usize>,
+    /// Indices of subformulae witnessed at the node or below.
+    pub below: BTreeSet<usize>,
+}
+
+/// Index of subformulae of a collection of patterns.
+#[derive(Debug, Clone)]
+struct SubformulaTable {
+    entries: Vec<SubEntry>,
+}
+
+#[derive(Debug, Clone)]
+enum SubEntry {
+    /// `α[ϕ1,…,ϕk]` with an erased attribute formula: `None` is the wildcard.
+    Node {
+        label: Option<ElementType>,
+        children: Vec<usize>,
+    },
+    /// `//ϕ`.
+    Descendant(usize),
+}
+
+impl SubformulaTable {
+    fn new() -> Self {
+        SubformulaTable { entries: Vec::new() }
+    }
+
+    /// Insert a pattern (erasing attribute bindings) and return the index of
+    /// its top-level subformula.
+    fn insert(&mut self, pattern: &TreePattern) -> usize {
+        match pattern {
+            TreePattern::Node { attr, children } => {
+                let child_ids: Vec<usize> = children.iter().map(|c| self.insert(c)).collect();
+                let label = match &attr.label {
+                    LabelTest::Wildcard => None,
+                    LabelTest::Element(e) => Some(e.clone()),
+                };
+                self.entries.push(SubEntry::Node {
+                    label,
+                    children: child_ids,
+                });
+                self.entries.len() - 1
+            }
+            TreePattern::Descendant(inner) => {
+                let inner_id = self.insert(inner);
+                self.entries.push(SubEntry::Descendant(inner_id));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The subformulae witnessed at a node labelled `label` whose children
+    /// jointly witness `children_witnessed` and jointly have
+    /// `children_below` somewhere in their subtrees.
+    fn witnessed_at(
+        &self,
+        label: &ElementType,
+        children_witnessed: &BTreeSet<usize>,
+        children_below: &BTreeSet<usize>,
+    ) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            let ok = match entry {
+                SubEntry::Node { label: l, children } => {
+                    l.as_ref().map(|e| e == label).unwrap_or(true)
+                        && children.iter().all(|c| children_witnessed.contains(c))
+                }
+                SubEntry::Descendant(inner) => children_below.contains(inner),
+            };
+            if ok {
+                out.insert(i);
+            }
+        }
+        out
+    }
+}
+
+/// A satisfiability engine bound to a fixed DTD.
+#[derive(Debug, Clone)]
+pub struct PatternSatisfiability {
+    dtd: Dtd,
+}
+
+impl PatternSatisfiability {
+    /// Create an engine for the given DTD.
+    pub fn new(dtd: &Dtd) -> Self {
+        PatternSatisfiability { dtd: dtd.clone() }
+    }
+
+    /// Is there a tree `T ⊨ D` such that every pattern of `pos` holds in `T`
+    /// and no pattern of `neg` does? Attribute bindings in the patterns are
+    /// ignored (erased), exactly as Claim 4.2 licenses for consistency
+    /// checking.
+    pub fn satisfiable(&self, pos: &[TreePattern], neg: &[TreePattern]) -> bool {
+        self.witnessing_profile(pos, neg).is_some()
+    }
+
+    /// Like [`PatternSatisfiability::satisfiable`], but returns the root
+    /// profile witnessing satisfiability.
+    pub fn witnessing_profile(
+        &self,
+        pos: &[TreePattern],
+        neg: &[TreePattern],
+    ) -> Option<Profile> {
+        let mut table = SubformulaTable::new();
+        let pos_tops: Vec<usize> = pos.iter().map(|p| table.insert(p)).collect();
+        let neg_tops: Vec<usize> = neg.iter().map(|p| table.insert(p)).collect();
+        let achievable = self.achievable_profiles(&table);
+        let root_profiles = achievable.get(self.dtd.root())?;
+        root_profiles
+            .iter()
+            .find(|profile| {
+                pos_tops.iter().all(|t| profile.below.contains(t))
+                    && neg_tops.iter().all(|t| !profile.below.contains(t))
+            })
+            .cloned()
+    }
+
+    /// Compute, for every element type, the set of profiles achievable by a
+    /// conforming subtree rooted at that element type.
+    fn achievable_profiles(
+        &self,
+        table: &SubformulaTable,
+    ) -> BTreeMap<ElementType, BTreeSet<Profile>> {
+        let elements = self.dtd.element_types();
+        let mut achievable: BTreeMap<ElementType, BTreeSet<Profile>> = elements
+            .iter()
+            .map(|e| (e.clone(), BTreeSet::new()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for element in &elements {
+                let aggregates = self.horizontal_aggregates(element, &achievable, table);
+                for (children_witnessed, children_below) in aggregates {
+                    let witnessed =
+                        table.witnessed_at(element, &children_witnessed, &children_below);
+                    let mut below = children_below.clone();
+                    below.extend(witnessed.iter().copied());
+                    let profile = Profile { witnessed, below };
+                    if achievable
+                        .get_mut(element)
+                        .expect("all elements present")
+                        .insert(profile)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return achievable;
+            }
+        }
+    }
+
+    /// All pairs (⋃ witnessed, ⋃ below) over the children of a node labelled
+    /// `element` whose child-label word is in the content model and whose
+    /// children's profiles are drawn from `achievable`.
+    fn horizontal_aggregates(
+        &self,
+        element: &ElementType,
+        achievable: &BTreeMap<ElementType, BTreeSet<Profile>>,
+        table: &SubformulaTable,
+    ) -> BTreeSet<(BTreeSet<usize>, BTreeSet<usize>)> {
+        let Some(nfa) = self.dtd.content_nfa(element) else {
+            return BTreeSet::new();
+        };
+        let _ = table.len();
+        type Config = (BTreeSet<usize>, BTreeSet<usize>, BTreeSet<usize>);
+        let start_states = nfa.eps_closure(&[nfa.start()].into_iter().collect());
+        let mut seen: BTreeSet<Config> = BTreeSet::new();
+        let mut queue: VecDeque<Config> = VecDeque::new();
+        let initial: Config = (start_states, BTreeSet::new(), BTreeSet::new());
+        seen.insert(initial.clone());
+        queue.push_back(initial);
+        let mut results = BTreeSet::new();
+        while let Some((states, agg_w, agg_b)) = queue.pop_front() {
+            if states.iter().any(|q| nfa.accepting().contains(q)) {
+                results.insert((agg_w.clone(), agg_b.clone()));
+            }
+            for symbol in nfa.alphabet() {
+                let next_states = nfa.step_closed(&states, symbol);
+                if next_states.is_empty() {
+                    continue;
+                }
+                let Some(profiles) = achievable.get(symbol) else {
+                    continue;
+                };
+                for profile in profiles {
+                    let mut w = agg_w.clone();
+                    w.extend(profile.witnessed.iter().copied());
+                    let mut b = agg_b.clone();
+                    b.extend(profile.below.iter().copied());
+                    let config = (next_states.clone(), w, b);
+                    if seen.insert(config.clone()) {
+                        queue.push_back(config);
+                    }
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_patterns::parse_pattern;
+
+    fn p(src: &str) -> TreePattern {
+        parse_pattern(src).unwrap()
+    }
+
+    #[test]
+    fn section_4_inconsistency_example() {
+        // Target DTD r → 1|2, 1 → ε, 2 → ε cannot satisfy the pattern
+        // r[one[two]] (the paper's r[1[2(@a=x)]] with names spelt out).
+        let dtd = Dtd::builder("r")
+            .rule("r", "one|two")
+            .rule("one", "eps")
+            .rule("two", "eps")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        assert!(!solver.satisfiable(&[p("r[one[two]]")], &[]));
+        // but r[one] alone is satisfiable
+        assert!(solver.satisfiable(&[p("r[one]")], &[]));
+        assert!(solver.satisfiable(&[p("r[two]")], &[]));
+        // and r[one] ∧ r[two] is not (only one child allowed)
+        assert!(!solver.satisfiable(&[p("r[one]"), p("r[two]")], &[]));
+    }
+
+    #[test]
+    fn positive_and_negative_patterns_interact() {
+        // D: r → a* ; "has an a child" and "has no a child" conflict.
+        let dtd = Dtd::builder("r").rule("r", "a*").build().unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        let has_a = p("r[a]");
+        assert!(solver.satisfiable(&[has_a.clone()], &[]));
+        assert!(solver.satisfiable(&[], &[has_a.clone()]));
+        assert!(!solver.satisfiable(&[has_a.clone()], &[has_a.clone()]));
+    }
+
+    #[test]
+    fn descendant_patterns() {
+        // D: r → a, a → b?, b → ε
+        let dtd = Dtd::builder("r")
+            .rule("r", "a")
+            .rule("a", "b?")
+            .rule("b", "eps")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        assert!(solver.satisfiable(&[p("//b")], &[]));
+        assert!(solver.satisfiable(&[p("r[//b]")], &[]));
+        assert!(solver.satisfiable(&[p("//a[b]")], &[]));
+        // //c can never hold
+        assert!(!solver.satisfiable(&[p("//c")], &[]));
+        // negated descendant: a tree without any b exists (a's b child is optional)
+        assert!(solver.satisfiable(&[], &[p("//b")]));
+        // but we cannot have //b and also forbid a[b]
+        assert!(!solver.satisfiable(&[p("//b")], &[p("a[b]")]));
+    }
+
+    #[test]
+    fn wildcard_patterns() {
+        let dtd = Dtd::builder("r")
+            .rule("r", "x y")
+            .rule("x", "eps")
+            .rule("y", "z?")
+            .rule("z", "eps")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        // some child of the root has a child (only y can, via z)
+        assert!(solver.satisfiable(&[p("r[_[_]]")], &[]));
+        // forbidding it is also possible (omit z)
+        assert!(solver.satisfiable(&[], &[p("r[_[_]]")]));
+        // _[_[_[_]]] needs depth 4, impossible here
+        assert!(!solver.satisfiable(&[p("_[_[_[_]]]")], &[]));
+    }
+
+    #[test]
+    fn recursive_dtds_terminate_and_answer_correctly() {
+        // D: r → a, a → a | ε : arbitrarily deep chains of a's.
+        let dtd = Dtd::builder("r")
+            .rule("r", "a")
+            .rule("a", "a | eps")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        assert!(solver.satisfiable(&[p("//a[a[a]]")], &[]));
+        assert!(solver.satisfiable(&[p("r[a[a[a[a]]]]")], &[]));
+        // Forbidding any a at all is impossible (r must have one).
+        assert!(!solver.satisfiable(&[], &[p("r[a]")]));
+        // Forbidding depth ≥ 3 while requiring depth ≥ 2 is fine.
+        assert!(solver.satisfiable(&[p("//a[a]")], &[p("//a[a[a]]")]));
+    }
+
+    #[test]
+    fn unknown_element_types_are_unsatisfiable() {
+        let dtd = Dtd::builder("r").rule("r", "a*").build().unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        assert!(!solver.satisfiable(&[p("r[ghost]")], &[]));
+        assert!(solver.satisfiable(&[], &[p("r[ghost]")]));
+    }
+
+    #[test]
+    fn attribute_bindings_are_erased() {
+        // Claim 4.2: bindings do not affect satisfiability.
+        let dtd = Dtd::builder("r")
+            .rule("r", "a*")
+            .attributes("a", ["@x"])
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        assert!(solver.satisfiable(&[p("r[a(@x=$v)]")], &[]));
+        assert_eq!(
+            solver.satisfiable(&[p("r[a(@x=$v)]")], &[]),
+            solver.satisfiable(&[p("r[a]")], &[])
+        );
+    }
+
+    #[test]
+    fn witnessing_profile_reports_what_holds() {
+        let dtd = Dtd::builder("r")
+            .rule("r", "a b")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        let profile = solver
+            .witnessing_profile(&[p("r[a]"), p("r[b]")], &[p("r[c]")])
+            .expect("satisfiable");
+        // the root witnesses both positive top-level patterns
+        assert!(profile.witnessed.len() >= 2);
+    }
+
+    #[test]
+    fn unsatisfiable_dtd_admits_nothing() {
+        let dtd = Dtd::builder("r")
+            .rule("r", "a")
+            .rule("a", "a")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        assert!(!solver.satisfiable(&[], &[]));
+        assert!(!solver.satisfiable(&[p("r")], &[]));
+    }
+}

@@ -1,0 +1,251 @@
+//! Unranked nondeterministic finite tree automata (Appendix A).
+
+use std::collections::{BTreeMap, BTreeSet};
+use xdx_relang::{Nfa, Regex};
+use xdx_xmltree::{Dtd, ElementType, NodeId, XmlTree};
+
+/// An unranked nondeterministic finite tree automaton.
+///
+/// States are `0..num_states`. For every (state, label) pair the transition
+/// relation gives a regular language over states (represented by its regular
+/// expression and a pre-built NFA): a node labelled `a` can be assigned state
+/// `q` iff the word of states assigned to its children (left to right)
+/// belongs to `δ(q, a)`.
+#[derive(Debug, Clone)]
+pub struct Unfta {
+    num_states: usize,
+    accepting: BTreeSet<usize>,
+    /// `(state, label) → horizontal language`.
+    transitions: BTreeMap<(usize, ElementType), Regex<usize>>,
+    nfas: BTreeMap<(usize, ElementType), Nfa<usize>>,
+}
+
+impl Unfta {
+    /// Create an automaton with `num_states` states and the given accepting
+    /// set; transitions are added with [`Unfta::add_transition`].
+    pub fn new(num_states: usize, accepting: impl IntoIterator<Item = usize>) -> Self {
+        Unfta {
+            num_states,
+            accepting: accepting.into_iter().collect(),
+            transitions: BTreeMap::new(),
+            nfas: BTreeMap::new(),
+        }
+    }
+
+    /// Add (or replace) the transition `δ(state, label) = horizontal`.
+    pub fn add_transition(
+        &mut self,
+        state: usize,
+        label: impl Into<ElementType>,
+        horizontal: Regex<usize>,
+    ) {
+        let label = label.into();
+        self.nfas
+            .insert((state, label.clone()), Nfa::from_regex(&horizontal));
+        self.transitions.insert((state, label), horizontal);
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The accepting states.
+    pub fn accepting(&self) -> &BTreeSet<usize> {
+        &self.accepting
+    }
+
+    /// Embed a DTD as a tree automaton: one state per element type, the
+    /// horizontal language of `(qℓ, ℓ)` is `P(ℓ)` read over states, all other
+    /// transitions empty, the accepting state is the root type.
+    ///
+    /// Returns the automaton together with the element-type-to-state map.
+    pub fn from_dtd(dtd: &Dtd) -> (Unfta, BTreeMap<ElementType, usize>) {
+        let elements = dtd.element_types();
+        let index: BTreeMap<ElementType, usize> = elements
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect();
+        let root_state = index[dtd.root()];
+        let mut a = Unfta::new(elements.len(), [root_state]);
+        for l in &elements {
+            let rule = dtd.rule(l);
+            let horizontal = rule.map(&mut |sym: &ElementType| index[sym]);
+            a.add_transition(index[l], l.clone(), horizontal);
+        }
+        (a, index)
+    }
+
+    /// The set of states assignable to `node` by some run on the subtree
+    /// rooted at `node` (ignoring attributes; tree automata in the paper run
+    /// on the element-type skeleton).
+    pub fn possible_states(&self, tree: &XmlTree, node: NodeId) -> BTreeSet<usize> {
+        let child_sets: Vec<BTreeSet<usize>> = tree
+            .children(node)
+            .iter()
+            .map(|&c| self.possible_states(tree, c))
+            .collect();
+        let label = tree.label(node);
+        let mut out = BTreeSet::new();
+        for q in 0..self.num_states {
+            let Some(nfa) = self.nfas.get(&(q, label.clone())) else {
+                continue;
+            };
+            if horizontal_accepts_some_choice(nfa, &child_sets) {
+                out.insert(q);
+            }
+        }
+        out
+    }
+
+    /// Does the automaton accept the tree?
+    pub fn accepts(&self, tree: &XmlTree) -> bool {
+        self.possible_states(tree, tree.root())
+            .iter()
+            .any(|q| self.accepting.contains(q))
+    }
+
+    /// The *inhabited* states: states `q` such that some finite tree admits a
+    /// run assigning `q` to its root.
+    pub fn inhabited_states(&self) -> BTreeSet<usize> {
+        let mut inhabited: BTreeSet<usize> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for ((q, _label), regex) in &self.transitions {
+                if inhabited.contains(q) {
+                    continue;
+                }
+                // Is there a word of the horizontal language using only
+                // inhabited states?
+                let dead: BTreeSet<usize> = regex
+                    .alphabet()
+                    .into_iter()
+                    .filter(|s| !inhabited.contains(s))
+                    .collect();
+                if !regex.eliminate_symbols(&dead).is_empty_language() {
+                    inhabited.insert(*q);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        inhabited
+    }
+
+    /// Is the language of the automaton empty?
+    pub fn is_empty_language(&self) -> bool {
+        let inhabited = self.inhabited_states();
+        !self.accepting.iter().any(|q| inhabited.contains(q))
+    }
+}
+
+/// Is there a choice of one state from each child set forming a word accepted
+/// by the horizontal NFA?
+fn horizontal_accepts_some_choice(nfa: &Nfa<usize>, child_sets: &[BTreeSet<usize>]) -> bool {
+    let mut current = nfa.eps_closure(&[nfa.start()].into_iter().collect());
+    for set in child_sets {
+        if set.is_empty() {
+            return false;
+        }
+        let mut next = BTreeSet::new();
+        for sym in set {
+            next.extend(nfa.step_closed(&current, sym));
+        }
+        current = next;
+        if current.is_empty() {
+            return false;
+        }
+    }
+    current.iter().any(|q| nfa.accepting().contains(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_xmltree::TreeBuilder;
+
+    fn books_dtd() -> Dtd {
+        Dtd::builder("db")
+            .rule("db", "book*")
+            .rule("book", "author*")
+            .rule("author", "eps")
+            .attributes("book", ["@title"])
+            .attributes("author", ["@name", "@aff"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dtd_automaton_accepts_exactly_conforming_skeletons() {
+        let dtd = books_dtd();
+        let (a, _) = Unfta::from_dtd(&dtd);
+        let good = TreeBuilder::new("db")
+            .child("book", |b| b.leaf("author").leaf("author"))
+            .child("book", |b| b)
+            .build();
+        assert!(a.accepts(&good));
+        // author directly under db violates the content model
+        let bad = TreeBuilder::new("db").leaf("author").build();
+        assert!(!bad.children(bad.root()).is_empty());
+        assert!(!a.accepts(&bad));
+        // wrong root
+        let wrong_root = TreeBuilder::new("bib").build();
+        assert!(!a.accepts(&wrong_root));
+    }
+
+    #[test]
+    fn emptiness_of_dtd_automata_matches_dtd_satisfiability() {
+        let sat = books_dtd();
+        let (a, _) = Unfta::from_dtd(&sat);
+        assert!(!a.is_empty_language());
+
+        let unsat = Dtd::builder("r")
+            .rule("r", "a")
+            .rule("a", "b")
+            .rule("b", "a")
+            .build()
+            .unwrap();
+        let (b, _) = Unfta::from_dtd(&unsat);
+        assert!(b.is_empty_language());
+        assert_eq!(unsat.is_satisfiable(), !b.is_empty_language());
+    }
+
+    #[test]
+    fn hand_built_automaton_counting_parity() {
+        // A two-state automaton over label "a": state 0 = even number of
+        // children... simpler: state 0 is assigned to leaves, state 1 to
+        // nodes all of whose children are in state 0. Accepting = {1}.
+        let mut a = Unfta::new(2, [1]);
+        a.add_transition(0, "a", Regex::Epsilon);
+        a.add_transition(1, "a", Regex::plus(Regex::Symbol(0usize)));
+        let leaf_only = XmlTree::new("a");
+        assert!(!a.accepts(&leaf_only)); // root is a leaf → state 0 only
+        let two_level = TreeBuilder::new("a").leaf("a").leaf("a").build();
+        assert!(a.accepts(&two_level));
+        let three_level = TreeBuilder::new("a")
+            .child("a", |x| x.leaf("a"))
+            .build();
+        // the middle node can only take state 1 (its child is a leaf), and the
+        // root requires all children in state 0 → reject
+        assert!(!a.accepts(&three_level));
+        assert!(!a.is_empty_language());
+    }
+
+    #[test]
+    fn inhabited_states_fixpoint() {
+        // state 0 inhabited (leaf rule), state 1 requires a child in state 2
+        // which is never inhabited.
+        let mut a = Unfta::new(3, [1]);
+        a.add_transition(0, "a", Regex::Epsilon);
+        a.add_transition(1, "a", Regex::Symbol(2usize));
+        let inhabited = a.inhabited_states();
+        assert!(inhabited.contains(&0));
+        assert!(!inhabited.contains(&1));
+        assert!(!inhabited.contains(&2));
+        assert!(a.is_empty_language());
+    }
+}

@@ -1,0 +1,42 @@
+//! Experiment E5 — Section 6.1: for univocal target DTDs the canonical
+//! solution (canonical pre-solution + chase) is computable in polynomial
+//! time in the size of the source document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::{clio_setting, clio_source};
+use xdx_core::canonical_solution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_solution");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // Sweep source size at a fixed schema.
+    for nodes in [20usize, 40, 80, 160] {
+        let setting = clio_setting(4, 4);
+        let source = clio_source(4, nodes, 7);
+        group.bench_with_input(
+            BenchmarkId::new("source_nodes", nodes),
+            &(setting, source),
+            |b, (setting, source)| b.iter(|| canonical_solution(setting, source).unwrap()),
+        );
+    }
+
+    // Sweep schema width at a fixed source size.
+    for fields in [2usize, 4, 8] {
+        let setting = clio_setting(fields, fields);
+        let source = clio_source(fields, 80, 7);
+        group.bench_with_input(
+            BenchmarkId::new("schema_fields", fields),
+            &(setting, source),
+            |b, (setting, source)| b.iter(|| canonical_solution(setting, source).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E7 — Theorem 5.11 / the intractable side of the dichotomy.
+//!
+//! Outside the fully-specified/univocal class, certain answering is
+//! coNP-complete. The executable reduction of `gadgets::theorem_5_11` turns
+//! a 3-CNF formula into a source document and Boolean query whose certain
+//! answer is decided (through the theorem's equivalence) by an exponential
+//! satisfiability search; the tractable control is the canonical-solution
+//! algorithm on a Clio-class setting whose source document has a comparable
+//! number of nodes. The paper's claim to reproduce is the *shape*: the
+//! intractable side grows exponentially with the number of variables while
+//! the tractable side stays polynomial — the crossover appears almost
+//! immediately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use xdx_bench::{clio_query, clio_setting, clio_source};
+use xdx_core::certain_answers;
+use xdx_core::gadgets::theorem_5_11;
+use xdx_core::gadgets::three_sat::CnfFormula;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_answers_hardness");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for vars in [8usize, 12, 16, 20] {
+        let formula = CnfFormula::random(vars, 2 * vars, &mut rng);
+        // The gadget instance itself (source tree + setting + query) is built
+        // outside the timed section; what is measured is deciding the
+        // certain answer, i.e. the exponential search.
+        let gadget = theorem_5_11::build(&formula);
+        group.bench_with_input(
+            BenchmarkId::new("intractable_gadget_vars", vars),
+            &formula,
+            |b, f| b.iter(|| theorem_5_11::certain_answer(f)),
+        );
+
+        // Tractable control with a source document of comparable size.
+        let source_size = gadget.source_tree.size();
+        let setting = clio_setting(4, 4);
+        let source = clio_source(4, source_size, 13);
+        let query = clio_query();
+        group.bench_with_input(
+            BenchmarkId::new("tractable_control_source_nodes", source_size),
+            &(setting, source, query),
+            |b, (setting, source, query)| {
+                b.iter(|| certain_answers(setting, source, query).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Experiment E6 — Theorem 6.2 (tractable side) / Corollary 6.11: certain
+//! answers over univocal (here: nested-relational, Clio-class) targets are
+//! computable in polynomial time by evaluating the query on the canonical
+//! solution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::{clio_query, clio_setting, clio_source};
+use xdx_core::certain_answers;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_answers_tractable");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for nodes in [20usize, 40, 80, 160] {
+        let setting = clio_setting(4, 4);
+        let source = clio_source(4, nodes, 11);
+        let query = clio_query();
+        group.bench_with_input(
+            BenchmarkId::new("source_nodes", nodes),
+            &(setting, source, query),
+            |b, (setting, source, query)| {
+                b.iter(|| certain_answers(setting, source, query).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

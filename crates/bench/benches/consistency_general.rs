@@ -1,0 +1,57 @@
+//! Experiment E2 — Theorem 4.1: general consistency checking is
+//! EXPTIME-complete; the decision procedure blows up on adversarial settings
+//! while the nested-relational fast path stays polynomial on Clio-class
+//! settings of comparable size.
+//!
+//! The adversarial family is the 3SAT reduction of `gadgets::consistency_np`
+//! (Proposition 4.4(b) flavour): the number of propositional variables
+//! controls the blow-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use xdx_bench::clio_setting;
+use xdx_core::consistency::{check_consistency_general, check_consistency_nested_relational};
+use xdx_core::gadgets::consistency_np;
+use xdx_core::gadgets::three_sat::CnfFormula;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_general");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // Adversarial: 3SAT-encoding settings, growing number of variables.
+    let mut rng = StdRng::seed_from_u64(42);
+    for vars in [2usize, 3, 4, 5] {
+        let formula = CnfFormula::random(vars, 4, &mut rng);
+        let setting = consistency_np::build(&formula);
+        group.bench_with_input(
+            BenchmarkId::new("sat_gadget_vars", vars),
+            &setting,
+            |b, s| b.iter(|| check_consistency_general(s)),
+        );
+    }
+
+    // Control: the general procedure and the fast path on the same benign
+    // Clio-class setting.
+    for stds in [2usize, 4, 6] {
+        let setting = clio_setting(4, stds);
+        group.bench_with_input(
+            BenchmarkId::new("general_on_clio_stds", stds),
+            &setting,
+            |b, s| b.iter(|| check_consistency_general(s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nested_fast_path_on_clio_stds", stds),
+            &setting,
+            |b, s| b.iter(|| check_consistency_nested_relational(s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment E1 — Theorem 4.5: consistency of nested-relational (Clio-class)
+//! settings is `O(n·m²)`.
+//!
+//! Sweeps the DTD size (`n`, via the number of record fields) and the total
+//! STD size (`m`, via the number of dependencies) independently; the measured
+//! time should grow roughly linearly in `n` and at most quadratically in `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::clio_setting;
+use xdx_core::consistency::check_consistency_nested_relational;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_nested_relational");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // Sweep n (DTD size) at fixed m.
+    for fields in [4usize, 8, 16, 32, 64] {
+        let setting = clio_setting(fields, 8);
+        group.bench_with_input(
+            BenchmarkId::new("sweep_dtd_size_n", setting.dtds_size()),
+            &setting,
+            |b, s| b.iter(|| check_consistency_nested_relational(s).unwrap()),
+        );
+    }
+
+    // Sweep m (STD size) at fixed n.
+    for stds in [4usize, 16, 64, 256] {
+        let setting = clio_setting(8, stds);
+        group.bench_with_input(
+            BenchmarkId::new("sweep_std_size_m", setting.stds_size()),
+            &setting,
+            |b, s| b.iter(|| check_consistency_nested_relational(s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

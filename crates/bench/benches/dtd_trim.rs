@@ -1,0 +1,27 @@
+//! Experiment E9 — Lemma 2.2: trimming a DTD to an equivalent consistent DTD
+//! is polynomial-time in the DTD size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::trimmable_dtd;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtd_trim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for size in [8usize, 32, 128, 256] {
+        let dtd = trimmable_dtd(size, size);
+        group.bench_with_input(
+            BenchmarkId::new("element_types", 2 * size),
+            &dtd,
+            |b, d| b.iter(|| d.trim_to_consistent().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment E3 — Proposition 5.3: membership in the permutation language
+//! `π(r)` is NP-complete in general but polynomial in `|w|` for every fixed
+//! `r`.
+//!
+//! For a fixed expression `(a0 … a{k-1})*` the counting simulation scales
+//! polynomially with the word length; growing the alphabet (`k`) makes the
+//! problem harder. The brute-force permutation search is included on tiny
+//! inputs as the exponential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::time::Duration;
+use xdx_bench::{balanced_star_regex, balanced_word};
+use xdx_relang::parikh::{perm_accepts, perm_accepts_bruteforce};
+use xdx_relang::Nfa;
+
+fn counts_of(word: &[String]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for s in word {
+        *counts.entry(s.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parikh_membership");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // Fixed r, growing |w|: polynomial (Proposition 5.3, second part).
+    for reps in [4usize, 16, 64, 128] {
+        let regex = balanced_star_regex(3);
+        let nfa = Nfa::from_regex(&regex);
+        let counts = counts_of(&balanced_word(3, reps));
+        group.bench_with_input(
+            BenchmarkId::new("fixed_regex_word_length", 3 * reps),
+            &(nfa, counts),
+            |b, (nfa, counts)| b.iter(|| perm_accepts(nfa, counts)),
+        );
+    }
+
+    // Growing alphabet at fixed word length per symbol.
+    for k in [2usize, 3, 4, 5] {
+        let regex = balanced_star_regex(k);
+        let nfa = Nfa::from_regex(&regex);
+        let counts = counts_of(&balanced_word(k, 8));
+        group.bench_with_input(
+            BenchmarkId::new("growing_alphabet", k),
+            &(nfa, counts),
+            |b, (nfa, counts)| b.iter(|| perm_accepts(nfa, counts)),
+        );
+    }
+
+    // Exponential baseline: enumerate permutations (tiny inputs only).
+    for reps in [2usize, 3] {
+        let regex = balanced_star_regex(3);
+        let nfa = Nfa::from_regex(&regex);
+        let word = balanced_word(3, reps);
+        group.bench_with_input(
+            BenchmarkId::new("bruteforce_permutations", 3 * reps),
+            &(nfa, word),
+            |b, (nfa, word)| b.iter(|| perm_accepts_bruteforce(nfa, word)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Experiment E4 — Proposition 5.2: an unordered tree weakly conforming to a
+//! DTD can be re-ordered into an ordered conforming tree in polynomial time.
+//!
+//! The workload shuffles the children of a node with content model
+//! `(a b)* (c d)*`; the measured time should grow polynomially (roughly
+//! quadratically for this content model) with the number of children.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::shuffled_children;
+use xdx_core::impose_sibling_order;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sibling_ordering");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for groups in [5usize, 10, 20, 40] {
+        let (dtd, tree) = shuffled_children(groups, 20260614);
+        group.bench_with_input(
+            BenchmarkId::new("children", groups * 4),
+            &(dtd, tree),
+            |b, (dtd, tree)| {
+                b.iter(|| {
+                    let mut t = tree.clone();
+                    impose_sibling_order(&mut t, dtd).unwrap();
+                    t
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

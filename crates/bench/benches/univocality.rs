@@ -1,0 +1,26 @@
+//! Experiment E8 — Definition 6.9 / Proposition 6.10: deciding whether a
+//! content model is univocal (the classification step of the dichotomy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::univocality_zoo;
+use xdx_relang::{check_univocality, UnivocalityConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("univocality");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let config = UnivocalityConfig::default();
+    for (name, regex) in univocality_zoo() {
+        group.bench_with_input(BenchmarkId::new("zoo", name), &regex, |b, r| {
+            b.iter(|| check_univocality(r, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

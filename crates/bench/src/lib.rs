@@ -1,0 +1,237 @@
+//! Workload generators shared by the benchmark suite.
+//!
+//! Each generator corresponds to one of the experiments catalogued in
+//! `EXPERIMENTS.md` (E1–E9): scalable nested-relational ("Clio-class")
+//! settings and source documents, shuffled children for the re-ordering
+//! experiment, regular-expression families for the Parikh/univocality
+//! experiments, and the hardness gadgets re-exported from `xdx-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use xdx_core::setting::{DataExchangeSetting, Std};
+use xdx_patterns::query::{ConjunctiveTreeQuery, UnionQuery};
+use xdx_patterns::parse_pattern;
+use xdx_relang::{parse_regex, Regex};
+use xdx_xmltree::{Dtd, XmlTree};
+
+pub use xdx_core::gadgets;
+
+/// A nested-relational (Clio-class) data exchange setting with `num_fields`
+/// record fields and `num_stds` source-to-target dependencies (cycling over
+/// the fields). DTD size grows linearly with `num_fields`, STD size linearly
+/// with `num_stds` — the `n` and `m` of Theorem 4.5.
+pub fn clio_setting(num_fields: usize, num_stds: usize) -> DataExchangeSetting {
+    assert!(num_fields >= 1);
+    let mut src = Dtd::builder("src").rule(
+        "src",
+        &(0..num_fields)
+            .map(|i| format!("f{i}*"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    let mut tgt = Dtd::builder("tgt").rule(
+        "tgt",
+        &(0..num_fields)
+            .map(|i| format!("g{i}*"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    for i in 0..num_fields {
+        src = src
+            .rule(&format!("f{i}"), "eps")
+            .attributes(format!("f{i}"), ["@v"]);
+        tgt = tgt
+            .rule(&format!("g{i}"), "eps")
+            .attributes(format!("g{i}"), ["@v", "@extra"]);
+    }
+    let source_dtd = src.build().expect("well-formed generated source DTD");
+    let target_dtd = tgt.build().expect("well-formed generated target DTD");
+    let stds: Vec<Std> = (0..num_stds)
+        .map(|k| {
+            let i = k % num_fields;
+            Std::parse(&format!(
+                "tgt[g{i}(@v=$x, @extra=$z)] :- src[f{i}(@v=$x)]"
+            ))
+            .expect("well-formed generated STD")
+        })
+        .collect();
+    DataExchangeSetting::new(source_dtd, target_dtd, stds)
+}
+
+/// A source document for [`clio_setting`]: `num_nodes` field nodes spread
+/// round-robin over the fields, with pseudo-random values.
+pub fn clio_source(num_fields: usize, num_nodes: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = XmlTree::new("src");
+    // Children are grouped by field so the document also conforms in the
+    // ordered sense (the content model is f0* f1* … f{k-1}*).
+    for i in 0..num_fields {
+        let share = num_nodes / num_fields + usize::from(i < num_nodes % num_fields);
+        for _ in 0..share {
+            let node = tree.add_child(tree.root(), format!("f{i}"));
+            tree.set_attr(
+                node,
+                "@v",
+                format!("v{}", rng.gen_range(0..(num_nodes / 2 + 1))),
+            );
+        }
+    }
+    tree
+}
+
+/// A query over the target of [`clio_setting`]: all values stored in field 0.
+pub fn clio_query() -> UnionQuery {
+    UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["x"],
+            vec![parse_pattern("tgt[g0(@v=$x)]").expect("well-formed query pattern")],
+        )
+        .expect("well-formed query"),
+    )
+}
+
+/// A DTD containing `num_live` element kinds reachable in conforming trees
+/// and `num_dead` unsatisfiable ones, exercising the trimming construction of
+/// Lemma 2.2.
+pub fn trimmable_dtd(num_live: usize, num_dead: usize) -> Dtd {
+    let mut alts: Vec<String> = (0..num_live).map(|i| format!("a{i}")).collect();
+    alts.extend((0..num_dead).map(|i| format!("d{i}")));
+    let mut builder = Dtd::builder("r").rule("r", &format!("({})*", alts.join("|")));
+    for i in 0..num_live {
+        builder = builder.rule(&format!("a{i}"), "eps");
+    }
+    for i in 0..num_dead {
+        // each dead element requires itself, so it can never be completed
+        builder = builder.rule(&format!("d{i}"), &format!("d{i}"));
+    }
+    builder.build().expect("well-formed generated DTD")
+}
+
+/// A DTD with rule `r → (a b)* (c d)*` and a tree whose root has
+/// `4 * groups` children in random order — the workload of the re-ordering
+/// experiment (Proposition 5.2).
+pub fn shuffled_children(groups: usize, seed: u64) -> (Dtd, XmlTree) {
+    let dtd = Dtd::builder("r")
+        .rule("r", "(a b)* (c d)*")
+        .build()
+        .expect("well-formed DTD");
+    let mut labels: Vec<&str> = Vec::new();
+    for _ in 0..groups {
+        labels.extend(["a", "b", "c", "d"]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    labels.shuffle(&mut rng);
+    let mut tree = XmlTree::new("r");
+    for l in labels {
+        tree.add_child(tree.root(), l);
+    }
+    (dtd, tree)
+}
+
+/// The regular expression `(a0 a1 … a{k-1})*` over `k` distinct symbols,
+/// whose permutation language requires equal counts of all symbols.
+pub fn balanced_star_regex(k: usize) -> Regex<String> {
+    let body = (0..k).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" ");
+    parse_regex(&format!("({body})*")).expect("well-formed generated regex")
+}
+
+/// A word consisting of `reps` repetitions of each of the `k` symbols of
+/// [`balanced_star_regex`] (thus inside the permutation language).
+pub fn balanced_word(k: usize, reps: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(k * reps);
+    for i in 0..k {
+        for _ in 0..reps {
+            out.push(format!("a{i}"));
+        }
+    }
+    out
+}
+
+/// The regular-expression zoo used by the univocality experiment: pairs of a
+/// display name and the expression.
+pub fn univocality_zoo() -> Vec<(&'static str, Regex<String>)> {
+    [
+        ("simple", "(a|b|c)*"),
+        ("nested_relational", "a b+ c* d?"),
+        ("paper_bc_de", "(b c)* (d e)*"),
+        ("paper_b_or_c", "(b*|c*)"),
+        ("paper_bcde", "b c+ d* e?"),
+        ("non_univocal_c2", "a | a a b*"),
+        ("non_univocal_branch", "(a b)|(a c)"),
+    ]
+    .into_iter()
+    .map(|(name, src)| (name, parse_regex(src).expect("well-formed zoo regex")))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_core::consistency::check_consistency_nested_relational;
+    use xdx_core::{canonical_solution, certain_answers, classify_setting, is_solution};
+
+    #[test]
+    fn clio_setting_is_well_formed_and_tractable() {
+        let setting = clio_setting(4, 8);
+        setting.validate(true).unwrap();
+        assert!(setting.is_nested_relational());
+        assert!(setting.is_fully_specified());
+        assert!(classify_setting(&setting).is_tractable());
+        assert!(check_consistency_nested_relational(&setting).unwrap());
+    }
+
+    #[test]
+    fn clio_source_conforms_and_has_solutions() {
+        let setting = clio_setting(4, 4);
+        let source = clio_source(4, 40, 1);
+        assert!(setting.source_dtd.conforms(&source));
+        let solution = canonical_solution(&setting, &source).unwrap();
+        assert!(is_solution(&setting, &source, &solution, false));
+        let answers = certain_answers(&setting, &source, &clio_query()).unwrap();
+        assert!(!answers.tuples.is_empty());
+    }
+
+    #[test]
+    fn trimmable_dtd_has_dead_elements() {
+        let dtd = trimmable_dtd(5, 5);
+        assert!(dtd.is_satisfiable());
+        assert!(!dtd.is_consistent());
+        let trimmed = dtd.trim_to_consistent().unwrap();
+        assert!(trimmed.is_consistent());
+        assert_eq!(trimmed.element_types().len(), 6);
+    }
+
+    #[test]
+    fn shuffled_children_weakly_conform() {
+        let (dtd, tree) = shuffled_children(5, 3);
+        assert!(dtd.conforms_unordered(&tree));
+        assert_eq!(tree.children(tree.root()).len(), 20);
+    }
+
+    #[test]
+    fn balanced_regex_and_word_agree() {
+        use std::collections::BTreeMap;
+        use xdx_relang::{perm_accepts, Nfa};
+        let r = balanced_star_regex(3);
+        let nfa = Nfa::from_regex(&r);
+        let word = balanced_word(3, 4);
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &word {
+            *counts.entry(s.clone()).or_insert(0) += 1;
+        }
+        assert!(perm_accepts(&nfa, &counts));
+    }
+
+    #[test]
+    fn zoo_classification_matches_expectations() {
+        use xdx_relang::is_univocal;
+        for (name, regex) in univocality_zoo() {
+            let expected = !name.starts_with("non_univocal");
+            assert_eq!(is_univocal(&regex), expected, "zoo entry {name}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Classification of data exchange settings into the tractable and
+//! (potentially) intractable sides of the dichotomy (Theorem 6.2).
+//!
+//! Certain-answer computation is tractable when (a) every STD is fully
+//! specified (otherwise Theorem 5.11 gives coNP-hardness even for simple
+//! DTDs) and (b) every content model of the target DTD is *univocal*
+//! (Definition 6.9). If some content model is provably non-univocal the
+//! setting falls on the strongly coNP-complete side (Proposition 6.19).
+
+use crate::setting::DataExchangeSetting;
+use std::fmt;
+use xdx_relang::{check_univocality, UnivocalityConfig, UnivocalityVerdict};
+use xdx_xmltree::ElementType;
+
+/// Which side of the dichotomy a setting falls on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SettingClass {
+    /// Certain answers are computable in polynomial time via the canonical
+    /// solution (Theorem 6.2, tractable side; Corollary 6.11).
+    Tractable {
+        /// True when the target DTD is nested-relational (the Clio class).
+        nested_relational_target: bool,
+    },
+    /// Some STD target pattern is not fully specified: Theorem 5.11 applies
+    /// and certain answers may be coNP-hard.
+    NotFullySpecified {
+        /// Index of the first offending STD.
+        std_index: usize,
+    },
+    /// Some target content model is not univocal: Proposition 6.19 applies
+    /// and certain answers are coNP-complete for this class of DTDs.
+    NonUnivocalTarget {
+        /// The element type whose content model is non-univocal.
+        element: ElementType,
+        /// The verdict explaining why.
+        verdict: UnivocalityVerdict<ElementType>,
+    },
+    /// Univocality could not be decided within the configured budget.
+    Unknown {
+        /// The element type whose content model could not be classified.
+        element: ElementType,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl SettingClass {
+    /// Is the setting on the provably tractable side?
+    pub fn is_tractable(&self) -> bool {
+        matches!(self, SettingClass::Tractable { .. })
+    }
+}
+
+impl fmt::Display for SettingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SettingClass::Tractable {
+                nested_relational_target,
+            } => write!(
+                f,
+                "tractable (PTIME certain answers{})",
+                if *nested_relational_target {
+                    ", nested-relational target"
+                } else {
+                    ""
+                }
+            ),
+            SettingClass::NotFullySpecified { std_index } => {
+                write!(f, "STD #{std_index} is not fully specified (Theorem 5.11 applies)")
+            }
+            SettingClass::NonUnivocalTarget { element, .. } => {
+                write!(f, "content model of {element} is not univocal (coNP-complete class)")
+            }
+            SettingClass::Unknown { element, reason } => {
+                write!(f, "univocality of {element}'s content model undecided: {reason}")
+            }
+        }
+    }
+}
+
+/// Classify a setting according to the dichotomy theorem, using the default
+/// univocality-checking budget.
+pub fn classify_setting(setting: &DataExchangeSetting) -> SettingClass {
+    classify_setting_with(setting, &UnivocalityConfig::default())
+}
+
+/// Classify a setting with an explicit univocality-checking budget.
+pub fn classify_setting_with(
+    setting: &DataExchangeSetting,
+    config: &UnivocalityConfig,
+) -> SettingClass {
+    for (i, std) in setting.stds.iter().enumerate() {
+        if !std.target.is_fully_specified(setting.target_dtd.root()) {
+            return SettingClass::NotFullySpecified { std_index: i };
+        }
+    }
+    for element in setting.target_dtd.element_types() {
+        let rule = setting.target_dtd.rule(&element);
+        match check_univocality(&rule, config) {
+            UnivocalityVerdict::Univocal { .. } => {}
+            v @ UnivocalityVerdict::NotUnivocal { .. } => {
+                return SettingClass::NonUnivocalTarget {
+                    element,
+                    verdict: v,
+                }
+            }
+            UnivocalityVerdict::Unknown { reason } => {
+                return SettingClass::Unknown { element, reason }
+            }
+        }
+    }
+    SettingClass::Tractable {
+        nested_relational_target: setting.target_dtd.is_nested_relational(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setting::{books_to_writers_setting, DataExchangeSetting, Std};
+    use xdx_xmltree::Dtd;
+
+    #[test]
+    fn running_example_is_tractable_and_clio_class() {
+        let setting = books_to_writers_setting();
+        let class = classify_setting(&setting);
+        assert_eq!(
+            class,
+            SettingClass::Tractable {
+                nested_relational_target: true
+            }
+        );
+        assert!(class.is_tractable());
+    }
+
+    #[test]
+    fn univocal_but_not_nested_relational_targets_are_still_tractable() {
+        let source = Dtd::builder("r").rule("r", "A*").attributes("A", ["@a"]).build().unwrap();
+        let target = Dtd::builder("r2")
+            .rule("r2", "(B C)*")
+            .attributes("B", ["@m"])
+            .build()
+            .unwrap();
+        let std = Std::parse("r2[B(@m=$x)] :- r[A(@a=$x)]").unwrap();
+        let setting = DataExchangeSetting::new(source, target, vec![std]);
+        let class = classify_setting(&setting);
+        assert_eq!(
+            class,
+            SettingClass::Tractable {
+                nested_relational_target: false
+            }
+        );
+    }
+
+    #[test]
+    fn non_fully_specified_stds_are_flagged() {
+        let mut setting = books_to_writers_setting();
+        setting.stds.push(Std::parse("//writer(@name=$n) :- db[book(@title=$n)]").unwrap());
+        assert_eq!(
+            classify_setting(&setting),
+            SettingClass::NotFullySpecified { std_index: 1 }
+        );
+    }
+
+    #[test]
+    fn non_univocal_targets_are_flagged() {
+        // c(a | aab*) = 2: the target content model is non-univocal.
+        let source = Dtd::builder("r").rule("r", "X*").attributes("X", ["@v"]).build().unwrap();
+        let target = Dtd::builder("r2")
+            .rule("r2", "a | a a b*")
+            .build()
+            .unwrap();
+        let std = Std::parse("r2[a] :- r[X(@v=$x)]").unwrap();
+        let setting = DataExchangeSetting::new(source, target, vec![std]);
+        match classify_setting(&setting) {
+            SettingClass::NonUnivocalTarget { element, .. } => {
+                assert_eq!(element.as_str(), "r2");
+            }
+            other => panic!("expected NonUnivocalTarget, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Consistency of data exchange settings (Section 4).
+//!
+//! A setting `(D_S, D_T, Σ_ST)` is *consistent* when at least one source tree
+//! has a solution. Two decision procedures are provided:
+//!
+//! * [`check_consistency_general`] — the automata-theoretic procedure behind
+//!   the EXPTIME upper bound of Theorem 4.1: the setting is consistent iff
+//!   for some subset `I` of the STDs there is a source tree satisfying
+//!   exactly the source patterns indexed by `I` and a target tree satisfying
+//!   all the target patterns indexed by `I`. Attribute bindings are erased
+//!   (Claim 4.2), which is sound under the distinct-variable proviso on
+//!   source patterns.
+//! * [`check_consistency_nested_relational`] — the `O(n·m²)` algorithm of
+//!   Theorem 4.5 for nested-relational (Clio-class) DTDs: build `D°_S` and
+//!   `D*_T`, materialise their unique conforming trees and check every STD
+//!   against those two fixed trees.
+//!
+//! [`check_consistency`] dispatches to the fast path when both DTDs are
+//! nested-relational.
+
+use crate::setting::DataExchangeSetting;
+use xdx_automata::PatternSatisfiability;
+use xdx_patterns::eval::all_matches;
+use xdx_patterns::TreePattern;
+use xdx_xmltree::{DtdError, Value};
+
+/// Which algorithm produced a consistency verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyMethod {
+    /// The polynomial-time nested-relational algorithm (Theorem 4.5).
+    NestedRelational,
+    /// The general automata-based algorithm (Theorem 4.1).
+    General,
+}
+
+/// The result of a consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistencyVerdict {
+    /// Is the setting consistent?
+    pub consistent: bool,
+    /// Which algorithm was used.
+    pub method: ConsistencyMethod,
+}
+
+/// Check consistency, using the nested-relational fast path when both DTDs
+/// belong to that class and the general procedure otherwise.
+pub fn check_consistency(setting: &DataExchangeSetting) -> ConsistencyVerdict {
+    if setting.is_nested_relational() {
+        let consistent = check_consistency_nested_relational(setting)
+            .expect("is_nested_relational() checked the precondition");
+        ConsistencyVerdict {
+            consistent,
+            method: ConsistencyMethod::NestedRelational,
+        }
+    } else {
+        ConsistencyVerdict {
+            consistent: check_consistency_general(setting),
+            method: ConsistencyMethod::General,
+        }
+    }
+}
+
+/// The general (worst-case exponential) consistency check of Theorem 4.1.
+///
+/// Iterates over subsets `I ⊆ Σ_ST`, asking (a) whether some source tree
+/// satisfies exactly the source patterns in `I`, and (b) whether some target
+/// tree satisfies all target patterns in `I`; the setting is consistent iff
+/// both hold for some `I`. Both sub-questions are answered by
+/// [`PatternSatisfiability`], which explores the reachable part of the
+/// automaton products of the paper's proof.
+pub fn check_consistency_general(setting: &DataExchangeSetting) -> bool {
+    let n = setting.stds.len();
+    let source_solver = PatternSatisfiability::new(&setting.source_dtd);
+    let target_solver = PatternSatisfiability::new(&setting.target_dtd);
+    let source_patterns: Vec<TreePattern> = setting
+        .stds
+        .iter()
+        .map(|s| s.source.erase_attributes())
+        .collect();
+    let target_patterns: Vec<TreePattern> = setting
+        .stds
+        .iter()
+        .map(|s| s.target.erase_attributes())
+        .collect();
+
+    // A setting with no STDs is consistent iff both DTDs are satisfiable.
+    if n == 0 {
+        return setting.source_dtd.is_satisfiable() && setting.target_dtd.is_satisfiable();
+    }
+
+    assert!(
+        n < usize::BITS as usize,
+        "the general consistency check enumerates 2^|Σ_ST| subsets; {n} STDs is not supported"
+    );
+    for mask in 0usize..(1usize << n) {
+        let mut tgt_pos = Vec::new();
+        let mut src_pos = Vec::new();
+        let mut src_neg = Vec::new();
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                tgt_pos.push(target_patterns[i].clone());
+                src_pos.push(source_patterns[i].clone());
+            } else {
+                src_neg.push(source_patterns[i].clone());
+            }
+        }
+        // Check the cheaper target side first.
+        if !target_solver.satisfiable(&tgt_pos, &[]) {
+            continue;
+        }
+        if source_solver.satisfiable(&src_pos, &src_neg) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The `O(n·m²)` consistency check for nested-relational DTDs (Theorem 4.5).
+///
+/// Returns an error if either DTD is not nested-relational.
+pub fn check_consistency_nested_relational(
+    setting: &DataExchangeSetting,
+) -> Result<bool, DtdError> {
+    let circle = setting.source_dtd.to_circle()?;
+    let star = setting.target_dtd.to_star()?;
+    let fill = |_: &_, _: &_| Value::constant("s0");
+    let source_tree = circle.unique_conforming_tree_with(fill)?;
+    let target_tree = star.unique_conforming_tree_with(fill)?;
+    // The setting is consistent iff no STD has its (erased) source pattern
+    // true in T_S while its (erased) target pattern is false in T_T.
+    for std in &setting.stds {
+        let phi = std.source.erase_attributes();
+        let psi = std.target.erase_attributes();
+        let source_holds = !all_matches(&source_tree, &phi).is_empty();
+        let target_holds = !all_matches(&target_tree, &psi).is_empty();
+        if source_holds && !target_holds {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setting::{books_to_writers_setting, DataExchangeSetting, Std};
+    use xdx_xmltree::Dtd;
+
+    #[test]
+    fn running_example_is_consistent_by_the_fast_path() {
+        let setting = books_to_writers_setting();
+        let verdict = check_consistency(&setting);
+        assert!(verdict.consistent);
+        assert_eq!(verdict.method, ConsistencyMethod::NestedRelational);
+        // The general procedure agrees.
+        assert!(check_consistency_general(&setting));
+    }
+
+    #[test]
+    fn section_4_inconsistent_example() {
+        // STD r2[one[two(@a=x)]] :- r ; target DTD r2 → one|two with one, two → ε.
+        // No source tree has a solution: the setting is inconsistent whatever
+        // the source DTD is.
+        let source = Dtd::builder("r").rule("r", "a*").build().unwrap();
+        let target = Dtd::builder("r2")
+            .rule("r2", "one|two")
+            .rule("one", "eps")
+            .rule("two", "eps")
+            .build()
+            .unwrap();
+        let std = Std::parse("r2[one[two(@a=$x)]] :- r").unwrap();
+        let setting = DataExchangeSetting::new(source, target, vec![std]);
+        let verdict = check_consistency(&setting);
+        assert!(!verdict.consistent);
+        assert_eq!(verdict.method, ConsistencyMethod::General);
+    }
+
+    #[test]
+    fn consistency_can_hinge_on_avoidable_source_patterns() {
+        // The target pattern is unsatisfiable, but the source pattern can be
+        // avoided (books may have no authors), so the setting is consistent.
+        let source = Dtd::builder("db")
+            .rule("db", "book*")
+            .rule("book", "author*")
+            .build()
+            .unwrap();
+        let target = Dtd::builder("r2")
+            .rule("r2", "one|two")
+            .rule("one", "eps")
+            .rule("two", "eps")
+            .build()
+            .unwrap();
+        let std = Std::parse("r2[one[two]] :- db[book[author]]").unwrap();
+        let setting = DataExchangeSetting::new(source, target.clone(), vec![std]);
+        assert!(check_consistency_general(&setting));
+
+        // If instead the source pattern is unavoidable (every conforming
+        // source tree has a book with an author), the setting becomes
+        // inconsistent.
+        let forced_source = Dtd::builder("db")
+            .rule("db", "book+")
+            .rule("book", "author+")
+            .build()
+            .unwrap();
+        let std2 = Std::parse("r2[one[two]] :- db[book[author]]").unwrap();
+        let setting2 = DataExchangeSetting::new(forced_source, target, vec![std2]);
+        assert!(!check_consistency_general(&setting2));
+    }
+
+    #[test]
+    fn nested_relational_check_agrees_with_general_on_clio_settings() {
+        // A consistent nested-relational setting...
+        let consistent = books_to_writers_setting();
+        assert_eq!(
+            check_consistency_nested_relational(&consistent).unwrap(),
+            check_consistency_general(&consistent)
+        );
+
+        // ...and an inconsistent one: the target pattern requires an element
+        // the target DTD's mandatory skeleton cannot provide.
+        let source = Dtd::builder("db")
+            .rule("db", "item+")
+            .attributes("item", ["@id"])
+            .build()
+            .unwrap();
+        let target = Dtd::builder("out")
+            .rule("out", "entry")
+            .rule("entry", "eps")
+            .attributes("entry", ["@id"])
+            .build()
+            .unwrap();
+        // wrapper[entry] requires an element type `wrapper` that the target
+        // DTD does not even declare.
+        let std = Std::parse("out[wrapper[entry(@id=$x)]] :- db[item(@id=$x)]").unwrap();
+        let setting = DataExchangeSetting::new(source, target, vec![std]);
+        assert!(setting.is_nested_relational());
+        assert_eq!(
+            check_consistency_nested_relational(&setting).unwrap(),
+            check_consistency_general(&setting)
+        );
+        assert!(!check_consistency_general(&setting));
+    }
+
+    #[test]
+    fn optional_source_structure_is_ignored_by_the_circle_transformation() {
+        // D°_S drops optional parts: a source pattern that can only be
+        // satisfied using optional structure does not force anything, so the
+        // target pattern being unsatisfiable does not hurt consistency.
+        let source = Dtd::builder("db")
+            .rule("db", "a? b")
+            .build()
+            .unwrap();
+        // `two` is never declared by the target DTD, so the target pattern
+        // r2[one[two]] is unsatisfiable.
+        let target = Dtd::builder("r2")
+            .rule("r2", "one?")
+            .rule("one", "eps")
+            .build()
+            .unwrap();
+        let avoidable = Std::parse("r2[one[two]] :- db[a]").unwrap();
+        let setting = DataExchangeSetting::new(source.clone(), target.clone(), vec![avoidable]);
+        assert!(check_consistency_nested_relational(&setting).unwrap());
+        assert!(check_consistency_general(&setting));
+
+        let unavoidable = Std::parse("r2[one[two]] :- db[b]").unwrap();
+        let setting2 = DataExchangeSetting::new(source, target, vec![unavoidable]);
+        assert!(!check_consistency_nested_relational(&setting2).unwrap());
+        assert!(!check_consistency_general(&setting2));
+    }
+
+    #[test]
+    fn nested_relational_check_rejects_other_dtds() {
+        let source = Dtd::builder("r").rule("r", "(a b)*").build().unwrap();
+        let target = Dtd::builder("t").rule("t", "c*").build().unwrap();
+        let setting = DataExchangeSetting::new(source, target, vec![]);
+        assert!(check_consistency_nested_relational(&setting).is_err());
+        // the dispatcher falls back to the general method
+        let verdict = check_consistency(&setting);
+        assert_eq!(verdict.method, ConsistencyMethod::General);
+        assert!(verdict.consistent);
+    }
+
+    #[test]
+    fn empty_std_set_reduces_to_dtd_satisfiability() {
+        let sat = Dtd::builder("r").rule("r", "a*").build().unwrap();
+        let unsat = Dtd::builder("u").rule("u", "v").rule("v", "v").build().unwrap();
+        let ok = DataExchangeSetting::new(sat.clone(), sat.clone(), vec![]);
+        assert!(check_consistency_general(&ok));
+        let bad = DataExchangeSetting::new(sat, unsat, vec![]);
+        assert!(!check_consistency_general(&bad));
+    }
+}

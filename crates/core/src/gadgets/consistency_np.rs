@@ -1,0 +1,172 @@
+//! A 3SAT reduction to the consistency problem in the spirit of
+//! Proposition 4.4(b): even with a fixed target DTD and source DTDs whose
+//! rules are only disjunctions of element types (no Kleene star), checking
+//! consistency of path-pattern STDs is NP-hard.
+//!
+//! A conforming source tree is a single root-to-leaf chain choosing, for each
+//! variable in order, either its positive or its negative element type — i.e.
+//! a truth assignment. Every clause contributes an STD whose source pattern
+//! recognises the assignment that falsifies the clause and whose target
+//! pattern is unsatisfiable; the setting is therefore consistent iff some
+//! chain (assignment) avoids all the falsifying patterns, iff the formula is
+//! satisfiable.
+
+use super::three_sat::{CnfFormula, Literal};
+use crate::setting::{DataExchangeSetting, Std};
+use xdx_patterns::parse_pattern;
+use xdx_patterns::TreePattern;
+use xdx_xmltree::Dtd;
+
+/// Element type name for a literal: `x{i}p` / `x{i}n`.
+fn element_of(lit: Literal) -> String {
+    format!("x{}{}", lit.var, if lit.positive { "p" } else { "n" })
+}
+
+/// Build the reduction: a setting consistent iff `formula` is satisfiable.
+pub fn build(formula: &CnfFormula) -> DataExchangeSetting {
+    let n = formula.num_vars;
+    assert!(n >= 1);
+    // Source DTD: r → x0p | x0n ; x_i· → x_{i+1}p | x_{i+1}n ; last level → ε.
+    let mut builder = Dtd::builder("r").rule(
+        "r",
+        &format!("{} | {}", element_of(Literal::pos(0)), element_of(Literal::neg(0))),
+    );
+    for var in 0..n {
+        for positive in [true, false] {
+            let this = element_of(Literal { var, positive });
+            if var + 1 < n {
+                builder = builder.rule(
+                    &this,
+                    &format!(
+                        "{} | {}",
+                        element_of(Literal::pos(var + 1)),
+                        element_of(Literal::neg(var + 1))
+                    ),
+                );
+            } else {
+                builder = builder.rule(&this, "eps");
+            }
+        }
+    }
+    let source_dtd = builder.build().expect("well-formed source DTD");
+
+    // Fixed target DTD: a bare root that cannot have the `f` child the STDs
+    // would force.
+    let target_dtd = Dtd::builder("r2").rule("r2", "eps").build().expect("well-formed target DTD");
+
+    // One STD per clause: the source pattern matches exactly the chains in
+    // which all three literals of the clause are falsified.
+    let stds: Vec<Std> = formula
+        .clauses
+        .iter()
+        .map(|clause| {
+            // The falsifying choice for literal ℓ is the element of ¬ℓ.
+            let mut falsifying: Vec<Literal> = clause
+                .0
+                .iter()
+                .map(|l| Literal {
+                    var: l.var,
+                    positive: !l.positive,
+                })
+                .collect();
+            falsifying.sort_by_key(|l| l.var);
+            falsifying.dedup_by_key(|l| (l.var, l.positive));
+            // Nested path pattern following the paper's convention: a level
+            // immediately below the previous one is a plain child step, a
+            // gap of two or more levels is a descendant step (a `//ϕ` child
+            // sub-pattern requires ϕ strictly below the child).
+            let mut body = String::from("r[");
+            let mut prev_level: i64 = -1;
+            for l in &falsifying {
+                if l.var as i64 > prev_level + 1 {
+                    body.push_str("//");
+                }
+                body.push_str(&element_of(*l));
+                body.push('[');
+                prev_level = l.var as i64;
+            }
+            // Drop the innermost '[' and close every opened bracket.
+            body.pop();
+            body.push_str(&"]".repeat(falsifying.len()));
+            let source = parse_pattern(&body).expect("generated pattern parses");
+            let target = parse_pattern("r2[f]").expect("generated pattern parses");
+            Std::new(target, source)
+        })
+        .collect();
+
+    DataExchangeSetting::new(source_dtd, target_dtd, stds)
+}
+
+/// The expected consistency verdict, via brute-force satisfiability.
+pub fn expected_consistent(formula: &CnfFormula) -> bool {
+    formula.brute_force_satisfiable().is_some()
+}
+
+/// Helper used by tests: the source pattern generated for a clause.
+pub fn clause_pattern(formula: &CnfFormula, index: usize) -> TreePattern {
+    build(formula).stds[index].source.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::check_consistency_general;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduction_agrees_with_brute_force_on_small_formulae() {
+        for f in [CnfFormula::paper_example(), CnfFormula::tiny_unsatisfiable()] {
+            let setting = build(&f);
+            assert_eq!(
+                check_consistency_general(&setting),
+                expected_consistent(&f),
+                "mismatch on {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_on_random_formulae() {
+        let mut rng = StdRng::seed_from_u64(20260614);
+        for _ in 0..5 {
+            let f = CnfFormula::random(3, 4, &mut rng);
+            let setting = build(&f);
+            assert_eq!(
+                check_consistency_general(&setting),
+                expected_consistent(&f),
+                "mismatch on {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_patterns_are_path_patterns_with_descendant() {
+        let f = CnfFormula::paper_example();
+        // Clause 0 touches variables 0,1,2 — consecutive levels, so plain
+        // child steps only.
+        let p0 = clause_pattern(&f, 0);
+        assert!(p0.is_path_pattern());
+        assert!(!p0.uses_descendant());
+        // Clause 1 touches variables 1,2,3 — the first step skips level 0 and
+        // becomes a descendant step.
+        let p = clause_pattern(&f, 1);
+        assert!(p.is_path_pattern());
+        assert!(p.uses_descendant());
+        assert!(!p.uses_wildcard());
+        // Source DTD is non-recursive and star-free, as Proposition 4.4(b)
+        // requires.
+        let setting = build(&f);
+        assert!(!setting.source_dtd.is_recursive());
+    }
+
+    #[test]
+    fn source_dtd_chains_encode_assignments() {
+        let f = CnfFormula::paper_example();
+        let setting = build(&f);
+        // Any conforming source tree is a chain of length num_vars + 1.
+        let t = setting.source_dtd.minimal_conforming_tree().unwrap();
+        assert_eq!(t.size(), f.num_vars + 1);
+        assert!(setting.source_dtd.conforms(&t));
+    }
+}

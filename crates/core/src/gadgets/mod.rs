@@ -1,0 +1,26 @@
+//! Executable hardness gadgets.
+//!
+//! The lower bounds of the paper (coNP-hardness of certain answers outside
+//! the fully-specified/univocal class, NP- and PSPACE-hardness of restricted
+//! consistency, EXPTIME-hardness of general consistency) are established by
+//! reductions. Lower bounds cannot be "run", but the reductions can: this
+//! module constructs them as concrete data exchange settings so that
+//!
+//! * tests can verify the reductions behave as the theorems state on known
+//!   instances, and
+//! * the benchmark harness can measure the exponential blow-up they induce
+//!   and contrast it with the polynomial behaviour of the tractable class
+//!   (experiments E2 and E7 in EXPERIMENTS.md).
+//!
+//! Contents:
+//!
+//! * [`three_sat`] — 3-CNF formulae, random generation and brute-force
+//!   satisfiability (the source of hardness for all reductions here);
+//! * [`theorem_5_11`] — the `STD(_, //)` reduction of Theorem 5.11: certain
+//!   answering a Boolean CTQ query with wildcards becomes 3SAT-complement;
+//! * [`consistency_np`] — the Proposition 4.4(b)-style reduction: consistency
+//!   with disjunctive source DTDs and path-pattern STDs encodes 3SAT.
+
+pub mod consistency_np;
+pub mod theorem_5_11;
+pub mod three_sat;

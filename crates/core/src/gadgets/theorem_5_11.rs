@@ -1,0 +1,231 @@
+//! The `STD(_, //)` reduction of Theorem 5.11.
+//!
+//! Dropping the "fully specified" requirement on target patterns makes
+//! certain answering coNP-hard even over *simple* DTDs. The reduction maps a
+//! 3-CNF formula `θ` to a source tree `T_θ`, a data exchange setting whose
+//! second STD is *not* anchored at the target root, and a Boolean CTQ query
+//! `Q` using wildcards, such that
+//!
+//! ```text
+//! θ is satisfiable  ⟺  certain(Q, T_θ) = false.
+//! ```
+//!
+//! Intuitively, each solution must embed, for every clause, a chain
+//! `H1(@l=i)[H2(@l=j)[H3(@l=k)]]` somewhere below a `G1` node, and the choice
+//! of how deep (directly under `G1`, under `G2`, or under `G3`) encodes which
+//! literal of the clause is made true; `Q` detects the inconsistent choices
+//! (two complementary literals both "true").
+
+use super::three_sat::CnfFormula;
+use crate::setting::{DataExchangeSetting, Std};
+use xdx_patterns::query::{ConjunctiveTreeQuery, UnionQuery};
+use xdx_patterns::parse_pattern;
+use xdx_xmltree::{Dtd, XmlTree};
+
+/// Everything the reduction produces for one formula.
+#[derive(Debug, Clone)]
+pub struct Gadget {
+    /// The data exchange setting (simple DTDs, one non-fully-specified STD).
+    pub setting: DataExchangeSetting,
+    /// The source tree `T_θ` encoding the formula.
+    pub source_tree: XmlTree,
+    /// The Boolean query `Q` whose certain answer is `false` iff the formula
+    /// is satisfiable.
+    pub query: UnionQuery,
+}
+
+/// Build the reduction for a formula.
+pub fn build(formula: &CnfFormula) -> Gadget {
+    let source_dtd = Dtd::builder("K")
+        .rule("K", "C* L*")
+        .rule("C", "eps")
+        .rule("L", "eps")
+        .attributes("C", ["@f", "@s", "@t"])
+        .attributes("L", ["@p", "@n"])
+        .build()
+        .expect("well-formed source DTD");
+    let target_dtd = Dtd::builder("K")
+        .rule("K", "G1* L*")
+        .rule("G1", "H1* G2*")
+        .rule("G2", "H1* G3*")
+        .rule("G3", "H1*")
+        .rule("H1", "H2*")
+        .rule("H2", "H3*")
+        .rule("H3", "eps")
+        .rule("L", "eps")
+        .attributes("H1", ["@l"])
+        .attributes("H2", ["@l"])
+        .attributes("H3", ["@l"])
+        .attributes("L", ["@p", "@n"])
+        .build()
+        .expect("well-formed target DTD");
+
+    let stds = vec![
+        // Every variable node is copied to the target.
+        Std::parse("K[L(@p=$x, @n=$y)] :- K[L(@p=$x, @n=$y)]").expect("well-formed STD"),
+        // Every clause forces an H1/H2/H3 chain *somewhere* (not anchored at
+        // the root — this is the feature that breaks tractability).
+        Std::parse("H1(@l=$x)[H2(@l=$y)[H3(@l=$z)]] :- K[C(@f=$x, @s=$y, @t=$z)]")
+            .expect("well-formed STD"),
+    ];
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, stds);
+
+    // T_θ: one C node per clause, one L node per variable.
+    let mut source_tree = XmlTree::new("K");
+    for clause in &formula.clauses {
+        let c = source_tree.add_child(source_tree.root(), "C");
+        source_tree.set_attr(c, "@f", clause.0[0].code());
+        source_tree.set_attr(c, "@s", clause.0[1].code());
+        source_tree.set_attr(c, "@t", clause.0[2].code());
+    }
+    for var in 0..formula.num_vars {
+        let l = source_tree.add_child(source_tree.root(), "L");
+        source_tree.set_attr(l, "@p", super::three_sat::Literal::pos(var).code());
+        source_tree.set_attr(l, "@n", super::three_sat::Literal::neg(var).code());
+    }
+
+    // Q: ∃x∃y  L(@p=x, @n=y) ∧ G1[_[_[_(@l=x)]]] ∧ G1[_[_[_(@l=y)]]]
+    let query = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![
+        parse_pattern("L(@p=$x, @n=$y)").expect("well-formed pattern"),
+        parse_pattern("G1[_[_[_(@l=$x)]]]").expect("well-formed pattern"),
+        parse_pattern("G1[_[_[_(@l=$y)]]]").expect("well-formed pattern"),
+    ]));
+
+    Gadget {
+        setting,
+        source_tree,
+        query,
+    }
+}
+
+/// The certain answer of the gadget's Boolean query, decided through the
+/// equivalence established by Theorem 5.11 (`certain(Q, T_θ) = true` iff `θ`
+/// is unsatisfiable). The underlying satisfiability check is the brute-force
+/// exponential search — this is the "intractable side" baseline measured by
+/// the benchmark harness.
+pub fn certain_answer(formula: &CnfFormula) -> bool {
+    formula.brute_force_satisfiable().is_none()
+}
+
+/// Build the solution described in the (⇒) direction of the proof of
+/// Theorem 5.11 from a satisfying assignment: it is a genuine solution for
+/// `T_θ` and does not satisfy `Q`, certifying `certain(Q, T_θ) = false`.
+pub fn solution_from_assignment(formula: &CnfFormula, assignment: &[bool]) -> XmlTree {
+    assert!(formula.satisfied_by(assignment), "assignment must satisfy the formula");
+    let mut t = XmlTree::new("K");
+    // G1 gadgets, one per clause.
+    for clause in &formula.clauses {
+        let codes = [clause.0[0].code(), clause.0[1].code(), clause.0[2].code()];
+        let g1 = t.add_child(t.root(), "G1");
+        // Choose a literal made true by the assignment; its position decides
+        // the depth of the H1 chain below G1.
+        let position = (0..3)
+            .find(|&i| clause.0[i].satisfied_by(assignment))
+            .expect("satisfied clause has a true literal");
+        let chain_parent = match position {
+            2 => g1,                       // third literal true: H1 directly under G1
+            1 => t.add_child(g1, "G2"),    // second literal: G1 → G2 → H1
+            _ => {
+                let g2 = t.add_child(g1, "G2");
+                t.add_child(g2, "G3") // first literal: G1 → G2 → G3 → H1
+            }
+        };
+        let h1 = t.add_child(chain_parent, "H1");
+        t.set_attr(h1, "@l", codes[0].as_str());
+        let h2 = t.add_child(h1, "H2");
+        t.set_attr(h2, "@l", codes[1].as_str());
+        let h3 = t.add_child(h2, "H3");
+        t.set_attr(h3, "@l", codes[2].as_str());
+    }
+    // L nodes copied from the source encoding.
+    for var in 0..formula.num_vars {
+        let l = t.add_child(t.root(), "L");
+        t.set_attr(l, "@p", super::three_sat::Literal::pos(var).code());
+        t.set_attr(l, "@n", super::three_sat::Literal::neg(var).code());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify_setting, SettingClass};
+    use crate::solution::is_solution;
+
+    #[test]
+    fn gadget_is_well_formed() {
+        let f = CnfFormula::paper_example();
+        let g = build(&f);
+        assert!(g.setting.source_dtd.conforms(&g.source_tree));
+        // Figure 3: two C nodes + four L nodes + root.
+        assert_eq!(g.source_tree.size(), 7);
+        // The second STD is not fully specified, so the setting is outside
+        // the tractable class.
+        assert!(!g.setting.is_fully_specified());
+        assert!(matches!(
+            classify_setting(&g.setting),
+            SettingClass::NotFullySpecified { std_index: 1 }
+        ));
+        // The query is Boolean and uses the wildcard but not descendant.
+        assert!(g.query.is_boolean());
+        assert!(!g.query.uses_descendant());
+    }
+
+    #[test]
+    fn satisfiable_formula_has_a_counterexample_solution() {
+        // The proof's (⇒) direction, executed: from a satisfying assignment
+        // we build a solution of T_θ in which Q fails, certifying that the
+        // certain answer is false.
+        let f = CnfFormula::paper_example();
+        let g = build(&f);
+        let assignment = f.brute_force_satisfiable().expect("satisfiable");
+        let solution = solution_from_assignment(&f, &assignment);
+        assert!(g.setting.target_dtd.conforms_unordered(&solution));
+        assert!(is_solution(&g.setting, &g.source_tree, &solution, false));
+        assert!(!g.query.evaluate_boolean(&solution));
+        assert!(!certain_answer(&f));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_gives_certain_true() {
+        let f = CnfFormula::tiny_unsatisfiable();
+        assert!(certain_answer(&f));
+        // And the gadget still produces a well-formed instance.
+        let g = build(&f);
+        assert!(g.setting.source_dtd.conforms(&g.source_tree));
+    }
+
+    #[test]
+    fn inconsistent_choices_are_caught_by_the_query() {
+        // If we (incorrectly) make both x1 and ¬x1 "true", Q fires.
+        use super::super::three_sat::{Clause, Literal};
+        let f = CnfFormula::new(
+            1,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(0), Literal::pos(0)]),
+                Clause([Literal::neg(0), Literal::neg(0), Literal::neg(0)]),
+            ],
+        );
+        let g = build(&f);
+        // Hand-build the "solution" that satisfies both clauses by choosing
+        // x1 for the first and ¬x1 for the second: it satisfies the STDs but
+        // the query detects the complementary pair.
+        let mut t = XmlTree::new("K");
+        for clause in &f.clauses {
+            let g1 = t.add_child(t.root(), "G1");
+            let h1 = t.add_child(g1, "G2");
+            let g3 = t.add_child(h1, "G3");
+            let h1n = t.add_child(g3, "H1");
+            t.set_attr(h1n, "@l", clause.0[0].code());
+            let h2 = t.add_child(h1n, "H2");
+            t.set_attr(h2, "@l", clause.0[1].code());
+            let h3 = t.add_child(h2, "H3");
+            t.set_attr(h3, "@l", clause.0[2].code());
+        }
+        let l = t.add_child(t.root(), "L");
+        t.set_attr(l, "@p", Literal::pos(0).code());
+        t.set_attr(l, "@n", Literal::neg(0).code());
+        assert!(is_solution(&g.setting, &g.source_tree, &t, false));
+        assert!(g.query.evaluate_boolean(&t));
+    }
+}

@@ -1,0 +1,197 @@
+//! 3-CNF formulae: the combinatorial core of every hardness gadget.
+
+use rand::Rng;
+
+/// A literal: a propositional variable (0-based index) or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// 0-based variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal of variable `var`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The numeric code used by the gadgets of the paper: each literal gets a
+    /// distinct natural number (`x_i → 2i+1`, `¬x_i → 2i+2`), rendered as a
+    /// string attribute value.
+    pub fn code(&self) -> String {
+        if self.positive {
+            (2 * self.var + 1).to_string()
+        } else {
+            (2 * self.var + 2).to_string()
+        }
+    }
+
+    /// Is the literal satisfied by the given assignment?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A clause of exactly three literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clause(pub [Literal; 3]);
+
+impl Clause {
+    /// Is the clause satisfied by the given assignment?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.satisfied_by(assignment))
+    }
+}
+
+/// A propositional formula in 3-CNF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    /// Number of propositional variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Build a formula, checking that every literal's variable is in range.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        assert!(
+            clauses
+                .iter()
+                .all(|c| c.0.iter().all(|l| l.var < num_vars)),
+            "clause mentions a variable out of range"
+        );
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// The running example of the paper's hardness proofs:
+    /// `(x1 ∨ x2 ∨ ¬x3) ∧ (¬x2 ∨ x3 ∨ ¬x4)`.
+    pub fn paper_example() -> Self {
+        CnfFormula::new(
+            4,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(1), Literal::neg(2)]),
+                Clause([Literal::neg(1), Literal::pos(2), Literal::neg(3)]),
+            ],
+        )
+    }
+
+    /// A small unsatisfiable formula: `x ∧ ¬x` padded to three literals per
+    /// clause.
+    pub fn tiny_unsatisfiable() -> Self {
+        CnfFormula::new(
+            1,
+            vec![
+                Clause([Literal::pos(0), Literal::pos(0), Literal::pos(0)]),
+                Clause([Literal::neg(0), Literal::neg(0), Literal::neg(0)]),
+            ],
+        )
+    }
+
+    /// Is the formula satisfied by the given assignment?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.satisfied_by(assignment))
+    }
+
+    /// Exhaustive satisfiability check (2^num_vars assignments); returns a
+    /// satisfying assignment if one exists. This is the deliberately
+    /// exponential baseline the hardness benchmarks measure.
+    pub fn brute_force_satisfiable(&self) -> Option<Vec<bool>> {
+        let n = self.num_vars;
+        assert!(n < usize::BITS as usize, "too many variables for brute force");
+        for mask in 0usize..(1usize << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if self.satisfied_by(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Generate a random 3-CNF formula with the given clause/variable counts.
+    pub fn random(num_vars: usize, num_clauses: usize, rng: &mut impl Rng) -> Self {
+        assert!(num_vars >= 1);
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                Clause([
+                    Literal {
+                        var: rng.gen_range(0..num_vars),
+                        positive: rng.gen_bool(0.5),
+                    },
+                    Literal {
+                        var: rng.gen_range(0..num_vars),
+                        positive: rng.gen_bool(0.5),
+                    },
+                    Literal {
+                        var: rng.gen_range(0..num_vars),
+                        positive: rng.gen_bool(0.5),
+                    },
+                ])
+            })
+            .collect();
+        CnfFormula::new(num_vars, clauses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_example_is_satisfiable() {
+        let f = CnfFormula::paper_example();
+        let a = f.brute_force_satisfiable().expect("satisfiable");
+        assert!(f.satisfied_by(&a));
+    }
+
+    #[test]
+    fn tiny_unsatisfiable_really_is() {
+        assert!(CnfFormula::tiny_unsatisfiable().brute_force_satisfiable().is_none());
+    }
+
+    #[test]
+    fn literal_codes_are_distinct() {
+        let mut codes: Vec<String> = Vec::new();
+        for v in 0..5 {
+            codes.push(Literal::pos(v).code());
+            codes.push(Literal::neg(v).code());
+        }
+        let before = codes.len();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), before);
+    }
+
+    #[test]
+    fn satisfied_by_checks_all_clauses() {
+        let f = CnfFormula::paper_example();
+        // x1 = true satisfies clause 1; ¬x2 = true satisfies clause 2.
+        assert!(f.satisfied_by(&[true, false, false, false]));
+        // x2 true, x3 false, x4 true falsifies clause 2.
+        assert!(!f.satisfied_by(&[false, true, false, true]));
+    }
+
+    #[test]
+    fn random_formulae_are_well_formed_and_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let f1 = CnfFormula::random(6, 10, &mut rng1);
+        let f2 = CnfFormula::random(6, 10, &mut rng2);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.clauses.len(), 10);
+        assert!(f1.clauses.iter().all(|c| c.0.iter().all(|l| l.var < 6)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Imposing a sibling order on unordered solutions (Proposition 5.2).
+//!
+//! The query-answering pipeline works with unordered trees (Proposition 5.1
+//! lets it); to *materialise* a target document one must order every node's
+//! children so that the resulting ordered tree conforms to the target DTD.
+//! Proposition 5.2 shows this is possible in polynomial time whenever the
+//! unordered tree weakly conforms, by greedily emitting one child at a time
+//! while checking that the remaining multiset can still complete a word of
+//! the content model (a permutation-language membership test from an
+//! intermediate NFA state).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::collections::VecDeque;
+use xdx_relang::parikh::perm_accepts_from;
+use xdx_xmltree::{Dtd, ElementType, NodeId, XmlTree};
+
+/// Errors raised by [`impose_sibling_order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderingError {
+    /// A node's label is not declared by the DTD.
+    UnknownElementType {
+        /// The offending node.
+        node: NodeId,
+        /// Its label.
+        label: ElementType,
+    },
+    /// A node's children multiset is not a permutation of any word of its
+    /// content model, so no ordering can exist (the tree does not weakly
+    /// conform).
+    NotWeaklyConforming {
+        /// The offending node.
+        node: NodeId,
+        /// Its label.
+        label: ElementType,
+    },
+}
+
+impl fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderingError::UnknownElementType { node, label } => {
+                write!(f, "node {node} has label {label} unknown to the DTD")
+            }
+            OrderingError::NotWeaklyConforming { node, label } => write!(
+                f,
+                "the children of node {node} (type {label}) are not a permutation of the content model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrderingError {}
+
+/// Reorder the children of every node of `tree` so that the ordered tree
+/// conforms to `dtd`. Requires `tree |≈ dtd` (weak conformance); returns an
+/// error otherwise.
+pub fn impose_sibling_order(tree: &mut XmlTree, dtd: &Dtd) -> Result<(), OrderingError> {
+    let nodes = tree.nodes();
+    for node in nodes {
+        order_children(tree, dtd, node)?;
+    }
+    Ok(())
+}
+
+fn order_children(tree: &mut XmlTree, dtd: &Dtd, node: NodeId) -> Result<(), OrderingError> {
+    let label = tree.label(node).clone();
+    let Some(nfa) = dtd.content_nfa(&label) else {
+        return Err(OrderingError::UnknownElementType { node, label });
+    };
+    let children: Vec<NodeId> = tree.children(node).to_vec();
+    if children.is_empty() {
+        // Still need the content model to accept the empty word.
+        if !nfa.matches(&[]) {
+            return Err(OrderingError::NotWeaklyConforming { node, label });
+        }
+        return Ok(());
+    }
+    // Per-label FIFO queues of children, preserving the original relative
+    // order among same-labelled siblings.
+    let mut queues: BTreeMap<ElementType, VecDeque<NodeId>> = BTreeMap::new();
+    let mut counts: BTreeMap<ElementType, u64> = BTreeMap::new();
+    for &c in &children {
+        let l = tree.label(c).clone();
+        queues.entry(l.clone()).or_default().push_back(c);
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    // The whole multiset must be a permutation of some word.
+    let accepted_somewhere = {
+        let start = nfa.eps_closure(&[nfa.start()].into_iter().collect());
+        start
+            .iter()
+            .any(|&q| perm_accepts_from(nfa, q, &counts))
+    };
+    if !accepted_somewhere {
+        return Err(OrderingError::NotWeaklyConforming { node, label });
+    }
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(children.len());
+    let mut current = nfa.eps_closure(&[nfa.start()].into_iter().collect());
+    for _ in 0..children.len() {
+        let mut advanced = false;
+        let candidate_labels: Vec<ElementType> = counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, _)| l.clone())
+            .collect();
+        for l in candidate_labels {
+            let next = nfa.step_closed(&current, &l);
+            if next.is_empty() {
+                continue;
+            }
+            let mut remaining = counts.clone();
+            *remaining.get_mut(&l).expect("candidate label present") -= 1;
+            if next.iter().any(|&q| perm_accepts_from(nfa, q, &remaining)) {
+                let child = queues
+                    .get_mut(&l)
+                    .and_then(|q| q.pop_front())
+                    .expect("counts and queues stay in sync");
+                order.push(child);
+                counts = remaining;
+                current = next;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Err(OrderingError::NotWeaklyConforming { node, label });
+        }
+    }
+    tree.set_child_order(node, order);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_xmltree::TreeBuilder;
+
+    #[test]
+    fn orders_a_shuffled_sequence() {
+        // D: r → a b c ; children arrive as [c, a, b].
+        let dtd = Dtd::builder("r").rule("r", "a b c").build().unwrap();
+        let mut t = TreeBuilder::new("r").leaf("c").leaf("a").leaf("b").build();
+        assert!(!dtd.conforms(&t));
+        assert!(dtd.conforms_unordered(&t));
+        impose_sibling_order(&mut t, &dtd).unwrap();
+        assert!(dtd.conforms(&t));
+        let labels: Vec<String> = t
+            .children(t.root())
+            .iter()
+            .map(|&c| t.label(c).to_string())
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn orders_interleavings_of_starred_groups() {
+        // D: r → (b c)* (d e)* ; a shuffled multiset {b,b,c,c,d,e} must come
+        // out as some interleaving like b c b c d e.
+        let dtd = Dtd::builder("r").rule("r", "(b c)* (d e)*").build().unwrap();
+        let mut t = TreeBuilder::new("r")
+            .leaf("e")
+            .leaf("c")
+            .leaf("b")
+            .leaf("d")
+            .leaf("c")
+            .leaf("b")
+            .build();
+        assert!(dtd.conforms_unordered(&t));
+        assert!(!dtd.conforms(&t));
+        impose_sibling_order(&mut t, &dtd).unwrap();
+        assert!(dtd.conforms(&t));
+    }
+
+    #[test]
+    fn ordering_recurses_into_the_whole_tree() {
+        let dtd = Dtd::builder("r")
+            .rule("r", "x y")
+            .rule("x", "a b")
+            .rule("y", "eps")
+            .build()
+            .unwrap();
+        let mut t = TreeBuilder::new("r")
+            .leaf("y")
+            .child("x", |x| x.leaf("b").leaf("a"))
+            .build();
+        assert!(dtd.conforms_unordered(&t));
+        impose_sibling_order(&mut t, &dtd).unwrap();
+        assert!(dtd.conforms(&t));
+    }
+
+    #[test]
+    fn preserves_relative_order_of_same_label_siblings() {
+        let dtd = Dtd::builder("r")
+            .rule("r", "a* b")
+            .attributes("a", ["@id"])
+            .build()
+            .unwrap();
+        let mut t = XmlTree::new("r");
+        let a1 = t.add_child(t.root(), "a");
+        t.set_attr(a1, "@id", "1");
+        t.add_child(t.root(), "b");
+        let a2 = t.add_child(t.root(), "a");
+        t.set_attr(a2, "@id", "2");
+        impose_sibling_order(&mut t, &dtd).unwrap();
+        assert!(dtd.conforms(&t));
+        let ids: Vec<String> = t
+            .children(t.root())
+            .iter()
+            .filter(|&&c| t.label(c).as_str() == "a")
+            .map(|&c| t.attr(c, &"@id".into()).unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn rejects_trees_that_do_not_weakly_conform() {
+        let dtd = Dtd::builder("r").rule("r", "a b").build().unwrap();
+        let mut t = TreeBuilder::new("r").leaf("a").leaf("a").build();
+        let err = impose_sibling_order(&mut t, &dtd).unwrap_err();
+        assert!(matches!(err, OrderingError::NotWeaklyConforming { .. }));
+
+        // Leaf whose content model does not accept ε.
+        let dtd2 = Dtd::builder("r").rule("r", "a+").build().unwrap();
+        let mut t2 = XmlTree::new("r");
+        assert!(matches!(
+            impose_sibling_order(&mut t2, &dtd2).unwrap_err(),
+            OrderingError::NotWeaklyConforming { .. }
+        ));
+    }
+
+    #[test]
+    fn canonical_solutions_can_be_materialised() {
+        // End-to-end: canonical solution → ordered document (Prop 5.1 + 5.2).
+        use crate::setting::{books_to_writers_setting, figure_1_source_tree};
+        use crate::solution::canonical_solution;
+        let setting = books_to_writers_setting();
+        let mut solution = canonical_solution(&setting, &figure_1_source_tree()).unwrap();
+        impose_sibling_order(&mut solution, &setting.target_dtd).unwrap();
+        assert!(setting.target_dtd.conforms(&solution));
+    }
+}

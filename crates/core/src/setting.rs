@@ -1,0 +1,329 @@
+//! Data exchange settings and source-to-target dependencies (Section 3.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use xdx_patterns::{parse_pattern, PatternParseError, TreePattern, Var};
+use xdx_xmltree::Dtd;
+
+/// A source-to-target dependency `ψ_T(x̄, z̄) :– φ_S(x̄, ȳ)`.
+///
+/// The shared variables `x̄` are those occurring on both sides; source-only
+/// variables `ȳ` are implicitly existentially quantified on the source side,
+/// and target-only variables `z̄` are the ones for which solutions must
+/// invent (null) values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Std {
+    /// The target-side pattern `ψ_T`.
+    pub target: TreePattern,
+    /// The source-side pattern `φ_S`.
+    pub source: TreePattern,
+}
+
+impl Std {
+    /// Build an STD from target and source patterns.
+    pub fn new(target: TreePattern, source: TreePattern) -> Self {
+        Std { target, source }
+    }
+
+    /// Parse an STD written as `target :- source` using the pattern syntax of
+    /// [`xdx_patterns::parser`].
+    pub fn parse(rule: &str) -> Result<Self, PatternParseError> {
+        let (target_src, source_src) = rule.split_once(":-").ok_or_else(|| PatternParseError {
+            position: 0,
+            message: "an STD must contain ':-' separating target and source patterns".to_string(),
+        })?;
+        Ok(Std {
+            target: parse_pattern(target_src.trim())?,
+            source: parse_pattern(source_src.trim())?,
+        })
+    }
+
+    /// The shared variables `x̄` (free in both source and target).
+    pub fn shared_vars(&self) -> BTreeSet<Var> {
+        self.source
+            .free_vars()
+            .intersection(&self.target.free_vars())
+            .cloned()
+            .collect()
+    }
+
+    /// The source-only variables `ȳ`.
+    pub fn source_only_vars(&self) -> BTreeSet<Var> {
+        self.source
+            .free_vars()
+            .difference(&self.target.free_vars())
+            .cloned()
+            .collect()
+    }
+
+    /// The target-only variables `z̄` (to be filled with nulls).
+    pub fn target_only_vars(&self) -> BTreeSet<Var> {
+        self.target
+            .free_vars()
+            .difference(&self.source.free_vars())
+            .cloned()
+            .collect()
+    }
+
+    /// A size measure (total pattern size), the `m` of Theorem 4.5.
+    pub fn size(&self) -> usize {
+        self.source.size() + self.target.size()
+    }
+}
+
+impl fmt::Display for Std {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- {}", self.target, self.source)
+    }
+}
+
+/// Errors detected when validating a data exchange setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SettingError {
+    /// A source pattern mentions an element type the source DTD does not
+    /// declare.
+    UnknownSourceElement {
+        /// Index of the offending STD in `Σ_ST`.
+        std_index: usize,
+        /// The unknown element type, as a string.
+        element: String,
+    },
+    /// A target pattern mentions an element type the target DTD does not
+    /// declare.
+    UnknownTargetElement {
+        /// Index of the offending STD in `Σ_ST`.
+        std_index: usize,
+        /// The unknown element type, as a string.
+        element: String,
+    },
+    /// A source pattern repeats a variable, violating the distinct-variable
+    /// proviso of Section 4 (only enforced when explicitly requested).
+    RepeatedSourceVariable {
+        /// Index of the offending STD in `Σ_ST`.
+        std_index: usize,
+    },
+}
+
+impl fmt::Display for SettingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SettingError::UnknownSourceElement { std_index, element } => write!(
+                f,
+                "STD #{std_index}: source pattern mentions element type {element} not in the source DTD"
+            ),
+            SettingError::UnknownTargetElement { std_index, element } => write!(
+                f,
+                "STD #{std_index}: target pattern mentions element type {element} not in the target DTD"
+            ),
+            SettingError::RepeatedSourceVariable { std_index } => write!(
+                f,
+                "STD #{std_index}: source pattern repeats a variable (distinct-variable proviso)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SettingError {}
+
+/// An XML data exchange setting `(D_S, D_T, Σ_ST)` (Definition 3.2).
+#[derive(Debug, Clone)]
+pub struct DataExchangeSetting {
+    /// The source DTD `D_S`.
+    pub source_dtd: Dtd,
+    /// The target DTD `D_T`.
+    pub target_dtd: Dtd,
+    /// The source-to-target dependencies `Σ_ST`.
+    pub stds: Vec<Std>,
+}
+
+impl DataExchangeSetting {
+    /// Build a setting from its three components.
+    pub fn new(source_dtd: Dtd, target_dtd: Dtd, stds: Vec<Std>) -> Self {
+        DataExchangeSetting {
+            source_dtd,
+            target_dtd,
+            stds,
+        }
+    }
+
+    /// Validate that every pattern only mentions element types declared by
+    /// the corresponding DTD; optionally enforce the distinct-variable
+    /// proviso on source patterns (Section 4).
+    pub fn validate(&self, enforce_distinct_source_vars: bool) -> Result<(), SettingError> {
+        for (i, std) in self.stds.iter().enumerate() {
+            for e in std.source.element_types() {
+                if !self.source_dtd.has_element(&e) {
+                    return Err(SettingError::UnknownSourceElement {
+                        std_index: i,
+                        element: e.to_string(),
+                    });
+                }
+            }
+            for e in std.target.element_types() {
+                if !self.target_dtd.has_element(&e) {
+                    return Err(SettingError::UnknownTargetElement {
+                        std_index: i,
+                        element: e.to_string(),
+                    });
+                }
+            }
+            if enforce_distinct_source_vars && !std.source.has_distinct_variables() {
+                return Err(SettingError::RepeatedSourceVariable { std_index: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Are all STD target patterns fully specified (Definition 5.10) with
+    /// respect to the target DTD's root?
+    pub fn is_fully_specified(&self) -> bool {
+        self.stds
+            .iter()
+            .all(|s| s.target.is_fully_specified(self.target_dtd.root()))
+    }
+
+    /// Are both DTDs nested-relational (the Clio class of Theorem 4.5)?
+    pub fn is_nested_relational(&self) -> bool {
+        self.source_dtd.is_nested_relational() && self.target_dtd.is_nested_relational()
+    }
+
+    /// The `m` of Theorem 4.5: total size of the dependencies.
+    pub fn stds_size(&self) -> usize {
+        self.stds.iter().map(|s| s.size()).sum()
+    }
+
+    /// The `n` of Theorem 4.5: total size of the two DTDs.
+    pub fn dtds_size(&self) -> usize {
+        self.source_dtd.size() + self.target_dtd.size()
+    }
+}
+
+impl fmt::Display for DataExchangeSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "source DTD:\n{}", self.source_dtd)?;
+        writeln!(f, "target DTD:\n{}", self.target_dtd)?;
+        writeln!(f, "STDs:")?;
+        for s in &self.stds {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The running example of the paper (Figures 1 and 2, Example 3.4):
+/// books/authors restructured into writers/works. Exposed because tests,
+/// examples and benchmarks across the workspace keep coming back to it.
+pub fn books_to_writers_setting() -> DataExchangeSetting {
+    let source_dtd = Dtd::builder("db")
+        .rule("db", "book*")
+        .rule("book", "author*")
+        .rule("author", "eps")
+        .attributes("book", ["@title"])
+        .attributes("author", ["@name", "@aff"])
+        .build()
+        .expect("well-formed source DTD");
+    let target_dtd = Dtd::builder("bib")
+        .rule("bib", "writer*")
+        .rule("writer", "work*")
+        .rule("work", "eps")
+        .attributes("writer", ["@name"])
+        .attributes("work", ["@title", "@year"])
+        .build()
+        .expect("well-formed target DTD");
+    let std = Std::parse(
+        "bib[writer(@name=$y)[work(@title=$x, @year=$z)]] :- db[book(@title=$x)[author(@name=$y)]]",
+    )
+    .expect("well-formed STD");
+    DataExchangeSetting::new(source_dtd, target_dtd, vec![std])
+}
+
+/// The source document of Figure 1(b).
+pub fn figure_1_source_tree() -> xdx_xmltree::XmlTree {
+    xdx_xmltree::TreeBuilder::new("db")
+        .child("book", |b| {
+            b.attr("@title", "Combinatorial Optimization")
+                .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
+                .child("author", |a| a.attr("@name", "Steiglitz").attr("@aff", "Princeton"))
+        })
+        .child("book", |b| {
+            b.attr("@title", "Computational Complexity")
+                .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_parsing_and_variable_partition() {
+        let std = Std::parse(
+            "bib[writer(@name=$y)[work(@title=$x, @year=$z)]] :- db[book(@title=$x)[author(@name=$y)]]",
+        )
+        .unwrap();
+        let shared: Vec<String> = std.shared_vars().iter().map(|v| v.as_str().to_string()).collect();
+        assert_eq!(shared, vec!["x", "y"]);
+        let target_only: Vec<String> =
+            std.target_only_vars().iter().map(|v| v.as_str().to_string()).collect();
+        assert_eq!(target_only, vec!["z"]);
+        assert!(std.source_only_vars().is_empty());
+        assert!(std.size() > 6);
+        assert!(std.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn std_parse_requires_separator() {
+        assert!(Std::parse("bib[writer]").is_err());
+    }
+
+    #[test]
+    fn running_example_setting_is_well_formed() {
+        let setting = books_to_writers_setting();
+        setting.validate(true).unwrap();
+        assert!(setting.is_fully_specified());
+        assert!(setting.is_nested_relational());
+        assert!(setting.dtds_size() > 0);
+        assert!(setting.stds_size() > 0);
+        let t = figure_1_source_tree();
+        assert!(setting.source_dtd.conforms(&t));
+    }
+
+    #[test]
+    fn validation_catches_unknown_element_types() {
+        let mut setting = books_to_writers_setting();
+        setting
+            .stds
+            .push(Std::parse("bib[writer(@name=$n)] :- db[journal(@name=$n)]").unwrap());
+        let err = setting.validate(false).unwrap_err();
+        assert!(matches!(err, SettingError::UnknownSourceElement { std_index: 1, .. }));
+
+        let mut setting2 = books_to_writers_setting();
+        setting2
+            .stds
+            .push(Std::parse("bib[editor(@name=$n)] :- db[book(@title=$n)]").unwrap());
+        let err2 = setting2.validate(false).unwrap_err();
+        assert!(matches!(err2, SettingError::UnknownTargetElement { std_index: 1, .. }));
+    }
+
+    #[test]
+    fn distinct_variable_proviso_is_optional() {
+        let mut setting = books_to_writers_setting();
+        setting
+            .stds
+            .push(Std::parse("bib[writer(@name=$v)] :- db[book(@title=$v)[author(@name=$v)]]").unwrap());
+        assert!(setting.validate(false).is_ok());
+        let err = setting.validate(true).unwrap_err();
+        assert!(matches!(err, SettingError::RepeatedSourceVariable { std_index: 1 }));
+    }
+
+    #[test]
+    fn fully_specified_detection() {
+        let mut setting = books_to_writers_setting();
+        assert!(setting.is_fully_specified());
+        setting
+            .stds
+            .push(Std::parse("//writer(@name=$n) :- db[book(@title=$n)]").unwrap());
+        assert!(!setting.is_fully_specified());
+    }
+}

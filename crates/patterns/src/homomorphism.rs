@@ -1,0 +1,318 @@
+//! Homomorphisms between XML trees (Section 6.1).
+//!
+//! A homomorphism `h : T → T'` maps nodes to nodes and values to values such
+//! that constants are fixed, the root maps to the root, the child relation
+//! and labels are preserved, and attribute values are mapped consistently
+//! (`h(ρ@a(v)) = ρ@a(h(v))`). Lemma 6.14 shows CTQ//,∪ queries are preserved
+//! under homomorphisms, and Lemma 6.15 shows every chase tree maps
+//! homomorphically into every solution — together these give the correctness
+//! of answering queries on the canonical solution.
+
+use std::collections::BTreeMap;
+use xdx_xmltree::{NodeId, NullId, Value, XmlTree};
+
+/// A homomorphism between two XML trees.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// Node mapping (every reachable node of the source tree is a key).
+    pub node_map: BTreeMap<NodeId, NodeId>,
+    /// Value mapping on nulls (constants are mapped to themselves).
+    pub null_map: BTreeMap<NullId, Value>,
+}
+
+impl Homomorphism {
+    /// The image of a value under the homomorphism.
+    pub fn map_value(&self, v: &Value) -> Option<Value> {
+        match v {
+            Value::Const(_) => Some(v.clone()),
+            Value::Null(id) => self.null_map.get(id).cloned(),
+        }
+    }
+}
+
+/// Check whether `h` is a homomorphism from `from` to `to`.
+pub fn is_homomorphism(from: &XmlTree, to: &XmlTree, h: &Homomorphism) -> bool {
+    // Root is mapped to root.
+    if h.node_map.get(&from.root()) != Some(&to.root()) {
+        return false;
+    }
+    for node in from.nodes() {
+        let Some(&image) = h.node_map.get(&node) else {
+            return false;
+        };
+        // Labels preserved.
+        if from.label(node) != to.label(image) {
+            return false;
+        }
+        // Child relation preserved.
+        for &child in from.children(node) {
+            match h.node_map.get(&child) {
+                Some(&child_image) if to.parent(child_image) == Some(image) => {}
+                _ => return false,
+            }
+        }
+        // Attribute values preserved through the value map.
+        for (attr, value) in from.attrs(node) {
+            let Some(expected) = h.map_value(value) else {
+                return false;
+            };
+            match to.attr(image, attr) {
+                Some(actual) if *actual == expected => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Search for a homomorphism from `from` to `to`. Returns `None` if none
+/// exists.
+///
+/// The search is a straightforward backtracking over candidate images of
+/// each node (children of the image of the parent, label-compatible) with
+/// consistent null bindings; worst-case exponential, which is fine for the
+/// solution sizes handled in tests and benchmarks (finding homomorphisms is
+/// NP-complete in general).
+pub fn find_homomorphism(from: &XmlTree, to: &XmlTree) -> Option<Homomorphism> {
+    if from.label(from.root()) != to.label(to.root()) {
+        return None;
+    }
+    let mut h = Homomorphism::default();
+    h.node_map.insert(from.root(), to.root());
+    if !bind_attrs(from, from.root(), to, to.root(), &mut h) {
+        return None;
+    }
+    let order: Vec<NodeId> = from
+        .nodes()
+        .into_iter()
+        .filter(|&n| n != from.root())
+        .collect();
+    if assign(from, to, &order, 0, &mut h) {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+fn assign(
+    from: &XmlTree,
+    to: &XmlTree,
+    order: &[NodeId],
+    idx: usize,
+    h: &mut Homomorphism,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let node = order[idx];
+    let parent = from.parent(node).expect("non-root nodes have parents");
+    let parent_image = *h
+        .node_map
+        .get(&parent)
+        .expect("parents precede children in preorder");
+    let candidates: Vec<NodeId> = to
+        .children(parent_image)
+        .iter()
+        .copied()
+        .filter(|&c| to.label(c) == from.label(node))
+        .collect();
+    for candidate in candidates {
+        let saved_nulls = h.null_map.clone();
+        h.node_map.insert(node, candidate);
+        if bind_attrs(from, node, to, candidate, h) && assign(from, to, order, idx + 1, h) {
+            return true;
+        }
+        h.null_map = saved_nulls;
+        h.node_map.remove(&node);
+    }
+    false
+}
+
+/// Try to extend the null map so that all attributes of `node` map onto the
+/// attributes of `image`. Returns false (leaving `h.null_map` possibly
+/// partially extended — callers restore it) on mismatch.
+fn bind_attrs(
+    from: &XmlTree,
+    node: NodeId,
+    to: &XmlTree,
+    image: NodeId,
+    h: &mut Homomorphism,
+) -> bool {
+    for (attr, value) in from.attrs(node) {
+        let Some(target) = to.attr(image, attr) else {
+            return false;
+        };
+        match value {
+            Value::Const(_) => {
+                if value != target {
+                    return false;
+                }
+            }
+            Value::Null(id) => match h.null_map.get(id) {
+                Some(bound) => {
+                    if bound != target {
+                        return false;
+                    }
+                }
+                None => {
+                    h.null_map.insert(*id, target.clone());
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdx_xmltree::{NullGen, TreeBuilder, XmlTree};
+
+    /// The canonical-style tree: bib with one writer P having a work with a
+    /// null year.
+    fn canonical_like() -> XmlTree {
+        let mut gen = NullGen::new();
+        let mut t = XmlTree::new("bib");
+        let w = t.add_child(t.root(), "writer");
+        t.set_attr(w, "@name", "Papadimitriou");
+        let k = t.add_child(w, "work");
+        t.set_attr(k, "@title", "Computational Complexity");
+        t.set_attr(k, "@year", gen.fresh_value());
+        t
+    }
+
+    /// A "solution" with more writers and a concrete year.
+    fn bigger_solution() -> XmlTree {
+        TreeBuilder::new("bib")
+            .child("writer", |w| {
+                w.attr("@name", "Papadimitriou")
+                    .child("work", |k| {
+                        k.attr("@title", "Computational Complexity").attr("@year", "1994")
+                    })
+                    .child("work", |k| {
+                        k.attr("@title", "Combinatorial Optimization").attr("@year", "1982")
+                    })
+            })
+            .child("writer", |w| {
+                w.attr("@name", "Steiglitz").child("work", |k| {
+                    k.attr("@title", "Combinatorial Optimization").attr("@year", "1982")
+                })
+            })
+            .build()
+    }
+
+    #[test]
+    fn homomorphism_into_larger_solution_exists() {
+        let small = canonical_like();
+        let big = bigger_solution();
+        let h = find_homomorphism(&small, &big).expect("homomorphism should exist");
+        assert!(is_homomorphism(&small, &big, &h));
+        // The null year must have been mapped to the constant 1994.
+        assert_eq!(h.null_map.len(), 1);
+        assert_eq!(
+            h.null_map.values().next().unwrap(),
+            &xdx_xmltree::Value::constant("1994")
+        );
+    }
+
+    #[test]
+    fn no_homomorphism_when_constants_clash() {
+        let mut small = canonical_like();
+        // Force a constant year that the big tree does not have for this work.
+        let work = small.descendants(small.root())[1];
+        small.set_attr(work, "@year", "2001");
+        assert!(find_homomorphism(&small, &bigger_solution()).is_none());
+    }
+
+    #[test]
+    fn no_homomorphism_when_structure_is_missing() {
+        let big = bigger_solution();
+        let mut small = canonical_like();
+        // Add a writer that the big tree does not have.
+        let w = small.add_child(small.root(), "writer");
+        small.set_attr(w, "@name", "Knuth");
+        assert!(find_homomorphism(&small, &big).is_none());
+        // But the reverse direction also fails (big has attributes/structure
+        // the small tree cannot absorb).
+        assert!(find_homomorphism(&big, &small).is_none());
+    }
+
+    #[test]
+    fn same_null_must_map_consistently() {
+        // Two works share the same null year; a target where the two works
+        // have different years admits no homomorphism.
+        let mut gen = NullGen::new();
+        let shared = gen.fresh_value();
+        let mut small = XmlTree::new("bib");
+        let w = small.add_child(small.root(), "writer");
+        small.set_attr(w, "@name", "P");
+        for title in ["A", "B"] {
+            let k = small.add_child(w, "work");
+            small.set_attr(k, "@title", title);
+            small.set_attr(k, "@year", shared.clone());
+        }
+
+        let make_big = |year_a: &str, year_b: &str| {
+            TreeBuilder::new("bib")
+                .child("writer", |wr| {
+                    wr.attr("@name", "P")
+                        .child("work", |k| k.attr("@title", "A").attr("@year", year_a))
+                        .child("work", |k| k.attr("@title", "B").attr("@year", year_b))
+                })
+                .build()
+        };
+        assert!(find_homomorphism(&small, &make_big("1999", "1999")).is_some());
+        assert!(find_homomorphism(&small, &make_big("1999", "2000")).is_none());
+    }
+
+    #[test]
+    fn identity_homomorphism() {
+        let t = bigger_solution();
+        let h = find_homomorphism(&t, &t).expect("identity exists");
+        assert!(is_homomorphism(&t, &t, &h));
+        assert!(h.null_map.is_empty());
+    }
+
+    #[test]
+    fn root_labels_must_agree() {
+        let a = XmlTree::new("bib");
+        let b = XmlTree::new("db");
+        assert!(find_homomorphism(&a, &b).is_none());
+    }
+
+    #[test]
+    fn is_homomorphism_rejects_bogus_maps() {
+        let small = canonical_like();
+        let big = bigger_solution();
+        let mut h = find_homomorphism(&small, &big).unwrap();
+        // Redirect the writer node to the wrong writer.
+        let writer_small = small.children(small.root())[0];
+        let wrong_writer = big.children(big.root())[1];
+        h.node_map.insert(writer_small, wrong_writer);
+        assert!(!is_homomorphism(&small, &big, &h));
+    }
+
+    #[test]
+    fn homomorphisms_preserve_ctq_queries() {
+        // Lemma 6.14 on a concrete instance: a query true in the small tree
+        // is true in the big one whenever a homomorphism exists.
+        use crate::parser::parse_pattern;
+        use crate::query::ConjunctiveTreeQuery;
+        let small = canonical_like();
+        let big = bigger_solution();
+        assert!(find_homomorphism(&small, &big).is_some());
+        let q = ConjunctiveTreeQuery::new(
+            ["x"],
+            vec![parse_pattern("writer(@name=$x)[work(@title=\"Computational Complexity\")]").unwrap()],
+        )
+        .unwrap();
+        let small_answers = q.evaluate(&small);
+        let big_answers = q.evaluate(&big);
+        for row in small_answers {
+            // constant tuples survive
+            if row.iter().all(|v| v.is_const()) {
+                assert!(big_answers.contains(&row));
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! A compact text syntax for tree-pattern formulae.
+//!
+//! ```text
+//! pattern  ::= '//' pattern
+//!            | attrform ( '[' pattern (',' pattern)* ']' )?
+//! attrform ::= label ( '(' binding (',' binding)* ')' )?
+//! label    ::= IDENT | '_'
+//! binding  ::= ATTR '=' term
+//! term     ::= '$' IDENT            (variable)
+//!            | '"' characters '"'   (constant)
+//! ```
+//!
+//! Examples (all from the paper):
+//!
+//! * `db[book(@title=$x)[author(@name=$y)]]`
+//! * `bib[writer(@name=$y)[work(@title=$x, @year=$z)]]`
+//! * `//vr[q1[yes]]`
+//! * `_(@a1=$x, @a2=$x)`
+
+use crate::pattern::{AttrBinding, AttrFormula, LabelTest, Term, TreePattern, Var};
+use std::fmt;
+use xdx_xmltree::{AttrName, ElementType};
+
+/// Error raised by [`parse_pattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Parse a tree-pattern formula from its text syntax.
+pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
+    let mut p = Parser {
+        input,
+        pos: 0,
+    };
+    let pat = p.parse_pattern()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(pat)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> PatternParseError {
+        PatternParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), PatternParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {c:?}")))
+        }
+    }
+
+    fn parse_pattern(&mut self) -> Result<TreePattern, PatternParseError> {
+        self.skip_ws();
+        if self.rest().starts_with("//") {
+            self.pos += 2;
+            let inner = self.parse_pattern()?;
+            return Ok(TreePattern::descendant(inner));
+        }
+        let attr = self.parse_attrform()?;
+        let mut children = Vec::new();
+        if self.eat('[') {
+            loop {
+                children.push(self.parse_pattern()?);
+                if self.eat(',') {
+                    continue;
+                }
+                self.expect(']')?;
+                break;
+            }
+        }
+        Ok(TreePattern::Node { attr, children })
+    }
+
+    fn parse_attrform(&mut self) -> Result<AttrFormula, PatternParseError> {
+        self.skip_ws();
+        let label = if self.peek() == Some('_') {
+            self.bump();
+            LabelTest::Wildcard
+        } else {
+            let ident = self.parse_ident()?;
+            LabelTest::Element(ElementType::new(ident))
+        };
+        let mut bindings = Vec::new();
+        if self.eat('(') {
+            loop {
+                self.skip_ws();
+                let attr = self.parse_ident()?;
+                self.expect('=')?;
+                let term = self.parse_term()?;
+                bindings.push(AttrBinding {
+                    attr: AttrName::new(attr),
+                    term,
+                });
+                if self.eat(',') {
+                    continue;
+                }
+                self.expect(')')?;
+                break;
+            }
+        }
+        Ok(AttrFormula { label, bindings })
+    }
+
+    fn parse_term(&mut self) -> Result<Term, PatternParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('$') => {
+                self.bump();
+                let ident = self.parse_ident()?;
+                Ok(Term::Var(Var::new(ident)))
+            }
+            Some('"') => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '"' {
+                        let s = self.input[start..self.pos].to_string();
+                        self.bump();
+                        return Ok(Term::Const(s));
+                    }
+                    self.bump();
+                }
+                Err(self.error("unterminated string constant"))
+            }
+            _ => Err(self.error("expected a term: $variable or \"constant\"")),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String, PatternParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '@' || c == '-' || c == '.' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            Err(self.error("expected an identifier"))
+        } else {
+            Ok(self.input[start..self.pos].to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_3_4_patterns() {
+        let src = parse_pattern("db[book(@title=$x)[author(@name=$y)]]").unwrap();
+        assert_eq!(src.to_string(), "db[book(@title = $x)[author(@name = $y)]]");
+        assert_eq!(src.free_vars().len(), 2);
+
+        let tgt = parse_pattern("bib[writer(@name=$y)[work(@title=$x, @year=$z)]]").unwrap();
+        assert_eq!(tgt.free_vars().len(), 3);
+        assert!(tgt.is_fully_specified(&ElementType::new("bib")));
+    }
+
+    #[test]
+    fn parses_descendant_and_wildcard() {
+        let p = parse_pattern("//vr[q1[yes]]").unwrap();
+        assert!(p.uses_descendant());
+        assert!(!p.uses_wildcard());
+        let q = parse_pattern("_(@a1=$x, @a2=$x)").unwrap();
+        assert!(q.uses_wildcard());
+        assert_eq!(q.free_vars().len(), 1);
+        // the G1 great-grandchild pattern from Theorem 5.11
+        let g = parse_pattern("G1[_[_[_(@l=$x)]]]").unwrap();
+        assert!(g.uses_wildcard());
+        assert!(!g.uses_descendant());
+    }
+
+    #[test]
+    fn parses_constants() {
+        let p = parse_pattern("work(@title=\"Computational Complexity\", @year=$y)").unwrap();
+        match p {
+            TreePattern::Node { attr, .. } => {
+                assert_eq!(attr.bindings.len(), 2);
+                assert_eq!(
+                    attr.bindings[0].term,
+                    Term::Const("Computational Complexity".to_string())
+                );
+            }
+            _ => panic!("expected a node"),
+        }
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let a = parse_pattern("db[ book( @title = $x ) [ author ( @name = $y ) ] ]").unwrap();
+        let b = parse_pattern("db[book(@title=$x)[author(@name=$y)]]").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multiple_children() {
+        let p = parse_pattern("r[a, b(@x=$v), //c]").unwrap();
+        match &p {
+            TreePattern::Node { children, .. } => assert_eq!(children.len(), 3),
+            _ => panic!("expected node"),
+        }
+        assert!(p.uses_descendant());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("a[").is_err());
+        assert!(parse_pattern("a(@x=)").is_err());
+        assert!(parse_pattern("a(@x=$y") .is_err());
+        assert!(parse_pattern("a]").is_err());
+        assert!(parse_pattern("a(@x=\"unterminated)").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in [
+            "db[book(@title = $x)[author(@name = $y)]]",
+            "//vr[q1[yes], label[a2]]",
+            "_(@a = $x, @b = \"k\")",
+            "K[L(@p = $x, @n = $y)]",
+        ] {
+            let p = parse_pattern(src).unwrap();
+            let printed = p.to_string();
+            let p2 = parse_pattern(&printed).unwrap();
+            assert_eq!(p, p2, "round-trip failed for {src}");
+        }
+    }
+}

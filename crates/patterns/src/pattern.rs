@@ -1,0 +1,546 @@
+//! The tree-pattern formula AST (Section 3.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use xdx_xmltree::{AttrName, ElementType};
+
+/// A variable ranging over attribute values.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term on the right-hand side of an attribute binding `@a = t`.
+///
+/// The paper only uses variables; constants are a convenience for writing
+/// queries with built-in selections (they are equivalent to using a fresh
+/// variable plus an equality filter).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant string.
+    Const(String),
+}
+
+impl Term {
+    /// Build a variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Build a constant term.
+    pub fn constant(s: impl Into<String>) -> Self {
+        Term::Const(s.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+/// The label test of an attribute formula: either a concrete element type or
+/// the wildcard `_`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LabelTest {
+    /// Matches any element type.
+    Wildcard,
+    /// Matches exactly this element type.
+    Element(ElementType),
+}
+
+impl LabelTest {
+    /// Does the test accept `label`?
+    pub fn accepts(&self, label: &ElementType) -> bool {
+        match self {
+            LabelTest::Wildcard => true,
+            LabelTest::Element(e) => e == label,
+        }
+    }
+}
+
+impl fmt::Display for LabelTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelTest::Wildcard => write!(f, "_"),
+            LabelTest::Element(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One attribute binding `@a = t` of an attribute formula.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttrBinding {
+    /// The attribute name.
+    pub attr: AttrName,
+    /// The term the attribute value is compared/bound to.
+    pub term: Term,
+}
+
+/// An attribute formula `ℓ(@a1 = t1, …, @an = tn)` (possibly with the
+/// wildcard as label and possibly without bindings).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttrFormula {
+    /// The label test.
+    pub label: LabelTest,
+    /// The attribute bindings.
+    pub bindings: Vec<AttrBinding>,
+}
+
+impl AttrFormula {
+    /// An attribute formula testing only the element type.
+    pub fn element(label: impl Into<ElementType>) -> Self {
+        AttrFormula {
+            label: LabelTest::Element(label.into()),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// The wildcard attribute formula `_`.
+    pub fn wildcard() -> Self {
+        AttrFormula {
+            label: LabelTest::Wildcard,
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Add a binding `@attr = $var`.
+    pub fn bind_var(mut self, attr: impl Into<AttrName>, var: impl Into<Var>) -> Self {
+        self.bindings.push(AttrBinding {
+            attr: attr.into(),
+            term: Term::Var(var.into()),
+        });
+        self
+    }
+
+    /// Add a binding `@attr = "const"`.
+    pub fn bind_const(mut self, attr: impl Into<AttrName>, value: impl Into<String>) -> Self {
+        self.bindings.push(AttrBinding {
+            attr: attr.into(),
+            term: Term::Const(value.into()),
+        });
+        self
+    }
+
+    /// The erasure `α°` of Claim 4.2: forget all attribute bindings.
+    pub fn erase_attributes(&self) -> AttrFormula {
+        AttrFormula {
+            label: self.label.clone(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Variables occurring in the bindings.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.bindings
+            .iter()
+            .filter_map(|b| match &b.term {
+                Term::Var(v) => Some(v.clone()),
+                Term::Const(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for AttrFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)?;
+        if !self.bindings.is_empty() {
+            let parts: Vec<String> = self
+                .bindings
+                .iter()
+                .map(|b| format!("{} = {}", b.attr, b.term))
+                .collect();
+            write!(f, "({})", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A tree-pattern formula (Section 3.1):
+/// `ϕ ::= α | α[ϕ, …, ϕ] | //ϕ`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TreePattern {
+    /// An attribute formula, possibly with child sub-patterns.
+    Node {
+        /// The attribute formula at this node.
+        attr: AttrFormula,
+        /// Sub-patterns, each of which must be witnessed by some child.
+        children: Vec<TreePattern>,
+    },
+    /// `//ϕ`: some proper descendant witnesses `ϕ`.
+    Descendant(Box<TreePattern>),
+}
+
+impl TreePattern {
+    /// A pattern consisting of a bare attribute formula.
+    pub fn leaf(attr: AttrFormula) -> Self {
+        TreePattern::Node {
+            attr,
+            children: Vec::new(),
+        }
+    }
+
+    /// A pattern testing only an element type, with no bindings or children.
+    pub fn elem(label: impl Into<ElementType>) -> Self {
+        TreePattern::leaf(AttrFormula::element(label))
+    }
+
+    /// A wildcard pattern with no bindings or children.
+    pub fn any() -> Self {
+        TreePattern::leaf(AttrFormula::wildcard())
+    }
+
+    /// A pattern `α[children…]`.
+    pub fn node(attr: AttrFormula, children: Vec<TreePattern>) -> Self {
+        TreePattern::Node { attr, children }
+    }
+
+    /// Wrap the pattern in a descendant step `//ϕ`.
+    pub fn descendant(inner: TreePattern) -> Self {
+        TreePattern::Descendant(Box::new(inner))
+    }
+
+    /// Add a child sub-pattern (builder style). Wrapping descendants are
+    /// traversed so `//a` gains the child under `a`.
+    pub fn with_child(self, child: TreePattern) -> Self {
+        match self {
+            TreePattern::Node { attr, mut children } => {
+                children.push(child);
+                TreePattern::Node { attr, children }
+            }
+            TreePattern::Descendant(inner) => {
+                TreePattern::Descendant(Box::new(inner.with_child(child)))
+            }
+        }
+    }
+
+    /// The free variables of the pattern, in sorted order.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            TreePattern::Node { attr, children } => {
+                out.extend(attr.variables());
+                for c in children {
+                    c.collect_vars(out);
+                }
+            }
+            TreePattern::Descendant(inner) => inner.collect_vars(out),
+        }
+    }
+
+    /// Does the pattern use the descendant axis `//` anywhere?
+    pub fn uses_descendant(&self) -> bool {
+        match self {
+            TreePattern::Descendant(_) => true,
+            TreePattern::Node { children, .. } => children.iter().any(|c| c.uses_descendant()),
+        }
+    }
+
+    /// Does the pattern use the wildcard label anywhere?
+    pub fn uses_wildcard(&self) -> bool {
+        match self {
+            TreePattern::Descendant(inner) => inner.uses_wildcard(),
+            TreePattern::Node { attr, children } => {
+                matches!(attr.label, LabelTest::Wildcard)
+                    || children.iter().any(|c| c.uses_wildcard())
+            }
+        }
+    }
+
+    /// Is the pattern anchored at the given root element type (its top-level
+    /// form is `root[…]` — no descendant, no wildcard at the top)?
+    pub fn starts_at_root(&self, root: &ElementType) -> bool {
+        match self {
+            TreePattern::Node { attr, .. } => attr.label == LabelTest::Element(root.clone()),
+            TreePattern::Descendant(_) => false,
+        }
+    }
+
+    /// Is the pattern *fully specified* in the sense of Definition 5.10 with
+    /// respect to the given root type: of the form `r[ϕ1, …, ϕk]` where the
+    /// `ϕi` use neither descendant nor wildcard?
+    pub fn is_fully_specified(&self, root: &ElementType) -> bool {
+        self.starts_at_root(root) && !self.uses_descendant() && !self.uses_wildcard()
+    }
+
+    /// Is this a *path pattern* (Section 4): at most one child at every
+    /// level?
+    pub fn is_path_pattern(&self) -> bool {
+        match self {
+            TreePattern::Descendant(inner) => inner.is_path_pattern(),
+            TreePattern::Node { children, .. } => {
+                children.len() <= 1 && children.iter().all(|c| c.is_path_pattern())
+            }
+        }
+    }
+
+    /// The erasure `ϕ°` of Claim 4.2: drop every attribute binding, keeping
+    /// only the structural skeleton.
+    pub fn erase_attributes(&self) -> TreePattern {
+        match self {
+            TreePattern::Node { attr, children } => TreePattern::Node {
+                attr: attr.erase_attributes(),
+                children: children.iter().map(|c| c.erase_attributes()).collect(),
+            },
+            TreePattern::Descendant(inner) => {
+                TreePattern::Descendant(Box::new(inner.erase_attributes()))
+            }
+        }
+    }
+
+    /// Element types mentioned anywhere in the pattern.
+    pub fn element_types(&self) -> BTreeSet<ElementType> {
+        let mut out = BTreeSet::new();
+        self.collect_element_types(&mut out);
+        out
+    }
+
+    fn collect_element_types(&self, out: &mut BTreeSet<ElementType>) {
+        match self {
+            TreePattern::Node { attr, children } => {
+                if let LabelTest::Element(e) = &attr.label {
+                    out.insert(e.clone());
+                }
+                for c in children {
+                    c.collect_element_types(out);
+                }
+            }
+            TreePattern::Descendant(inner) => inner.collect_element_types(out),
+        }
+    }
+
+    /// Attribute names mentioned anywhere in the pattern.
+    pub fn attribute_names(&self) -> BTreeSet<AttrName> {
+        let mut out = BTreeSet::new();
+        fn go(p: &TreePattern, out: &mut BTreeSet<AttrName>) {
+            match p {
+                TreePattern::Node { attr, children } => {
+                    out.extend(attr.bindings.iter().map(|b| b.attr.clone()));
+                    for c in children {
+                        go(c, out);
+                    }
+                }
+                TreePattern::Descendant(inner) => go(inner, out),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Are all variable occurrences in this pattern distinct? (The proviso
+    /// the paper imposes on *source* patterns in Section 4.)
+    pub fn has_distinct_variables(&self) -> bool {
+        fn collect(p: &TreePattern, seen: &mut Vec<Var>) -> bool {
+            match p {
+                TreePattern::Node { attr, children } => {
+                    for b in &attr.bindings {
+                        if let Term::Var(v) = &b.term {
+                            if seen.contains(v) {
+                                return false;
+                            }
+                            seen.push(v.clone());
+                        }
+                    }
+                    children.iter().all(|c| collect(c, seen))
+                }
+                TreePattern::Descendant(inner) => collect(inner, seen),
+            }
+        }
+        collect(self, &mut Vec::new())
+    }
+
+    /// Number of AST nodes, used as a size measure in complexity experiments.
+    pub fn size(&self) -> usize {
+        match self {
+            TreePattern::Node { attr, children } => {
+                1 + attr.bindings.len() + children.iter().map(|c| c.size()).sum::<usize>()
+            }
+            TreePattern::Descendant(inner) => 1 + inner.size(),
+        }
+    }
+}
+
+impl fmt::Display for TreePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreePattern::Node { attr, children } => {
+                write!(f, "{attr}")?;
+                if !children.is_empty() {
+                    let parts: Vec<String> = children.iter().map(|c| c.to_string()).collect();
+                    write!(f, "[{}]", parts.join(", "))?;
+                }
+                Ok(())
+            }
+            TreePattern::Descendant(inner) => write!(f, "//{inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `db[book(@title=$x)[author(@name=$y)]]` — the source pattern of
+    /// Example 3.4.
+    fn example_source_pattern() -> TreePattern {
+        TreePattern::node(
+            AttrFormula::element("db"),
+            vec![TreePattern::node(
+                AttrFormula::element("book").bind_var("@title", "x"),
+                vec![TreePattern::leaf(
+                    AttrFormula::element("author").bind_var("@name", "y"),
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn free_vars_and_display() {
+        let p = example_source_pattern();
+        let vars: Vec<String> = p.free_vars().iter().map(|v| v.as_str().to_string()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+        assert_eq!(
+            p.to_string(),
+            "db[book(@title = $x)[author(@name = $y)]]"
+        );
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let p = example_source_pattern();
+        let root = ElementType::new("db");
+        assert!(p.is_fully_specified(&root));
+        assert!(!p.uses_descendant());
+        assert!(!p.uses_wildcard());
+        assert!(p.is_path_pattern());
+        assert!(p.has_distinct_variables());
+
+        let with_desc = TreePattern::descendant(TreePattern::elem("author"));
+        assert!(with_desc.uses_descendant());
+        assert!(!with_desc.starts_at_root(&root));
+        assert!(!with_desc.is_fully_specified(&root));
+
+        let with_wild = TreePattern::node(
+            AttrFormula::element("db"),
+            vec![TreePattern::any()],
+        );
+        assert!(with_wild.uses_wildcard());
+        assert!(!with_wild.is_fully_specified(&root));
+
+        // two children at one level is not a path pattern
+        let branching = TreePattern::node(
+            AttrFormula::element("db"),
+            vec![TreePattern::elem("a"), TreePattern::elem("b")],
+        );
+        assert!(!branching.is_path_pattern());
+    }
+
+    #[test]
+    fn repeated_variables_are_detected() {
+        let p = TreePattern::leaf(
+            AttrFormula::element("l")
+                .bind_var("@a1", "z")
+                .bind_var("@a2", "z"),
+        );
+        assert!(!p.has_distinct_variables());
+        assert_eq!(p.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn erasure_drops_bindings_everywhere() {
+        let p = example_source_pattern();
+        let erased = p.erase_attributes();
+        assert!(erased.free_vars().is_empty());
+        assert_eq!(erased.to_string(), "db[book[author]]");
+        assert_eq!(erased.element_types(), p.element_types());
+    }
+
+    #[test]
+    fn element_types_and_attribute_names() {
+        let p = example_source_pattern();
+        let els: Vec<String> = p
+            .element_types()
+            .iter()
+            .map(|e| e.as_str().to_string())
+            .collect();
+        assert_eq!(els, vec!["author", "book", "db"]);
+        let attrs: Vec<String> = p
+            .attribute_names()
+            .iter()
+            .map(|a| a.as_str().to_string())
+            .collect();
+        assert_eq!(attrs, vec!["@name", "@title"]);
+    }
+
+    #[test]
+    fn with_child_descends_through_descendant_wrappers() {
+        let p = TreePattern::descendant(TreePattern::elem("book"))
+            .with_child(TreePattern::elem("author"));
+        assert_eq!(p.to_string(), "//book[author]");
+    }
+
+    #[test]
+    fn size_counts_bindings_and_nodes() {
+        assert_eq!(example_source_pattern().size(), 5);
+        assert_eq!(TreePattern::any().size(), 1);
+        assert_eq!(
+            TreePattern::descendant(TreePattern::elem("a")).size(),
+            2
+        );
+    }
+
+    #[test]
+    fn constants_in_terms() {
+        let p = TreePattern::leaf(
+            AttrFormula::element("work").bind_const("@title", "Computational Complexity"),
+        );
+        assert!(p.free_vars().is_empty());
+        assert!(p.to_string().contains("\"Computational Complexity\""));
+    }
+}

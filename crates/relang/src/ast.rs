@@ -1,0 +1,561 @@
+//! Regular-expression AST over element types.
+//!
+//! The grammar follows Section 2 of the paper:
+//!
+//! ```text
+//! e ::= ε | ℓ (ℓ ∈ E) | e|e | ee | e*
+//! ```
+//!
+//! with the standard shorthands `e+ = ee*` and `e? = ε|e`. We additionally
+//! keep an explicit `∅` (empty language) constructor because the
+//! DTD-trimming construction of Lemma 2.2 introduces it as an intermediate
+//! form before the rewriting function `ρ` eliminates it again.
+
+use crate::Alphabet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A regular expression over symbols of type `S`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Regex<S> {
+    /// The empty language `∅` (matches nothing).
+    Empty,
+    /// The empty string `ε`.
+    Epsilon,
+    /// A single symbol (element type).
+    Symbol(S),
+    /// Concatenation `e1 e2`.
+    Concat(Box<Regex<S>>, Box<Regex<S>>),
+    /// Union (alternation) `e1 | e2`.
+    Alt(Box<Regex<S>>, Box<Regex<S>>),
+    /// Kleene star `e*`.
+    Star(Box<Regex<S>>),
+    /// One-or-more `e+` (shorthand for `e e*`).
+    Plus(Box<Regex<S>>),
+    /// Optional `e?` (shorthand for `ε | e`).
+    Opt(Box<Regex<S>>),
+}
+
+impl<S: Alphabet> Regex<S> {
+    /// The empty-string expression `ε`.
+    pub fn epsilon() -> Self {
+        Regex::Epsilon
+    }
+
+    /// The empty-language expression `∅`.
+    pub fn empty() -> Self {
+        Regex::Empty
+    }
+
+    /// A single-symbol expression.
+    pub fn sym(s: impl Into<S>) -> Self {
+        Regex::Symbol(s.into())
+    }
+
+    /// Concatenation of two expressions.
+    pub fn concat(a: Regex<S>, b: Regex<S>) -> Self {
+        Regex::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// Concatenation of an arbitrary sequence of expressions.
+    ///
+    /// Returns `ε` for the empty sequence.
+    pub fn seq(items: impl IntoIterator<Item = Regex<S>>) -> Self {
+        let mut items: Vec<_> = items.into_iter().collect();
+        match items.len() {
+            0 => Regex::Epsilon,
+            1 => items.pop().expect("len checked"),
+            _ => {
+                let mut it = items.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, Regex::concat)
+            }
+        }
+    }
+
+    /// Union of two expressions.
+    pub fn alt(a: Regex<S>, b: Regex<S>) -> Self {
+        Regex::Alt(Box::new(a), Box::new(b))
+    }
+
+    /// Union of an arbitrary non-empty sequence of expressions.
+    ///
+    /// Returns `∅` for the empty sequence (the neutral element of union).
+    pub fn union(items: impl IntoIterator<Item = Regex<S>>) -> Self {
+        let mut items: Vec<_> = items.into_iter().collect();
+        match items.len() {
+            0 => Regex::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => {
+                let mut it = items.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, Regex::alt)
+            }
+        }
+    }
+
+    /// Kleene star.
+    pub fn star(a: Regex<S>) -> Self {
+        Regex::Star(Box::new(a))
+    }
+
+    /// One-or-more.
+    pub fn plus(a: Regex<S>) -> Self {
+        Regex::Plus(Box::new(a))
+    }
+
+    /// Optional.
+    pub fn opt(a: Regex<S>) -> Self {
+        Regex::Opt(Box::new(a))
+    }
+
+    /// Map the symbols of the expression through `f`, preserving structure.
+    pub fn map<T: Alphabet>(&self, f: &mut impl FnMut(&S) -> T) -> Regex<T> {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Symbol(s) => Regex::Symbol(f(s)),
+            Regex::Concat(a, b) => Regex::Concat(Box::new(a.map(f)), Box::new(b.map(f))),
+            Regex::Alt(a, b) => Regex::Alt(Box::new(a.map(f)), Box::new(b.map(f))),
+            Regex::Star(a) => Regex::Star(Box::new(a.map(f))),
+            Regex::Plus(a) => Regex::Plus(Box::new(a.map(f))),
+            Regex::Opt(a) => Regex::Opt(Box::new(a.map(f))),
+        }
+    }
+
+    /// The set of symbols mentioned in the expression (`alph(r)` in the paper).
+    pub fn alphabet(&self) -> BTreeSet<S> {
+        let mut out = BTreeSet::new();
+        self.collect_alphabet(&mut out);
+        out
+    }
+
+    fn collect_alphabet(&self, out: &mut BTreeSet<S>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Symbol(s) => {
+                out.insert(s.clone());
+            }
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_alphabet(out);
+                b.collect_alphabet(out);
+            }
+            Regex::Star(a) | Regex::Plus(a) | Regex::Opt(a) => a.collect_alphabet(out),
+        }
+    }
+
+    /// The size measure `‖r‖` of Lemma 5.8: number of symbol occurrences
+    /// (star does not multiply).
+    pub fn norm(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon => 0,
+            Regex::Symbol(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => a.norm() + b.norm(),
+            Regex::Star(a) | Regex::Plus(a) | Regex::Opt(a) => a.norm(),
+        }
+    }
+
+    /// Total number of AST nodes; used as a generic "input size" in benches.
+    pub fn len(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Symbol(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => 1 + a.len() + b.len(),
+            Regex::Star(a) | Regex::Plus(a) | Regex::Opt(a) => 1 + a.len(),
+        }
+    }
+
+    /// True when the AST is a single `ε` node. (Provided to satisfy the
+    /// `len`/`is_empty` convention; note this is *not* language emptiness —
+    /// see [`Regex::is_empty_language`].)
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Regex::Epsilon)
+    }
+
+    /// Does the expression accept the empty string?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Symbol(_) => false,
+            Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+            Regex::Plus(a) => a.nullable(),
+        }
+    }
+
+    /// Is the denoted language empty (`L(r) = ∅`)?
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Symbol(_) | Regex::Star(_) | Regex::Opt(_) => false,
+            Regex::Concat(a, b) => a.is_empty_language() || b.is_empty_language(),
+            Regex::Alt(a, b) => a.is_empty_language() && b.is_empty_language(),
+            Regex::Plus(a) => a.is_empty_language(),
+        }
+    }
+
+    /// Is this a *simple* regular expression in the sense of Section 5.3:
+    /// either `ε` or `(a1|a2|…|an)*` with pairwise-distinct symbols?
+    pub fn is_simple(&self) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Star(inner) => {
+                let mut syms = Vec::new();
+                if !collect_flat_union_of_symbols(inner, &mut syms) {
+                    return false;
+                }
+                let set: BTreeSet<_> = syms.iter().collect();
+                set.len() == syms.len() && !syms.is_empty()
+            }
+            _ => false,
+        }
+    }
+
+    /// Is this expression of *nested-relational shape* (Section 4): a
+    /// concatenation `ℓ̃_0 … ℓ̃_m` where each `ℓ̃_i` is one of `ℓ`, `ℓ*`,
+    /// `ℓ+`, `ℓ?` and all the `ℓ_i` are pairwise distinct?
+    ///
+    /// (A DTD is nested-relational when additionally it is non-recursive;
+    /// that global condition lives in the DTD layer.)
+    pub fn is_nested_relational_shape(&self) -> bool {
+        self.nested_relational_factors().is_some()
+    }
+
+    /// Decompose a nested-relational-shaped expression into its factors.
+    ///
+    /// Returns `None` when the expression is not of that shape. `ε` decomposes
+    /// into an empty factor list.
+    pub fn nested_relational_factors(&self) -> Option<Vec<NestedFactor<S>>> {
+        let mut factors = Vec::new();
+        if !collect_nested_factors(self, &mut factors) {
+            return None;
+        }
+        let set: BTreeSet<_> = factors.iter().map(|f| f.symbol.clone()).collect();
+        if set.len() != factors.len() {
+            return None;
+        }
+        Some(factors)
+    }
+
+    /// Rewrite this expression by replacing symbols in `dead` by `∅` and then
+    /// applying the simplification function `ρ` from the proof of Lemma 2.2,
+    /// which eliminates `∅` again (returning `Regex::Empty` only if the whole
+    /// language became empty).
+    pub fn eliminate_symbols(&self, dead: &BTreeSet<S>) -> Regex<S> {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Symbol(s) => {
+                if dead.contains(s) {
+                    Regex::Empty
+                } else {
+                    Regex::Symbol(s.clone())
+                }
+            }
+            Regex::Concat(a, b) => {
+                let (ra, rb) = (a.eliminate_symbols(dead), b.eliminate_symbols(dead));
+                if matches!(ra, Regex::Empty) || matches!(rb, Regex::Empty) {
+                    Regex::Empty
+                } else {
+                    Regex::Concat(Box::new(ra), Box::new(rb))
+                }
+            }
+            Regex::Alt(a, b) => {
+                let (ra, rb) = (a.eliminate_symbols(dead), b.eliminate_symbols(dead));
+                match (matches!(ra, Regex::Empty), matches!(rb, Regex::Empty)) {
+                    (false, false) => Regex::Alt(Box::new(ra), Box::new(rb)),
+                    (false, true) => ra,
+                    (true, false) => rb,
+                    (true, true) => Regex::Empty,
+                }
+            }
+            Regex::Star(a) => {
+                let ra = a.eliminate_symbols(dead);
+                if matches!(ra, Regex::Empty) {
+                    // ρ(r*) = ε when ρ(r) = ∅
+                    Regex::Epsilon
+                } else {
+                    Regex::Star(Box::new(ra))
+                }
+            }
+            Regex::Plus(a) => {
+                let ra = a.eliminate_symbols(dead);
+                if matches!(ra, Regex::Empty) {
+                    Regex::Empty
+                } else {
+                    Regex::Plus(Box::new(ra))
+                }
+            }
+            Regex::Opt(a) => {
+                let ra = a.eliminate_symbols(dead);
+                if matches!(ra, Regex::Empty) {
+                    Regex::Epsilon
+                } else {
+                    Regex::Opt(Box::new(ra))
+                }
+            }
+        }
+    }
+}
+
+/// A factor `ℓ̃` of a nested-relational content model: a symbol with a
+/// multiplicity annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedFactor<S> {
+    /// The element type of the factor.
+    pub symbol: S,
+    /// The multiplicity of the factor.
+    pub multiplicity: Multiplicity,
+}
+
+/// The four multiplicities allowed in nested-relational DTDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Multiplicity {
+    /// Exactly one (`ℓ`).
+    One,
+    /// Zero or one (`ℓ?`).
+    Optional,
+    /// One or more (`ℓ+`).
+    Plus,
+    /// Zero or more (`ℓ*`).
+    Star,
+}
+
+impl Multiplicity {
+    /// Minimum number of occurrences permitted by the multiplicity.
+    pub fn min(&self) -> usize {
+        match self {
+            Multiplicity::One | Multiplicity::Plus => 1,
+            Multiplicity::Optional | Multiplicity::Star => 0,
+        }
+    }
+
+    /// Whether more than one occurrence is permitted.
+    pub fn unbounded(&self) -> bool {
+        matches!(self, Multiplicity::Plus | Multiplicity::Star)
+    }
+}
+
+fn collect_flat_union_of_symbols<S: Alphabet>(r: &Regex<S>, out: &mut Vec<S>) -> bool {
+    match r {
+        Regex::Symbol(s) => {
+            out.push(s.clone());
+            true
+        }
+        Regex::Alt(a, b) => {
+            collect_flat_union_of_symbols(a, out) && collect_flat_union_of_symbols(b, out)
+        }
+        _ => false,
+    }
+}
+
+fn collect_nested_factors<S: Alphabet>(r: &Regex<S>, out: &mut Vec<NestedFactor<S>>) -> bool {
+    match r {
+        Regex::Epsilon => true,
+        Regex::Symbol(s) => {
+            out.push(NestedFactor {
+                symbol: s.clone(),
+                multiplicity: Multiplicity::One,
+            });
+            true
+        }
+        Regex::Star(inner) => match inner.as_ref() {
+            Regex::Symbol(s) => {
+                out.push(NestedFactor {
+                    symbol: s.clone(),
+                    multiplicity: Multiplicity::Star,
+                });
+                true
+            }
+            _ => false,
+        },
+        Regex::Plus(inner) => match inner.as_ref() {
+            Regex::Symbol(s) => {
+                out.push(NestedFactor {
+                    symbol: s.clone(),
+                    multiplicity: Multiplicity::Plus,
+                });
+                true
+            }
+            _ => false,
+        },
+        Regex::Opt(inner) => match inner.as_ref() {
+            Regex::Symbol(s) => {
+                out.push(NestedFactor {
+                    symbol: s.clone(),
+                    multiplicity: Multiplicity::Optional,
+                });
+                true
+            }
+            _ => false,
+        },
+        // `ℓ? = ε|ℓ` written explicitly as a union also counts.
+        Regex::Alt(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Regex::Epsilon, Regex::Symbol(s)) | (Regex::Symbol(s), Regex::Epsilon) => {
+                out.push(NestedFactor {
+                    symbol: s.clone(),
+                    multiplicity: Multiplicity::Optional,
+                });
+                true
+            }
+            _ => false,
+        },
+        Regex::Concat(a, b) => collect_nested_factors(a, out) && collect_nested_factors(b, out),
+        Regex::Empty => false,
+    }
+}
+
+impl<S: fmt::Display> fmt::Display for Regex<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Precedence: Alt < Concat < postfix.
+        fn go<S: fmt::Display>(r: &Regex<S>, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match r {
+                Regex::Empty => write!(f, "∅"),
+                Regex::Epsilon => write!(f, "ε"),
+                Regex::Symbol(s) => write!(f, "{s}"),
+                Regex::Alt(a, b) => {
+                    let need = prec > 0;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 0)?;
+                    write!(f, "|")?;
+                    go(b, f, 0)?;
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Concat(a, b) => {
+                    let need = prec > 1;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    go(a, f, 1)?;
+                    write!(f, " ")?;
+                    go(b, f, 1)?;
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(a) => {
+                    go(a, f, 2)?;
+                    write!(f, "*")
+                }
+                Regex::Plus(a) => {
+                    go(a, f, 2)?;
+                    write!(f, "+")
+                }
+                Regex::Opt(a) => {
+                    go(a, f, 2)?;
+                    write!(f, "?")
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type R = Regex<String>;
+
+    fn s(x: &str) -> R {
+        Regex::Symbol(x.to_string())
+    }
+
+    #[test]
+    fn alphabet_and_norm() {
+        let r = R::concat(R::star(R::alt(s("a"), s("b"))), R::plus(s("a")));
+        let alph: Vec<_> = r.alphabet().into_iter().collect();
+        assert_eq!(alph, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(r.norm(), 3);
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(R::epsilon().nullable());
+        assert!(!s("a").nullable());
+        assert!(R::star(s("a")).nullable());
+        assert!(!R::plus(s("a")).nullable());
+        assert!(R::opt(s("a")).nullable());
+        assert!(R::concat(R::star(s("a")), R::opt(s("b"))).nullable());
+        assert!(!R::concat(R::star(s("a")), s("b")).nullable());
+        assert!(R::alt(s("a"), R::epsilon()).nullable());
+    }
+
+    #[test]
+    fn empty_language() {
+        assert!(R::empty().is_empty_language());
+        assert!(!R::epsilon().is_empty_language());
+        assert!(R::concat(s("a"), R::empty()).is_empty_language());
+        assert!(!R::alt(s("a"), R::empty()).is_empty_language());
+        assert!(!R::star(R::empty()).is_empty_language());
+    }
+
+    #[test]
+    fn simple_expressions() {
+        assert!(R::epsilon().is_simple());
+        assert!(R::star(s("a")).is_simple());
+        assert!(R::star(R::alt(s("a"), R::alt(s("b"), s("c")))).is_simple());
+        // repeated symbol is not simple
+        assert!(!R::star(R::alt(s("a"), s("a"))).is_simple());
+        // anything not of the (a1|…|an)* shape is not simple
+        assert!(!R::concat(R::star(s("a")), R::star(s("b"))).is_simple());
+        assert!(!s("a").is_simple());
+    }
+
+    #[test]
+    fn nested_relational_shape() {
+        // b c+ d* e?  — the example from Section 6.1
+        let r = R::seq([s("b"), R::plus(s("c")), R::star(s("d")), R::opt(s("e"))]);
+        let factors = r.nested_relational_factors().expect("nested-relational");
+        assert_eq!(factors.len(), 4);
+        assert_eq!(factors[1].multiplicity, Multiplicity::Plus);
+        assert_eq!(factors[3].multiplicity, Multiplicity::Optional);
+
+        // duplicate symbols break the shape
+        let bad = R::seq([s("a"), R::star(s("a"))]);
+        assert!(!bad.is_nested_relational_shape());
+
+        // (bc)* is not nested-relational
+        let bad2 = R::star(R::concat(s("b"), s("c")));
+        assert!(!bad2.is_nested_relational_shape());
+
+        // ε is nested-relational with zero factors
+        assert_eq!(R::epsilon().nested_relational_factors().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn eliminate_symbols_follows_lemma_2_2() {
+        // r = (a|b) c*, eliminating b gives a c*; eliminating a and b gives ∅.
+        let r = R::concat(R::alt(s("a"), s("b")), R::star(s("c")));
+        let dead: BTreeSet<String> = ["b".to_string()].into_iter().collect();
+        let r2 = r.eliminate_symbols(&dead);
+        assert_eq!(r2, R::concat(s("a"), R::star(s("c"))));
+
+        let dead2: BTreeSet<String> = ["a".to_string(), "b".to_string()].into_iter().collect();
+        assert!(matches!(r.eliminate_symbols(&dead2), Regex::Empty));
+
+        // star of a dead symbol becomes ε
+        let r3 = R::star(s("a"));
+        let dead3: BTreeSet<String> = ["a".to_string()].into_iter().collect();
+        assert_eq!(r3.eliminate_symbols(&dead3), R::epsilon());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let r = R::concat(R::alt(s("a"), s("b")), R::star(s("c")));
+        assert_eq!(format!("{r}"), "(a|b) c*");
+    }
+
+    #[test]
+    fn seq_and_union_edge_cases() {
+        assert_eq!(R::seq(std::iter::empty()), R::epsilon());
+        assert_eq!(R::union(std::iter::empty()), R::empty());
+        assert_eq!(R::seq([s("a")]), s("a"));
+        assert_eq!(R::union([s("a")]), s("a"));
+    }
+}

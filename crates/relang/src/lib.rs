@@ -1,0 +1,76 @@
+//! # xdx-relang — regular-expression algebra for XML data exchange
+//!
+//! This crate is the string-language substrate of the XML data exchange
+//! library reproducing Arenas & Libkin, *"XML Data Exchange: Consistency and
+//! Query Answering"* (PODS 2005 / JACM 2008).
+//!
+//! DTD content models are regular expressions over element types (Section 2 of
+//! the paper), and almost every algorithm in the paper manipulates them in one
+//! of two guises:
+//!
+//! * as ordinary **string languages** — conformance of an ordered XML tree to
+//!   a DTD, the sibling re-ordering algorithm of Proposition 5.2, witness
+//!   generation;
+//! * as **permutation languages** `π(r)` (the commutative closure / Parikh
+//!   image of `L(r)`) — conformance of *unordered* trees, the chase step
+//!   `ChangeReg`, and the univocality criterion of the dichotomy theorem
+//!   (Theorem 6.2).
+//!
+//! The crate provides:
+//!
+//! * [`ast::Regex`] — the regular-expression AST of the paper's grammar
+//!   (`ε`, symbols, union, concatenation, Kleene star, plus the `+`/`?`
+//!   shorthands), together with structural predicates (simple expressions,
+//!   nested-relational shape) and the size measure `‖r‖` used in Lemma 5.8;
+//! * [`parser`] — a small text syntax (`"(a|b)* c? d+"`) used by examples,
+//!   tests and the benchmark workload generators;
+//! * [`nfa`] — Thompson construction, subset-construction DFAs, emptiness,
+//!   matching, shortest witnesses, and "match from state `q`" queries used by
+//!   the ordering algorithm;
+//! * [`parikh`] — semilinear representations of Parikh images (the effective
+//!   form of the Pilling normal form of Lemma 5.4), membership in `π(r)`
+//!   (Proposition 5.3), and minimal extensions;
+//! * [`repair`] — the repair machinery of Section 6.1: `min_ext(w, r)`,
+//!   `rep(w, r)`, the preorder `⊑_w`, and maximal repairs used by `ChangeReg`;
+//! * [`univocal`] — `fixed_a(r)`, `c_a(r)`, `c(r)` and the univocality test of
+//!   Definition 6.9 / Proposition 6.10.
+//!
+//! The crate is generic over the symbol type through the [`Alphabet`] trait so
+//! that the XML layer can instantiate it with interned element-type names
+//! while tests can use plain `char`s or `&str`s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod nfa;
+pub mod parikh;
+pub mod parser;
+pub mod repair;
+pub mod univocal;
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker trait for types usable as alphabet symbols (element types).
+///
+/// Blanket-implemented for every type with the required bounds; you never
+/// implement it manually.
+pub trait Alphabet: Clone + Eq + Ord + Hash + Debug {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug> Alphabet for T {}
+
+pub use ast::{Multiplicity, NestedFactor, Regex};
+pub use nfa::{Dfa, Nfa};
+pub use parikh::{
+    parikh_image, perm_accepts, perm_accepts_from, AlphabetMap, LinearSet, ParikhVector,
+    SemilinearSet,
+};
+pub use parser::parse as parse_regex;
+pub use repair::{
+    max_repairs, maximum_repair, min_ext, preorder_le, rep, Multiset, RepairConfig, RepairContext,
+};
+pub use univocal::{
+    c_of, c_sym, check_univocality, is_univocal, NonUnivocalReason, UnivocalEvidence,
+    UnivocalityConfig, UnivocalityVerdict,
+};

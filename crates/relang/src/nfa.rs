@@ -1,0 +1,547 @@
+//! Finite automata over element-type alphabets.
+//!
+//! The paper uses string automata in two places: as the horizontal languages
+//! of unranked tree automata (Appendix A) and inside the sibling re-ordering
+//! algorithm of Proposition 5.2, which walks an NFA for the content model
+//! while testing permutation-language membership of the remaining suffix from
+//! intermediate states. We therefore expose both whole-automaton matching and
+//! "matching from a given state".
+
+use crate::ast::Regex;
+use crate::Alphabet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Identifier of an NFA state.
+pub type StateId = usize;
+
+/// A nondeterministic finite automaton with ε-transitions, built by the
+/// Thompson construction from a [`Regex`].
+#[derive(Debug, Clone)]
+pub struct Nfa<S> {
+    /// Number of states; states are `0..num_states`.
+    num_states: usize,
+    /// ε-transitions: `eps[q]` is the set of states reachable by one ε-move.
+    eps: Vec<Vec<StateId>>,
+    /// Labelled transitions: `delta[q]` maps a symbol to successor states.
+    delta: Vec<BTreeMap<S, Vec<StateId>>>,
+    /// Initial state.
+    start: StateId,
+    /// Accepting states.
+    accepting: BTreeSet<StateId>,
+    /// Symbols occurring on transitions, sorted.
+    alphabet: Vec<S>,
+}
+
+impl<S: Alphabet> Nfa<S> {
+    /// Build an NFA for `regex` by the Thompson construction.
+    pub fn from_regex(regex: &Regex<S>) -> Self {
+        let mut b = Builder {
+            eps: Vec::new(),
+            delta: Vec::new(),
+        };
+        let (start, end) = b.build(regex);
+        let alphabet: BTreeSet<S> = regex.alphabet();
+        Nfa {
+            num_states: b.eps.len(),
+            eps: b.eps,
+            delta: b.delta,
+            start,
+            accepting: [end].into_iter().collect(),
+            alphabet: alphabet.into_iter().collect(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The accepting states.
+    pub fn accepting(&self) -> &BTreeSet<StateId> {
+        &self.accepting
+    }
+
+    /// The (sorted) alphabet of symbols appearing in the automaton.
+    pub fn alphabet(&self) -> &[S] {
+        &self.alphabet
+    }
+
+    /// ε-closure of a set of states.
+    pub fn eps_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut out = states.clone();
+        let mut queue: VecDeque<StateId> = states.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for &nxt in &self.eps[q] {
+                if out.insert(nxt) {
+                    queue.push_back(nxt);
+                }
+            }
+        }
+        out
+    }
+
+    /// One symbol step from a set of states (without ε-closure).
+    pub fn step(&self, states: &BTreeSet<StateId>, sym: &S) -> BTreeSet<StateId> {
+        let mut out = BTreeSet::new();
+        for &q in states {
+            if let Some(nexts) = self.delta[q].get(sym) {
+                out.extend(nexts.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Does the automaton accept `word` starting from the initial state?
+    pub fn matches(&self, word: &[S]) -> bool {
+        self.matches_from(self.start, word)
+    }
+
+    /// Does the automaton accept `word` when started in state `q`?
+    ///
+    /// This realises the language `r_q` used in the proof of Proposition 5.2.
+    pub fn matches_from(&self, q: StateId, word: &[S]) -> bool {
+        let mut current = self.eps_closure(&[q].into_iter().collect());
+        for sym in word {
+            if current.is_empty() {
+                return false;
+            }
+            let next = self.step(&current, sym);
+            current = self.eps_closure(&next);
+        }
+        current.iter().any(|q| self.accepting.contains(q))
+    }
+
+    /// The set of states reachable from `states` (ε-closed) by reading `sym`,
+    /// already ε-closed. Convenience for simulation loops.
+    pub fn step_closed(&self, states: &BTreeSet<StateId>, sym: &S) -> BTreeSet<StateId> {
+        self.eps_closure(&self.step(states, sym))
+    }
+
+    /// Is the language of the automaton empty?
+    pub fn is_empty_language(&self) -> bool {
+        // BFS over states reachable from the start; empty iff no accepting
+        // state is reachable.
+        let mut seen = vec![false; self.num_states];
+        let mut queue = VecDeque::new();
+        seen[self.start] = true;
+        queue.push_back(self.start);
+        while let Some(q) = queue.pop_front() {
+            if self.accepting.contains(&q) {
+                return false;
+            }
+            for &nxt in &self.eps[q] {
+                if !seen[nxt] {
+                    seen[nxt] = true;
+                    queue.push_back(nxt);
+                }
+            }
+            for nexts in self.delta[q].values() {
+                for &nxt in nexts {
+                    if !seen[nxt] {
+                        seen[nxt] = true;
+                        queue.push_back(nxt);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest word in the language, if any.
+    ///
+    /// Used to build minimal conforming trees and witnesses for DTD
+    /// consistency (Lemma 2.2) and the repair machinery.
+    pub fn shortest_word(&self) -> Option<Vec<S>> {
+        // BFS over ε-closed state sets.
+        let start = self.eps_closure(&[self.start].into_iter().collect());
+        if start.iter().any(|q| self.accepting.contains(q)) {
+            return Some(Vec::new());
+        }
+        let mut seen: BTreeSet<BTreeSet<StateId>> = [start.clone()].into_iter().collect();
+        let mut queue: VecDeque<(BTreeSet<StateId>, Vec<S>)> = VecDeque::new();
+        queue.push_back((start, Vec::new()));
+        while let Some((states, word)) = queue.pop_front() {
+            for sym in &self.alphabet {
+                let next = self.step_closed(&states, sym);
+                if next.is_empty() || seen.contains(&next) {
+                    continue;
+                }
+                let mut w = word.clone();
+                w.push(sym.clone());
+                if next.iter().any(|q| self.accepting.contains(q)) {
+                    return Some(w);
+                }
+                seen.insert(next.clone());
+                queue.push_back((next, w));
+            }
+        }
+        None
+    }
+
+    /// Enumerate up to `limit` words of the language in length-lexicographic
+    /// order. Useful for tests and brute-force cross-checks.
+    pub fn enumerate_words(&self, limit: usize, max_len: usize) -> Vec<Vec<S>> {
+        let mut out = Vec::new();
+        let start = self.eps_closure(&[self.start].into_iter().collect());
+        let mut layer: Vec<(BTreeSet<StateId>, Vec<S>)> = vec![(start, Vec::new())];
+        for _len in 0..=max_len {
+            for (states, word) in &layer {
+                if out.len() >= limit {
+                    return out;
+                }
+                if states.iter().any(|q| self.accepting.contains(q)) {
+                    out.push(word.clone());
+                }
+            }
+            let mut next_layer = Vec::new();
+            for (states, word) in &layer {
+                for sym in &self.alphabet {
+                    let next = self.step_closed(states, sym);
+                    if next.is_empty() {
+                        continue;
+                    }
+                    let mut w = word.clone();
+                    w.push(sym.clone());
+                    next_layer.push((next, w));
+                }
+            }
+            layer = next_layer;
+            if layer.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Build the subset-construction DFA (total over this NFA's alphabet).
+    pub fn to_dfa(&self) -> Dfa<S> {
+        Dfa::from_nfa(self)
+    }
+}
+
+struct Builder<S> {
+    eps: Vec<Vec<StateId>>,
+    delta: Vec<BTreeMap<S, Vec<StateId>>>,
+}
+
+impl<S: Alphabet> Builder<S> {
+    fn new_state(&mut self) -> StateId {
+        self.eps.push(Vec::new());
+        self.delta.push(BTreeMap::new());
+        self.eps.len() - 1
+    }
+
+    /// Returns (start, accept) fragment states.
+    fn build(&mut self, r: &Regex<S>) -> (StateId, StateId) {
+        match r {
+            Regex::Empty => {
+                let s = self.new_state();
+                let e = self.new_state();
+                (s, e)
+            }
+            Regex::Epsilon => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.eps[s].push(e);
+                (s, e)
+            }
+            Regex::Symbol(a) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.delta[s].entry(a.clone()).or_default().push(e);
+                (s, e)
+            }
+            Regex::Concat(x, y) => {
+                let (s1, e1) = self.build(x);
+                let (s2, e2) = self.build(y);
+                self.eps[e1].push(s2);
+                (s1, e2)
+            }
+            Regex::Alt(x, y) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                let (s1, e1) = self.build(x);
+                let (s2, e2) = self.build(y);
+                self.eps[s].push(s1);
+                self.eps[s].push(s2);
+                self.eps[e1].push(e);
+                self.eps[e2].push(e);
+                (s, e)
+            }
+            Regex::Star(x) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                let (s1, e1) = self.build(x);
+                self.eps[s].push(s1);
+                self.eps[s].push(e);
+                self.eps[e1].push(s1);
+                self.eps[e1].push(e);
+                (s, e)
+            }
+            Regex::Plus(x) => {
+                let (s1, e1) = self.build(x);
+                let e = self.new_state();
+                self.eps[e1].push(s1);
+                self.eps[e1].push(e);
+                (s1, e)
+            }
+            Regex::Opt(x) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                let (s1, e1) = self.build(x);
+                self.eps[s].push(s1);
+                self.eps[s].push(e);
+                self.eps[e1].push(e);
+                (s, e)
+            }
+        }
+    }
+}
+
+/// A deterministic finite automaton obtained by the subset construction.
+///
+/// The DFA is *total* over the alphabet of the source NFA: there is an
+/// explicit dead state, so complementation is just flipping accepting states.
+#[derive(Debug, Clone)]
+pub struct Dfa<S> {
+    /// Transition table: `table[q]` maps an alphabet index to a successor.
+    table: Vec<Vec<usize>>,
+    /// Sorted alphabet; symbols are addressed by index.
+    alphabet: Vec<S>,
+    /// Initial state.
+    start: usize,
+    /// Accepting states.
+    accepting: Vec<bool>,
+}
+
+impl<S: Alphabet> Dfa<S> {
+    /// Subset construction from an NFA.
+    pub fn from_nfa(nfa: &Nfa<S>) -> Self {
+        let alphabet = nfa.alphabet().to_vec();
+        let start_set = nfa.eps_closure(&[nfa.start()].into_iter().collect());
+        let mut index: BTreeMap<BTreeSet<StateId>, usize> = BTreeMap::new();
+        let mut sets: Vec<BTreeSet<StateId>> = Vec::new();
+        let mut table: Vec<Vec<usize>> = Vec::new();
+
+        index.insert(start_set.clone(), 0);
+        sets.push(start_set);
+        let mut i = 0;
+        while i < sets.len() {
+            let current = sets[i].clone();
+            let mut row = Vec::with_capacity(alphabet.len());
+            for sym in &alphabet {
+                let next = nfa.step_closed(&current, sym);
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = sets.len();
+                        index.insert(next.clone(), id);
+                        sets.push(next);
+                        id
+                    }
+                };
+                row.push(id);
+            }
+            table.push(row);
+            i += 1;
+        }
+        let accepting = sets
+            .iter()
+            .map(|s| s.iter().any(|q| nfa.accepting().contains(q)))
+            .collect();
+        Dfa {
+            table,
+            alphabet,
+            start: 0,
+            accepting,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The sorted alphabet.
+    pub fn alphabet(&self) -> &[S] {
+        &self.alphabet
+    }
+
+    /// The initial state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Is state `q` accepting?
+    pub fn is_accepting(&self, q: usize) -> bool {
+        self.accepting[q]
+    }
+
+    /// Deterministic step; symbols outside the alphabet go to a dead state
+    /// conceptually (`None`).
+    pub fn step(&self, q: usize, sym: &S) -> Option<usize> {
+        let idx = self.alphabet.binary_search(sym).ok()?;
+        Some(self.table[q][idx])
+    }
+
+    /// Does the DFA accept `word`?
+    pub fn matches(&self, word: &[S]) -> bool {
+        let mut q = self.start;
+        for sym in word {
+            match self.step(q, sym) {
+                Some(n) => q = n,
+                None => return false,
+            }
+        }
+        self.accepting[q]
+    }
+
+    /// Complement the DFA (flip accepting states). The result accepts exactly
+    /// the words over this DFA's alphabet not accepted before.
+    pub fn complement(&self) -> Dfa<S> {
+        Dfa {
+            table: self.table.clone(),
+            alphabet: self.alphabet.clone(),
+            start: self.start,
+            accepting: self.accepting.iter().map(|b| !b).collect(),
+        }
+    }
+
+    /// Is the language of the DFA empty?
+    pub fn is_empty_language(&self) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut queue = VecDeque::new();
+        seen[self.start] = true;
+        queue.push_back(self.start);
+        while let Some(q) = queue.pop_front() {
+            if self.accepting[q] {
+                return false;
+            }
+            for &n in &self.table[q] {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(src: &str) -> Nfa<String> {
+        Nfa::from_regex(&parse(src).unwrap())
+    }
+
+    fn w(src: &str) -> Vec<String> {
+        src.split_whitespace().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn matches_basic() {
+        let a = nfa("(a|b)* c");
+        assert!(a.matches(&w("c")));
+        assert!(a.matches(&w("a b a c")));
+        assert!(!a.matches(&w("a b")));
+        assert!(!a.matches(&w("c c")));
+    }
+
+    #[test]
+    fn matches_plus_opt() {
+        let a = nfa("b c+ d* e?");
+        assert!(a.matches(&w("b c")));
+        assert!(a.matches(&w("b c c d d e")));
+        assert!(!a.matches(&w("b")));
+        assert!(!a.matches(&w("b c e e")));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let a = Nfa::from_regex(&Regex::<String>::Empty);
+        assert!(a.is_empty_language());
+        let b = nfa("a*");
+        assert!(!b.is_empty_language());
+        let c = Nfa::from_regex(&Regex::concat(
+            Regex::Symbol("a".to_string()),
+            Regex::Empty,
+        ));
+        assert!(c.is_empty_language());
+    }
+
+    #[test]
+    fn shortest_word() {
+        assert_eq!(nfa("a*").shortest_word(), Some(vec![]));
+        assert_eq!(nfa("a+ b").shortest_word(), Some(w("a b")));
+        assert_eq!(nfa("(a a a)|(b)").shortest_word(), Some(w("b")));
+        assert_eq!(Nfa::from_regex(&Regex::<String>::Empty).shortest_word(), None);
+    }
+
+    #[test]
+    fn matches_from_intermediate_state() {
+        // For "a b", after consuming 'a' from the start closure we should be
+        // able to find a state from which "b" alone is accepted.
+        let a = nfa("a b");
+        let start = a.eps_closure(&[a.start()].into_iter().collect());
+        let after_a = a.step_closed(&start, &"a".to_string());
+        assert!(after_a.iter().any(|&q| a.matches_from(q, &w("b"))));
+        assert!(!after_a.iter().any(|&q| a.matches_from(q, &w("a"))));
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa() {
+        for src in ["(a|b)* c", "b c+ d* e?", "(b c)* (d e)*", "a|a a b*"] {
+            let n = nfa(src);
+            let d = n.to_dfa();
+            for word in n.enumerate_words(50, 6) {
+                assert!(d.matches(&word), "{src} should accept {word:?}");
+            }
+            // words the NFA rejects should be rejected by the DFA too
+            let alphabet: Vec<String> = n.alphabet().to_vec();
+            let mut all = vec![vec![]];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for word in &all {
+                    for s in &alphabet {
+                        let mut nw = word.clone();
+                        nw.push(s.clone());
+                        next.push(nw);
+                    }
+                }
+                all.extend(next);
+            }
+            for word in all {
+                assert_eq!(n.matches(&word), d.matches(&word), "{src} on {word:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_complement() {
+        let n = nfa("(a b)*");
+        let d = n.to_dfa();
+        let c = d.complement();
+        assert!(d.matches(&w("a b a b")));
+        assert!(!c.matches(&w("a b a b")));
+        assert!(!d.matches(&w("a a")));
+        assert!(c.matches(&w("a a")));
+        assert!(!c.is_empty_language());
+    }
+
+    #[test]
+    fn enumerate_words_orders_by_length() {
+        let n = nfa("a b | a");
+        let words = n.enumerate_words(10, 4);
+        assert!(words.contains(&w("a")));
+        assert!(words.contains(&w("a b")));
+        assert_eq!(words.len(), 2);
+    }
+}

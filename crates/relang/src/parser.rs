@@ -1,0 +1,272 @@
+//! A small textual syntax for regular expressions over element-type names.
+//!
+//! The syntax is the usual one used in DTD content models throughout the
+//! paper:
+//!
+//! ```text
+//! expr    ::= term ('|' term)*
+//! term    ::= factor+
+//! factor  ::= atom ('*' | '+' | '?')*
+//! atom    ::= IDENT | 'ε' | 'eps' | '#eps' | '(' expr ')'
+//! IDENT   ::= [A-Za-z_@][A-Za-z0-9_\-.]*
+//! ```
+//!
+//! Whitespace separates identifiers and is otherwise ignored, so
+//! `"book* author"` and `"(writer)* work?"` parse as expected. Commas are
+//! accepted as concatenation separators for DTD-style rules like
+//! `"title, author+"`.
+
+use crate::ast::Regex;
+use std::fmt;
+
+/// Error raised by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a regular expression over string symbols.
+pub fn parse(input: &str) -> Result<Regex<String>, ParseError> {
+    let mut p = Parser {
+        chars: input.char_indices().peekable(),
+        input,
+    };
+    let e = p.parse_alt()?;
+    p.skip_ws();
+    if let Some(&(pos, c)) = p.chars.peek() {
+        return Err(ParseError {
+            position: pos,
+            message: format!("unexpected character {c:?}"),
+        });
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&(_, c)) = self.chars.peek() {
+            if c.is_whitespace() || c == ',' {
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex<String>, ParseError> {
+        let mut terms = vec![self.parse_concat()?];
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&(_, '|')) => {
+                    self.chars.next();
+                    terms.push(self.parse_concat()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Regex::union(terms))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex<String>, ParseError> {
+        let mut factors = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&(_, c)) if c == ')' || c == '|' => break,
+                None => break,
+                _ => factors.push(self.parse_postfix()?),
+            }
+        }
+        if factors.is_empty() {
+            // An empty term denotes ε (e.g. the right branch of "a|").
+            Ok(Regex::Epsilon)
+        } else {
+            Ok(Regex::seq(factors))
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex<String>, ParseError> {
+        let mut base = self.parse_atom()?;
+        loop {
+            match self.chars.peek() {
+                Some(&(_, '*')) => {
+                    self.chars.next();
+                    base = Regex::star(base);
+                }
+                Some(&(_, '+')) => {
+                    self.chars.next();
+                    base = Regex::plus(base);
+                }
+                Some(&(_, '?')) => {
+                    self.chars.next();
+                    base = Regex::opt(base);
+                }
+                _ => break,
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex<String>, ParseError> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            None => Err(ParseError {
+                position: self.input.len(),
+                message: "unexpected end of input".to_string(),
+            }),
+            Some((pos, '(')) => {
+                self.chars.next();
+                let inner = self.parse_alt()?;
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ')')) => Ok(inner),
+                    _ => Err(ParseError {
+                        position: pos,
+                        message: "unclosed parenthesis".to_string(),
+                    }),
+                }
+            }
+            Some((_, 'ε')) => {
+                self.chars.next();
+                Ok(Regex::Epsilon)
+            }
+            Some((pos, c)) if is_ident_start(c) => {
+                let mut ident = String::new();
+                while let Some(&(_, c)) = self.chars.peek() {
+                    if is_ident_continue(c) {
+                        ident.push(c);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if ident == "eps" || ident == "EMPTY" {
+                    Ok(Regex::Epsilon)
+                } else if ident.is_empty() {
+                    Err(ParseError {
+                        position: pos,
+                        message: "expected identifier".to_string(),
+                    })
+                } else {
+                    Ok(Regex::Symbol(ident))
+                }
+            }
+            Some((pos, c)) => Err(ParseError {
+                position: pos,
+                message: format!("unexpected character {c:?}"),
+            }),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == '@' || c == '#'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '@' || c == '#'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Regex;
+
+    fn s(x: &str) -> Regex<String> {
+        Regex::Symbol(x.to_string())
+    }
+
+    #[test]
+    fn parses_basic_forms() {
+        assert_eq!(parse("a").unwrap(), s("a"));
+        assert_eq!(parse("a b").unwrap(), Regex::concat(s("a"), s("b")));
+        assert_eq!(parse("a|b").unwrap(), Regex::alt(s("a"), s("b")));
+        assert_eq!(parse("a*").unwrap(), Regex::star(s("a")));
+        assert_eq!(parse("a+").unwrap(), Regex::plus(s("a")));
+        assert_eq!(parse("a?").unwrap(), Regex::opt(s("a")));
+        assert_eq!(parse("eps").unwrap(), Regex::Epsilon);
+        assert_eq!(parse("ε").unwrap(), Regex::Epsilon);
+        assert_eq!(parse("EMPTY").unwrap(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn parses_dtd_style_rules() {
+        // db → book*     book → author*
+        assert_eq!(parse("book*").unwrap(), Regex::star(s("book")));
+        // nested relational: title, author+, year?
+        let r = parse("title, author+, year?").unwrap();
+        assert_eq!(
+            r,
+            Regex::seq([s("title"), Regex::plus(s("author")), Regex::opt(s("year"))])
+        );
+    }
+
+    #[test]
+    fn precedence_and_grouping() {
+        // a|b c*  ==  a | (b c*)
+        let r = parse("a|b c*").unwrap();
+        assert_eq!(r, Regex::alt(s("a"), Regex::concat(s("b"), Regex::star(s("c")))));
+        // (a|b)* c
+        let r2 = parse("(a|b)* c").unwrap();
+        assert_eq!(
+            r2,
+            Regex::concat(Regex::star(Regex::alt(s("a"), s("b"))), s("c"))
+        );
+        // (bc)*(de)* — the univocal example from Section 6.1
+        let r3 = parse("(b c)*(d e)*").unwrap();
+        assert_eq!(
+            r3,
+            Regex::concat(
+                Regex::star(Regex::concat(s("b"), s("c"))),
+                Regex::star(Regex::concat(s("d"), s("e")))
+            )
+        );
+    }
+
+    #[test]
+    fn double_postfix() {
+        assert_eq!(parse("a*?").unwrap(), Regex::opt(Regex::star(s("a"))));
+    }
+
+    #[test]
+    fn errors_are_reported_with_positions() {
+        let e = parse("a )").unwrap_err();
+        assert!(e.position >= 2);
+        assert!(parse("(a").is_err());
+        assert!(parse("").is_err() || parse("").unwrap() == Regex::Epsilon);
+    }
+
+    #[test]
+    fn display_then_reparse_is_identity_on_examples() {
+        for src in [
+            "b c+ d* e?",
+            "(b*|c*)",
+            "(b c)* (d e)*",
+            "a|a a b*",
+            "(a b c)*",
+            "(writer)*",
+        ] {
+            let r = parse(src).unwrap();
+            let printed = format!("{r}");
+            let r2 = parse(&printed).unwrap();
+            assert_eq!(r, r2, "round-trip failed for {src}: printed as {printed}");
+        }
+    }
+}

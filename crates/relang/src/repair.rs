@@ -1,0 +1,375 @@
+//! The repair machinery of Section 6.1.
+//!
+//! When the chase step `ChangeReg` finds a node whose children multiset `w`
+//! does not belong to the permutation language `π(r)` of the content model
+//! `r`, it replaces `w` by a *repair*: an element of
+//!
+//! ```text
+//! rep(w, r) = ⋃ { min_ext(w', r) : w' ⪯ w, alph(w') = alph(w) }
+//! min_ext(w, r) = min { w' ∈ π(r) : w ⪯ w' }
+//! ```
+//!
+//! chosen maximal with respect to the preorder `⊑_w`:
+//!
+//! ```text
+//! w1 ⊑_w w2  ⇔  (1) #b(w2) ≥ min{#b(w1), #b(w)} for all b ∈ alph(w), and
+//!               (2) alph(w2) \ alph(w) ⊆ alph(w1) \ alph(w)
+//! ```
+//!
+//! (preferring repairs that merge as few children as possible and invent as
+//! few new element types as possible). All functions operate on multisets of
+//! symbols (`BTreeMap<S, u64>`), since `π(r)` membership only depends on
+//! Parikh vectors.
+
+use crate::ast::Regex;
+use crate::parikh::{parikh_image, AlphabetMap, SemilinearSet};
+use crate::Alphabet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A multiset of symbols, the abstraction of a string used by the repair
+/// machinery.
+pub type Multiset<S> = BTreeMap<S, u64>;
+
+/// Configuration for the repair enumeration.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Upper bound on the number of sub-multisets `w' ⪯ w` enumerated when
+    /// computing `rep(w, r)`. The number of sub-multisets is
+    /// `∏_b #b(w)`, which is polynomial for fixed alphabets (Lemma 6.18) but
+    /// can be large for adversarial inputs; exceeding the bound returns an
+    /// error instead of running away.
+    pub max_sub_multisets: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_sub_multisets: 1_000_000,
+        }
+    }
+}
+
+/// Error raised when a repair enumeration exceeds its configured budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairBudgetExceeded {
+    /// Number of sub-multisets that would have to be enumerated.
+    pub required: usize,
+    /// The configured maximum.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for RepairBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "repair enumeration requires {} sub-multisets, budget is {}",
+            self.required, self.budget
+        )
+    }
+}
+
+impl std::error::Error for RepairBudgetExceeded {}
+
+/// A pre-computed context for repeated repair queries against the same
+/// regular expression (used by the chase, which repairs many nodes with the
+/// same content model).
+#[derive(Debug, Clone)]
+pub struct RepairContext<S> {
+    regex: Regex<S>,
+    alphabet: AlphabetMap<S>,
+    image: SemilinearSet,
+}
+
+impl<S: Alphabet> RepairContext<S> {
+    /// Build a context for `regex`, able to repair multisets over
+    /// `alph(regex) ∪ extra_symbols`.
+    pub fn new(regex: &Regex<S>, extra_symbols: impl IntoIterator<Item = S>) -> Self {
+        let mut syms: BTreeSet<S> = regex.alphabet();
+        syms.extend(extra_symbols);
+        let alphabet = AlphabetMap::new(syms);
+        let image = parikh_image(regex, &alphabet);
+        RepairContext {
+            regex: regex.clone(),
+            alphabet,
+            image,
+        }
+    }
+
+    /// The regular expression this context repairs against.
+    pub fn regex(&self) -> &Regex<S> {
+        &self.regex
+    }
+
+    /// The alphabet map used for Parikh vectors.
+    pub fn alphabet(&self) -> &AlphabetMap<S> {
+        &self.alphabet
+    }
+
+    /// Membership `w ∈ π(r)`.
+    pub fn perm_contains(&self, w: &Multiset<S>) -> bool {
+        match self.alphabet.counts_of_map(w) {
+            Some(v) => self.image.contains(&v),
+            None => false,
+        }
+    }
+
+    /// `min_ext(w, r)`: the ⪯-minimal elements of `π(r)` dominating `w`.
+    pub fn min_ext(&self, w: &Multiset<S>) -> Vec<Multiset<S>> {
+        let Some(v) = self.alphabet.counts_of_map(w) else {
+            return Vec::new();
+        };
+        self.image
+            .min_extensions(&v)
+            .into_iter()
+            .map(|u| self.alphabet.to_map(&u))
+            .collect()
+    }
+
+    /// `rep(w, r)`: union of `min_ext(w', r)` over sub-multisets `w' ⪯ w`
+    /// with the same support as `w`.
+    pub fn rep(&self, w: &Multiset<S>, config: &RepairConfig) -> Result<Vec<Multiset<S>>, RepairBudgetExceeded> {
+        let support: Vec<(&S, u64)> = w.iter().filter(|(_, &c)| c > 0).map(|(s, &c)| (s, c)).collect();
+        // If some symbol of w is outside the repairable alphabet there is no
+        // repair at all (the STDs force a child type the DTD cannot have).
+        for (s, _) in &support {
+            if self.alphabet.index(s).is_none() {
+                return Ok(Vec::new());
+            }
+        }
+        let required: usize = support
+            .iter()
+            .map(|(_, c)| *c as usize)
+            .try_fold(1usize, |acc, c| acc.checked_mul(c))
+            .unwrap_or(usize::MAX);
+        if required > config.max_sub_multisets {
+            return Err(RepairBudgetExceeded {
+                required,
+                budget: config.max_sub_multisets,
+            });
+        }
+        let mut results: Vec<Multiset<S>> = Vec::new();
+        let mut seen: BTreeSet<Vec<(S, u64)>> = BTreeSet::new();
+        let mut current: Multiset<S> = support.iter().map(|(s, _)| ((*s).clone(), 1)).collect();
+        // Enumerate all vectors with 1 ≤ current[b] ≤ w[b] via odometer.
+        loop {
+            for ext in self.min_ext(&current) {
+                let key: Vec<(S, u64)> = ext.iter().map(|(s, c)| (s.clone(), *c)).collect();
+                if seen.insert(key) {
+                    results.push(ext);
+                }
+            }
+            // advance odometer
+            let mut advanced = false;
+            for (s, max) in &support {
+                let entry = current.get_mut(*s).expect("support symbol present");
+                if *entry < *max {
+                    *entry += 1;
+                    advanced = true;
+                    break;
+                } else {
+                    *entry = 1;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        Ok(results)
+    }
+
+    /// The ⊑_w-maximal elements of `rep(w, r)`.
+    pub fn maximal_repairs(
+        &self,
+        w: &Multiset<S>,
+        config: &RepairConfig,
+    ) -> Result<Vec<Multiset<S>>, RepairBudgetExceeded> {
+        let all = self.rep(w, config)?;
+        Ok(all
+            .iter()
+            .filter(|cand| {
+                !all.iter()
+                    .any(|other| !preorder_le(other, cand, w) && preorder_le(cand, other, w))
+            })
+            .cloned()
+            .collect())
+    }
+
+    /// A ⊑_w-*maximum* element of `rep(w, r)`: a repair dominating every other
+    /// repair. Returns `None` when `rep(w, r)` is empty or has no maximum
+    /// (which cannot happen when the expression is univocal — Definition 6.9).
+    pub fn maximum_repair(
+        &self,
+        w: &Multiset<S>,
+        config: &RepairConfig,
+    ) -> Result<Option<Multiset<S>>, RepairBudgetExceeded> {
+        let all = self.rep(w, config)?;
+        Ok(all
+            .iter()
+            .find(|cand| all.iter().all(|other| preorder_le(other, cand, w)))
+            .cloned())
+    }
+}
+
+/// The preorder `w1 ⊑_w w2` of Section 6.1.
+pub fn preorder_le<S: Alphabet>(w1: &Multiset<S>, w2: &Multiset<S>, w: &Multiset<S>) -> bool {
+    let count = |m: &Multiset<S>, s: &S| m.get(s).copied().unwrap_or(0);
+    // (1) for all b ∈ alph(w): #b(w2) ≥ min(#b(w1), #b(w))
+    for (b, &cw) in w.iter().filter(|(_, &c)| c > 0) {
+        let need = count(w1, b).min(cw);
+        if count(w2, b) < need {
+            return false;
+        }
+    }
+    // (2) alph(w2) \ alph(w) ⊆ alph(w1) \ alph(w)
+    for (b, &c2) in w2.iter() {
+        if c2 > 0 && count(w, b) == 0 && count(w1, b) == 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Convenience wrapper: `min_ext(w, r)` building a fresh context.
+pub fn min_ext<S: Alphabet>(w: &Multiset<S>, r: &Regex<S>) -> Vec<Multiset<S>> {
+    RepairContext::new(r, w.keys().cloned()).min_ext(w)
+}
+
+/// Convenience wrapper: `rep(w, r)` building a fresh context and using the
+/// default budget.
+pub fn rep<S: Alphabet>(w: &Multiset<S>, r: &Regex<S>) -> Vec<Multiset<S>> {
+    RepairContext::new(r, w.keys().cloned())
+        .rep(w, &RepairConfig::default())
+        .unwrap_or_default()
+}
+
+/// Convenience wrapper: the ⊑_w-maximal repairs of `w` against `r`.
+pub fn max_repairs<S: Alphabet>(w: &Multiset<S>, r: &Regex<S>) -> Vec<Multiset<S>> {
+    RepairContext::new(r, w.keys().cloned())
+        .maximal_repairs(w, &RepairConfig::default())
+        .unwrap_or_default()
+}
+
+/// Convenience wrapper: a ⊑_w-maximum repair, if one exists.
+pub fn maximum_repair<S: Alphabet>(w: &Multiset<S>, r: &Regex<S>) -> Option<Multiset<S>> {
+    RepairContext::new(r, w.keys().cloned())
+        .maximum_repair(w, &RepairConfig::default())
+        .unwrap_or(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ms(pairs: &[(&str, u64)]) -> Multiset<String> {
+        pairs.iter().map(|(s, c)| (s.to_string(), *c)).collect()
+    }
+
+    fn r(src: &str) -> Regex<String> {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn min_ext_of_b_in_bbc_star() {
+        // min_ext(b, (bbc)*) = {bbc} up to permutation — Section 6.1 example.
+        let exts = min_ext(&ms(&[("b", 1)]), &r("(b b c)*"));
+        assert_eq!(exts, vec![ms(&[("b", 2), ("c", 1)])]);
+    }
+
+    #[test]
+    fn rep_of_bb_against_bcplus_merges() {
+        // min_ext(bb, bc+) = ∅, so rep(bb, bc+) falls back to merging the two
+        // b's: rep = min_ext(b, bc+) = {bc}.
+        let result = rep(&ms(&[("b", 2)]), &r("b c+"));
+        assert_eq!(result, vec![ms(&[("b", 1), ("c", 1)])]);
+    }
+
+    #[test]
+    fn rep_of_cc_example_from_section_6_1() {
+        // rep(cc, (cd)*(cde)*) contains both ccdd and cd (merging the two c's),
+        // and ccdd is preferred (it is the ⊑_cc maximum).
+        let reg = r("(c d)* (c d e)*");
+        let w = ms(&[("c", 2)]);
+        let all = rep(&w, &reg);
+        assert!(all.contains(&ms(&[("c", 2), ("d", 2)])));
+        assert!(all.contains(&ms(&[("c", 1), ("d", 1)])));
+        let max = maximum_repair(&w, &reg).expect("maximum exists");
+        assert_eq!(max, ms(&[("c", 2), ("d", 2)]));
+    }
+
+    #[test]
+    fn preorder_prefers_fewer_merges_and_fewer_new_symbols() {
+        let w = ms(&[("c", 2)]);
+        // ccdd vs cd: ccdd ⊒ cd and cd ⊑ ccdd strictly.
+        assert!(preorder_le(&ms(&[("c", 1), ("d", 1)]), &ms(&[("c", 2), ("d", 2)]), &w));
+        assert!(!preorder_le(&ms(&[("c", 2), ("d", 2)]), &ms(&[("c", 1), ("d", 1)]), &w));
+        // ccdd vs ccdde: ccdde introduces e ∉ alph(w)... both have no symbols
+        // outside alph(w)? e is outside alph(w) and outside ccdd, so
+        // ccdde ⊑ ccdd requires alph(ccdd)\alph(w) ⊆ alph(ccdde)\alph(w): yes.
+        // ccdd ⊑ ccdde requires {e} ⊆ ∅: no. So ccdd is strictly above.
+        assert!(preorder_le(
+            &ms(&[("c", 2), ("d", 2), ("e", 1)]),
+            &ms(&[("c", 2), ("d", 2)]),
+            &w
+        ));
+        assert!(!preorder_le(
+            &ms(&[("c", 2), ("d", 2)]),
+            &ms(&[("c", 2), ("d", 2), ("e", 1)]),
+            &w
+        ));
+    }
+
+    #[test]
+    fn bc_and_cb_are_equivalent_maxima() {
+        // From Example 6.13: rep(BB, (BC)*) = {BC} ∪ {BBCC,…}; BBCC is the
+        // maximum. (Count vectors collapse permutations already.)
+        let reg = r("(B C)*");
+        let w = ms(&[("B", 2)]);
+        let all = rep(&w, &reg);
+        assert!(all.contains(&ms(&[("B", 1), ("C", 1)])));
+        assert!(all.contains(&ms(&[("B", 2), ("C", 2)])));
+        let max = maximum_repair(&w, &reg).unwrap();
+        assert_eq!(max, ms(&[("B", 2), ("C", 2)]));
+    }
+
+    #[test]
+    fn non_univocal_expression_can_lack_a_maximum() {
+        // r = ab | ac is not univocal: rep(a, r) = {ab, ac} has two maximal
+        // incomparable elements and therefore no maximum.
+        let reg = r("(a b)|(a c)");
+        let w = ms(&[("a", 1)]);
+        let all = rep(&w, &reg);
+        assert!(all.contains(&ms(&[("a", 1), ("b", 1)])));
+        assert!(all.contains(&ms(&[("a", 1), ("c", 1)])));
+        let maxima = max_repairs(&w, &reg);
+        assert_eq!(maxima.len(), 2, "expected 2 maximal repairs, got {maxima:?}");
+        assert_eq!(maximum_repair(&w, &reg), None);
+    }
+
+    #[test]
+    fn rep_empty_when_symbol_cannot_appear() {
+        // The STDs force a child of type z but the content model never allows
+        // z: no repair exists.
+        let reg = r("a b*");
+        let w = ms(&[("a", 1), ("z", 1)]);
+        assert!(rep(&w, &reg).is_empty());
+    }
+
+    #[test]
+    fn rep_respects_budget() {
+        let reg = r("a*");
+        let ctx = RepairContext::new(&reg, Vec::<String>::new());
+        let w = ms(&[("a", 100)]);
+        let tiny = RepairConfig { max_sub_multisets: 10 };
+        assert!(ctx.rep(&w, &tiny).is_err());
+        assert!(ctx.rep(&w, &RepairConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn perm_contains_via_context() {
+        let ctx = RepairContext::new(&r("(a b)*"), Vec::<String>::new());
+        assert!(ctx.perm_contains(&ms(&[("a", 2), ("b", 2)])));
+        assert!(!ctx.perm_contains(&ms(&[("a", 2), ("b", 1)])));
+        assert!(!ctx.perm_contains(&ms(&[("z", 1)])));
+    }
+}

@@ -1,0 +1,40 @@
+//! # xdx-xmltree — XML documents and DTDs
+//!
+//! The document substrate of the XML data exchange library reproducing
+//! Arenas & Libkin, *"XML Data Exchange: Consistency and Query Answering"*
+//! (PODS 2005 / JACM 2008).
+//!
+//! Section 2 of the paper models XML documents as finite ordered unranked
+//! trees whose nodes are labelled with *element types* and carry *attribute*
+//! values drawn from a domain `Str` partitioned into constants (`Const`) and
+//! nulls (`Var`). Schemas are DTDs `(P, R, r)`: a content model `P(ℓ)`
+//! (regular expression over element types) and an attribute set `R(ℓ)` per
+//! element type, plus a distinguished root type `r`.
+//!
+//! This crate provides:
+//!
+//! * [`name`] — cheap clone-friendly newtypes [`ElementType`] and [`AttrName`];
+//! * [`value`] — attribute [`Value`]s (constants vs nulls) and the fresh-null
+//!   generator used when populating target documents;
+//! * [`tree`] — the arena-based [`XmlTree`] with ordered and unordered views,
+//!   a builder, traversals, and the structural-surgery operations the chase
+//!   of Section 6.1 needs (adding children, merging sibling subtrees,
+//!   replacing subtrees);
+//! * [`dtd`] — [`Dtd`] with ordered conformance `T ⊨ D`, unordered (weak)
+//!   conformance `T |≈ D`, the DTD graph, recursion and nested-relational
+//!   tests, DTD consistency and the trimming construction of Lemma 2.2, and
+//!   the `D°`/`D*` transformations used by the nested-relational consistency
+//!   algorithm (Theorem 4.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtd;
+pub mod name;
+pub mod tree;
+pub mod value;
+
+pub use dtd::{ConformanceViolation, Dtd, DtdBuilder, DtdError};
+pub use name::{AttrName, ElementType};
+pub use tree::{NodeId, TreeBuilder, XmlTree};
+pub use value::{NullGen, NullId, Value};

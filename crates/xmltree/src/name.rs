@@ -1,0 +1,136 @@
+//! Names: element types and attribute names.
+//!
+//! Both are thin wrappers around `Arc<str>` so that cloning a name (which the
+//! pattern-matching and chase code does constantly) is a reference-count bump
+//! rather than a heap copy, and so that names can be used directly as regular
+//! expression symbols in [`xdx_relang`].
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+macro_rules! name_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(Arc<str>);
+
+        impl $name {
+            /// Create a new name from anything string-like.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                $name(Arc::from(s.as_ref()))
+            }
+
+            /// View the name as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:?}", &*self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<&String> for $name {
+            fn from(s: &String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl PartialEq<str> for $name {
+            fn eq(&self, other: &str) -> bool {
+                &*self.0 == other
+            }
+        }
+
+        impl PartialEq<&str> for $name {
+            fn eq(&self, other: &&str) -> bool {
+                &*self.0 == *other
+            }
+        }
+    };
+}
+
+name_type! {
+    /// The name of an element type (`El` in the paper), e.g. `book`, `writer`.
+    ElementType
+}
+
+name_type! {
+    /// The name of an attribute (`Att` in the paper), e.g. `@title`, `@name`.
+    ///
+    /// The leading `@` is purely conventional; this type stores whatever
+    /// string it is given.
+    AttrName
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn construction_and_display() {
+        let e = ElementType::new("book");
+        assert_eq!(e.as_str(), "book");
+        assert_eq!(format!("{e}"), "book");
+        assert_eq!(format!("{e:?}"), "\"book\"");
+        let a: AttrName = "@title".into();
+        assert_eq!(a, "@title");
+    }
+
+    #[test]
+    fn ordering_and_sets() {
+        let set: BTreeSet<ElementType> = ["b", "a", "c", "a"].iter().map(|s| (*s).into()).collect();
+        let names: Vec<&str> = set.iter().map(|e| e.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cheap_clone_points_to_same_allocation() {
+        let e = ElementType::new("writer");
+        let f = e.clone();
+        assert_eq!(e, f);
+        // Same Arc allocation (pointer equality of the underlying str).
+        assert!(std::ptr::eq(e.as_str(), f.as_str()));
+    }
+
+    #[test]
+    fn usable_as_regex_symbols() {
+        use xdx_relang::Regex;
+        let r: Regex<ElementType> = Regex::star(Regex::Symbol(ElementType::new("book")));
+        assert_eq!(r.alphabet().len(), 1);
+    }
+}

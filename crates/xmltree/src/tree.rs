@@ -1,0 +1,610 @@
+//! Arena-based XML trees.
+//!
+//! An [`XmlTree`] is the paper's XML document: a finite ordered unranked tree
+//! with element-type labels and attribute values (Section 2). Nodes live in a
+//! flat arena addressed by [`NodeId`]; algorithms never hold references into
+//! the tree across mutations, which keeps the chase (which merges and adds
+//! nodes) simple and borrow-checker friendly.
+//!
+//! The *unordered* trees of Section 5.2 are represented by the same type:
+//! the child order is simply ignored by the unordered-conformance and
+//! unordered-equality operations.
+
+use crate::name::{AttrName, ElementType};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node within its [`XmlTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: ElementType,
+    attrs: BTreeMap<AttrName, Value>,
+    children: Vec<NodeId>,
+    parent: Option<NodeId>,
+}
+
+/// An XML document: a rooted, ordered, unranked, labelled tree with
+/// attribute values.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl XmlTree {
+    /// Create a tree consisting of a single root node labelled `root_label`.
+    pub fn new(root_label: impl Into<ElementType>) -> Self {
+        let root = NodeData {
+            label: root_label.into(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+            parent: None,
+        };
+        XmlTree {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The element type of `node`.
+    pub fn label(&self, node: NodeId) -> &ElementType {
+        &self.nodes[node.index()].label
+    }
+
+    /// The attributes of `node`.
+    pub fn attrs(&self, node: NodeId) -> &BTreeMap<AttrName, Value> {
+        &self.nodes[node.index()].attrs
+    }
+
+    /// The value of attribute `name` at `node`, if defined.
+    pub fn attr(&self, node: NodeId, name: &AttrName) -> Option<&Value> {
+        self.nodes[node.index()].attrs.get(name)
+    }
+
+    /// Set (or overwrite) an attribute value at `node`.
+    pub fn set_attr(&mut self, node: NodeId, name: impl Into<AttrName>, value: impl Into<Value>) {
+        self.nodes[node.index()]
+            .attrs
+            .insert(name.into(), value.into());
+    }
+
+    /// Remove an attribute from `node`, returning its previous value.
+    pub fn remove_attr(&mut self, node: NodeId, name: &AttrName) -> Option<Value> {
+        self.nodes[node.index()].attrs.remove(name)
+    }
+
+    /// The children of `node`, in sibling order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// The parent of `node` (`None` for the root or detached nodes).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Append a fresh child labelled `label` to `parent` and return it.
+    pub fn add_child(&mut self, parent: NodeId, label: impl Into<ElementType>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: label.into(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Create a fresh node that is not attached anywhere yet.
+    pub fn new_detached(&mut self, label: impl Into<ElementType>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: label.into(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+            parent: None,
+        });
+        id
+    }
+
+    /// Attach a detached node as the last child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `child` already has a parent (which would create a DAG).
+    pub fn attach_child(&mut self, parent: NodeId, child: NodeId) {
+        assert!(
+            self.nodes[child.index()].parent.is_none(),
+            "attach_child: node {child} already has a parent"
+        );
+        assert_ne!(parent, child, "attach_child: cannot attach a node to itself");
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// Detach `child` from `parent` (the subtree rooted at `child` becomes
+    /// unreachable unless re-attached).
+    pub fn detach_child(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[parent.index()].children.retain(|&c| c != child);
+        if self.nodes[child.index()].parent == Some(parent) {
+            self.nodes[child.index()].parent = None;
+        }
+    }
+
+    /// Move all children of `from` to the end of `to`'s child list,
+    /// preserving their order. Used when the chase merges sibling nodes.
+    pub fn reparent_children(&mut self, from: NodeId, to: NodeId) {
+        assert_ne!(from, to, "reparent_children: from == to");
+        let moved = std::mem::take(&mut self.nodes[from.index()].children);
+        for &c in &moved {
+            self.nodes[c.index()].parent = Some(to);
+        }
+        self.nodes[to.index()].children.extend(moved);
+    }
+
+    /// Reorder the children of `node` according to `order`, which must be a
+    /// permutation of the current child list.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `order` is not a permutation of the
+    /// current children.
+    pub fn set_child_order(&mut self, node: NodeId, order: Vec<NodeId>) {
+        debug_assert_eq!(
+            {
+                let mut a = self.nodes[node.index()].children.clone();
+                a.sort();
+                a
+            },
+            {
+                let mut b = order.clone();
+                b.sort();
+                b
+            },
+            "set_child_order: not a permutation of the existing children"
+        );
+        self.nodes[node.index()].children = order;
+    }
+
+    /// Copy the subtree of `other` rooted at `other_node` into this tree as a
+    /// new child of `parent`. Returns the id of the copied root.
+    pub fn graft(&mut self, parent: NodeId, other: &XmlTree, other_node: NodeId) -> NodeId {
+        let new_id = self.add_child(parent, other.label(other_node).clone());
+        let attrs = other.attrs(other_node).clone();
+        self.nodes[new_id.index()].attrs = attrs;
+        for &c in other.children(other_node) {
+            self.graft(new_id, other, c);
+        }
+        new_id
+    }
+
+    /// All nodes reachable from the root, in preorder (document order).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.descendants_or_self(self.root)
+    }
+
+    /// The nodes of the subtree rooted at `node`, in preorder, including
+    /// `node` itself.
+    pub fn descendants_or_self(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // push children in reverse so they pop in document order
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The proper descendants of `node`, in preorder.
+    pub fn descendants(&self, node: NodeId) -> Vec<NodeId> {
+        let mut v = self.descendants_or_self(node);
+        v.remove(0);
+        v
+    }
+
+    /// Is `descendant` a (non-strict) descendant of `ancestor`?
+    pub fn is_descendant_or_self(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        let mut current = Some(descendant);
+        while let Some(n) = current {
+            if n == ancestor {
+                return true;
+            }
+            current = self.parent(n);
+        }
+        false
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn size(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Length of the longest root-to-leaf path (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        fn go(t: &XmlTree, n: NodeId) -> usize {
+            1 + t
+                .children(n)
+                .iter()
+                .map(|&c| go(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        go(self, self.root)
+    }
+
+    /// All constant attribute values occurring in the tree (the active domain
+    /// of constants).
+    pub fn constants(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .nodes()
+            .iter()
+            .flat_map(|&n| self.attrs(n).values())
+            .filter_map(|v| v.as_const().map(|s| s.to_string()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Does any reachable attribute hold a null?
+    pub fn has_nulls(&self) -> bool {
+        self.nodes()
+            .iter()
+            .any(|&n| self.attrs(n).values().any(Value::is_null))
+    }
+
+    /// A canonical textual form of the tree *ignoring sibling order* and
+    /// *anonymising nulls* (every null prints as `⊥`). Two trees with equal
+    /// unordered canonical forms are equal up to sibling order and renaming
+    /// of nulls-as-a-set (not necessarily up to a null bijection; sufficient
+    /// for the structural checks in tests and examples).
+    pub fn unordered_canonical_form(&self) -> String {
+        self.canonical_of(self.root, false)
+    }
+
+    /// A canonical textual form of the tree *respecting sibling order*, with
+    /// nulls anonymised.
+    pub fn ordered_canonical_form(&self) -> String {
+        self.canonical_of(self.root, true)
+    }
+
+    fn canonical_of(&self, node: NodeId, ordered: bool) -> String {
+        let mut attr_parts: Vec<String> = self
+            .attrs(node)
+            .iter()
+            .map(|(k, v)| match v {
+                Value::Const(s) => format!("{k}={s:?}"),
+                Value::Null(_) => format!("{k}=⊥"),
+            })
+            .collect();
+        attr_parts.sort();
+        let mut child_parts: Vec<String> = self
+            .children(node)
+            .iter()
+            .map(|&c| self.canonical_of(c, ordered))
+            .collect();
+        if !ordered {
+            child_parts.sort();
+        }
+        format!(
+            "{}({})[{}]",
+            self.label(node),
+            attr_parts.join(","),
+            child_parts.join(",")
+        )
+    }
+
+    /// Structural equality up to sibling order and null anonymisation.
+    pub fn unordered_eq(&self, other: &XmlTree) -> bool {
+        self.unordered_canonical_form() == other.unordered_canonical_form()
+    }
+
+    /// Check internal parent/child consistency; used by tests and debug
+    /// assertions after surgical operations.
+    pub fn validate(&self) -> Result<(), String> {
+        for &n in &self.nodes() {
+            for &c in self.children(n) {
+                if self.parent(c) != Some(n) {
+                    return Err(format!("child {c} of {n} has parent {:?}", self.parent(c)));
+                }
+            }
+        }
+        if self.parent(self.root).is_some() {
+            return Err("root has a parent".to_string());
+        }
+        // No node may appear as a child of two different parents.
+        let mut seen = std::collections::BTreeSet::new();
+        for &n in &self.nodes() {
+            if !seen.insert(n) {
+                return Err(format!("node {n} reachable twice (sharing)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for XmlTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &XmlTree, n: NodeId, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            let attrs: Vec<String> = t
+                .attrs(n)
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            if attrs.is_empty() {
+                writeln!(f, "{pad}{}", t.label(n))?;
+            } else {
+                writeln!(f, "{pad}{} [{}]", t.label(n), attrs.join(", "))?;
+            }
+            for &c in t.children(n) {
+                go(t, c, indent + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, self.root, 0, f)
+    }
+}
+
+/// A fluent builder for XML trees.
+///
+/// ```
+/// use xdx_xmltree::TreeBuilder;
+///
+/// let tree = TreeBuilder::new("db")
+///     .child("book", |b| {
+///         b.attr("@title", "Computational Complexity")
+///             .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
+///     })
+///     .build();
+/// assert_eq!(tree.size(), 3);
+/// ```
+#[derive(Debug)]
+pub struct TreeBuilder {
+    tree: XmlTree,
+    current: NodeId,
+}
+
+impl TreeBuilder {
+    /// Start a tree with the given root label.
+    pub fn new(root_label: impl Into<ElementType>) -> Self {
+        let tree = XmlTree::new(root_label);
+        let root = tree.root();
+        TreeBuilder {
+            tree,
+            current: root,
+        }
+    }
+
+    /// Set an attribute on the current node.
+    pub fn attr(mut self, name: impl Into<AttrName>, value: impl Into<Value>) -> Self {
+        self.tree.set_attr(self.current, name, value);
+        self
+    }
+
+    /// Add a child to the current node and describe it with `f`.
+    pub fn child(mut self, label: impl Into<ElementType>, f: impl FnOnce(TreeBuilder) -> TreeBuilder) -> Self {
+        let child = self.tree.add_child(self.current, label);
+        let sub = TreeBuilder {
+            tree: self.tree,
+            current: child,
+        };
+        let sub = f(sub);
+        TreeBuilder {
+            tree: sub.tree,
+            current: self.current,
+        }
+    }
+
+    /// Add a leaf child with no attributes or children.
+    pub fn leaf(mut self, label: impl Into<ElementType>) -> Self {
+        self.tree.add_child(self.current, label);
+        self
+    }
+
+    /// Finish building and return the tree.
+    pub fn build(self) -> XmlTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{NullGen, NullId};
+
+    fn figure1_tree() -> XmlTree {
+        // The source document of Figure 1(b).
+        TreeBuilder::new("db")
+            .child("book", |b| {
+                b.attr("@title", "Combinatorial Optimization")
+                    .child("author", |a| {
+                        a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                    })
+                    .child("author", |a| {
+                        a.attr("@name", "Steiglitz").attr("@aff", "Princeton")
+                    })
+            })
+            .child("book", |b| {
+                b.attr("@title", "Computational Complexity")
+                    .child("author", |a| {
+                        a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                    })
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_and_basic_accessors() {
+        let t = figure1_tree();
+        assert_eq!(t.size(), 6);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.label(t.root()).as_str(), "db");
+        let books = t.children(t.root());
+        assert_eq!(books.len(), 2);
+        assert_eq!(
+            t.attr(books[0], &"@title".into()).unwrap().as_const(),
+            Some("Combinatorial Optimization")
+        );
+        assert_eq!(t.children(books[0]).len(), 2);
+        assert_eq!(t.parent(books[0]), Some(t.root()));
+        assert_eq!(t.parent(t.root()), None);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn constants_and_nulls() {
+        let mut t = figure1_tree();
+        assert!(!t.has_nulls());
+        let consts = t.constants();
+        assert!(consts.contains(&"Papadimitriou".to_string()));
+        assert!(consts.contains(&"Princeton".to_string()));
+        assert_eq!(consts.len(), 6);
+
+        let mut gen = NullGen::new();
+        let book = t.children(t.root())[0];
+        t.set_attr(book, "@year", gen.fresh_value());
+        assert!(t.has_nulls());
+        // nulls are not constants
+        assert_eq!(t.constants().len(), 6);
+    }
+
+    #[test]
+    fn descendants_and_preorder() {
+        let t = figure1_tree();
+        let all = t.nodes();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], t.root());
+        // first book's authors come before the second book in document order
+        let labels: Vec<&str> = all.iter().map(|&n| t.label(n).as_str()).collect();
+        assert_eq!(labels, vec!["db", "book", "author", "author", "book", "author"]);
+        let book1 = t.children(t.root())[0];
+        assert_eq!(t.descendants(book1).len(), 2);
+        assert!(t.is_descendant_or_self(t.root(), book1));
+        assert!(t.is_descendant_or_self(book1, t.descendants(book1)[0]));
+        assert!(!t.is_descendant_or_self(book1, t.root()));
+    }
+
+    #[test]
+    fn surgery_attach_detach_reparent() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_child(t.root(), "A");
+        let b = t.add_child(t.root(), "B");
+        let a1 = t.add_child(a, "x");
+        let _a2 = t.add_child(a, "y");
+        assert_eq!(t.size(), 5);
+
+        // detach A: its subtree becomes unreachable
+        t.detach_child(t.root(), a);
+        assert_eq!(t.size(), 2);
+        t.validate().unwrap();
+
+        // re-attach it under B
+        t.attach_child(b, a);
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.parent(a), Some(b));
+        t.validate().unwrap();
+
+        // merge: move A's children to B, then drop A
+        t.reparent_children(a, b);
+        t.detach_child(b, a);
+        assert_eq!(t.parent(a1), Some(b));
+        assert_eq!(t.children(b).len(), 2);
+        assert_eq!(t.size(), 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn set_child_order_permutes() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_child(t.root(), "a");
+        let b = t.add_child(t.root(), "b");
+        let c = t.add_child(t.root(), "c");
+        t.set_child_order(t.root(), vec![c, a, b]);
+        let labels: Vec<&str> = t
+            .children(t.root())
+            .iter()
+            .map(|&n| t.label(n).as_str())
+            .collect();
+        assert_eq!(labels, vec!["c", "a", "b"]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn graft_copies_subtrees_between_trees() {
+        let src = figure1_tree();
+        let mut dst = XmlTree::new("bib");
+        let book = src.children(src.root())[1];
+        let copied = dst.graft(dst.root(), &src, book);
+        assert_eq!(dst.label(copied).as_str(), "book");
+        assert_eq!(dst.size(), 3);
+        assert_eq!(
+            dst.attr(copied, &"@title".into()).unwrap().as_const(),
+            Some("Computational Complexity")
+        );
+        dst.validate().unwrap();
+    }
+
+    #[test]
+    fn unordered_equality_ignores_sibling_order_and_null_names() {
+        let mut t1 = XmlTree::new("r");
+        let a = t1.add_child(t1.root(), "a");
+        t1.set_attr(a, "@x", Value::Null(NullId(0)));
+        t1.add_child(t1.root(), "b");
+
+        let mut t2 = XmlTree::new("r");
+        t2.add_child(t2.root(), "b");
+        let a2 = t2.add_child(t2.root(), "a");
+        t2.set_attr(a2, "@x", Value::Null(NullId(7)));
+
+        assert!(t1.unordered_eq(&t2));
+        assert_ne!(t1.ordered_canonical_form(), t2.ordered_canonical_form());
+
+        // different attribute values break equality
+        let mut t3 = t2.clone();
+        t3.set_attr(a2, "@x", "1994");
+        assert!(!t1.unordered_eq(&t3));
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let t = figure1_tree();
+        let s = format!("{t}");
+        assert!(s.starts_with("db\n"));
+        assert!(s.contains("  book [@title=Combinatorial Optimization]"));
+        assert!(s.contains("    author [@aff=UCB, @name=Papadimitriou]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a parent")]
+    fn attaching_an_attached_node_panics() {
+        let mut t = XmlTree::new("r");
+        let a = t.add_child(t.root(), "a");
+        let b = t.add_child(t.root(), "b");
+        t.attach_child(b, a);
+    }
+}

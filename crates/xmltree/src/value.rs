@@ -1,0 +1,177 @@
+//! Attribute values: constants and nulls.
+//!
+//! The paper partitions the attribute domain `Str` into two countably
+//! infinite sets: `Const` (values that may occur in source trees) and `Var`
+//! (nulls, invented when populating target trees — the `⊥₁, ⊥₂` of Figure 2).
+//! Certain answers only ever contain constants.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a null (an element of `Var`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NullId(pub u64);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+/// An attribute value: either a constant string or a null.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A constant from `Const` (the only values allowed in source documents
+    /// and in certain answers).
+    Const(Arc<str>),
+    /// A null from `Var`, used to populate target documents when the source
+    /// provides no value (e.g. the unknown publication years of Figure 2).
+    Null(NullId),
+}
+
+impl Value {
+    /// Build a constant value.
+    pub fn constant(s: impl AsRef<str>) -> Self {
+        Value::Const(Arc::from(s.as_ref()))
+    }
+
+    /// Build a null value.
+    pub fn null(id: NullId) -> Self {
+        Value::Null(id)
+    }
+
+    /// Is this a constant?
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this a null?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The constant string, if this is a constant.
+    pub fn as_const(&self) -> Option<&str> {
+        match self {
+            Value::Const(s) => Some(s),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The null identifier, if this is a null.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Const(_) => None,
+            Value::Null(id) => Some(*id),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(s) => write!(f, "{s}"),
+            Value::Null(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::constant(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::constant(s)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(id: NullId) -> Self {
+        Value::Null(id)
+    }
+}
+
+/// A generator of fresh nulls.
+///
+/// Each call to [`NullGen::fresh`] returns a null never handed out before by
+/// this generator. Algorithms that populate target documents (the canonical
+/// pre-solution, `ChangeAtt`) thread a `&mut NullGen` through.
+#[derive(Debug, Default, Clone)]
+pub struct NullGen {
+    next: u64,
+}
+
+impl NullGen {
+    /// A generator starting at `⊥0`.
+    pub fn new() -> Self {
+        NullGen::default()
+    }
+
+    /// A generator whose first null will be `⊥start`.
+    pub fn starting_at(start: u64) -> Self {
+        NullGen { next: start }
+    }
+
+    /// Hand out a fresh null.
+    pub fn fresh(&mut self) -> NullId {
+        let id = NullId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Hand out a fresh null already wrapped as a [`Value`].
+    pub fn fresh_value(&mut self) -> Value {
+        Value::Null(self.fresh())
+    }
+
+    /// Number of nulls handed out so far.
+    pub fn count(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_vs_null() {
+        let c = Value::constant("Papadimitriou");
+        let n = Value::Null(NullId(1));
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(c.as_const(), Some("Papadimitriou"));
+        assert_eq!(n.as_null(), Some(NullId(1)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Value::constant("UCB")), "UCB");
+        assert_eq!(format!("{}", Value::Null(NullId(2))), "⊥2");
+    }
+
+    #[test]
+    fn null_gen_is_monotone_and_fresh() {
+        let mut g = NullGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        let c = g.fresh_value();
+        assert_ne!(a, b);
+        assert!(c.is_null());
+        assert_eq!(g.count(), 3);
+        let mut g2 = NullGen::starting_at(100);
+        assert_eq!(g2.fresh(), NullId(100));
+    }
+
+    #[test]
+    fn equality_of_constants_is_by_content() {
+        assert_eq!(Value::constant("x"), Value::from("x"));
+        assert_ne!(Value::constant("x"), Value::constant("y"));
+        assert_ne!(Value::constant("x"), Value::Null(NullId(0)));
+    }
+}

@@ -1,0 +1,58 @@
+//! The coNP-hardness reduction of Theorem 5.11, executed end to end.
+//!
+//! A 3-CNF formula θ is turned into a source document `T_θ`, a data exchange
+//! setting whose second STD is *not* fully specified, and a Boolean query `Q`
+//! with wildcards such that `certain(Q, T_θ) = false` iff θ is satisfiable.
+//! For a satisfiable θ the example also materialises the counter-example
+//! solution from the proof and shows that the query indeed fails on it.
+//!
+//! Run with `cargo run --example certain_answers_3sat`.
+
+use xml_data_exchange::core::classify_setting;
+use xml_data_exchange::core::gadgets::theorem_5_11;
+use xml_data_exchange::core::gadgets::three_sat::CnfFormula;
+use xml_data_exchange::core::is_solution;
+
+fn report(name: &str, formula: &CnfFormula) {
+    println!("== {name} ==");
+    let gadget = theorem_5_11::build(formula);
+    println!(
+        "source tree T_θ: {} nodes ({} clauses, {} variables)",
+        gadget.source_tree.size(),
+        formula.clauses.len(),
+        formula.num_vars
+    );
+    println!("setting classification: {}", classify_setting(&gadget.setting));
+    let certain = theorem_5_11::certain_answer(formula);
+    println!("certain(Q, T_θ) = {certain}");
+    match formula.brute_force_satisfiable() {
+        Some(assignment) => {
+            let witness = theorem_5_11::solution_from_assignment(formula, &assignment);
+            assert!(is_solution(&gadget.setting, &gadget.source_tree, &witness, false));
+            let q_holds = gadget.query.evaluate_boolean(&witness);
+            println!(
+                "θ is satisfiable; the proof's counter-example solution has {} nodes, Q holds on it: {q_holds}",
+                witness.size()
+            );
+            assert!(!q_holds);
+        }
+        None => println!("θ is unsatisfiable: Q holds in every solution."),
+    }
+    println!();
+}
+
+fn main() {
+    report(
+        "paper example: (x1 ∨ x2 ∨ ¬x3) ∧ (¬x2 ∨ x3 ∨ ¬x4)",
+        &CnfFormula::paper_example(),
+    );
+    report("unsatisfiable: x ∧ ¬x", &CnfFormula::tiny_unsatisfiable());
+
+    // A slightly larger random instance to show the exponential flavour of
+    // the decision on the intractable side.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(2026);
+    let formula = CnfFormula::random(12, 30, &mut rng);
+    report("random 3-CNF with 12 variables and 30 clauses", &formula);
+}

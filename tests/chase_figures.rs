@@ -1,0 +1,174 @@
+//! Reproduction of the worked chase examples of Section 6.1
+//! (Examples 6.3, 6.4 and 6.13 — Figures 5, 6 and 8).
+
+use xml_data_exchange::core::setting::DataExchangeSetting;
+use xml_data_exchange::core::solution::{canonical_presolution, canonical_solution};
+use xml_data_exchange::core::is_solution;
+use xml_data_exchange::xmltree::NullGen;
+use xml_data_exchange::{impose_sibling_order, Dtd, Std, XmlTree};
+
+/// Example 6.3 / Figure 5: the canonical pre-solution construction.
+#[test]
+fn example_6_3_canonical_presolution() {
+    // ψ1(x,y,z) = r[A(@l=x), B[C(@n=y, @m=z)]]
+    // ψ2(y)     = r[B[C, D], E(@m=y)]
+    // ϕ(x,y,z)  = r[A(@a=x, @b=y, @c=z)]
+    let source_dtd = Dtd::builder("r")
+        .rule("r", "A*")
+        .attributes("A", ["@a", "@b", "@c"])
+        .build()
+        .unwrap();
+    let target_dtd = Dtd::builder("r")
+        .rule("r", "A* B* E*")
+        .rule("B", "C* D*")
+        .rule("C", "eps")
+        .rule("D", "eps")
+        .rule("E", "eps")
+        .rule("A", "eps")
+        .attributes("A", ["@l"])
+        .attributes("C", ["@n", "@m"])
+        .attributes("E", ["@m"])
+        .build()
+        .unwrap();
+    let stds = vec![
+        Std::parse("r[A(@l=$x), B[C(@n=$y, @m=$z)]] :- r[A(@a=$x, @b=$y, @c=$z)]").unwrap(),
+        Std::parse("r[B[C, D], E(@m=$y)] :- r[A(@a=$x, @b=$y, @c=$z)]").unwrap(),
+    ];
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, stds);
+
+    // Figure 5(a): the source tree r[A(@a=4, @b=5, @c=6)].
+    let mut source = XmlTree::new("r");
+    let a = source.add_child(source.root(), "A");
+    source.set_attr(a, "@a", "4");
+    source.set_attr(a, "@b", "5");
+    source.set_attr(a, "@c", "6");
+    assert!(setting.source_dtd.conforms(&source));
+
+    // Figure 5(d): cps(T) merges the roots of T_ψ1(4,5,6) and T_ψ2(5).
+    let mut nulls = NullGen::new();
+    let cps = canonical_presolution(&setting, &source, &mut nulls).unwrap();
+    let root_children: Vec<String> = cps
+        .children(cps.root())
+        .iter()
+        .map(|&c| cps.label(c).to_string())
+        .collect();
+    assert_eq!(root_children, vec!["A", "B", "B", "E"]);
+    assert_eq!(cps.size(), 8);
+
+    // The A child carries @l = 4, the first B's C child carries (@n, @m) = (5, 6),
+    // the second B has children C and D without attributes yet, and E has @m = 5.
+    let kids = cps.children(cps.root()).to_vec();
+    assert_eq!(cps.attr(kids[0], &"@l".into()).unwrap().as_const(), Some("4"));
+    let c1 = cps.children(kids[1])[0];
+    assert_eq!(cps.attr(c1, &"@n".into()).unwrap().as_const(), Some("5"));
+    assert_eq!(cps.attr(c1, &"@m".into()).unwrap().as_const(), Some("6"));
+    let second_b_children: Vec<String> = cps
+        .children(kids[2])
+        .iter()
+        .map(|&c| cps.label(c).to_string())
+        .collect();
+    assert_eq!(second_b_children, vec!["C", "D"]);
+    assert_eq!(cps.attr(kids[3], &"@m".into()).unwrap().as_const(), Some("5"));
+
+    // Chasing the pre-solution yields a genuine (weak) solution: the chase
+    // only needs to add the missing attributes as fresh nulls.
+    let solution = canonical_solution(&setting, &source).unwrap();
+    assert!(is_solution(&setting, &source, &solution, false));
+}
+
+/// Example 6.4 / 6.13 and Figures 6 & 8: the chase against the target DTD
+/// with content model `(B C)*`.
+#[test]
+fn example_6_13_chase_sequence_result() {
+    let source_dtd = Dtd::builder("r")
+        .rule("r", "A*")
+        .attributes("A", ["@a"])
+        .build()
+        .unwrap();
+    // Figure 6(b): r2 → (B C)*, C → D, with @m on B and @n on D.
+    let target_dtd = Dtd::builder("r2")
+        .rule("r2", "(B C)*")
+        .rule("B", "eps")
+        .rule("C", "D")
+        .rule("D", "eps")
+        .attributes("B", ["@m"])
+        .attributes("D", ["@n"])
+        .build()
+        .unwrap();
+    let std = Std::parse("r2[B(@m=$x)] :- r[A(@a=$x)]").unwrap();
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+
+    // Figure 6(c): the source with two A nodes valued 1 and 2.
+    let mut source = XmlTree::new("r");
+    for v in ["1", "2"] {
+        let a = source.add_child(source.root(), "A");
+        source.set_attr(a, "@a", v);
+    }
+
+    // Figure 6(d): the pre-solution has exactly the two B children.
+    let mut nulls = NullGen::new();
+    let cps = canonical_presolution(&setting, &source, &mut nulls).unwrap();
+    assert_eq!(cps.size(), 3);
+    assert!(!setting.target_dtd.conforms_unordered(&cps));
+
+    // Figure 6(e) / Figure 8 end state: the chase adds two C children, each
+    // with a D child carrying a fresh null @n.
+    let solution = canonical_solution(&setting, &source).unwrap();
+    assert_eq!(solution.size(), 7);
+    assert!(setting.target_dtd.conforms_unordered(&solution));
+    assert!(is_solution(&setting, &source, &solution, false));
+    let d_nodes: Vec<_> = solution
+        .nodes()
+        .into_iter()
+        .filter(|&n| solution.label(n).as_str() == "D")
+        .collect();
+    assert_eq!(d_nodes.len(), 2);
+    let null_values: std::collections::BTreeSet<_> = d_nodes
+        .iter()
+        .map(|&n| solution.attr(n, &"@n".into()).unwrap().clone())
+        .collect();
+    assert_eq!(null_values.len(), 2, "the two @n nulls are distinct (⊥1, ⊥2)");
+
+    // Materialising the solution orders the children as B C B C, conforming
+    // to (B C)* in the ordered sense.
+    let mut ordered = solution.clone();
+    impose_sibling_order(&mut ordered, &setting.target_dtd).unwrap();
+    assert!(setting.target_dtd.conforms(&ordered));
+    let order: Vec<String> = ordered
+        .children(ordered.root())
+        .iter()
+        .map(|&c| ordered.label(c).to_string())
+        .collect();
+    assert_eq!(order, vec!["B", "C", "B", "C"]);
+}
+
+/// The attribute-clash failure mode of `ChangeReg` (discussed after
+/// Definition 6.9): merging nodes with distinct constants for the same
+/// attribute means no solution exists.
+#[test]
+fn attribute_clash_means_no_solution() {
+    let source_dtd = Dtd::builder("r")
+        .rule("r", "A*")
+        .attributes("A", ["@a"])
+        .build()
+        .unwrap();
+    // The target allows a single B node only.
+    let target_dtd = Dtd::builder("r2")
+        .rule("r2", "B")
+        .rule("B", "eps")
+        .attributes("B", ["@m"])
+        .build()
+        .unwrap();
+    let std = Std::parse("r2[B(@m=$x)] :- r[A(@a=$x)]").unwrap();
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+    let mut source = XmlTree::new("r");
+    for v in ["1", "2"] {
+        let a = source.add_child(source.root(), "A");
+        source.set_attr(a, "@a", v);
+    }
+    let err = canonical_solution(&setting, &source).unwrap_err();
+    assert!(matches!(
+        err,
+        xml_data_exchange::core::SolutionError::AttributeClash { .. }
+    ));
+}

@@ -1,0 +1,138 @@
+//! The dichotomy theorem machinery across crates: univocality of the paper's
+//! example expressions, classification of settings, and the behaviour of the
+//! tractable algorithm on both sides of the boundary.
+
+use xml_data_exchange::core::setting::DataExchangeSetting;
+use xml_data_exchange::core::{classify_setting, SolutionError};
+use xml_data_exchange::relang::{c_of, c_sym, is_univocal, parse_regex};
+use xml_data_exchange::{canonical_solution, Dtd, Std, XmlTree};
+
+#[test]
+fn paper_examples_of_univocal_expressions() {
+    for src in ["b c+ d* e?", "(b*|c*)", "(b c)* (d e)*", "(a|b|c)*", "(B C)*", "eps"] {
+        assert!(is_univocal(&parse_regex(src).unwrap()), "{src} should be univocal");
+    }
+}
+
+#[test]
+fn paper_examples_of_non_univocal_expressions() {
+    // c_a(a | aab*) = 2 (Section 6.1), so the expression is not univocal.
+    let r = parse_regex("a | a a b*").unwrap();
+    assert_eq!(c_sym(&r, &"a".to_string()), 2);
+    assert_eq!(c_sym(&r, &"b".to_string()), 0);
+    assert_eq!(c_of(&r), 2);
+    assert!(!is_univocal(&r));
+    // ab | ac lacks maximum repairs.
+    assert!(!is_univocal(&parse_regex("(a b)|(a c)").unwrap()));
+}
+
+#[test]
+fn nested_relational_dtds_are_univocal_hence_tractable() {
+    // Corollary 6.11: the Clio class sits inside the tractable side.
+    let source = Dtd::builder("s").rule("s", "rec*").attributes("rec", ["@v"]).build().unwrap();
+    let target = Dtd::builder("t")
+        .rule("t", "head ent* tail?")
+        .rule("ent", "sub+")
+        .attributes("ent", ["@v"])
+        .build()
+        .unwrap();
+    let setting = DataExchangeSetting::new(
+        source,
+        target,
+        vec![Std::parse("t[head, ent(@v=$x)[sub]] :- s[rec(@v=$x)]").unwrap()],
+    );
+    assert!(setting.target_dtd.is_nested_relational());
+    assert!(classify_setting(&setting).is_tractable());
+}
+
+#[test]
+fn the_chase_refuses_to_guess_on_non_univocal_content_models() {
+    // Target content model ab | ac: after the STD forces an `a` child, the
+    // repair has two maximal, incomparable completions (add b or add c);
+    // the canonical chase reports the ambiguity rather than picking one.
+    let source = Dtd::builder("s").rule("s", "rec*").attributes("rec", ["@v"]).build().unwrap();
+    let target = Dtd::builder("t")
+        .rule("t", "(a b)|(a c)")
+        .attributes("a", ["@v"])
+        .build()
+        .unwrap();
+    let setting = DataExchangeSetting::new(
+        source,
+        target,
+        vec![Std::parse("t[a(@v=$x)] :- s[rec(@v=$x)]").unwrap()],
+    );
+    assert!(!classify_setting(&setting).is_tractable());
+
+    let mut src_tree = XmlTree::new("s");
+    let rec = src_tree.add_child(src_tree.root(), "rec");
+    src_tree.set_attr(rec, "@v", "1");
+    let err = canonical_solution(&setting, &src_tree).unwrap_err();
+    assert!(matches!(err, SolutionError::NoMaximumRepair { .. }));
+}
+
+#[test]
+fn univocal_but_not_nested_relational_settings_still_work_end_to_end() {
+    // (B C)* is univocal but not nested-relational: the tractable algorithm
+    // still applies (Theorem 6.2 is wider than Corollary 6.11).
+    use xml_data_exchange::core::certain_answers;
+    use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+    let source = Dtd::builder("r").rule("r", "A*").attributes("A", ["@a"]).build().unwrap();
+    let target = Dtd::builder("r2")
+        .rule("r2", "(B C)*")
+        .rule("C", "D")
+        .attributes("B", ["@m"])
+        .attributes("D", ["@n"])
+        .build()
+        .unwrap();
+    let setting = DataExchangeSetting::new(
+        source,
+        target,
+        vec![Std::parse("r2[B(@m=$x)] :- r[A(@a=$x)]").unwrap()],
+    );
+    assert!(classify_setting(&setting).is_tractable());
+    assert!(!setting.target_dtd.is_nested_relational());
+
+    let mut src_tree = XmlTree::new("r");
+    for v in ["1", "2", "3"] {
+        let a = src_tree.add_child(src_tree.root(), "A");
+        src_tree.set_attr(a, "@a", v);
+    }
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(["m"], vec![parse_pattern("B(@m=$m)").unwrap()]).unwrap(),
+    );
+    let answers = certain_answers(&setting, &src_tree, &q).unwrap();
+    assert_eq!(answers.tuples.len(), 3);
+    // The invented D values are nulls, so projecting them is uncertain.
+    let qn = UnionQuery::single(
+        ConjunctiveTreeQuery::new(["n"], vec![parse_pattern("D(@n=$n)").unwrap()]).unwrap(),
+    );
+    assert!(certain_answers(&setting, &src_tree, &qn).unwrap().tuples.is_empty());
+}
+
+#[test]
+fn non_fully_specified_settings_are_classified_as_such() {
+    use xml_data_exchange::core::SettingClass;
+    let source = Dtd::builder("s").rule("s", "rec*").attributes("rec", ["@v"]).build().unwrap();
+    let target = Dtd::builder("t").rule("t", "a*").attributes("a", ["@v"]).build().unwrap();
+    for (pattern, expect_fully_specified) in [
+        ("t[a(@v=$x)] :- s[rec(@v=$x)]", true),
+        ("//a(@v=$x) :- s[rec(@v=$x)]", false),
+        ("a(@v=$x) :- s[rec(@v=$x)]", false),
+        ("t[_(@v=$x)] :- s[rec(@v=$x)]", false),
+    ] {
+        let setting = DataExchangeSetting::new(
+            source.clone(),
+            target.clone(),
+            vec![Std::parse(pattern).unwrap()],
+        );
+        let class = classify_setting(&setting);
+        assert_eq!(
+            class.is_tractable(),
+            expect_fully_specified,
+            "{pattern}: got {class}"
+        );
+        if !expect_fully_specified {
+            assert!(matches!(class, SettingClass::NotFullySpecified { .. }));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end exchange scenarios spanning every crate: build a setting,
+//! validate it, check consistency, exchange a document, materialise the
+//! solution, answer queries.
+
+use xml_data_exchange::core::setting::DataExchangeSetting;
+use xml_data_exchange::core::{certain_answers, check_consistency, classify_setting, is_solution};
+use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+use xml_data_exchange::{canonical_solution, impose_sibling_order, Dtd, Std, TreeBuilder};
+
+/// A two-STD HR scenario (same shape as the `clio_nested_relational`
+/// example).
+fn hr_setting() -> DataExchangeSetting {
+    let source_dtd = Dtd::builder("company")
+        .rule("company", "dept*")
+        .rule("dept", "employee* project*")
+        .attributes("dept", ["@dname"])
+        .attributes("employee", ["@ename", "@role"])
+        .attributes("project", ["@pname", "@budget"])
+        .build()
+        .unwrap();
+    let target_dtd = Dtd::builder("directory")
+        .rule("directory", "person* team*")
+        .rule("person", "assignment*")
+        .attributes("person", ["@name", "@phone"])
+        .attributes("assignment", ["@dept", "@role"])
+        .attributes("team", ["@dept", "@lead"])
+        .build()
+        .unwrap();
+    let stds = vec![
+        Std::parse(
+            "directory[person(@name=$e, @phone=$ph)[assignment(@dept=$d, @role=$r)]] \
+             :- company[dept(@dname=$d)[employee(@ename=$e, @role=$r)]]",
+        )
+        .unwrap(),
+        Std::parse(
+            "directory[team(@dept=$d, @lead=$l)] :- company[dept(@dname=$d)[project(@pname=$p)]]",
+        )
+        .unwrap(),
+    ];
+    DataExchangeSetting::new(source_dtd, target_dtd, stds)
+}
+
+fn hr_source() -> xml_data_exchange::XmlTree {
+    TreeBuilder::new("company")
+        .child("dept", |d| {
+            d.attr("@dname", "Databases")
+                .child("employee", |e| e.attr("@ename", "Ada").attr("@role", "researcher"))
+                .child("employee", |e| e.attr("@ename", "Edgar").attr("@role", "engineer"))
+                .child("project", |p| p.attr("@pname", "Exchange").attr("@budget", "100"))
+                .child("project", |p| p.attr("@pname", "Chase").attr("@budget", "50"))
+        })
+        .child("dept", |d| {
+            d.attr("@dname", "Systems")
+                .child("employee", |e| e.attr("@ename", "Ada").attr("@role", "consultant"))
+        })
+        .build()
+}
+
+#[test]
+fn hr_scenario_full_pipeline() {
+    let setting = hr_setting();
+    setting.validate(true).unwrap();
+    assert!(setting.is_nested_relational());
+    assert!(setting.is_fully_specified());
+    assert!(classify_setting(&setting).is_tractable());
+    assert!(check_consistency(&setting).consistent);
+
+    let source = hr_source();
+    assert!(setting.source_dtd.conforms(&source));
+
+    let mut solution = canonical_solution(&setting, &source).unwrap();
+    assert!(is_solution(&setting, &source, &solution, false));
+    // 3 persons (one per employee match) + 1 team (Databases, deduplicated
+    // over its two projects) + 3 assignments + root.
+    let persons = solution
+        .nodes()
+        .into_iter()
+        .filter(|&n| solution.label(n).as_str() == "person")
+        .count();
+    let teams = solution
+        .nodes()
+        .into_iter()
+        .filter(|&n| solution.label(n).as_str() == "team")
+        .count();
+    assert_eq!(persons, 3);
+    assert_eq!(teams, 1);
+
+    impose_sibling_order(&mut solution, &setting.target_dtd).unwrap();
+    assert!(setting.target_dtd.conforms(&solution));
+    assert!(is_solution(&setting, &source, &solution, true));
+
+    // Certain answers.
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["who", "dept"],
+            vec![parse_pattern("person(@name=$who)[assignment(@dept=$dept)]").unwrap()],
+        )
+        .unwrap(),
+    );
+    let answers = certain_answers(&setting, &source, &q).unwrap();
+    assert_eq!(answers.tuples.len(), 3);
+    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Databases".to_string()]));
+    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Systems".to_string()]));
+    assert!(answers.tuples.contains(&vec!["Edgar".to_string(), "Databases".to_string()]));
+
+    // Unknown values (phones, team leads) are never certain.
+    let leads = UnionQuery::single(
+        ConjunctiveTreeQuery::new(["l"], vec![parse_pattern("team(@lead=$l)").unwrap()]).unwrap(),
+    );
+    assert!(certain_answers(&setting, &source, &leads).unwrap().tuples.is_empty());
+}
+
+#[test]
+fn join_queries_over_the_target_schema() {
+    // Which pairs of people certainly share a department?
+    let setting = hr_setting();
+    let source = hr_source();
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["a", "b"],
+            vec![
+                parse_pattern("person(@name=$a)[assignment(@dept=$d)]").unwrap(),
+                parse_pattern("person(@name=$b)[assignment(@dept=$d)]").unwrap(),
+            ],
+        )
+        .unwrap(),
+    );
+    let answers = certain_answers(&setting, &source, &q).unwrap();
+    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Edgar".to_string()]));
+    assert!(answers.tuples.contains(&vec!["Edgar".to_string(), "Ada".to_string()]));
+    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Ada".to_string()]));
+    // Nobody certainly shares a department across the two departments only.
+    assert_eq!(answers.tuples.len(), 4);
+}
+
+#[test]
+fn source_documents_with_no_matches_still_have_solutions() {
+    let setting = hr_setting();
+    let source = TreeBuilder::new("company").build();
+    let solution = canonical_solution(&setting, &source).unwrap();
+    assert_eq!(solution.size(), 1);
+    assert!(is_solution(&setting, &source, &solution, true));
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("person(@name=$x)").unwrap()]).unwrap(),
+    );
+    assert!(certain_answers(&setting, &source, &q).unwrap().tuples.is_empty());
+}
+
+#[test]
+fn boolean_queries_distinguish_certain_from_possible() {
+    use xml_data_exchange::core::certain_answers_boolean;
+    let setting = hr_setting();
+    let source = hr_source();
+    // Certainly true: some person is assigned to Databases.
+    let certain = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![
+        parse_pattern("person[assignment(@dept=\"Databases\")]").unwrap(),
+    ]));
+    assert!(certain_answers_boolean(&setting, &source, &certain).unwrap());
+    // Possible but not certain: a team lead named Ada exists in *some*
+    // solutions (the null could be Ada) but not in all of them.
+    let possible = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![
+        parse_pattern("team(@lead=\"Ada\")").unwrap(),
+    ]));
+    assert!(!certain_answers_boolean(&setting, &source, &possible).unwrap());
+}

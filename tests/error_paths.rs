@@ -1,0 +1,218 @@
+//! Failure modes and edge cases across the pipeline: settings with no
+//! solutions, invalid inputs, and the relational special case (flat XML
+//! encodings of relations behave exactly like relational data exchange).
+
+use xml_data_exchange::core::setting::DataExchangeSetting;
+use xml_data_exchange::core::{certain_answers, check_consistency, SolutionError};
+use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+use xml_data_exchange::{canonical_solution, is_solution, Dtd, Std, TreeBuilder, XmlTree};
+
+/// Relations encoded as flat XML: R(a, b) in the source, S(a, c) in the
+/// target, with the classic relational STD S(x, z) :- R(x, y). The XML
+/// machinery must reproduce the relational behaviour (labelled nulls for z,
+/// certain answers = projection of R).
+#[test]
+fn flat_relational_exchange_behaves_like_relational_data_exchange() {
+    let source_dtd = Dtd::builder("rdb")
+        .rule("rdb", "R*")
+        .attributes("R", ["@a", "@b"])
+        .build()
+        .unwrap();
+    let target_dtd = Dtd::builder("tdb")
+        .rule("tdb", "S*")
+        .attributes("S", ["@a", "@c"])
+        .build()
+        .unwrap();
+    let std = Std::parse("tdb[S(@a=$x, @c=$z)] :- rdb[R(@a=$x, @b=$y)]").unwrap();
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+    setting.validate(true).unwrap();
+
+    let mut source = XmlTree::new("rdb");
+    for (a, b) in [("1", "x"), ("2", "y"), ("2", "z")] {
+        let r = source.add_child(source.root(), "R");
+        source.set_attr(r, "@a", a);
+        source.set_attr(r, "@b", b);
+    }
+
+    let solution = canonical_solution(&setting, &source).unwrap();
+    // Matches are deduplicated on the shared variable x: two S facts.
+    let s_nodes: Vec<_> = solution
+        .nodes()
+        .into_iter()
+        .filter(|&n| solution.label(n).as_str() == "S")
+        .collect();
+    assert_eq!(s_nodes.len(), 2);
+    for s in &s_nodes {
+        assert!(solution.attr(*s, &"@c".into()).unwrap().is_null());
+    }
+
+    // certain(π_a(S)) = π_a(R); certain(π_c(S)) = ∅.
+    let qa = UnionQuery::single(
+        ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("S(@a=$x)").unwrap()]).unwrap(),
+    );
+    let answers = certain_answers(&setting, &source, &qa).unwrap();
+    assert_eq!(answers.tuples.len(), 2);
+    assert!(answers.tuples.contains(&vec!["1".to_string()]));
+    assert!(answers.tuples.contains(&vec!["2".to_string()]));
+    let qc = UnionQuery::single(
+        ConjunctiveTreeQuery::new(["c"], vec![parse_pattern("S(@c=$c)").unwrap()]).unwrap(),
+    );
+    assert!(certain_answers(&setting, &source, &qc).unwrap().tuples.is_empty());
+}
+
+/// A setting whose target DTD bounds the number of facts: sources with more
+/// facts than fit have no solution, and the chase reports why.
+#[test]
+fn capacity_bounded_targets_reject_large_sources() {
+    let source_dtd = Dtd::builder("rdb")
+        .rule("rdb", "R*")
+        .attributes("R", ["@a"])
+        .build()
+        .unwrap();
+    // The target admits at most two S children (S? S?), each with a key.
+    let target_dtd = Dtd::builder("tdb")
+        .rule("tdb", "S1? S2?")
+        .attributes("S1", ["@a"])
+        .attributes("S2", ["@a"])
+        .build()
+        .unwrap();
+    let std = Std::parse("tdb[S1(@a=$x)] :- rdb[R(@a=$x)]").unwrap();
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+    // The setting itself is consistent (a source with ≤1 distinct value works)…
+    assert!(check_consistency(&setting).consistent);
+
+    let mut small = XmlTree::new("rdb");
+    let r = small.add_child(small.root(), "R");
+    small.set_attr(r, "@a", "1");
+    assert!(canonical_solution(&setting, &small).is_ok());
+
+    // …but a source with two distinct values forces two S1 children with
+    // clashing keys after the forced merge: no solution.
+    let mut big = XmlTree::new("rdb");
+    for v in ["1", "2"] {
+        let r = big.add_child(big.root(), "R");
+        big.set_attr(r, "@a", v);
+    }
+    let err = canonical_solution(&setting, &big).unwrap_err();
+    assert!(matches!(err, SolutionError::AttributeClash { .. }));
+}
+
+/// STDs whose target patterns force element types or attributes the target
+/// DTD cannot accommodate fail with precise errors.
+#[test]
+fn impossible_target_requirements_are_reported_precisely() {
+    let source_dtd = Dtd::builder("rdb")
+        .rule("rdb", "R*")
+        .attributes("R", ["@a"])
+        .build()
+        .unwrap();
+    let target_dtd = Dtd::builder("tdb")
+        .rule("tdb", "S*")
+        .attributes("S", ["@a"])
+        .build()
+        .unwrap();
+    let mut source = XmlTree::new("rdb");
+    let r = source.add_child(source.root(), "R");
+    source.set_attr(r, "@a", "1");
+
+    // Unknown element type forced below S.
+    let ghost = DataExchangeSetting::new(
+        source_dtd.clone(),
+        target_dtd.clone(),
+        vec![Std::parse("tdb[S(@a=$x)[ghost]] :- rdb[R(@a=$x)]").unwrap()],
+    );
+    let err = canonical_solution(&ghost, &source).unwrap_err();
+    assert!(matches!(
+        err,
+        SolutionError::UnknownTargetElement { .. } | SolutionError::NoRepair { .. }
+    ));
+
+    // Disallowed attribute forced on S.
+    let extra_attr = DataExchangeSetting::new(
+        source_dtd,
+        target_dtd,
+        vec![Std::parse("tdb[S(@a=$x, @bogus=$x)] :- rdb[R(@a=$x)]").unwrap()],
+    );
+    let err2 = canonical_solution(&extra_attr, &source).unwrap_err();
+    assert!(matches!(err2, SolutionError::DisallowedAttribute { .. }));
+}
+
+/// Multiple STDs writing into the same target region compose: facts from
+/// different rules coexist in one canonical solution and joint queries see
+/// them together.
+#[test]
+fn multiple_stds_compose_in_one_solution() {
+    let source_dtd = Dtd::builder("src")
+        .rule("src", "emp* mgr*")
+        .attributes("emp", ["@name", "@dept"])
+        .attributes("mgr", ["@name", "@dept"])
+        .build()
+        .unwrap();
+    let target_dtd = Dtd::builder("org")
+        .rule("org", "unit*")
+        .rule("unit", "member*")
+        .attributes("unit", ["@dept"])
+        .attributes("member", ["@name", "@kind"])
+        .build()
+        .unwrap();
+    let stds = vec![
+        Std::parse("org[unit(@dept=$d)[member(@name=$n, @kind=\"employee\")]] :- src[emp(@name=$n, @dept=$d)]").unwrap(),
+        Std::parse("org[unit(@dept=$d)[member(@name=$n, @kind=\"manager\")]] :- src[mgr(@name=$n, @dept=$d)]").unwrap(),
+    ];
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, stds);
+    let source = TreeBuilder::new("src")
+        .child("emp", |e| e.attr("@name", "Ada").attr("@dept", "DB"))
+        .child("emp", |e| e.attr("@name", "Edgar").attr("@dept", "DB"))
+        .child("mgr", |m| m.attr("@name", "Grace").attr("@dept", "DB"))
+        .build();
+    let solution = canonical_solution(&setting, &source).unwrap();
+    assert!(is_solution(&setting, &source, &solution, false));
+
+    // Certain query: names of managers of departments that have employees.
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["m"],
+            vec![
+                parse_pattern("unit(@dept=$d)[member(@name=$m, @kind=\"manager\")]").unwrap(),
+                parse_pattern("unit(@dept=$d)[member(@kind=\"employee\")]").unwrap(),
+            ],
+        )
+        .unwrap(),
+    );
+    let answers = certain_answers(&setting, &source, &q).unwrap();
+    assert_eq!(answers.tuples.len(), 1);
+    assert!(answers.tuples.contains(&vec!["Grace".to_string()]));
+}
+
+/// Constants written by STD target patterns (selection constants) survive the
+/// chase and show up in certain answers.
+#[test]
+fn constants_in_target_patterns_are_materialised() {
+    let source_dtd = Dtd::builder("src")
+        .rule("src", "item*")
+        .attributes("item", ["@id"])
+        .build()
+        .unwrap();
+    let target_dtd = Dtd::builder("out")
+        .rule("out", "fact*")
+        .attributes("fact", ["@id", "@source"])
+        .build()
+        .unwrap();
+    let std = Std::parse("out[fact(@id=$x, @source=\"legacy\")] :- src[item(@id=$x)]").unwrap();
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+    let mut source = XmlTree::new("src");
+    let i = source.add_child(source.root(), "item");
+    source.set_attr(i, "@id", "42");
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["id", "src"],
+            vec![parse_pattern("fact(@id=$id, @source=$src)").unwrap()],
+        )
+        .unwrap(),
+    );
+    let answers = certain_answers(&setting, &source, &q).unwrap();
+    assert_eq!(answers.tuples.len(), 1);
+    assert!(answers
+        .tuples
+        .contains(&vec!["42".to_string(), "legacy".to_string()]));
+}

@@ -1,0 +1,141 @@
+//! Reproduction of Figures 1 and 2 (experiments F1/F2 in EXPERIMENTS.md):
+//! the running books→writers example, its canonical solution and the
+//! hand-drawn target document of Figure 2.
+
+use xml_data_exchange::core::setting::{books_to_writers_setting, figure_1_source_tree};
+use xml_data_exchange::core::{certain_answers, check_consistency, classify_setting, is_solution};
+use xml_data_exchange::patterns::homomorphism::find_homomorphism;
+use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+use xml_data_exchange::xmltree::{NullGen, XmlTree};
+use xml_data_exchange::{canonical_solution, impose_sibling_order};
+
+/// The target document of Figure 2(b), with ⊥1 shared between the two
+/// "Combinatorial Optimization" works and ⊥2 on "Computational Complexity".
+fn figure_2_target_tree() -> XmlTree {
+    let mut gen = NullGen::new();
+    let bottom1 = gen.fresh_value();
+    let bottom2 = gen.fresh_value();
+    let mut t = XmlTree::new("bib");
+    let w1 = t.add_child(t.root(), "writer");
+    t.set_attr(w1, "@name", "Papadimitriou");
+    let k1 = t.add_child(w1, "work");
+    t.set_attr(k1, "@title", "Combinatorial Optimization");
+    t.set_attr(k1, "@year", bottom1.clone());
+    let k2 = t.add_child(w1, "work");
+    t.set_attr(k2, "@title", "Computational Complexity");
+    t.set_attr(k2, "@year", bottom2);
+    let w2 = t.add_child(t.root(), "writer");
+    t.set_attr(w2, "@name", "Steiglitz");
+    let k3 = t.add_child(w2, "work");
+    t.set_attr(k3, "@title", "Combinatorial Optimization");
+    t.set_attr(k3, "@year", bottom1);
+    t
+}
+
+#[test]
+fn figure_1_source_conforms_to_its_dtd() {
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+    assert!(setting.source_dtd.conforms(&source));
+    assert_eq!(source.size(), 6);
+    assert_eq!(source.depth(), 3);
+}
+
+#[test]
+fn figure_2_document_is_a_solution_for_figure_1() {
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+    let figure2 = figure_2_target_tree();
+    assert!(setting.target_dtd.conforms(&figure2));
+    assert!(is_solution(&setting, &source, &figure2, true));
+}
+
+#[test]
+fn the_running_example_is_consistent_and_tractable() {
+    let setting = books_to_writers_setting();
+    assert!(check_consistency(&setting).consistent);
+    assert!(classify_setting(&setting).is_tractable());
+}
+
+#[test]
+fn canonical_solution_embeds_into_figure_2() {
+    // Lemma 6.15: the canonical solution maps homomorphically into every
+    // solution, in particular into the hand-drawn Figure 2 document.
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+    let canonical = canonical_solution(&setting, &source).unwrap();
+    let figure2 = figure_2_target_tree();
+    let h = find_homomorphism(&canonical, &figure2).expect("homomorphism exists");
+    assert!(xml_data_exchange::patterns::is_homomorphism(&canonical, &figure2, &h));
+}
+
+#[test]
+fn canonical_solution_can_be_materialised_as_an_ordered_document() {
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+    let mut solution = canonical_solution(&setting, &source).unwrap();
+    assert!(setting.target_dtd.conforms_unordered(&solution));
+    impose_sibling_order(&mut solution, &setting.target_dtd).unwrap();
+    assert!(setting.target_dtd.conforms(&solution));
+    assert!(is_solution(&setting, &source, &solution, true));
+}
+
+#[test]
+fn introduction_queries_have_the_answers_the_paper_states() {
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+
+    // "Who is the writer of the work named Computational Complexity?" — the
+    // answer is Papadimitriou regardless of the particular solution.
+    let q1 = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["w"],
+            vec![parse_pattern("writer(@name=$w)[work(@title=\"Computational Complexity\")]").unwrap()],
+        )
+        .unwrap(),
+    );
+    let a1 = certain_answers(&setting, &source, &q1).unwrap();
+    assert_eq!(a1.tuples.len(), 1);
+    assert!(a1.tuples.contains(&vec!["Papadimitriou".to_string()]));
+    // The same query evaluated directly over the Figure 2 document agrees.
+    assert!(q1
+        .evaluate(&figure_2_target_tree())
+        .iter()
+        .any(|row| row[0].as_const() == Some("Papadimitriou")));
+
+    // "What are the works written in 1994?" — cannot be answered with
+    // certainty.
+    let q2 = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["t"],
+            vec![parse_pattern("work(@title=$t, @year=\"1994\")").unwrap()],
+        )
+        .unwrap(),
+    );
+    let a2 = certain_answers(&setting, &source, &q2).unwrap();
+    assert!(a2.tuples.is_empty());
+}
+
+#[test]
+fn certain_answers_agree_between_canonical_and_figure_2_solutions_on_constants() {
+    // Both are solutions, so every certain tuple must appear in the answers
+    // over each of them.
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+    let q = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["w", "t"],
+            vec![parse_pattern("writer(@name=$w)[work(@title=$t)]").unwrap()],
+        )
+        .unwrap(),
+    );
+    let certain = certain_answers(&setting, &source, &q).unwrap();
+    assert_eq!(certain.tuples.len(), 3);
+    let over_figure2 = q.evaluate(&figure_2_target_tree());
+    for row in &certain.tuples {
+        assert!(over_figure2.iter().any(|r| {
+            r.iter().map(|v| v.as_const().unwrap_or("")).collect::<Vec<_>>()
+                == row.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        }));
+    }
+}

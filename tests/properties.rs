@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) for the core invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xml_data_exchange::core::setting::DataExchangeSetting;
+use xml_data_exchange::core::is_solution;
+use xml_data_exchange::patterns::homomorphism::find_homomorphism;
+use xml_data_exchange::relang::parikh::{parikh_image, perm_accepts, AlphabetMap};
+use xml_data_exchange::relang::{parse_regex, Nfa, Regex};
+use xml_data_exchange::{canonical_solution, impose_sibling_order, Dtd, Std, XmlTree};
+
+/// A small pool of regular expressions over {a, b, c} used by the Parikh
+/// properties (mixing all the paper's shapes: simple, nested-relational,
+/// starred groups, unions, non-univocal ones).
+fn regex_pool() -> Vec<Regex<String>> {
+    [
+        "(a|b|c)*",
+        "a b* c?",
+        "(a b)*",
+        "(a b c)*",
+        "(a b)* (c)*",
+        "a | a a b*",
+        "(a b)|(a c)",
+        "a+ b+",
+        "(a|b) c*",
+        "eps",
+    ]
+    .into_iter()
+    .map(|s| parse_regex(s).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The semilinear (Pilling normal form) representation of π(r) and the
+    /// counting NFA simulation agree on membership.
+    #[test]
+    fn semilinear_and_nfa_simulation_agree(
+        regex_idx in 0usize..10,
+        ca in 0u64..4,
+        cb in 0u64..4,
+        cc in 0u64..4,
+    ) {
+        let regex = regex_pool()[regex_idx].clone();
+        let alphabet = AlphabetMap::new(["a".to_string(), "b".to_string(), "c".to_string()]);
+        let image = parikh_image(&regex, &alphabet);
+        let nfa = Nfa::from_regex(&regex);
+        let counts: BTreeMap<String, u64> =
+            [("a".to_string(), ca), ("b".to_string(), cb), ("c".to_string(), cc)]
+                .into_iter()
+                .filter(|(_, c)| *c > 0)
+                .collect();
+        let vector = alphabet.counts_of_map(&counts).unwrap();
+        prop_assert_eq!(image.contains(&vector), perm_accepts(&nfa, &counts));
+    }
+
+    /// Ordered acceptance implies unordered (permutation-language) acceptance:
+    /// every word of L(r) is in π(r).
+    #[test]
+    fn language_words_are_in_the_permutation_language(
+        regex_idx in 0usize..10,
+        word_idx in 0usize..20,
+    ) {
+        let regex = regex_pool()[regex_idx].clone();
+        let nfa = Nfa::from_regex(&regex);
+        let words = nfa.enumerate_words(25, 5);
+        prop_assume!(!words.is_empty());
+        let word = &words[word_idx % words.len()];
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for s in word {
+            *counts.entry(s.clone()).or_insert(0) += 1;
+        }
+        prop_assert!(nfa.matches(word));
+        prop_assert!(perm_accepts(&nfa, &counts));
+    }
+
+    /// Proposition 5.2: any shuffled multiset drawn from π((a b)* (c d)*) can
+    /// be re-ordered into an ordered conforming tree.
+    #[test]
+    fn shuffled_children_can_always_be_reordered(
+        ab_pairs in 0usize..6,
+        cd_pairs in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let dtd = Dtd::builder("r").rule("r", "(a b)* (c d)*").build().unwrap();
+        let mut labels: Vec<&str> = Vec::new();
+        for _ in 0..ab_pairs {
+            labels.extend(["a", "b"]);
+        }
+        for _ in 0..cd_pairs {
+            labels.extend(["c", "d"]);
+        }
+        labels.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut tree = XmlTree::new("r");
+        for l in labels {
+            tree.add_child(tree.root(), l);
+        }
+        prop_assert!(dtd.conforms_unordered(&tree));
+        impose_sibling_order(&mut tree, &dtd).unwrap();
+        prop_assert!(dtd.conforms(&tree));
+        tree.validate().unwrap();
+    }
+
+    /// For random source documents of a Clio-class setting, the canonical
+    /// solution (a) exists, (b) weakly conforms, (c) satisfies the STDs, and
+    /// (d) maps homomorphically into an enlarged solution (soundness of
+    /// certain answers).
+    #[test]
+    fn canonical_solutions_are_solutions_and_embed_into_larger_ones(
+        values in proptest::collection::vec((0usize..3, 0u32..5), 0..12),
+    ) {
+        let source_dtd = Dtd::builder("src")
+            .rule("src", "f0* f1* f2*")
+            .attributes("f0", ["@v"])
+            .attributes("f1", ["@v"])
+            .attributes("f2", ["@v"])
+            .build()
+            .unwrap();
+        let target_dtd = Dtd::builder("tgt")
+            .rule("tgt", "g0* g1* g2*")
+            .attributes("g0", ["@v", "@extra"])
+            .attributes("g1", ["@v", "@extra"])
+            .attributes("g2", ["@v", "@extra"])
+            .build()
+            .unwrap();
+        let stds = (0..3)
+            .map(|i| Std::parse(&format!("tgt[g{i}(@v=$x, @extra=$z)] :- src[f{i}(@v=$x)]")).unwrap())
+            .collect();
+        let setting = DataExchangeSetting::new(source_dtd, target_dtd, stds);
+
+        // Build the source, grouping fields so it also conforms ordered.
+        let mut source = XmlTree::new("src");
+        let mut grouped = values.clone();
+        grouped.sort();
+        for (field, value) in grouped {
+            let node = source.add_child(source.root(), format!("f{field}"));
+            source.set_attr(node, "@v", format!("v{value}"));
+        }
+        prop_assert!(setting.source_dtd.conforms(&source));
+
+        let solution = canonical_solution(&setting, &source).unwrap();
+        prop_assert!(setting.target_dtd.conforms_unordered(&solution));
+        prop_assert!(is_solution(&setting, &source, &solution, false));
+
+        // Enlarge: add an extra g0 fact and give every null a constant; still
+        // a solution, and the canonical solution embeds into it.
+        let mut larger = solution.clone();
+        let extra = larger.add_child(larger.root(), "g0");
+        larger.set_attr(extra, "@v", "extra-value");
+        larger.set_attr(extra, "@extra", "yes");
+        let nodes = larger.nodes();
+        let mut counter = 0;
+        for n in nodes {
+            for (attr, value) in larger.attrs(n).clone() {
+                if value.is_null() {
+                    counter += 1;
+                    larger.set_attr(n, attr, format!("filled{counter}"));
+                }
+            }
+        }
+        prop_assert!(is_solution(&setting, &source, &larger, false));
+        prop_assert!(find_homomorphism(&solution, &larger).is_some());
+    }
+
+    /// The DTD-trimming construction of Lemma 2.2 preserves conformance of
+    /// minimal witness trees and always yields a consistent DTD.
+    #[test]
+    fn trimming_yields_consistent_dtds(live in 1usize..6, dead in 0usize..6) {
+        let mut alts: Vec<String> = (0..live).map(|i| format!("a{i}")).collect();
+        alts.extend((0..dead).map(|i| format!("d{i}")));
+        let mut builder = Dtd::builder("r").rule("r", &format!("({})*", alts.join("|")));
+        for i in 0..live {
+            builder = builder.rule(&format!("a{i}"), "eps");
+        }
+        for i in 0..dead {
+            builder = builder.rule(&format!("d{i}"), &format!("d{i}"));
+        }
+        let dtd = builder.build().unwrap();
+        let trimmed = dtd.trim_to_consistent().unwrap();
+        prop_assert!(trimmed.is_consistent());
+        let witness = dtd.minimal_conforming_tree().unwrap();
+        prop_assert!(trimmed.conforms(&witness));
+        let witness2 = trimmed.minimal_conforming_tree().unwrap();
+        prop_assert!(dtd.conforms(&witness2));
+    }
+}
