@@ -51,7 +51,9 @@ enum SubEntry {
 
 impl SubformulaTable {
     fn new() -> Self {
-        SubformulaTable { entries: Vec::new() }
+        SubformulaTable {
+            entries: Vec::new(),
+        }
     }
 
     /// Insert a pattern (erasing attribute bindings) and return the index of
@@ -124,20 +126,24 @@ impl PatternSatisfiability {
     /// and no pattern of `neg` does? Attribute bindings in the patterns are
     /// ignored (erased), exactly as Claim 4.2 licenses for consistency
     /// checking.
-    pub fn satisfiable(&self, pos: &[TreePattern], neg: &[TreePattern]) -> bool {
+    ///
+    /// Accepts owned or borrowed pattern slices (`&[TreePattern]` or
+    /// `&[&TreePattern]`), so subset-enumeration callers need not clone
+    /// patterns per subset.
+    pub fn satisfiable<P: std::borrow::Borrow<TreePattern>>(&self, pos: &[P], neg: &[P]) -> bool {
         self.witnessing_profile(pos, neg).is_some()
     }
 
     /// Like [`PatternSatisfiability::satisfiable`], but returns the root
     /// profile witnessing satisfiability.
-    pub fn witnessing_profile(
+    pub fn witnessing_profile<P: std::borrow::Borrow<TreePattern>>(
         &self,
-        pos: &[TreePattern],
-        neg: &[TreePattern],
+        pos: &[P],
+        neg: &[P],
     ) -> Option<Profile> {
         let mut table = SubformulaTable::new();
-        let pos_tops: Vec<usize> = pos.iter().map(|p| table.insert(p)).collect();
-        let neg_tops: Vec<usize> = neg.iter().map(|p| table.insert(p)).collect();
+        let pos_tops: Vec<usize> = pos.iter().map(|p| table.insert(p.borrow())).collect();
+        let neg_tops: Vec<usize> = neg.iter().map(|p| table.insert(p.borrow())).collect();
         let achievable = self.achievable_profiles(&table);
         let root_profiles = achievable.get(self.dtd.root())?;
         root_profiles
@@ -155,14 +161,14 @@ impl PatternSatisfiability {
         &self,
         table: &SubformulaTable,
     ) -> BTreeMap<ElementType, BTreeSet<Profile>> {
-        let elements = self.dtd.element_types();
+        let elements: Vec<&ElementType> = self.dtd.element_types().collect();
         let mut achievable: BTreeMap<ElementType, BTreeSet<Profile>> = elements
             .iter()
-            .map(|e| (e.clone(), BTreeSet::new()))
+            .map(|&e| (e.clone(), BTreeSet::new()))
             .collect();
         loop {
             let mut changed = false;
-            for element in &elements {
+            for &element in &elements {
                 let aggregates = self.horizontal_aggregates(element, &achievable, table);
                 for (children_witnessed, children_below) in aggregates {
                     let witnessed =
@@ -268,9 +274,9 @@ mod tests {
         let dtd = Dtd::builder("r").rule("r", "a*").build().unwrap();
         let solver = PatternSatisfiability::new(&dtd);
         let has_a = p("r[a]");
-        assert!(solver.satisfiable(&[has_a.clone()], &[]));
-        assert!(solver.satisfiable(&[], &[has_a.clone()]));
-        assert!(!solver.satisfiable(&[has_a.clone()], &[has_a.clone()]));
+        assert!(solver.satisfiable(std::slice::from_ref(&has_a), &[]));
+        assert!(solver.satisfiable(&[], std::slice::from_ref(&has_a)));
+        assert!(!solver.satisfiable(std::slice::from_ref(&has_a), std::slice::from_ref(&has_a)));
     }
 
     #[test]
@@ -355,10 +361,7 @@ mod tests {
 
     #[test]
     fn witnessing_profile_reports_what_holds() {
-        let dtd = Dtd::builder("r")
-            .rule("r", "a b")
-            .build()
-            .unwrap();
+        let dtd = Dtd::builder("r").rule("r", "a b").build().unwrap();
         let solver = PatternSatisfiability::new(&dtd);
         let profile = solver
             .witnessing_profile(&[p("r[a]"), p("r[b]")], &[p("r[c]")])
@@ -375,7 +378,7 @@ mod tests {
             .build()
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(!solver.satisfiable(&[], &[]));
+        assert!(!solver.satisfiable::<TreePattern>(&[], &[]));
         assert!(!solver.satisfiable(&[p("r")], &[]));
     }
 }

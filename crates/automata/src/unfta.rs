@@ -61,16 +61,15 @@ impl Unfta {
     ///
     /// Returns the automaton together with the element-type-to-state map.
     pub fn from_dtd(dtd: &Dtd) -> (Unfta, BTreeMap<ElementType, usize>) {
-        let elements = dtd.element_types();
+        let elements: Vec<&ElementType> = dtd.element_types().collect();
         let index: BTreeMap<ElementType, usize> = elements
             .iter()
-            .cloned()
             .enumerate()
-            .map(|(i, e)| (e, i))
+            .map(|(i, &e)| (e.clone(), i))
             .collect();
         let root_state = index[dtd.root()];
         let mut a = Unfta::new(elements.len(), [root_state]);
-        for l in &elements {
+        for &l in &elements {
             let rule = dtd.rule(l);
             let horizontal = rule.map(&mut |sym: &ElementType| index[sym]);
             a.add_transition(index[l], l.clone(), horizontal);
@@ -226,9 +225,7 @@ mod tests {
         assert!(!a.accepts(&leaf_only)); // root is a leaf → state 0 only
         let two_level = TreeBuilder::new("a").leaf("a").leaf("a").build();
         assert!(a.accepts(&two_level));
-        let three_level = TreeBuilder::new("a")
-            .child("a", |x| x.leaf("a"))
-            .build();
+        let three_level = TreeBuilder::new("a").child("a", |x| x.leaf("a")).build();
         // the middle node can only take state 1 (its child is a leaf), and the
         // root requires all children in state 0 → reject
         assert!(!a.accepts(&three_level));

@@ -1,11 +1,17 @@
 //! Experiment E5 — Section 6.1: for univocal target DTDs the canonical
 //! solution (canonical pre-solution + chase) is computable in polynomial
 //! time in the size of the source document.
+//!
+//! Each point is measured twice: `reference/…` re-derives per-setting
+//! artefacts (pattern analyses, repair contexts) on every document, while
+//! `compiled/…` holds a [`CompiledSetting`] across documents — the
+//! compile-once, evaluate-many fast path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use xdx_bench::{clio_setting, clio_source};
-use xdx_core::canonical_solution;
+use xdx_core::solution::canonical_solution_reference;
+use xdx_core::CompiledSetting;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("canonical_solution");
@@ -19,9 +25,18 @@ fn bench(c: &mut Criterion) {
         let setting = clio_setting(4, 4);
         let source = clio_source(4, nodes, 7);
         group.bench_with_input(
-            BenchmarkId::new("source_nodes", nodes),
-            &(setting, source),
-            |b, (setting, source)| b.iter(|| canonical_solution(setting, source).unwrap()),
+            BenchmarkId::new("reference/source_nodes", nodes),
+            &(&setting, &source),
+            |b, (setting, source)| {
+                b.iter(|| canonical_solution_reference(setting, source).unwrap())
+            },
+        );
+        let compiled = CompiledSetting::new(&setting);
+        compiled.canonical_solution(&source).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compiled/source_nodes", nodes),
+            &(&compiled, &source),
+            |b, (compiled, source)| b.iter(|| compiled.canonical_solution(source).unwrap()),
         );
     }
 
@@ -30,9 +45,18 @@ fn bench(c: &mut Criterion) {
         let setting = clio_setting(fields, fields);
         let source = clio_source(fields, 80, 7);
         group.bench_with_input(
-            BenchmarkId::new("schema_fields", fields),
-            &(setting, source),
-            |b, (setting, source)| b.iter(|| canonical_solution(setting, source).unwrap()),
+            BenchmarkId::new("reference/schema_fields", fields),
+            &(&setting, &source),
+            |b, (setting, source)| {
+                b.iter(|| canonical_solution_reference(setting, source).unwrap())
+            },
+        );
+        let compiled = CompiledSetting::new(&setting);
+        compiled.canonical_solution(&source).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compiled/schema_fields", fields),
+            &(&compiled, &source),
+            |b, (compiled, source)| b.iter(|| compiled.canonical_solution(source).unwrap()),
         );
     }
     group.finish();

@@ -4,11 +4,18 @@
 //! Sweeps the DTD size (`n`, via the number of record fields) and the total
 //! STD size (`m`, via the number of dependencies) independently; the measured
 //! time should grow roughly linearly in `n` and at most quadratically in `m`.
+//!
+//! Each point is measured twice: `reference/…` rebuilds `D°`/`D*`, their
+//! unique trees and the erased patterns on every call (the uncompiled path),
+//! while `compiled/…` holds a [`CompiledSetting`] and only re-evaluates the
+//! pre-compiled patterns against the cached trees — the compile-once,
+//! evaluate-many fast path this suite tracks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use xdx_bench::clio_setting;
-use xdx_core::consistency::check_consistency_nested_relational;
+use xdx_core::consistency::check_consistency_nested_relational_reference;
+use xdx_core::CompiledSetting;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("consistency_nested_relational");
@@ -21,9 +28,18 @@ fn bench(c: &mut Criterion) {
     for fields in [4usize, 8, 16, 32, 64] {
         let setting = clio_setting(fields, 8);
         group.bench_with_input(
-            BenchmarkId::new("sweep_dtd_size_n", setting.dtds_size()),
+            BenchmarkId::new("reference/sweep_dtd_size_n", setting.dtds_size()),
             &setting,
-            |b, s| b.iter(|| check_consistency_nested_relational(s).unwrap()),
+            |b, s| b.iter(|| check_consistency_nested_relational_reference(s).unwrap()),
+        );
+        let compiled = CompiledSetting::new(&setting);
+        // Fill the lazy caches outside the timed region: the compiled path's
+        // contract is compile once, evaluate many.
+        compiled.check_consistency_nested_relational().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compiled/sweep_dtd_size_n", setting.dtds_size()),
+            &compiled,
+            |b, s| b.iter(|| s.check_consistency_nested_relational().unwrap()),
         );
     }
 
@@ -31,9 +47,16 @@ fn bench(c: &mut Criterion) {
     for stds in [4usize, 16, 64, 256] {
         let setting = clio_setting(8, stds);
         group.bench_with_input(
-            BenchmarkId::new("sweep_std_size_m", setting.stds_size()),
+            BenchmarkId::new("reference/sweep_std_size_m", setting.stds_size()),
             &setting,
-            |b, s| b.iter(|| check_consistency_nested_relational(s).unwrap()),
+            |b, s| b.iter(|| check_consistency_nested_relational_reference(s).unwrap()),
+        );
+        let compiled = CompiledSetting::new(&setting);
+        compiled.check_consistency_nested_relational().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compiled/sweep_std_size_m", setting.stds_size()),
+            &compiled,
+            |b, s| b.iter(|| s.check_consistency_nested_relational().unwrap()),
         );
     }
     group.finish();

@@ -1,9 +1,15 @@
 //! Experiment E9 — Lemma 2.2: trimming a DTD to an equivalent consistent DTD
 //! is polynomial-time in the DTD size.
+//!
+//! Alongside the trimming sweep, conformance of a wide document against the
+//! trimmable DTD is measured on both paths: `conforms_reference/…` (per-node
+//! NFA simulation) versus `conforms_compiled/…` (dense-table DFA over
+//! interned symbols).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use xdx_bench::trimmable_dtd;
+use xdx_xmltree::XmlTree;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("dtd_trim");
@@ -14,10 +20,30 @@ fn bench(c: &mut Criterion) {
 
     for size in [8usize, 32, 128, 256] {
         let dtd = trimmable_dtd(size, size);
+        group.bench_with_input(BenchmarkId::new("element_types", 2 * size), &dtd, |b, d| {
+            b.iter(|| d.trim_to_consistent().unwrap())
+        });
+    }
+
+    // Conformance of a wide flat document (1024 children cycling over the
+    // live element kinds) on the reference vs compiled path.
+    for size in [8usize, 32, 128] {
+        let dtd = trimmable_dtd(size, size);
+        let mut tree = XmlTree::new("r");
+        for i in 0..1024usize {
+            tree.add_child(tree.root(), format!("a{}", i % size));
+        }
+        assert!(dtd.conforms_reference(&tree));
+        dtd.compiled(); // compile outside the timed region
         group.bench_with_input(
-            BenchmarkId::new("element_types", 2 * size),
-            &dtd,
-            |b, d| b.iter(|| d.trim_to_consistent().unwrap()),
+            BenchmarkId::new("conforms_reference/live_kinds", size),
+            &(&dtd, &tree),
+            |b, (d, t)| b.iter(|| d.conforms_reference(t)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conforms_compiled/live_kinds", size),
+            &(&dtd, &tree),
+            |b, (d, t)| b.iter(|| d.conforms(t)),
         );
     }
     group.finish();

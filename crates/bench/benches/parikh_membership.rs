@@ -6,13 +6,19 @@
 //! polynomially with the word length; growing the alphabet (`k`) makes the
 //! problem harder. The brute-force permutation search is included on tiny
 //! inputs as the exponential baseline.
+//!
+//! Three implementations are compared on the fixed-regex sweep:
+//! `reference/…` (counting simulation over `BTreeSet` state sets),
+//! `bitset/…` (the same memoised search over bit masks), and
+//! `semilinear/…` (membership in the compiled Pilling normal form of
+//! Lemma 5.4 — compile once, O(vector) per query).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::time::Duration;
 use xdx_bench::{balanced_star_regex, balanced_word};
-use xdx_relang::parikh::{perm_accepts, perm_accepts_bruteforce};
-use xdx_relang::Nfa;
+use xdx_relang::parikh::{parikh_image, perm_accepts, perm_accepts_bruteforce, AlphabetMap};
+use xdx_relang::{BitsetNfa, Nfa};
 
 fn counts_of(word: &[String]) -> BTreeMap<String, u64> {
     let mut counts = BTreeMap::new();
@@ -35,9 +41,23 @@ fn bench(c: &mut Criterion) {
         let nfa = Nfa::from_regex(&regex);
         let counts = counts_of(&balanced_word(3, reps));
         group.bench_with_input(
-            BenchmarkId::new("fixed_regex_word_length", 3 * reps),
-            &(nfa, counts),
+            BenchmarkId::new("reference/fixed_regex_word_length", 3 * reps),
+            &(&nfa, &counts),
             |b, (nfa, counts)| b.iter(|| perm_accepts(nfa, counts)),
+        );
+        let bitset = BitsetNfa::from_nfa(&nfa);
+        group.bench_with_input(
+            BenchmarkId::new("bitset/fixed_regex_word_length", 3 * reps),
+            &(&bitset, &counts),
+            |b, (bitset, counts)| b.iter(|| bitset.perm_accepts(counts)),
+        );
+        let alphabet = AlphabetMap::of_regex(&regex);
+        let image = parikh_image(&regex, &alphabet);
+        let vector = alphabet.counts_of_map(&counts).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("semilinear/fixed_regex_word_length", 3 * reps),
+            &(&image, &vector),
+            |b, (image, vector)| b.iter(|| image.contains(vector)),
         );
     }
 
@@ -47,9 +67,15 @@ fn bench(c: &mut Criterion) {
         let nfa = Nfa::from_regex(&regex);
         let counts = counts_of(&balanced_word(k, 8));
         group.bench_with_input(
-            BenchmarkId::new("growing_alphabet", k),
-            &(nfa, counts),
+            BenchmarkId::new("reference/growing_alphabet", k),
+            &(&nfa, &counts),
             |b, (nfa, counts)| b.iter(|| perm_accepts(nfa, counts)),
+        );
+        let bitset = BitsetNfa::from_nfa(&nfa);
+        group.bench_with_input(
+            BenchmarkId::new("bitset/growing_alphabet", k),
+            &(&bitset, &counts),
+            |b, (bitset, counts)| b.iter(|| bitset.perm_accepts(counts)),
         );
     }
 
@@ -60,7 +86,7 @@ fn bench(c: &mut Criterion) {
         let word = balanced_word(3, reps);
         group.bench_with_input(
             BenchmarkId::new("bruteforce_permutations", 3 * reps),
-            &(nfa, word),
+            &(&nfa, &word),
             |b, (nfa, word)| b.iter(|| perm_accepts_bruteforce(nfa, word)),
         );
     }

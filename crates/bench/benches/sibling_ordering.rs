@@ -4,11 +4,16 @@
 //! The workload shuffles the children of a node with content model
 //! `(a b)* (c d)*`; the measured time should grow polynomially (roughly
 //! quadratically for this content model) with the number of children.
+//!
+//! `reference/…` is the `BTreeSet` NFA-simulation path; `compiled/…` runs
+//! the same greedy algorithm on the pre-built bit-parallel NFA with a shared
+//! memo table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use xdx_bench::shuffled_children;
 use xdx_core::impose_sibling_order;
+use xdx_core::ordering::impose_sibling_order_reference;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sibling_ordering");
@@ -19,12 +24,25 @@ fn bench(c: &mut Criterion) {
 
     for groups in [5usize, 10, 20, 40] {
         let (dtd, tree) = shuffled_children(groups, 20260614);
+        // Compile outside the timed region.
+        dtd.compiled();
         group.bench_with_input(
-            BenchmarkId::new("children", groups * 4),
-            &(dtd, tree),
+            BenchmarkId::new("reference/children", groups * 4),
+            &(&dtd, &tree),
             |b, (dtd, tree)| {
                 b.iter(|| {
-                    let mut t = tree.clone();
+                    let mut t = (*tree).clone();
+                    impose_sibling_order_reference(&mut t, dtd).unwrap();
+                    t
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled/children", groups * 4),
+            &(&dtd, &tree),
+            |b, (dtd, tree)| {
+                b.iter(|| {
+                    let mut t = (*tree).clone();
                     impose_sibling_order(&mut t, dtd).unwrap();
                     t
                 })

@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use xdx_core::setting::{DataExchangeSetting, Std};
-use xdx_patterns::query::{ConjunctiveTreeQuery, UnionQuery};
 use xdx_patterns::parse_pattern;
+use xdx_patterns::query::{ConjunctiveTreeQuery, UnionQuery};
 use xdx_relang::{parse_regex, Regex};
 use xdx_xmltree::{Dtd, XmlTree};
 
@@ -42,10 +42,10 @@ pub fn clio_setting(num_fields: usize, num_stds: usize) -> DataExchangeSetting {
     );
     for i in 0..num_fields {
         src = src
-            .rule(&format!("f{i}"), "eps")
+            .rule(format!("f{i}"), "eps")
             .attributes(format!("f{i}"), ["@v"]);
         tgt = tgt
-            .rule(&format!("g{i}"), "eps")
+            .rule(format!("g{i}"), "eps")
             .attributes(format!("g{i}"), ["@v", "@extra"]);
     }
     let source_dtd = src.build().expect("well-formed generated source DTD");
@@ -53,10 +53,8 @@ pub fn clio_setting(num_fields: usize, num_stds: usize) -> DataExchangeSetting {
     let stds: Vec<Std> = (0..num_stds)
         .map(|k| {
             let i = k % num_fields;
-            Std::parse(&format!(
-                "tgt[g{i}(@v=$x, @extra=$z)] :- src[f{i}(@v=$x)]"
-            ))
-            .expect("well-formed generated STD")
+            Std::parse(&format!("tgt[g{i}(@v=$x, @extra=$z)] :- src[f{i}(@v=$x)]"))
+                .expect("well-formed generated STD")
         })
         .collect();
     DataExchangeSetting::new(source_dtd, target_dtd, stds)
@@ -102,11 +100,11 @@ pub fn trimmable_dtd(num_live: usize, num_dead: usize) -> Dtd {
     alts.extend((0..num_dead).map(|i| format!("d{i}")));
     let mut builder = Dtd::builder("r").rule("r", &format!("({})*", alts.join("|")));
     for i in 0..num_live {
-        builder = builder.rule(&format!("a{i}"), "eps");
+        builder = builder.rule(format!("a{i}"), "eps");
     }
     for i in 0..num_dead {
         // each dead element requires itself, so it can never be completed
-        builder = builder.rule(&format!("d{i}"), &format!("d{i}"));
+        builder = builder.rule(format!("d{i}"), &format!("d{i}"));
     }
     builder.build().expect("well-formed generated DTD")
 }
@@ -135,7 +133,10 @@ pub fn shuffled_children(groups: usize, seed: u64) -> (Dtd, XmlTree) {
 /// The regular expression `(a0 a1 … a{k-1})*` over `k` distinct symbols,
 /// whose permutation language requires equal counts of all symbols.
 pub fn balanced_star_regex(k: usize) -> Regex<String> {
-    let body = (0..k).map(|i| format!("a{i}")).collect::<Vec<_>>().join(" ");
+    let body = (0..k)
+        .map(|i| format!("a{i}"))
+        .collect::<Vec<_>>()
+        .join(" ");
     parse_regex(&format!("({body})*")).expect("well-formed generated regex")
 }
 

@@ -142,12 +142,18 @@ mod tests {
         let q = UnionQuery::new(vec![
             ConjunctiveTreeQuery::new(
                 ["n"],
-                vec![parse_pattern("writer(@name=$n)[work(@title=\"Computational Complexity\")]").unwrap()],
+                vec![
+                    parse_pattern("writer(@name=$n)[work(@title=\"Computational Complexity\")]")
+                        .unwrap(),
+                ],
             )
             .unwrap(),
             ConjunctiveTreeQuery::new(
                 ["n"],
-                vec![parse_pattern("writer(@name=$n)[work(@title=\"Combinatorial Optimization\")]").unwrap()],
+                vec![parse_pattern(
+                    "writer(@name=$n)[work(@title=\"Combinatorial Optimization\")]",
+                )
+                .unwrap()],
             )
             .unwrap(),
         ])
@@ -170,7 +176,13 @@ mod tests {
 
         let mut other = XmlTree::new("bib");
         for (name, works) in [
-            ("Papadimitriou", vec![("Combinatorial Optimization", "1982"), ("Computational Complexity", "1994")]),
+            (
+                "Papadimitriou",
+                vec![
+                    ("Combinatorial Optimization", "1982"),
+                    ("Computational Complexity", "1994"),
+                ],
+            ),
             ("Steiglitz", vec![("Combinatorial Optimization", "1982")]),
             ("Knuth", vec![("TAOCP", "1968")]),
         ] {
@@ -192,7 +204,11 @@ mod tests {
         )
         .evaluate(&other)
         .into_iter()
-        .map(|row| row.iter().map(|v| v.as_const().unwrap().to_string()).collect())
+        .map(|row| {
+            row.iter()
+                .map(|v| v.as_const().unwrap().to_string())
+                .collect()
+        })
         .collect();
         assert!(answers.tuples.is_subset(&over_other));
         // ...and strictly contained: the other solution invents a Knuth fact

@@ -66,13 +66,22 @@ impl fmt::Display for SettingClass {
                 }
             ),
             SettingClass::NotFullySpecified { std_index } => {
-                write!(f, "STD #{std_index} is not fully specified (Theorem 5.11 applies)")
+                write!(
+                    f,
+                    "STD #{std_index} is not fully specified (Theorem 5.11 applies)"
+                )
             }
             SettingClass::NonUnivocalTarget { element, .. } => {
-                write!(f, "content model of {element} is not univocal (coNP-complete class)")
+                write!(
+                    f,
+                    "content model of {element} is not univocal (coNP-complete class)"
+                )
             }
             SettingClass::Unknown { element, reason } => {
-                write!(f, "univocality of {element}'s content model undecided: {reason}")
+                write!(
+                    f,
+                    "univocality of {element}'s content model undecided: {reason}"
+                )
             }
         }
     }
@@ -95,17 +104,20 @@ pub fn classify_setting_with(
         }
     }
     for element in setting.target_dtd.element_types() {
-        let rule = setting.target_dtd.rule(&element);
+        let rule = setting.target_dtd.rule(element);
         match check_univocality(&rule, config) {
             UnivocalityVerdict::Univocal { .. } => {}
             v @ UnivocalityVerdict::NotUnivocal { .. } => {
                 return SettingClass::NonUnivocalTarget {
-                    element,
+                    element: element.clone(),
                     verdict: v,
                 }
             }
             UnivocalityVerdict::Unknown { reason } => {
-                return SettingClass::Unknown { element, reason }
+                return SettingClass::Unknown {
+                    element: element.clone(),
+                    reason,
+                }
             }
         }
     }
@@ -135,7 +147,11 @@ mod tests {
 
     #[test]
     fn univocal_but_not_nested_relational_targets_are_still_tractable() {
-        let source = Dtd::builder("r").rule("r", "A*").attributes("A", ["@a"]).build().unwrap();
+        let source = Dtd::builder("r")
+            .rule("r", "A*")
+            .attributes("A", ["@a"])
+            .build()
+            .unwrap();
         let target = Dtd::builder("r2")
             .rule("r2", "(B C)*")
             .attributes("B", ["@m"])
@@ -155,7 +171,9 @@ mod tests {
     #[test]
     fn non_fully_specified_stds_are_flagged() {
         let mut setting = books_to_writers_setting();
-        setting.stds.push(Std::parse("//writer(@name=$n) :- db[book(@title=$n)]").unwrap());
+        setting
+            .stds
+            .push(Std::parse("//writer(@name=$n) :- db[book(@title=$n)]").unwrap());
         assert_eq!(
             classify_setting(&setting),
             SettingClass::NotFullySpecified { std_index: 1 }
@@ -165,11 +183,12 @@ mod tests {
     #[test]
     fn non_univocal_targets_are_flagged() {
         // c(a | aab*) = 2: the target content model is non-univocal.
-        let source = Dtd::builder("r").rule("r", "X*").attributes("X", ["@v"]).build().unwrap();
-        let target = Dtd::builder("r2")
-            .rule("r2", "a | a a b*")
+        let source = Dtd::builder("r")
+            .rule("r", "X*")
+            .attributes("X", ["@v"])
             .build()
             .unwrap();
+        let target = Dtd::builder("r2").rule("r2", "a | a a b*").build().unwrap();
         let std = Std::parse("r2[a] :- r[X(@v=$x)]").unwrap();
         let setting = DataExchangeSetting::new(source, target, vec![std]);
         match classify_setting(&setting) {

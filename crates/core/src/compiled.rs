@@ -1,0 +1,662 @@
+//! Compile-once, evaluate-many data exchange settings.
+//!
+//! Every entry point of this crate used to recompute per call (and often per
+//! *node*) artefacts that only depend on the setting: regex→NFA compilation,
+//! pattern variable analyses, attribute-erased patterns, `D°`/`D*`
+//! transformations, Parikh images for the repair machinery. A
+//! [`CompiledSetting`] is built once per [`DataExchangeSetting`] and caches
+//! all of it:
+//!
+//! * the [`CompiledDtd`]s of both schemas (interned symbols + dense-table
+//!   DFAs; shared with the `Dtd` itself, so repeated `CompiledSetting`
+//!   construction is cheap);
+//! * per-STD compiled patterns ([`CompiledPattern`]), shared/target-only
+//!   variable sets and fully-specified/wildcard flags;
+//! * lazily, per-element [`RepairContext`]s for the chase (`ChangeReg`), the
+//!   `D°`/`D*` unique-tree plan for the nested-relational consistency check
+//!   of Theorem 4.5, and the automata solvers of the general check of
+//!   Theorem 4.1.
+//!
+//! The original implementations remain available as `*_reference` functions
+//! in [`crate::solution`] and [`crate::consistency`]; the compiled paths are
+//! differential-tested against them.
+
+use crate::consistency::{ConsistencyMethod, ConsistencyVerdict};
+use crate::setting::DataExchangeSetting;
+use crate::solution::{apply_change_reg, children_multiset, instantiate_target, SolutionError};
+use std::cell::{OnceCell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use xdx_automata::PatternSatisfiability;
+use xdx_patterns::compiled::{
+    all_matches_compiled, holds_in_matches, CompiledPattern, InternedLabels,
+};
+use xdx_patterns::eval::Assignment;
+use xdx_patterns::{TreePattern, Var};
+use xdx_relang::repair::{RepairConfig, RepairContext};
+use xdx_xmltree::{
+    compiled::sparse_counts, CompiledDtd, DtdError, ElementType, NullGen, Sym, Value, XmlTree,
+};
+
+/// One STD with its setting-dependent analyses precomputed.
+#[derive(Debug, Clone)]
+pub struct CompiledStd {
+    /// Variables shared between source and target patterns (`x̄`).
+    pub shared_vars: BTreeSet<Var>,
+    /// The source pattern compiled against the source DTD's interner.
+    pub source_compiled: CompiledPattern,
+    /// The target pattern compiled against the target DTD's interner.
+    pub target_compiled: CompiledPattern,
+    /// `ϕ°` — the attribute-erased source pattern (Claim 4.2).
+    pub erased_source: TreePattern,
+    /// `ψ°` — the attribute-erased target pattern.
+    pub erased_target: TreePattern,
+    /// Is the target pattern fully specified (Definition 5.10)?
+    pub target_fully_specified: bool,
+    /// Does the target pattern use a wildcard?
+    pub target_uses_wildcard: bool,
+}
+
+/// Precomputed plan for the nested-relational consistency check: the unique
+/// conforming trees of `D°_S` and `D*_T` with pre-interned labels, plus the
+/// erased STD patterns compiled against those two (fixed) trees' DTDs.
+struct NestedRelationalPlan {
+    circle_tree: XmlTree,
+    star_tree: XmlTree,
+    circle_labels: InternedLabels,
+    star_labels: InternedLabels,
+    source_patterns: Vec<CompiledPattern>,
+    target_patterns: Vec<CompiledPattern>,
+}
+
+/// A [`DataExchangeSetting`] compiled for repeated evaluation (see the
+/// module docs). Borrows the setting; build it once and reuse it for every
+/// source document / consistency query.
+pub struct CompiledSetting<'s> {
+    setting: &'s DataExchangeSetting,
+    source: &'s CompiledDtd,
+    target: &'s CompiledDtd,
+    stds: Vec<CompiledStd>,
+    /// Element types forced by target patterns; repair contexts must cover
+    /// them in addition to the content-model alphabet.
+    forced_target_elements: BTreeSet<ElementType>,
+    /// Per-target-element repair contexts, built on first `ChangeReg` use
+    /// and reused across chase invocations.
+    repair_contexts: RefCell<BTreeMap<Sym, RepairContext<ElementType>>>,
+    nested: OnceCell<Option<NestedRelationalPlan>>,
+    source_solver: OnceCell<PatternSatisfiability>,
+    target_solver: OnceCell<PatternSatisfiability>,
+}
+
+impl<'s> CompiledSetting<'s> {
+    /// Compile `setting`. The DTD compilations are shared with the `Dtd`
+    /// values themselves, so this is cheap to call repeatedly; the heavier
+    /// caches (repair contexts, consistency plans) fill in lazily on first
+    /// use and then persist for the lifetime of this value.
+    pub fn new(setting: &'s DataExchangeSetting) -> Self {
+        let source = setting.source_dtd.compiled();
+        let target = setting.target_dtd.compiled();
+        let target_root = setting.target_dtd.root();
+        let mut forced_target_elements: BTreeSet<ElementType> = BTreeSet::new();
+        let stds = setting
+            .stds
+            .iter()
+            .map(|std| {
+                forced_target_elements.extend(std.target.element_types());
+                CompiledStd {
+                    shared_vars: std.shared_vars(),
+                    source_compiled: CompiledPattern::new(&std.source, source),
+                    target_compiled: CompiledPattern::new(&std.target, target),
+                    erased_source: std.source.erase_attributes(),
+                    erased_target: std.target.erase_attributes(),
+                    target_fully_specified: std.target.is_fully_specified(target_root),
+                    target_uses_wildcard: std.target.uses_wildcard(),
+                }
+            })
+            .collect();
+        CompiledSetting {
+            setting,
+            source,
+            target,
+            stds,
+            forced_target_elements,
+            repair_contexts: RefCell::new(BTreeMap::new()),
+            nested: OnceCell::new(),
+            source_solver: OnceCell::new(),
+            target_solver: OnceCell::new(),
+        }
+    }
+
+    /// The underlying setting.
+    pub fn setting(&self) -> &'s DataExchangeSetting {
+        self.setting
+    }
+
+    /// The compiled source DTD.
+    pub fn source_dtd(&self) -> &'s CompiledDtd {
+        self.source
+    }
+
+    /// The compiled target DTD.
+    pub fn target_dtd(&self) -> &'s CompiledDtd {
+        self.target
+    }
+
+    /// The compiled STDs, in setting order.
+    pub fn stds(&self) -> &[CompiledStd] {
+        &self.stds
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical pre-solution and chase (Section 6.1)
+    // ------------------------------------------------------------------
+
+    /// Build the canonical pre-solution `cps(T)` (compiled fast path of
+    /// [`crate::solution::canonical_presolution`]).
+    pub fn canonical_presolution(
+        &self,
+        source_tree: &XmlTree,
+        nulls: &mut NullGen,
+    ) -> Result<XmlTree, SolutionError> {
+        let mut tree = XmlTree::new(self.setting.target_dtd.root().clone());
+        let labels = InternedLabels::new(source_tree, self.source);
+        for (std_index, cstd) in self.stds.iter().enumerate() {
+            if cstd.target_uses_wildcard {
+                return Err(SolutionError::WildcardInTarget { std_index });
+            }
+            if !cstd.target_fully_specified {
+                return Err(SolutionError::NotFullySpecified { std_index });
+            }
+            // Deduplicate matches on the shared variables: instantiations
+            // that differ only in source-only variables are homomorphically
+            // equivalent.
+            let mut seen: BTreeSet<Assignment> = BTreeSet::new();
+            for assignment in all_matches_compiled(source_tree, &cstd.source_compiled, &labels) {
+                let restricted: Assignment = assignment
+                    .into_iter()
+                    .filter(|(v, _)| cstd.shared_vars.contains(v))
+                    .collect();
+                if !seen.insert(restricted.clone()) {
+                    continue;
+                }
+                instantiate_target(&mut tree, &self.setting.stds[std_index], &restricted, nulls)?;
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Run the chase of Section 6.1 (`ChangeAtt` / `ChangeReg`) on `tree`
+    /// (compiled fast path of [`crate::solution::chase`]).
+    pub fn chase(&self, tree: &mut XmlTree, nulls: &mut NullGen) -> Result<(), SolutionError> {
+        let repair_config = RepairConfig::default();
+        let budget = 100_000usize.max(100 * tree.size());
+        let mut steps = 0usize;
+        let mut counts_sparse: Vec<(Sym, u64)> = Vec::new();
+        let mut child_syms: Vec<Sym> = Vec::new();
+        // Contexts whose alphabet had to be extended beyond the precomputed
+        // one (labels forced by neither content models nor STDs).
+        let mut overrides: BTreeMap<ElementType, RepairContext<ElementType>> = BTreeMap::new();
+
+        'outer: loop {
+            steps += 1;
+            if steps > budget {
+                return Err(SolutionError::ChaseBudgetExceeded { steps });
+            }
+            let nodes = tree.nodes();
+            let mut changed = false;
+            for node in nodes {
+                let Some(sym) = self.target.sym(tree.label(node)) else {
+                    return Err(SolutionError::UnknownTargetElement {
+                        element: tree.label(node).clone(),
+                    });
+                };
+                let label = self.target.element(sym);
+                // --- ChangeAtt ---------------------------------------------
+                let allowed = self.target.attrs(sym);
+                for attr in tree.attrs(node).keys() {
+                    if allowed.binary_search(attr).is_err() {
+                        return Err(SolutionError::DisallowedAttribute {
+                            element: label.clone(),
+                            attr: attr.clone(),
+                        });
+                    }
+                }
+                for attr in allowed {
+                    if tree.attr(node, attr).is_none() {
+                        tree.set_attr(node, attr.clone(), nulls.fresh_value());
+                        changed = true;
+                    }
+                }
+                // --- ChangeReg ---------------------------------------------
+                // Fast accept: all children interned and the count vector is
+                // in the permutation language (bounds or bitset search).
+                child_syms.clear();
+                let mut all_known = true;
+                for &c in tree.children(node) {
+                    match self.target.sym(tree.label(c)) {
+                        Some(s) => child_syms.push(s),
+                        None => {
+                            all_known = false;
+                            break;
+                        }
+                    }
+                }
+                if all_known {
+                    sparse_counts(&mut child_syms, &mut counts_sparse);
+                    if self.target.perm_accepts_counts(sym, &counts_sparse) {
+                        continue;
+                    }
+                }
+                // Slow path: full repair machinery, mirroring the reference
+                // chase step for step. The shared per-element context covers
+                // the content-model alphabet plus every STD-forced element;
+                // when a child label falls outside even that, a per-chase
+                // override context is built exactly as the reference does.
+                let child_counts = children_multiset(tree, node);
+                let mutated = {
+                    let mut contexts = self.repair_contexts.borrow_mut();
+                    let shared = contexts.entry(sym).or_insert_with(|| {
+                        RepairContext::new(
+                            &self.setting.target_dtd.rule(label),
+                            self.forced_target_elements.iter().cloned(),
+                        )
+                    });
+                    let ctx: &RepairContext<ElementType> = if child_counts
+                        .keys()
+                        .any(|k| shared.alphabet().index(k).is_none())
+                    {
+                        let needs_rebuild = match overrides.get(label) {
+                            Some(ctx) => child_counts
+                                .keys()
+                                .any(|k| ctx.alphabet().index(k).is_none()),
+                            None => true,
+                        };
+                        if needs_rebuild {
+                            overrides.insert(
+                                label.clone(),
+                                RepairContext::new(
+                                    &self.setting.target_dtd.rule(label),
+                                    child_counts.keys().cloned(),
+                                ),
+                            );
+                        }
+                        overrides.get(label).expect("context ensured above")
+                    } else {
+                        shared
+                    };
+                    if ctx.perm_contains(&child_counts) {
+                        false
+                    } else {
+                        let maximum = match ctx.maximum_repair(&child_counts, &repair_config) {
+                            Ok(m) => m,
+                            Err(e) => {
+                                return Err(SolutionError::RepairBudgetExceeded {
+                                    message: e.to_string(),
+                                })
+                            }
+                        };
+                        let Some(target_counts) = maximum else {
+                            let any = ctx
+                                .rep(&child_counts, &repair_config)
+                                .map(|r| !r.is_empty())
+                                .unwrap_or(false);
+                            return Err(if any {
+                                SolutionError::NoMaximumRepair {
+                                    element: label.clone(),
+                                }
+                            } else {
+                                SolutionError::NoRepair {
+                                    element: label.clone(),
+                                }
+                            });
+                        };
+                        apply_change_reg(
+                            tree,
+                            node,
+                            label,
+                            &child_counts,
+                            &target_counts,
+                            &self.setting.target_dtd,
+                        )?;
+                        true
+                    }
+                };
+                if mutated {
+                    // Structure changed: re-snapshot the node list.
+                    continue 'outer;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical pre-solution followed by the chase (compiled fast path of
+    /// [`crate::solution::canonical_solution`]).
+    pub fn canonical_solution(&self, source_tree: &XmlTree) -> Result<XmlTree, SolutionError> {
+        let mut nulls = NullGen::new();
+        let mut tree = self.canonical_presolution(source_tree, &mut nulls)?;
+        self.chase(&mut tree, &mut nulls)?;
+        Ok(tree)
+    }
+
+    /// Is `target_tree` a solution for `source_tree` (Definition 3.3;
+    /// compiled fast path of [`crate::solution::is_solution`])?
+    ///
+    /// Unlike the reference, the match relation `ψ(T')` of each STD is
+    /// computed once per STD instead of once per source-side match.
+    pub fn is_solution(&self, source_tree: &XmlTree, target_tree: &XmlTree, ordered: bool) -> bool {
+        let conforms = if ordered {
+            self.target.conforms(target_tree)
+        } else {
+            self.target.conforms_unordered(target_tree)
+        };
+        if !conforms {
+            return false;
+        }
+        let source_labels = InternedLabels::new(source_tree, self.source);
+        let target_labels = InternedLabels::new(target_tree, self.target);
+        for cstd in &self.stds {
+            let target_matches =
+                all_matches_compiled(target_tree, &cstd.target_compiled, &target_labels);
+            let mut seen: BTreeSet<Assignment> = BTreeSet::new();
+            for assignment in
+                all_matches_compiled(source_tree, &cstd.source_compiled, &source_labels)
+            {
+                let restricted: Assignment = assignment
+                    .into_iter()
+                    .filter(|(v, _)| cstd.shared_vars.contains(v))
+                    .collect();
+                if !seen.insert(restricted.clone()) {
+                    continue;
+                }
+                if !holds_in_matches(&target_matches, &restricted) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency (Section 4)
+    // ------------------------------------------------------------------
+
+    fn nested_plan(&self) -> Option<&NestedRelationalPlan> {
+        self.nested
+            .get_or_init(|| {
+                let circle = self.setting.source_dtd.to_circle().ok()?;
+                let star = self.setting.target_dtd.to_star().ok()?;
+                let fill = |_: &_, _: &_| Value::constant("s0");
+                let circle_tree = circle.unique_conforming_tree_with(fill).ok()?;
+                let star_tree = star.unique_conforming_tree_with(fill).ok()?;
+                let circle_labels = InternedLabels::new(&circle_tree, circle.compiled());
+                let star_labels = InternedLabels::new(&star_tree, star.compiled());
+                let source_patterns = self
+                    .stds
+                    .iter()
+                    .map(|c| CompiledPattern::new(&c.erased_source, circle.compiled()))
+                    .collect();
+                let target_patterns = self
+                    .stds
+                    .iter()
+                    .map(|c| CompiledPattern::new(&c.erased_target, star.compiled()))
+                    .collect();
+                Some(NestedRelationalPlan {
+                    circle_tree,
+                    star_tree,
+                    circle_labels,
+                    star_labels,
+                    source_patterns,
+                    target_patterns,
+                })
+            })
+            .as_ref()
+    }
+
+    /// The `O(n·m²)` nested-relational consistency check of Theorem 4.5
+    /// (compiled fast path of
+    /// [`crate::consistency::check_consistency_nested_relational`]): the
+    /// `D°`/`D*` trees are built once and each call only re-evaluates the
+    /// (erased, pre-compiled) STD patterns against them.
+    pub fn check_consistency_nested_relational(&self) -> Result<bool, DtdError> {
+        let Some(plan) = self.nested_plan() else {
+            // Reproduce the reference error (which DTD fails, and why).
+            self.setting.source_dtd.to_circle()?;
+            self.setting.target_dtd.to_star()?;
+            unreachable!("nested plan construction only fails on non-nested-relational DTDs");
+        };
+        for (i, _) in self.stds.iter().enumerate() {
+            let source_holds = !all_matches_compiled(
+                &plan.circle_tree,
+                &plan.source_patterns[i],
+                &plan.circle_labels,
+            )
+            .is_empty();
+            if !source_holds {
+                continue;
+            }
+            let target_holds =
+                !all_matches_compiled(&plan.star_tree, &plan.target_patterns[i], &plan.star_labels)
+                    .is_empty();
+            if !target_holds {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The general (worst-case exponential) consistency check of Theorem 4.1
+    /// (compiled fast path of
+    /// [`crate::consistency::check_consistency_general`]): the two automata
+    /// solvers are built once, and the subset loop passes pattern
+    /// *references* instead of cloning patterns per subset.
+    pub fn check_consistency_general(&self) -> bool {
+        let n = self.stds.len();
+        if n == 0 {
+            return self.setting.source_dtd.is_satisfiable()
+                && self.setting.target_dtd.is_satisfiable();
+        }
+        let source_solver = self
+            .source_solver
+            .get_or_init(|| PatternSatisfiability::new(&self.setting.source_dtd));
+        let target_solver = self
+            .target_solver
+            .get_or_init(|| PatternSatisfiability::new(&self.setting.target_dtd));
+        assert!(
+            n < usize::BITS as usize,
+            "the general consistency check enumerates 2^|Σ_ST| subsets; {n} STDs is not supported"
+        );
+        for mask in 0usize..(1usize << n) {
+            let mut tgt_pos: Vec<&TreePattern> = Vec::new();
+            let mut src_pos: Vec<&TreePattern> = Vec::new();
+            let mut src_neg: Vec<&TreePattern> = Vec::new();
+            for (i, cstd) in self.stds.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    tgt_pos.push(&cstd.erased_target);
+                    src_pos.push(&cstd.erased_source);
+                } else {
+                    src_neg.push(&cstd.erased_source);
+                }
+            }
+            // Check the cheaper target side first.
+            if !target_solver.satisfiable(&tgt_pos, &[]) {
+                continue;
+            }
+            if source_solver.satisfiable(&src_pos, &src_neg) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Check consistency, dispatching to the nested-relational fast path
+    /// when both DTDs belong to that class (compiled fast path of
+    /// [`crate::consistency::check_consistency`]).
+    pub fn check_consistency(&self) -> ConsistencyVerdict {
+        if self.setting.is_nested_relational() {
+            let consistent = self
+                .check_consistency_nested_relational()
+                .expect("is_nested_relational() checked the precondition");
+            ConsistencyVerdict {
+                consistent,
+                method: ConsistencyMethod::NestedRelational,
+            }
+        } else {
+            ConsistencyVerdict {
+                consistent: self.check_consistency_general(),
+                method: ConsistencyMethod::General,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledSetting<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSetting")
+            .field("stds", &self.stds.len())
+            .field("source_elements", &self.source.num_elements())
+            .field("target_elements", &self.target.num_elements())
+            .finish()
+    }
+}
+
+/// Convenience: compile `setting`. Prefer holding a [`CompiledSetting`] when
+/// processing many documents against the same setting.
+pub fn compile(setting: &DataExchangeSetting) -> CompiledSetting<'_> {
+    CompiledSetting::new(setting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::{
+        check_consistency_general_reference, check_consistency_nested_relational_reference,
+    };
+    use crate::setting::{books_to_writers_setting, figure_1_source_tree, Std};
+    use crate::solution::{canonical_solution_reference, is_solution_reference};
+    use xdx_xmltree::Dtd;
+
+    #[test]
+    fn compiled_canonical_solution_matches_reference_on_running_example() {
+        let setting = books_to_writers_setting();
+        let source = figure_1_source_tree();
+        let compiled = CompiledSetting::new(&setting);
+        let fast = compiled.canonical_solution(&source).unwrap();
+        let reference = canonical_solution_reference(&setting, &source).unwrap();
+        // Same shape up to null renaming and sibling order.
+        assert_eq!(fast.size(), reference.size());
+        assert!(setting.target_dtd.conforms_unordered(&fast));
+        assert!(compiled.is_solution(&source, &fast, false));
+        assert!(is_solution_reference(&setting, &source, &fast, false));
+        assert!(compiled.is_solution(&source, &reference, false));
+    }
+
+    #[test]
+    fn compiled_chase_errors_match_reference() {
+        // Forced merge with clashing constants (Example from Section 6.1).
+        let source_dtd = Dtd::builder("db")
+            .rule("db", "book*")
+            .rule("book", "author*")
+            .attributes("book", ["@title"])
+            .attributes("author", ["@name", "@aff"])
+            .build()
+            .unwrap();
+        let target_dtd = Dtd::builder("bib")
+            .rule("bib", "writer")
+            .rule("writer", "work*")
+            .attributes("writer", ["@name"])
+            .attributes("work", ["@title", "@year"])
+            .build()
+            .unwrap();
+        let std = Std::parse(
+            "bib[writer(@name=$y)[work(@title=$x, @year=$z)]] :- db[book(@title=$x)[author(@name=$y)]]",
+        )
+        .unwrap();
+        let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+        let source = figure_1_source_tree();
+        let compiled = CompiledSetting::new(&setting);
+        let fast = compiled.canonical_solution(&source).unwrap_err();
+        let reference = canonical_solution_reference(&setting, &source).unwrap_err();
+        assert!(matches!(fast, SolutionError::AttributeClash { .. }));
+        assert!(matches!(reference, SolutionError::AttributeClash { .. }));
+    }
+
+    #[test]
+    fn undeclared_source_labels_still_drive_the_exchange() {
+        // Settings are not validated by default, and pattern semantics never
+        // require the source tree to conform: an STD whose source pattern
+        // mentions an element type the source DTD does not declare must
+        // still fire on a source tree carrying that label, exactly as the
+        // reference path does (regression test for the compiled pattern
+        // resolver treating undeclared labels as statically unsatisfiable).
+        let source_dtd = Dtd::builder("db").rule("db", "book*").build().unwrap();
+        let target_dtd = Dtd::builder("bib")
+            .rule("bib", "entry*")
+            .attributes("entry", ["@t"])
+            .build()
+            .unwrap();
+        let std = Std::parse("bib[entry(@t=$x)] :- db[journal(@t=$x)]").unwrap();
+        let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+        let mut source = XmlTree::new("db");
+        let j = source.add_child(source.root(), "journal");
+        source.set_attr(j, "@t", "JACM");
+
+        let compiled = CompiledSetting::new(&setting);
+        let fast = compiled.canonical_solution(&source).unwrap();
+        let reference = canonical_solution_reference(&setting, &source).unwrap();
+        assert_eq!(fast.size(), 2, "the journal match must produce an entry");
+        assert_eq!(fast.size(), reference.size());
+        assert_eq!(
+            compiled.is_solution(&source, &fast, false),
+            is_solution_reference(&setting, &source, &fast, false)
+        );
+    }
+
+    #[test]
+    fn compiled_consistency_agrees_with_reference() {
+        let nested = books_to_writers_setting();
+        let compiled = CompiledSetting::new(&nested);
+        assert_eq!(
+            compiled.check_consistency_nested_relational().unwrap(),
+            check_consistency_nested_relational_reference(&nested).unwrap()
+        );
+        assert_eq!(
+            compiled.check_consistency_general(),
+            check_consistency_general_reference(&nested)
+        );
+
+        // An inconsistent general setting.
+        let source = Dtd::builder("r").rule("r", "a*").build().unwrap();
+        let target = Dtd::builder("r2")
+            .rule("r2", "one|two")
+            .rule("one", "eps")
+            .rule("two", "eps")
+            .build()
+            .unwrap();
+        let std = Std::parse("r2[one[two(@a=$x)]] :- r").unwrap();
+        let setting = DataExchangeSetting::new(source, target, vec![std]);
+        let compiled = CompiledSetting::new(&setting);
+        assert_eq!(
+            compiled.check_consistency_general(),
+            check_consistency_general_reference(&setting)
+        );
+        assert!(!compiled.check_consistency().consistent);
+    }
+
+    #[test]
+    fn compiled_setting_is_reusable_across_documents() {
+        let setting = books_to_writers_setting();
+        let compiled = CompiledSetting::new(&setting);
+        let empty = XmlTree::new("db");
+        let s1 = compiled.canonical_solution(&empty).unwrap();
+        assert_eq!(s1.size(), 1);
+        let source = figure_1_source_tree();
+        let s2 = compiled.canonical_solution(&source).unwrap();
+        assert!(compiled.is_solution(&source, &s2, false));
+        // A third run on the first document again (caches warm).
+        let s3 = compiled.canonical_solution(&empty).unwrap();
+        assert_eq!(s3.size(), 1);
+    }
+}

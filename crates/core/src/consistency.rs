@@ -44,23 +44,33 @@ pub struct ConsistencyVerdict {
 
 /// Check consistency, using the nested-relational fast path when both DTDs
 /// belong to that class and the general procedure otherwise.
+///
+/// Runs on the compiled fast path (a [`crate::compiled::CompiledSetting`] is
+/// built for the call); hold one yourself to amortise the compilation over
+/// repeated queries.
 pub fn check_consistency(setting: &DataExchangeSetting) -> ConsistencyVerdict {
-    if setting.is_nested_relational() {
-        let consistent = check_consistency_nested_relational(setting)
-            .expect("is_nested_relational() checked the precondition");
-        ConsistencyVerdict {
-            consistent,
-            method: ConsistencyMethod::NestedRelational,
-        }
-    } else {
-        ConsistencyVerdict {
-            consistent: check_consistency_general(setting),
-            method: ConsistencyMethod::General,
-        }
-    }
+    crate::compiled::CompiledSetting::new(setting).check_consistency()
 }
 
-/// The general (worst-case exponential) consistency check of Theorem 4.1.
+/// The general (worst-case exponential) consistency check of Theorem 4.1
+/// (compiled fast path; the original is kept as
+/// [`check_consistency_general_reference`]).
+pub fn check_consistency_general(setting: &DataExchangeSetting) -> bool {
+    crate::compiled::CompiledSetting::new(setting).check_consistency_general()
+}
+
+/// The `O(n·m²)` consistency check for nested-relational DTDs (Theorem 4.5),
+/// on the compiled fast path (the original is kept as
+/// [`check_consistency_nested_relational_reference`]).
+///
+/// Returns an error if either DTD is not nested-relational.
+pub fn check_consistency_nested_relational(
+    setting: &DataExchangeSetting,
+) -> Result<bool, DtdError> {
+    crate::compiled::CompiledSetting::new(setting).check_consistency_nested_relational()
+}
+
+/// Reference implementation of [`check_consistency_general`].
 ///
 /// Iterates over subsets `I ⊆ Σ_ST`, asking (a) whether some source tree
 /// satisfies exactly the source patterns in `I`, and (b) whether some target
@@ -68,7 +78,7 @@ pub fn check_consistency(setting: &DataExchangeSetting) -> ConsistencyVerdict {
 /// both hold for some `I`. Both sub-questions are answered by
 /// [`PatternSatisfiability`], which explores the reachable part of the
 /// automaton products of the paper's proof.
-pub fn check_consistency_general(setting: &DataExchangeSetting) -> bool {
+pub fn check_consistency_general_reference(setting: &DataExchangeSetting) -> bool {
     let n = setting.stds.len();
     let source_solver = PatternSatisfiability::new(&setting.source_dtd);
     let target_solver = PatternSatisfiability::new(&setting.target_dtd);
@@ -98,10 +108,10 @@ pub fn check_consistency_general(setting: &DataExchangeSetting) -> bool {
         let mut src_neg = Vec::new();
         for i in 0..n {
             if mask & (1 << i) != 0 {
-                tgt_pos.push(target_patterns[i].clone());
-                src_pos.push(source_patterns[i].clone());
+                tgt_pos.push(&target_patterns[i]);
+                src_pos.push(&source_patterns[i]);
             } else {
-                src_neg.push(source_patterns[i].clone());
+                src_neg.push(&source_patterns[i]);
             }
         }
         // Check the cheaper target side first.
@@ -115,10 +125,9 @@ pub fn check_consistency_general(setting: &DataExchangeSetting) -> bool {
     false
 }
 
-/// The `O(n·m²)` consistency check for nested-relational DTDs (Theorem 4.5).
-///
-/// Returns an error if either DTD is not nested-relational.
-pub fn check_consistency_nested_relational(
+/// Reference implementation of [`check_consistency_nested_relational`]:
+/// rebuilds `D°`/`D*` and their unique trees on every call.
+pub fn check_consistency_nested_relational_reference(
     setting: &DataExchangeSetting,
 ) -> Result<bool, DtdError> {
     let circle = setting.source_dtd.to_circle()?;
@@ -246,10 +255,7 @@ mod tests {
         // D°_S drops optional parts: a source pattern that can only be
         // satisfied using optional structure does not force anything, so the
         // target pattern being unsatisfiable does not hurt consistency.
-        let source = Dtd::builder("db")
-            .rule("db", "a? b")
-            .build()
-            .unwrap();
+        let source = Dtd::builder("db").rule("db", "a? b").build().unwrap();
         // `two` is never declared by the target DTD, so the target pattern
         // r2[one[two]] is unsatisfiable.
         let target = Dtd::builder("r2")
@@ -283,7 +289,11 @@ mod tests {
     #[test]
     fn empty_std_set_reduces_to_dtd_satisfiability() {
         let sat = Dtd::builder("r").rule("r", "a*").build().unwrap();
-        let unsat = Dtd::builder("u").rule("u", "v").rule("v", "v").build().unwrap();
+        let unsat = Dtd::builder("u")
+            .rule("u", "v")
+            .rule("v", "v")
+            .build()
+            .unwrap();
         let ok = DataExchangeSetting::new(sat.clone(), sat.clone(), vec![]);
         assert!(check_consistency_general(&ok));
         let bad = DataExchangeSetting::new(sat, unsat, vec![]);

@@ -29,7 +29,11 @@ pub fn build(formula: &CnfFormula) -> DataExchangeSetting {
     // Source DTD: r → x0p | x0n ; x_i· → x_{i+1}p | x_{i+1}n ; last level → ε.
     let mut builder = Dtd::builder("r").rule(
         "r",
-        &format!("{} | {}", element_of(Literal::pos(0)), element_of(Literal::neg(0))),
+        &format!(
+            "{} | {}",
+            element_of(Literal::pos(0)),
+            element_of(Literal::neg(0))
+        ),
     );
     for var in 0..n {
         for positive in [true, false] {
@@ -52,7 +56,10 @@ pub fn build(formula: &CnfFormula) -> DataExchangeSetting {
 
     // Fixed target DTD: a bare root that cannot have the `f` child the STDs
     // would force.
-    let target_dtd = Dtd::builder("r2").rule("r2", "eps").build().expect("well-formed target DTD");
+    let target_dtd = Dtd::builder("r2")
+        .rule("r2", "eps")
+        .build()
+        .expect("well-formed target DTD");
 
     // One STD per clause: the source pattern matches exactly the chains in
     // which all three literals of the clause are falsified.
@@ -116,7 +123,10 @@ mod tests {
 
     #[test]
     fn reduction_agrees_with_brute_force_on_small_formulae() {
-        for f in [CnfFormula::paper_example(), CnfFormula::tiny_unsatisfiable()] {
+        for f in [
+            CnfFormula::paper_example(),
+            CnfFormula::tiny_unsatisfiable(),
+        ] {
             let setting = build(&f);
             assert_eq!(
                 check_consistency_general(&setting),

@@ -18,8 +18,8 @@
 
 use super::three_sat::CnfFormula;
 use crate::setting::{DataExchangeSetting, Std};
-use xdx_patterns::query::{ConjunctiveTreeQuery, UnionQuery};
 use xdx_patterns::parse_pattern;
+use xdx_patterns::query::{ConjunctiveTreeQuery, UnionQuery};
 use xdx_xmltree::{Dtd, XmlTree};
 
 /// Everything the reduction produces for one formula.
@@ -111,7 +111,10 @@ pub fn certain_answer(formula: &CnfFormula) -> bool {
 /// Theorem 5.11 from a satisfying assignment: it is a genuine solution for
 /// `T_θ` and does not satisfy `Q`, certifying `certain(Q, T_θ) = false`.
 pub fn solution_from_assignment(formula: &CnfFormula, assignment: &[bool]) -> XmlTree {
-    assert!(formula.satisfied_by(assignment), "assignment must satisfy the formula");
+    assert!(
+        formula.satisfied_by(assignment),
+        "assignment must satisfy the formula"
+    );
     let mut t = XmlTree::new("K");
     // G1 gadgets, one per clause.
     for clause in &formula.clauses {
@@ -123,8 +126,8 @@ pub fn solution_from_assignment(formula: &CnfFormula, assignment: &[bool]) -> Xm
             .find(|&i| clause.0[i].satisfied_by(assignment))
             .expect("satisfied clause has a true literal");
         let chain_parent = match position {
-            2 => g1,                       // third literal true: H1 directly under G1
-            1 => t.add_child(g1, "G2"),    // second literal: G1 → G2 → H1
+            2 => g1,                    // third literal true: H1 directly under G1
+            1 => t.add_child(g1, "G2"), // second literal: G1 → G2 → H1
             _ => {
                 let g2 = t.add_child(g1, "G2");
                 t.add_child(g2, "G3") // first literal: G1 → G2 → G3 → H1

@@ -14,7 +14,10 @@ pub struct Literal {
 impl Literal {
     /// The positive literal of variable `var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal of variable `var`.
@@ -66,9 +69,7 @@ impl CnfFormula {
     /// Build a formula, checking that every literal's variable is in range.
     pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
         assert!(
-            clauses
-                .iter()
-                .all(|c| c.0.iter().all(|l| l.var < num_vars)),
+            clauses.iter().all(|c| c.0.iter().all(|l| l.var < num_vars)),
             "clause mentions a variable out of range"
         );
         CnfFormula { num_vars, clauses }
@@ -109,7 +110,10 @@ impl CnfFormula {
     /// exponential baseline the hardness benchmarks measure.
     pub fn brute_force_satisfiable(&self) -> Option<Vec<bool>> {
         let n = self.num_vars;
-        assert!(n < usize::BITS as usize, "too many variables for brute force");
+        assert!(
+            n < usize::BITS as usize,
+            "too many variables for brute force"
+        );
         for mask in 0usize..(1usize << n) {
             let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
             if self.satisfied_by(&assignment) {
@@ -159,7 +163,9 @@ mod tests {
 
     #[test]
     fn tiny_unsatisfiable_really_is() {
-        assert!(CnfFormula::tiny_unsatisfiable().brute_force_satisfiable().is_none());
+        assert!(CnfFormula::tiny_unsatisfiable()
+            .brute_force_satisfiable()
+            .is_none());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod certain;
 pub mod classify;
+pub mod compiled;
 pub mod consistency;
 pub mod gadgets;
 pub mod ordering;
@@ -43,6 +44,7 @@ pub mod solution;
 
 pub use certain::{certain_answers, certain_answers_boolean, CertainAnswers};
 pub use classify::{classify_setting, SettingClass};
+pub use compiled::{CompiledSetting, CompiledStd};
 pub use consistency::{check_consistency, ConsistencyMethod, ConsistencyVerdict};
 pub use ordering::impose_sibling_order;
 pub use setting::{DataExchangeSetting, SettingError, Std};

@@ -10,8 +10,8 @@
 //! intermediate NFA state).
 
 use std::collections::BTreeMap;
-use std::fmt;
 use std::collections::VecDeque;
+use std::fmt;
 use xdx_relang::parikh::perm_accepts_from;
 use xdx_xmltree::{Dtd, ElementType, NodeId, XmlTree};
 
@@ -55,11 +55,118 @@ impl std::error::Error for OrderingError {}
 /// Reorder the children of every node of `tree` so that the ordered tree
 /// conforms to `dtd`. Requires `tree |≈ dtd` (weak conformance); returns an
 /// error otherwise.
+///
+/// Runs on the compiled fast path: the greedy algorithm simulates the
+/// pre-built bit-parallel NFA of each content model and shares one
+/// memoisation table across the O(children²) permutation-membership queries
+/// of a node. The original `BTreeSet`-simulation path is kept as
+/// [`impose_sibling_order_reference`], produces the same order, and the two
+/// are differential-tested.
 pub fn impose_sibling_order(tree: &mut XmlTree, dtd: &Dtd) -> Result<(), OrderingError> {
+    let compiled = dtd.compiled();
+    let nodes = tree.nodes();
+    for node in nodes {
+        order_children_compiled(tree, compiled, node)?;
+    }
+    Ok(())
+}
+
+/// Reference implementation of [`impose_sibling_order`].
+pub fn impose_sibling_order_reference(tree: &mut XmlTree, dtd: &Dtd) -> Result<(), OrderingError> {
     let nodes = tree.nodes();
     for node in nodes {
         order_children(tree, dtd, node)?;
     }
+    Ok(())
+}
+
+fn order_children_compiled(
+    tree: &mut XmlTree,
+    compiled: &xdx_xmltree::CompiledDtd,
+    node: NodeId,
+) -> Result<(), OrderingError> {
+    use std::collections::HashMap;
+    use xdx_relang::StateMask;
+
+    let Some(sym) = compiled.sym(tree.label(node)) else {
+        return Err(OrderingError::UnknownElementType {
+            node,
+            label: tree.label(node).clone(),
+        });
+    };
+    let label = compiled.element(sym);
+    let nfa = compiled.bitset_nfa(sym);
+    let children: Vec<NodeId> = tree.children(node).to_vec();
+    if children.is_empty() {
+        // Still need the content model to accept the empty word.
+        if !nfa.accepts(nfa.start_mask()) {
+            return Err(OrderingError::NotWeaklyConforming {
+                node,
+                label: label.clone(),
+            });
+        }
+        return Ok(());
+    }
+    // Per-symbol FIFO queues of children (indexed by the content model's
+    // alphabet), preserving the original relative order among same-labelled
+    // siblings. A child label outside the alphabet can never be placed.
+    let width = nfa.alphabet().len();
+    let mut queues: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); width];
+    let mut counts: Vec<u64> = vec![0; width];
+    for &c in &children {
+        let Some(idx) = nfa.sym_index(tree.label(c)) else {
+            return Err(OrderingError::NotWeaklyConforming {
+                node,
+                label: label.clone(),
+            });
+        };
+        queues[idx].push_back(c);
+        counts[idx] += 1;
+    }
+    // One memo table shared by every membership query at this node.
+    let mut memo: HashMap<(StateMask, Vec<u64>), bool> = HashMap::new();
+    // The whole multiset must be a permutation of some word.
+    if !nfa.perm_accepts_counts_memo(nfa.start_mask(), &mut counts, &mut memo) {
+        return Err(OrderingError::NotWeaklyConforming {
+            node,
+            label: label.clone(),
+        });
+    }
+
+    let mut order: Vec<NodeId> = Vec::with_capacity(children.len());
+    let mut current = nfa.start_mask().clone();
+    for _ in 0..children.len() {
+        let mut advanced = false;
+        // The bitset alphabet is sorted, so candidates are visited in the
+        // same order as the reference implementation.
+        for idx in 0..width {
+            if counts[idx] == 0 {
+                continue;
+            }
+            let next = nfa.step_mask(&current, idx);
+            if next.is_empty() {
+                continue;
+            }
+            counts[idx] -= 1;
+            if nfa.perm_accepts_counts_memo(&next, &mut counts, &mut memo) {
+                let child = queues[idx]
+                    .pop_front()
+                    .expect("counts and queues stay in sync");
+                order.push(child);
+                current = next;
+                advanced = true;
+                break;
+            }
+            counts[idx] += 1;
+        }
+        if !advanced {
+            return Err(OrderingError::NotWeaklyConforming {
+                node,
+                label: label.clone(),
+            });
+        }
+    }
+    tree.set_child_order(node, order);
     Ok(())
 }
 
@@ -88,9 +195,7 @@ fn order_children(tree: &mut XmlTree, dtd: &Dtd, node: NodeId) -> Result<(), Ord
     // The whole multiset must be a permutation of some word.
     let accepted_somewhere = {
         let start = nfa.eps_closure(&[nfa.start()].into_iter().collect());
-        start
-            .iter()
-            .any(|&q| perm_accepts_from(nfa, q, &counts))
+        start.iter().any(|&q| perm_accepts_from(nfa, q, &counts))
     };
     if !accepted_somewhere {
         return Err(OrderingError::NotWeaklyConforming { node, label });
@@ -158,7 +263,10 @@ mod tests {
     fn orders_interleavings_of_starred_groups() {
         // D: r → (b c)* (d e)* ; a shuffled multiset {b,b,c,c,d,e} must come
         // out as some interleaving like b c b c d e.
-        let dtd = Dtd::builder("r").rule("r", "(b c)* (d e)*").build().unwrap();
+        let dtd = Dtd::builder("r")
+            .rule("r", "(b c)* (d e)*")
+            .build()
+            .unwrap();
         let mut t = TreeBuilder::new("r")
             .leaf("e")
             .leaf("c")
@@ -228,6 +336,42 @@ mod tests {
             impose_sibling_order(&mut t2, &dtd2).unwrap_err(),
             OrderingError::NotWeaklyConforming { .. }
         ));
+    }
+
+    #[test]
+    fn compiled_ordering_matches_reference_exactly() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let dtd = Dtd::builder("r")
+            .rule("r", "(b c)* (d e)* a?")
+            .build()
+            .unwrap();
+        for seed in 0..20u64 {
+            let mut labels: Vec<&str> = Vec::new();
+            for _ in 0..(seed % 5 + 1) {
+                labels.extend(["b", "c", "d", "e"]);
+            }
+            if seed % 2 == 0 {
+                labels.push("a");
+            }
+            labels.shuffle(&mut StdRng::seed_from_u64(seed));
+            let mut fast = XmlTree::new("r");
+            for l in &labels {
+                fast.add_child(fast.root(), *l);
+            }
+            let mut reference = fast.clone();
+            impose_sibling_order(&mut fast, &dtd).unwrap();
+            impose_sibling_order_reference(&mut reference, &dtd).unwrap();
+            let order = |t: &XmlTree| -> Vec<String> {
+                t.children(t.root())
+                    .iter()
+                    .map(|&c| t.label(c).to_string())
+                    .collect()
+            };
+            assert_eq!(order(&fast), order(&reference), "seed {seed}");
+            assert!(dtd.conforms(&fast));
+        }
     }
 
     #[test]

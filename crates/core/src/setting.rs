@@ -242,12 +242,18 @@ pub fn figure_1_source_tree() -> xdx_xmltree::XmlTree {
     xdx_xmltree::TreeBuilder::new("db")
         .child("book", |b| {
             b.attr("@title", "Combinatorial Optimization")
-                .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
-                .child("author", |a| a.attr("@name", "Steiglitz").attr("@aff", "Princeton"))
+                .child("author", |a| {
+                    a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                })
+                .child("author", |a| {
+                    a.attr("@name", "Steiglitz").attr("@aff", "Princeton")
+                })
         })
         .child("book", |b| {
             b.attr("@title", "Computational Complexity")
-                .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
+                .child("author", |a| {
+                    a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                })
         })
         .build()
 }
@@ -262,10 +268,17 @@ mod tests {
             "bib[writer(@name=$y)[work(@title=$x, @year=$z)]] :- db[book(@title=$x)[author(@name=$y)]]",
         )
         .unwrap();
-        let shared: Vec<String> = std.shared_vars().iter().map(|v| v.as_str().to_string()).collect();
+        let shared: Vec<String> = std
+            .shared_vars()
+            .iter()
+            .map(|v| v.as_str().to_string())
+            .collect();
         assert_eq!(shared, vec!["x", "y"]);
-        let target_only: Vec<String> =
-            std.target_only_vars().iter().map(|v| v.as_str().to_string()).collect();
+        let target_only: Vec<String> = std
+            .target_only_vars()
+            .iter()
+            .map(|v| v.as_str().to_string())
+            .collect();
         assert_eq!(target_only, vec!["z"]);
         assert!(std.source_only_vars().is_empty());
         assert!(std.size() > 6);
@@ -296,25 +309,34 @@ mod tests {
             .stds
             .push(Std::parse("bib[writer(@name=$n)] :- db[journal(@name=$n)]").unwrap());
         let err = setting.validate(false).unwrap_err();
-        assert!(matches!(err, SettingError::UnknownSourceElement { std_index: 1, .. }));
+        assert!(matches!(
+            err,
+            SettingError::UnknownSourceElement { std_index: 1, .. }
+        ));
 
         let mut setting2 = books_to_writers_setting();
         setting2
             .stds
             .push(Std::parse("bib[editor(@name=$n)] :- db[book(@title=$n)]").unwrap());
         let err2 = setting2.validate(false).unwrap_err();
-        assert!(matches!(err2, SettingError::UnknownTargetElement { std_index: 1, .. }));
+        assert!(matches!(
+            err2,
+            SettingError::UnknownTargetElement { std_index: 1, .. }
+        ));
     }
 
     #[test]
     fn distinct_variable_proviso_is_optional() {
         let mut setting = books_to_writers_setting();
-        setting
-            .stds
-            .push(Std::parse("bib[writer(@name=$v)] :- db[book(@title=$v)[author(@name=$v)]]").unwrap());
+        setting.stds.push(
+            Std::parse("bib[writer(@name=$v)] :- db[book(@title=$v)[author(@name=$v)]]").unwrap(),
+        );
         assert!(setting.validate(false).is_ok());
         let err = setting.validate(true).unwrap_err();
-        assert!(matches!(err, SettingError::RepeatedSourceVariable { std_index: 1 }));
+        assert!(matches!(
+            err,
+            SettingError::RepeatedSourceVariable { std_index: 1 }
+        ));
     }
 
     #[test]

@@ -102,22 +102,35 @@ impl fmt::Display for SolutionError {
                 write!(f, "STD #{std_index} is not fully specified")
             }
             SolutionError::DisallowedAttribute { element, attr } => {
-                write!(f, "attribute {attr} is forced on {element} but not allowed by the target DTD")
+                write!(
+                    f,
+                    "attribute {attr} is forced on {element} but not allowed by the target DTD"
+                )
             }
-            SolutionError::AttributeClash { element, attr, values } => write!(
+            SolutionError::AttributeClash {
+                element,
+                attr,
+                values,
+            } => write!(
                 f,
                 "merging {element} nodes clashes on {attr}: {:?} vs {:?}",
                 values.0, values.1
             ),
             SolutionError::NoRepair { element } => {
-                write!(f, "the children of a {element} node cannot be repaired into its content model")
+                write!(
+                    f,
+                    "the children of a {element} node cannot be repaired into its content model"
+                )
             }
             SolutionError::NoMaximumRepair { element } => write!(
                 f,
                 "the content model of {element} is not univocal: repairs have no maximum"
             ),
             SolutionError::UnknownTargetElement { element } => {
-                write!(f, "target patterns force element type {element}, unknown to the target DTD")
+                write!(
+                    f,
+                    "target patterns force element type {element}, unknown to the target DTD"
+                )
             }
             SolutionError::WildcardInTarget { std_index } => {
                 write!(f, "STD #{std_index} uses a wildcard in its target pattern")
@@ -136,7 +149,22 @@ impl std::error::Error for SolutionError {}
 ///
 /// Requires every STD's target pattern to be fully specified. Fresh nulls are
 /// drawn from `nulls`.
+///
+/// Runs on the compiled fast path (a [`crate::compiled::CompiledSetting`] is
+/// built for the call); when processing many documents against one setting,
+/// hold a `CompiledSetting` and call its methods instead. The original
+/// implementation is kept as [`canonical_presolution_reference`].
 pub fn canonical_presolution(
+    setting: &DataExchangeSetting,
+    source_tree: &XmlTree,
+    nulls: &mut NullGen,
+) -> Result<XmlTree, SolutionError> {
+    crate::compiled::CompiledSetting::new(setting).canonical_presolution(source_tree, nulls)
+}
+
+/// Reference implementation of [`canonical_presolution`] (per-call pattern
+/// evaluation, `Vec`-scan deduplication).
+pub fn canonical_presolution_reference(
     setting: &DataExchangeSetting,
     source_tree: &XmlTree,
     nulls: &mut NullGen,
@@ -172,8 +200,8 @@ pub fn canonical_presolution(
 
 /// Instantiate one STD's target pattern under `assignment` (shared variables)
 /// and graft it below the pre-solution root, inventing fresh nulls for
-/// target-only variables.
-fn instantiate_target(
+/// target-only variables. Shared with the compiled path.
+pub(crate) fn instantiate_target(
     tree: &mut XmlTree,
     std: &Std,
     assignment: &Assignment,
@@ -229,8 +257,21 @@ fn build_instance(
 }
 
 /// Run the chase of Section 6.1 (`ChangeAtt` / `ChangeReg`) on `tree` until
-/// it weakly conforms to `target_dtd` or fails.
+/// it weakly conforms to the target DTD or fails.
+///
+/// Runs on the compiled fast path; the original implementation is kept as
+/// [`chase_reference`].
 pub fn chase(
+    tree: &mut XmlTree,
+    setting: &DataExchangeSetting,
+    nulls: &mut NullGen,
+) -> Result<(), SolutionError> {
+    crate::compiled::CompiledSetting::new(setting).chase(tree, nulls)
+}
+
+/// Reference implementation of [`chase`] (rebuilds repair contexts per call,
+/// clones labels and attribute sets per node).
+pub fn chase_reference(
     tree: &mut XmlTree,
     setting: &DataExchangeSetting,
     nulls: &mut NullGen,
@@ -320,18 +361,26 @@ pub fn chase(
     Ok(())
 }
 
-fn children_multiset(tree: &XmlTree, node: NodeId) -> BTreeMap<ElementType, u64> {
-    let mut counts = BTreeMap::new();
+pub(crate) fn children_multiset(tree: &XmlTree, node: NodeId) -> BTreeMap<ElementType, u64> {
+    let mut counts: BTreeMap<ElementType, u64> = BTreeMap::new();
     for &c in tree.children(node) {
-        *counts.entry(tree.label(c).clone()).or_insert(0) += 1;
+        let label = tree.label(c);
+        // Only clone the label when it is a new key (the common case is many
+        // same-typed siblings).
+        match counts.get_mut(label) {
+            Some(n) => *n += 1,
+            None => {
+                counts.insert(label.clone(), 1);
+            }
+        }
     }
     counts
 }
 
 /// Apply one `ChangeReg` step at `node`: make its children multiset equal to
 /// `target_counts` by adding fresh empty children and/or merging same-typed
-/// children.
-fn apply_change_reg(
+/// children. Shared with the compiled path.
+pub(crate) fn apply_change_reg(
     tree: &mut XmlTree,
     node: NodeId,
     label: &ElementType,
@@ -424,13 +473,25 @@ fn merge_children_of_type(
 /// followed by the chase. The result weakly conforms to the target DTD and
 /// satisfies all STDs; for univocal target DTDs it is the canonical solution
 /// of Section 6.1.
+///
+/// Runs on the compiled fast path (one [`crate::compiled::CompiledSetting`]
+/// is built and shared by the pre-solution and the chase); the original
+/// implementation is kept as [`canonical_solution_reference`].
 pub fn canonical_solution(
     setting: &DataExchangeSetting,
     source_tree: &XmlTree,
 ) -> Result<XmlTree, SolutionError> {
+    crate::compiled::CompiledSetting::new(setting).canonical_solution(source_tree)
+}
+
+/// Reference implementation of [`canonical_solution`].
+pub fn canonical_solution_reference(
+    setting: &DataExchangeSetting,
+    source_tree: &XmlTree,
+) -> Result<XmlTree, SolutionError> {
     let mut nulls = NullGen::new();
-    let mut tree = canonical_presolution(setting, source_tree, &mut nulls)?;
-    chase(&mut tree, setting, &mut nulls)?;
+    let mut tree = canonical_presolution_reference(setting, source_tree, &mut nulls)?;
+    chase_reference(&mut tree, setting, &mut nulls)?;
     Ok(tree)
 }
 
@@ -439,16 +500,31 @@ pub fn canonical_solution(
 /// With `ordered = false` conformance is checked modulo sibling order
 /// (the weak solutions of Section 5.2); with `ordered = true` the sibling
 /// order must also match the content models.
+///
+/// Runs on the compiled fast path (the STD match relations over the target
+/// tree are computed once per STD); the original implementation is kept as
+/// [`is_solution_reference`].
 pub fn is_solution(
     setting: &DataExchangeSetting,
     source_tree: &XmlTree,
     target_tree: &XmlTree,
     ordered: bool,
 ) -> bool {
+    crate::compiled::CompiledSetting::new(setting).is_solution(source_tree, target_tree, ordered)
+}
+
+/// Reference implementation of [`is_solution`] (re-evaluates the target
+/// pattern for every source-side match).
+pub fn is_solution_reference(
+    setting: &DataExchangeSetting,
+    source_tree: &XmlTree,
+    target_tree: &XmlTree,
+    ordered: bool,
+) -> bool {
     let conforms = if ordered {
-        setting.target_dtd.conforms(target_tree)
+        setting.target_dtd.conforms_reference(target_tree)
     } else {
-        setting.target_dtd.conforms_unordered(target_tree)
+        setting.target_dtd.conforms_unordered_reference(target_tree)
     };
     if !conforms {
         return false;
@@ -470,14 +546,19 @@ pub fn is_solution(
 
 /// Convenience: does the (erased) pattern of a regular expression appear in
 /// the content model? Exposed for white-box tests of the chase.
-pub fn content_model_of(setting: &DataExchangeSetting, element: &ElementType) -> Regex<ElementType> {
+pub fn content_model_of(
+    setting: &DataExchangeSetting,
+    element: &ElementType,
+) -> Regex<ElementType> {
     setting.target_dtd.rule(element)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::setting::{books_to_writers_setting, figure_1_source_tree, DataExchangeSetting, Std};
+    use crate::setting::{
+        books_to_writers_setting, figure_1_source_tree, DataExchangeSetting, Std,
+    };
     use xdx_patterns::parse_pattern;
     use xdx_patterns::query::ConjunctiveTreeQuery;
     use xdx_xmltree::Dtd;
@@ -512,10 +593,10 @@ mod tests {
         // Query: who wrote "Computational Complexity"? (from the introduction)
         let q = ConjunctiveTreeQuery::new(
             ["w"],
-            vec![parse_pattern(
-                "writer(@name=$w)[work(@title=\"Computational Complexity\")]",
-            )
-            .unwrap()],
+            vec![
+                parse_pattern("writer(@name=$w)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap();
         let result = q.evaluate(&solution);
@@ -686,7 +767,10 @@ mod tests {
         let mut bad = setting.clone();
         bad.stds = vec![Std::parse("//writer(@name=$y) :- db[book[author(@name=$y)]]").unwrap()];
         let err = canonical_solution(&bad, &figure_1_source_tree()).unwrap_err();
-        assert!(matches!(err, SolutionError::NotFullySpecified { std_index: 0 }));
+        assert!(matches!(
+            err,
+            SolutionError::NotFullySpecified { std_index: 0 }
+        ));
     }
 
     #[test]
@@ -728,7 +812,14 @@ mod tests {
 
         let mut rich = XmlTree::new("bib");
         for (name, works) in [
-            ("Papadimitriou", vec![("Combinatorial Optimization", "1982"), ("Computational Complexity", "1994"), ("Elements of the Theory of Computation", "1981")]),
+            (
+                "Papadimitriou",
+                vec![
+                    ("Combinatorial Optimization", "1982"),
+                    ("Computational Complexity", "1994"),
+                    ("Elements of the Theory of Computation", "1981"),
+                ],
+            ),
             ("Steiglitz", vec![("Combinatorial Optimization", "1982")]),
             ("Knuth", vec![("TAOCP", "1968")]),
         ] {

@@ -112,11 +112,10 @@ pub fn all_matches(tree: &XmlTree, pattern: &TreePattern) -> Vec<Assignment> {
 /// Variables of the pattern missing from `σ` are treated existentially.
 pub fn holds(tree: &XmlTree, pattern: &TreePattern, assignment: &Assignment) -> bool {
     all_matches(tree, pattern).iter().any(|m| {
-        m.iter()
-            .all(|(var, value)| match assignment.get(var) {
-                Some(expected) => expected == value,
-                None => true,
-            })
+        m.iter().all(|(var, value)| match assignment.get(var) {
+            Some(expected) => expected == value,
+            None => true,
+        })
     })
 }
 
@@ -130,12 +129,18 @@ mod tests {
         TreeBuilder::new("db")
             .child("book", |b| {
                 b.attr("@title", "Combinatorial Optimization")
-                    .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
-                    .child("author", |a| a.attr("@name", "Steiglitz").attr("@aff", "Princeton"))
+                    .child("author", |a| {
+                        a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                    })
+                    .child("author", |a| {
+                        a.attr("@name", "Steiglitz").attr("@aff", "Princeton")
+                    })
             })
             .child("book", |b| {
                 b.attr("@title", "Computational Complexity")
-                    .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
+                    .child("author", |a| {
+                        a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                    })
             })
             .build()
     }
@@ -229,8 +234,8 @@ mod tests {
     #[test]
     fn constants_filter_matches() {
         let t = figure1_tree();
-        let p = parse_pattern("book(@title=\"Computational Complexity\")[author(@name=$y)]")
-            .unwrap();
+        let p =
+            parse_pattern("book(@title=\"Computational Complexity\")[author(@name=$y)]").unwrap();
         let ms = all_matches(&t, &p);
         assert_eq!(ms.len(), 1);
         assert_eq!(get(&ms[0], "y").as_const(), Some("Papadimitriou"));

@@ -187,15 +187,18 @@ mod tests {
             .child("writer", |w| {
                 w.attr("@name", "Papadimitriou")
                     .child("work", |k| {
-                        k.attr("@title", "Computational Complexity").attr("@year", "1994")
+                        k.attr("@title", "Computational Complexity")
+                            .attr("@year", "1994")
                     })
                     .child("work", |k| {
-                        k.attr("@title", "Combinatorial Optimization").attr("@year", "1982")
+                        k.attr("@title", "Combinatorial Optimization")
+                            .attr("@year", "1982")
                     })
             })
             .child("writer", |w| {
                 w.attr("@name", "Steiglitz").child("work", |k| {
-                    k.attr("@title", "Combinatorial Optimization").attr("@year", "1982")
+                    k.attr("@title", "Combinatorial Optimization")
+                        .attr("@year", "1982")
                 })
             })
             .build()
@@ -303,7 +306,10 @@ mod tests {
         assert!(find_homomorphism(&small, &big).is_some());
         let q = ConjunctiveTreeQuery::new(
             ["x"],
-            vec![parse_pattern("writer(@name=$x)[work(@title=\"Computational Complexity\")]").unwrap()],
+            vec![
+                parse_pattern("writer(@name=$x)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap();
         let small_answers = q.evaluate(&small);

@@ -33,17 +33,23 @@
 //! * [`query`] — conjunctive tree queries and unions with set semantics
 //!   evaluation;
 //! * [`homomorphism`] — homomorphisms between XML trees (Lemma 6.14), the
-//!   tool behind the correctness of canonical solutions.
+//!   tool behind the correctness of canonical solutions;
+//! * [`compiled`] — the interned-symbol fast path: patterns resolved once
+//!   against a [`xdx_xmltree::CompiledDtd`] so evaluation compares dense
+//!   `u32` symbols instead of strings (differential-tested against
+//!   [`eval`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod eval;
 pub mod homomorphism;
 pub mod parser;
 pub mod pattern;
 pub mod query;
 
+pub use compiled::{all_matches_compiled, holds_in_matches, CompiledPattern, InternedLabels};
 pub use eval::{all_matches, holds, matches_at, Assignment};
 pub use homomorphism::{find_homomorphism, is_homomorphism, Homomorphism};
 pub use parser::{parse_pattern, PatternParseError};

@@ -32,7 +32,11 @@ pub struct PatternParseError {
 
 impl fmt::Display for PatternParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "pattern parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -40,10 +44,7 @@ impl std::error::Error for PatternParseError {}
 
 /// Parse a tree-pattern formula from its text syntax.
 pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
-    let mut p = Parser {
-        input,
-        pos: 0,
-    };
+    let mut p = Parser { input, pos: 0 };
     let pat = p.parse_pattern()?;
     p.skip_ws();
     if p.pos < p.input.len() {
@@ -264,7 +265,7 @@ mod tests {
         assert!(parse_pattern("").is_err());
         assert!(parse_pattern("a[").is_err());
         assert!(parse_pattern("a(@x=)").is_err());
-        assert!(parse_pattern("a(@x=$y") .is_err());
+        assert!(parse_pattern("a(@x=$y").is_err());
         assert!(parse_pattern("a]").is_err());
         assert!(parse_pattern("a(@x=\"unterminated)").is_err());
     }

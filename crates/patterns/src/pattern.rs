@@ -443,12 +443,13 @@ mod tests {
     #[test]
     fn free_vars_and_display() {
         let p = example_source_pattern();
-        let vars: Vec<String> = p.free_vars().iter().map(|v| v.as_str().to_string()).collect();
+        let vars: Vec<String> = p
+            .free_vars()
+            .iter()
+            .map(|v| v.as_str().to_string())
+            .collect();
         assert_eq!(vars, vec!["x", "y"]);
-        assert_eq!(
-            p.to_string(),
-            "db[book(@title = $x)[author(@name = $y)]]"
-        );
+        assert_eq!(p.to_string(), "db[book(@title = $x)[author(@name = $y)]]");
     }
 
     #[test]
@@ -466,10 +467,7 @@ mod tests {
         assert!(!with_desc.starts_at_root(&root));
         assert!(!with_desc.is_fully_specified(&root));
 
-        let with_wild = TreePattern::node(
-            AttrFormula::element("db"),
-            vec![TreePattern::any()],
-        );
+        let with_wild = TreePattern::node(AttrFormula::element("db"), vec![TreePattern::any()]);
         assert!(with_wild.uses_wildcard());
         assert!(!with_wild.is_fully_specified(&root));
 
@@ -529,10 +527,7 @@ mod tests {
     fn size_counts_bindings_and_nodes() {
         assert_eq!(example_source_pattern().size(), 5);
         assert_eq!(TreePattern::any().size(), 1);
-        assert_eq!(
-            TreePattern::descendant(TreePattern::elem("a")).size(),
-            2
-        );
+        assert_eq!(TreePattern::descendant(TreePattern::elem("a")).size(), 2);
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl fmt::Display for QueryError {
                 write!(f, "head variable {var} does not occur in the query body")
             }
             QueryError::MismatchedArity { expected, found } => {
-                write!(f, "union branches have different arities: {expected} vs {found}")
+                write!(
+                    f,
+                    "union branches have different arities: {expected} vs {found}"
+                )
             }
             QueryError::EmptyUnion => write!(f, "a union query must have at least one branch"),
         }
@@ -188,7 +191,11 @@ impl ConjunctiveTreeQuery {
             .map(|a| {
                 self.head
                     .iter()
-                    .map(|v| a.get(v).cloned().expect("head variable bound by construction"))
+                    .map(|v| {
+                        a.get(v)
+                            .cloned()
+                            .expect("head variable bound by construction")
+                    })
                     .collect()
             })
             .collect()
@@ -331,10 +338,10 @@ mod tests {
         let t = figure2_tree();
         let q = ConjunctiveTreeQuery::new(
             ["w"],
-            vec![parse_pattern(
-                "writer(@name=$w)[work(@title=\"Computational Complexity\")]",
-            )
-            .unwrap()],
+            vec![
+                parse_pattern("writer(@name=$w)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap();
         let result = q.evaluate(&t);
@@ -359,11 +366,8 @@ mod tests {
         assert!(q.evaluate(&t).is_empty());
         // projecting the year returns null values (to be filtered by the
         // certain-answer layer)
-        let q2 = ConjunctiveTreeQuery::new(
-            ["y"],
-            vec![parse_pattern("work(@year=$y)").unwrap()],
-        )
-        .unwrap();
+        let q2 = ConjunctiveTreeQuery::new(["y"], vec![parse_pattern("work(@year=$y)").unwrap()])
+            .unwrap();
         let years = q2.evaluate(&t);
         assert_eq!(years.len(), 2);
         assert!(years.iter().all(|row| row[0].is_null()));
@@ -393,9 +397,10 @@ mod tests {
     #[test]
     fn boolean_queries() {
         let t = figure2_tree();
-        let yes = ConjunctiveTreeQuery::boolean(vec![
-            parse_pattern("bib[writer(@name=\"Steiglitz\")]").unwrap()
-        ]);
+        let yes =
+            ConjunctiveTreeQuery::boolean(vec![
+                parse_pattern("bib[writer(@name=\"Steiglitz\")]").unwrap()
+            ]);
         assert!(yes.evaluate_boolean(&t));
         assert_eq!(yes.evaluate(&t).len(), 1); // one empty tuple
         let no = ConjunctiveTreeQuery::boolean(vec![
@@ -410,12 +415,18 @@ mod tests {
         let t = figure2_tree();
         let q1 = ConjunctiveTreeQuery::new(
             ["n"],
-            vec![parse_pattern("writer(@name=$n)[work(@title=\"Computational Complexity\")]").unwrap()],
+            vec![
+                parse_pattern("writer(@name=$n)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap();
         let q2 = ConjunctiveTreeQuery::new(
             ["n"],
-            vec![parse_pattern("writer(@name=$n)[work(@title=\"Combinatorial Optimization\")]").unwrap()],
+            vec![
+                parse_pattern("writer(@name=$n)[work(@title=\"Combinatorial Optimization\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap();
         let u = UnionQuery::new(vec![q1.clone(), q2]).unwrap();
@@ -427,22 +438,21 @@ mod tests {
             ConjunctiveTreeQuery::boolean(vec![parse_pattern("bib").unwrap()]),
         ]);
         assert!(matches!(bad, Err(QueryError::MismatchedArity { .. })));
-        assert!(matches!(UnionQuery::new(vec![]), Err(QueryError::EmptyUnion)));
+        assert!(matches!(
+            UnionQuery::new(vec![]),
+            Err(QueryError::EmptyUnion)
+        ));
     }
 
     #[test]
     fn query_classes() {
-        let ctq = ConjunctiveTreeQuery::new(
-            ["x"],
-            vec![parse_pattern("writer(@name=$x)").unwrap()],
-        )
-        .unwrap();
+        let ctq =
+            ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("writer(@name=$x)").unwrap()])
+                .unwrap();
         assert_eq!(ctq.class(), QueryClass::Ctq);
-        let ctq_desc = ConjunctiveTreeQuery::new(
-            ["x"],
-            vec![parse_pattern("//work(@title=$x)").unwrap()],
-        )
-        .unwrap();
+        let ctq_desc =
+            ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("//work(@title=$x)").unwrap()])
+                .unwrap();
         assert_eq!(ctq_desc.class(), QueryClass::CtqDescendant);
         let u = UnionQuery::new(vec![ctq.clone(), ctq_desc]).unwrap();
         assert_eq!(u.class(), QueryClass::CtqDescendantUnion);
@@ -451,22 +461,17 @@ mod tests {
 
     #[test]
     fn unbound_head_variable_is_rejected() {
-        let err = ConjunctiveTreeQuery::new(
-            ["ghost"],
-            vec![parse_pattern("writer(@name=$x)").unwrap()],
-        )
-        .unwrap_err();
+        let err =
+            ConjunctiveTreeQuery::new(["ghost"], vec![parse_pattern("writer(@name=$x)").unwrap()])
+                .unwrap_err();
         assert!(matches!(err, QueryError::UnboundHeadVariable { .. }));
     }
 
     #[test]
     fn evaluation_over_empty_and_tiny_trees() {
         let t = TreeBuilder::new("bib").build();
-        let q = ConjunctiveTreeQuery::new(
-            ["x"],
-            vec![parse_pattern("writer(@name=$x)").unwrap()],
-        )
-        .unwrap();
+        let q = ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("writer(@name=$x)").unwrap()])
+            .unwrap();
         assert!(q.evaluate(&t).is_empty());
         let b = ConjunctiveTreeQuery::boolean(vec![parse_pattern("bib").unwrap()]);
         assert!(b.evaluate_boolean(&t));
@@ -474,11 +479,8 @@ mod tests {
 
     #[test]
     fn display_shows_rule_like_syntax() {
-        let q = ConjunctiveTreeQuery::new(
-            ["x"],
-            vec![parse_pattern("writer(@name=$x)").unwrap()],
-        )
-        .unwrap();
+        let q = ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("writer(@name=$x)").unwrap()])
+            .unwrap();
         let s = q.to_string();
         assert!(s.contains(":-"));
         assert!(s.contains("$x"));

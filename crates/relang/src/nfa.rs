@@ -321,7 +321,19 @@ pub struct Dfa<S> {
 
 impl<S: Alphabet> Dfa<S> {
     /// Subset construction from an NFA.
+    ///
+    /// This is the fast path: the NFA is first compiled to bit-parallel form
+    /// ([`crate::bitset::BitsetNfa`]) and the construction hashes `u64`-block
+    /// state masks instead of ordering `BTreeSet<StateId>` keys. The original
+    /// tree-based construction is kept as [`Dfa::from_nfa_reference`] and the
+    /// two are differential-tested against each other.
     pub fn from_nfa(nfa: &Nfa<S>) -> Self {
+        crate::bitset::BitsetNfa::from_nfa(nfa).to_dfa()
+    }
+
+    /// Reference subset construction over `BTreeSet` state sets (the original
+    /// implementation, kept for differential testing of the bitset path).
+    pub fn from_nfa_reference(nfa: &Nfa<S>) -> Self {
         let alphabet = nfa.alphabet().to_vec();
         let start_set = nfa.eps_closure(&[nfa.start()].into_iter().collect());
         let mut index: BTreeMap<BTreeSet<StateId>, usize> = BTreeMap::new();
@@ -360,6 +372,31 @@ impl<S: Alphabet> Dfa<S> {
             start: 0,
             accepting,
         }
+    }
+
+    /// Assemble a DFA from an explicit transition table (used by the bitset
+    /// subset construction; `table[q][a]` must be a valid state index).
+    pub(crate) fn from_parts(
+        table: Vec<Vec<usize>>,
+        alphabet: Vec<S>,
+        start: usize,
+        accepting: Vec<bool>,
+    ) -> Self {
+        debug_assert_eq!(table.len(), accepting.len());
+        debug_assert!(table.iter().all(|row| row.len() == alphabet.len()));
+        Dfa {
+            table,
+            alphabet,
+            start,
+            accepting,
+        }
+    }
+
+    /// The raw transition table: `table[q]` maps each alphabet index to the
+    /// successor state. Exposed so downstream crates can re-index the DFA
+    /// over a dense interned alphabet (see `xdx-xmltree`'s `CompiledDtd`).
+    pub fn table(&self) -> &[Vec<usize>] {
+        &self.table
     }
 
     /// Number of states.
@@ -470,10 +507,7 @@ mod tests {
         assert!(a.is_empty_language());
         let b = nfa("a*");
         assert!(!b.is_empty_language());
-        let c = Nfa::from_regex(&Regex::concat(
-            Regex::Symbol("a".to_string()),
-            Regex::Empty,
-        ));
+        let c = Nfa::from_regex(&Regex::concat(Regex::Symbol("a".to_string()), Regex::Empty));
         assert!(c.is_empty_language());
     }
 
@@ -482,7 +516,10 @@ mod tests {
         assert_eq!(nfa("a*").shortest_word(), Some(vec![]));
         assert_eq!(nfa("a+ b").shortest_word(), Some(w("a b")));
         assert_eq!(nfa("(a a a)|(b)").shortest_word(), Some(w("b")));
-        assert_eq!(Nfa::from_regex(&Regex::<String>::Empty).shortest_word(), None);
+        assert_eq!(
+            Nfa::from_regex(&Regex::<String>::Empty).shortest_word(),
+            None
+        );
     }
 
     #[test]

@@ -155,11 +155,11 @@ impl LinearSet {
         // remaining = v - base must be expressible as a non-negative integer
         // combination of the periods.
         let mut remaining = Vec::with_capacity(dim);
-        for i in 0..dim {
-            if v[i] < self.base[i] {
+        for (&vi, &bi) in v.iter().zip(&self.base) {
+            if vi < bi {
                 return false;
             }
-            remaining.push(v[i] - self.base[i]);
+            remaining.push(vi - bi);
         }
         if remaining.iter().all(|&x| x == 0) {
             return true;
@@ -177,9 +177,9 @@ impl LinearSet {
         let p = &self.periods[idx];
         // Maximum multiplicity of this period.
         let mut bound = u64::MAX;
-        for i in 0..remaining.len() {
-            if p[i] > 0 {
-                bound = bound.min(remaining[i] / p[i]);
+        for (&r, &pi) in remaining.iter().zip(p) {
+            if let Some(q) = r.checked_div(pi) {
+                bound = bound.min(q);
             }
         }
         if bound == u64::MAX {
@@ -344,8 +344,8 @@ impl SemilinearSet {
             let mut periods: Vec<ParikhVector> = Vec::new();
             for (i, comp) in self.components.iter().enumerate() {
                 if mask & (1 << i) != 0 {
-                    for j in 0..self.dim {
-                        base[j] += comp.base[j];
+                    for (b, &cb) in base.iter_mut().zip(&comp.base) {
+                        *b += cb;
                     }
                     periods.extend(comp.periods.iter().cloned());
                     periods.push(comp.base.clone());
@@ -357,7 +357,8 @@ impl SemilinearSet {
     }
 
     fn dedup(mut self) -> SemilinearSet {
-        self.components.sort_by(|a, b| (&a.base, &a.periods).cmp(&(&b.base, &b.periods)));
+        self.components
+            .sort_by(|a, b| (&a.base, &a.periods).cmp(&(&b.base, &b.periods)));
         self.components.dedup();
         self
     }
@@ -543,7 +544,14 @@ mod tests {
         pairs.iter().map(|(s, c)| (s.to_string(), *c)).collect()
     }
 
-    fn setup(src: &str) -> (Regex<String>, Nfa<String>, AlphabetMap<String>, SemilinearSet) {
+    fn setup(
+        src: &str,
+    ) -> (
+        Regex<String>,
+        Nfa<String>,
+        AlphabetMap<String>,
+        SemilinearSet,
+    ) {
         let r = parse(src).unwrap();
         let nfa = Nfa::from_regex(&r);
         let am = AlphabetMap::of_regex(&r);
@@ -568,7 +576,10 @@ mod tests {
         // Section 5.2. Here we just check count membership.
         let (_, nfa, _, _) = setup("(a b c)*");
         assert!(perm_accepts(&nfa, &counts(&[("a", 3), ("b", 3), ("c", 3)])));
-        assert!(!perm_accepts(&nfa, &counts(&[("a", 3), ("b", 3), ("c", 2)])));
+        assert!(!perm_accepts(
+            &nfa,
+            &counts(&[("a", 3), ("b", 3), ("c", 2)])
+        ));
     }
 
     #[test]
@@ -657,7 +668,9 @@ mod tests {
     fn min_extensions_bb_bcplus_is_empty_above_bb() {
         // min_ext(bb, bc+) = ∅ : no word of bc+ has two b's.
         let (_, _, am, sl) = setup("b c+");
-        let lower = am.counts_of_word(&["b".to_string(), "b".to_string()]).unwrap();
+        let lower = am
+            .counts_of_word(&["b".to_string(), "b".to_string()])
+            .unwrap();
         assert!(sl.min_extensions(&lower).is_empty());
     }
 

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -222,7 +226,10 @@ mod tests {
     fn precedence_and_grouping() {
         // a|b c*  ==  a | (b c*)
         let r = parse("a|b c*").unwrap();
-        assert_eq!(r, Regex::alt(s("a"), Regex::concat(s("b"), Regex::star(s("c")))));
+        assert_eq!(
+            r,
+            Regex::alt(s("a"), Regex::concat(s("b"), Regex::star(s("c"))))
+        );
         // (a|b)* c
         let r2 = parse("(a|b)* c").unwrap();
         assert_eq!(

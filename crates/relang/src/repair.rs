@@ -127,8 +127,16 @@ impl<S: Alphabet> RepairContext<S> {
 
     /// `rep(w, r)`: union of `min_ext(w', r)` over sub-multisets `w' ⪯ w`
     /// with the same support as `w`.
-    pub fn rep(&self, w: &Multiset<S>, config: &RepairConfig) -> Result<Vec<Multiset<S>>, RepairBudgetExceeded> {
-        let support: Vec<(&S, u64)> = w.iter().filter(|(_, &c)| c > 0).map(|(s, &c)| (s, c)).collect();
+    pub fn rep(
+        &self,
+        w: &Multiset<S>,
+        config: &RepairConfig,
+    ) -> Result<Vec<Multiset<S>>, RepairBudgetExceeded> {
+        let support: Vec<(&S, u64)> = w
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| (s, c))
+            .collect();
         // If some symbol of w is outside the repairable alphabet there is no
         // repair at all (the STDs force a child type the DTD cannot have).
         for (s, _) in &support {
@@ -301,8 +309,16 @@ mod tests {
     fn preorder_prefers_fewer_merges_and_fewer_new_symbols() {
         let w = ms(&[("c", 2)]);
         // ccdd vs cd: ccdd ⊒ cd and cd ⊑ ccdd strictly.
-        assert!(preorder_le(&ms(&[("c", 1), ("d", 1)]), &ms(&[("c", 2), ("d", 2)]), &w));
-        assert!(!preorder_le(&ms(&[("c", 2), ("d", 2)]), &ms(&[("c", 1), ("d", 1)]), &w));
+        assert!(preorder_le(
+            &ms(&[("c", 1), ("d", 1)]),
+            &ms(&[("c", 2), ("d", 2)]),
+            &w
+        ));
+        assert!(!preorder_le(
+            &ms(&[("c", 2), ("d", 2)]),
+            &ms(&[("c", 1), ("d", 1)]),
+            &w
+        ));
         // ccdd vs ccdde: ccdde introduces e ∉ alph(w)... both have no symbols
         // outside alph(w)? e is outside alph(w) and outside ccdd, so
         // ccdde ⊑ ccdd requires alph(ccdd)\alph(w) ⊆ alph(ccdde)\alph(w): yes.
@@ -342,7 +358,11 @@ mod tests {
         assert!(all.contains(&ms(&[("a", 1), ("b", 1)])));
         assert!(all.contains(&ms(&[("a", 1), ("c", 1)])));
         let maxima = max_repairs(&w, &reg);
-        assert_eq!(maxima.len(), 2, "expected 2 maximal repairs, got {maxima:?}");
+        assert_eq!(
+            maxima.len(),
+            2,
+            "expected 2 maximal repairs, got {maxima:?}"
+        );
         assert_eq!(maximum_repair(&w, &reg), None);
     }
 
@@ -360,7 +380,9 @@ mod tests {
         let reg = r("a*");
         let ctx = RepairContext::new(&reg, Vec::<String>::new());
         let w = ms(&[("a", 100)]);
-        let tiny = RepairConfig { max_sub_multisets: 10 };
+        let tiny = RepairConfig {
+            max_sub_multisets: 10,
+        };
         assert!(ctx.rep(&w, &tiny).is_err());
         assert!(ctx.rep(&w, &RepairConfig::default()).is_ok());
     }

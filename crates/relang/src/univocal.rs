@@ -348,7 +348,10 @@ mod tests {
         // "all of the following are univocal: bc+d*e?, (b*|c*) and (bc)*(de)*"
         for src in ["b c+ d* e?", "(b*|c*)", "(b c)* (d e)*"] {
             let verdict = check_univocality(&r(src), &UnivocalityConfig::default());
-            assert!(verdict.is_univocal(), "{src} should be univocal, got {verdict}");
+            assert!(
+                verdict.is_univocal(),
+                "{src} should be univocal, got {verdict}"
+            );
         }
     }
 
@@ -396,7 +399,11 @@ mod tests {
         let v = check_univocality(&r("(a b)|(a c)"), &UnivocalityConfig::default());
         match v {
             UnivocalityVerdict::NotUnivocal {
-                reason: NonUnivocalReason::NoMaximumRepair { witness, maximal_repairs },
+                reason:
+                    NonUnivocalReason::NoMaximumRepair {
+                        witness,
+                        maximal_repairs,
+                    },
             } => {
                 assert_eq!(witness.get("a"), Some(&1));
                 assert_eq!(maximal_repairs.len(), 2);

@@ -17,11 +17,13 @@
 //!   the `O(n·m²)` consistency algorithm of **Theorem 4.5**;
 //! * minimal conforming trees, used as witnesses throughout.
 
+use crate::compiled::CompiledDtd;
 use crate::name::{AttrName, ElementType};
 use crate::tree::{NodeId, XmlTree};
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use xdx_relang::ast::Multiplicity;
 use xdx_relang::parikh::perm_accepts;
 use xdx_relang::{Nfa, Regex};
@@ -35,6 +37,9 @@ pub struct Dtd {
     /// Pre-built NFAs for every content model (conformance and the chase
     /// query them constantly).
     nfas: BTreeMap<ElementType, Nfa<ElementType>>,
+    /// Lazily-built compiled form (interned symbols + dense-table DFAs);
+    /// shared by clones via `Arc`.
+    compiled: OnceLock<Arc<CompiledDtd>>,
 }
 
 /// Errors raised when constructing or transforming a DTD.
@@ -89,7 +94,9 @@ impl fmt::Display for DtdError {
             DtdError::RootInContentModel { rule } => {
                 write!(f, "root element type occurs in the content model of {rule}")
             }
-            DtdError::RootHasAttributes => write!(f, "the root element type cannot have attributes"),
+            DtdError::RootHasAttributes => {
+                write!(f, "the root element type cannot have attributes")
+            }
             DtdError::DuplicateRule { element } => write!(f, "duplicate rule for {element}"),
             DtdError::AttributesForUnknownElement { element } => {
                 write!(f, "attributes declared for unknown element type {element}")
@@ -102,7 +109,10 @@ impl fmt::Display for DtdError {
                 write!(f, "the DTD is not nested-relational: {reason}")
             }
             DtdError::NotSingleTree { reason } => {
-                write!(f, "the DTD does not have a unique conforming tree: {reason}")
+                write!(
+                    f,
+                    "the DTD does not have a unique conforming tree: {reason}"
+                )
             }
         }
     }
@@ -164,9 +174,18 @@ impl Dtd {
         &self.root
     }
 
-    /// All element types of the DTD, sorted.
-    pub fn element_types(&self) -> Vec<ElementType> {
-        self.rules.keys().cloned().collect()
+    /// All element types of the DTD, sorted (borrowed; collect if you need
+    /// ownership).
+    pub fn element_types(&self) -> impl ExactSizeIterator<Item = &ElementType> + Clone {
+        self.rules.keys()
+    }
+
+    /// The compiled form of this DTD: interned symbols, dense-table DFAs and
+    /// occurrence-bound summaries. Built on first use, then cached (clones of
+    /// this `Dtd` share the compiled form through an `Arc`).
+    pub fn compiled(&self) -> &CompiledDtd {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledDtd::new(self)))
     }
 
     /// The content model `P(ℓ)`.
@@ -174,10 +193,7 @@ impl Dtd {
     /// Every element type of the DTD has a rule (missing rules default to
     /// `ε` at construction time); unknown element types return `ε` as well.
     pub fn rule(&self, element: &ElementType) -> Regex<ElementType> {
-        self.rules
-            .get(element)
-            .cloned()
-            .unwrap_or(Regex::Epsilon)
+        self.rules.get(element).cloned().unwrap_or(Regex::Epsilon)
     }
 
     /// The attribute set `R(ℓ)`.
@@ -209,12 +225,28 @@ impl Dtd {
     // ------------------------------------------------------------------
 
     /// All violations of ordered conformance `T ⊨ D`.
+    ///
+    /// Evaluates on the compiled fast path ([`Dtd::compiled`]); the original
+    /// NFA-simulation path is kept as [`Dtd::violations_reference`] and the
+    /// two are differential-tested against each other.
     pub fn violations(&self, tree: &XmlTree) -> Vec<ConformanceViolation> {
+        self.compiled().violations(tree, true)
+    }
+
+    /// All violations of unordered (weak) conformance `T |≈ D` (compiled
+    /// fast path; reference kept as [`Dtd::violations_unordered_reference`]).
+    pub fn violations_unordered(&self, tree: &XmlTree) -> Vec<ConformanceViolation> {
+        self.compiled().violations(tree, false)
+    }
+
+    /// Reference implementation of [`Dtd::violations`]: per-node NFA
+    /// simulation over `BTreeSet` state sets.
+    pub fn violations_reference(&self, tree: &XmlTree) -> Vec<ConformanceViolation> {
         self.violations_impl(tree, true)
     }
 
-    /// All violations of unordered (weak) conformance `T |≈ D`.
-    pub fn violations_unordered(&self, tree: &XmlTree) -> Vec<ConformanceViolation> {
+    /// Reference implementation of [`Dtd::violations_unordered`].
+    pub fn violations_unordered_reference(&self, tree: &XmlTree) -> Vec<ConformanceViolation> {
         self.violations_impl(tree, false)
     }
 
@@ -282,15 +314,26 @@ impl Dtd {
         out
     }
 
-    /// Ordered conformance `T ⊨ D`.
+    /// Ordered conformance `T ⊨ D` (compiled fast path; bails on the first
+    /// violation instead of collecting them all).
     pub fn conforms(&self, tree: &XmlTree) -> bool {
-        self.violations(tree).is_empty()
+        self.compiled().conforms(tree)
     }
 
     /// Unordered (weak) conformance `T |≈ D`: every node's children form a
-    /// permutation of a word of the content model.
+    /// permutation of a word of the content model (compiled fast path).
     pub fn conforms_unordered(&self, tree: &XmlTree) -> bool {
-        self.violations_unordered(tree).is_empty()
+        self.compiled().conforms_unordered(tree)
+    }
+
+    /// Reference implementation of [`Dtd::conforms`] (NFA simulation).
+    pub fn conforms_reference(&self, tree: &XmlTree) -> bool {
+        self.violations_reference(tree).is_empty()
+    }
+
+    /// Reference implementation of [`Dtd::conforms_unordered`].
+    pub fn conforms_unordered_reference(&self, tree: &XmlTree) -> bool {
+        self.violations_unordered_reference(tree).is_empty()
     }
 
     // ------------------------------------------------------------------
@@ -372,11 +415,7 @@ impl Dtd {
     /// `ℓ̃_1 … ℓ̃_m` with pairwise-distinct `ℓ_i` and `ℓ̃` one of `ℓ`, `ℓ?`,
     /// `ℓ+`, `ℓ*`?
     pub fn is_nested_relational(&self) -> bool {
-        !self.is_recursive()
-            && self
-                .rules
-                .values()
-                .all(|r| r.is_nested_relational_shape())
+        !self.is_recursive() && self.rules.values().all(|r| r.is_nested_relational_shape())
     }
 
     /// Restrict the DTD to the element types reachable from `start`, making
@@ -590,15 +629,12 @@ impl Dtd {
         }
         for (l, r) in &self.rules {
             match r.nested_relational_factors() {
-                Some(factors)
-                    if factors
-                        .iter()
-                        .all(|f| f.multiplicity == Multiplicity::One) => {}
+                Some(factors) if factors.iter().all(|f| f.multiplicity == Multiplicity::One) => {}
                 _ => {
                     return Err(DtdError::NotSingleTree {
                         reason: format!(
-                            "the content model of {l} is not a concatenation of distinct element types"
-                        ),
+                        "the content model of {l} is not a concatenation of distinct element types"
+                    ),
                     })
                 }
             }
@@ -707,6 +743,7 @@ impl Dtd {
             rules,
             attrs,
             nfas,
+            compiled: OnceLock::new(),
         }
     }
 }
@@ -766,7 +803,11 @@ impl DtdBuilder {
     }
 
     /// Add a rule with an already-built regular expression.
-    pub fn rule_regex(mut self, element: impl Into<ElementType>, content: Regex<ElementType>) -> Self {
+    pub fn rule_regex(
+        mut self,
+        element: impl Into<ElementType>,
+        content: Regex<ElementType>,
+    ) -> Self {
         let element = element.into();
         if self.rules.insert(element.clone(), content).is_some() {
             self.errors.push(DtdError::DuplicateRule { element });
@@ -799,7 +840,12 @@ impl DtdBuilder {
                 return Err(DtdError::RootInContentModel { rule: l.clone() });
             }
         }
-        if self.attrs.get(&self.root).map(|a| !a.is_empty()).unwrap_or(false) {
+        if self
+            .attrs
+            .get(&self.root)
+            .map(|a| !a.is_empty())
+            .unwrap_or(false)
+        {
             return Err(DtdError::RootHasAttributes);
         }
         // Attributes may only be declared for known element types.
@@ -850,12 +896,18 @@ mod tests {
         TreeBuilder::new("db")
             .child("book", |b| {
                 b.attr("@title", "Combinatorial Optimization")
-                    .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
-                    .child("author", |a| a.attr("@name", "Steiglitz").attr("@aff", "Princeton"))
+                    .child("author", |a| {
+                        a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                    })
+                    .child("author", |a| {
+                        a.attr("@name", "Steiglitz").attr("@aff", "Princeton")
+                    })
             })
             .child("book", |b| {
                 b.attr("@title", "Computational Complexity")
-                    .child("author", |a| a.attr("@name", "Papadimitriou").attr("@aff", "UCB"))
+                    .child("author", |a| {
+                        a.attr("@name", "Papadimitriou").attr("@aff", "UCB")
+                    })
             })
             .build()
     }
@@ -965,8 +1017,11 @@ mod tests {
         assert!(!d2.is_consistent());
         let trimmed = d2.trim_to_consistent().unwrap();
         assert!(trimmed.is_consistent());
-        assert!(!trimmed.element_types().contains(&ElementType::new("b")));
-        assert_eq!(trimmed.rule(&"r".into()), Regex::Symbol(ElementType::new("a")));
+        assert!(!trimmed.has_element(&ElementType::new("b")));
+        assert_eq!(
+            trimmed.rule(&"r".into()),
+            Regex::Symbol(ElementType::new("a"))
+        );
 
         // the trimmed DTD accepts the same trees
         let t = {
@@ -988,7 +1043,10 @@ mod tests {
             .build()
             .unwrap();
         let trimmed = d.trim_to_consistent().unwrap();
-        assert_eq!(trimmed.rule(&"r".into()), Regex::star(Regex::Symbol("a".into())));
+        assert_eq!(
+            trimmed.rule(&"r".into()),
+            Regex::star(Regex::Symbol("a".into()))
+        );
         assert!(trimmed.is_consistent());
     }
 
@@ -1037,7 +1095,10 @@ mod tests {
             .build()
             .unwrap();
         let circle = d.to_circle().unwrap();
-        assert_eq!(circle.rule(&"r".into()), Regex::concat(Regex::Symbol("b".into()), Regex::Symbol("d".into())));
+        assert_eq!(
+            circle.rule(&"r".into()),
+            Regex::concat(Regex::Symbol("b".into()), Regex::Symbol("d".into()))
+        );
         let star = d.to_star().unwrap();
         let expected = Regex::seq([
             Regex::Symbol(ElementType::new("a")),
@@ -1048,7 +1109,9 @@ mod tests {
         assert_eq!(star.rule(&"r".into()), expected);
 
         // D* admits exactly one tree.
-        let unique = star.unique_conforming_tree_with(|_, _| Value::constant("s0")).unwrap();
+        let unique = star
+            .unique_conforming_tree_with(|_, _| Value::constant("s0"))
+            .unwrap();
         assert!(star.conforms(&unique));
         assert_eq!(unique.size(), 5);
 
@@ -1060,7 +1123,9 @@ mod tests {
     #[test]
     fn unique_tree_requires_single_multiplicities() {
         let d = Dtd::builder("r").rule("r", "a*").build().unwrap();
-        assert!(d.unique_conforming_tree_with(|_, _| Value::constant("x")).is_err());
+        assert!(d
+            .unique_conforming_tree_with(|_, _| Value::constant("x"))
+            .is_err());
     }
 
     #[test]
@@ -1076,7 +1141,11 @@ mod tests {
             .unwrap_err();
         assert_eq!(e2, DtdError::RootHasAttributes);
         // duplicate rule
-        let e3 = Dtd::builder("r").rule("a", "eps").rule("a", "eps").build().unwrap_err();
+        let e3 = Dtd::builder("r")
+            .rule("a", "eps")
+            .rule("a", "eps")
+            .build()
+            .unwrap_err();
         assert!(matches!(e3, DtdError::DuplicateRule { .. }));
         // attributes for an element that never occurs
         let e4 = Dtd::builder("r")
@@ -1097,6 +1166,11 @@ mod tests {
         assert!(d.has_element(&"b".into()));
         assert_eq!(d.rule(&"a".into()), Regex::Epsilon);
         assert_eq!(d.element_types().len(), 3);
+        assert!(d.element_types().eq(["a", "b", "r"]
+            .iter()
+            .map(ElementType::new)
+            .collect::<Vec<_>>()
+            .iter()));
     }
 
     #[test]

@@ -24,17 +24,26 @@
 //!   conformance `T |≈ D`, the DTD graph, recursion and nested-relational
 //!   tests, DTD consistency and the trimming construction of Lemma 2.2, and
 //!   the `D°`/`D*` transformations used by the nested-relational consistency
-//!   algorithm (Theorem 4.5).
+//!   algorithm (Theorem 4.5);
+//! * [`interner`] / [`compiled`] — the compiled fast path: dense `u32`
+//!   symbol ids ([`Sym`]) and per-DTD dense-table DFAs plus occurrence-bound
+//!   summaries ([`CompiledDtd`]), built once per DTD and used by every
+//!   conformance check, chase step and ordering query. The NFA-simulation
+//!   code remains as the differential-tested reference path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod dtd;
+pub mod interner;
 pub mod name;
 pub mod tree;
 pub mod value;
 
+pub use compiled::CompiledDtd;
 pub use dtd::{ConformanceViolation, Dtd, DtdBuilder, DtdError};
+pub use interner::{Interner, Sym};
 pub use name::{AttrName, ElementType};
 pub use tree::{NodeId, TreeBuilder, XmlTree};
 pub use value::{NullGen, NullId, Value};

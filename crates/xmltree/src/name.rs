@@ -12,8 +12,22 @@ use std::sync::Arc;
 macro_rules! name_type {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[derive(Clone, PartialOrd, Ord, Hash)]
+        // The manual PartialEq only adds a pointer-equality fast path; it
+        // still equals content equality, so the derived Hash is consistent.
+        #[allow(clippy::derived_hash_with_manual_eq)]
         pub struct $name(Arc<str>);
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                // Names are cloned by reference-count bump all over the chase
+                // and pattern code, so equal names usually share an
+                // allocation: check the pointer before the bytes.
+                Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+            }
+        }
+
+        impl Eq for $name {}
 
         impl $name {
             /// Create a new name from anything string-like.

@@ -139,7 +139,10 @@ impl XmlTree {
             self.nodes[child.index()].parent.is_none(),
             "attach_child: node {child} already has a parent"
         );
-        assert_ne!(parent, child, "attach_child: cannot attach a node to itself");
+        assert_ne!(
+            parent, child,
+            "attach_child: cannot attach a node to itself"
+        );
         self.nodes[child.index()].parent = Some(parent);
         self.nodes[parent.index()].children.push(child);
     }
@@ -204,6 +207,13 @@ impl XmlTree {
         self.descendants_or_self(self.root)
     }
 
+    /// Number of arena slots: every `NodeId::index()` of this tree (including
+    /// detached nodes) is smaller than this. Used to size per-node side
+    /// tables without hashing.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// The nodes of the subtree rooted at `node`, in preorder, including
     /// `node` itself.
     pub fn descendants_or_self(&self, node: NodeId) -> Vec<NodeId> {
@@ -246,12 +256,7 @@ impl XmlTree {
     /// Length of the longest root-to-leaf path (a single node has depth 1).
     pub fn depth(&self) -> usize {
         fn go(t: &XmlTree, n: NodeId) -> usize {
-            1 + t
-                .children(n)
-                .iter()
-                .map(|&c| go(t, c))
-                .max()
-                .unwrap_or(0)
+            1 + t.children(n).iter().map(|&c| go(t, c)).max().unwrap_or(0)
         }
         go(self, self.root)
     }
@@ -351,11 +356,7 @@ impl fmt::Display for XmlTree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn go(t: &XmlTree, n: NodeId, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let pad = "  ".repeat(indent);
-            let attrs: Vec<String> = t
-                .attrs(n)
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect();
+            let attrs: Vec<String> = t.attrs(n).iter().map(|(k, v)| format!("{k}={v}")).collect();
             if attrs.is_empty() {
                 writeln!(f, "{pad}{}", t.label(n))?;
             } else {
@@ -407,7 +408,11 @@ impl TreeBuilder {
     }
 
     /// Add a child to the current node and describe it with `f`.
-    pub fn child(mut self, label: impl Into<ElementType>, f: impl FnOnce(TreeBuilder) -> TreeBuilder) -> Self {
+    pub fn child(
+        mut self,
+        label: impl Into<ElementType>,
+        f: impl FnOnce(TreeBuilder) -> TreeBuilder,
+    ) -> Self {
         let child = self.tree.add_child(self.current, label);
         let sub = TreeBuilder {
             tree: self.tree,
@@ -501,7 +506,10 @@ mod tests {
         assert_eq!(all[0], t.root());
         // first book's authors come before the second book in document order
         let labels: Vec<&str> = all.iter().map(|&n| t.label(n).as_str()).collect();
-        assert_eq!(labels, vec!["db", "book", "author", "author", "book", "author"]);
+        assert_eq!(
+            labels,
+            vec!["db", "book", "author", "author", "book", "author"]
+        );
         let book1 = t.children(t.root())[0];
         assert_eq!(t.descendants(book1).len(), 2);
         assert!(t.is_descendant_or_self(t.root(), book1));

@@ -22,13 +22,21 @@ fn report(name: &str, formula: &CnfFormula) {
         formula.clauses.len(),
         formula.num_vars
     );
-    println!("setting classification: {}", classify_setting(&gadget.setting));
+    println!(
+        "setting classification: {}",
+        classify_setting(&gadget.setting)
+    );
     let certain = theorem_5_11::certain_answer(formula);
     println!("certain(Q, T_θ) = {certain}");
     match formula.brute_force_satisfiable() {
         Some(assignment) => {
             let witness = theorem_5_11::solution_from_assignment(formula, &assignment);
-            assert!(is_solution(&gadget.setting, &gadget.source_tree, &witness, false));
+            assert!(is_solution(
+                &gadget.setting,
+                &gadget.source_tree,
+                &witness,
+                false
+            ));
             let q_holds = gadget.query.evaluate_boolean(&witness);
             println!(
                 "θ is satisfiable; the proof's counter-example solution has {} nodes, Q holds on it: {q_holds}",

@@ -66,13 +66,20 @@ fn main() {
     let source = TreeBuilder::new("company")
         .child("dept", |d| {
             d.attr("@dname", "Databases")
-                .child("employee", |e| e.attr("@ename", "Ada").attr("@role", "researcher"))
-                .child("employee", |e| e.attr("@ename", "Edgar").attr("@role", "engineer"))
-                .child("project", |p| p.attr("@pname", "Exchange").attr("@budget", "100"))
+                .child("employee", |e| {
+                    e.attr("@ename", "Ada").attr("@role", "researcher")
+                })
+                .child("employee", |e| {
+                    e.attr("@ename", "Edgar").attr("@role", "engineer")
+                })
+                .child("project", |p| {
+                    p.attr("@pname", "Exchange").attr("@budget", "100")
+                })
         })
         .child("dept", |d| {
-            d.attr("@dname", "Systems")
-                .child("employee", |e| e.attr("@ename", "Ada").attr("@role", "consultant"))
+            d.attr("@dname", "Systems").child("employee", |e| {
+                e.attr("@ename", "Ada").attr("@role", "consultant")
+            })
         })
         .build();
     assert!(setting.source_dtd.conforms(&source));
@@ -98,11 +105,8 @@ fn main() {
 
     // Phone numbers are invented nulls, so asking for them certainly yields nothing.
     let phones = UnionQuery::single(
-        ConjunctiveTreeQuery::new(
-            ["ph"],
-            vec![parse_pattern("person(@phone=$ph)").unwrap()],
-        )
-        .unwrap(),
+        ConjunctiveTreeQuery::new(["ph"], vec![parse_pattern("person(@phone=$ph)").unwrap()])
+            .unwrap(),
     );
     let phone_answers = certain_answers(&setting, &source, &phones).unwrap();
     println!(

@@ -81,7 +81,10 @@ fn main() {
 
     println!("== 4. 3SAT encoded as a consistency question (Proposition 4.4) ==");
     for (name, formula) in [
-        ("satisfiable   (x1∨x2∨¬x3)∧(¬x2∨x3∨¬x4)", CnfFormula::paper_example()),
+        (
+            "satisfiable   (x1∨x2∨¬x3)∧(¬x2∨x3∨¬x4)",
+            CnfFormula::paper_example(),
+        ),
         ("unsatisfiable (x)∧(¬x)", CnfFormula::tiny_unsatisfiable()),
     ] {
         let setting = consistency_np::build(&formula);

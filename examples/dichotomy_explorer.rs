@@ -34,7 +34,11 @@ fn main() {
     println!("books→writers (Figures 1–2): {}", classify_setting(&clio));
 
     // 2. Univocal but not nested-relational target: still tractable.
-    let source = Dtd::builder("r").rule("r", "A*").attributes("A", ["@a"]).build().unwrap();
+    let source = Dtd::builder("r")
+        .rule("r", "A*")
+        .attributes("A", ["@a"])
+        .build()
+        .unwrap();
     let target = Dtd::builder("r2")
         .rule("r2", "(B C)*")
         .rule("C", "D")
@@ -47,7 +51,10 @@ fn main() {
         target,
         vec![Std::parse("r2[B(@m=$x)] :- r[A(@a=$x)]").unwrap()],
     );
-    println!("Example 6.4 ((BC)* target):  {}", classify_setting(&setting));
+    println!(
+        "Example 6.4 ((BC)* target):  {}",
+        classify_setting(&setting)
+    );
 
     // 3. Non-univocal target content model: coNP-complete class.
     let non_univocal_target = Dtd::builder("r2").rule("r2", "a | a a b*").build().unwrap();
@@ -56,14 +63,24 @@ fn main() {
         non_univocal_target,
         vec![Std::parse("r2[a] :- r[A(@a=$x)]").unwrap()],
     );
-    println!("c(r) = 2 target:             {}", classify_setting(&setting2));
+    println!(
+        "c(r) = 2 target:             {}",
+        classify_setting(&setting2)
+    );
 
     // 4. Non-fully-specified STD: Theorem 5.11 applies.
-    let target3 = Dtd::builder("r2").rule("r2", "a*").attributes("a", ["@v"]).build().unwrap();
+    let target3 = Dtd::builder("r2")
+        .rule("r2", "a*")
+        .attributes("a", ["@v"])
+        .build()
+        .unwrap();
     let setting3 = DataExchangeSetting::new(
         source,
         target3,
         vec![Std::parse("//a(@v=$x) :- r[A(@a=$x)]").unwrap()],
     );
-    println!("descendant target pattern:   {}", classify_setting(&setting3));
+    println!(
+        "descendant target pattern:   {}",
+        classify_setting(&setting3)
+    );
 }

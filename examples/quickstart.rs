@@ -38,15 +38,18 @@ fn main() {
     let q1 = UnionQuery::single(
         ConjunctiveTreeQuery::new(
             ["writer"],
-            vec![parse_pattern(
-                "writer(@name=$writer)[work(@title=\"Computational Complexity\")]",
-            )
-            .unwrap()],
+            vec![
+                parse_pattern("writer(@name=$writer)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap(),
     );
     let a1 = certain_answers(&setting, &source, &q1).unwrap();
-    println!("Who wrote \"Computational Complexity\"?  certain answers = {:?}", a1.tuples);
+    println!(
+        "Who wrote \"Computational Complexity\"?  certain answers = {:?}",
+        a1.tuples
+    );
 
     // Query 2: what are the works written in 1994? (not answerable with certainty)
     let q2 = UnionQuery::single(
@@ -57,7 +60,10 @@ fn main() {
         .unwrap(),
     );
     let a2 = certain_answers(&setting, &source, &q2).unwrap();
-    println!("Works written in 1994?                   certain answers = {:?}", a2.tuples);
+    println!(
+        "Works written in 1994?                   certain answers = {:?}",
+        a2.tuples
+    );
 
     // Query 3: all (writer, title) pairs that hold in every solution.
     let q3 = UnionQuery::single(

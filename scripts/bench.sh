@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the criterion benchmark suite and snapshot the results to
+# BENCH_<date>.json (one JSON object per line, shim format: id, median_ns,
+# mean_ns, min_ns, max_ns, samples).
+#
+# Usage:
+#   scripts/bench.sh                # all benches -> BENCH_$(date +%F).json
+#   scripts/bench.sh baseline      # -> BENCH_baseline.json
+#   BENCHES="consistency_nested canonical_solution" scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tag="${1:-$(date +%F)}"
+out="BENCH_${tag}.json"
+: > "$out"
+
+benches="${BENCHES:-consistency_nested consistency_general canonical_solution \
+certain_answers_tractable certain_answers_hardness dtd_trim parikh_membership \
+sibling_ordering univocality}"
+
+for bench in $benches; do
+    echo "== $bench =="
+    XDX_BENCH_JSON="$PWD/$out" cargo bench -q --offline -p xdx-bench --bench "$bench"
+done
+
+echo "wrote $out ($(wc -l < "$out") entries)"

@@ -1,9 +1,9 @@
 //! Reproduction of the worked chase examples of Section 6.1
 //! (Examples 6.3, 6.4 and 6.13 — Figures 5, 6 and 8).
 
+use xml_data_exchange::core::is_solution;
 use xml_data_exchange::core::setting::DataExchangeSetting;
 use xml_data_exchange::core::solution::{canonical_presolution, canonical_solution};
-use xml_data_exchange::core::is_solution;
 use xml_data_exchange::xmltree::NullGen;
 use xml_data_exchange::{impose_sibling_order, Dtd, Std, XmlTree};
 
@@ -58,7 +58,10 @@ fn example_6_3_canonical_presolution() {
     // The A child carries @l = 4, the first B's C child carries (@n, @m) = (5, 6),
     // the second B has children C and D without attributes yet, and E has @m = 5.
     let kids = cps.children(cps.root()).to_vec();
-    assert_eq!(cps.attr(kids[0], &"@l".into()).unwrap().as_const(), Some("4"));
+    assert_eq!(
+        cps.attr(kids[0], &"@l".into()).unwrap().as_const(),
+        Some("4")
+    );
     let c1 = cps.children(kids[1])[0];
     assert_eq!(cps.attr(c1, &"@n".into()).unwrap().as_const(), Some("5"));
     assert_eq!(cps.attr(c1, &"@m".into()).unwrap().as_const(), Some("6"));
@@ -68,7 +71,10 @@ fn example_6_3_canonical_presolution() {
         .map(|&c| cps.label(c).to_string())
         .collect();
     assert_eq!(second_b_children, vec!["C", "D"]);
-    assert_eq!(cps.attr(kids[3], &"@m".into()).unwrap().as_const(), Some("5"));
+    assert_eq!(
+        cps.attr(kids[3], &"@m".into()).unwrap().as_const(),
+        Some("5")
+    );
 
     // Chasing the pre-solution yields a genuine (weak) solution: the chase
     // only needs to add the missing attributes as fresh nulls.
@@ -127,7 +133,11 @@ fn example_6_13_chase_sequence_result() {
         .iter()
         .map(|&n| solution.attr(n, &"@n".into()).unwrap().clone())
         .collect();
-    assert_eq!(null_values.len(), 2, "the two @n nulls are distinct (⊥1, ⊥2)");
+    assert_eq!(
+        null_values.len(),
+        2,
+        "the two @n nulls are distinct (⊥1, ⊥2)"
+    );
 
     // Materialising the solution orders the children as B C B C, conforming
     // to (B C)* in the ordered sense.

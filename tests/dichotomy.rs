@@ -9,8 +9,18 @@ use xml_data_exchange::{canonical_solution, Dtd, Std, XmlTree};
 
 #[test]
 fn paper_examples_of_univocal_expressions() {
-    for src in ["b c+ d* e?", "(b*|c*)", "(b c)* (d e)*", "(a|b|c)*", "(B C)*", "eps"] {
-        assert!(is_univocal(&parse_regex(src).unwrap()), "{src} should be univocal");
+    for src in [
+        "b c+ d* e?",
+        "(b*|c*)",
+        "(b c)* (d e)*",
+        "(a|b|c)*",
+        "(B C)*",
+        "eps",
+    ] {
+        assert!(
+            is_univocal(&parse_regex(src).unwrap()),
+            "{src} should be univocal"
+        );
     }
 }
 
@@ -29,7 +39,11 @@ fn paper_examples_of_non_univocal_expressions() {
 #[test]
 fn nested_relational_dtds_are_univocal_hence_tractable() {
     // Corollary 6.11: the Clio class sits inside the tractable side.
-    let source = Dtd::builder("s").rule("s", "rec*").attributes("rec", ["@v"]).build().unwrap();
+    let source = Dtd::builder("s")
+        .rule("s", "rec*")
+        .attributes("rec", ["@v"])
+        .build()
+        .unwrap();
     let target = Dtd::builder("t")
         .rule("t", "head ent* tail?")
         .rule("ent", "sub+")
@@ -50,7 +64,11 @@ fn the_chase_refuses_to_guess_on_non_univocal_content_models() {
     // Target content model ab | ac: after the STD forces an `a` child, the
     // repair has two maximal, incomparable completions (add b or add c);
     // the canonical chase reports the ambiguity rather than picking one.
-    let source = Dtd::builder("s").rule("s", "rec*").attributes("rec", ["@v"]).build().unwrap();
+    let source = Dtd::builder("s")
+        .rule("s", "rec*")
+        .attributes("rec", ["@v"])
+        .build()
+        .unwrap();
     let target = Dtd::builder("t")
         .rule("t", "(a b)|(a c)")
         .attributes("a", ["@v"])
@@ -76,7 +94,11 @@ fn univocal_but_not_nested_relational_settings_still_work_end_to_end() {
     // still applies (Theorem 6.2 is wider than Corollary 6.11).
     use xml_data_exchange::core::certain_answers;
     use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
-    let source = Dtd::builder("r").rule("r", "A*").attributes("A", ["@a"]).build().unwrap();
+    let source = Dtd::builder("r")
+        .rule("r", "A*")
+        .attributes("A", ["@a"])
+        .build()
+        .unwrap();
     let target = Dtd::builder("r2")
         .rule("r2", "(B C)*")
         .rule("C", "D")
@@ -106,14 +128,25 @@ fn univocal_but_not_nested_relational_settings_still_work_end_to_end() {
     let qn = UnionQuery::single(
         ConjunctiveTreeQuery::new(["n"], vec![parse_pattern("D(@n=$n)").unwrap()]).unwrap(),
     );
-    assert!(certain_answers(&setting, &src_tree, &qn).unwrap().tuples.is_empty());
+    assert!(certain_answers(&setting, &src_tree, &qn)
+        .unwrap()
+        .tuples
+        .is_empty());
 }
 
 #[test]
 fn non_fully_specified_settings_are_classified_as_such() {
     use xml_data_exchange::core::SettingClass;
-    let source = Dtd::builder("s").rule("s", "rec*").attributes("rec", ["@v"]).build().unwrap();
-    let target = Dtd::builder("t").rule("t", "a*").attributes("a", ["@v"]).build().unwrap();
+    let source = Dtd::builder("s")
+        .rule("s", "rec*")
+        .attributes("rec", ["@v"])
+        .build()
+        .unwrap();
+    let target = Dtd::builder("t")
+        .rule("t", "a*")
+        .attributes("a", ["@v"])
+        .build()
+        .unwrap();
     for (pattern, expect_fully_specified) in [
         ("t[a(@v=$x)] :- s[rec(@v=$x)]", true),
         ("//a(@v=$x) :- s[rec(@v=$x)]", false),

@@ -44,14 +44,23 @@ fn hr_source() -> xml_data_exchange::XmlTree {
     TreeBuilder::new("company")
         .child("dept", |d| {
             d.attr("@dname", "Databases")
-                .child("employee", |e| e.attr("@ename", "Ada").attr("@role", "researcher"))
-                .child("employee", |e| e.attr("@ename", "Edgar").attr("@role", "engineer"))
-                .child("project", |p| p.attr("@pname", "Exchange").attr("@budget", "100"))
-                .child("project", |p| p.attr("@pname", "Chase").attr("@budget", "50"))
+                .child("employee", |e| {
+                    e.attr("@ename", "Ada").attr("@role", "researcher")
+                })
+                .child("employee", |e| {
+                    e.attr("@ename", "Edgar").attr("@role", "engineer")
+                })
+                .child("project", |p| {
+                    p.attr("@pname", "Exchange").attr("@budget", "100")
+                })
+                .child("project", |p| {
+                    p.attr("@pname", "Chase").attr("@budget", "50")
+                })
         })
         .child("dept", |d| {
-            d.attr("@dname", "Systems")
-                .child("employee", |e| e.attr("@ename", "Ada").attr("@role", "consultant"))
+            d.attr("@dname", "Systems").child("employee", |e| {
+                e.attr("@ename", "Ada").attr("@role", "consultant")
+            })
         })
         .build()
 }
@@ -99,15 +108,24 @@ fn hr_scenario_full_pipeline() {
     );
     let answers = certain_answers(&setting, &source, &q).unwrap();
     assert_eq!(answers.tuples.len(), 3);
-    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Databases".to_string()]));
-    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Systems".to_string()]));
-    assert!(answers.tuples.contains(&vec!["Edgar".to_string(), "Databases".to_string()]));
+    assert!(answers
+        .tuples
+        .contains(&vec!["Ada".to_string(), "Databases".to_string()]));
+    assert!(answers
+        .tuples
+        .contains(&vec!["Ada".to_string(), "Systems".to_string()]));
+    assert!(answers
+        .tuples
+        .contains(&vec!["Edgar".to_string(), "Databases".to_string()]));
 
     // Unknown values (phones, team leads) are never certain.
     let leads = UnionQuery::single(
         ConjunctiveTreeQuery::new(["l"], vec![parse_pattern("team(@lead=$l)").unwrap()]).unwrap(),
     );
-    assert!(certain_answers(&setting, &source, &leads).unwrap().tuples.is_empty());
+    assert!(certain_answers(&setting, &source, &leads)
+        .unwrap()
+        .tuples
+        .is_empty());
 }
 
 #[test]
@@ -126,9 +144,15 @@ fn join_queries_over_the_target_schema() {
         .unwrap(),
     );
     let answers = certain_answers(&setting, &source, &q).unwrap();
-    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Edgar".to_string()]));
-    assert!(answers.tuples.contains(&vec!["Edgar".to_string(), "Ada".to_string()]));
-    assert!(answers.tuples.contains(&vec!["Ada".to_string(), "Ada".to_string()]));
+    assert!(answers
+        .tuples
+        .contains(&vec!["Ada".to_string(), "Edgar".to_string()]));
+    assert!(answers
+        .tuples
+        .contains(&vec!["Edgar".to_string(), "Ada".to_string()]));
+    assert!(answers
+        .tuples
+        .contains(&vec!["Ada".to_string(), "Ada".to_string()]));
     // Nobody certainly shares a department across the two departments only.
     assert_eq!(answers.tuples.len(), 4);
 }
@@ -143,7 +167,10 @@ fn source_documents_with_no_matches_still_have_solutions() {
     let q = UnionQuery::single(
         ConjunctiveTreeQuery::new(["x"], vec![parse_pattern("person(@name=$x)").unwrap()]).unwrap(),
     );
-    assert!(certain_answers(&setting, &source, &q).unwrap().tuples.is_empty());
+    assert!(certain_answers(&setting, &source, &q)
+        .unwrap()
+        .tuples
+        .is_empty());
 }
 
 #[test]
@@ -152,14 +179,16 @@ fn boolean_queries_distinguish_certain_from_possible() {
     let setting = hr_setting();
     let source = hr_source();
     // Certainly true: some person is assigned to Databases.
-    let certain = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![
-        parse_pattern("person[assignment(@dept=\"Databases\")]").unwrap(),
-    ]));
+    let certain = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![parse_pattern(
+        "person[assignment(@dept=\"Databases\")]",
+    )
+    .unwrap()]));
     assert!(certain_answers_boolean(&setting, &source, &certain).unwrap());
     // Possible but not certain: a team lead named Ada exists in *some*
     // solutions (the null could be Ada) but not in all of them.
-    let possible = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![
-        parse_pattern("team(@lead=\"Ada\")").unwrap(),
-    ]));
+    let possible = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![parse_pattern(
+        "team(@lead=\"Ada\")",
+    )
+    .unwrap()]));
     assert!(!certain_answers_boolean(&setting, &source, &possible).unwrap());
 }

@@ -57,7 +57,10 @@ fn flat_relational_exchange_behaves_like_relational_data_exchange() {
     let qc = UnionQuery::single(
         ConjunctiveTreeQuery::new(["c"], vec![parse_pattern("S(@c=$c)").unwrap()]).unwrap(),
     );
-    assert!(certain_answers(&setting, &source, &qc).unwrap().tuples.is_empty());
+    assert!(certain_answers(&setting, &source, &qc)
+        .unwrap()
+        .tuples
+        .is_empty());
 }
 
 /// A setting whose target DTD bounds the number of facts: sources with more

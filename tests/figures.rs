@@ -66,7 +66,9 @@ fn canonical_solution_embeds_into_figure_2() {
     let canonical = canonical_solution(&setting, &source).unwrap();
     let figure2 = figure_2_target_tree();
     let h = find_homomorphism(&canonical, &figure2).expect("homomorphism exists");
-    assert!(xml_data_exchange::patterns::is_homomorphism(&canonical, &figure2, &h));
+    assert!(xml_data_exchange::patterns::is_homomorphism(
+        &canonical, &figure2, &h
+    ));
 }
 
 #[test]
@@ -90,7 +92,10 @@ fn introduction_queries_have_the_answers_the_paper_states() {
     let q1 = UnionQuery::single(
         ConjunctiveTreeQuery::new(
             ["w"],
-            vec![parse_pattern("writer(@name=$w)[work(@title=\"Computational Complexity\")]").unwrap()],
+            vec![
+                parse_pattern("writer(@name=$w)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
         )
         .unwrap(),
     );
@@ -134,7 +139,9 @@ fn certain_answers_agree_between_canonical_and_figure_2_solutions_on_constants()
     let over_figure2 = q.evaluate(&figure_2_target_tree());
     for row in &certain.tuples {
         assert!(over_figure2.iter().any(|r| {
-            r.iter().map(|v| v.as_const().unwrap_or("")).collect::<Vec<_>>()
+            r.iter()
+                .map(|v| v.as_const().unwrap_or(""))
+                .collect::<Vec<_>>()
                 == row.iter().map(|s| s.as_str()).collect::<Vec<_>>()
         }));
     }

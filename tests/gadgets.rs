@@ -28,12 +28,27 @@ fn figure_3_source_encoding_of_the_paper_formula() {
     assert_eq!(c_nodes.len(), 2);
     assert_eq!(l_nodes.len(), 4);
     // Figure 3 literal numbering: clause 1 is (1, 3, 6).
-    assert_eq!(t.attr(c_nodes[0], &"@f".into()).unwrap().as_const(), Some("1"));
-    assert_eq!(t.attr(c_nodes[0], &"@s".into()).unwrap().as_const(), Some("3"));
-    assert_eq!(t.attr(c_nodes[0], &"@t".into()).unwrap().as_const(), Some("6"));
+    assert_eq!(
+        t.attr(c_nodes[0], &"@f".into()).unwrap().as_const(),
+        Some("1")
+    );
+    assert_eq!(
+        t.attr(c_nodes[0], &"@s".into()).unwrap().as_const(),
+        Some("3")
+    );
+    assert_eq!(
+        t.attr(c_nodes[0], &"@t".into()).unwrap().as_const(),
+        Some("6")
+    );
     // The L node for x1 stores (1, 2).
-    assert_eq!(t.attr(l_nodes[0], &"@p".into()).unwrap().as_const(), Some("1"));
-    assert_eq!(t.attr(l_nodes[0], &"@n".into()).unwrap().as_const(), Some("2"));
+    assert_eq!(
+        t.attr(l_nodes[0], &"@p".into()).unwrap().as_const(),
+        Some("1")
+    );
+    assert_eq!(
+        t.attr(l_nodes[0], &"@n".into()).unwrap().as_const(),
+        Some("2")
+    );
 }
 
 #[test]
@@ -45,7 +60,12 @@ fn theorem_5_11_equivalence_on_small_instances() {
     let assignment = satisfiable.brute_force_satisfiable().unwrap();
     let gadget = theorem_5_11::build(&satisfiable);
     let witness = theorem_5_11::solution_from_assignment(&satisfiable, &assignment);
-    assert!(is_solution(&gadget.setting, &gadget.source_tree, &witness, false));
+    assert!(is_solution(
+        &gadget.setting,
+        &gadget.source_tree,
+        &witness,
+        false
+    ));
     assert!(!gadget.query.evaluate_boolean(&witness));
 
     let unsatisfiable = CnfFormula::tiny_unsatisfiable();
@@ -82,7 +102,10 @@ fn theorem_5_11_counterexample_solutions_for_every_satisfying_assignment() {
 #[test]
 fn consistency_gadget_matches_brute_force_satisfiability() {
     let mut rng = StdRng::seed_from_u64(99);
-    let mut formulas = vec![CnfFormula::paper_example(), CnfFormula::tiny_unsatisfiable()];
+    let mut formulas = vec![
+        CnfFormula::paper_example(),
+        CnfFormula::tiny_unsatisfiable(),
+    ];
     for _ in 0..4 {
         formulas.push(CnfFormula::random(3, 5, &mut rng));
     }
@@ -105,7 +128,7 @@ fn gadget_settings_use_only_trivial_content_models() {
     let g = theorem_5_11::build(&CnfFormula::paper_example());
     for dtd in [&g.setting.source_dtd, &g.setting.target_dtd] {
         for el in dtd.element_types() {
-            let rule = dtd.rule(&el);
+            let rule = dtd.rule(el);
             assert!(
                 rule.is_nested_relational_shape() || rule.is_simple(),
                 "{el} has an unexpectedly complex content model {rule}"

@@ -1,13 +1,55 @@
-//! Property-based tests (proptest) for the core invariants.
+//! Property-based tests (proptest) for the core invariants, including the
+//! differential properties that pin the compiled fast paths (bitset NFA
+//! simulation, hashed-bitset subset construction, `CompiledDtd` conformance)
+//! to their reference implementations.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use xml_data_exchange::core::setting::DataExchangeSetting;
 use xml_data_exchange::core::is_solution;
+use xml_data_exchange::core::setting::DataExchangeSetting;
 use xml_data_exchange::patterns::homomorphism::find_homomorphism;
+use xml_data_exchange::relang::bitset::BitsetNfa;
 use xml_data_exchange::relang::parikh::{parikh_image, perm_accepts, AlphabetMap};
-use xml_data_exchange::relang::{parse_regex, Nfa, Regex};
+use xml_data_exchange::relang::{parse_regex, Dfa, Nfa, Regex};
 use xml_data_exchange::{canonical_solution, impose_sibling_order, Dtd, Std, XmlTree};
+
+/// A random regular expression over `alphabet`, depth-bounded. Covers all
+/// constructors the paper's grammar admits (ε, symbols, `|`, concatenation,
+/// `*`, `+`, `?`), plus `Empty` at low probability.
+fn random_regex(rng: &mut StdRng, alphabet: &[&str], depth: usize) -> Regex<String> {
+    if depth == 0 {
+        return match rng.gen_range(0..6usize) {
+            0 => Regex::Epsilon,
+            _ => Regex::Symbol(alphabet[rng.gen_range(0..alphabet.len())].to_string()),
+        };
+    }
+    match rng.gen_range(0..10usize) {
+        0 => Regex::Epsilon,
+        1 => Regex::Symbol(alphabet[rng.gen_range(0..alphabet.len())].to_string()),
+        2 | 3 => Regex::concat(
+            random_regex(rng, alphabet, depth - 1),
+            random_regex(rng, alphabet, depth - 1),
+        ),
+        4 | 5 => Regex::alt(
+            random_regex(rng, alphabet, depth - 1),
+            random_regex(rng, alphabet, depth - 1),
+        ),
+        6 => Regex::star(random_regex(rng, alphabet, depth - 1)),
+        7 => Regex::plus(random_regex(rng, alphabet, depth - 1)),
+        8 => Regex::opt(random_regex(rng, alphabet, depth - 1)),
+        _ => Regex::Empty,
+    }
+}
+
+/// A random word over `alphabet` of length `< max_len`.
+fn random_word(rng: &mut StdRng, alphabet: &[&str], max_len: usize) -> Vec<String> {
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())].to_string())
+        .collect()
+}
 
 /// A small pool of regular expressions over {a, b, c} used by the Parikh
 /// properties (mixing all the paper's shapes: simple, nested-relational,
@@ -174,10 +216,10 @@ proptest! {
         alts.extend((0..dead).map(|i| format!("d{i}")));
         let mut builder = Dtd::builder("r").rule("r", &format!("({})*", alts.join("|")));
         for i in 0..live {
-            builder = builder.rule(&format!("a{i}"), "eps");
+            builder = builder.rule(format!("a{i}"), "eps");
         }
         for i in 0..dead {
-            builder = builder.rule(&format!("d{i}"), &format!("d{i}"));
+            builder = builder.rule(format!("d{i}"), &format!("d{i}"));
         }
         let dtd = builder.build().unwrap();
         let trimmed = dtd.trim_to_consistent().unwrap();
@@ -186,5 +228,171 @@ proptest! {
         prop_assert!(trimmed.conforms(&witness));
         let witness2 = trimmed.minimal_conforming_tree().unwrap();
         prop_assert!(dtd.conforms(&witness2));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Differential properties: compiled fast paths ≡ reference implementations
+// --------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bitset simulator accepts exactly the words the reference
+    /// `Nfa::matches` accepts, on randomly generated regexes — both for
+    /// random (mostly rejected) words and for enumerated (accepted) words.
+    #[test]
+    fn bitset_simulation_agrees_with_reference_nfa(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alphabet = ["a", "b", "c"];
+        let regex = random_regex(&mut rng, &alphabet, 3);
+        let reference = Nfa::from_regex(&regex);
+        let fast = BitsetNfa::from_nfa(&reference);
+        for word in reference.enumerate_words(10, 5) {
+            prop_assert!(reference.matches(&word));
+            prop_assert!(fast.matches(&word), "accepted word rejected by bitset: {:?} on {}", word, regex);
+        }
+        for _ in 0..12 {
+            let word = random_word(&mut rng, &alphabet, 7);
+            prop_assert_eq!(reference.matches(&word), fast.matches(&word));
+        }
+    }
+
+    /// The hashed-bitset subset construction (`Dfa::from_nfa`) recognises the
+    /// same language as the reference `BTreeSet`-keyed construction.
+    #[test]
+    fn bitset_subset_construction_agrees_with_reference(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let alphabet = ["a", "b", "c"];
+        let regex = random_regex(&mut rng, &alphabet, 3);
+        let nfa = Nfa::from_regex(&regex);
+        let fast = Dfa::from_nfa(&nfa);
+        let reference = Dfa::from_nfa_reference(&nfa);
+        prop_assert_eq!(fast.num_states(), reference.num_states());
+        for _ in 0..16 {
+            let word = random_word(&mut rng, &alphabet, 7);
+            prop_assert_eq!(fast.matches(&word), reference.matches(&word));
+            prop_assert_eq!(fast.matches(&word), nfa.matches(&word));
+        }
+    }
+
+    /// The bitset permutation-language search agrees with the counting
+    /// simulation of Proposition 5.3 on random regexes and count vectors.
+    #[test]
+    fn bitset_permutation_membership_agrees_with_reference(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7));
+        let alphabet = ["a", "b", "c"];
+        let regex = random_regex(&mut rng, &alphabet, 3);
+        let nfa = Nfa::from_regex(&regex);
+        let fast = BitsetNfa::from_nfa(&nfa);
+        for _ in 0..8 {
+            let counts: BTreeMap<String, u64> = alphabet
+                .iter()
+                .map(|s| (s.to_string(), rng.gen_range(0u64..4)))
+                .filter(|&(_, c)| c > 0)
+                .collect();
+            prop_assert_eq!(perm_accepts(&nfa, &counts), fast.perm_accepts(&counts));
+        }
+    }
+
+    /// `CompiledDtd::conforms` (dense-table DFAs + occurrence bounds) agrees
+    /// with the reference NFA-simulation conformance on randomly generated
+    /// trees — ordered and unordered, including trees with unknown labels,
+    /// wrong roots and attribute violations.
+    #[test]
+    fn compiled_dtd_conformance_agrees_with_reference(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xDA942042E4DD58B5).wrapping_add(3));
+        // A DTD pool mixing nested-relational and general content models.
+        let dtd = match seed % 4 {
+            0 => Dtd::builder("r")
+                .rule("r", "a* b+ c?")
+                .attributes("a", ["@x"])
+                .build()
+                .unwrap(),
+            1 => Dtd::builder("r").rule("r", "(a b)* (c d)*").build().unwrap(),
+            2 => Dtd::builder("r")
+                .rule("r", "a | a a b*")
+                .rule("a", "c?")
+                .rule("c", "eps")
+                .build()
+                .unwrap(),
+            _ => Dtd::builder("r")
+                .rule("r", "x y")
+                .rule("x", "a*")
+                .rule("y", "(a|b)+")
+                .build()
+                .unwrap(),
+        };
+        // Random trees: labels drawn from the DTD's element types plus an
+        // occasional unknown one; random attributes sprinkled in.
+        let labels: Vec<String> = dtd.element_types().map(|e| e.to_string()).collect();
+        let root_label = if rng.gen_bool(0.8) { dtd.root().to_string() } else { "zzz".to_string() };
+        let mut tree = XmlTree::new(root_label);
+        let mut frontier = vec![tree.root()];
+        for _ in 0..rng.gen_range(0usize..12) {
+            let parent = frontier[rng.gen_range(0..frontier.len())];
+            let label = if rng.gen_bool(0.92) {
+                labels[rng.gen_range(0..labels.len())].clone()
+            } else {
+                "mystery".to_string()
+            };
+            let child = tree.add_child(parent, label);
+            if rng.gen_bool(0.2) {
+                tree.set_attr(child, "@x", "v");
+            }
+            frontier.push(child);
+        }
+        let compiled = dtd.compiled();
+        prop_assert_eq!(dtd.conforms_reference(&tree), compiled.conforms(&tree));
+        prop_assert_eq!(
+            dtd.conforms_unordered_reference(&tree),
+            compiled.conforms_unordered(&tree)
+        );
+        prop_assert_eq!(dtd.violations_reference(&tree), compiled.violations(&tree, true));
+        prop_assert_eq!(
+            dtd.violations_unordered_reference(&tree),
+            compiled.violations(&tree, false)
+        );
+    }
+
+    /// The compiled canonical-solution pipeline produces solutions that the
+    /// reference path certifies, and both paths agree on solution size.
+    #[test]
+    fn compiled_canonical_solution_agrees_with_reference(
+        values in proptest::collection::vec((0usize..3, 0u32..5), 0..10),
+    ) {
+        use xml_data_exchange::core::solution::{canonical_solution_reference, is_solution_reference};
+        let source_dtd = Dtd::builder("src")
+            .rule("src", "f0* f1* f2*")
+            .attributes("f0", ["@v"])
+            .attributes("f1", ["@v"])
+            .attributes("f2", ["@v"])
+            .build()
+            .unwrap();
+        let target_dtd = Dtd::builder("tgt")
+            .rule("tgt", "g0* g1* g2*")
+            .attributes("g0", ["@v", "@extra"])
+            .attributes("g1", ["@v", "@extra"])
+            .attributes("g2", ["@v", "@extra"])
+            .build()
+            .unwrap();
+        let stds = (0..3)
+            .map(|i| Std::parse(&format!("tgt[g{i}(@v=$x, @extra=$z)] :- src[f{i}(@v=$x)]")).unwrap())
+            .collect();
+        let setting = DataExchangeSetting::new(source_dtd, target_dtd, stds);
+        let mut source = XmlTree::new("src");
+        let mut grouped = values.clone();
+        grouped.sort();
+        for (field, value) in grouped {
+            let node = source.add_child(source.root(), format!("f{field}"));
+            source.set_attr(node, "@v", format!("v{value}"));
+        }
+        let fast = canonical_solution(&setting, &source).unwrap();
+        let reference = canonical_solution_reference(&setting, &source).unwrap();
+        prop_assert_eq!(fast.size(), reference.size());
+        prop_assert!(is_solution_reference(&setting, &source, &fast, false));
+        prop_assert!(is_solution(&setting, &source, &reference, false));
+        prop_assert!(find_homomorphism(&fast, &reference).is_some());
+        prop_assert!(find_homomorphism(&reference, &fast).is_some());
     }
 }
