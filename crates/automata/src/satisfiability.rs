@@ -16,9 +16,22 @@
 //! walks the content-model NFAs. Worst-case behaviour is still exponential
 //! (it has to be: the problem is EXPTIME-complete), but inputs arising from
 //! realistic settings stay small.
+//!
+//! Two implementations share the public API:
+//!
+//! * the **fast path** ([`PatternSatisfiability::satisfiable`]) interns
+//!   subformulae into dense indices and keeps profiles as `u64`-block bit
+//!   sets ([`StateMask`]), walking pre-compiled bit-parallel content-model
+//!   NFAs ([`BitsetNfa`], built once per engine and reused by every query —
+//!   the general consistency check calls `satisfiable` up to `2^|Σ_ST|`
+//!   times against the same engine);
+//! * the **reference path** (`*_reference`) is the original
+//!   `BTreeSet<usize>` transcription, kept as the source of truth and
+//!   differential-tested against the fast path.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use xdx_patterns::{LabelTest, TreePattern};
+use xdx_relang::{BitsetNfa, StateMask};
 use xdx_xmltree::{Dtd, ElementType};
 
 /// The profile of a node with respect to a set of subformulae: the
@@ -30,6 +43,15 @@ pub struct Profile {
     pub witnessed: BTreeSet<usize>,
     /// Indices of subformulae witnessed at the node or below.
     pub below: BTreeSet<usize>,
+}
+
+/// A [`Profile`] in bit-set form: blocks of 64 subformula-index bits. The
+/// fixpoint unions and set-insertions that dominate the reference path
+/// become word-wide `OR`s and short memcmps.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MaskProfile {
+    witnessed: StateMask,
+    below: StateMask,
 }
 
 /// Index of subformulae of a collection of patterns.
@@ -108,18 +130,57 @@ impl SubformulaTable {
         }
         out
     }
+
+    /// Bit-set analogue of [`SubformulaTable::witnessed_at`].
+    fn witnessed_at_masks(
+        &self,
+        label: &ElementType,
+        children_witnessed: &StateMask,
+        children_below: &StateMask,
+    ) -> StateMask {
+        let mut out = StateMask::empty(self.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            let ok = match entry {
+                SubEntry::Node { label: l, children } => {
+                    l.as_ref().map(|e| e == label).unwrap_or(true)
+                        && children.iter().all(|&c| children_witnessed.contains(c))
+                }
+                SubEntry::Descendant(inner) => children_below.contains(*inner),
+            };
+            if ok {
+                out.insert(i);
+            }
+        }
+        out
+    }
 }
 
 /// A satisfiability engine bound to a fixed DTD.
 #[derive(Debug, Clone)]
 pub struct PatternSatisfiability {
     dtd: Dtd,
+    /// Bit-parallel content-model NFAs, compiled once per element type when
+    /// the engine is built and reused by every query.
+    bitsets: BTreeMap<ElementType, BitsetNfa<ElementType>>,
 }
 
 impl PatternSatisfiability {
-    /// Create an engine for the given DTD.
+    /// Create an engine for the given DTD (compiling every content model's
+    /// bit-parallel NFA up front).
     pub fn new(dtd: &Dtd) -> Self {
-        PatternSatisfiability { dtd: dtd.clone() }
+        let bitsets = dtd
+            .element_types()
+            .map(|e| {
+                let nfa = dtd
+                    .content_nfa(e)
+                    .expect("every element type of a DTD has a content model");
+                (e.clone(), BitsetNfa::from_nfa(nfa))
+            })
+            .collect();
+        PatternSatisfiability {
+            dtd: dtd.clone(),
+            bitsets,
+        }
     }
 
     /// Is there a tree `T ⊨ D` such that every pattern of `pos` holds in `T`
@@ -129,7 +190,10 @@ impl PatternSatisfiability {
     ///
     /// Accepts owned or borrowed pattern slices (`&[TreePattern]` or
     /// `&[&TreePattern]`), so subset-enumeration callers need not clone
-    /// patterns per subset.
+    /// patterns per subset. Runs on the bit-set fast path; the original
+    /// implementation is kept as
+    /// [`PatternSatisfiability::satisfiable_reference`] and the two are
+    /// differential-tested.
     pub fn satisfiable<P: std::borrow::Borrow<TreePattern>>(&self, pos: &[P], neg: &[P]) -> bool {
         self.witnessing_profile(pos, neg).is_some()
     }
@@ -144,7 +208,42 @@ impl PatternSatisfiability {
         let mut table = SubformulaTable::new();
         let pos_tops: Vec<usize> = pos.iter().map(|p| table.insert(p.borrow())).collect();
         let neg_tops: Vec<usize> = neg.iter().map(|p| table.insert(p.borrow())).collect();
-        let achievable = self.achievable_profiles(&table);
+        let achievable = self.achievable_profiles_masks(&table);
+        let root_profiles = achievable.get(self.dtd.root())?;
+        root_profiles
+            .iter()
+            .find(|profile| {
+                pos_tops.iter().all(|&t| profile.below.contains(t))
+                    && neg_tops.iter().all(|&t| !profile.below.contains(t))
+            })
+            .map(|profile| Profile {
+                witnessed: profile.witnessed.to_btree(),
+                below: profile.below.to_btree(),
+            })
+    }
+
+    /// Reference implementation of [`PatternSatisfiability::satisfiable`]
+    /// (`BTreeSet<usize>` profiles, `BTreeSet`-simulation of the content
+    /// models).
+    pub fn satisfiable_reference<P: std::borrow::Borrow<TreePattern>>(
+        &self,
+        pos: &[P],
+        neg: &[P],
+    ) -> bool {
+        self.witnessing_profile_reference(pos, neg).is_some()
+    }
+
+    /// Reference implementation of
+    /// [`PatternSatisfiability::witnessing_profile`].
+    pub fn witnessing_profile_reference<P: std::borrow::Borrow<TreePattern>>(
+        &self,
+        pos: &[P],
+        neg: &[P],
+    ) -> Option<Profile> {
+        let mut table = SubformulaTable::new();
+        let pos_tops: Vec<usize> = pos.iter().map(|p| table.insert(p.borrow())).collect();
+        let neg_tops: Vec<usize> = neg.iter().map(|p| table.insert(p.borrow())).collect();
+        let achievable = self.achievable_profiles_reference(&table);
         let root_profiles = achievable.get(self.dtd.root())?;
         root_profiles
             .iter()
@@ -155,9 +254,105 @@ impl PatternSatisfiability {
             .cloned()
     }
 
+    // ------------------------------------------------------------------
+    // Fast path: bit-set profiles over pre-compiled bitset NFAs
+    // ------------------------------------------------------------------
+
+    /// Compute, for every element type, the set of profiles achievable by a
+    /// conforming subtree rooted at that element type (bit-set form).
+    fn achievable_profiles_masks(
+        &self,
+        table: &SubformulaTable,
+    ) -> BTreeMap<ElementType, BTreeSet<MaskProfile>> {
+        let elements: Vec<&ElementType> = self.dtd.element_types().collect();
+        let mut achievable: BTreeMap<ElementType, BTreeSet<MaskProfile>> = elements
+            .iter()
+            .map(|&e| (e.clone(), BTreeSet::new()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for &element in &elements {
+                let aggregates = self.horizontal_aggregates_masks(element, &achievable, table);
+                for (children_witnessed, children_below) in aggregates {
+                    let witnessed =
+                        table.witnessed_at_masks(element, &children_witnessed, &children_below);
+                    let mut below = children_below.clone();
+                    below.union_with(&witnessed);
+                    let profile = MaskProfile { witnessed, below };
+                    if achievable
+                        .get_mut(element)
+                        .expect("all elements present")
+                        .insert(profile)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return achievable;
+            }
+        }
+    }
+
+    /// All pairs (⋃ witnessed, ⋃ below) over the children of a node labelled
+    /// `element` whose child-label word is in the content model and whose
+    /// children's profiles are drawn from `achievable` (bit-set form, walked
+    /// on the pre-compiled bit-parallel NFA).
+    fn horizontal_aggregates_masks(
+        &self,
+        element: &ElementType,
+        achievable: &BTreeMap<ElementType, BTreeSet<MaskProfile>>,
+        table: &SubformulaTable,
+    ) -> BTreeSet<(StateMask, StateMask)> {
+        let Some(nfa) = self.bitsets.get(element) else {
+            return BTreeSet::new();
+        };
+        let nsub = table.len();
+        type Config = (StateMask, StateMask, StateMask);
+        let initial: Config = (
+            nfa.start_mask().clone(),
+            StateMask::empty(nsub),
+            StateMask::empty(nsub),
+        );
+        let mut seen: BTreeSet<Config> = BTreeSet::new();
+        let mut queue: VecDeque<Config> = VecDeque::new();
+        seen.insert(initial.clone());
+        queue.push_back(initial);
+        let mut results = BTreeSet::new();
+        while let Some((states, agg_w, agg_b)) = queue.pop_front() {
+            if nfa.accepts(&states) {
+                results.insert((agg_w.clone(), agg_b.clone()));
+            }
+            for idx in 0..nfa.alphabet().len() {
+                let next_states = nfa.step_mask(&states, idx);
+                if next_states.is_empty() {
+                    continue;
+                }
+                let Some(profiles) = achievable.get(&nfa.alphabet()[idx]) else {
+                    continue;
+                };
+                for profile in profiles {
+                    let mut w = agg_w.clone();
+                    w.union_with(&profile.witnessed);
+                    let mut b = agg_b.clone();
+                    b.union_with(&profile.below);
+                    let config = (next_states.clone(), w, b);
+                    if seen.insert(config.clone()) {
+                        queue.push_back(config);
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    // ------------------------------------------------------------------
+    // Reference path: BTreeSet profiles (kept verbatim; source of truth)
+    // ------------------------------------------------------------------
+
     /// Compute, for every element type, the set of profiles achievable by a
     /// conforming subtree rooted at that element type.
-    fn achievable_profiles(
+    fn achievable_profiles_reference(
         &self,
         table: &SubformulaTable,
     ) -> BTreeMap<ElementType, BTreeSet<Profile>> {
@@ -169,7 +364,7 @@ impl PatternSatisfiability {
         loop {
             let mut changed = false;
             for &element in &elements {
-                let aggregates = self.horizontal_aggregates(element, &achievable, table);
+                let aggregates = self.horizontal_aggregates_reference(element, &achievable, table);
                 for (children_witnessed, children_below) in aggregates {
                     let witnessed =
                         table.witnessed_at(element, &children_witnessed, &children_below);
@@ -194,7 +389,7 @@ impl PatternSatisfiability {
     /// All pairs (⋃ witnessed, ⋃ below) over the children of a node labelled
     /// `element` whose child-label word is in the content model and whose
     /// children's profiles are drawn from `achievable`.
-    fn horizontal_aggregates(
+    fn horizontal_aggregates_reference(
         &self,
         element: &ElementType,
         achievable: &BTreeMap<ElementType, BTreeSet<Profile>>,
@@ -249,6 +444,14 @@ mod tests {
         parse_pattern(src).unwrap()
     }
 
+    /// Assert the fast path answer, and that the reference path agrees.
+    fn sat(solver: &PatternSatisfiability, pos: &[TreePattern], neg: &[TreePattern]) -> bool {
+        let fast = solver.satisfiable(pos, neg);
+        let reference = solver.satisfiable_reference(pos, neg);
+        assert_eq!(fast, reference, "paths disagree on pos={pos:?} neg={neg:?}");
+        fast
+    }
+
     #[test]
     fn section_4_inconsistency_example() {
         // Target DTD r → 1|2, 1 → ε, 2 → ε cannot satisfy the pattern
@@ -260,12 +463,12 @@ mod tests {
             .build()
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(!solver.satisfiable(&[p("r[one[two]]")], &[]));
+        assert!(!sat(&solver, &[p("r[one[two]]")], &[]));
         // but r[one] alone is satisfiable
-        assert!(solver.satisfiable(&[p("r[one]")], &[]));
-        assert!(solver.satisfiable(&[p("r[two]")], &[]));
+        assert!(sat(&solver, &[p("r[one]")], &[]));
+        assert!(sat(&solver, &[p("r[two]")], &[]));
         // and r[one] ∧ r[two] is not (only one child allowed)
-        assert!(!solver.satisfiable(&[p("r[one]"), p("r[two]")], &[]));
+        assert!(!sat(&solver, &[p("r[one]"), p("r[two]")], &[]));
     }
 
     #[test]
@@ -273,10 +476,10 @@ mod tests {
         // D: r → a* ; "has an a child" and "has no a child" conflict.
         let dtd = Dtd::builder("r").rule("r", "a*").build().unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        let has_a = p("r[a]");
-        assert!(solver.satisfiable(std::slice::from_ref(&has_a), &[]));
-        assert!(solver.satisfiable(&[], std::slice::from_ref(&has_a)));
-        assert!(!solver.satisfiable(std::slice::from_ref(&has_a), std::slice::from_ref(&has_a)));
+        let has_a = [p("r[a]")];
+        assert!(sat(&solver, &has_a, &[]));
+        assert!(sat(&solver, &[], &has_a));
+        assert!(!sat(&solver, &has_a, &has_a));
     }
 
     #[test]
@@ -289,15 +492,15 @@ mod tests {
             .build()
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(solver.satisfiable(&[p("//b")], &[]));
-        assert!(solver.satisfiable(&[p("r[//b]")], &[]));
-        assert!(solver.satisfiable(&[p("//a[b]")], &[]));
+        assert!(sat(&solver, &[p("//b")], &[]));
+        assert!(sat(&solver, &[p("r[//b]")], &[]));
+        assert!(sat(&solver, &[p("//a[b]")], &[]));
         // //c can never hold
-        assert!(!solver.satisfiable(&[p("//c")], &[]));
+        assert!(!sat(&solver, &[p("//c")], &[]));
         // negated descendant: a tree without any b exists (a's b child is optional)
-        assert!(solver.satisfiable(&[], &[p("//b")]));
+        assert!(sat(&solver, &[], &[p("//b")]));
         // but we cannot have //b and also forbid a[b]
-        assert!(!solver.satisfiable(&[p("//b")], &[p("a[b]")]));
+        assert!(!sat(&solver, &[p("//b")], &[p("a[b]")]));
     }
 
     #[test]
@@ -311,11 +514,11 @@ mod tests {
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
         // some child of the root has a child (only y can, via z)
-        assert!(solver.satisfiable(&[p("r[_[_]]")], &[]));
+        assert!(sat(&solver, &[p("r[_[_]]")], &[]));
         // forbidding it is also possible (omit z)
-        assert!(solver.satisfiable(&[], &[p("r[_[_]]")]));
+        assert!(sat(&solver, &[], &[p("r[_[_]]")]));
         // _[_[_[_]]] needs depth 4, impossible here
-        assert!(!solver.satisfiable(&[p("_[_[_[_]]]")], &[]));
+        assert!(!sat(&solver, &[p("_[_[_[_]]]")], &[]));
     }
 
     #[test]
@@ -327,20 +530,20 @@ mod tests {
             .build()
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(solver.satisfiable(&[p("//a[a[a]]")], &[]));
-        assert!(solver.satisfiable(&[p("r[a[a[a[a]]]]")], &[]));
+        assert!(sat(&solver, &[p("//a[a[a]]")], &[]));
+        assert!(sat(&solver, &[p("r[a[a[a[a]]]]")], &[]));
         // Forbidding any a at all is impossible (r must have one).
-        assert!(!solver.satisfiable(&[], &[p("r[a]")]));
+        assert!(!sat(&solver, &[], &[p("r[a]")]));
         // Forbidding depth ≥ 3 while requiring depth ≥ 2 is fine.
-        assert!(solver.satisfiable(&[p("//a[a]")], &[p("//a[a[a]]")]));
+        assert!(sat(&solver, &[p("//a[a]")], &[p("//a[a[a]]")]));
     }
 
     #[test]
     fn unknown_element_types_are_unsatisfiable() {
         let dtd = Dtd::builder("r").rule("r", "a*").build().unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(!solver.satisfiable(&[p("r[ghost]")], &[]));
-        assert!(solver.satisfiable(&[], &[p("r[ghost]")]));
+        assert!(!sat(&solver, &[p("r[ghost]")], &[]));
+        assert!(sat(&solver, &[], &[p("r[ghost]")]));
     }
 
     #[test]
@@ -352,7 +555,7 @@ mod tests {
             .build()
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(solver.satisfiable(&[p("r[a(@x=$v)]")], &[]));
+        assert!(sat(&solver, &[p("r[a(@x=$v)]")], &[]));
         assert_eq!(
             solver.satisfiable(&[p("r[a(@x=$v)]")], &[]),
             solver.satisfiable(&[p("r[a]")], &[])
@@ -368,6 +571,10 @@ mod tests {
             .expect("satisfiable");
         // the root witnesses both positive top-level patterns
         assert!(profile.witnessed.len() >= 2);
+        let reference = solver
+            .witnessing_profile_reference(&[p("r[a]"), p("r[b]")], &[p("r[c]")])
+            .expect("satisfiable");
+        assert!(reference.witnessed.len() >= 2);
     }
 
     #[test]
@@ -378,7 +585,66 @@ mod tests {
             .build()
             .unwrap();
         let solver = PatternSatisfiability::new(&dtd);
-        assert!(!solver.satisfiable::<TreePattern>(&[], &[]));
-        assert!(!solver.satisfiable(&[p("r")], &[]));
+        let none: [TreePattern; 0] = [];
+        assert!(!sat(&solver, &none, &none));
+        assert!(!sat(&solver, &[p("r")], &[]));
+    }
+
+    #[test]
+    fn differential_sweep_over_pattern_combinations() {
+        // Exhaustive 2-set sweep over a pattern pool on a DTD with choice,
+        // repetition, optionality and recursion — the fast and reference
+        // paths must agree on every (pos, neg) pair.
+        let dtd = Dtd::builder("r")
+            .rule("r", "a* (b|c)")
+            .rule("a", "d?")
+            .rule("b", "a*")
+            .rule("c", "eps")
+            .rule("d", "eps")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        let pool = [
+            p("r[a]"),
+            p("r[b]"),
+            p("r[c]"),
+            p("//d"),
+            p("//a[d]"),
+            p("r[a, b]"),
+            p("_[_[d]]"),
+            p("//b[a[d]]"),
+            p("r[ghost]"),
+        ];
+        for i in 0..pool.len() {
+            for j in 0..pool.len() {
+                let pos = [pool[i].clone()];
+                let neg = [pool[j].clone()];
+                sat(&solver, &pos, &neg);
+                sat(&solver, &pos, &[]);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_wider_than_64_subformulae_still_work() {
+        // > 64 subformulae forces multi-block masks; deep chains of a's give
+        // each pattern many subformulae.
+        let dtd = Dtd::builder("r")
+            .rule("r", "a")
+            .rule("a", "a | eps")
+            .build()
+            .unwrap();
+        let solver = PatternSatisfiability::new(&dtd);
+        // A chain pattern of depth 40 (~40 subformulae) twice: > 64 total.
+        let mut deep = String::from("a");
+        for _ in 0..39 {
+            deep = format!("a[{deep}]");
+        }
+        let chain = p(&format!("//{deep}"));
+        let pos = [chain.clone(), p("r[a]")];
+        let neg = [chain];
+        assert!(sat(&solver, &pos, &[]));
+        // Requiring and forbidding the same chain is unsatisfiable.
+        assert!(!sat(&solver, &pos, &neg));
     }
 }

@@ -1,0 +1,77 @@
+//! Experiment E10 — batch throughput vs. thread count.
+//!
+//! One compiled setting (now `Send + Sync`) serves a whole slice of source
+//! documents through `BatchEngine`'s scoped thread pool. The sweep holds the
+//! workload fixed (one batch of Clio-class documents, chased end-to-end to
+//! canonical solutions, plus a certain-answers variant) and varies only the
+//! `parallelism(n)` knob, so `threads/1` vs `threads/4` is exactly the
+//! scaling headroom of the shared compiled layer.
+//!
+//! Interpretation note: wall-clock scaling is bounded by the *hardware*
+//! parallelism of the machine running the suite. On a single-core container
+//! every `threads/n` row measures the same serial work plus pool overhead
+//! (expect ~1×, i.e. the pool costs little); the >1× scaling claim is only
+//! observable on multi-core hosts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::{clio_query, clio_setting, clio_source};
+use xdx_core::engine::BatchEngine;
+use xdx_xmltree::XmlTree;
+
+fn batch(num_fields: usize, docs: usize, nodes: usize) -> Vec<XmlTree> {
+    (0..docs)
+        .map(|i| clio_source(num_fields, nodes, 1000 + i as u64))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let setting = clio_setting(8, 8);
+    let trees = batch(8, 32, 48);
+    let query = clio_query();
+
+    for threads in [1usize, 2, 4, 8] {
+        let engine = BatchEngine::new(&setting).parallelism(threads);
+        // Warm the per-setting caches once so the sweep measures steady-state
+        // serving, not first-call compilation.
+        let warm = engine.canonical_solutions_batch(&trees[..1]);
+        assert!(warm[0].is_ok());
+        group.bench_with_input(
+            BenchmarkId::new("canonical_solutions/threads", threads),
+            &threads,
+            |b, _| b.iter(|| engine.canonical_solutions_batch(&trees)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certain_answers/threads", threads),
+            &threads,
+            |b, _| b.iter(|| engine.certain_answers_batch(&trees, &query)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("check_consistency/threads", threads),
+            &threads,
+            |b, _| b.iter(|| engine.check_consistency_batch(&trees)),
+        );
+    }
+
+    // Control: the same batch through the sequential per-document API (no
+    // engine, no pool) — the `threads/1` rows should sit on top of this.
+    let engine = BatchEngine::new(&setting).parallelism(1);
+    group.bench_with_input(BenchmarkId::new("sequential_map/control", 0), &0, |b, _| {
+        b.iter(|| {
+            trees
+                .iter()
+                .map(|t| engine.compiled().canonical_solution(t))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

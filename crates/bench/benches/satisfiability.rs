@@ -1,0 +1,104 @@
+//! Experiment E11 — pattern/DTD satisfiability: bitset profiles vs. the
+//! `BTreeSet` reference.
+//!
+//! The satisfiability engine behind the general consistency check
+//! (Theorem 4.1) computes achievable profiles of witnessed subformulae by a
+//! fixpoint over the content-model automata. `bitset/…` runs the interned
+//! fast path (profiles as `u64`-block masks over dense subformula indices,
+//! pre-compiled bit-parallel NFAs); `reference/…` runs the original
+//! `BTreeSet<usize>` transcription on the same queries. The sweeps grow the
+//! number of patterns (more subformulae → wider profiles) and the DTD width
+//! (more element types → more fixpoint work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_automata::PatternSatisfiability;
+use xdx_patterns::{parse_pattern, TreePattern};
+use xdx_xmltree::Dtd;
+
+/// A DTD with `width` record fields under the root, each field optionally
+/// nesting one level (`fi → gi?`), so descendant patterns have depth to work
+/// with.
+fn layered_dtd(width: usize) -> Dtd {
+    let mut b = Dtd::builder("r").rule(
+        "r",
+        &(0..width)
+            .map(|i| format!("f{i}*"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    for i in 0..width {
+        b = b.rule(format!("f{i}"), &format!("g{i}?"));
+        b = b.rule(format!("g{i}"), "eps");
+    }
+    b.build().expect("well-formed generated DTD")
+}
+
+/// `count` mixed positive patterns against [`layered_dtd`]: direct children,
+/// nested children and descendants, cycling over the fields.
+fn patterns(width: usize, count: usize) -> Vec<TreePattern> {
+    (0..count)
+        .map(|k| {
+            let i = k % width;
+            let src = match k % 3 {
+                0 => format!("r[f{i}]"),
+                1 => format!("r[f{i}[g{i}]]"),
+                _ => format!("//g{i}"),
+            };
+            parse_pattern(&src).expect("well-formed generated pattern")
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfiability");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // Sweep pattern count at fixed DTD width (profile width grows).
+    let width = 6;
+    let dtd = layered_dtd(width);
+    let solver = PatternSatisfiability::new(&dtd);
+    for count in [2usize, 4, 8] {
+        let pos = patterns(width, count);
+        let neg = vec![parse_pattern(&format!("r[f0[g0], f{}]", width - 1)).unwrap()];
+        assert_eq!(
+            solver.satisfiable(&pos, &neg),
+            solver.satisfiable_reference(&pos, &neg)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitset/patterns", count),
+            &count,
+            |b, _| b.iter(|| solver.satisfiable(&pos, &neg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference/patterns", count),
+            &count,
+            |b, _| b.iter(|| solver.satisfiable_reference(&pos, &neg)),
+        );
+    }
+
+    // Sweep DTD width at fixed pattern count (fixpoint work grows).
+    for width in [4usize, 8, 12] {
+        let dtd = layered_dtd(width);
+        let solver = PatternSatisfiability::new(&dtd);
+        let pos = patterns(width, 4);
+        let neg: Vec<TreePattern> = vec![];
+        group.bench_with_input(
+            BenchmarkId::new("bitset/dtd_width", width),
+            &width,
+            |b, _| b.iter(|| solver.satisfiable(&pos, &neg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference/dtd_width", width),
+            &width,
+            |b, _| b.iter(|| solver.satisfiable_reference(&pos, &neg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -45,8 +45,18 @@ pub fn certain_answers(
     query: &UnionQuery,
 ) -> Result<CertainAnswers, SolutionError> {
     let solution = canonical_solution(setting, source_tree)?;
-    let tuples = query
-        .evaluate(&solution)
+    let tuples = certain_tuples(&solution, query);
+    Ok(CertainAnswers { tuples, solution })
+}
+
+/// The certain tuples of `query` over a canonical solution: evaluate and
+/// keep only rows built entirely from constants (Lemma 6.5's filter). Shared
+/// by [`certain_answers`] and the batch engine
+/// ([`crate::engine::BatchEngine::certain_answers_batch`]), which hold a
+/// compiled setting and produce the solution themselves.
+pub fn certain_tuples(solution: &XmlTree, query: &UnionQuery) -> BTreeSet<Vec<String>> {
+    query
+        .evaluate(solution)
         .into_iter()
         .filter_map(|row| {
             row.iter()
@@ -56,8 +66,7 @@ pub fn certain_answers(
                 })
                 .collect::<Option<Vec<String>>>()
         })
-        .collect();
-    Ok(CertainAnswers { tuples, solution })
+        .collect()
 }
 
 /// Compute the certain answer of a Boolean query.

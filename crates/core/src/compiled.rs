@@ -24,8 +24,10 @@
 use crate::consistency::{ConsistencyMethod, ConsistencyVerdict};
 use crate::setting::DataExchangeSetting;
 use crate::solution::{apply_change_reg, children_multiset, instantiate_target, SolutionError};
-use std::cell::{OnceCell, RefCell};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
 use xdx_automata::PatternSatisfiability;
 use xdx_patterns::compiled::{
     all_matches_compiled, holds_in_matches, CompiledPattern, InternedLabels,
@@ -68,9 +70,61 @@ struct NestedRelationalPlan {
     target_patterns: Vec<CompiledPattern>,
 }
 
+/// Number of shards of the repair-context cache. Shard contention is rare
+/// (the cache is read-mostly after warm-up), so a small power of two keeps
+/// the footprint negligible while letting unrelated element types warm up
+/// concurrently.
+const REPAIR_SHARDS: usize = 8;
+
+/// A sharded, thread-safe map from target element symbols to their (lazily
+/// built, then immutable) repair contexts. Shard selection hashes the `Sym`
+/// so consecutive symbol ids spread across shards; each shard is a
+/// `RwLock`-protected map, and contexts are handed out behind `Arc`s so a
+/// reader never holds a lock while chasing.
+#[derive(Debug)]
+struct RepairContextCache {
+    shards: [RwLock<HashMap<Sym, Arc<RepairContext<ElementType>>>>; REPAIR_SHARDS],
+}
+
+impl RepairContextCache {
+    fn new() -> Self {
+        RepairContextCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, sym: Sym) -> &RwLock<HashMap<Sym, Arc<RepairContext<ElementType>>>> {
+        let mut hasher = DefaultHasher::new();
+        sym.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % REPAIR_SHARDS]
+    }
+
+    /// The context for `sym`, building it with `build` on first use. Two
+    /// threads racing on a cold symbol at worst build twice and keep one —
+    /// `build` is pure, so this is only wasted work, never inconsistency.
+    fn get_or_build(
+        &self,
+        sym: Sym,
+        build: impl FnOnce() -> RepairContext<ElementType>,
+    ) -> Arc<RepairContext<ElementType>> {
+        let shard = self.shard(sym);
+        if let Some(ctx) = shard.read().expect("repair cache lock poisoned").get(&sym) {
+            return Arc::clone(ctx);
+        }
+        let built = Arc::new(build());
+        let mut guard = shard.write().expect("repair cache lock poisoned");
+        Arc::clone(guard.entry(sym).or_insert(built))
+    }
+}
+
 /// A [`DataExchangeSetting`] compiled for repeated evaluation (see the
 /// module docs). Borrows the setting; build it once and reuse it for every
 /// source document / consistency query.
+///
+/// Every cache inside is thread-safe (`OnceLock`s and a sharded
+/// [`RwLock`] map), so a `CompiledSetting` is `Send + Sync`: one compiled
+/// setting can serve concurrent requests — share it behind an `Arc` or via
+/// scoped threads, or use [`crate::engine::BatchEngine`] for whole batches.
 pub struct CompiledSetting<'s> {
     setting: &'s DataExchangeSetting,
     source: &'s CompiledDtd,
@@ -80,11 +134,28 @@ pub struct CompiledSetting<'s> {
     /// them in addition to the content-model alphabet.
     forced_target_elements: BTreeSet<ElementType>,
     /// Per-target-element repair contexts, built on first `ChangeReg` use
-    /// and reused across chase invocations.
-    repair_contexts: RefCell<BTreeMap<Sym, RepairContext<ElementType>>>,
-    nested: OnceCell<Option<NestedRelationalPlan>>,
-    source_solver: OnceCell<PatternSatisfiability>,
-    target_solver: OnceCell<PatternSatisfiability>,
+    /// and reused across chase invocations (and across threads).
+    repair_contexts: RepairContextCache,
+    nested: OnceLock<Option<NestedRelationalPlan>>,
+    source_solver: OnceLock<PatternSatisfiability>,
+    target_solver: OnceLock<PatternSatisfiability>,
+}
+
+// Compile-time audit: the whole compiled layer must stay shareable across
+// threads — `BatchEngine` and any future async server depend on it. If a
+// refactor reintroduces `RefCell`/`Rc`/raw-`OnceCell` state anywhere in
+// these types, this function stops compiling.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<CompiledSetting<'static>>();
+    check::<CompiledStd>();
+    check::<CompiledDtd>();
+    check::<CompiledPattern>();
+    check::<InternedLabels>();
+    check::<NestedRelationalPlan>();
+    check::<RepairContextCache>();
+    check::<PatternSatisfiability>();
 }
 
 impl<'s> CompiledSetting<'s> {
@@ -119,10 +190,10 @@ impl<'s> CompiledSetting<'s> {
             target,
             stds,
             forced_target_elements,
-            repair_contexts: RefCell::new(BTreeMap::new()),
-            nested: OnceCell::new(),
-            source_solver: OnceCell::new(),
-            target_solver: OnceCell::new(),
+            repair_contexts: RepairContextCache::new(),
+            nested: OnceLock::new(),
+            source_solver: OnceLock::new(),
+            target_solver: OnceLock::new(),
         }
     }
 
@@ -253,8 +324,7 @@ impl<'s> CompiledSetting<'s> {
                 // override context is built exactly as the reference does.
                 let child_counts = children_multiset(tree, node);
                 let mutated = {
-                    let mut contexts = self.repair_contexts.borrow_mut();
-                    let shared = contexts.entry(sym).or_insert_with(|| {
+                    let shared = self.repair_contexts.get_or_build(sym, || {
                         RepairContext::new(
                             &self.setting.target_dtd.rule(label),
                             self.forced_target_elements.iter().cloned(),
@@ -281,7 +351,7 @@ impl<'s> CompiledSetting<'s> {
                         }
                         overrides.get(label).expect("context ensured above")
                     } else {
-                        shared
+                        &shared
                     };
                     if ctx.perm_contains(&child_counts) {
                         false

@@ -27,8 +27,11 @@
 //!   coNP-complete, which the executable reductions in [`gadgets`] exhibit.
 //!
 //! Additional machinery: sibling re-ordering of unordered solutions
-//! (Proposition 5.2, [`ordering`]) and classification of settings into the
-//! tractable/intractable sides of the dichotomy ([`classify`]).
+//! (Proposition 5.2, [`ordering`]), classification of settings into the
+//! tractable/intractable sides of the dichotomy ([`classify`]), and the
+//! parallel batch-serving engine ([`engine`]) — compile a setting once
+//! ([`compiled`], `Send + Sync`) and fan slices of source documents out
+//! across threads with deterministic output ordering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,15 +40,17 @@ pub mod certain;
 pub mod classify;
 pub mod compiled;
 pub mod consistency;
+pub mod engine;
 pub mod gadgets;
 pub mod ordering;
 pub mod setting;
 pub mod solution;
 
-pub use certain::{certain_answers, certain_answers_boolean, CertainAnswers};
+pub use certain::{certain_answers, certain_answers_boolean, certain_tuples, CertainAnswers};
 pub use classify::{classify_setting, SettingClass};
 pub use compiled::{CompiledSetting, CompiledStd};
 pub use consistency::{check_consistency, ConsistencyMethod, ConsistencyVerdict};
-pub use ordering::impose_sibling_order;
+pub use engine::BatchEngine;
+pub use ordering::{impose_sibling_order, impose_sibling_order_with, SiblingOrderMemo};
 pub use setting::{DataExchangeSetting, SettingError, Std};
 pub use solution::{canonical_presolution, canonical_solution, is_solution, SolutionError};

@@ -9,11 +9,12 @@
 //! the content model (a permutation-language membership test from an
 //! intermediate NFA state).
 
-use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 use xdx_relang::parikh::perm_accepts_from;
-use xdx_xmltree::{Dtd, ElementType, NodeId, XmlTree};
+use xdx_relang::PermMemo;
+use xdx_xmltree::{CompiledDtd, Dtd, ElementType, NodeId, Sym, XmlTree};
 
 /// Errors raised by [`impose_sibling_order`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,21 +53,81 @@ impl fmt::Display for OrderingError {
 
 impl std::error::Error for OrderingError {}
 
+/// Warm permutation-search memo state shared across sibling-ordering calls.
+///
+/// The greedy ordering algorithm issues `O(children²)` permutation-language
+/// membership queries per node, and different nodes with the same element
+/// type query the *same* content-model automaton — their subproblems overlap
+/// heavily. A `SiblingOrderMemo` keeps one [`PermMemo`] per content-model
+/// rule (keyed by the rule's interned [`Sym`]), so batches of orderings
+/// against one DTD reuse warm entries instead of rebuilding a `HashMap` per
+/// node.
+///
+/// A memo's warm entries are only meaningful for the compiled DTD that
+/// created them, so the memo carries that DTD's identity (the `Arc` behind
+/// [`Dtd::compiled`], kept alive here so pointer equality is sound) and
+/// self-clears when it is handed a different DTD — passing one memo across
+/// heterogeneous DTDs is merely slow, never wrong.
+#[derive(Debug, Default)]
+pub struct SiblingOrderMemo {
+    dtd: Option<Arc<CompiledDtd>>,
+    per_rule: HashMap<Sym, PermMemo>,
+}
+
+impl SiblingOrderMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SiblingOrderMemo::default()
+    }
+
+    /// Drop all warm entries.
+    pub fn clear(&mut self) {
+        self.dtd = None;
+        self.per_rule.clear();
+    }
+
+    /// Make the memo's entries valid for `compiled`, clearing them when they
+    /// belong to a different DTD.
+    fn retag(&mut self, compiled: &Arc<CompiledDtd>) {
+        match &self.dtd {
+            Some(tag) if Arc::ptr_eq(tag, compiled) => {}
+            _ => {
+                self.per_rule.clear();
+                self.dtd = Some(Arc::clone(compiled));
+            }
+        }
+    }
+}
+
 /// Reorder the children of every node of `tree` so that the ordered tree
 /// conforms to `dtd`. Requires `tree |≈ dtd` (weak conformance); returns an
 /// error otherwise.
 ///
 /// Runs on the compiled fast path: the greedy algorithm simulates the
 /// pre-built bit-parallel NFA of each content model and shares one
-/// memoisation table across the O(children²) permutation-membership queries
-/// of a node. The original `BTreeSet`-simulation path is kept as
+/// memoisation table per content-model rule across *all* nodes of the tree
+/// ([`SiblingOrderMemo`]; use [`impose_sibling_order_with`] to keep the memo
+/// warm across trees). The original `BTreeSet`-simulation path is kept as
 /// [`impose_sibling_order_reference`], produces the same order, and the two
 /// are differential-tested.
 pub fn impose_sibling_order(tree: &mut XmlTree, dtd: &Dtd) -> Result<(), OrderingError> {
-    let compiled = dtd.compiled();
+    let mut memo = SiblingOrderMemo::new();
+    impose_sibling_order_with(tree, dtd, &mut memo)
+}
+
+/// As [`impose_sibling_order`], reusing `memo` so repeated orderings against
+/// the same DTD (batch materialisation) start with warm permutation-search
+/// tables.
+pub fn impose_sibling_order_with(
+    tree: &mut XmlTree,
+    dtd: &Dtd,
+    memo: &mut SiblingOrderMemo,
+) -> Result<(), OrderingError> {
+    let compiled = dtd.compiled_arc();
+    memo.retag(&compiled);
     let nodes = tree.nodes();
     for node in nodes {
-        order_children_compiled(tree, compiled, node)?;
+        order_children_compiled(tree, &compiled, node, memo)?;
     }
     Ok(())
 }
@@ -84,10 +145,8 @@ fn order_children_compiled(
     tree: &mut XmlTree,
     compiled: &xdx_xmltree::CompiledDtd,
     node: NodeId,
+    memos: &mut SiblingOrderMemo,
 ) -> Result<(), OrderingError> {
-    use std::collections::HashMap;
-    use xdx_relang::StateMask;
-
     let Some(sym) = compiled.sym(tree.label(node)) else {
         return Err(OrderingError::UnknownElementType {
             node,
@@ -123,10 +182,12 @@ fn order_children_compiled(
         queues[idx].push_back(c);
         counts[idx] += 1;
     }
-    // One memo table shared by every membership query at this node.
-    let mut memo: HashMap<(StateMask, Vec<u64>), bool> = HashMap::new();
+    // One memo table per rule, shared by every membership query of every
+    // node with this element type (and across trees when the caller keeps
+    // the `SiblingOrderMemo` alive).
+    let memo = memos.per_rule.entry(sym).or_insert_with(|| nfa.perm_memo());
     // The whole multiset must be a permutation of some word.
-    if !nfa.perm_accepts_counts_memo(nfa.start_mask(), &mut counts, &mut memo) {
+    if !nfa.perm_accepts_counts_memo(nfa.start_mask(), &mut counts, memo) {
         return Err(OrderingError::NotWeaklyConforming {
             node,
             label: label.clone(),
@@ -148,7 +209,7 @@ fn order_children_compiled(
                 continue;
             }
             counts[idx] -= 1;
-            if nfa.perm_accepts_counts_memo(&next, &mut counts, &mut memo) {
+            if nfa.perm_accepts_counts_memo(&next, &mut counts, memo) {
                 let child = queues[idx]
                     .pop_front()
                     .expect("counts and queues stay in sync");
@@ -383,5 +444,70 @@ mod tests {
         let mut solution = canonical_solution(&setting, &figure_1_source_tree()).unwrap();
         impose_sibling_order(&mut solution, &setting.target_dtd).unwrap();
         assert!(setting.target_dtd.conforms(&solution));
+    }
+
+    #[test]
+    fn warm_memo_reuse_across_trees_matches_cold_runs() {
+        // Batch materialisation: one SiblingOrderMemo across many trees must
+        // produce exactly the orders of per-tree cold runs.
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let dtd = Dtd::builder("r")
+            .rule("r", "(b c)* (d e)* a?")
+            .build()
+            .unwrap();
+        let mut warm = SiblingOrderMemo::new();
+        for seed in 0..12u64 {
+            let mut labels: Vec<&str> = Vec::new();
+            for _ in 0..(seed % 4 + 1) {
+                labels.extend(["b", "c", "d", "e"]);
+            }
+            labels.shuffle(&mut StdRng::seed_from_u64(seed));
+            let mut with_warm = XmlTree::new("r");
+            for l in &labels {
+                with_warm.add_child(with_warm.root(), *l);
+            }
+            let mut with_cold = with_warm.clone();
+            impose_sibling_order_with(&mut with_warm, &dtd, &mut warm).unwrap();
+            impose_sibling_order(&mut with_cold, &dtd).unwrap();
+            let order = |t: &XmlTree| -> Vec<String> {
+                t.children(t.root())
+                    .iter()
+                    .map(|&c| t.label(c).to_string())
+                    .collect()
+            };
+            assert_eq!(order(&with_warm), order(&with_cold), "seed {seed}");
+            assert!(dtd.conforms(&with_warm));
+        }
+        // Clearing resets the warm state without changing behaviour.
+        warm.clear();
+        let mut t = TreeBuilder::new("r").leaf("c").leaf("b").build();
+        impose_sibling_order_with(&mut t, &dtd, &mut warm).unwrap();
+        assert!(dtd.conforms(&t));
+    }
+
+    #[test]
+    fn warm_memo_self_clears_when_handed_a_different_dtd() {
+        // Same element names, *conflicting* content models: stale memo
+        // entries from dtd1 would order dtd2's children wrongly (or reject
+        // them), so the memo must detect the switch and restart cold.
+        let dtd1 = Dtd::builder("r").rule("r", "a b c").build().unwrap();
+        let dtd2 = Dtd::builder("r").rule("r", "c b a").build().unwrap();
+        let mut warm = SiblingOrderMemo::new();
+        for _ in 0..2 {
+            let mut t1 = TreeBuilder::new("r").leaf("c").leaf("a").leaf("b").build();
+            impose_sibling_order_with(&mut t1, &dtd1, &mut warm).unwrap();
+            assert!(dtd1.conforms(&t1));
+            let mut t2 = TreeBuilder::new("r").leaf("c").leaf("a").leaf("b").build();
+            impose_sibling_order_with(&mut t2, &dtd2, &mut warm).unwrap();
+            assert!(dtd2.conforms(&t2));
+        }
+        // A clone of dtd1 shares its compiled Arc: the memo stays warm.
+        let clone = dtd1.clone();
+        let mut t = TreeBuilder::new("r").leaf("b").leaf("a").leaf("c").build();
+        impose_sibling_order_with(&mut t, &dtd1, &mut warm).unwrap();
+        impose_sibling_order_with(&mut t, &clone, &mut warm).unwrap();
+        assert!(clone.conforms(&t));
     }
 }

@@ -184,6 +184,17 @@ pub fn matches_at_compiled(
     }
 }
 
+// Compile-time audit: compiled patterns and interned label tables are shared
+// across threads by `xdx-core`'s `CompiledSetting`/`BatchEngine`.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<CompiledPattern>();
+    check::<CompiledLabelTest>();
+    check::<InternedLabels>();
+    check::<TreePattern>();
+}
+
 fn match_bindings(tree: &XmlTree, node: NodeId, bindings: &[AttrBinding]) -> Option<Assignment> {
     let mut assignment = Assignment::new();
     for binding in bindings {

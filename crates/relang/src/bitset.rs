@@ -99,6 +99,15 @@ impl StateMask {
         self.iter().collect()
     }
 
+    /// The mask's only block, when the state space fits in 64 bits.
+    #[inline]
+    fn single_block(&self) -> Option<u64> {
+        match self.blocks.as_slice() {
+            [b] => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Build from the reference representation.
     pub fn from_btree(num_states: usize, set: &BTreeSet<StateId>) -> Self {
         let mut m = StateMask::empty(num_states);
@@ -106,6 +115,78 @@ impl StateMask {
             m.insert(q);
         }
         m
+    }
+}
+
+/// Alphabet width up to which permutation-memo keys use the packed
+/// encoding: counts at 16 bits each fill two `u64`s at 8 symbols.
+const PACKED_SYMS: usize = 8;
+/// Bits per count in a packed key.
+const PACKED_BITS: u32 = 16;
+const PACKED_PER_WORD: usize = (u64::BITS / PACKED_BITS) as usize;
+
+/// A memoisation key of the permutation-language search. Small automata
+/// (≤ 64 states, ≤ [`PACKED_SYMS`] alphabet symbols) with small counts
+/// (< 2¹⁶ each) pack the whole subproblem into three machine words; only
+/// automata or counts outside that envelope pay for a mask clone and a
+/// heap-allocated count vector per memo entry.
+///
+/// The choice of variant is deterministic per logical key (the envelope test
+/// depends only on the automaton — fixed per memo — and on the count values
+/// themselves), and within a variant the encoding is injective, so mixing
+/// packed and spilled keys in one table is sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MemoKey {
+    Packed { mask: u64, counts: [u64; 2] },
+    Spilled(StateMask, Vec<u64>),
+}
+
+/// Memo table for [`BitsetNfa::perm_accepts_counts_memo`] with the small-key
+/// packed encoding. Obtain one from [`BitsetNfa::perm_memo`]; it is tied to
+/// that automaton (keys are masks over its states and vectors over its
+/// alphabet) and must not be shared across automata. Unlike the previous
+/// `HashMap<(StateMask, Vec<u64>), bool>` table this owns no borrowed state,
+/// so callers keep one per rule (or per call) and the compiled layer stays
+/// `Send + Sync`.
+#[derive(Debug, Clone, Default)]
+pub struct PermMemo {
+    packable: bool,
+    map: HashMap<MemoKey, bool>,
+}
+
+impl PermMemo {
+    fn key(&self, mask: &StateMask, counts: &[u64]) -> MemoKey {
+        if self.packable {
+            if let Some(block) = mask.single_block() {
+                if counts.iter().all(|&c| c < 1 << PACKED_BITS) {
+                    let mut packed = [0u64; 2];
+                    for (i, &c) in counts.iter().enumerate() {
+                        packed[i / PACKED_PER_WORD] |=
+                            c << ((i % PACKED_PER_WORD) as u32 * PACKED_BITS);
+                    }
+                    return MemoKey::Packed {
+                        mask: block,
+                        counts: packed,
+                    };
+                }
+            }
+        }
+        MemoKey::Spilled(mask.clone(), counts.to_vec())
+    }
+
+    /// Number of memoised subproblems.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every memoised entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 }
 
@@ -274,8 +355,19 @@ impl<S: Alphabet> BitsetNfa<S> {
                 None => return false,
             }
         }
-        let mut memo: HashMap<(StateMask, Vec<u64>), bool> = HashMap::new();
+        let mut memo = self.perm_memo();
         self.perm_search(start, &mut vec_counts, &mut memo)
+    }
+
+    /// A fresh memo table for this automaton's permutation search, with the
+    /// small-key encoding enabled whenever the automaton qualifies (see
+    /// [`PermMemo`]). A memo must only ever be used with the automaton that
+    /// created it.
+    pub fn perm_memo(&self) -> PermMemo {
+        PermMemo {
+            packable: self.num_states <= 64 && self.alphabet.len() <= PACKED_SYMS,
+            map: HashMap::new(),
+        }
     }
 
     /// Memo-reusing variant of [`Self::perm_accepts_mask`]: `counts` is a
@@ -289,23 +381,18 @@ impl<S: Alphabet> BitsetNfa<S> {
         &self,
         mask: &StateMask,
         counts: &mut Vec<u64>,
-        memo: &mut HashMap<(StateMask, Vec<u64>), bool>,
+        memo: &mut PermMemo,
     ) -> bool {
         debug_assert_eq!(counts.len(), self.alphabet.len());
         self.perm_search(mask, counts, memo)
     }
 
-    fn perm_search(
-        &self,
-        mask: &StateMask,
-        counts: &mut Vec<u64>,
-        memo: &mut HashMap<(StateMask, Vec<u64>), bool>,
-    ) -> bool {
+    fn perm_search(&self, mask: &StateMask, counts: &mut Vec<u64>, memo: &mut PermMemo) -> bool {
         if counts.iter().all(|&c| c == 0) {
             return self.accepts(mask);
         }
-        let key = (mask.clone(), counts.clone());
-        if let Some(&cached) = memo.get(&key) {
+        let key = memo.key(mask, counts);
+        if let Some(&cached) = memo.map.get(&key) {
             return cached;
         }
         let mut found = false;
@@ -325,7 +412,7 @@ impl<S: Alphabet> BitsetNfa<S> {
                 break;
             }
         }
-        memo.insert(key, found);
+        memo.map.insert(key, found);
         found
     }
 
@@ -379,6 +466,16 @@ impl<S: Alphabet> BitsetNfa<S> {
         let accepting = sets.iter().map(|s| self.accepts(s)).collect();
         Some(Dfa::from_parts(table, alphabet, 0, accepting))
     }
+}
+
+// Compile-time audit: the bit-parallel layer is shareable across threads
+// (no interior mutability anywhere). `xdx-core`'s `BatchEngine` relies on it.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<StateMask>();
+    check::<PermMemo>();
+    check::<BitsetNfa<String>>();
 }
 
 #[cfg(test)]
@@ -535,6 +632,79 @@ mod tests {
         assert!(!fast.perm_accepts(&counts));
         let empty: BTreeMap<String, u64> = BTreeMap::new();
         assert!(fast.perm_accepts(&empty));
+    }
+
+    #[test]
+    fn packed_memo_keys_agree_with_reference() {
+        // ≤ 64 states, 4-symbol alphabet: every key of this search packs.
+        let reference = nfa("(a b)* (c d)*");
+        let fast = BitsetNfa::from_nfa(&reference);
+        let mut memo = fast.perm_memo();
+        let idx = |s: &str| fast.sym_index(&s.to_string()).unwrap();
+        for ca in 0u64..4 {
+            for cb in 0u64..4 {
+                let mut counts = vec![0u64; fast.alphabet().len()];
+                counts[idx("a")] = ca;
+                counts[idx("b")] = cb;
+                counts[idx("c")] = 1;
+                counts[idx("d")] = 1;
+                let shared =
+                    fast.perm_accepts_counts_memo(fast.start_mask(), &mut counts, &mut memo);
+                let map: BTreeMap<String, u64> = [
+                    ("a".to_string(), ca),
+                    ("b".to_string(), cb),
+                    ("c".to_string(), 1),
+                    ("d".to_string(), 1),
+                ]
+                .into_iter()
+                .filter(|&(_, c)| c > 0)
+                .collect();
+                assert_eq!(shared, perm_accepts(&reference, &map), "a={ca} b={cb}");
+                // The counts vector is restored by the search.
+                assert_eq!(counts[idx("a")], ca);
+            }
+        }
+        assert!(!memo.is_empty());
+        // Re-asking a warmed query must agree with a cold memo.
+        let mut counts = vec![0u64; fast.alphabet().len()];
+        counts[idx("a")] = 2;
+        counts[idx("b")] = 2;
+        let warm = fast.perm_accepts_counts_memo(fast.start_mask(), &mut counts, &mut memo);
+        let mut cold = fast.perm_memo();
+        let cold_r = fast.perm_accepts_counts_memo(fast.start_mask(), &mut counts, &mut cold);
+        assert_eq!(warm, cold_r);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn wide_alphabets_spill_and_still_agree() {
+        // 10 symbols > PACKED_SYMS: keys spill to the generic encoding.
+        let src = (0..10)
+            .map(|i| format!("s{i}?"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let reference = nfa(&src);
+        let fast = BitsetNfa::from_nfa(&reference);
+        let mut memo = fast.perm_memo();
+        assert!(
+            !memo.packable,
+            "10 symbols must be outside the packed envelope"
+        );
+        for picks in [[0usize, 3, 7], [1, 1, 9], [2, 5, 5]] {
+            let mut counts = vec![0u64; fast.alphabet().len()];
+            let mut map: BTreeMap<String, u64> = BTreeMap::new();
+            for p in picks {
+                let s = format!("s{p}");
+                counts[fast.sym_index(&s).unwrap()] += 1;
+                *map.entry(s).or_insert(0) += 1;
+            }
+            assert_eq!(
+                fast.perm_accepts_counts_memo(fast.start_mask(), &mut counts, &mut memo),
+                perm_accepts(&reference, &map),
+                "{picks:?}"
+            );
+        }
     }
 
     #[test]

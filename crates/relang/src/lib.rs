@@ -62,7 +62,7 @@ pub trait Alphabet: Clone + Eq + Ord + Hash + Debug {}
 impl<T: Clone + Eq + Ord + Hash + Debug> Alphabet for T {}
 
 pub use ast::{Multiplicity, NestedFactor, Regex};
-pub use bitset::{BitsetNfa, StateMask};
+pub use bitset::{BitsetNfa, PermMemo, StateMask};
 pub use nfa::{Dfa, Nfa};
 pub use parikh::{
     parikh_image, perm_accepts, perm_accepts_from, AlphabetMap, LinearSet, ParikhVector,

@@ -463,6 +463,19 @@ impl CompiledDtd {
     }
 }
 
+// Compile-time audit: compiled DTDs (and everything inside them — interners,
+// dense tables, bitset NFAs) are shared across threads by `xdx-core`'s
+// `CompiledSetting`/`BatchEngine`; this must keep compiling.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<CompiledDtd>();
+    check::<CompiledRule>();
+    check::<Interner<ElementType>>();
+    check::<crate::dtd::Dtd>();
+    check::<XmlTree>();
+}
+
 /// Run-length encode a multiset of symbols into sorted `(symbol, count)`
 /// pairs (the sparse format [`CompiledDtd::perm_accepts_counts`] consumes).
 /// Sorts `syms` in place; `out` is cleared and refilled.

@@ -188,6 +188,17 @@ impl Dtd {
             .get_or_init(|| Arc::new(CompiledDtd::new(self)))
     }
 
+    /// The compiled form behind its shared `Arc` (same lazily-built cache as
+    /// [`Dtd::compiled`]). Lets callers hold the compiled DTD past this
+    /// `Dtd`'s borrow, or identity-tag caches keyed on it (`Arc::ptr_eq` is
+    /// sound because the `Arc` keeps the allocation alive).
+    pub fn compiled_arc(&self) -> Arc<CompiledDtd> {
+        Arc::clone(
+            self.compiled
+                .get_or_init(|| Arc::new(CompiledDtd::new(self))),
+        )
+    }
+
     /// The content model `P(ℓ)`.
     ///
     /// Every element type of the DTD has a rule (missing rules default to

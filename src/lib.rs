@@ -72,7 +72,8 @@ pub use xdx_xmltree as xmltree;
 
 pub use xdx_core::{
     canonical_solution, certain_answers, certain_answers_boolean, check_consistency,
-    classify_setting, impose_sibling_order, is_solution, DataExchangeSetting, Std,
+    classify_setting, impose_sibling_order, is_solution, BatchEngine, CompiledSetting,
+    DataExchangeSetting, Std,
 };
 pub use xdx_patterns::{ConjunctiveTreeQuery, TreePattern, UnionQuery};
 pub use xdx_xmltree::{Dtd, TreeBuilder, XmlTree};

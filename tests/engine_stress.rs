@@ -1,0 +1,174 @@
+//! Thread-safety stress tests for the compiled layer and ordering/property
+//! tests for the parallel batch engine.
+//!
+//! The compiled layer (`CompiledSetting` and everything reachable from it)
+//! is `Send + Sync` since the batch-serving PR; these tests exercise that
+//! claim the hard way — one shared compiled setting, many threads, mixed
+//! call patterns — and pin the `BatchEngine`'s deterministic output ordering
+//! for every parallelism level.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use xml_data_exchange::core::certain_tuples;
+use xml_data_exchange::core::engine::BatchEngine;
+use xml_data_exchange::core::setting::{books_to_writers_setting, figure_1_source_tree};
+use xml_data_exchange::core::CompiledSetting;
+use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+use xml_data_exchange::XmlTree;
+
+fn title_query() -> UnionQuery {
+    UnionQuery::single(
+        ConjunctiveTreeQuery::new(["t"], vec![parse_pattern("work(@title=$t)").unwrap()]).unwrap(),
+    )
+}
+
+/// A family of distinct conforming source documents for the running-example
+/// setting: document `i` has `i+1` books, book `b` carrying `b` authors.
+fn sources(n: usize) -> Vec<XmlTree> {
+    (0..n)
+        .map(|i| {
+            let mut t = XmlTree::new("db");
+            for b in 0..=i {
+                let book = t.add_child(t.root(), "book");
+                t.set_attr(book, "@title", format!("T{b}"));
+                for a in 0..b {
+                    let author = t.add_child(book, "author");
+                    t.set_attr(author, "@name", format!("N{a}"));
+                    t.set_attr(author, "@aff", format!("U{a}"));
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+/// One shared `Arc<CompiledSetting>`, ≥ 4 threads, each running a mixed
+/// workload of consistency checks, chases (canonical solutions) and
+/// certain-answer evaluations; every thread must observe exactly the results
+/// of the single-threaded reference run.
+#[test]
+fn shared_compiled_setting_survives_concurrent_mixed_workloads() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 8;
+    let setting = books_to_writers_setting();
+    let compiled = Arc::new(CompiledSetting::new(&setting));
+    let trees = sources(ROUNDS);
+    let query = title_query();
+
+    // Single-threaded reference results, computed on a *separate* compiled
+    // setting so the shared one starts cold and threads race on cache fills.
+    let reference = CompiledSetting::new(&setting);
+    let expected_consistent = reference.check_consistency().consistent;
+    let expected_sizes: Vec<usize> = trees
+        .iter()
+        .map(|t| reference.canonical_solution(t).unwrap().size())
+        .collect();
+    let expected_tuples: Vec<BTreeSet<Vec<String>>> = trees
+        .iter()
+        .map(|t| certain_tuples(&reference.canonical_solution(t).unwrap(), &query))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let compiled = Arc::clone(&compiled);
+            let trees = &trees;
+            let query = &query;
+            let expected_sizes = &expected_sizes;
+            let expected_tuples = &expected_tuples;
+            scope.spawn(move || {
+                // Stagger the per-thread schedule so threads hit different
+                // call kinds (and different cache entries) at the same time.
+                for round in 0..ROUNDS {
+                    let i = (round + thread_id) % trees.len();
+                    match (round + thread_id) % 3 {
+                        0 => {
+                            let verdict = compiled.check_consistency();
+                            assert_eq!(verdict.consistent, expected_consistent);
+                        }
+                        1 => {
+                            let solution = compiled.canonical_solution(&trees[i]).unwrap();
+                            assert_eq!(solution.size(), expected_sizes[i], "tree {i}");
+                            assert!(compiled.is_solution(&trees[i], &solution, false));
+                        }
+                        _ => {
+                            let solution = compiled.canonical_solution(&trees[i]).unwrap();
+                            let tuples = certain_tuples(&solution, query);
+                            assert_eq!(tuples, expected_tuples[i], "tree {i}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The chase's repair-context cache is the contended structure; hammer it
+/// specifically with documents that force `ChangeReg` repairs on several
+/// element types at once.
+#[test]
+fn concurrent_chases_share_repair_contexts() {
+    let setting = books_to_writers_setting();
+    let compiled = Arc::new(CompiledSetting::new(&setting));
+    let source = figure_1_source_tree();
+    let expected = compiled.canonical_solution(&source).unwrap().size();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let compiled = Arc::clone(&compiled);
+            let source = &source;
+            scope.spawn(move || {
+                for _ in 0..16 {
+                    let solution = compiled.canonical_solution(source).unwrap();
+                    assert_eq!(solution.size(), expected);
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `BatchEngine` output order matches input order for every parallelism
+    /// in 1..=8, on batches of varying size: every slot of every batch API
+    /// must hold exactly the sequential result for the same input index.
+    #[test]
+    fn batch_engine_output_order_matches_input_order(
+        parallelism in 1usize..=8,
+        batch_size in 0usize..=12,
+    ) {
+        let setting = books_to_writers_setting();
+        let trees = sources(batch_size);
+        let query = title_query();
+        let sequential = BatchEngine::new(&setting).parallelism(1);
+        let engine = BatchEngine::new(&setting).parallelism(parallelism);
+
+        let expected: Vec<BTreeSet<Vec<String>>> = sequential
+            .certain_answers_batch(&trees, &query)
+            .into_iter()
+            .map(|r| r.unwrap().tuples)
+            .collect();
+        let got: Vec<BTreeSet<Vec<String>>> = engine
+            .certain_answers_batch(&trees, &query)
+            .into_iter()
+            .map(|r| r.unwrap().tuples)
+            .collect();
+        prop_assert_eq!(&got, &expected);
+
+        let sizes: Vec<usize> = engine
+            .canonical_solutions_batch(&trees)
+            .into_iter()
+            .map(|r| r.unwrap().size())
+            .collect();
+        let expected_sizes: Vec<usize> = sequential
+            .canonical_solutions_batch(&trees)
+            .into_iter()
+            .map(|r| r.unwrap().size())
+            .collect();
+        prop_assert_eq!(&sizes, &expected_sizes);
+
+        let consistent = engine.check_consistency_batch(&trees);
+        prop_assert_eq!(consistent.len(), trees.len());
+        prop_assert!(consistent.iter().all(|&c| c));
+    }
+}
