@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
 
     // Sweep source size at a fixed schema.
-    for nodes in [20usize, 40, 80, 160] {
+    for nodes in [20usize, 40, 80, 160, 320] {
         let setting = clio_setting(4, 4);
         let source = clio_source(4, nodes, 7);
         group.bench_with_input(

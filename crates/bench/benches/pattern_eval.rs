@@ -1,0 +1,47 @@
+//! Experiment E12 — the join-ordered pattern evaluator (`patterns::plan`)
+//! vs the enumerate-then-merge reference (`eval::all_matches_reference`)
+//! across pattern shapes and tree sizes.
+//!
+//! `reference/<shape>` re-enumerates every node per sub-pattern with linear
+//! dedup scans; `planned/<shape>` evaluates a pre-built [`PatternPlan`]
+//! against a per-tree [`TreeIndex`] (both amortised exactly as the compiled
+//! layer amortises them: one plan per pattern per setting, one index per
+//! tree shared by all patterns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::{pattern_eval_dtd, pattern_eval_patterns, pattern_eval_tree};
+use xdx_patterns::eval::all_matches_reference;
+use xdx_patterns::plan::{PatternPlan, TreeIndex};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_eval");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let dtd = pattern_eval_dtd();
+    for nodes in [40usize, 160, 640] {
+        let tree = pattern_eval_tree(nodes, 11);
+        assert!(dtd.conforms(&tree), "E12 trees must conform");
+        for (shape, pattern) in pattern_eval_patterns() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference/{shape}"), nodes),
+                &(&tree, &pattern),
+                |b, (tree, pattern)| b.iter(|| all_matches_reference(tree, pattern)),
+            );
+            let plan = PatternPlan::new(&pattern, dtd.compiled());
+            let index = TreeIndex::new(&tree, dtd.compiled());
+            group.bench_with_input(
+                BenchmarkId::new(format!("planned/{shape}"), nodes),
+                &(&tree, &plan, &index),
+                |b, (tree, plan, index)| b.iter(|| plan.all_matches(tree, index)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

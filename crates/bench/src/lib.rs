@@ -1,10 +1,12 @@
 //! Workload generators shared by the benchmark suite.
 //!
 //! Each generator corresponds to one of the experiments catalogued in
-//! `EXPERIMENTS.md` (E1–E9): scalable nested-relational ("Clio-class")
+//! `EXPERIMENTS.md` (E1–E12): scalable nested-relational ("Clio-class")
 //! settings and source documents, shuffled children for the re-ordering
 //! experiment, regular-expression families for the Parikh/univocality
-//! experiments, and the hardness gadgets re-exported from `xdx-core`.
+//! experiments, the bibliography trees and pattern shapes of the
+//! pattern-evaluation experiment, and the hardness gadgets re-exported from
+//! `xdx-core`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -90,6 +92,83 @@ pub fn clio_query() -> UnionQuery {
         )
         .expect("well-formed query"),
     )
+}
+
+/// The DTD of the pattern-evaluation experiment (E12): a bibliography-like
+/// schema with nesting depth 4 so path, branching and descendant patterns
+/// all have work to do.
+pub fn pattern_eval_dtd() -> Dtd {
+    Dtd::builder("lib")
+        .rule("lib", "shelf*")
+        .rule("shelf", "book*")
+        .rule("book", "author* note?")
+        .rule("author", "eps")
+        .rule("note", "eps")
+        .attributes("shelf", ["@room"])
+        .attributes("book", ["@title", "@year"])
+        .attributes("author", ["@name"])
+        .attributes("note", ["@text"])
+        .build()
+        .expect("well-formed E12 DTD")
+}
+
+/// A conforming tree for [`pattern_eval_dtd`] with roughly `num_nodes`
+/// nodes: shelves of books with 0–3 authors and occasional notes, values
+/// drawn from small pools so joins on shared variables hit.
+pub fn pattern_eval_tree(num_nodes: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = XmlTree::new("lib");
+    let mut nodes = 1usize;
+    while nodes < num_nodes {
+        let shelf = tree.add_child(tree.root(), "shelf");
+        tree.set_attr(shelf, "@room", format!("r{}", rng.gen_range(0..4)));
+        nodes += 1;
+        for _ in 0..rng.gen_range(2..6) {
+            if nodes >= num_nodes {
+                break;
+            }
+            let book = tree.add_child(shelf, "book");
+            tree.set_attr(
+                book,
+                "@title",
+                format!("t{}", rng.gen_range(0..(num_nodes / 2 + 1))),
+            );
+            tree.set_attr(book, "@year", format!("y{}", rng.gen_range(0..8)));
+            nodes += 1;
+            for _ in 0..rng.gen_range(0..4) {
+                if nodes >= num_nodes {
+                    break;
+                }
+                let author = tree.add_child(book, "author");
+                tree.set_attr(author, "@name", format!("n{}", rng.gen_range(0..12)));
+                nodes += 1;
+            }
+            if nodes < num_nodes && rng.gen_range(0..3) == 0 {
+                let note = tree.add_child(book, "note");
+                tree.set_attr(note, "@text", "x");
+                nodes += 1;
+            }
+        }
+    }
+    tree
+}
+
+/// The pattern shapes of E12, from most selective to broadest: a rooted
+/// path, a branching join on a shared variable, a descendant sweep, and a
+/// wildcard scan.
+pub fn pattern_eval_patterns() -> Vec<(&'static str, xdx_patterns::TreePattern)> {
+    [
+        ("path", "lib[shelf[book(@title=$t)[author(@name=$n)]]]"),
+        (
+            "join",
+            "shelf[book(@year=$y)[author(@name=$n)], book(@title=$t)[author(@name=$n)]]",
+        ),
+        ("descendant", "//book[//author(@name=$n)]"),
+        ("wildcard", "_[_(@name=$n)]"),
+    ]
+    .into_iter()
+    .map(|(name, src)| (name, parse_pattern(src).expect("well-formed E12 pattern")))
+    .collect()
 }
 
 /// A DTD containing `num_live` element kinds reachable in conforming trees

@@ -9,6 +9,7 @@
 use crate::setting::DataExchangeSetting;
 use crate::solution::{canonical_solution, SolutionError};
 use std::collections::BTreeSet;
+use xdx_patterns::plan::{QueryPlan, TreeIndex};
 use xdx_patterns::query::UnionQuery;
 use xdx_xmltree::{Value, XmlTree};
 
@@ -45,18 +46,35 @@ pub fn certain_answers(
     query: &UnionQuery,
 ) -> Result<CertainAnswers, SolutionError> {
     let solution = canonical_solution(setting, source_tree)?;
-    let tuples = certain_tuples(&solution, query);
+    // The solution conforms (unordered) to the target DTD, so the query is
+    // planned against the target DTD's symbol table.
+    let plan = QueryPlan::new(query, setting.target_dtd.compiled());
+    let index = TreeIndex::new(&solution, setting.target_dtd.compiled());
+    let tuples = certain_tuples_planned(&solution, &plan, &index);
     Ok(CertainAnswers { tuples, solution })
 }
 
 /// The certain tuples of `query` over a canonical solution: evaluate and
-/// keep only rows built entirely from constants (Lemma 6.5's filter). Shared
-/// by [`certain_answers`] and the batch engine
-/// ([`crate::engine::BatchEngine::certain_answers_batch`]), which hold a
-/// compiled setting and produce the solution themselves.
+/// keep only rows built entirely from constants (Lemma 6.5's filter).
+///
+/// Plans the query per call (DTD-less); repeated evaluations of one query
+/// should hold a [`QueryPlan`] and go through [`certain_tuples_planned`], as
+/// the batch engine ([`crate::engine::BatchEngine::certain_answers_batch`])
+/// does — one plan per query, one [`TreeIndex`] per solution.
 pub fn certain_tuples(solution: &XmlTree, query: &UnionQuery) -> BTreeSet<Vec<String>> {
-    query
-        .evaluate(solution)
+    let plan = QueryPlan::without_dtd(query);
+    let index = TreeIndex::without_dtd(solution);
+    certain_tuples_planned(solution, &plan, &index)
+}
+
+/// As [`certain_tuples`], on a pre-planned query and a pre-built index (the
+/// plan and index must target the same DTD — or both be DTD-less).
+pub fn certain_tuples_planned(
+    solution: &XmlTree,
+    plan: &QueryPlan,
+    index: &TreeIndex,
+) -> BTreeSet<Vec<String>> {
+    plan.evaluate(solution, index)
         .into_iter()
         .filter_map(|row| {
             row.iter()
@@ -76,7 +94,9 @@ pub fn certain_answers_boolean(
     query: &UnionQuery,
 ) -> Result<bool, SolutionError> {
     let solution = canonical_solution(setting, source_tree)?;
-    Ok(query.evaluate_boolean(&solution))
+    let plan = QueryPlan::new(query, setting.target_dtd.compiled());
+    let index = TreeIndex::new(&solution, setting.target_dtd.compiled());
+    Ok(plan.evaluate_boolean(&solution, &index))
 }
 
 #[cfg(test)]

@@ -23,16 +23,16 @@
 
 use crate::consistency::{ConsistencyMethod, ConsistencyVerdict};
 use crate::setting::DataExchangeSetting;
-use crate::solution::{apply_change_reg, children_multiset, instantiate_target, SolutionError};
+use crate::solution::{
+    apply_change_reg, children_multiset, instantiate_target_with, SolutionError,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock};
 use xdx_automata::PatternSatisfiability;
-use xdx_patterns::compiled::{
-    all_matches_compiled, holds_in_matches, CompiledPattern, InternedLabels,
-};
-use xdx_patterns::eval::Assignment;
+use xdx_patterns::compiled::{holds_in_matches, CompiledPattern, InternedLabels};
+use xdx_patterns::plan::{PatternPlan, TreeIndex};
 use xdx_patterns::{TreePattern, Var};
 use xdx_relang::repair::{RepairConfig, RepairContext};
 use xdx_xmltree::{
@@ -44,10 +44,20 @@ use xdx_xmltree::{
 pub struct CompiledStd {
     /// Variables shared between source and target patterns (`x̄`).
     pub shared_vars: BTreeSet<Var>,
+    /// Target-only variables (`z̄`), precomputed so every instantiation of
+    /// the target pattern skips the per-match set algebra.
+    pub target_only_vars: Vec<Var>,
     /// The source pattern compiled against the source DTD's interner.
     pub source_compiled: CompiledPattern,
     /// The target pattern compiled against the target DTD's interner.
     pub target_compiled: CompiledPattern,
+    /// The source pattern's join-ordered evaluation plan, built on first
+    /// document and reused across every source document of every batch.
+    /// Lazy so consistency-only callers (which never evaluate STD patterns
+    /// against documents) pay nothing for it.
+    source_plan: OnceLock<PatternPlan>,
+    /// The target pattern's join-ordered evaluation plan (lazy, see above).
+    target_plan: OnceLock<PatternPlan>,
     /// `ϕ°` — the attribute-erased source pattern (Claim 4.2).
     pub erased_source: TreePattern,
     /// `ψ°` — the attribute-erased target pattern.
@@ -58,16 +68,30 @@ pub struct CompiledStd {
     pub target_uses_wildcard: bool,
 }
 
-/// Precomputed plan for the nested-relational consistency check: the unique
-/// conforming trees of `D°_S` and `D*_T` with pre-interned labels, plus the
-/// erased STD patterns compiled against those two (fixed) trees' DTDs.
+impl CompiledStd {
+    /// The source pattern's join-ordered evaluation plan.
+    pub fn source_plan(&self) -> &PatternPlan {
+        self.source_plan
+            .get_or_init(|| PatternPlan::from_compiled(&self.source_compiled))
+    }
+
+    /// The target pattern's join-ordered evaluation plan.
+    pub fn target_plan(&self) -> &PatternPlan {
+        self.target_plan
+            .get_or_init(|| PatternPlan::from_compiled(&self.target_compiled))
+    }
+}
+
+/// Precomputed plan for the nested-relational consistency check of
+/// Theorem 4.5. The `D°_S`/`D*_T` unique trees and the erased STD patterns
+/// are all fixed by the setting, so the per-STD pattern verdicts are
+/// evaluated **once** here (with the planned evaluator) and every
+/// consistency call after the first reads the cached booleans.
 struct NestedRelationalPlan {
-    circle_tree: XmlTree,
-    star_tree: XmlTree,
-    circle_labels: InternedLabels,
-    star_labels: InternedLabels,
-    source_patterns: Vec<CompiledPattern>,
-    target_patterns: Vec<CompiledPattern>,
+    /// Per STD: does the erased source pattern hold in the `D°_S` tree?
+    source_holds: Vec<bool>,
+    /// Per STD: does the erased target pattern hold in the `D*_T` tree?
+    target_holds: Vec<bool>,
 }
 
 /// Number of shards of the repair-context cache. Shard contention is rare
@@ -153,6 +177,8 @@ fn assert_send_sync() {
     check::<CompiledDtd>();
     check::<CompiledPattern>();
     check::<InternedLabels>();
+    check::<PatternPlan>();
+    check::<TreeIndex>();
     check::<NestedRelationalPlan>();
     check::<RepairContextCache>();
     check::<PatternSatisfiability>();
@@ -173,10 +199,19 @@ impl<'s> CompiledSetting<'s> {
             .iter()
             .map(|std| {
                 forced_target_elements.extend(std.target.element_types());
+                let source_compiled = CompiledPattern::new(&std.source, source);
+                let target_compiled = CompiledPattern::new(&std.target, target);
+                // One free-vars pass per side covers both variable sets
+                // (`Std::{shared,target_only}_vars` would each redo both).
+                let source_vars = std.source.free_vars();
+                let target_vars = std.target.free_vars();
                 CompiledStd {
-                    shared_vars: std.shared_vars(),
-                    source_compiled: CompiledPattern::new(&std.source, source),
-                    target_compiled: CompiledPattern::new(&std.target, target),
+                    shared_vars: source_vars.intersection(&target_vars).cloned().collect(),
+                    target_only_vars: target_vars.difference(&source_vars).cloned().collect(),
+                    source_plan: OnceLock::new(),
+                    target_plan: OnceLock::new(),
+                    source_compiled,
+                    target_compiled,
                     erased_source: std.source.erase_attributes(),
                     erased_target: std.target.erase_attributes(),
                     target_fully_specified: std.target.is_fully_specified(target_root),
@@ -229,7 +264,7 @@ impl<'s> CompiledSetting<'s> {
         nulls: &mut NullGen,
     ) -> Result<XmlTree, SolutionError> {
         let mut tree = XmlTree::new(self.setting.target_dtd.root().clone());
-        let labels = InternedLabels::new(source_tree, self.source);
+        let index = TreeIndex::new(source_tree, self.source);
         for (std_index, cstd) in self.stds.iter().enumerate() {
             if cstd.target_uses_wildcard {
                 return Err(SolutionError::WildcardInTarget { std_index });
@@ -237,20 +272,24 @@ impl<'s> CompiledSetting<'s> {
             if !cstd.target_fully_specified {
                 return Err(SolutionError::NotFullySpecified { std_index });
             }
-            // Deduplicate matches on the shared variables: instantiations
-            // that differ only in source-only variables are homomorphically
-            // equivalent.
-            let mut seen: BTreeSet<Assignment> = BTreeSet::new();
-            for assignment in all_matches_compiled(source_tree, &cstd.source_compiled, &labels) {
-                let restricted: Assignment = assignment
-                    .into_iter()
-                    .filter(|(v, _)| cstd.shared_vars.contains(v))
-                    .collect();
-                if !seen.insert(restricted.clone()) {
-                    continue;
-                }
-                instantiate_target(&mut tree, &self.setting.stds[std_index], &restricted, nulls)?;
-            }
+            // Matches restricted to the shared variables, deduplicated
+            // (instantiations that differ only in source-only variables are
+            // homomorphically equivalent); restriction and dedup run on
+            // interned assignment ids inside the plan's store.
+            cstd.source_plan().try_for_each_restricted_match(
+                source_tree,
+                &index,
+                &cstd.shared_vars,
+                |restricted| {
+                    instantiate_target_with(
+                        &mut tree,
+                        &self.setting.stds[std_index].target,
+                        &cstd.target_only_vars,
+                        restricted,
+                        nulls,
+                    )
+                },
+            )?;
         }
         Ok(tree)
     }
@@ -425,25 +464,27 @@ impl<'s> CompiledSetting<'s> {
         if !conforms {
             return false;
         }
-        let source_labels = InternedLabels::new(source_tree, self.source);
-        let target_labels = InternedLabels::new(target_tree, self.target);
+        let source_index = TreeIndex::new(source_tree, self.source);
+        let target_index = TreeIndex::new(target_tree, self.target);
         for cstd in &self.stds {
-            let target_matches =
-                all_matches_compiled(target_tree, &cstd.target_compiled, &target_labels);
-            let mut seen: BTreeSet<Assignment> = BTreeSet::new();
-            for assignment in
-                all_matches_compiled(source_tree, &cstd.source_compiled, &source_labels)
-            {
-                let restricted: Assignment = assignment
-                    .into_iter()
-                    .filter(|(v, _)| cstd.shared_vars.contains(v))
-                    .collect();
-                if !seen.insert(restricted.clone()) {
-                    continue;
-                }
-                if !holds_in_matches(&target_matches, &restricted) {
-                    return false;
-                }
+            let target_matches = cstd.target_plan().all_matches(target_tree, &target_index);
+            let all_hold = cstd
+                .source_plan()
+                .try_for_each_restricted_match(
+                    source_tree,
+                    &source_index,
+                    &cstd.shared_vars,
+                    |restricted| {
+                        if holds_in_matches(&target_matches, restricted) {
+                            Ok(())
+                        } else {
+                            Err(())
+                        }
+                    },
+                )
+                .is_ok();
+            if !all_hold {
+                return false;
             }
         }
         true
@@ -461,25 +502,31 @@ impl<'s> CompiledSetting<'s> {
                 let fill = |_: &_, _: &_| Value::constant("s0");
                 let circle_tree = circle.unique_conforming_tree_with(fill).ok()?;
                 let star_tree = star.unique_conforming_tree_with(fill).ok()?;
-                let circle_labels = InternedLabels::new(&circle_tree, circle.compiled());
-                let star_labels = InternedLabels::new(&star_tree, star.compiled());
-                let source_patterns = self
+                let circle_index = TreeIndex::new(&circle_tree, circle.compiled());
+                let star_index = TreeIndex::new(&star_tree, star.compiled());
+                // The trees and patterns are fixed per setting: evaluate
+                // every erased pattern once, cache only the verdicts.
+                let source_holds = self
                     .stds
                     .iter()
-                    .map(|c| CompiledPattern::new(&c.erased_source, circle.compiled()))
+                    .map(|c| {
+                        !PatternPlan::new(&c.erased_source, circle.compiled())
+                            .all_matches(&circle_tree, &circle_index)
+                            .is_empty()
+                    })
                     .collect();
-                let target_patterns = self
+                let target_holds = self
                     .stds
                     .iter()
-                    .map(|c| CompiledPattern::new(&c.erased_target, star.compiled()))
+                    .map(|c| {
+                        !PatternPlan::new(&c.erased_target, star.compiled())
+                            .all_matches(&star_tree, &star_index)
+                            .is_empty()
+                    })
                     .collect();
                 Some(NestedRelationalPlan {
-                    circle_tree,
-                    star_tree,
-                    circle_labels,
-                    star_labels,
-                    source_patterns,
-                    target_patterns,
+                    source_holds,
+                    target_holds,
                 })
             })
             .as_ref()
@@ -488,8 +535,9 @@ impl<'s> CompiledSetting<'s> {
     /// The `O(n·m²)` nested-relational consistency check of Theorem 4.5
     /// (compiled fast path of
     /// [`crate::consistency::check_consistency_nested_relational`]): the
-    /// `D°`/`D*` trees are built once and each call only re-evaluates the
-    /// (erased, pre-compiled) STD patterns against them.
+    /// `D°`/`D*` trees are built and the (erased, planned) STD patterns
+    /// evaluated over them once per setting; every call reads the cached
+    /// per-STD verdicts.
     pub fn check_consistency_nested_relational(&self) -> Result<bool, DtdError> {
         let Some(plan) = self.nested_plan() else {
             // Reproduce the reference error (which DTD fails, and why).
@@ -497,24 +545,7 @@ impl<'s> CompiledSetting<'s> {
             self.setting.target_dtd.to_star()?;
             unreachable!("nested plan construction only fails on non-nested-relational DTDs");
         };
-        for (i, _) in self.stds.iter().enumerate() {
-            let source_holds = !all_matches_compiled(
-                &plan.circle_tree,
-                &plan.source_patterns[i],
-                &plan.circle_labels,
-            )
-            .is_empty();
-            if !source_holds {
-                continue;
-            }
-            let target_holds =
-                !all_matches_compiled(&plan.star_tree, &plan.target_patterns[i], &plan.star_labels)
-                    .is_empty();
-            if !target_holds {
-                return Ok(false);
-            }
-        }
-        Ok(true)
+        Ok((0..self.stds.len()).all(|i| !plan.source_holds[i] || plan.target_holds[i]))
     }
 
     /// The general (worst-case exponential) consistency check of Theorem 4.1

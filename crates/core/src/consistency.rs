@@ -20,7 +20,7 @@
 
 use crate::setting::DataExchangeSetting;
 use xdx_automata::PatternSatisfiability;
-use xdx_patterns::eval::all_matches;
+use xdx_patterns::eval::all_matches_reference;
 use xdx_patterns::TreePattern;
 use xdx_xmltree::{DtdError, Value};
 
@@ -140,8 +140,8 @@ pub fn check_consistency_nested_relational_reference(
     for std in &setting.stds {
         let phi = std.source.erase_attributes();
         let psi = std.target.erase_attributes();
-        let source_holds = !all_matches(&source_tree, &phi).is_empty();
-        let target_holds = !all_matches(&target_tree, &psi).is_empty();
+        let source_holds = !all_matches_reference(&source_tree, &phi).is_empty();
+        let target_holds = !all_matches_reference(&target_tree, &psi).is_empty();
         if source_holds && !target_holds {
             return Ok(false);
         }

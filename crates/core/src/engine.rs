@@ -21,11 +21,12 @@
 //! async-serving step will sit on (an async front-end only needs to hand
 //! batches — or single documents — to a long-lived `BatchEngine`).
 
-use crate::certain::{certain_tuples, CertainAnswers};
+use crate::certain::{certain_tuples_planned, CertainAnswers};
 use crate::compiled::CompiledSetting;
 use crate::setting::DataExchangeSetting;
 use crate::solution::SolutionError;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use xdx_patterns::plan::{QueryPlan, TreeIndex};
 use xdx_patterns::query::UnionQuery;
 use xdx_xmltree::XmlTree;
 
@@ -96,15 +97,19 @@ impl<'s> BatchEngine<'s> {
 
     /// The certain answers of `query` for every source tree, in input order
     /// (parallel analogue of [`crate::certain::certain_answers`] against one
-    /// shared compiled setting).
+    /// shared compiled setting). The query is planned **once** per batch
+    /// against the target DTD; every worker evaluates the shared plan over a
+    /// per-solution [`TreeIndex`].
     pub fn certain_answers_batch(
         &self,
         trees: &[XmlTree],
         query: &UnionQuery,
     ) -> Vec<Result<CertainAnswers, SolutionError>> {
+        let plan = QueryPlan::new(query, self.compiled.target_dtd());
         self.run(trees, |tree| {
             let solution = self.compiled.canonical_solution(tree)?;
-            let tuples = certain_tuples(&solution, query);
+            let index = TreeIndex::new(&solution, self.compiled.target_dtd());
+            let tuples = certain_tuples_planned(&solution, &plan, &index);
             Ok(CertainAnswers { tuples, solution })
         })
     }

@@ -46,7 +46,10 @@ pub mod ordering;
 pub mod setting;
 pub mod solution;
 
-pub use certain::{certain_answers, certain_answers_boolean, certain_tuples, CertainAnswers};
+pub use certain::{
+    certain_answers, certain_answers_boolean, certain_tuples, certain_tuples_planned,
+    CertainAnswers,
+};
 pub use classify::{classify_setting, SettingClass};
 pub use compiled::{CompiledSetting, CompiledStd};
 pub use consistency::{check_consistency, ConsistencyMethod, ConsistencyVerdict};

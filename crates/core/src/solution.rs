@@ -23,7 +23,7 @@
 use crate::setting::{DataExchangeSetting, Std};
 use std::collections::BTreeMap;
 use std::fmt;
-use xdx_patterns::eval::{all_matches, holds, Assignment};
+use xdx_patterns::eval::{all_matches_reference, holds_reference, Assignment};
 use xdx_patterns::{LabelTest, Term, TreePattern};
 use xdx_relang::repair::{RepairConfig, RepairContext};
 use xdx_relang::Regex;
@@ -183,7 +183,7 @@ pub fn canonical_presolution_reference(
         // differ only in source-only variables produce homomorphically
         // equivalent fragments.
         let mut seen: Vec<Assignment> = Vec::new();
-        for assignment in all_matches(source_tree, &std.source) {
+        for assignment in all_matches_reference(source_tree, &std.source) {
             let restricted: Assignment = assignment
                 .into_iter()
                 .filter(|(v, _)| shared.contains(v))
@@ -207,17 +207,33 @@ pub(crate) fn instantiate_target(
     assignment: &Assignment,
     nulls: &mut NullGen,
 ) -> Result<(), SolutionError> {
+    let target_only: Vec<xdx_patterns::Var> = std.target_only_vars().into_iter().collect();
+    instantiate_target_with(tree, &std.target, &target_only, assignment, nulls)
+}
+
+/// As [`instantiate_target`], with the target-only variable set precomputed —
+/// the compiled path caches it per STD instead of re-deriving it (two
+/// pattern walks plus set algebra) on every instantiation.
+pub(crate) fn instantiate_target_with(
+    tree: &mut XmlTree,
+    target: &TreePattern,
+    target_only: &[xdx_patterns::Var],
+    assignment: &Assignment,
+    nulls: &mut NullGen,
+) -> Result<(), SolutionError> {
     // One fresh null per target-only variable per instantiation.
     let mut values: BTreeMap<_, Value> = assignment
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
-    for var in std.target_only_vars() {
-        values.entry(var).or_insert_with(|| nulls.fresh_value());
+    for var in target_only {
+        values
+            .entry(var.clone())
+            .or_insert_with(|| nulls.fresh_value());
     }
     // The target pattern is r[ϕ1, …, ϕk]; the pre-solution root plays the
     // role of r, and each ϕi becomes a fresh subtree under it.
-    let TreePattern::Node { attr: _, children } = &std.target else {
+    let TreePattern::Node { attr: _, children } = target else {
         unreachable!("fully-specified patterns are Node-rooted");
     };
     let root = tree.root();
@@ -531,12 +547,12 @@ pub fn is_solution_reference(
     }
     for std in &setting.stds {
         let shared = std.shared_vars();
-        for assignment in all_matches(source_tree, &std.source) {
+        for assignment in all_matches_reference(source_tree, &std.source) {
             let restricted: Assignment = assignment
                 .into_iter()
                 .filter(|(v, _)| shared.contains(v))
                 .collect();
-            if !holds(target_tree, &std.target, &restricted) {
+            if !holds_reference(target_tree, &std.target, &restricted) {
                 return false;
             }
         }

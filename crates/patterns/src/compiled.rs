@@ -108,11 +108,38 @@ impl InternedLabels {
     fn get(&self, node: NodeId) -> Option<Sym> {
         self.labels[node.index()]
     }
+
+    /// The interned label per arena slot (used by
+    /// [`crate::plan::TreeIndex`] to build candidate buckets without
+    /// re-interning).
+    pub(crate) fn slots(&self) -> &[Option<Sym>] {
+        &self.labels
+    }
 }
 
 /// All assignments under which some node of `tree` witnesses `pattern`
 /// (compiled analogue of [`crate::eval::all_matches`]).
+///
+/// Runs on the join-ordered planned evaluator ([`crate::plan`]), planning
+/// `pattern` per call; the compiled layer in `xdx-core` holds
+/// [`crate::plan::PatternPlan`]s and per-tree [`crate::plan::TreeIndex`]es
+/// directly so the plan is built once per pattern and the index once per
+/// tree. The per-node recursion ([`matches_at_compiled`]) is retained for
+/// callers that need witness sets at a specific node.
 pub fn all_matches_compiled(
+    tree: &XmlTree,
+    pattern: &CompiledPattern,
+    labels: &InternedLabels,
+) -> Vec<Assignment> {
+    let plan = crate::plan::PatternPlan::from_compiled(pattern);
+    let index = crate::plan::TreeIndex::from_interned(tree, labels);
+    plan.all_matches(tree, &index)
+}
+
+/// As [`all_matches_compiled`], via the enumerate-then-merge recursion with
+/// `BTreeSet` dedup — the pre-plan implementation, kept for differential
+/// tests against the planned path.
+pub fn all_matches_compiled_reference(
     tree: &XmlTree,
     pattern: &CompiledPattern,
     labels: &InternedLabels,
@@ -195,7 +222,11 @@ fn assert_send_sync() {
     check::<TreePattern>();
 }
 
-fn match_bindings(tree: &XmlTree, node: NodeId, bindings: &[AttrBinding]) -> Option<Assignment> {
+pub(crate) fn match_bindings(
+    tree: &XmlTree,
+    node: NodeId,
+    bindings: &[AttrBinding],
+) -> Option<Assignment> {
     let mut assignment = Assignment::new();
     for binding in bindings {
         let value = tree.attr(node, &binding.attr)?;

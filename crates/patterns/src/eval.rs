@@ -95,7 +95,23 @@ fn match_attr_formula(tree: &XmlTree, node: NodeId, attr: &AttrFormula) -> Optio
 
 /// All assignments (over the free variables of `pattern`) under which some
 /// node of `tree` witnesses the pattern — i.e. the relation `ϕ(T)`.
+///
+/// Runs on the join-ordered planned evaluator ([`crate::plan`]), planning
+/// the pattern DTD-less per call; hold a [`crate::plan::PatternPlan`] and a
+/// per-tree [`crate::plan::TreeIndex`] to amortise the planning across many
+/// evaluations. The original enumerate-then-merge evaluator is kept as
+/// [`all_matches_reference`] — the differential-testing oracle.
 pub fn all_matches(tree: &XmlTree, pattern: &TreePattern) -> Vec<Assignment> {
+    let plan = crate::plan::PatternPlan::without_dtd(pattern);
+    let index = crate::plan::TreeIndex::without_dtd(tree);
+    plan.all_matches(tree, &index)
+}
+
+/// Reference implementation of [`all_matches`]: enumerate every node and
+/// merge recursively through [`matches_at`], deduplicating by linear scans.
+/// Kept verbatim as the oracle the planned evaluator is differential-tested
+/// against (`tests/pattern_differential.rs`).
+pub fn all_matches_reference(tree: &XmlTree, pattern: &TreePattern) -> Vec<Assignment> {
     let mut out: Vec<Assignment> = Vec::new();
     for node in tree.nodes() {
         for m in matches_at(tree, node, pattern) {
@@ -111,7 +127,17 @@ pub fn all_matches(tree: &XmlTree, pattern: &TreePattern) -> Vec<Assignment> {
 ///
 /// Variables of the pattern missing from `σ` are treated existentially.
 pub fn holds(tree: &XmlTree, pattern: &TreePattern, assignment: &Assignment) -> bool {
-    all_matches(tree, pattern).iter().any(|m| {
+    holds_in(&all_matches(tree, pattern), assignment)
+}
+
+/// As [`holds`], on the reference evaluator — used by the `*_reference`
+/// pipeline functions in `xdx-core` so they stay a frozen baseline.
+pub fn holds_reference(tree: &XmlTree, pattern: &TreePattern, assignment: &Assignment) -> bool {
+    holds_in(&all_matches_reference(tree, pattern), assignment)
+}
+
+fn holds_in(matches: &[Assignment], assignment: &Assignment) -> bool {
+    matches.iter().any(|m| {
         m.iter().all(|(var, value)| match assignment.get(var) {
             Some(expected) => expected == value,
             None => true,

@@ -37,7 +37,12 @@
 //! * [`compiled`] — the interned-symbol fast path: patterns resolved once
 //!   against a [`xdx_xmltree::CompiledDtd`] so evaluation compares dense
 //!   `u32` symbols instead of strings (differential-tested against
-//!   [`eval`]).
+//!   [`eval`]);
+//! * [`plan`] — the join-ordered planned evaluator: per-node candidate sets
+//!   from a one-pass label index of the tree, child/descendant edges joined
+//!   in ascending cardinality order, hashed-assignment dedup. This is what
+//!   [`eval::all_matches`] and the compiled layer actually run;
+//!   [`eval::all_matches_reference`] stays as the oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,11 +52,13 @@ pub mod eval;
 pub mod homomorphism;
 pub mod parser;
 pub mod pattern;
+pub mod plan;
 pub mod query;
 
 pub use compiled::{all_matches_compiled, holds_in_matches, CompiledPattern, InternedLabels};
-pub use eval::{all_matches, holds, matches_at, Assignment};
+pub use eval::{all_matches, all_matches_reference, holds, matches_at, Assignment};
 pub use homomorphism::{find_homomorphism, is_homomorphism, Homomorphism};
 pub use parser::{parse_pattern, PatternParseError};
 pub use pattern::{AttrBinding, AttrFormula, LabelTest, Term, TreePattern, Var};
+pub use plan::{PatternPlan, QueryPlan, TreeIndex};
 pub use query::{ConjunctiveTreeQuery, QueryClass, UnionQuery};

@@ -1,0 +1,859 @@
+//! Join-ordered pattern evaluation — the planned fast path.
+//!
+//! The recursive evaluators ([`crate::eval::all_matches_reference`] and
+//! [`crate::compiled::matches_at_compiled`]) are *enumerate-then-merge*: at
+//! every candidate node they re-enumerate every child for every sub-pattern
+//! and deduplicate assignment sets through `BTreeSet`s of whole `BTreeMap`s.
+//! This module replaces that with a twig-join-style worklist matcher:
+//!
+//! * a [`TreeIndex`] is built in **one pass** over the tree: per-symbol
+//!   candidate buckets for interned labels, string-keyed buckets for labels
+//!   the DTD does not declare, and the preorder node list for wildcards —
+//!   so a pattern node only ever visits the tree nodes its label test can
+//!   accept, instead of scanning the whole tree;
+//! * a [`PatternPlan`] flattens the pattern into **bottom-up evaluation
+//!   order** (children strictly before parents), so every sub-pattern's
+//!   match sites are known before its parent joins them. Parent joins go
+//!   through a *group-by-tree-parent* edge map, making the per-candidate
+//!   cost proportional to the matches actually below it, not to its child
+//!   count, and child/descendant edges are joined in ascending order of
+//!   their **measured** cardinality (the bottom-up order makes exact
+//!   selectivities free — no estimation error);
+//! * partial assignments are interned in an [`AssignStore`]: every distinct
+//!   assignment gets a dense `u32` id from an `FxHash`-style map, so
+//!   deduplication during merges is a hash-set of `u32`s and repeated merges
+//!   of the same pair hit a memo instead of re-walking two `BTreeMap`s.
+//!
+//! [`QueryPlan`] lifts the same idea to conjunctive tree queries: the
+//! per-pattern relations of a branch share one assignment store and are
+//! joined smallest-first.
+//!
+//! The recursive evaluator remains the oracle:
+//! [`crate::eval::all_matches_reference`] is kept unchanged and the planned
+//! evaluator is differential-tested against it (unit tests below plus the
+//! randomized harness in `tests/pattern_differential.rs`).
+
+use crate::compiled::{match_bindings, CompiledLabelTest, CompiledPattern};
+use crate::eval::{merge_assignments, Assignment};
+use crate::pattern::{LabelTest, TreePattern, Var};
+use crate::query::UnionQuery;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use xdx_xmltree::{CompiledDtd, ElementType, NodeId, Sym, Value, XmlTree};
+
+// ---------------------------------------------------------------------------
+// FxHash-style hashing
+// ---------------------------------------------------------------------------
+
+/// The multiplier of the rustc/Firefox "Fx" hash.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A minimal FxHash-style hasher: one rotate + xor + multiply per word.
+/// Deterministic (no random state), so iteration-free uses of the maps below
+/// produce identical results across runs and threads.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// A `HashMap` keyed by the FxHash-style hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed by the FxHash-style hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+// ---------------------------------------------------------------------------
+// Assignment interning
+// ---------------------------------------------------------------------------
+
+/// Dense id of an interned [`Assignment`]. Id 0 is always the empty
+/// assignment.
+type AssignId = u32;
+
+/// Hashed-assignment dedup: every distinct assignment seen during one
+/// evaluation gets a dense id, so set operations on assignment sets become
+/// set operations on `u32`s, and merging the same pair twice hits a memo.
+///
+/// The id table is keyed by the assignment's hash with explicit collision
+/// buckets (ids into the arena), so interning moves the assignment into the
+/// arena without ever cloning it.
+#[derive(Debug, Default)]
+struct AssignStore {
+    assignments: Vec<Assignment>,
+    /// Assignment hash → ids of arena entries with that hash.
+    ids: FxHashMap<u64, Vec<AssignId>>,
+    /// Memo of pairwise merges, keyed by the (order-normalised) id pair.
+    merges: FxHashMap<(AssignId, AssignId), Option<AssignId>>,
+}
+
+fn assignment_hash(assignment: &Assignment) -> u64 {
+    use std::hash::Hash;
+    let mut hasher = FxHasher::default();
+    assignment.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl AssignStore {
+    fn new() -> Self {
+        let mut store = AssignStore::default();
+        store.intern(Assignment::new());
+        store
+    }
+
+    fn intern(&mut self, assignment: Assignment) -> AssignId {
+        let bucket = self.ids.entry(assignment_hash(&assignment)).or_default();
+        for &id in bucket.iter() {
+            if self.assignments[id as usize] == assignment {
+                return id;
+            }
+        }
+        let id = self.assignments.len() as AssignId;
+        self.assignments.push(assignment);
+        bucket.push(id);
+        id
+    }
+
+    #[inline]
+    fn get(&self, id: AssignId) -> &Assignment {
+        &self.assignments[id as usize]
+    }
+
+    /// Merge two interned assignments; `None` if they disagree on a shared
+    /// variable.
+    fn merge(&mut self, a: AssignId, b: AssignId) -> Option<AssignId> {
+        if a == b || b == 0 {
+            return Some(a);
+        }
+        if a == 0 {
+            return Some(b);
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&memoised) = self.merges.get(&key) {
+            return memoised;
+        }
+        let merged = merge_assignments(self.get(key.0), self.get(key.1)).map(|m| self.intern(m));
+        self.merges.insert(key, merged);
+        merged
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree index
+// ---------------------------------------------------------------------------
+
+/// A one-pass label index of a tree: per-node candidate sets for every kind
+/// of label test, plus the interned label of every node.
+///
+/// Built once per tree (against the same [`CompiledDtd`] the plans were
+/// built against, or DTD-less for DTD-less plans) and shared by every plan
+/// evaluated over that tree — the compiled layer builds one per source /
+/// target document and evaluates all STD patterns and query patterns
+/// against it.
+#[derive(Debug)]
+pub struct TreeIndex {
+    /// Interned label per arena slot (`None` for labels the DTD does not
+    /// declare, and for every node in DTD-less mode).
+    labels: Vec<Option<Sym>>,
+    /// Candidate buckets for interned labels, indexed by `Sym::index()`,
+    /// nodes in preorder.
+    by_sym: Vec<Vec<NodeId>>,
+    /// Candidate buckets for uninterned labels, keyed by the label itself.
+    by_label: FxHashMap<ElementType, Vec<NodeId>>,
+    /// Every node, in preorder (wildcard candidates).
+    nodes: Vec<NodeId>,
+}
+
+impl TreeIndex {
+    /// Index `tree` against `dtd`'s symbol table.
+    pub fn new(tree: &XmlTree, dtd: &CompiledDtd) -> Self {
+        Self::build(tree, |_, label| dtd.sym(label))
+    }
+
+    /// Index `tree` with no DTD: every label test resolves by string
+    /// comparison (the semantics of the reference evaluator).
+    pub fn without_dtd(tree: &XmlTree) -> Self {
+        Self::build(tree, |_, _| None)
+    }
+
+    /// Index `tree` from already-interned labels (one pass, no re-interning;
+    /// used by [`crate::compiled::all_matches_compiled`]).
+    pub fn from_interned(tree: &XmlTree, labels: &crate::compiled::InternedLabels) -> Self {
+        let slots = labels.slots();
+        Self::build(tree, |node, _| slots[node.index()])
+    }
+
+    fn build(tree: &XmlTree, sym_of: impl Fn(NodeId, &ElementType) -> Option<Sym>) -> Self {
+        let nodes = tree.nodes();
+        let mut labels = vec![None; tree.arena_len()];
+        let mut by_sym: Vec<Vec<NodeId>> = Vec::new();
+        let mut by_label: FxHashMap<ElementType, Vec<NodeId>> = FxHashMap::default();
+        for &node in &nodes {
+            let label = tree.label(node);
+            match sym_of(node, label) {
+                Some(sym) => {
+                    labels[node.index()] = Some(sym);
+                    if by_sym.len() <= sym.index() {
+                        by_sym.resize_with(sym.index() + 1, Vec::new);
+                    }
+                    by_sym[sym.index()].push(node);
+                }
+                None => by_label.entry(label.clone()).or_default().push(node),
+            }
+        }
+        TreeIndex {
+            labels,
+            by_sym,
+            by_label,
+            nodes,
+        }
+    }
+
+    /// The interned label of `node` (`None` when the DTD does not declare
+    /// it, or in DTD-less mode).
+    #[inline]
+    pub fn sym(&self, node: NodeId) -> Option<Sym> {
+        self.labels[node.index()]
+    }
+
+    /// The candidate nodes of a label test, in preorder.
+    fn candidates(&self, label: &CompiledLabelTest) -> &[NodeId] {
+        match label {
+            CompiledLabelTest::Any => &self.nodes,
+            CompiledLabelTest::Is(sym) => self
+                .by_sym
+                .get(sym.index())
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+            CompiledLabelTest::Uninterned(label) => {
+                self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern plans
+// ---------------------------------------------------------------------------
+
+/// One flattened pattern node. `children`/`inner` are indices into the
+/// plan's node vector, which is in postorder — every index is smaller than
+/// its parent's, so evaluating slots `0..len` in order is bottom-up.
+#[derive(Debug, Clone)]
+enum PlanNode {
+    /// An attribute formula with child sub-patterns.
+    Node {
+        label: CompiledLabelTest,
+        bindings: Vec<crate::pattern::AttrBinding>,
+        children: Vec<usize>,
+    },
+    /// `//ϕ` — witnessed by a proper descendant.
+    Descendant { inner: usize },
+}
+
+/// A [`TreePattern`] pre-planned for join-ordered evaluation (see the module
+/// docs). Build once per `(pattern, DTD)` — or DTD-less — and evaluate
+/// against any number of trees through per-tree [`TreeIndex`]es.
+#[derive(Debug, Clone)]
+pub struct PatternPlan {
+    /// Plan nodes in postorder; the root is the last slot.
+    nodes: Vec<PlanNode>,
+}
+
+impl PatternPlan {
+    /// Plan `pattern` against `dtd`'s symbol table (labels the DTD does not
+    /// declare keep the string-comparison fallback, exactly like
+    /// [`CompiledPattern::new`]).
+    pub fn new(pattern: &TreePattern, dtd: &CompiledDtd) -> Self {
+        PatternPlan::from_compiled(&CompiledPattern::new(pattern, dtd))
+    }
+
+    /// Plan `pattern` with no DTD: every concrete label test compares label
+    /// strings (pair with [`TreeIndex::without_dtd`]). Resolves every
+    /// element label to the string-fallback test and reuses the one
+    /// flattening in [`Self::from_compiled`].
+    pub fn without_dtd(pattern: &TreePattern) -> Self {
+        fn resolve(pattern: &TreePattern) -> CompiledPattern {
+            match pattern {
+                TreePattern::Node { attr, children } => CompiledPattern::Node {
+                    label: match &attr.label {
+                        LabelTest::Wildcard => CompiledLabelTest::Any,
+                        LabelTest::Element(e) => CompiledLabelTest::Uninterned(e.clone()),
+                    },
+                    bindings: attr.bindings.clone(),
+                    children: children.iter().map(resolve).collect(),
+                },
+                TreePattern::Descendant(inner) => {
+                    CompiledPattern::Descendant(Box::new(resolve(inner)))
+                }
+            }
+        }
+        PatternPlan::from_compiled(&resolve(pattern))
+    }
+
+    /// Plan an already label-resolved [`CompiledPattern`].
+    pub fn from_compiled(pattern: &CompiledPattern) -> Self {
+        let mut nodes = Vec::new();
+        fn flatten(pattern: &CompiledPattern, nodes: &mut Vec<PlanNode>) -> usize {
+            match pattern {
+                CompiledPattern::Node {
+                    label,
+                    bindings,
+                    children,
+                } => {
+                    let children = children.iter().map(|c| flatten(c, nodes)).collect();
+                    nodes.push(PlanNode::Node {
+                        label: label.clone(),
+                        bindings: bindings.clone(),
+                        children,
+                    });
+                }
+                CompiledPattern::Descendant(inner) => {
+                    let inner = flatten(inner, nodes);
+                    nodes.push(PlanNode::Descendant { inner });
+                }
+            }
+            nodes.len() - 1
+        }
+        flatten(pattern, &mut nodes);
+        PatternPlan { nodes }
+    }
+
+    /// All assignments under which some node of `tree` witnesses the
+    /// pattern — the planned analogue of
+    /// [`crate::eval::all_matches_reference`]. `index` must have been built
+    /// over `tree` against the same DTD (or DTD-less) as this plan.
+    pub fn all_matches(&self, tree: &XmlTree, index: &TreeIndex) -> Vec<Assignment> {
+        let mut store = AssignStore::new();
+        let ids = self.matches_ids(tree, index, &mut store);
+        ids.into_iter().map(|id| store.get(id).clone()).collect()
+    }
+
+    /// Visit every distinct match **restricted to the variables in `keep`**.
+    /// This is the shape the exchange pipeline consumes (matches restricted
+    /// to the STD's shared variables, deduplicated): restriction and dedup
+    /// happen on interned ids inside the store, so full matches are never
+    /// cloned out and duplicates cost one hash probe. `f`'s first error
+    /// aborts the walk.
+    pub fn try_for_each_restricted_match<E>(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        keep: &BTreeSet<Var>,
+        mut f: impl FnMut(&Assignment) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut store = AssignStore::new();
+        let ids = self.matches_ids(tree, index, &mut store);
+        let mut seen: FxHashSet<AssignId> = FxHashSet::default();
+        for id in ids {
+            let full = store.get(id);
+            let rid = if full.keys().all(|v| keep.contains(v)) {
+                // Already within the kept variables: restriction is the
+                // identity, no rebuild needed.
+                id
+            } else {
+                let restricted: Assignment = full
+                    .iter()
+                    .filter(|(v, _)| keep.contains(*v))
+                    .map(|(v, value)| (v.clone(), value.clone()))
+                    .collect();
+                store.intern(restricted)
+            };
+            if seen.insert(rid) {
+                f(store.get(rid))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// As [`Self::all_matches`], but interning into a caller-provided store
+    /// and returning ids — [`QueryPlan`] joins several patterns' relations
+    /// in one shared store.
+    fn matches_ids(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        store: &mut AssignStore,
+    ) -> Vec<AssignId> {
+        let results = self.evaluate(tree, index, store);
+        let root = results.last().expect("plans are never empty");
+        // Union the root's per-site assignment sets, first occurrence wins
+        // (site order is deterministic, so the output order is too).
+        let mut seen: FxHashSet<AssignId> = FxHashSet::default();
+        let mut out = Vec::new();
+        for &id in &root.ids {
+            if seen.insert(id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Bottom-up evaluation: one [`Matches`] per plan slot, computed in
+    /// postorder so every child's match sites exist before its parent joins
+    /// them.
+    fn evaluate(&self, tree: &XmlTree, index: &TreeIndex, store: &mut AssignStore) -> Vec<Matches> {
+        let mut results: Vec<Matches> = Vec::with_capacity(self.nodes.len());
+        for plan_node in &self.nodes {
+            let matches = match plan_node {
+                PlanNode::Node {
+                    label,
+                    bindings,
+                    children,
+                } => self.eval_node(tree, index, store, label, bindings, children, &results),
+                PlanNode::Descendant { inner } => eval_descendant(tree, &results[*inner]),
+            };
+            results.push(matches);
+        }
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_node(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        store: &mut AssignStore,
+        label: &CompiledLabelTest,
+        bindings: &[crate::pattern::AttrBinding],
+        children: &[usize],
+        results: &[Matches],
+    ) -> Matches {
+        // Join order: most selective (fewest matches) child edge first, so
+        // the intermediate partial-assignment sets stay small and empty
+        // joins fail before any merging happens. Ties keep pattern order.
+        let mut edge_order: Vec<usize> = children.to_vec();
+        edge_order.sort_by_key(|&c| results[c].total());
+        if let Some(&first) = edge_order.first() {
+            if results[first].total() == 0 {
+                // Some sub-pattern matched nowhere: no candidate can win.
+                return Matches::default();
+            }
+        }
+        // Group every child edge's match sites by their tree parent, so a
+        // candidate's join input is one hash lookup instead of a scan over
+        // its children.
+        let edge_maps: Vec<FxHashMap<NodeId, Vec<AssignId>>> = edge_order
+            .iter()
+            .map(|&c| {
+                let mut map: FxHashMap<NodeId, Vec<AssignId>> = FxHashMap::default();
+                for &(node, start, end) in &results[c].sites {
+                    if let Some(parent) = tree.parent(node) {
+                        map.entry(parent)
+                            .or_default()
+                            .extend_from_slice(&results[c].ids[start as usize..end as usize]);
+                    }
+                }
+                map
+            })
+            .collect();
+
+        let mut out = Matches::default();
+        let mut partials: Vec<AssignId> = Vec::new();
+        let mut next: Vec<AssignId> = Vec::new();
+        let mut next_seen: FxHashSet<AssignId> = FxHashSet::default();
+        'candidates: for &node in index.candidates(label) {
+            partials.clear();
+            if bindings.is_empty() {
+                // No bindings: the base is the empty assignment (id 0).
+                partials.push(0);
+            } else {
+                let Some(base) = match_bindings(tree, node, bindings) else {
+                    continue;
+                };
+                partials.push(store.intern(base));
+            }
+            for edge_map in &edge_maps {
+                let Some(available) = edge_map.get(&node) else {
+                    continue 'candidates;
+                };
+                next.clear();
+                next_seen.clear();
+                for &partial in &partials {
+                    for &m in available {
+                        if let Some(merged) = store.merge(partial, m) {
+                            if next_seen.insert(merged) {
+                                next.push(merged);
+                            }
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue 'candidates;
+                }
+                std::mem::swap(&mut partials, &mut next);
+            }
+            out.push_site(node, &partials);
+        }
+        out
+    }
+}
+
+/// The match sites of one plan node over one tree: `(node, span into `ids`)`
+/// triples in deterministic node order, with all assignment ids in one flat
+/// arena (no per-site allocation).
+#[derive(Debug, Default)]
+struct Matches {
+    sites: Vec<(NodeId, u32, u32)>,
+    ids: Vec<AssignId>,
+}
+
+impl Matches {
+    fn push_site(&mut self, node: NodeId, ids: &[AssignId]) {
+        let start = self.ids.len() as u32;
+        self.ids.extend_from_slice(ids);
+        self.sites.push((node, start, self.ids.len() as u32));
+    }
+
+    /// Total assignment count across sites (the join-ordering cardinality).
+    fn total(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// `//ϕ` — propagate every inner match site to all proper ancestors. Sparse
+/// on purpose: cost is `O(matches × depth)`, not `O(nodes²)`.
+fn eval_descendant(tree: &XmlTree, inner: &Matches) -> Matches {
+    let mut acc: FxHashMap<NodeId, Vec<AssignId>> = FxHashMap::default();
+    for &(node, start, end) in &inner.sites {
+        let mut ancestor = tree.parent(node);
+        while let Some(a) = ancestor {
+            acc.entry(a)
+                .or_default()
+                .extend_from_slice(&inner.ids[start as usize..end as usize]);
+            ancestor = tree.parent(a);
+        }
+    }
+    let mut grouped: Vec<(NodeId, Vec<AssignId>)> = acc.into_iter().collect();
+    grouped.sort_unstable_by_key(|&(node, _)| node);
+    let mut out = Matches::default();
+    for (node, mut ids) in grouped {
+        // The same assignment may be witnessed at several descendants.
+        ids.sort_unstable();
+        ids.dedup();
+        out.push_site(node, &ids);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Query plans
+// ---------------------------------------------------------------------------
+
+/// A [`UnionQuery`] pre-planned for join-ordered evaluation: every pattern
+/// of every branch becomes a [`PatternPlan`], and a branch's relations are
+/// joined smallest-first in one shared assignment store.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    branches: Vec<BranchPlan>,
+}
+
+#[derive(Debug, Clone)]
+struct BranchPlan {
+    head: Vec<Var>,
+    patterns: Vec<PatternPlan>,
+}
+
+impl QueryPlan {
+    /// Plan `query` against `dtd`'s symbol table.
+    pub fn new(query: &UnionQuery, dtd: &CompiledDtd) -> Self {
+        QueryPlan::build(query, |p| PatternPlan::new(p, dtd))
+    }
+
+    /// Plan `query` with no DTD (pair with [`TreeIndex::without_dtd`]).
+    pub fn without_dtd(query: &UnionQuery) -> Self {
+        QueryPlan::build(query, PatternPlan::without_dtd)
+    }
+
+    fn build(query: &UnionQuery, plan: impl Fn(&TreePattern) -> PatternPlan) -> Self {
+        QueryPlan {
+            branches: query
+                .branches()
+                .iter()
+                .map(|b| BranchPlan {
+                    head: b.head().to_vec(),
+                    patterns: b.patterns().iter().map(&plan).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluate the query over `tree`, returning the set of head tuples —
+    /// the planned analogue of [`UnionQuery::evaluate`]. `index` must have
+    /// been built over `tree` against the same DTD (or DTD-less) as this
+    /// plan.
+    pub fn evaluate(&self, tree: &XmlTree, index: &TreeIndex) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        for branch in &self.branches {
+            branch.evaluate_into(tree, index, &mut out);
+        }
+        out
+    }
+
+    /// Evaluate a Boolean query (planned analogue of
+    /// [`UnionQuery::evaluate_boolean`]).
+    pub fn evaluate_boolean(&self, tree: &XmlTree, index: &TreeIndex) -> bool {
+        self.branches.iter().any(|branch| {
+            let mut rows = BTreeSet::new();
+            branch.evaluate_into(tree, index, &mut rows);
+            !rows.is_empty()
+        })
+    }
+}
+
+impl BranchPlan {
+    fn evaluate_into(&self, tree: &XmlTree, index: &TreeIndex, out: &mut BTreeSet<Vec<Value>>) {
+        let mut store = AssignStore::new();
+        let mut relations: Vec<Vec<AssignId>> = Vec::with_capacity(self.patterns.len());
+        for pattern in &self.patterns {
+            let relation = pattern.matches_ids(tree, index, &mut store);
+            if relation.is_empty() {
+                return;
+            }
+            relations.push(relation);
+        }
+        // Join order across conjuncts: smallest relation first.
+        relations.sort_by_key(Vec::len);
+        let mut acc: Vec<AssignId> = vec![0];
+        let mut next: Vec<AssignId> = Vec::new();
+        let mut seen: FxHashSet<AssignId> = FxHashSet::default();
+        for relation in &relations {
+            next.clear();
+            seen.clear();
+            for &a in &acc {
+                for &b in relation {
+                    if let Some(merged) = store.merge(a, b) {
+                        if seen.insert(merged) {
+                            next.push(merged);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                return;
+            }
+            std::mem::swap(&mut acc, &mut next);
+        }
+        for id in acc {
+            let assignment = store.get(id);
+            out.insert(
+                self.head
+                    .iter()
+                    .map(|v| {
+                        assignment
+                            .get(v)
+                            .cloned()
+                            .expect("head variable bound by construction")
+                    })
+                    .collect(),
+            );
+        }
+    }
+}
+
+// Compile-time audit: plans and indexes are cached inside `xdx-core`'s
+// `CompiledSetting` and shared across `BatchEngine` worker threads.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<PatternPlan>();
+    check::<TreeIndex>();
+    check::<QueryPlan>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::all_matches_reference;
+    use crate::parser::parse_pattern;
+    use xdx_xmltree::{Dtd, TreeBuilder};
+
+    fn dtd() -> Dtd {
+        Dtd::builder("db")
+            .rule("db", "book*")
+            .rule("book", "author*")
+            .rule("author", "eps")
+            .attributes("book", ["@title"])
+            .attributes("author", ["@name", "@aff"])
+            .build()
+            .unwrap()
+    }
+
+    fn tree() -> XmlTree {
+        TreeBuilder::new("db")
+            .child("book", |b| {
+                b.attr("@title", "CO")
+                    .child("author", |a| a.attr("@name", "P").attr("@aff", "U"))
+                    .child("author", |a| a.attr("@name", "S").attr("@aff", "Pr"))
+            })
+            .child("book", |b| {
+                b.attr("@title", "CC")
+                    .child("author", |a| a.attr("@name", "P").attr("@aff", "U"))
+            })
+            .build()
+    }
+
+    fn assert_planned_matches_reference(tree: &XmlTree, src: &str) {
+        let d = dtd();
+        let p = parse_pattern(src).unwrap();
+        let mut reference = all_matches_reference(tree, &p);
+        reference.sort();
+
+        let plan = PatternPlan::new(&p, d.compiled());
+        let index = TreeIndex::new(tree, d.compiled());
+        let mut planned = plan.all_matches(tree, &index);
+        planned.sort();
+        assert_eq!(planned, reference, "with DTD: {src}");
+
+        let plan = PatternPlan::without_dtd(&p);
+        let index = TreeIndex::without_dtd(tree);
+        let mut planned = plan.all_matches(tree, &index);
+        planned.sort();
+        assert_eq!(planned, reference, "DTD-less: {src}");
+    }
+
+    #[test]
+    fn planned_matches_agree_with_reference() {
+        let t = tree();
+        for src in [
+            "book(@title=$x)[author(@name=$y)]",
+            "author(@name=$y)",
+            "//author",
+            "db[//db]",
+            "db[//author(@aff=$a)]",
+            "_(@name=$n)",
+            "db[_[_(@aff=$a)]]",
+            "db[book(@title=$x), book(@title=$y)]",
+            "book(@title=\"CC\")[author(@name=$y)]",
+            "book(@year=$y)",
+            "//_[_(@name=$n)]",
+            "//book[//author(@aff=$a)]",
+            "db[book[author(@name=$x)], book(@title=$t)[author(@name=$x)]]",
+        ] {
+            assert_planned_matches_reference(&t, src);
+        }
+    }
+
+    #[test]
+    fn undeclared_labels_keep_the_string_fallback() {
+        let mut t = XmlTree::new("db");
+        let j = t.add_child(t.root(), "journal");
+        t.set_attr(j, "@title", "JACM");
+        let deeper = t.add_child(j, "issue");
+        t.set_attr(deeper, "@title", "55-2");
+        for src in [
+            "journal(@title=$x)",
+            "//issue(@title=$x)",
+            "journal[issue(@title=$x)]",
+            "db[//issue]",
+        ] {
+            assert_planned_matches_reference(&t, src);
+        }
+    }
+
+    #[test]
+    fn selectivity_order_does_not_change_semantics() {
+        // A branching pattern where one child edge has many matches and the
+        // other exactly one: whichever joins first, the result is the same.
+        let t = tree();
+        assert_planned_matches_reference(&t, "db[book(@title=$x), book(@title=\"CC\")]");
+        assert_planned_matches_reference(&t, "book[author(@name=$x), author(@aff=\"Pr\")]");
+    }
+
+    #[test]
+    fn query_plans_agree_with_reference_joins() {
+        use crate::query::ConjunctiveTreeQuery;
+        let d = dtd();
+        let t = tree();
+        let q = UnionQuery::new(vec![
+            ConjunctiveTreeQuery::new(
+                ["x", "y"],
+                vec![
+                    parse_pattern("book(@title=$t)[author(@name=$x)]").unwrap(),
+                    parse_pattern("book(@title=$t)[author(@name=$y)]").unwrap(),
+                ],
+            )
+            .unwrap(),
+            ConjunctiveTreeQuery::new(
+                ["x", "x"],
+                vec![parse_pattern("author(@aff=\"U\", @name=$x)").unwrap()],
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        let reference = q.evaluate(&t);
+        let planned =
+            QueryPlan::new(&q, d.compiled()).evaluate(&t, &TreeIndex::new(&t, d.compiled()));
+        assert_eq!(planned, reference);
+        let dtdless = QueryPlan::without_dtd(&q).evaluate(&t, &TreeIndex::without_dtd(&t));
+        assert_eq!(dtdless, reference);
+        assert!(QueryPlan::new(&q, d.compiled())
+            .evaluate_boolean(&t, &TreeIndex::new(&t, d.compiled())));
+    }
+
+    #[test]
+    fn assignment_store_merges_and_memoises() {
+        let mut store = AssignStore::new();
+        let mut a = Assignment::new();
+        a.insert(Var::new("x"), Value::constant("1"));
+        let mut b = Assignment::new();
+        b.insert(Var::new("y"), Value::constant("2"));
+        let mut clash = Assignment::new();
+        clash.insert(Var::new("x"), Value::constant("other"));
+        let (ia, ib, ic) = (
+            store.intern(a.clone()),
+            store.intern(b),
+            store.intern(clash),
+        );
+        assert_eq!(store.intern(a), ia, "interning is idempotent");
+        let merged = store.merge(ia, ib).unwrap();
+        assert_eq!(store.get(merged).len(), 2);
+        assert_eq!(store.merge(ib, ia).unwrap(), merged, "merge is symmetric");
+        assert_eq!(store.merge(ia, ic), None, "clashes are detected");
+        assert_eq!(store.merge(0, ia), Some(ia), "empty is the unit");
+        assert_eq!(store.merge(merged, merged), Some(merged));
+    }
+}

@@ -25,8 +25,8 @@ use crate::dtd::{ConformanceViolation, Dtd};
 use crate::interner::{Interner, Sym};
 use crate::name::{AttrName, ElementType};
 use crate::tree::XmlTree;
-use std::collections::BTreeMap;
-use xdx_relang::{BitsetNfa, Multiplicity};
+use std::sync::Mutex;
+use xdx_relang::{BitsetNfa, Multiplicity, PermMemo};
 
 /// How a rule's unordered (permutation-language) membership is decided.
 #[derive(Debug, Clone)]
@@ -36,8 +36,9 @@ enum UnorderedCheck {
     /// occurs. Sparse, sorted by symbol id (`u64::MAX` = unbounded), so
     /// storage is proportional to the rule, not to the whole DTD alphabet.
     Bounds(Vec<(Sym, u64, u64)>),
-    /// General expression: memoised counting search on the bitset NFA.
-    General,
+    /// General expression: memoised counting search on the bitset NFA,
+    /// through the rule's shared warm memo (only general rules carry one).
+    General { memo: SharedPermMemo },
 }
 
 /// How a rule's ordered (string-language) membership is decided.
@@ -52,9 +53,38 @@ enum OrderedCheck {
         start: u32,
     },
     /// Content models whose DFA would be too large to determinize eagerly
-    /// (wide flat schemas): bit-parallel NFA simulation instead.
-    /// `nfa_cols[j]` is the bitset-NFA alphabet index of `local_syms[j]`.
-    NfaSim { nfa_cols: Vec<u32> },
+    /// (wide flat schemas): bit-parallel NFA simulation instead, with
+    /// symbols mapped through the rule's `bitset_cols`.
+    NfaSim,
+}
+
+/// Above this many memoised subproblems a rule's shared permutation memo is
+/// reset before the next query. Long-lived compiled DTDs (a `BatchEngine`
+/// validating a stream of documents) would otherwise grow the table
+/// monotonically with every distinct child multiset ever seen; entries are a
+/// pure cache, so dropping them only costs re-derivation.
+const MAX_SHARED_PERM_MEMO: usize = 1 << 18;
+
+/// A per-rule permutation-search memo behind a `Mutex`, so the (immutable,
+/// `Send + Sync`) compiled DTD can warm it across nodes, trees and threads.
+/// Queries `try_lock` and fall back to a fresh local memo when contended
+/// (the counting search may be long, so the lock is never worth waiting
+/// for), and the table self-resets at [`MAX_SHARED_PERM_MEMO`] entries.
+#[derive(Debug)]
+struct SharedPermMemo(Mutex<PermMemo>);
+
+impl SharedPermMemo {
+    fn new(memo: PermMemo) -> Self {
+        SharedPermMemo(Mutex::new(memo))
+    }
+}
+
+impl Clone for SharedPermMemo {
+    fn clone(&self) -> Self {
+        // Keeps the automaton-specific key encoding (and any warm entries —
+        // they are a pure cache, so copying them is sound).
+        SharedPermMemo::new(self.0.lock().expect("perm memo poisoned").clone())
+    }
 }
 
 /// One compiled content-model rule.
@@ -65,6 +95,8 @@ pub struct CompiledRule {
     /// DTD's) keeps memory proportional to the total size of the content
     /// models.
     local_syms: Vec<Sym>,
+    /// `bitset_cols[j]`: the bitset-NFA alphabet index of `local_syms[j]`.
+    bitset_cols: Vec<u32>,
     /// Ordered-membership strategy (symbols outside `local_syms` reject
     /// immediately at lookup time in either variant).
     ordered: OrderedCheck,
@@ -96,7 +128,7 @@ impl CompiledRule {
                 }
                 accepting[q]
             }
-            OrderedCheck::NfaSim { nfa_cols } => {
+            OrderedCheck::NfaSim => {
                 let mut current = self.bitset.start_mask().clone();
                 let mut next = crate::compiled::empty_mask_like(&self.bitset);
                 for s in children {
@@ -107,7 +139,7 @@ impl CompiledRule {
                         return false;
                     }
                     self.bitset
-                        .step_mask_into(&current, nfa_cols[j] as usize, &mut next);
+                        .step_mask_into(&current, self.bitset_cols[j] as usize, &mut next);
                     std::mem::swap(&mut current, &mut next);
                 }
                 self.bitset.accepts(&current)
@@ -175,6 +207,7 @@ impl CompiledDtd {
                 .collect();
             col_syms.sort();
             let local_syms: Vec<Sym> = col_syms.iter().map(|&(sym, _)| sym).collect();
+            let bitset_cols: Vec<u32> = col_syms.iter().map(|&(_, old_j)| old_j as u32).collect();
             let width = local_syms.len();
             let ordered = match bitset.to_dfa_capped(MAX_EAGER_DFA_WORK) {
                 Some(dfa) => {
@@ -191,9 +224,7 @@ impl CompiledDtd {
                         start: dfa.start() as u32,
                     }
                 }
-                None => OrderedCheck::NfaSim {
-                    nfa_cols: col_syms.iter().map(|&(_, old_j)| old_j as u32).collect(),
-                },
+                None => OrderedCheck::NfaSim,
             };
 
             let regex = dtd.rule(&el);
@@ -218,10 +249,14 @@ impl CompiledDtd {
                     } else {
                         // Repeated symbols are not the paper's nested-
                         // relational shape; fall back to the general check.
-                        UnorderedCheck::General
+                        UnorderedCheck::General {
+                            memo: SharedPermMemo::new(bitset.perm_memo()),
+                        }
                     }
                 }
-                None => UnorderedCheck::General,
+                None => UnorderedCheck::General {
+                    memo: SharedPermMemo::new(bitset.perm_memo()),
+                },
             };
 
             let mut attrs: Vec<AttrName> = dtd.attrs_of(&el).into_iter().collect();
@@ -232,6 +267,7 @@ impl CompiledDtd {
 
             rules.push(CompiledRule {
                 local_syms,
+                bitset_cols,
                 ordered,
                 attrs,
                 unordered,
@@ -329,12 +365,49 @@ impl CompiledDtd {
                 }
                 ci == counts.len()
             }
-            UnorderedCheck::General => {
-                let map: BTreeMap<ElementType, u64> = counts
-                    .iter()
-                    .map(|&(sym, c)| (self.elements.names()[sym.index()].clone(), c))
-                    .collect();
-                rule.bitset.perm_accepts(&map)
+            UnorderedCheck::General { memo } => {
+                // Straight from sparse `Sym` counts to the bitset NFA's
+                // alphabet indexing — no `BTreeMap<ElementType, u64>`
+                // transcription — and through the rule's warm `PermMemo`
+                // (shared across nodes, trees and threads), mirroring what
+                // `core::ordering::SiblingOrderMemo` does for the ordering
+                // path. The old path (`bitset_nfa(sym).perm_accepts`) stays
+                // available and the two are differential-tested.
+                let mut vec_counts = vec![0u64; rule.bitset.alphabet().len()];
+                for &(sym, count) in counts {
+                    match rule.local_syms.binary_search(&sym) {
+                        Ok(j) => vec_counts[rule.bitset_cols[j] as usize] = count,
+                        // A counted symbol outside the rule's alphabet can
+                        // never be consumed.
+                        Err(_) => return false,
+                    }
+                }
+                // The shared memo is only borrowed when free: the counting
+                // search can be long (worst-case exponential in the multiset),
+                // so holding the lock across it would serialize batch workers
+                // hitting the same rule. A contended caller searches on a
+                // fresh local memo instead — slower for that one query, never
+                // blocking.
+                match memo.0.try_lock() {
+                    Ok(mut shared) => {
+                        if shared.len() > MAX_SHARED_PERM_MEMO {
+                            shared.clear();
+                        }
+                        rule.bitset.perm_accepts_counts_memo(
+                            rule.bitset.start_mask(),
+                            &mut vec_counts,
+                            &mut shared,
+                        )
+                    }
+                    Err(_) => {
+                        let mut local = rule.bitset.perm_memo();
+                        rule.bitset.perm_accepts_counts_memo(
+                            rule.bitset.start_mask(),
+                            &mut vec_counts,
+                            &mut local,
+                        )
+                    }
+                }
             }
         }
     }
@@ -496,6 +569,7 @@ mod tests {
     use crate::tree::TreeBuilder;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
 
     fn source_dtd() -> Dtd {
         Dtd::builder("db")
@@ -562,6 +636,47 @@ mod tests {
     }
 
     #[test]
+    fn general_fallback_memo_matches_btreemap_path_on_chase_heavy_rules() {
+        // Chase-heavy shapes outside the nested-relational class: the
+        // memoised per-rule fallback must agree query-for-query with the
+        // old `BTreeMap<ElementType, u64>` transcription through
+        // `BitsetNfa::perm_accepts` — including queries that *repeat*
+        // (warm memo) and counted symbols outside the rule's alphabet.
+        for model in ["(a b)* (c d)*", "(a b c)*", "(a|b b)* c?", "a (b|c)* a"] {
+            let d = Dtd::builder("r")
+                .rule("r", model)
+                .rule("a", "eps")
+                .rule("b", "eps")
+                .rule("c", "eps")
+                .rule("d", "eps")
+                .build()
+                .unwrap();
+            let c = d.compiled();
+            let r = c.sym(&"r".into()).unwrap();
+            assert!(
+                matches!(c.rules[r.index()].unordered, UnorderedCheck::General { .. }),
+                "{model} must take the general fallback"
+            );
+            let mut rng = StdRng::seed_from_u64(7);
+            for round in 0..300 {
+                let counts: Vec<(Sym, u64)> = (0..c.num_elements())
+                    .map(|i| (Sym::from_index(i), rng.gen_range(0u64..4)))
+                    .filter(|&(_, n)| n > 0)
+                    .collect();
+                let fast = c.perm_accepts_counts(r, &counts);
+                let map: BTreeMap<ElementType, u64> = counts
+                    .iter()
+                    .map(|&(sym, n)| (c.elements().names()[sym.index()].clone(), n))
+                    .collect();
+                let reference = c.bitset_nfa(r).perm_accepts(&map);
+                assert_eq!(fast, reference, "{model} round {round} counts {counts:?}");
+                // Re-ask immediately: the warm memo must not flip the answer.
+                assert_eq!(c.perm_accepts_counts(r, &counts), reference);
+            }
+        }
+    }
+
+    #[test]
     fn general_fallback_on_non_nested_relational_rules() {
         let d = Dtd::builder("r").rule("r", "(a b)*").build().unwrap();
         let c = d.compiled();
@@ -592,10 +707,7 @@ mod tests {
         let dtd = b.build().unwrap();
         let c = dtd.compiled();
         let r = c.sym(&"r".into()).unwrap();
-        assert!(matches!(
-            c.rules[r.index()].ordered,
-            OrderedCheck::NfaSim { .. }
-        ));
+        assert!(matches!(c.rules[r.index()].ordered, OrderedCheck::NfaSim));
         let mut t = crate::tree::XmlTree::new("r");
         for i in 0..k {
             t.add_child(t.root(), format!("e{i}"));
@@ -631,10 +743,7 @@ mod tests {
         let dtd = Dtd::builder("r").rule("r", &model).build().unwrap();
         let c = dtd.compiled();
         let r = c.sym(&"r".into()).unwrap();
-        assert!(matches!(
-            c.rules[r.index()].ordered,
-            OrderedCheck::NfaSim { .. }
-        ));
+        assert!(matches!(c.rules[r.index()].ordered, OrderedCheck::NfaSim));
         // 'a' followed by n trailing symbols: accepted; n-1 trailing: not.
         let mut good = crate::tree::XmlTree::new("r");
         good.add_child(good.root(), "a");

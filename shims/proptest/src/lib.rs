@@ -152,11 +152,20 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Config { cases }
         }
+
+        /// The `PROPTEST_CASES` environment override, if set and parseable
+        /// (the real proptest honours the same variable). Deep-sweep CI jobs
+        /// use it to scale every property without touching the tests.
+        pub fn env_cases() -> Option<u32> {
+            std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+        }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 64 }
+            Config {
+                cases: Config::env_cases().unwrap_or(64),
+            }
         }
     }
 }

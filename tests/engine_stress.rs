@@ -126,6 +126,66 @@ fn concurrent_chases_share_repair_contexts() {
     });
 }
 
+/// One `Arc`'d engine — one shared `CompiledSetting`, one shared query plan
+/// per batch call — hammered by several threads running
+/// `certain_answers_batch` (each batch itself fanning out over the engine's
+/// worker pool) while other threads run mixed chases. Every slot of every
+/// concurrent batch must hold exactly the sequential path's output: same
+/// order, same certain-tuple sets, same solution sizes. This pins the
+/// planned evaluator's determinism under sharing: `PatternPlan`s live in the
+/// compiled setting and are read concurrently; `TreeIndex`es are per-tree.
+#[test]
+fn shared_engine_certain_answers_batch_across_threads() {
+    const THREADS: usize = 5;
+    const ROUNDS: usize = 6;
+    let setting = books_to_writers_setting();
+    let trees = sources(10);
+    let query = title_query();
+
+    // Sequential reference: a separate engine pinned to parallelism 1, so
+    // the shared engine starts cold and threads race on its cache fills.
+    let sequential = BatchEngine::new(&setting).parallelism(1);
+    let expected: Vec<(BTreeSet<Vec<String>>, usize)> = sequential
+        .certain_answers_batch(&trees, &query)
+        .into_iter()
+        .map(|r| {
+            let answers = r.unwrap();
+            (answers.tuples, answers.solution.size())
+        })
+        .collect();
+
+    let engine = Arc::new(BatchEngine::new(&setting).parallelism(3));
+    std::thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let trees = &trees;
+            let query = &query;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    if (round + thread_id) % 3 == 0 {
+                        // Mixed load on the same compiled caches.
+                        let i = (round + thread_id) % trees.len();
+                        let solution = engine.compiled().canonical_solution(&trees[i]).unwrap();
+                        assert_eq!(solution.size(), expected[i].1, "tree {i}");
+                    }
+                    let got = engine.certain_answers_batch(trees, query);
+                    assert_eq!(got.len(), expected.len());
+                    for (i, r) in got.into_iter().enumerate() {
+                        let answers = r.unwrap();
+                        assert_eq!(answers.tuples, expected[i].0, "slot {i} match set");
+                        assert_eq!(
+                            answers.solution.size(),
+                            expected[i].1,
+                            "slot {i} solution size"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
