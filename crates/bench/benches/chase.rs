@@ -1,0 +1,108 @@
+//! Experiment E13 — Section 6.1, the chase itself: restart-scan reference
+//! vs the worklist (dirty-queue) chase.
+//!
+//! Three presolution shapes isolate the chase from pattern evaluation and
+//! instantiation (trees are generated directly, then chased):
+//!
+//! * `repair_light/…` — complete structure, missing attributes: no
+//!   structural repairs, both implementations do one pass (parity check);
+//! * `repair_heavy/…` — `Θ(n)` merge/extend repairs: the reference restarts
+//!   its `O(n)` scan after each (`O(n²)` total), the worklist re-checks
+//!   only the touched nodes (`O(n)`);
+//! * `deep/…` — a `d → d? e` chain missing every `e`: one repair per level,
+//!   quadratic restart cost vs linear worklist cost.
+//!
+//! Every iteration clones the input tree (both rows pay the same clone).
+//! `XDX_BENCH_FAST=1` shrinks the sweep and the measurement window — the CI
+//! smoke step uses it so the bench cannot rot without failing fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::{chase_deep_setting, chase_deep_tree, chase_setting, chase_tree};
+use xdx_core::solution::chase_reference;
+use xdx_core::CompiledSetting;
+use xdx_xmltree::NullGen;
+
+fn fast_mode() -> bool {
+    std::env::var("XDX_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn bench(c: &mut Criterion) {
+    let fast = fast_mode();
+    let mut group = c.benchmark_group("chase");
+    if fast {
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(30))
+            .measurement_time(Duration::from_millis(120));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(900));
+    }
+
+    let sizes: &[usize] = if fast { &[80] } else { &[80, 160, 320, 640] };
+    let setting = chase_setting();
+    let compiled = CompiledSetting::new(&setting);
+    for shape in ["repair_light", "repair_heavy"] {
+        for &nodes in sizes {
+            let tree = chase_tree(shape, nodes);
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference/{shape}"), nodes),
+                &tree,
+                |b, tree| {
+                    b.iter(|| {
+                        let mut t = tree.clone();
+                        chase_reference(&mut t, &setting, &mut NullGen::new()).unwrap();
+                        t
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("worklist/{shape}"), nodes),
+                &tree,
+                |b, tree| {
+                    b.iter(|| {
+                        let mut t = tree.clone();
+                        compiled.chase(&mut t, &mut NullGen::new()).unwrap();
+                        t
+                    })
+                },
+            );
+        }
+    }
+
+    let deep_setting = chase_deep_setting();
+    let deep_compiled = CompiledSetting::new(&deep_setting);
+    let depths: &[usize] = if fast { &[64] } else { &[64, 128, 256, 512] };
+    for &depth in depths {
+        let tree = chase_deep_tree(depth);
+        group.bench_with_input(
+            BenchmarkId::new("reference/deep", depth),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let mut t = tree.clone();
+                    chase_reference(&mut t, &deep_setting, &mut NullGen::new()).unwrap();
+                    t
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("worklist/deep", depth),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let mut t = tree.clone();
+                    deep_compiled.chase(&mut t, &mut NullGen::new()).unwrap();
+                    t
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -231,6 +231,108 @@ pub fn balanced_word(k: usize, reps: usize) -> Vec<String> {
     out
 }
 
+/// The flat setting of the chase experiment (E13). The target schema makes
+/// `ChangeReg` do real structural work: every `sec` needs exactly one
+/// `title` (absences extend, duplicates merge) and `par`s are free; `meta`
+/// is at-most-one at the root. The STD forces `doc`/`sec`/`title` into the
+/// compiled chase's shared repair-context alphabet; the chase benches drive
+/// the chase directly on generated presolution-shaped trees.
+pub fn chase_setting() -> DataExchangeSetting {
+    let source_dtd = Dtd::builder("src")
+        .rule("src", "item*")
+        .attributes("item", ["@v"])
+        .build()
+        .expect("well-formed E13 source DTD");
+    let target_dtd = Dtd::builder("doc")
+        .rule("doc", "sec* meta?")
+        .rule("sec", "title par*")
+        .rule("title", "eps")
+        .rule("par", "eps")
+        .rule("meta", "eps")
+        .attributes("sec", ["@id"])
+        .attributes("title", ["@t"])
+        .attributes("par", ["@w"])
+        .build()
+        .expect("well-formed E13 target DTD");
+    let std = Std::parse("doc[sec(@id=$x)[title(@t=$x)]] :- src[item(@v=$x)]")
+        .expect("well-formed E13 STD");
+    DataExchangeSetting::new(source_dtd, target_dtd, vec![std])
+}
+
+/// A presolution-shaped tree for [`chase_setting`] with roughly `num_nodes`
+/// nodes.
+///
+/// * `repair_light` — complete `sec[title par]` fragments whose
+///   attributes are all missing: the chase only runs `ChangeAtt` fills, no
+///   structural repairs (every node is visited exactly once either way).
+/// * `repair_heavy` — half the `sec`s are empty (a repair must invent the
+///   `title`) and half carry three duplicate `title`s (a repair must merge
+///   them), so the chase performs `Θ(n)` repairs: the restart-scan
+///   reference pays `O(n)` per repair, the worklist chase `O(1)`.
+pub fn chase_tree(shape: &str, num_nodes: usize) -> XmlTree {
+    let mut tree = XmlTree::new("doc");
+    let mut nodes = 1usize;
+    let mut sec_index = 0usize;
+    while nodes < num_nodes {
+        let sec = tree.add_child(tree.root(), "sec");
+        nodes += 1;
+        sec_index += 1;
+        match shape {
+            "repair_light" => {
+                // Complete structure, missing attributes: `ChangeAtt` fills
+                // @id/@t/@w with fresh nulls, `ChangeReg` never fires.
+                tree.add_child(sec, "title");
+                tree.add_child(sec, "par");
+                nodes += 2;
+            }
+            "repair_heavy" => {
+                if sec_index.is_multiple_of(2) {
+                    // Duplicate titles with one shared constant: the chase
+                    // merges them (constants equal, so no clash).
+                    for _ in 0..3 {
+                        let title = tree.add_child(sec, "title");
+                        tree.set_attr(title, "@t", "t");
+                        nodes += 1;
+                    }
+                }
+                // Odd secs stay empty: the chase must invent the title.
+            }
+            other => panic!("unknown chase tree shape {other:?}"),
+        }
+    }
+    tree
+}
+
+/// The deep-nesting setting of E13: `r → d`, `d → d? e`, so a chain of `d`s
+/// missing their `e` children needs one repair per level — the restart-scan
+/// reference re-walks the whole chain after each, the worklist chase does
+/// not.
+pub fn chase_deep_setting() -> DataExchangeSetting {
+    let source_dtd = Dtd::builder("src")
+        .rule("src", "eps")
+        .build()
+        .expect("well-formed E13 deep source DTD");
+    let target_dtd = Dtd::builder("r")
+        .rule("r", "d")
+        .rule("d", "d? e")
+        .rule("e", "eps")
+        .attributes("e", ["@v"])
+        .build()
+        .expect("well-formed E13 deep target DTD");
+    DataExchangeSetting::new(source_dtd, target_dtd, vec![])
+}
+
+/// A `depth`-deep chain of `d` nodes under the `r` root of
+/// [`chase_deep_setting`], every `d` missing its mandatory `e` child.
+pub fn chase_deep_tree(depth: usize) -> XmlTree {
+    let mut tree = XmlTree::new("r");
+    let mut node = tree.root();
+    for _ in 0..depth {
+        node = tree.add_child(node, "d");
+    }
+    tree
+}
+
 /// The regular-expression zoo used by the univocality experiment: pairs of a
 /// display name and the expression.
 pub fn univocality_zoo() -> Vec<(&'static str, Regex<String>)> {
@@ -273,6 +375,33 @@ mod tests {
         assert!(is_solution(&setting, &source, &solution, false));
         let answers = certain_answers(&setting, &source, &clio_query()).unwrap();
         assert!(!answers.tuples.is_empty());
+    }
+
+    #[test]
+    fn chase_workloads_chase_identically_on_both_paths() {
+        use xdx_core::solution::chase_reference;
+        use xdx_core::CompiledSetting;
+        use xdx_xmltree::NullGen;
+        for (setting, trees) in [
+            (
+                chase_setting(),
+                vec![
+                    chase_tree("repair_light", 60),
+                    chase_tree("repair_heavy", 60),
+                ],
+            ),
+            (chase_deep_setting(), vec![chase_deep_tree(40)]),
+        ] {
+            let compiled = CompiledSetting::new(&setting);
+            for tree in trees {
+                let mut reference = tree.clone();
+                chase_reference(&mut reference, &setting, &mut NullGen::new()).unwrap();
+                let mut worklist = tree.clone();
+                compiled.chase(&mut worklist, &mut NullGen::new()).unwrap();
+                assert!(worklist.unordered_eq(&reference));
+                assert!(setting.target_dtd.conforms_unordered(&worklist));
+            }
+        }
     }
 
     #[test]

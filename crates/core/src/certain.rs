@@ -6,8 +6,9 @@
 //! univocal target DTDs, it can be computed by evaluating `Q` over the
 //! canonical solution and keeping the tuples built from constants only.
 
+use crate::compiled::CompiledSetting;
 use crate::setting::DataExchangeSetting;
-use crate::solution::{canonical_solution, SolutionError};
+use crate::solution::SolutionError;
 use std::collections::BTreeSet;
 use xdx_patterns::plan::{QueryPlan, TreeIndex};
 use xdx_patterns::query::UnionQuery;
@@ -45,11 +46,14 @@ pub fn certain_answers(
     source_tree: &XmlTree,
     query: &UnionQuery,
 ) -> Result<CertainAnswers, SolutionError> {
-    let solution = canonical_solution(setting, source_tree)?;
+    // One compiled setting serves both the canonical solution (worklist
+    // chase, template stamping) and the query planning below.
+    let compiled = CompiledSetting::new(setting);
+    let solution = compiled.canonical_solution(source_tree)?;
     // The solution conforms (unordered) to the target DTD, so the query is
     // planned against the target DTD's symbol table.
-    let plan = QueryPlan::new(query, setting.target_dtd.compiled());
-    let index = TreeIndex::new(&solution, setting.target_dtd.compiled());
+    let plan = QueryPlan::new(query, compiled.target_dtd());
+    let index = TreeIndex::new(&solution, compiled.target_dtd());
     let tuples = certain_tuples_planned(&solution, &plan, &index);
     Ok(CertainAnswers { tuples, solution })
 }
@@ -93,9 +97,10 @@ pub fn certain_answers_boolean(
     source_tree: &XmlTree,
     query: &UnionQuery,
 ) -> Result<bool, SolutionError> {
-    let solution = canonical_solution(setting, source_tree)?;
-    let plan = QueryPlan::new(query, setting.target_dtd.compiled());
-    let index = TreeIndex::new(&solution, setting.target_dtd.compiled());
+    let compiled = CompiledSetting::new(setting);
+    let solution = compiled.canonical_solution(source_tree)?;
+    let plan = QueryPlan::new(query, compiled.target_dtd());
+    let index = TreeIndex::new(&solution, compiled.target_dtd());
     Ok(plan.evaluate_boolean(&solution, &index))
 }
 

@@ -23,10 +23,10 @@
 
 use crate::consistency::{ConsistencyMethod, ConsistencyVerdict};
 use crate::setting::DataExchangeSetting;
-use crate::solution::{
-    apply_change_reg, children_multiset, instantiate_target_with, SolutionError,
-};
+use crate::solution::{apply_change_reg, chase_budget, children_multiset, SolutionError};
+use crate::template::TargetTemplate;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -36,7 +36,8 @@ use xdx_patterns::plan::{PatternPlan, TreeIndex};
 use xdx_patterns::{TreePattern, Var};
 use xdx_relang::repair::{RepairConfig, RepairContext};
 use xdx_xmltree::{
-    compiled::sparse_counts, CompiledDtd, DtdError, ElementType, NullGen, Sym, Value, XmlTree,
+    compiled::sparse_counts, CompiledDtd, DtdError, ElementType, NodeId, NullGen, Sym, Value,
+    XmlTree,
 };
 
 /// One STD with its setting-dependent analyses precomputed.
@@ -58,6 +59,10 @@ pub struct CompiledStd {
     source_plan: OnceLock<PatternPlan>,
     /// The target pattern's join-ordered evaluation plan (lazy, see above).
     target_plan: OnceLock<PatternPlan>,
+    /// The target pattern flattened for template stamping (`None` exactly
+    /// when the target uses a wildcard or is not fully specified — those
+    /// STDs error out of pre-solution construction before instantiation).
+    target_template: Option<TargetTemplate>,
     /// `ϕ°` — the attribute-erased source pattern (Claim 4.2).
     pub erased_source: TreePattern,
     /// `ψ°` — the attribute-erased target pattern.
@@ -205,8 +210,11 @@ impl<'s> CompiledSetting<'s> {
                 // (`Std::{shared,target_only}_vars` would each redo both).
                 let source_vars = std.source.free_vars();
                 let target_vars = std.target.free_vars();
+                let shared_vars: BTreeSet<Var> =
+                    source_vars.intersection(&target_vars).cloned().collect();
                 CompiledStd {
-                    shared_vars: source_vars.intersection(&target_vars).cloned().collect(),
+                    target_template: TargetTemplate::new(&std.target, &shared_vars),
+                    shared_vars,
                     target_only_vars: target_vars.difference(&source_vars).cloned().collect(),
                     source_plan: OnceLock::new(),
                     target_plan: OnceLock::new(),
@@ -264,7 +272,10 @@ impl<'s> CompiledSetting<'s> {
         nulls: &mut NullGen,
     ) -> Result<XmlTree, SolutionError> {
         let mut tree = XmlTree::new(self.setting.target_dtd.root().clone());
+        let root = tree.root();
         let index = TreeIndex::new(source_tree, self.source);
+        let mut shared_scratch: Vec<Value> = Vec::new();
+        let mut null_scratch: Vec<Value> = Vec::new();
         for (std_index, cstd) in self.stds.iter().enumerate() {
             if cstd.target_uses_wildcard {
                 return Err(SolutionError::WildcardInTarget { std_index });
@@ -272,22 +283,30 @@ impl<'s> CompiledSetting<'s> {
             if !cstd.target_fully_specified {
                 return Err(SolutionError::NotFullySpecified { std_index });
             }
+            let template = cstd
+                .target_template
+                .as_ref()
+                .expect("fully-specified, wildcard-free targets always have a template");
             // Matches restricted to the shared variables, deduplicated
             // (instantiations that differ only in source-only variables are
             // homomorphically equivalent); restriction and dedup run on
-            // interned assignment ids inside the plan's store.
+            // interned assignment ids inside the plan's store, and each
+            // surviving match is template-stamped — bulk arena reservation
+            // plus slot fills, no per-match recursion or `BTreeMap`.
             cstd.source_plan().try_for_each_restricted_match(
                 source_tree,
                 &index,
                 &cstd.shared_vars,
                 |restricted| {
-                    instantiate_target_with(
+                    template.stamp(
                         &mut tree,
-                        &self.setting.stds[std_index].target,
-                        &cstd.target_only_vars,
+                        root,
                         restricted,
                         nulls,
-                    )
+                        &mut shared_scratch,
+                        &mut null_scratch,
+                    );
+                    Ok::<(), SolutionError>(())
                 },
             )?;
         }
@@ -296,9 +315,47 @@ impl<'s> CompiledSetting<'s> {
 
     /// Run the chase of Section 6.1 (`ChangeAtt` / `ChangeReg`) on `tree`
     /// (compiled fast path of [`crate::solution::chase`]).
+    ///
+    /// Unlike the reference (which re-snapshots `tree.nodes()` and restarts
+    /// its full scan after every `ChangeReg` — `O(n)` per repair, `O(n²)`
+    /// chases on repair-heavy trees), this is a **worklist chase**: both
+    /// chase steps are local to one node (`ChangeAtt` reads and writes only
+    /// the node's own attributes; `ChangeReg` only its child multiset), so
+    /// a repair at `n` cannot invalidate the check of any node it did not
+    /// create or merge. The queue is seeded with every node once, in
+    /// document order; after a repair only `n` itself and the nodes the
+    /// step created (fresh empty children, the merge survivor) are
+    /// re-enqueued, and merged-away children are skipped when popped. Each
+    /// node is therefore visited `1 + (its own repairs)` times.
+    ///
+    /// The chase is confluent up to null renaming and sibling order, so the
+    /// different visit order produces [`XmlTree::unordered_eq`]-identical
+    /// results; when several *independent* unrepairable violations exist,
+    /// which one is reported can differ from the reference (whose own
+    /// report order is an artefact of its restart scan). The randomized
+    /// harness in `tests/chase_differential.rs` pins both behaviours.
     pub fn chase(&self, tree: &mut XmlTree, nulls: &mut NullGen) -> Result<(), SolutionError> {
+        self.chase_with_budget(tree, nulls, chase_budget(tree.size()))
+    }
+
+    /// As [`CompiledSetting::chase`] with an explicit step budget — a
+    /// testing hook so the differential harness can drive both chase
+    /// implementations into `ChaseBudgetExceeded` without 100 000-step
+    /// runs. One *applied repair* is one step, closely mirroring the
+    /// reference, whose restart scans perform at most one repair each (it
+    /// additionally counts repair-free scans, so exact step counts differ
+    /// by a small constant and tiny budgets can split the verdict — only
+    /// exhaustion on unboundedly growing chases is pinned across the two).
+    /// Pops that repair nothing are not counted; they are bounded by
+    /// `initial nodes + nodes created by counted repairs`, so termination
+    /// still only depends on the budget.
+    pub fn chase_with_budget(
+        &self,
+        tree: &mut XmlTree,
+        nulls: &mut NullGen,
+        budget: usize,
+    ) -> Result<(), SolutionError> {
         let repair_config = RepairConfig::default();
-        let budget = 100_000usize.max(100 * tree.size());
         let mut steps = 0usize;
         let mut counts_sparse: Vec<(Sym, u64)> = Vec::new();
         let mut child_syms: Vec<Sym> = Vec::new();
@@ -306,136 +363,167 @@ impl<'s> CompiledSetting<'s> {
         // one (labels forced by neither content models nor STDs).
         let mut overrides: BTreeMap<ElementType, RepairContext<ElementType>> = BTreeMap::new();
 
-        'outer: loop {
+        // The dirty queue, seeded with every reachable node in document
+        // order; `queued` (indexed by arena slot) keeps membership O(1).
+        let mut queue: VecDeque<NodeId> = tree.preorder().collect();
+        let mut queued = vec![false; tree.arena_len()];
+        for &n in &queue {
+            queued[n.index()] = true;
+        }
+        fn enqueue(queue: &mut VecDeque<NodeId>, queued: &mut Vec<bool>, node: NodeId) {
+            if queued.len() <= node.index() {
+                queued.resize(node.index() + 1, false);
+            }
+            if !queued[node.index()] {
+                queued[node.index()] = true;
+                queue.push_back(node);
+            }
+        }
+
+        while let Some(node) = queue.pop_front() {
+            queued[node.index()] = false;
+            // Merged-away children are detached by `ChangeReg`; their queue
+            // entries are stale and simply expire here.
+            if node != tree.root() && tree.parent(node).is_none() {
+                continue;
+            }
+            let Some(sym) = self.target.sym(tree.label(node)) else {
+                // An undeclared label at the root has no repairing parent:
+                // report it. Anywhere else the node's *parent* is doomed —
+                // no multiset containing an undeclared symbol is repairable
+                // — and the parent is popped (or merged into a survivor
+                // that is re-enqueued) in every run, so deferring to its
+                // `NoRepair` reproduces the reference scan, which always
+                // reaches the failing parent before the undeclared child.
+                if node == tree.root() {
+                    return Err(SolutionError::UnknownTargetElement {
+                        element: tree.label(node).clone(),
+                    });
+                }
+                continue;
+            };
+            let label = self.target.element(sym);
+            // --- ChangeAtt -------------------------------------------------
+            // Filling allowed-but-missing attributes cannot invalidate any
+            // check (no other step reads this node's attributes), so attr
+            // fills never re-enqueue anything.
+            let allowed = self.target.attrs(sym);
+            for attr in tree.attrs(node).keys() {
+                if allowed.binary_search(attr).is_err() {
+                    return Err(SolutionError::DisallowedAttribute {
+                        element: label.clone(),
+                        attr: attr.clone(),
+                    });
+                }
+            }
+            for attr in allowed {
+                if tree.attr(node, attr).is_none() {
+                    tree.set_attr(node, attr.clone(), nulls.fresh_value());
+                }
+            }
+            // --- ChangeReg -------------------------------------------------
+            // Fast accept: all children interned and the count vector is
+            // in the permutation language (bounds or bitset search).
+            child_syms.clear();
+            let mut all_known = true;
+            for &c in tree.children(node) {
+                match self.target.sym(tree.label(c)) {
+                    Some(s) => child_syms.push(s),
+                    None => {
+                        all_known = false;
+                        break;
+                    }
+                }
+            }
+            if all_known {
+                sparse_counts(&mut child_syms, &mut counts_sparse);
+                if self.target.perm_accepts_counts(sym, &counts_sparse) {
+                    continue;
+                }
+            }
+            // Slow path: full repair machinery, mirroring the reference
+            // chase step for step. The shared per-element context covers
+            // the content-model alphabet plus every STD-forced element;
+            // when a child label falls outside even that, a per-chase
+            // override context is built exactly as the reference does.
+            let child_counts = children_multiset(tree, node);
+            let shared = self.repair_contexts.get_or_build(sym, || {
+                RepairContext::new(
+                    &self.setting.target_dtd.rule(label),
+                    self.forced_target_elements.iter().cloned(),
+                )
+            });
+            let ctx: &RepairContext<ElementType> = if child_counts
+                .keys()
+                .any(|k| shared.alphabet().index(k).is_none())
+            {
+                let needs_rebuild = match overrides.get(label) {
+                    Some(ctx) => child_counts
+                        .keys()
+                        .any(|k| ctx.alphabet().index(k).is_none()),
+                    None => true,
+                };
+                if needs_rebuild {
+                    overrides.insert(
+                        label.clone(),
+                        RepairContext::new(
+                            &self.setting.target_dtd.rule(label),
+                            child_counts.keys().cloned(),
+                        ),
+                    );
+                }
+                overrides.get(label).expect("context ensured above")
+            } else {
+                &shared
+            };
+            if ctx.perm_contains(&child_counts) {
+                continue;
+            }
+            let maximum = match ctx.maximum_repair(&child_counts, &repair_config) {
+                Ok(m) => m,
+                Err(e) => {
+                    return Err(SolutionError::RepairBudgetExceeded {
+                        message: e.to_string(),
+                    })
+                }
+            };
+            let Some(target_counts) = maximum else {
+                let any = ctx
+                    .rep(&child_counts, &repair_config)
+                    .map(|r| !r.is_empty())
+                    .unwrap_or(false);
+                return Err(if any {
+                    SolutionError::NoMaximumRepair {
+                        element: label.clone(),
+                    }
+                } else {
+                    SolutionError::NoRepair {
+                        element: label.clone(),
+                    }
+                });
+            };
             steps += 1;
             if steps > budget {
                 return Err(SolutionError::ChaseBudgetExceeded { steps });
             }
-            let nodes = tree.nodes();
-            let mut changed = false;
-            for node in nodes {
-                let Some(sym) = self.target.sym(tree.label(node)) else {
-                    return Err(SolutionError::UnknownTargetElement {
-                        element: tree.label(node).clone(),
-                    });
-                };
-                let label = self.target.element(sym);
-                // --- ChangeAtt ---------------------------------------------
-                let allowed = self.target.attrs(sym);
-                for attr in tree.attrs(node).keys() {
-                    if allowed.binary_search(attr).is_err() {
-                        return Err(SolutionError::DisallowedAttribute {
-                            element: label.clone(),
-                            attr: attr.clone(),
-                        });
-                    }
-                }
-                for attr in allowed {
-                    if tree.attr(node, attr).is_none() {
-                        tree.set_attr(node, attr.clone(), nulls.fresh_value());
-                        changed = true;
-                    }
-                }
-                // --- ChangeReg ---------------------------------------------
-                // Fast accept: all children interned and the count vector is
-                // in the permutation language (bounds or bitset search).
-                child_syms.clear();
-                let mut all_known = true;
-                for &c in tree.children(node) {
-                    match self.target.sym(tree.label(c)) {
-                        Some(s) => child_syms.push(s),
-                        None => {
-                            all_known = false;
-                            break;
-                        }
-                    }
-                }
-                if all_known {
-                    sparse_counts(&mut child_syms, &mut counts_sparse);
-                    if self.target.perm_accepts_counts(sym, &counts_sparse) {
-                        continue;
-                    }
-                }
-                // Slow path: full repair machinery, mirroring the reference
-                // chase step for step. The shared per-element context covers
-                // the content-model alphabet plus every STD-forced element;
-                // when a child label falls outside even that, a per-chase
-                // override context is built exactly as the reference does.
-                let child_counts = children_multiset(tree, node);
-                let mutated = {
-                    let shared = self.repair_contexts.get_or_build(sym, || {
-                        RepairContext::new(
-                            &self.setting.target_dtd.rule(label),
-                            self.forced_target_elements.iter().cloned(),
-                        )
-                    });
-                    let ctx: &RepairContext<ElementType> = if child_counts
-                        .keys()
-                        .any(|k| shared.alphabet().index(k).is_none())
-                    {
-                        let needs_rebuild = match overrides.get(label) {
-                            Some(ctx) => child_counts
-                                .keys()
-                                .any(|k| ctx.alphabet().index(k).is_none()),
-                            None => true,
-                        };
-                        if needs_rebuild {
-                            overrides.insert(
-                                label.clone(),
-                                RepairContext::new(
-                                    &self.setting.target_dtd.rule(label),
-                                    child_counts.keys().cloned(),
-                                ),
-                            );
-                        }
-                        overrides.get(label).expect("context ensured above")
-                    } else {
-                        &shared
-                    };
-                    if ctx.perm_contains(&child_counts) {
-                        false
-                    } else {
-                        let maximum = match ctx.maximum_repair(&child_counts, &repair_config) {
-                            Ok(m) => m,
-                            Err(e) => {
-                                return Err(SolutionError::RepairBudgetExceeded {
-                                    message: e.to_string(),
-                                })
-                            }
-                        };
-                        let Some(target_counts) = maximum else {
-                            let any = ctx
-                                .rep(&child_counts, &repair_config)
-                                .map(|r| !r.is_empty())
-                                .unwrap_or(false);
-                            return Err(if any {
-                                SolutionError::NoMaximumRepair {
-                                    element: label.clone(),
-                                }
-                            } else {
-                                SolutionError::NoRepair {
-                                    element: label.clone(),
-                                }
-                            });
-                        };
-                        apply_change_reg(
-                            tree,
-                            node,
-                            label,
-                            &child_counts,
-                            &target_counts,
-                            &self.setting.target_dtd,
-                        )?;
-                        true
-                    }
-                };
-                if mutated {
-                    // Structure changed: re-snapshot the node list.
-                    continue 'outer;
-                }
-            }
-            if !changed {
-                break;
+            let arena_before = tree.arena_len();
+            apply_change_reg(
+                tree,
+                node,
+                label,
+                &child_counts,
+                &target_counts,
+                &self.setting.target_dtd,
+            )?;
+            // Re-enqueue the repaired node (defensive: its new multiset is a
+            // repair, hence already in the permutation language — the
+            // re-visit is one cheap fast-accept) and every node the step
+            // allocated: fresh empty children need their own `ChangeAtt` /
+            // `ChangeReg`, and a merge survivor's unioned child multiset
+            // must be re-checked. Nothing else can have been invalidated.
+            enqueue(&mut queue, &mut queued, node);
+            for created in arena_before..tree.arena_len() {
+                enqueue(&mut queue, &mut queued, NodeId::from_index(created));
             }
         }
         Ok(())

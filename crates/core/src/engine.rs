@@ -260,6 +260,50 @@ mod tests {
     }
 
     #[test]
+    fn repair_heavy_batches_match_the_reference_chase() {
+        // A target whose chase must do real structural work per document:
+        // every exported entry forces a `detail` sibling chain
+        // (entry → meta detail, both invented by `ChangeReg`), so this
+        // drives the worklist chase — concurrently, on shared warm repair
+        // contexts — and pins its results to the restart-scan reference.
+        use crate::setting::Std;
+        use crate::solution::canonical_solution_reference;
+        use xdx_xmltree::Dtd;
+        let source_dtd = Dtd::builder("src")
+            .rule("src", "rec*")
+            .attributes("rec", ["@k"])
+            .build()
+            .unwrap();
+        let target_dtd = Dtd::builder("out")
+            .rule("out", "entry*")
+            .rule("entry", "meta detail")
+            .rule("meta", "eps")
+            .rule("detail", "eps")
+            .attributes("entry", ["@k"])
+            .attributes("detail", ["@d"])
+            .build()
+            .unwrap();
+        let std = Std::parse("out[entry(@k=$x)] :- src[rec(@k=$x)]").unwrap();
+        let setting = DataExchangeSetting::new(source_dtd, target_dtd, vec![std]);
+        let trees: Vec<XmlTree> = (1..10)
+            .map(|n| {
+                let mut t = XmlTree::new("src");
+                for i in 0..n {
+                    let r = t.add_child(t.root(), "rec");
+                    t.set_attr(r, "@k", format!("k{i}"));
+                }
+                t
+            })
+            .collect();
+        let engine = BatchEngine::new(&setting).parallelism(4);
+        let got = engine.canonical_solutions_batch(&trees);
+        for (tree, result) in trees.iter().zip(got) {
+            let want = canonical_solution_reference(&setting, tree).unwrap();
+            assert!(result.unwrap().unordered_eq(&want));
+        }
+    }
+
+    #[test]
     fn inconsistent_documents_are_reported_in_place() {
         let setting = books_to_writers_setting();
         let mut trees = sources(3);

@@ -45,6 +45,7 @@ pub mod gadgets;
 pub mod ordering;
 pub mod setting;
 pub mod solution;
+mod template;
 
 pub use certain::{
     certain_answers, certain_answers_boolean, certain_tuples, certain_tuples_planned,

@@ -275,8 +275,10 @@ fn build_instance(
 /// Run the chase of Section 6.1 (`ChangeAtt` / `ChangeReg`) on `tree` until
 /// it weakly conforms to the target DTD or fails.
 ///
-/// Runs on the compiled fast path; the original implementation is kept as
-/// [`chase_reference`].
+/// Runs on the compiled fast path — a worklist (dirty-queue) chase that
+/// re-checks only the nodes a repair actually touched; the original
+/// restart-the-world implementation is kept as [`chase_reference`] and
+/// frozen as the differential oracle.
 pub fn chase(
     tree: &mut XmlTree,
     setting: &DataExchangeSetting,
@@ -285,17 +287,36 @@ pub fn chase(
     crate::compiled::CompiledSetting::new(setting).chase(tree, nulls)
 }
 
+/// The default chase step budget for a tree that starts at `tree_size`
+/// nodes. Only unsatisfiable target element types (which consistent DTDs do
+/// not have) can exhaust it; both chase implementations use this formula.
+pub fn chase_budget(tree_size: usize) -> usize {
+    100_000usize.max(100 * tree_size)
+}
+
 /// Reference implementation of [`chase`] (rebuilds repair contexts per call,
-/// clones labels and attribute sets per node).
+/// re-snapshots the node list and restarts its scan after every repair).
 pub fn chase_reference(
     tree: &mut XmlTree,
     setting: &DataExchangeSetting,
     nulls: &mut NullGen,
 ) -> Result<(), SolutionError> {
+    let budget = chase_budget(tree.size());
+    chase_reference_with_budget(tree, setting, nulls, budget)
+}
+
+/// As [`chase_reference`] with an explicit step budget (one full scan is one
+/// step) — a testing hook so the differential harness can drive both chase
+/// implementations into `ChaseBudgetExceeded` without 100 000-step runs.
+pub fn chase_reference_with_budget(
+    tree: &mut XmlTree,
+    setting: &DataExchangeSetting,
+    nulls: &mut NullGen,
+    budget: usize,
+) -> Result<(), SolutionError> {
     let dtd = &setting.target_dtd;
     let mut repair_contexts: BTreeMap<ElementType, RepairContext<ElementType>> = BTreeMap::new();
     let repair_config = RepairConfig::default();
-    let budget = 100_000usize.max(100 * tree.size());
     let mut steps = 0usize;
 
     'outer: loop {
@@ -312,11 +333,13 @@ pub fn chase_reference(
             }
             // --- ChangeAtt -------------------------------------------------
             let allowed = dtd.attrs_of(&label);
-            for attr in tree.attrs(node).keys().cloned().collect::<Vec<_>>() {
-                if !allowed.contains(&attr) {
+            // The disallowed-attribute check never mutates, so the keys can
+            // be read straight off the `BTreeMap` (no per-scan clone).
+            for attr in tree.attrs(node).keys() {
+                if !allowed.contains(attr) {
                     return Err(SolutionError::DisallowedAttribute {
                         element: label.clone(),
-                        attr,
+                        attr: attr.clone(),
                     });
                 }
             }

@@ -39,7 +39,7 @@ use crate::pattern::{LabelTest, TreePattern, Var};
 use crate::query::UnionQuery;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
-use xdx_xmltree::{CompiledDtd, ElementType, NodeId, Sym, Value, XmlTree};
+use xdx_xmltree::{AttrName, CompiledDtd, ElementType, NodeId, Sym, Value, XmlTree};
 
 // ---------------------------------------------------------------------------
 // FxHash-style hashing
@@ -203,7 +203,14 @@ pub struct TreeIndex {
     by_sym: Vec<Vec<NodeId>>,
     /// Candidate buckets for uninterned labels, keyed by the label itself.
     by_label: FxHashMap<ElementType, Vec<NodeId>>,
-    /// Every node, in preorder (wildcard candidates).
+    /// Candidate buckets per attribute name (`@a` → nodes carrying `@a`, in
+    /// preorder). A match of any attribute formula must carry every bound
+    /// attribute, so for binding-guarded *wildcard* tests the smallest
+    /// binding's bucket is a complete candidate set — no preorder scan.
+    /// Built lazily on the first such lookup: most plans contain no
+    /// binding-guarded wildcard, and those pay nothing for the map.
+    by_attr: std::sync::OnceLock<FxHashMap<AttrName, Vec<NodeId>>>,
+    /// Every node, in preorder (bare-wildcard candidates).
     nodes: Vec<NodeId>,
 }
 
@@ -248,8 +255,24 @@ impl TreeIndex {
             labels,
             by_sym,
             by_label,
+            by_attr: std::sync::OnceLock::new(),
             nodes,
         }
+    }
+
+    /// The `@a → nodes` buckets, built on first use from the preorder list
+    /// (`tree` must be the tree this index was built over, like every other
+    /// lookup on the index).
+    fn attr_buckets(&self, tree: &XmlTree) -> &FxHashMap<AttrName, Vec<NodeId>> {
+        self.by_attr.get_or_init(|| {
+            let mut map: FxHashMap<AttrName, Vec<NodeId>> = FxHashMap::default();
+            for &node in &self.nodes {
+                for attr in tree.attrs(node).keys() {
+                    map.entry(attr.clone()).or_default().push(node);
+                }
+            }
+            map
+        })
     }
 
     /// The interned label of `node` (`None` when the DTD does not declare
@@ -259,10 +282,32 @@ impl TreeIndex {
         self.labels[node.index()]
     }
 
-    /// The candidate nodes of a label test, in preorder.
-    fn candidates(&self, label: &CompiledLabelTest) -> &[NodeId] {
+    /// The candidate nodes of an attribute formula, in preorder. Label
+    /// tests use their label bucket; a *wildcard* test with bindings uses
+    /// the smallest bucket among the bound attribute names (every match
+    /// must carry all of them), so binding-guarded wildcards are selective
+    /// too; only a bare wildcard scans the full preorder list.
+    fn candidates(
+        &self,
+        tree: &XmlTree,
+        label: &CompiledLabelTest,
+        bindings: &[crate::pattern::AttrBinding],
+    ) -> &[NodeId] {
         match label {
-            CompiledLabelTest::Any => &self.nodes,
+            CompiledLabelTest::Any => {
+                let mut best: Option<&[NodeId]> = None;
+                for binding in bindings {
+                    let bucket = self
+                        .attr_buckets(tree)
+                        .get(&binding.attr)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    if best.is_none_or(|cur| bucket.len() < cur.len()) {
+                        best = Some(bucket);
+                    }
+                }
+                best.unwrap_or(&self.nodes)
+            }
             CompiledLabelTest::Is(sym) => self
                 .by_sym
                 .get(sym.index())
@@ -495,7 +540,7 @@ impl PatternPlan {
         let mut partials: Vec<AssignId> = Vec::new();
         let mut next: Vec<AssignId> = Vec::new();
         let mut next_seen: FxHashSet<AssignId> = FxHashSet::default();
-        'candidates: for &node in index.candidates(label) {
+        'candidates: for &node in index.candidates(tree, label, bindings) {
             partials.clear();
             if bindings.is_empty() {
                 // No bindings: the base is the empty assignment (id 0).
@@ -792,6 +837,34 @@ mod tests {
         ] {
             assert_planned_matches_reference(&t, src);
         }
+    }
+
+    #[test]
+    fn binding_guarded_wildcards_use_the_attribute_index() {
+        let d = dtd();
+        let t = tree();
+        // Semantics: the attr-bucket candidates agree with the oracle on
+        // every wildcard shape, including attrs nobody carries.
+        for src in [
+            "_(@name=$n)",
+            "_(@title=$t)",
+            "_(@name=$n, @aff=$a)",
+            "_(@none=$x)",
+            "db[_(@aff=\"Pr\")]",
+            "//_(@title=$t)",
+        ] {
+            assert_planned_matches_reference(&t, src);
+        }
+        // Mechanics: the bucket really is smaller than the preorder list,
+        // and it is built lazily (only a wildcard-with-bindings lookup
+        // forces it).
+        let index = TreeIndex::new(&t, d.compiled());
+        assert!(index.by_attr.get().is_none(), "no lookup yet → no map");
+        let title: AttrName = "@title".into();
+        let name: AttrName = "@name".into();
+        assert_eq!(index.attr_buckets(&t).get(&title).map(Vec::len), Some(2));
+        assert_eq!(index.attr_buckets(&t).get(&name).map(Vec::len), Some(3));
+        assert_eq!(index.nodes.len(), 6);
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use compiled::CompiledDtd;
 pub use dtd::{ConformanceViolation, Dtd, DtdBuilder, DtdError};
 pub use interner::{Interner, Sym};
 pub use name::{AttrName, ElementType};
-pub use tree::{NodeId, TreeBuilder, XmlTree};
+pub use tree::{NodeId, Preorder, TreeBuilder, XmlTree};
 pub use value::{NullGen, NullId, Value};

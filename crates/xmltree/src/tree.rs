@@ -24,6 +24,14 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Build a node id from an arena index. The index must come from the
+    /// same tree — typically offset arithmetic over the base id returned by
+    /// [`XmlTree::append_forest`], or a loop over `0..arena_len()` (indexing
+    /// with a foreign or out-of-range id panics on first use).
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("node arena exceeds u32::MAX slots"))
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -190,6 +198,49 @@ impl XmlTree {
         self.nodes[node.index()].children = order;
     }
 
+    /// Bulk-append a preorder-encoded forest below `parent`.
+    ///
+    /// `nodes[i]` is `(parent_slot, label)`: slot `i` is attached under
+    /// `parent` itself when `parent_slot == u32::MAX`, and under the node
+    /// created for slot `parent_slot` otherwise (which must be `< i`, i.e.
+    /// the encoding is preorder). All arena slots are reserved in one go and
+    /// child links are appended in slot order, so the document order of the
+    /// stamped nodes is the slot order. Returns the id of slot 0; slot `i`
+    /// is `NodeId::from_index(base.index() + i)`.
+    ///
+    /// This is the allocation-shape the template-stamped target
+    /// instantiation of the exchange chase uses: one `Vec` growth for the
+    /// whole fragment instead of one recursion frame + child push per node.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or a `parent_slot` is neither `u32::MAX`
+    /// nor a smaller slot index.
+    pub fn append_forest(&mut self, parent: NodeId, nodes: &[(u32, ElementType)]) -> NodeId {
+        assert!(!nodes.is_empty(), "append_forest: empty forest");
+        let base = self.nodes.len();
+        self.nodes.reserve(nodes.len());
+        for (i, (parent_slot, label)) in nodes.iter().enumerate() {
+            let id = NodeId::from_index(base + i);
+            let p = if *parent_slot == u32::MAX {
+                parent
+            } else {
+                assert!(
+                    (*parent_slot as usize) < i,
+                    "append_forest: slot {i} references later slot {parent_slot}"
+                );
+                NodeId::from_index(base + *parent_slot as usize)
+            };
+            self.nodes.push(NodeData {
+                label: label.clone(),
+                attrs: BTreeMap::new(),
+                children: Vec::new(),
+                parent: Some(p),
+            });
+            self.nodes[p.index()].children.push(id);
+        }
+        NodeId::from_index(base)
+    }
+
     /// Copy the subtree of `other` rooted at `other_node` into this tree as a
     /// new child of `parent`. Returns the id of the copied root.
     pub fn graft(&mut self, parent: NodeId, other: &XmlTree, other_node: NodeId) -> NodeId {
@@ -203,8 +254,31 @@ impl XmlTree {
     }
 
     /// All nodes reachable from the root, in preorder (document order).
+    ///
+    /// Allocates the full node list; iteration-only callers should prefer
+    /// [`XmlTree::preorder`], which walks lazily with a depth-bounded stack.
     pub fn nodes(&self) -> Vec<NodeId> {
         self.descendants_or_self(self.root)
+    }
+
+    /// Lazily iterate all nodes reachable from the root, in preorder
+    /// (document order). Unlike [`XmlTree::nodes`] this never materialises
+    /// the node list: the iterator keeps a cursor stack whose depth is
+    /// bounded by the tree depth, so full traversals are allocation-light
+    /// and partial traversals (`any`, `take_while`, early `return`) stop
+    /// paying as soon as they stop pulling.
+    pub fn preorder(&self) -> Preorder<'_> {
+        self.preorder_of(self.root)
+    }
+
+    /// As [`XmlTree::preorder`], starting at `node` (the subtree, including
+    /// `node` itself).
+    pub fn preorder_of(&self, node: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![(node, 0)],
+            started: false,
+        }
     }
 
     /// Number of arena slots: every `NodeId::index()` of this tree (including
@@ -250,7 +324,7 @@ impl XmlTree {
 
     /// Number of nodes reachable from the root.
     pub fn size(&self) -> usize {
-        self.nodes().len()
+        self.preorder().count()
     }
 
     /// Length of the longest root-to-leaf path (a single node has depth 1).
@@ -265,9 +339,8 @@ impl XmlTree {
     /// of constants).
     pub fn constants(&self) -> Vec<String> {
         let mut out: Vec<String> = self
-            .nodes()
-            .iter()
-            .flat_map(|&n| self.attrs(n).values())
+            .preorder()
+            .flat_map(|n| self.attrs(n).values())
             .filter_map(|v| v.as_const().map(|s| s.to_string()))
             .collect();
         out.sort();
@@ -277,9 +350,8 @@ impl XmlTree {
 
     /// Does any reachable attribute hold a null?
     pub fn has_nulls(&self) -> bool {
-        self.nodes()
-            .iter()
-            .any(|&n| self.attrs(n).values().any(Value::is_null))
+        self.preorder()
+            .any(|n| self.attrs(n).values().any(Value::is_null))
     }
 
     /// A canonical textual form of the tree *ignoring sibling order* and
@@ -331,7 +403,7 @@ impl XmlTree {
     /// Check internal parent/child consistency; used by tests and debug
     /// assertions after surgical operations.
     pub fn validate(&self) -> Result<(), String> {
-        for &n in &self.nodes() {
+        for n in self.preorder() {
             for &c in self.children(n) {
                 if self.parent(c) != Some(n) {
                     return Err(format!("child {c} of {n} has parent {:?}", self.parent(c)));
@@ -343,12 +415,44 @@ impl XmlTree {
         }
         // No node may appear as a child of two different parents.
         let mut seen = std::collections::BTreeSet::new();
-        for &n in &self.nodes() {
+        for n in self.preorder() {
             if !seen.insert(n) {
                 return Err(format!("node {n} reachable twice (sharing)"));
             }
         }
         Ok(())
+    }
+}
+
+/// Lazy preorder (document-order) traversal of an [`XmlTree`] subtree; see
+/// [`XmlTree::preorder`]. The stack holds one `(ancestor, next-child)`
+/// cursor per level of the current path, so memory is bounded by the tree
+/// depth, not its size.
+#[derive(Debug, Clone)]
+pub struct Preorder<'t> {
+    tree: &'t XmlTree,
+    stack: Vec<(NodeId, usize)>,
+    started: bool,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if !self.started {
+            self.started = true;
+            return self.stack.first().map(|&(n, _)| n);
+        }
+        loop {
+            let (node, cursor) = self.stack.last_mut()?;
+            let children = &self.tree.nodes[node.index()].children;
+            if let Some(&child) = children.get(*cursor) {
+                *cursor += 1;
+                self.stack.push((child, 0));
+                return Some(child);
+            }
+            self.stack.pop();
+        }
     }
 }
 
@@ -605,6 +709,69 @@ mod tests {
         assert!(s.starts_with("db\n"));
         assert!(s.contains("  book [@title=Combinatorial Optimization]"));
         assert!(s.contains("    author [@aff=UCB, @name=Papadimitriou]"));
+    }
+
+    #[test]
+    fn preorder_iterator_matches_nodes() {
+        let t = figure1_tree();
+        assert_eq!(t.preorder().collect::<Vec<_>>(), t.nodes());
+        let book1 = t.children(t.root())[0];
+        assert_eq!(
+            t.preorder_of(book1).collect::<Vec<_>>(),
+            t.descendants_or_self(book1)
+        );
+        // Lazy: pulling one element only visits the start node.
+        assert_eq!(t.preorder().next(), Some(t.root()));
+        // Surgery mid-way does not confuse a *fresh* traversal.
+        let mut t2 = t.clone();
+        t2.detach_child(t2.root(), book1);
+        assert_eq!(t2.preorder().collect::<Vec<_>>(), t2.nodes());
+        assert_eq!(t2.size(), 3);
+    }
+
+    #[test]
+    fn append_forest_stamps_in_document_order() {
+        // Stamp sec[title, par] sec under the root in one call.
+        let mut t = XmlTree::new("doc");
+        let sec = ElementType::new("sec");
+        let title = ElementType::new("title");
+        let par = ElementType::new("par");
+        let base = t.append_forest(
+            t.root(),
+            &[
+                (u32::MAX, sec.clone()),
+                (0, title.clone()),
+                (0, par.clone()),
+                (u32::MAX, sec.clone()),
+            ],
+        );
+        assert_eq!(base.index(), 1);
+        t.validate().unwrap();
+        assert_eq!(t.size(), 5);
+        let labels: Vec<&str> = t.preorder().map(|n| t.label(n).as_str()).collect();
+        assert_eq!(labels, vec!["doc", "sec", "title", "par", "sec"]);
+        let first_sec = t.children(t.root())[0];
+        assert_eq!(first_sec, base);
+        assert_eq!(t.children(first_sec).len(), 2);
+        assert_eq!(t.parent(NodeId::from_index(base.index() + 1)), Some(base));
+        // A second stamp appends after the first.
+        let base2 = t.append_forest(t.root(), &[(u32::MAX, sec.clone())]);
+        assert_eq!(t.children(t.root()).len(), 3);
+        assert_eq!(t.children(t.root())[2], base2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "references later slot")]
+    fn append_forest_rejects_forward_parent_slots() {
+        let mut t = XmlTree::new("doc");
+        t.append_forest(
+            t.root(),
+            &[
+                (1, ElementType::new("a")),
+                (u32::MAX, ElementType::new("b")),
+            ],
+        );
     }
 
     #[test]
