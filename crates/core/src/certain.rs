@@ -78,7 +78,24 @@ pub fn certain_tuples_planned(
     plan: &QueryPlan,
     index: &TreeIndex,
 ) -> BTreeSet<Vec<String>> {
-    plan.evaluate(solution, index)
+    certain_tuples_planned_with(
+        solution,
+        plan,
+        index,
+        &mut xdx_patterns::plan::EvalScratch::new(),
+    )
+}
+
+/// As [`certain_tuples_planned`], reusing a caller-held evaluation scratch
+/// (the per-worker amortisation hook of the batch engine and the serving
+/// dispatcher).
+pub fn certain_tuples_planned_with(
+    solution: &XmlTree,
+    plan: &QueryPlan,
+    index: &TreeIndex,
+    eval: &mut xdx_patterns::plan::EvalScratch,
+) -> BTreeSet<Vec<String>> {
+    plan.evaluate_with(solution, index, eval)
         .into_iter()
         .filter_map(|row| {
             row.iter()

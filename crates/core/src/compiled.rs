@@ -32,13 +32,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock};
 use xdx_automata::PatternSatisfiability;
 use xdx_patterns::compiled::{holds_in_matches, CompiledPattern, InternedLabels};
-use xdx_patterns::plan::{PatternPlan, TreeIndex};
+use xdx_patterns::plan::{EvalScratch, PatternPlan, TreeIndex};
 use xdx_patterns::{TreePattern, Var};
 use xdx_relang::repair::{RepairConfig, RepairContext};
-use xdx_xmltree::{
-    compiled::sparse_counts, CompiledDtd, DtdError, ElementType, NodeId, NullGen, Sym, Value,
-    XmlTree,
-};
+use xdx_xmltree::{CompiledDtd, DtdError, ElementType, NodeId, NullGen, Sym, Value, XmlTree};
 
 /// One STD with its setting-dependent analyses precomputed.
 #[derive(Debug, Clone)]
@@ -97,6 +94,57 @@ struct NestedRelationalPlan {
     source_holds: Vec<bool>,
     /// Per STD: does the erased target pattern hold in the `D*_T` tree?
     target_holds: Vec<bool>,
+}
+
+/// Per-worker reusable document-processing state.
+///
+/// The per-*setting* artefacts (compiled DTDs, plans, repair contexts) are
+/// amortised by [`CompiledSetting`]; what remains per *document* is heap
+/// churn: the source-tree [`TreeIndex`], the solution-tree index of the
+/// certain-answer path, the pattern evaluator's assignment store
+/// ([`EvalScratch`]) and the template-stamping value buffers. An
+/// `ExchangeScratch` owns all of them, and the `*_with` methods of
+/// [`CompiledSetting`] reset-and-reuse instead of reallocating — the
+/// ROADMAP's per-document amortisation step for batch and serving hot
+/// paths. [`crate::engine::BatchEngine`] keeps one per worker thread, as
+/// does the `xdx-server` dispatcher.
+///
+/// Deliberately not `Sync`: one scratch belongs to one worker.
+#[derive(Debug, Default)]
+pub struct ExchangeScratch {
+    /// Source-document index slot (rebuilt in place per document).
+    pub(crate) source_index: Option<TreeIndex>,
+    /// Canonical-solution index slot (certain-answer evaluation).
+    pub(crate) solution_index: Option<TreeIndex>,
+    /// Assignment-store scratch shared by presolution and query evaluation
+    /// (never live at the same time).
+    pub(crate) eval: EvalScratch,
+    /// Template-stamping buffer: shared-variable values of one match.
+    shared_vals: Vec<Value>,
+    /// Template-stamping buffer: per-instantiation null values.
+    null_vals: Vec<Value>,
+}
+
+impl ExchangeScratch {
+    /// A fresh scratch (what the non-`_with` entry points build per call).
+    pub fn new() -> Self {
+        ExchangeScratch::default()
+    }
+
+    /// The index slot for `tree`, rebuilt in place (or built on first use).
+    pub(crate) fn index_for<'a>(
+        slot: &'a mut Option<TreeIndex>,
+        tree: &XmlTree,
+        dtd: &CompiledDtd,
+    ) -> &'a TreeIndex {
+        match slot {
+            Some(index) => {
+                index.rebuild(tree, dtd);
+                index
+            }
+            None => slot.insert(TreeIndex::new(tree, dtd)),
+        }
+    }
 }
 
 /// Number of shards of the repair-context cache. Shard contention is rare
@@ -271,11 +319,28 @@ impl<'s> CompiledSetting<'s> {
         source_tree: &XmlTree,
         nulls: &mut NullGen,
     ) -> Result<XmlTree, SolutionError> {
+        self.canonical_presolution_with(source_tree, nulls, &mut ExchangeScratch::new())
+    }
+
+    /// As [`CompiledSetting::canonical_presolution`] on a caller-held
+    /// [`ExchangeScratch`]: the source-tree index and the evaluator's
+    /// assignment store keep their heap blocks across documents.
+    pub fn canonical_presolution_with(
+        &self,
+        source_tree: &XmlTree,
+        nulls: &mut NullGen,
+        scratch: &mut ExchangeScratch,
+    ) -> Result<XmlTree, SolutionError> {
         let mut tree = XmlTree::new(self.setting.target_dtd.root().clone());
         let root = tree.root();
-        let index = TreeIndex::new(source_tree, self.source);
-        let mut shared_scratch: Vec<Value> = Vec::new();
-        let mut null_scratch: Vec<Value> = Vec::new();
+        let ExchangeScratch {
+            source_index,
+            eval,
+            shared_vals: shared_scratch,
+            null_vals: null_scratch,
+            ..
+        } = scratch;
+        let index = ExchangeScratch::index_for(source_index, source_tree, self.source);
         for (std_index, cstd) in self.stds.iter().enumerate() {
             if cstd.target_uses_wildcard {
                 return Err(SolutionError::WildcardInTarget { std_index });
@@ -293,18 +358,19 @@ impl<'s> CompiledSetting<'s> {
             // interned assignment ids inside the plan's store, and each
             // surviving match is template-stamped — bulk arena reservation
             // plus slot fills, no per-match recursion or `BTreeMap`.
-            cstd.source_plan().try_for_each_restricted_match(
+            cstd.source_plan().try_for_each_restricted_match_with(
                 source_tree,
-                &index,
+                index,
                 &cstd.shared_vars,
+                &mut *eval,
                 |restricted| {
                     template.stamp(
                         &mut tree,
                         root,
                         restricted,
                         nulls,
-                        &mut shared_scratch,
-                        &mut null_scratch,
+                        shared_scratch,
+                        null_scratch,
                     );
                     Ok::<(), SolutionError>(())
                 },
@@ -357,8 +423,18 @@ impl<'s> CompiledSetting<'s> {
     ) -> Result<(), SolutionError> {
         let repair_config = RepairConfig::default();
         let mut steps = 0usize;
+        // The children multiset is accumulated in a `Sym`-indexed dense
+        // count vector (`dense`, one slot per target element type, zeroed
+        // between nodes by walking `touched`): counting is `O(children)`
+        // with no comparisons, and the sparse `(Sym, count)` view handed to
+        // the fast accept — and, on the slow path, the `ElementType`-keyed
+        // multiset handed to the repair machinery — costs one entry per
+        // *distinct* child label, not one `BTreeMap` operation per child.
+        // Only nodes with children the target DTD does not declare fall
+        // back to the label-keyed map walk ([`children_multiset`]).
+        let mut dense: Vec<u64> = vec![0; self.target.num_elements()];
+        let mut touched: Vec<Sym> = Vec::new();
         let mut counts_sparse: Vec<(Sym, u64)> = Vec::new();
-        let mut child_syms: Vec<Sym> = Vec::new();
         // Contexts whose alphabet had to be extended beyond the precomputed
         // one (labels forced by neither content models nor STDs).
         let mut overrides: BTreeMap<ElementType, RepairContext<ElementType>> = BTreeMap::new();
@@ -424,29 +500,48 @@ impl<'s> CompiledSetting<'s> {
             // --- ChangeReg -------------------------------------------------
             // Fast accept: all children interned and the count vector is
             // in the permutation language (bounds or bitset search).
-            child_syms.clear();
             let mut all_known = true;
             for &c in tree.children(node) {
                 match self.target.sym(tree.label(c)) {
-                    Some(s) => child_syms.push(s),
+                    Some(s) => {
+                        if dense[s.index()] == 0 {
+                            touched.push(s);
+                        }
+                        dense[s.index()] += 1;
+                    }
                     None => {
                         all_known = false;
                         break;
                     }
                 }
             }
+            counts_sparse.clear();
             if all_known {
-                sparse_counts(&mut child_syms, &mut counts_sparse);
-                if self.target.perm_accepts_counts(sym, &counts_sparse) {
-                    continue;
-                }
+                // One entry per distinct child symbol, ascending `Sym`
+                // order (what `perm_accepts_counts` requires).
+                touched.sort_unstable();
+                counts_sparse.extend(touched.iter().map(|&s| (s, dense[s.index()])));
+            }
+            for &s in &touched {
+                dense[s.index()] = 0;
+            }
+            touched.clear();
+            if all_known && self.target.perm_accepts_counts(sym, &counts_sparse) {
+                continue;
             }
             // Slow path: full repair machinery, mirroring the reference
             // chase step for step. The shared per-element context covers
             // the content-model alphabet plus every STD-forced element;
             // when a child label falls outside even that, a per-chase
             // override context is built exactly as the reference does.
-            let child_counts = children_multiset(tree, node);
+            let child_counts: BTreeMap<ElementType, u64> = if all_known {
+                counts_sparse
+                    .iter()
+                    .map(|&(s, c)| (self.target.element(s).clone(), c))
+                    .collect()
+            } else {
+                children_multiset(tree, node)
+            };
             let shared = self.repair_contexts.get_or_build(sym, || {
                 RepairContext::new(
                     &self.setting.target_dtd.rule(label),
@@ -532,10 +627,76 @@ impl<'s> CompiledSetting<'s> {
     /// Canonical pre-solution followed by the chase (compiled fast path of
     /// [`crate::solution::canonical_solution`]).
     pub fn canonical_solution(&self, source_tree: &XmlTree) -> Result<XmlTree, SolutionError> {
+        self.canonical_solution_with(source_tree, &mut ExchangeScratch::new())
+    }
+
+    /// As [`CompiledSetting::canonical_solution`] on a caller-held
+    /// [`ExchangeScratch`] — the per-document amortisation hook used by
+    /// [`crate::engine::BatchEngine`] workers and the serving dispatcher.
+    /// Nulls still start at `⊥0` per document, so results are identical to
+    /// the scratch-free call.
+    pub fn canonical_solution_with(
+        &self,
+        source_tree: &XmlTree,
+        scratch: &mut ExchangeScratch,
+    ) -> Result<XmlTree, SolutionError> {
         let mut nulls = NullGen::new();
-        let mut tree = self.canonical_presolution(source_tree, &mut nulls)?;
+        let mut tree = self.canonical_presolution_with(source_tree, &mut nulls, scratch)?;
         self.chase(&mut tree, &mut nulls)?;
         Ok(tree)
+    }
+
+    /// Is `source_tree` a conforming source instance that admits a solution
+    /// (the per-document consistency check of
+    /// [`crate::engine::BatchEngine::check_consistency_batch`])?
+    pub fn check_instance_consistency_with(
+        &self,
+        source_tree: &XmlTree,
+        scratch: &mut ExchangeScratch,
+    ) -> bool {
+        self.source.conforms(source_tree)
+            && self.canonical_solution_with(source_tree, scratch).is_ok()
+    }
+
+    /// Canonical solution plus the certain answers of a pre-planned query
+    /// over it (the per-document body of
+    /// [`crate::engine::BatchEngine::certain_answers_batch`], also used by
+    /// the serving dispatcher). `plan` must have been built against this
+    /// setting's target DTD.
+    pub fn certain_answers_planned_with(
+        &self,
+        source_tree: &XmlTree,
+        plan: &xdx_patterns::plan::QueryPlan,
+        scratch: &mut ExchangeScratch,
+    ) -> Result<crate::certain::CertainAnswers, SolutionError> {
+        let solution = self.canonical_solution_with(source_tree, scratch)?;
+        let ExchangeScratch {
+            solution_index,
+            eval,
+            ..
+        } = scratch;
+        let index = ExchangeScratch::index_for(solution_index, &solution, self.target);
+        let tuples = crate::certain::certain_tuples_planned_with(&solution, plan, index, eval);
+        Ok(crate::certain::CertainAnswers { tuples, solution })
+    }
+
+    /// Canonical solution plus the Boolean certain answer of a pre-planned
+    /// query (the scratch-reusing analogue of
+    /// [`crate::certain::certain_answers_boolean`]).
+    pub fn certain_boolean_planned_with(
+        &self,
+        source_tree: &XmlTree,
+        plan: &xdx_patterns::plan::QueryPlan,
+        scratch: &mut ExchangeScratch,
+    ) -> Result<bool, SolutionError> {
+        let solution = self.canonical_solution_with(source_tree, scratch)?;
+        let ExchangeScratch {
+            solution_index,
+            eval,
+            ..
+        } = scratch;
+        let index = ExchangeScratch::index_for(solution_index, &solution, self.target);
+        Ok(plan.evaluate_boolean_with(&solution, index, eval))
     }
 
     /// Is `target_tree` a solution for `source_tree` (Definition 3.3;

@@ -21,12 +21,12 @@
 //! async-serving step will sit on (an async front-end only needs to hand
 //! batches — or single documents — to a long-lived `BatchEngine`).
 
-use crate::certain::{certain_tuples_planned, CertainAnswers};
-use crate::compiled::CompiledSetting;
+use crate::certain::CertainAnswers;
+use crate::compiled::{CompiledSetting, ExchangeScratch};
 use crate::setting::DataExchangeSetting;
 use crate::solution::SolutionError;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use xdx_patterns::plan::{QueryPlan, TreeIndex};
+use xdx_patterns::plan::QueryPlan;
 use xdx_patterns::query::UnionQuery;
 use xdx_xmltree::XmlTree;
 
@@ -80,9 +80,8 @@ impl<'s> BatchEngine<'s> {
     /// fully-specified STDs; outside that class the per-tree answer is
     /// `false` exactly when the sequential call would error.
     pub fn check_consistency_batch(&self, trees: &[XmlTree]) -> Vec<bool> {
-        self.run(trees, |tree| {
-            self.compiled.source_dtd().conforms(tree)
-                && self.compiled.canonical_solution(tree).is_ok()
+        self.run(trees, |scratch, tree| {
+            self.compiled.check_instance_consistency_with(tree, scratch)
         })
     }
 
@@ -92,42 +91,46 @@ impl<'s> BatchEngine<'s> {
         &self,
         trees: &[XmlTree],
     ) -> Vec<Result<XmlTree, SolutionError>> {
-        self.run(trees, |tree| self.compiled.canonical_solution(tree))
+        self.run(trees, |scratch, tree| {
+            self.compiled.canonical_solution_with(tree, scratch)
+        })
     }
 
     /// The certain answers of `query` for every source tree, in input order
     /// (parallel analogue of [`crate::certain::certain_answers`] against one
     /// shared compiled setting). The query is planned **once** per batch
     /// against the target DTD; every worker evaluates the shared plan over a
-    /// per-solution [`TreeIndex`].
+    /// per-solution index kept warm in its [`ExchangeScratch`].
     pub fn certain_answers_batch(
         &self,
         trees: &[XmlTree],
         query: &UnionQuery,
     ) -> Vec<Result<CertainAnswers, SolutionError>> {
         let plan = QueryPlan::new(query, self.compiled.target_dtd());
-        self.run(trees, |tree| {
-            let solution = self.compiled.canonical_solution(tree)?;
-            let index = TreeIndex::new(&solution, self.compiled.target_dtd());
-            let tuples = certain_tuples_planned(&solution, &plan, &index);
-            Ok(CertainAnswers { tuples, solution })
+        self.run(trees, |scratch, tree| {
+            self.compiled
+                .certain_answers_planned_with(tree, &plan, scratch)
         })
     }
 
     /// Map `f` over `items` on the worker pool, returning results in input
     /// order. Workers claim items through a shared atomic cursor; each
-    /// worker accumulates `(index, result)` pairs locally and the results
-    /// are stitched together by index after the scope joins, so no locks are
-    /// held while working and the output permutation is the identity.
+    /// worker holds one [`ExchangeScratch`] for the whole batch (per-document
+    /// heap blocks — tree indexes, assignment stores — are reused across
+    /// every item it claims) and accumulates `(index, result)` pairs locally;
+    /// the results are stitched together by index after the scope joins, so
+    /// no locks are held while working and the output permutation is the
+    /// identity.
     fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
-        F: Fn(&T) -> R + Sync,
+        F: Fn(&mut ExchangeScratch, &T) -> R + Sync,
     {
         let workers = self.parallelism.min(items.len());
         if workers <= 1 {
-            return items.iter().map(f).collect();
+            let mut scratch = ExchangeScratch::new();
+            return items.iter().map(|item| f(&mut scratch, item)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -136,11 +139,12 @@ impl<'s> BatchEngine<'s> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut scratch = ExchangeScratch::new();
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
-                            local.push((i, f(item)));
+                            local.push((i, f(&mut scratch, item)));
                         }
                         local
                     })

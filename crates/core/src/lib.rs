@@ -49,10 +49,10 @@ mod template;
 
 pub use certain::{
     certain_answers, certain_answers_boolean, certain_tuples, certain_tuples_planned,
-    CertainAnswers,
+    certain_tuples_planned_with, CertainAnswers,
 };
 pub use classify::{classify_setting, SettingClass};
-pub use compiled::{CompiledSetting, CompiledStd};
+pub use compiled::{CompiledSetting, CompiledStd, ExchangeScratch};
 pub use consistency::{check_consistency, ConsistencyMethod, ConsistencyVerdict};
 pub use engine::BatchEngine;
 pub use ordering::{impose_sibling_order, impose_sibling_order_with, SiblingOrderMemo};

@@ -58,7 +58,7 @@ pub mod query;
 pub use compiled::{all_matches_compiled, holds_in_matches, CompiledPattern, InternedLabels};
 pub use eval::{all_matches, all_matches_reference, holds, matches_at, Assignment};
 pub use homomorphism::{find_homomorphism, is_homomorphism, Homomorphism};
-pub use parser::{parse_pattern, PatternParseError};
+pub use parser::{parse_pattern, parse_query, PatternParseError, QueryParseError};
 pub use pattern::{AttrBinding, AttrFormula, LabelTest, Term, TreePattern, Var};
 pub use plan::{PatternPlan, QueryPlan, TreeIndex};
 pub use query::{ConjunctiveTreeQuery, QueryClass, UnionQuery};

@@ -18,6 +18,7 @@
 //! * `_(@a1=$x, @a2=$x)`
 
 use crate::pattern::{AttrBinding, AttrFormula, LabelTest, Term, TreePattern, Var};
+use crate::query::{ConjunctiveTreeQuery, QueryError, UnionQuery};
 use std::fmt;
 use xdx_xmltree::{AttrName, ElementType};
 
@@ -42,6 +43,41 @@ impl fmt::Display for PatternParseError {
 
 impl std::error::Error for PatternParseError {}
 
+/// Error raised by [`parse_query`]: either the text does not parse, or it
+/// parses into a structurally invalid query (unbound head variable,
+/// mismatched union arities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// A syntax error at some byte position.
+    Syntax(PatternParseError),
+    /// The parsed query violates a construction rule of
+    /// [`crate::query::ConjunctiveTreeQuery`] / [`crate::query::UnionQuery`].
+    Invalid(QueryError),
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryParseError::Syntax(e) => write!(f, "{e}"),
+            QueryParseError::Invalid(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl From<PatternParseError> for QueryParseError {
+    fn from(e: PatternParseError) -> Self {
+        QueryParseError::Syntax(e)
+    }
+}
+
+impl From<QueryError> for QueryParseError {
+    fn from(e: QueryError) -> Self {
+        QueryParseError::Invalid(e)
+    }
+}
+
 /// Parse a tree-pattern formula from its text syntax.
 pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
     let mut p = Parser { input, pos: 0 };
@@ -51,6 +87,40 @@ pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
         return Err(p.error("unexpected trailing input"));
     }
     Ok(pat)
+}
+
+/// Parse a (union of) conjunctive tree queries from the rule-like syntax the
+/// `Display` impls of [`ConjunctiveTreeQuery`] and [`UnionQuery`] print:
+///
+/// ```text
+/// query  ::= branch ( ('∪' | '|') branch )*
+/// branch ::= '(' ( var (',' var)* )? ')' ':-' pattern ( ('∧' | '&') pattern )*
+/// var    ::= '$' IDENT
+/// ```
+///
+/// `()` is a Boolean head. The ASCII aliases `|` and `&` are accepted so
+/// queries can be written without Unicode; the pretty-printed form
+/// round-trips: `parse_query(&q.to_string())` reconstructs `q` whenever its
+/// constants contain no `"` or `\` (the pattern syntax has no escapes).
+///
+/// ```
+/// use xdx_patterns::parser::parse_query;
+/// let q = parse_query("($w) :- writer(@name=$w)[work(@title=$t)] & work(@title=$t)").unwrap();
+/// assert_eq!(q.arity(), 1);
+/// let round = parse_query(&q.to_string()).unwrap();
+/// assert_eq!(q, round);
+/// ```
+pub fn parse_query(input: &str) -> Result<UnionQuery, QueryParseError> {
+    let mut p = Parser { input, pos: 0 };
+    let mut branches = vec![p.parse_branch()?];
+    while p.eat('∪') || p.eat('|') {
+        branches.push(p.parse_branch()?);
+    }
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.error("unexpected trailing input").into());
+    }
+    Ok(UnionQuery::new(branches)?)
 }
 
 struct Parser<'a> {
@@ -102,6 +172,33 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.error(&format!("expected {c:?}")))
         }
+    }
+
+    /// One union branch: `(head vars) :- pattern ∧ … ∧ pattern`.
+    fn parse_branch(&mut self) -> Result<ConjunctiveTreeQuery, QueryParseError> {
+        self.expect('(')?;
+        let mut head: Vec<Var> = Vec::new();
+        if !self.eat(')') {
+            loop {
+                self.expect('$')?;
+                head.push(Var::new(self.parse_ident()?));
+                if self.eat(',') {
+                    continue;
+                }
+                self.expect(')')?;
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.rest().starts_with(":-") {
+            return Err(self.error("expected ':-' after the query head").into());
+        }
+        self.pos += 2;
+        let mut patterns = vec![self.parse_pattern()?];
+        while self.eat('∧') || self.eat('&') {
+            patterns.push(self.parse_pattern()?);
+        }
+        Ok(ConjunctiveTreeQuery::new(head, patterns)?)
     }
 
     fn parse_pattern(&mut self) -> Result<TreePattern, PatternParseError> {
@@ -268,6 +365,56 @@ mod tests {
         assert!(parse_pattern("a(@x=$y").is_err());
         assert!(parse_pattern("a]").is_err());
         assert!(parse_pattern("a(@x=\"unterminated)").is_err());
+    }
+
+    #[test]
+    fn parses_queries_in_both_alphabets() {
+        let ascii =
+            parse_query("($x, $y) :- writer(@name=$x)[work(@title=$t)] & writer(@name=$y)[work(@title=$t)] | ($a, $a) :- _(@v=$a)")
+                .unwrap();
+        assert_eq!(ascii.branches().len(), 2);
+        assert_eq!(ascii.arity(), 2);
+        let unicode = parse_query(&ascii.to_string()).unwrap();
+        assert_eq!(
+            ascii, unicode,
+            "Display output must re-parse to the same query"
+        );
+
+        let boolean = parse_query("() :- bib[writer(@name=\"Steiglitz\")]").unwrap();
+        assert!(boolean.is_boolean());
+        assert_eq!(parse_query(&boolean.to_string()).unwrap(), boolean);
+    }
+
+    #[test]
+    fn query_parse_errors_are_structured() {
+        use crate::query::QueryError;
+        // Syntax errors.
+        for bad in [
+            "",
+            "($x)",
+            "($x) :-",
+            "($x) writer(@name=$x)",
+            "($x) :- writer(@name=$x) trailing",
+            "($x,) :- writer(@name=$x)",
+            "(x) :- writer(@name=$x)",
+            "($x) :- writer(@name=$x) |",
+        ] {
+            assert!(
+                matches!(parse_query(bad), Err(QueryParseError::Syntax(_))),
+                "{bad:?}"
+            );
+        }
+        // Structurally invalid queries.
+        assert!(matches!(
+            parse_query("($ghost) :- writer(@name=$x)"),
+            Err(QueryParseError::Invalid(
+                QueryError::UnboundHeadVariable { .. }
+            ))
+        ));
+        assert!(matches!(
+            parse_query("($x) :- writer(@name=$x) | () :- bib"),
+            Err(QueryParseError::Invalid(QueryError::MismatchedArity { .. }))
+        ));
     }
 
     #[test]

@@ -144,6 +144,16 @@ impl AssignStore {
         store
     }
 
+    /// Forget every interned assignment but keep the allocated hash tables
+    /// and the arena `Vec`'s capacity, so the next evaluation starts with
+    /// warm heap blocks (the point of [`EvalScratch`]).
+    fn reset(&mut self) {
+        self.assignments.clear();
+        self.ids.clear();
+        self.merges.clear();
+        self.intern(Assignment::new());
+    }
+
     fn intern(&mut self, assignment: Assignment) -> AssignId {
         let bucket = self.ids.entry(assignment_hash(&assignment)).or_default();
         for &id in bucket.iter() {
@@ -233,30 +243,66 @@ impl TreeIndex {
         Self::build(tree, |node, _| slots[node.index()])
     }
 
+    /// An index over nothing; pair with [`TreeIndex::rebuild`] (the shape a
+    /// reusable scratch slot starts in).
+    pub fn empty() -> Self {
+        TreeIndex {
+            labels: Vec::new(),
+            by_sym: Vec::new(),
+            by_label: FxHashMap::default(),
+            by_attr: std::sync::OnceLock::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Re-index a (new) tree **in place**, keeping the heap blocks of the
+    /// previous document: the preorder list, the per-slot label table and
+    /// every per-symbol candidate bucket are cleared and refilled without
+    /// reallocating. This is the per-document amortisation hook of the batch
+    /// engine and the serving dispatcher — one `TreeIndex` per worker lives
+    /// across all documents the worker processes.
+    pub fn rebuild(&mut self, tree: &XmlTree, dtd: &CompiledDtd) {
+        self.fill(tree, |_, label| dtd.sym(label));
+    }
+
+    /// As [`TreeIndex::rebuild`], DTD-less (pairs with plans built by
+    /// [`PatternPlan::without_dtd`] / [`QueryPlan::without_dtd`]).
+    pub fn rebuild_without_dtd(&mut self, tree: &XmlTree) {
+        self.fill(tree, |_, _| None);
+    }
+
     fn build(tree: &XmlTree, sym_of: impl Fn(NodeId, &ElementType) -> Option<Sym>) -> Self {
-        let nodes = tree.nodes();
-        let mut labels = vec![None; tree.arena_len()];
-        let mut by_sym: Vec<Vec<NodeId>> = Vec::new();
-        let mut by_label: FxHashMap<ElementType, Vec<NodeId>> = FxHashMap::default();
-        for &node in &nodes {
+        let mut index = Self::empty();
+        index.fill(tree, sym_of);
+        index
+    }
+
+    fn fill(&mut self, tree: &XmlTree, sym_of: impl Fn(NodeId, &ElementType) -> Option<Sym>) {
+        self.nodes.clear();
+        self.nodes.extend(tree.preorder());
+        self.labels.clear();
+        self.labels.resize(tree.arena_len(), None);
+        for bucket in &mut self.by_sym {
+            bucket.clear();
+        }
+        // `by_label` values are dropped (keys change between documents);
+        // uninterned labels are the rare case, so nothing worth keeping.
+        self.by_label.clear();
+        // The lazily-built attribute index belongs to the previous tree.
+        self.by_attr = std::sync::OnceLock::new();
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i];
             let label = tree.label(node);
             match sym_of(node, label) {
                 Some(sym) => {
-                    labels[node.index()] = Some(sym);
-                    if by_sym.len() <= sym.index() {
-                        by_sym.resize_with(sym.index() + 1, Vec::new);
+                    self.labels[node.index()] = Some(sym);
+                    if self.by_sym.len() <= sym.index() {
+                        self.by_sym.resize_with(sym.index() + 1, Vec::new);
                     }
-                    by_sym[sym.index()].push(node);
+                    self.by_sym[sym.index()].push(node);
                 }
-                None => by_label.entry(label.clone()).or_default().push(node),
+                None => self.by_label.entry(label.clone()).or_default().push(node),
             }
-        }
-        TreeIndex {
-            labels,
-            by_sym,
-            by_label,
-            by_attr: std::sync::OnceLock::new(),
-            nodes,
         }
     }
 
@@ -317,6 +363,39 @@ impl TreeIndex {
                 self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reusable evaluation scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-evaluation state: the assignment store (arena + id tables +
+/// merge memo) and the dedup set. One `EvalScratch` held across documents
+/// keeps those heap blocks warm — the `*_with` entry points below reset it
+/// (cheap, capacity-preserving) instead of reallocating per document.
+///
+/// Deliberately **not** `Sync`: a scratch belongs to one worker. The batch
+/// engine and the serving dispatcher hold one per worker thread.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    store: AssignStore,
+    seen: FxHashSet<AssignId>,
+}
+
+impl EvalScratch {
+    /// A fresh scratch (equivalent to what the non-`_with` entry points
+    /// build internally per call).
+    pub fn new() -> Self {
+        EvalScratch {
+            store: AssignStore::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.store.reset();
+        self.seen.clear();
     }
 }
 
@@ -428,11 +507,25 @@ impl PatternPlan {
         tree: &XmlTree,
         index: &TreeIndex,
         keep: &BTreeSet<Var>,
+        f: impl FnMut(&Assignment) -> Result<(), E>,
+    ) -> Result<(), E> {
+        self.try_for_each_restricted_match_with(tree, index, keep, &mut EvalScratch::new(), f)
+    }
+
+    /// As [`Self::try_for_each_restricted_match`], reusing a caller-held
+    /// [`EvalScratch`] (reset on entry) so repeated per-document evaluations
+    /// keep their assignment-store heap blocks.
+    pub fn try_for_each_restricted_match_with<E>(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        keep: &BTreeSet<Var>,
+        scratch: &mut EvalScratch,
         mut f: impl FnMut(&Assignment) -> Result<(), E>,
     ) -> Result<(), E> {
-        let mut store = AssignStore::new();
-        let ids = self.matches_ids(tree, index, &mut store);
-        let mut seen: FxHashSet<AssignId> = FxHashSet::default();
+        scratch.reset();
+        let EvalScratch { store, seen } = scratch;
+        let ids = self.matches_ids(tree, index, store);
         for id in ids {
             let full = store.get(id);
             let rid = if full.keys().all(|v| keep.contains(v)) {
@@ -671,9 +764,21 @@ impl QueryPlan {
     /// been built over `tree` against the same DTD (or DTD-less) as this
     /// plan.
     pub fn evaluate(&self, tree: &XmlTree, index: &TreeIndex) -> BTreeSet<Vec<Value>> {
+        self.evaluate_with(tree, index, &mut EvalScratch::new())
+    }
+
+    /// As [`Self::evaluate`], reusing a caller-held [`EvalScratch`] across
+    /// documents (one store reset per branch instead of one allocation).
+    pub fn evaluate_with(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        scratch: &mut EvalScratch,
+    ) -> BTreeSet<Vec<Value>> {
         let mut out = BTreeSet::new();
         for branch in &self.branches {
-            branch.evaluate_into(tree, index, &mut out);
+            scratch.reset();
+            branch.evaluate_into(tree, index, &mut scratch.store, &mut out);
         }
         out
     }
@@ -681,20 +786,36 @@ impl QueryPlan {
     /// Evaluate a Boolean query (planned analogue of
     /// [`UnionQuery::evaluate_boolean`]).
     pub fn evaluate_boolean(&self, tree: &XmlTree, index: &TreeIndex) -> bool {
+        self.evaluate_boolean_with(tree, index, &mut EvalScratch::new())
+    }
+
+    /// As [`Self::evaluate_boolean`] on a caller-held [`EvalScratch`].
+    pub fn evaluate_boolean_with(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        scratch: &mut EvalScratch,
+    ) -> bool {
         self.branches.iter().any(|branch| {
             let mut rows = BTreeSet::new();
-            branch.evaluate_into(tree, index, &mut rows);
+            scratch.reset();
+            branch.evaluate_into(tree, index, &mut scratch.store, &mut rows);
             !rows.is_empty()
         })
     }
 }
 
 impl BranchPlan {
-    fn evaluate_into(&self, tree: &XmlTree, index: &TreeIndex, out: &mut BTreeSet<Vec<Value>>) {
-        let mut store = AssignStore::new();
+    fn evaluate_into(
+        &self,
+        tree: &XmlTree,
+        index: &TreeIndex,
+        store: &mut AssignStore,
+        out: &mut BTreeSet<Vec<Value>>,
+    ) {
         let mut relations: Vec<Vec<AssignId>> = Vec::with_capacity(self.patterns.len());
         for pattern in &self.patterns {
-            let relation = pattern.matches_ids(tree, index, &mut store);
+            let relation = pattern.matches_ids(tree, index, store);
             if relation.is_empty() {
                 return;
             }
@@ -905,6 +1026,77 @@ mod tests {
         assert_eq!(dtdless, reference);
         assert!(QueryPlan::new(&q, d.compiled())
             .evaluate_boolean(&t, &TreeIndex::new(&t, d.compiled())));
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_to_results() {
+        // One scratch + one index slot reused across distinct documents must
+        // produce exactly what fresh per-document state produces.
+        let d = dtd();
+        let q = UnionQuery::single(
+            crate::query::ConjunctiveTreeQuery::new(
+                ["x"],
+                vec![parse_pattern("book(@title=$t)[author(@name=$x)]").unwrap()],
+            )
+            .unwrap(),
+        );
+        let plan = QueryPlan::new(&q, d.compiled());
+        let pattern = parse_pattern("book(@title=$t)[author(@name=$x)]").unwrap();
+        let pplan = PatternPlan::new(&pattern, d.compiled());
+        let keep: BTreeSet<Var> = [Var::new("x")].into_iter().collect();
+
+        let mut scratch = EvalScratch::new();
+        let mut index = TreeIndex::empty();
+        let docs: Vec<XmlTree> = (0..6)
+            .map(|i| {
+                let mut t = XmlTree::new("db");
+                for b in 0..=i {
+                    let book = t.add_child(t.root(), "book");
+                    t.set_attr(book, "@title", format!("T{b}"));
+                    for a in 0..b {
+                        let author = t.add_child(book, if a % 2 == 0 { "author" } else { "odd" });
+                        t.set_attr(author, "@name", format!("N{a}"));
+                    }
+                }
+                t
+            })
+            .collect();
+        for tree in &docs {
+            index.rebuild(tree, d.compiled());
+            let fresh_index = TreeIndex::new(tree, d.compiled());
+            let warm = plan.evaluate_with(tree, &index, &mut scratch);
+            assert_eq!(warm, plan.evaluate(tree, &fresh_index));
+            assert_eq!(
+                plan.evaluate_boolean_with(tree, &index, &mut scratch),
+                plan.evaluate_boolean(tree, &fresh_index)
+            );
+            let mut warm_restricted: Vec<Assignment> = Vec::new();
+            pplan
+                .try_for_each_restricted_match_with(tree, &index, &keep, &mut scratch, |a| {
+                    warm_restricted.push(a.clone());
+                    Ok::<(), ()>(())
+                })
+                .unwrap();
+            let mut fresh_restricted: Vec<Assignment> = Vec::new();
+            pplan
+                .try_for_each_restricted_match(tree, &fresh_index, &keep, |a| {
+                    fresh_restricted.push(a.clone());
+                    Ok::<(), ()>(())
+                })
+                .unwrap();
+            assert_eq!(warm_restricted, fresh_restricted);
+        }
+        // DTD-less rebuild agrees with a fresh DTD-less index.
+        let mut dtdless = TreeIndex::empty();
+        for tree in &docs {
+            dtdless.rebuild_without_dtd(tree);
+            let plan = PatternPlan::without_dtd(&pattern);
+            let mut a = plan.all_matches(tree, &dtdless);
+            let mut b = plan.all_matches(tree, &TreeIndex::without_dtd(tree));
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! A blocking client for the wire protocol, used by integration tests,
+//! `examples/serve.rs` and the serving benchmark.
+//!
+//! One [`Client`] owns one connection. The high-level methods send one
+//! request and wait for its response; [`Client::send`] / [`Client::recv`]
+//! expose the raw pipelined form (multiple requests in flight, responses
+//! correlated by id) for backpressure tests and throughput measurements.
+
+use crate::transport::Duplex;
+use crate::wire::{
+    self, DocResult, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use xdx_patterns::query::UnionQuery;
+use xdx_xmltree::{parse_tree, tree_to_text, XmlTree};
+
+/// Upper bound on response payloads the client will accept (a server
+/// response can legitimately exceed the request cap — canonical solutions
+/// grow — but a corrupt length field must not trigger a huge allocation).
+const MAX_RESPONSE_BYTES: usize = 256 * 1024 * 1024;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something the client cannot decode.
+    Protocol(String),
+    /// The server rejected the whole request with a structured error frame.
+    Remote(WireError),
+    /// The server is saturated; retry later.
+    Busy,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Busy => write!(f, "server busy"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an `xdx-server`.
+pub struct Client {
+    transport: Duplex,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            transport: Duplex::Tcp(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            transport: Duplex::Unix(UnixStream::connect(path)?),
+            next_id: 1,
+        })
+    }
+
+    /// Send a request without waiting; returns the id to correlate the
+    /// response with. Pipelining beyond the server's per-connection cap
+    /// yields `Busy` responses — by design.
+    pub fn send(&mut self, body: RequestBody) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = wire::frame(wire::encode_request(&RequestFrame { id, body }));
+        self.transport.write_all(&bytes)?;
+        Ok(id)
+    }
+
+    /// Read the next response frame (any id).
+    pub fn recv(&mut self) -> Result<ResponseFrame, ClientError> {
+        let mut header = [0u8; 4];
+        self.transport.read_exact(&mut header)?;
+        let len = u32::from_be_bytes(header) as usize;
+        if len == 0 || len > MAX_RESPONSE_BYTES {
+            return Err(ClientError::Protocol(format!(
+                "response frame length {len} outside 1..={MAX_RESPONSE_BYTES}"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.transport.read_exact(&mut payload)?;
+        wire::decode_response(&payload)
+            .map_err(|e| ClientError::Protocol(format!("undecodable response: {}", e.error)))
+    }
+
+    /// Send one request and wait for its response (ids must match — the
+    /// high-level methods never pipeline).
+    fn round_trip(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.send(body)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        match resp.body {
+            ResponseBody::Busy => Err(ClientError::Busy),
+            ResponseBody::Error(e) => Err(ClientError::Remote(e)),
+            body => Ok(body),
+        }
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(RequestBody::Ping)? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Per-document consistency of a micro-batch.
+    pub fn check_consistency(&mut self, docs: &[XmlTree]) -> Result<Vec<bool>, ClientError> {
+        let body = RequestBody::CheckConsistency {
+            docs: docs.iter().map(tree_to_text).collect(),
+        };
+        match self.round_trip(body)? {
+            ResponseBody::Consistency(flags) => Ok(flags),
+            other => Err(unexpected("Consistency", &other)),
+        }
+    }
+
+    /// Canonical solutions of a micro-batch, still in wire text form
+    /// (useful for byte-for-byte comparisons against local results).
+    pub fn canonical_solution_texts(
+        &mut self,
+        docs: &[XmlTree],
+    ) -> Result<Vec<DocResult<String>>, ClientError> {
+        let body = RequestBody::CanonicalSolution {
+            docs: docs.iter().map(tree_to_text).collect(),
+        };
+        match self.round_trip(body)? {
+            ResponseBody::Solutions(results) => Ok(results),
+            other => Err(unexpected("Solutions", &other)),
+        }
+    }
+
+    /// Canonical solutions of a micro-batch, parsed back into trees.
+    pub fn canonical_solutions(
+        &mut self,
+        docs: &[XmlTree],
+    ) -> Result<Vec<DocResult<XmlTree>>, ClientError> {
+        let texts = self.canonical_solution_texts(docs)?;
+        texts
+            .into_iter()
+            .map(|result| match result {
+                Ok(text) => parse_tree(&text)
+                    .map(Ok)
+                    .map_err(|e| ClientError::Protocol(format!("undecodable solution tree: {e}"))),
+                Err(e) => Ok(Err(e)),
+            })
+            .collect()
+    }
+
+    /// Certain answers of `query` for each document (tuples in the
+    /// deterministic set order the server computes).
+    pub fn certain_answers(
+        &mut self,
+        query: &UnionQuery,
+        docs: &[XmlTree],
+    ) -> Result<Vec<DocResult<Vec<Vec<String>>>>, ClientError> {
+        let body = RequestBody::CertainAnswers {
+            query: query.to_string(),
+            docs: docs.iter().map(tree_to_text).collect(),
+        };
+        match self.round_trip(body)? {
+            ResponseBody::Answers(results) => Ok(results),
+            other => Err(unexpected("Answers", &other)),
+        }
+    }
+
+    /// Boolean certain answer of `query` for each document.
+    pub fn certain_answers_boolean(
+        &mut self,
+        query: &UnionQuery,
+        docs: &[XmlTree],
+    ) -> Result<Vec<DocResult<bool>>, ClientError> {
+        let body = RequestBody::CertainAnswersBoolean {
+            query: query.to_string(),
+            docs: docs.iter().map(tree_to_text).collect(),
+        };
+        match self.round_trip(body)? {
+            ResponseBody::Booleans(results) => Ok(results),
+            other => Err(unexpected("Booleans", &other)),
+        }
+    }
+
+    /// Write raw bytes on the connection (tests use this to send garbage
+    /// and truncated frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.transport.write_all(bytes)
+    }
+}
+
+fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} response, got {got:?}"))
+}

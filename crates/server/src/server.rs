@@ -1,0 +1,870 @@
+//! The serving front-end: a single-threaded epoll event loop feeding a
+//! worker pool that shares one compiled setting.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                    ┌───────────── event-loop thread ─────────────┐
+//!  TCP listener ──▶  │ accept / non-blocking read / frame parse /  │
+//!  Unix listener ──▶ │ backpressure / non-blocking write           │
+//!                    └───────┬───────────────────────▲─────────────┘
+//!                       jobs │ (bounded queue)       │ completions + wake pipe
+//!                    ┌───────▼───────────────────────┴─────────────┐
+//!                    │ worker pool: N threads ×                    │
+//!                    │   (&BatchEngine's CompiledSetting,          │
+//!                    │    one ExchangeScratch each)                │
+//!                    └─────────────────────────────────────────────┘
+//! ```
+//!
+//! * The **event loop** owns every socket. It never parses documents or
+//!   chases anything — it only moves bytes, frames, and verdicts.
+//! * **Workers** decode documents/queries (the expensive text parsing stays
+//!   off the loop), run the exchange pipeline on the shared
+//!   [`CompiledSetting`] (per-setting caches warm up once for all
+//!   connections), and hand fully encoded response frames back.
+//! * The **wake pipe** (a non-blocking Unix socketpair) lets workers and
+//!   [`ServerControl::shutdown`] interrupt `epoll_wait`.
+//!
+//! ## Backpressure
+//!
+//! Admission control is enforced *before* work is queued, in the loop
+//! thread, so saturation costs one branch, not a thread handoff:
+//!
+//! * **per-connection pipelining cap** ([`ServerConfig::max_inflight_per_conn`]):
+//!   a connection may pipeline at most this many unanswered requests;
+//! * **global in-flight budget** ([`ServerConfig::max_inflight_total`]):
+//!   across all connections at most this many requests may sit in the job
+//!   queue + workers.
+//!
+//! A request over either limit is answered immediately with a `Busy` frame
+//! (its id echoed) and is **not** queued — the queue is bounded by
+//! construction and memory stays flat under overload. On the write side,
+//! a connection whose peer stops reading may buffer at most
+//! [`ServerConfig::max_buffered_response_bytes`] of pending responses
+//! before it is closed, so un-drained output is bounded too. Frames whose
+//! announced length exceeds [`ServerConfig::max_frame_bytes`] poison the
+//! connection (error frame, flush, close), since the stream can no longer
+//! be framed safely; merely malformed payloads only fail their own request.
+
+use crate::sys::{Epoll, Event, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::transport::Duplex;
+use crate::wire::{
+    self, DecodeError, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use xdx_core::compiled::{CompiledSetting, ExchangeScratch};
+use xdx_core::engine::BatchEngine;
+use xdx_core::setting::DataExchangeSetting;
+use xdx_patterns::parser::parse_query;
+use xdx_patterns::plan::QueryPlan;
+use xdx_xmltree::{parse_tree, tree_to_text, XmlTree};
+
+/// Server tuning knobs; the defaults suit tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads computing responses (0 = available parallelism).
+    pub workers: usize,
+    /// Maximum request-frame payload size; larger announced lengths poison
+    /// the connection.
+    pub max_frame_bytes: usize,
+    /// Maximum documents in one request (micro-batch size cap; the
+    /// protocol's own cap [`wire::MAX_DOCS_PER_REQUEST`] applies on top).
+    pub max_docs_per_request: usize,
+    /// Per-connection pipelining cap: unanswered requests beyond this get
+    /// `Busy`.
+    pub max_inflight_per_conn: usize,
+    /// Global in-flight budget across all connections: requests beyond this
+    /// get `Busy`.
+    pub max_inflight_total: usize,
+    /// Maximum simultaneous connections; beyond it, new sockets are
+    /// accepted and immediately closed.
+    pub max_connections: usize,
+    /// Per-connection cap on *buffered* (computed but unwritable) response
+    /// bytes. A client that pipelines requests without ever reading its
+    /// responses would otherwise grow the write buffer without bound —
+    /// responses can legitimately exceed the request-frame cap. Crossing
+    /// the cap closes the connection: the peer has stopped cooperating.
+    pub max_buffered_response_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            max_docs_per_request: 64,
+            max_inflight_per_conn: 32,
+            max_inflight_total: 256,
+            max_connections: 1024,
+            max_buffered_response_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Handle for stopping a running server from another thread.
+#[derive(Debug)]
+pub struct ServerControl {
+    stop: AtomicBool,
+    wake: Mutex<UnixStream>,
+}
+
+impl ServerControl {
+    /// Ask the event loop to exit. Idempotent; safe from any thread.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.nudge();
+    }
+
+    /// Wake the event loop without stopping it (used by workers after
+    /// pushing a completion).
+    fn nudge(&self) {
+        if let Ok(mut wake) = self.wake.lock() {
+            // A full pipe already guarantees a pending wake-up.
+            let _ = wake.write(&[1]);
+        }
+    }
+}
+
+/// One unit of work: a decoded request owned by a connection generation.
+struct Job {
+    slot: usize,
+    generation: u64,
+    frame: RequestFrame,
+}
+
+/// A finished response, already encoded (length prefix included).
+struct Done {
+    slot: usize,
+    generation: u64,
+    bytes: Vec<u8>,
+}
+
+/// State shared between the loop and the workers.
+struct Shared {
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_ready: Condvar,
+    done: Mutex<Vec<Done>>,
+    workers_stop: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_ready: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            workers_stop: AtomicBool::new(false),
+        }
+    }
+}
+
+struct Conn {
+    stream: Duplex,
+    generation: u64,
+    /// Unparsed input; `rpos` is the consumed prefix.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Pending output; `wpos` is the written prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    inflight: usize,
+    /// Poisoned: flush remaining output, then close. No more reads parsed.
+    closing: bool,
+    /// Is `EPOLLOUT` currently part of the registration?
+    want_write: bool,
+    /// The peer closed its write half (no more requests will arrive).
+    peer_eof: bool,
+}
+
+const TOK_TCP: u64 = 0;
+const TOK_UNIX: u64 = 1;
+const TOK_WAKE: u64 = 2;
+const TOK_CONN_BASE: u64 = 3;
+
+/// The serving front-end, bound but not yet running. Construct with
+/// [`Server::bind`], then call [`Server::run`] (typically on a dedicated
+/// thread, with the [`ServerControl`] from [`Server::control`] kept for
+/// shutdown).
+pub struct Server<'s> {
+    engine: BatchEngine<'s>,
+    config: ServerConfig,
+    tcp: Option<TcpListener>,
+    unix: Option<UnixListener>,
+    unix_path: Option<PathBuf>,
+    control: Arc<ServerControl>,
+    wake_rx: UnixStream,
+}
+
+impl<'s> Server<'s> {
+    /// Bind listeners for `setting`. At least one of `tcp_addr` (e.g.
+    /// `"127.0.0.1:0"`) and `unix_path` must be given; both may be. The
+    /// Unix socket file must not exist yet and is removed again when
+    /// [`Server::run`] returns.
+    pub fn bind(
+        setting: &'s DataExchangeSetting,
+        tcp_addr: Option<&str>,
+        unix_path: Option<&Path>,
+        config: ServerConfig,
+    ) -> io::Result<Server<'s>> {
+        if tcp_addr.is_none() && unix_path.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "bind at least one of a TCP address and a Unix socket path",
+            ));
+        }
+        let tcp = tcp_addr
+            .map(|addr| {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok::<_, io::Error>(l)
+            })
+            .transpose()?;
+        let unix = unix_path
+            .map(|path| {
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok::<_, io::Error>(l)
+            })
+            .transpose()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let engine = BatchEngine::new(setting).parallelism(workers);
+        Ok(Server {
+            engine,
+            config: ServerConfig { workers, ..config },
+            tcp,
+            unix,
+            unix_path: unix_path.map(Path::to_path_buf),
+            control: Arc::new(ServerControl {
+                stop: AtomicBool::new(false),
+                wake: Mutex::new(wake_tx),
+            }),
+            wake_rx,
+        })
+    }
+
+    /// The shutdown handle.
+    pub fn control(&self) -> Arc<ServerControl> {
+        Arc::clone(&self.control)
+    }
+
+    /// The bound TCP address (useful after binding port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Run the event loop until [`ServerControl::shutdown`]. Spawns the
+    /// worker pool as scoped threads; joins everything before returning.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            engine,
+            config,
+            tcp,
+            unix,
+            unix_path,
+            control,
+            wake_rx,
+        } = self;
+        let shared = Arc::new(Shared::new());
+        let compiled = engine.compiled();
+        let result = std::thread::scope(|scope| {
+            // The epoll instance is created *before* any worker spawns, so
+            // an early `?` cannot leave workers waiting forever.
+            let epoll = Epoll::new()?;
+            for _ in 0..config.workers {
+                let shared = Arc::clone(&shared);
+                let control = Arc::clone(&control);
+                scope.spawn(move || worker_loop(compiled, &shared, &control));
+            }
+            let mut event_loop = EventLoop {
+                config: &config,
+                tcp,
+                unix,
+                wake_rx,
+                control: &control,
+                shared: &shared,
+                epoll,
+                conns: Vec::new(),
+                free_slots: Vec::new(),
+                live_conns: 0,
+                total_inflight: 0,
+                next_generation: 0,
+            };
+            let result = event_loop.run();
+            // Stop the pool: workers drain the remaining queue, then exit.
+            shared.workers_stop.store(true, Ordering::SeqCst);
+            shared.jobs_ready.notify_all();
+            result
+        });
+        if let Some(path) = unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(compiled: &CompiledSetting<'_>, shared: &Shared, control: &ServerControl) {
+    let mut scratch = ExchangeScratch::new();
+    loop {
+        let job = {
+            let mut jobs = shared.jobs.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if shared.workers_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = shared.jobs_ready.wait(jobs).expect("job queue poisoned");
+            }
+        };
+        let body = process(compiled, &mut scratch, job.frame.body);
+        let bytes = wire::frame(wire::encode_response(&ResponseFrame {
+            id: job.frame.id,
+            body,
+        }));
+        shared
+            .done
+            .lock()
+            .expect("completion queue poisoned")
+            .push(Done {
+                slot: job.slot,
+                generation: job.generation,
+                bytes,
+            });
+        control.nudge();
+    }
+}
+
+/// Parse every document of a request, or fail the whole request with the
+/// index of the offending document.
+fn parse_docs(docs: &[String]) -> Result<Vec<XmlTree>, WireError> {
+    docs.iter()
+        .enumerate()
+        .map(|(i, text)| parse_tree(text).map_err(|e| WireError::of_tree_error(i, &e)))
+        .collect()
+}
+
+/// Compute one request's response body. Runs entirely on a worker thread:
+/// text parsing, query planning (once per request), and the per-document
+/// exchange pipeline on the shared compiled setting with this worker's
+/// scratch. Every per-document computation is exactly the one
+/// [`BatchEngine`]'s `*_batch` methods run, so responses are byte-for-byte
+/// what a local batch call would produce.
+fn process(
+    compiled: &CompiledSetting<'_>,
+    scratch: &mut ExchangeScratch,
+    body: RequestBody,
+) -> ResponseBody {
+    match body {
+        RequestBody::Ping => ResponseBody::Pong,
+        RequestBody::CheckConsistency { docs } => match parse_docs(&docs) {
+            Err(e) => ResponseBody::Error(e),
+            Ok(trees) => ResponseBody::Consistency(
+                trees
+                    .iter()
+                    .map(|t| compiled.check_instance_consistency_with(t, scratch))
+                    .collect(),
+            ),
+        },
+        RequestBody::CanonicalSolution { docs } => match parse_docs(&docs) {
+            Err(e) => ResponseBody::Error(e),
+            Ok(trees) => ResponseBody::Solutions(
+                trees
+                    .iter()
+                    .map(|t| {
+                        compiled
+                            .canonical_solution_with(t, scratch)
+                            .map(|solution| tree_to_text(&solution))
+                            .map_err(|e| WireError::of_solution_error(&e))
+                    })
+                    .collect(),
+            ),
+        },
+        RequestBody::CertainAnswers { query, docs } => {
+            let query = match parse_query(&query) {
+                Ok(q) => q,
+                Err(e) => return ResponseBody::Error(WireError::of_query_error(&e)),
+            };
+            let trees = match parse_docs(&docs) {
+                Ok(t) => t,
+                Err(e) => return ResponseBody::Error(e),
+            };
+            let plan = QueryPlan::new(&query, compiled.target_dtd());
+            ResponseBody::Answers(
+                trees
+                    .iter()
+                    .map(|t| {
+                        compiled
+                            .certain_answers_planned_with(t, &plan, scratch)
+                            .map(|answers| answers.tuples.into_iter().collect())
+                            .map_err(|e| WireError::of_solution_error(&e))
+                    })
+                    .collect(),
+            )
+        }
+        RequestBody::CertainAnswersBoolean { query, docs } => {
+            let query = match parse_query(&query) {
+                Ok(q) => q,
+                Err(e) => return ResponseBody::Error(WireError::of_query_error(&e)),
+            };
+            let trees = match parse_docs(&docs) {
+                Ok(t) => t,
+                Err(e) => return ResponseBody::Error(e),
+            };
+            let plan = QueryPlan::new(&query, compiled.target_dtd());
+            ResponseBody::Booleans(
+                trees
+                    .iter()
+                    .map(|t| {
+                        compiled
+                            .certain_boolean_planned_with(t, &plan, scratch)
+                            .map_err(|e| WireError::of_solution_error(&e))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+struct EventLoop<'e> {
+    config: &'e ServerConfig,
+    tcp: Option<TcpListener>,
+    unix: Option<UnixListener>,
+    wake_rx: UnixStream,
+    control: &'e ServerControl,
+    shared: &'e Shared,
+    epoll: Epoll,
+    conns: Vec<Option<Conn>>,
+    free_slots: Vec<usize>,
+    live_conns: usize,
+    total_inflight: usize,
+    next_generation: u64,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) -> io::Result<()> {
+        if let Some(l) = &self.tcp {
+            self.epoll.add(l.as_raw_fd(), EPOLLIN, TOK_TCP)?;
+        }
+        if let Some(l) = &self.unix {
+            self.epoll.add(l.as_raw_fd(), EPOLLIN, TOK_UNIX)?;
+        }
+        self.epoll
+            .add(self.wake_rx.as_raw_fd(), EPOLLIN, TOK_WAKE)?;
+        let mut events: Vec<Event> = Vec::new();
+        while !self.control.stop.load(Ordering::SeqCst) {
+            self.epoll.wait(&mut events, -1)?;
+            for &event in &events {
+                match event.token {
+                    TOK_TCP => self.accept_tcp(),
+                    TOK_UNIX => self.accept_unix(),
+                    TOK_WAKE => self.drain_wake(),
+                    token => self.handle_conn_event(token, event),
+                }
+            }
+            self.drain_completions();
+        }
+        Ok(())
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_tcp(&mut self) {
+        loop {
+            match self
+                .tcp
+                .as_ref()
+                .expect("TCP event without listener")
+                .accept()
+            {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    self.register(Duplex::Tcp(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_unix(&mut self) {
+        loop {
+            match self
+                .unix
+                .as_ref()
+                .expect("Unix event without listener")
+                .accept()
+            {
+                Ok((stream, _)) => self.register(Duplex::Unix(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: Duplex) {
+        if self.live_conns >= self.config.max_connections {
+            return; // drop the socket: accept-and-close sheds load
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        self.next_generation += 1;
+        let conn = Conn {
+            stream,
+            generation: self.next_generation,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: 0,
+            closing: false,
+            want_write: false,
+            peer_eof: false,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        let conn = self.conns[slot].as_ref().expect("just inserted");
+        if self
+            .epoll
+            .add(
+                conn.stream.raw_fd(),
+                EPOLLIN | EPOLLRDHUP,
+                TOK_CONN_BASE + slot as u64,
+            )
+            .is_err()
+        {
+            self.conns[slot] = None;
+            self.free_slots.push(slot);
+            return;
+        }
+        self.live_conns += 1;
+    }
+
+    fn handle_conn_event(&mut self, token: u64, event: Event) {
+        let slot = (token - TOK_CONN_BASE) as usize;
+        if self.conns.get(slot).map(Option::is_none).unwrap_or(true) {
+            return; // stale event for a slot already closed this batch
+        }
+        if event.writable() && !self.flush(slot) {
+            return;
+        }
+        if event.readable() || event.closed() {
+            self.read_and_dispatch(slot, event.closed());
+        }
+    }
+
+    /// Read all available bytes, parse complete frames, dispatch them.
+    fn read_and_dispatch(&mut self, slot: usize, hangup: bool) {
+        let mut chunk = [0u8; 64 * 1024];
+        let mut eof = hangup;
+        loop {
+            let conn = match &mut self.conns[slot] {
+                Some(c) => c,
+                None => return,
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    if !conn.closing {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                    }
+                    // A poisoned connection drains and discards input so the
+                    // peer's pending writes cannot stall the close.
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.parse_frames(slot);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if eof {
+            conn.peer_eof = true;
+        }
+        // A finished peer with nothing pending can be dropped now;
+        // otherwise pending responses flush first (drain_completions /
+        // writable events call `close` when everything settles).
+        if conn.peer_eof && conn.inflight == 0 && conn.wbuf.len() == conn.wpos {
+            self.close(slot);
+        }
+    }
+
+    /// Extract complete frames from the read buffer and dispatch each.
+    fn parse_frames(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.closing {
+                conn.rbuf.clear();
+                conn.rpos = 0;
+                return;
+            }
+            let unread = conn.rbuf.len() - conn.rpos;
+            if unread < 4 {
+                break;
+            }
+            let header = &conn.rbuf[conn.rpos..conn.rpos + 4];
+            let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            if len == 0 || len > self.config.max_frame_bytes {
+                // The stream cannot be re-synchronised: poison it.
+                let code = if len == 0 {
+                    wire::ErrorCode::MalformedFrame
+                } else {
+                    wire::ErrorCode::FrameTooLarge
+                };
+                let frame = ResponseFrame {
+                    id: 0,
+                    body: ResponseBody::Error(WireError::new(
+                        code,
+                        format!(
+                            "frame length {len} outside 1..={}; closing",
+                            self.config.max_frame_bytes
+                        ),
+                    )),
+                };
+                // Poison *before* queueing the error frame: the flush inside
+                // `enqueue_response` tears the connection down as soon as the
+                // frame is fully written.
+                conn.closing = true;
+                conn.rbuf.clear();
+                conn.rpos = 0;
+                self.enqueue_response(slot, &frame);
+                return;
+            }
+            if unread < 4 + len {
+                break; // partial frame: wait for more bytes
+            }
+            let start = conn.rpos + 4;
+            let payload: Vec<u8> = conn.rbuf[start..start + len].to_vec();
+            conn.rpos += 4 + len;
+            self.dispatch_payload(slot, &payload);
+        }
+        // Compact the consumed prefix.
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            if conn.rpos > 0 {
+                conn.rbuf.drain(..conn.rpos);
+                conn.rpos = 0;
+            }
+        }
+    }
+
+    /// Decode one request payload and either answer inline (errors, `Ping`,
+    /// `Busy`) or queue a job for the worker pool.
+    fn dispatch_payload(&mut self, slot: usize, payload: &[u8]) {
+        let request = match wire::decode_request(payload, self.config.max_docs_per_request) {
+            Ok(request) => request,
+            Err(DecodeError { id, error }) => {
+                // The framing is intact — only this request fails.
+                self.enqueue_response(
+                    slot,
+                    &ResponseFrame {
+                        id,
+                        body: ResponseBody::Error(error),
+                    },
+                );
+                return;
+            }
+        };
+        if matches!(request.body, RequestBody::Ping) {
+            // Health checks bypass the pool (and the budget): they must
+            // answer even when the server is saturated.
+            self.enqueue_response(
+                slot,
+                &ResponseFrame {
+                    id: request.id,
+                    body: ResponseBody::Pong,
+                },
+            );
+            return;
+        }
+        let over_conn_cap = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .map(|c| c.inflight >= self.config.max_inflight_per_conn)
+            .unwrap_or(true);
+        if over_conn_cap || self.total_inflight >= self.config.max_inflight_total {
+            self.enqueue_response(
+                slot,
+                &ResponseFrame {
+                    id: request.id,
+                    body: ResponseBody::Busy,
+                },
+            );
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.inflight += 1;
+        self.total_inflight += 1;
+        let job = Job {
+            slot,
+            generation: conn.generation,
+            frame: request,
+        };
+        self.shared
+            .jobs
+            .lock()
+            .expect("job queue poisoned")
+            .push_back(job);
+        self.shared.jobs_ready.notify_one();
+    }
+
+    /// Move worker completions into their connections' write buffers.
+    fn drain_completions(&mut self) {
+        let done: Vec<Done> =
+            std::mem::take(&mut *self.shared.done.lock().expect("completion queue poisoned"));
+        for completion in done {
+            self.total_inflight -= 1;
+            let Some(conn) = self.conns.get_mut(completion.slot).and_then(Option::as_mut) else {
+                continue; // connection died while the job ran
+            };
+            if conn.generation != completion.generation {
+                continue; // slot was recycled: the response has no taker
+            }
+            conn.inflight -= 1;
+            conn.wbuf.extend_from_slice(&completion.bytes);
+            self.flush(completion.slot);
+        }
+    }
+
+    /// Encode a loop-generated response and queue it for writing.
+    fn enqueue_response(&mut self, slot: usize, frame: &ResponseFrame) {
+        let bytes = wire::frame(wire::encode_response(frame));
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.wbuf.extend_from_slice(&bytes);
+        self.flush(slot);
+    }
+
+    /// Write as much pending output as the socket accepts. Returns `false`
+    /// when the connection was closed. Keeps the `EPOLLOUT` registration in
+    /// sync with whether output is pending.
+    fn flush(&mut self, slot: usize) -> bool {
+        let epoll = &self.epoll;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return false;
+        };
+        let mut dead = false;
+        loop {
+            if conn.wpos >= conn.wbuf.len() {
+                break;
+            }
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        // Write-path backpressure: a peer that does not read its responses
+        // cannot be allowed to pin unbounded buffered output (the in-flight
+        // budget is released when a response is *buffered*, so this cap is
+        // what bounds per-connection memory end to end).
+        if !dead && conn.wbuf.len() - conn.wpos > self.config.max_buffered_response_bytes {
+            dead = true;
+        }
+        if !dead {
+            if conn.wpos == conn.wbuf.len() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                if conn.closing || (conn.peer_eof && conn.inflight == 0) {
+                    dead = true;
+                } else if conn.want_write {
+                    conn.want_write = false;
+                    let _ = epoll.modify(
+                        conn.stream.raw_fd(),
+                        EPOLLIN | EPOLLRDHUP,
+                        TOK_CONN_BASE + slot as u64,
+                    );
+                }
+            } else if !conn.want_write {
+                conn.want_write = true;
+                let _ = epoll.modify(
+                    conn.stream.raw_fd(),
+                    EPOLLIN | EPOLLOUT | EPOLLRDHUP,
+                    TOK_CONN_BASE + slot as u64,
+                );
+            }
+        }
+        if dead {
+            self.close(slot);
+            return false;
+        }
+        true
+    }
+
+    /// Tear a connection down. In-flight jobs keep running; their
+    /// completions are dropped by the generation check.
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.epoll.delete(conn.stream.raw_fd());
+            self.live_conns -= 1;
+            self.free_slots.push(slot);
+        }
+    }
+}

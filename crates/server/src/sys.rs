@@ -1,0 +1,212 @@
+//! Minimal `epoll` wrapper — the only `unsafe` in the crate.
+//!
+//! The build environment has no crates.io access, so instead of the `libc`
+//! or `mio` crates this module declares the three `epoll` entry points as
+//! `extern "C"` symbols (they live in the C library the Rust standard
+//! library already links) and wraps them in a safe [`Epoll`] type, exactly
+//! in the spirit of the workspace's `shims/` crates: the smallest API
+//! subset the server needs, nothing more.
+//!
+//! Everything else the event loop touches (TCP/Unix sockets, the wake pipe)
+//! goes through `std`'s safe non-blocking I/O; only registration and
+//! readiness polling need raw syscalls.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::c_int;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel declares it
+/// packed (no padding between the 32-bit mask and the 64-bit payload);
+/// other architectures use natural alignment — mirroring glibc's
+/// definition.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut RawEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readiness: the fd has data to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd accepts writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: error on the fd (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: hang-up (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+/// Condition: peer closed its writing half (must be registered).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness notification: the registered token plus the event mask.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `u64` token the fd was registered with.
+    pub token: u64,
+    /// The raw `EPOLL*` bit mask.
+    pub events: u32,
+}
+
+impl Event {
+    /// Is there data to read (or an accepted connection to take)?
+    pub fn readable(&self) -> bool {
+        self.events & EPOLLIN != 0
+    }
+
+    /// Can the fd be written without blocking?
+    pub fn writable(&self) -> bool {
+        self.events & EPOLLOUT != 0
+    }
+
+    /// Error or hang-up (either direction)?
+    pub fn closed(&self) -> bool {
+        self.events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// A safe wrapper over an `epoll` instance. The fd is owned and closed on
+/// drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers; a negative return is an error.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, otherwise unowned descriptor.
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = RawEvent {
+            events,
+            data: token,
+        };
+        let ev_ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev
+        };
+        // SAFETY: `ev_ptr` is either null (DEL, where the kernel ignores it)
+        // or points at a live, properly laid-out RawEvent for the duration
+        // of the call.
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, ev_ptr) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister a fd (no-op error if it was never registered).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, appending into `out` (cleared first).
+    /// `timeout_ms < 0` blocks indefinitely; `EINTR` retries transparently.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        out.clear();
+        const CAP: usize = 256;
+        let mut raw = [RawEvent { events: 0, data: 0 }; CAP];
+        loop {
+            // SAFETY: the buffer pointer is valid for CAP entries for the
+            // duration of the call; the kernel writes at most CAP of them.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    raw.as_mut_ptr(),
+                    CAP as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for ev in raw.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct field by value.
+                let (events, data) = (ev.events, ev.data);
+                out.push(Event {
+                    token: data,
+                    events,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readability_and_writability() {
+        let epoll = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        epoll.add(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+
+        let mut events = Vec::new();
+        epoll.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing readable yet");
+
+        a.write_all(b"x").unwrap();
+        epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable());
+
+        // Switch interest to writability: an idle socket is writable.
+        epoll.modify(b.as_raw_fd(), EPOLLOUT, 8).unwrap();
+        epoll.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 8 && e.writable()));
+
+        // Peer hang-up surfaces as closed().
+        epoll
+            .modify(b.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 9)
+            .unwrap();
+        drop(a);
+        epoll.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.closed()));
+
+        epoll.delete(b.as_raw_fd()).unwrap();
+        epoll.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! The one stream type both ends of the protocol read and write: a TCP or
+//! Unix-domain socket behind a uniform `Read`/`Write` face. Shared by the
+//! event loop ([`crate::server`]) and the blocking client
+//! ([`crate::client`]) so transport-level changes (vectored writes, read
+//! timeouts, TLS once a crypto dependency exists) land in exactly one
+//! place.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+
+/// A connected stream socket of either family.
+pub(crate) enum Duplex {
+    /// TCP.
+    Tcp(TcpStream),
+    /// Unix-domain.
+    Unix(UnixStream),
+}
+
+impl Duplex {
+    /// The raw fd, for epoll registration.
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Duplex::Tcp(s) => s.as_raw_fd(),
+            Duplex::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Switch the socket into non-blocking mode (the event loop's shape).
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Duplex::Tcp(s) => s.set_nonblocking(nonblocking),
+            Duplex::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+impl Read for Duplex {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Duplex::Tcp(s) => s.read(buf),
+            Duplex::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Duplex {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Duplex::Tcp(s) => s.write(buf),
+            Duplex::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Duplex::Tcp(s) => s.flush(),
+            Duplex::Unix(s) => s.flush(),
+        }
+    }
+}

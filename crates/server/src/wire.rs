@@ -1,0 +1,904 @@
+//! The length-prefixed binary wire protocol (see `PROTOCOL.md`).
+//!
+//! A frame is `[len: u32 BE][payload: len bytes]`. Request payloads are
+//! `[op: u8][id: u64 BE][body]`; response payloads are
+//! `[status: u8][id: u64 BE][body]`. Documents travel as the lossless tree
+//! text of [`xdx_xmltree::text`], queries as the rule syntax of
+//! [`xdx_patterns::parser::parse_query`] — both inside length-prefixed
+//! UTF-8 strings (`[len: u32 BE][bytes]`).
+//!
+//! Every decoder in this module is **total**: arbitrary bytes produce a
+//! structured [`DecodeError`], never a panic, and no length field is
+//! trusted beyond the bytes actually present (so a hostile frame cannot
+//! cause an oversized allocation). The proptests at the bottom round-trip
+//! every frame shape and throw garbage/truncations at the decoders.
+
+use std::fmt;
+use xdx_core::solution::SolutionError;
+use xdx_patterns::QueryParseError;
+use xdx_xmltree::TreeTextError;
+
+/// Hard protocol cap on documents per request (servers may configure a
+/// lower one).
+pub const MAX_DOCS_PER_REQUEST: usize = 1024;
+
+/// Default cap on a request frame's payload size (servers may configure).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Operation selector of a request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Health check; echoes the request id.
+    Ping = 0,
+    /// Per-document consistency: conforming source with a solution?
+    CheckConsistency = 1,
+    /// Canonical solution (Section 6.1 chase) per document.
+    CanonicalSolution = 2,
+    /// Certain answers of a query per document.
+    CertainAnswers = 3,
+    /// Certain answer of a Boolean query per document.
+    CertainAnswersBoolean = 4,
+}
+
+impl OpCode {
+    fn from_u8(op: u8) -> Option<OpCode> {
+        match op {
+            0 => Some(OpCode::Ping),
+            1 => Some(OpCode::CheckConsistency),
+            2 => Some(OpCode::CanonicalSolution),
+            3 => Some(OpCode::CertainAnswers),
+            4 => Some(OpCode::CertainAnswersBoolean),
+            _ => None,
+        }
+    }
+}
+
+/// Stable error codes carried by error frames and per-document error
+/// results — one for every failure the serving pipeline can produce,
+/// covering the whole [`SolutionError`] enum, both halves of
+/// [`QueryParseError`], tree-text errors and the protocol-level failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The payload does not decode (bad lengths, bad UTF-8, trailing bytes).
+    MalformedFrame = 1,
+    /// The frame's announced length exceeds the server's configured cap.
+    FrameTooLarge = 2,
+    /// Unknown op code.
+    UnknownOp = 3,
+    /// More documents than the protocol or the server allows.
+    TooManyDocs = 4,
+    /// A document failed to parse ([`TreeTextError`]).
+    TreeParse = 5,
+    /// The query text failed to parse ([`QueryParseError::Syntax`]).
+    QuerySyntax = 6,
+    /// [`xdx_patterns::query::QueryError::UnboundHeadVariable`].
+    QueryUnboundHeadVariable = 7,
+    /// [`xdx_patterns::query::QueryError::MismatchedArity`].
+    QueryMismatchedArity = 8,
+    /// [`xdx_patterns::query::QueryError::EmptyUnion`].
+    QueryEmptyUnion = 9,
+
+    /// [`SolutionError::NotFullySpecified`].
+    NotFullySpecified = 100,
+    /// [`SolutionError::DisallowedAttribute`].
+    DisallowedAttribute = 101,
+    /// [`SolutionError::AttributeClash`].
+    AttributeClash = 102,
+    /// [`SolutionError::NoRepair`].
+    NoRepair = 103,
+    /// [`SolutionError::NoMaximumRepair`].
+    NoMaximumRepair = 104,
+    /// [`SolutionError::UnknownTargetElement`].
+    UnknownTargetElement = 105,
+    /// [`SolutionError::WildcardInTarget`].
+    WildcardInTarget = 106,
+    /// [`SolutionError::ChaseBudgetExceeded`].
+    ChaseBudgetExceeded = 107,
+    /// [`SolutionError::RepairBudgetExceeded`].
+    RepairBudgetExceeded = 108,
+}
+
+impl ErrorCode {
+    /// Decode a wire code.
+    pub fn from_u16(code: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match code {
+            1 => MalformedFrame,
+            2 => FrameTooLarge,
+            3 => UnknownOp,
+            4 => TooManyDocs,
+            5 => TreeParse,
+            6 => QuerySyntax,
+            7 => QueryUnboundHeadVariable,
+            8 => QueryMismatchedArity,
+            9 => QueryEmptyUnion,
+            100 => NotFullySpecified,
+            101 => DisallowedAttribute,
+            102 => AttributeClash,
+            103 => NoRepair,
+            104 => NoMaximumRepair,
+            105 => UnknownTargetElement,
+            106 => WildcardInTarget,
+            107 => ChaseBudgetExceeded,
+            108 => RepairBudgetExceeded,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error as it travels on the wire: a stable code plus the
+/// human-readable rendering of the underlying error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable error code.
+    pub code: ErrorCode,
+    /// Human-readable detail (the `Display` of the source error).
+    pub message: String,
+}
+
+impl WireError {
+    /// Build from any message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Map a [`SolutionError`] to its wire form (every variant has a code).
+    pub fn of_solution_error(e: &SolutionError) -> WireError {
+        let code = match e {
+            SolutionError::NotFullySpecified { .. } => ErrorCode::NotFullySpecified,
+            SolutionError::DisallowedAttribute { .. } => ErrorCode::DisallowedAttribute,
+            SolutionError::AttributeClash { .. } => ErrorCode::AttributeClash,
+            SolutionError::NoRepair { .. } => ErrorCode::NoRepair,
+            SolutionError::NoMaximumRepair { .. } => ErrorCode::NoMaximumRepair,
+            SolutionError::UnknownTargetElement { .. } => ErrorCode::UnknownTargetElement,
+            SolutionError::WildcardInTarget { .. } => ErrorCode::WildcardInTarget,
+            SolutionError::ChaseBudgetExceeded { .. } => ErrorCode::ChaseBudgetExceeded,
+            SolutionError::RepairBudgetExceeded { .. } => ErrorCode::RepairBudgetExceeded,
+        };
+        WireError::new(code, e.to_string())
+    }
+
+    /// Map a query parse failure (either half of [`QueryParseError`]).
+    pub fn of_query_error(e: &QueryParseError) -> WireError {
+        use xdx_patterns::query::QueryError;
+        let code = match e {
+            QueryParseError::Syntax(_) => ErrorCode::QuerySyntax,
+            QueryParseError::Invalid(QueryError::UnboundHeadVariable { .. }) => {
+                ErrorCode::QueryUnboundHeadVariable
+            }
+            QueryParseError::Invalid(QueryError::MismatchedArity { .. }) => {
+                ErrorCode::QueryMismatchedArity
+            }
+            QueryParseError::Invalid(QueryError::EmptyUnion) => ErrorCode::QueryEmptyUnion,
+        };
+        WireError::new(code, e.to_string())
+    }
+
+    /// Map a tree-text parse failure (with the failing document's index).
+    pub fn of_tree_error(doc_index: usize, e: &TreeTextError) -> WireError {
+        WireError::new(ErrorCode::TreeParse, format!("document {doc_index}: {e}"))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// Client-chosen id, echoed verbatim in the response (responses may
+    /// arrive out of order under pipelining).
+    pub id: u64,
+    /// The operation and its arguments.
+    pub body: RequestBody,
+}
+
+/// The operation of a request, with documents/queries still in text form
+/// (parsing happens in the worker pool, off the event loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Health check.
+    Ping,
+    /// Consistency of each document.
+    CheckConsistency {
+        /// Source documents (tree text).
+        docs: Vec<String>,
+    },
+    /// Canonical solution of each document.
+    CanonicalSolution {
+        /// Source documents (tree text).
+        docs: Vec<String>,
+    },
+    /// Certain answers of `query` for each document.
+    CertainAnswers {
+        /// The query (rule syntax).
+        query: String,
+        /// Source documents (tree text).
+        docs: Vec<String>,
+    },
+    /// Certain Boolean answer of `query` for each document.
+    CertainAnswersBoolean {
+        /// The query (rule syntax).
+        query: String,
+        /// Source documents (tree text).
+        docs: Vec<String>,
+    },
+}
+
+impl RequestBody {
+    /// The op code this body encodes as.
+    pub fn op(&self) -> OpCode {
+        match self {
+            RequestBody::Ping => OpCode::Ping,
+            RequestBody::CheckConsistency { .. } => OpCode::CheckConsistency,
+            RequestBody::CanonicalSolution { .. } => OpCode::CanonicalSolution,
+            RequestBody::CertainAnswers { .. } => OpCode::CertainAnswers,
+            RequestBody::CertainAnswersBoolean { .. } => OpCode::CertainAnswersBoolean,
+        }
+    }
+
+    /// Number of documents carried. Note the server's in-flight budget
+    /// counts *requests*, not documents — a full micro-batch occupies one
+    /// budget slot (size the budget against
+    /// `max_inflight_total × max_docs_per_request` documents of work).
+    pub fn doc_count(&self) -> usize {
+        match self {
+            RequestBody::Ping => 0,
+            RequestBody::CheckConsistency { docs }
+            | RequestBody::CanonicalSolution { docs }
+            | RequestBody::CertainAnswers { docs, .. }
+            | RequestBody::CertainAnswersBoolean { docs, .. } => docs.len(),
+        }
+    }
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// The request id this answers.
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// Per-document outcome: the op's result or a structured error.
+pub type DocResult<T> = Result<T, WireError>;
+
+/// The outcome carried by a response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseBody {
+    /// Reply to [`RequestBody::Ping`].
+    Pong,
+    /// The server is saturated (in-flight budget or per-connection
+    /// pipelining cap); retry later. Carries no results.
+    Busy,
+    /// The whole request failed (malformed frame, bad query, …).
+    Error(WireError),
+    /// Per-document consistency verdicts.
+    Consistency(Vec<bool>),
+    /// Per-document canonical solutions (tree text) or errors.
+    Solutions(Vec<DocResult<String>>),
+    /// Per-document certain-answer tuple sets (each tuple a row of
+    /// constants, rows in the deterministic `BTreeSet` order) or errors.
+    Answers(Vec<DocResult<Vec<Vec<String>>>>),
+    /// Per-document Boolean certain answers or errors.
+    Booleans(Vec<DocResult<bool>>),
+}
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+const STATUS_BUSY: u8 = 2;
+
+/// A failure to decode a payload, with the request id when it was readable
+/// (so the error frame can still be correlated by the client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The id echoed back (0 when the payload was too short to carry one).
+    pub id: u64,
+    /// What went wrong.
+    pub error: WireError,
+}
+
+impl DecodeError {
+    fn new(id: u64, code: ErrorCode, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            id,
+            error: WireError::new(code, message),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers/writers
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    id: u64,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0, id: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError::new(self.id, ErrorCode::MalformedFrame, message)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(format!(
+                "payload truncated: need {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("string is not valid UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            Err(self.err(format!(
+                "{} trailing bytes after the payload",
+                self.buf.len() - self.pos
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(
+        out,
+        u32::try_from(s.len()).expect("string exceeds u32::MAX bytes"),
+    );
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_wire_error(out: &mut Vec<u8>, e: &WireError) {
+    put_u16(out, e.code as u16);
+    put_string(out, &e.message);
+}
+
+fn read_wire_error(r: &mut Reader<'_>) -> Result<WireError, DecodeError> {
+    let raw = r.u16()?;
+    let code =
+        ErrorCode::from_u16(raw).ok_or_else(|| r.err(format!("unknown error code {raw}")))?;
+    let message = r.string()?;
+    Ok(WireError { code, message })
+}
+
+fn put_doc_result<T>(out: &mut Vec<u8>, result: &DocResult<T>, put: impl Fn(&mut Vec<u8>, &T)) {
+    match result {
+        Ok(v) => {
+            out.push(0);
+            put(out, v);
+        }
+        Err(e) => {
+            out.push(1);
+            put_wire_error(out, e);
+        }
+    }
+}
+
+fn read_doc_result<T>(
+    r: &mut Reader<'_>,
+    read: impl Fn(&mut Reader<'_>) -> Result<T, DecodeError>,
+) -> Result<DocResult<T>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(Ok(read(r)?)),
+        1 => Ok(Err(read_wire_error(r)?)),
+        t => Err(r.err(format!("unknown result tag {t}"))),
+    }
+}
+
+fn read_docs(r: &mut Reader<'_>, max_docs: usize) -> Result<Vec<String>, DecodeError> {
+    let n = r.u16()? as usize;
+    if n > MAX_DOCS_PER_REQUEST.min(max_docs) {
+        return Err(DecodeError::new(
+            r.id,
+            ErrorCode::TooManyDocs,
+            format!(
+                "{n} documents exceed the limit of {}",
+                MAX_DOCS_PER_REQUEST.min(max_docs)
+            ),
+        ));
+    }
+    let mut docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        docs.push(r.string()?);
+    }
+    Ok(docs)
+}
+
+fn put_docs(out: &mut Vec<u8>, docs: &[String]) {
+    put_u16(
+        out,
+        u16::try_from(docs.len()).expect("doc count exceeds u16"),
+    );
+    for d in docs {
+        put_string(out, d);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding/decoding
+// ---------------------------------------------------------------------------
+
+/// Wrap a payload in its `[len: u32 BE]` prefix.
+pub fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    put_u32(
+        &mut out,
+        u32::try_from(payload.len()).expect("payload exceeds u32::MAX bytes"),
+    );
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encode a request payload (no length prefix; see [`frame`]).
+pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(req.body.op() as u8);
+    put_u64(&mut out, req.id);
+    match &req.body {
+        RequestBody::Ping => {}
+        RequestBody::CheckConsistency { docs } | RequestBody::CanonicalSolution { docs } => {
+            put_docs(&mut out, docs);
+        }
+        RequestBody::CertainAnswers { query, docs }
+        | RequestBody::CertainAnswersBoolean { query, docs } => {
+            put_string(&mut out, query);
+            put_docs(&mut out, docs);
+        }
+    }
+    out
+}
+
+/// Decode a request payload. `max_docs` is the server's configured
+/// per-request document cap (the protocol cap [`MAX_DOCS_PER_REQUEST`]
+/// applies on top).
+pub fn decode_request(payload: &[u8], max_docs: usize) -> Result<RequestFrame, DecodeError> {
+    let mut r = Reader::new(payload);
+    let op_raw = r.u8()?;
+    r.id = r.u64()?;
+    let op = OpCode::from_u8(op_raw).ok_or_else(|| {
+        DecodeError::new(r.id, ErrorCode::UnknownOp, format!("unknown op {op_raw}"))
+    })?;
+    let body = match op {
+        OpCode::Ping => RequestBody::Ping,
+        OpCode::CheckConsistency => RequestBody::CheckConsistency {
+            docs: read_docs(&mut r, max_docs)?,
+        },
+        OpCode::CanonicalSolution => RequestBody::CanonicalSolution {
+            docs: read_docs(&mut r, max_docs)?,
+        },
+        OpCode::CertainAnswers => {
+            let query = r.string()?;
+            RequestBody::CertainAnswers {
+                query,
+                docs: read_docs(&mut r, max_docs)?,
+            }
+        }
+        OpCode::CertainAnswersBoolean => {
+            let query = r.string()?;
+            RequestBody::CertainAnswersBoolean {
+                query,
+                docs: read_docs(&mut r, max_docs)?,
+            }
+        }
+    };
+    r.finish()?;
+    Ok(RequestFrame { id: r.id, body })
+}
+
+/// Encode a response payload (no length prefix; see [`frame`]).
+pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    match &resp.body {
+        ResponseBody::Error(e) => {
+            out.push(STATUS_ERROR);
+            put_u64(&mut out, resp.id);
+            put_wire_error(&mut out, e);
+        }
+        ResponseBody::Busy => {
+            out.push(STATUS_BUSY);
+            put_u64(&mut out, resp.id);
+        }
+        ResponseBody::Pong => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::Ping as u8);
+        }
+        ResponseBody::Consistency(flags) => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::CheckConsistency as u8);
+            put_u16(
+                &mut out,
+                u16::try_from(flags.len()).expect("doc count exceeds u16"),
+            );
+            out.extend(flags.iter().map(|&b| b as u8));
+        }
+        ResponseBody::Solutions(results) => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::CanonicalSolution as u8);
+            put_u16(
+                &mut out,
+                u16::try_from(results.len()).expect("doc count exceeds u16"),
+            );
+            for result in results {
+                put_doc_result(&mut out, result, |out, text| put_string(out, text));
+            }
+        }
+        ResponseBody::Answers(results) => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::CertainAnswers as u8);
+            put_u16(
+                &mut out,
+                u16::try_from(results.len()).expect("doc count exceeds u16"),
+            );
+            for result in results {
+                put_doc_result(&mut out, result, |out, tuples| {
+                    put_u32(
+                        out,
+                        u32::try_from(tuples.len()).expect("tuple count exceeds u32"),
+                    );
+                    for tuple in tuples {
+                        put_u16(out, u16::try_from(tuple.len()).expect("arity exceeds u16"));
+                        for v in tuple {
+                            put_string(out, v);
+                        }
+                    }
+                });
+            }
+        }
+        ResponseBody::Booleans(results) => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::CertainAnswersBoolean as u8);
+            put_u16(
+                &mut out,
+                u16::try_from(results.len()).expect("doc count exceeds u16"),
+            );
+            for result in results {
+                put_doc_result(&mut out, result, |out, &b| out.push(b as u8));
+            }
+        }
+    }
+    out
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, DecodeError> {
+    let mut r = Reader::new(payload);
+    let status = r.u8()?;
+    r.id = r.u64()?;
+    let body = match status {
+        STATUS_BUSY => ResponseBody::Busy,
+        STATUS_ERROR => ResponseBody::Error(read_wire_error(&mut r)?),
+        STATUS_OK => {
+            let op_raw = r.u8()?;
+            let op = OpCode::from_u8(op_raw).ok_or_else(|| {
+                DecodeError::new(r.id, ErrorCode::UnknownOp, format!("unknown op {op_raw}"))
+            })?;
+            match op {
+                OpCode::Ping => ResponseBody::Pong,
+                OpCode::CheckConsistency => {
+                    let n = r.u16()? as usize;
+                    let mut flags = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        flags.push(match r.u8()? {
+                            0 => false,
+                            1 => true,
+                            b => return Err(r.err(format!("bad boolean {b}"))),
+                        });
+                    }
+                    ResponseBody::Consistency(flags)
+                }
+                OpCode::CanonicalSolution => {
+                    let n = r.u16()? as usize;
+                    let mut results = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        results.push(read_doc_result(&mut r, |r| r.string())?);
+                    }
+                    ResponseBody::Solutions(results)
+                }
+                OpCode::CertainAnswers => {
+                    let n = r.u16()? as usize;
+                    let mut results = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        results.push(read_doc_result(&mut r, |r| {
+                            let count = r.u32()? as usize;
+                            let mut tuples = Vec::with_capacity(count.min(4096));
+                            for _ in 0..count {
+                                let arity = r.u16()? as usize;
+                                let mut tuple = Vec::with_capacity(arity.min(4096));
+                                for _ in 0..arity {
+                                    tuple.push(r.string()?);
+                                }
+                                tuples.push(tuple);
+                            }
+                            Ok(tuples)
+                        })?);
+                    }
+                    ResponseBody::Answers(results)
+                }
+                OpCode::CertainAnswersBoolean => {
+                    let n = r.u16()? as usize;
+                    let mut results = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        results.push(read_doc_result(&mut r, |r| match r.u8()? {
+                            0 => Ok(false),
+                            1 => Ok(true),
+                            b => Err(r.err(format!("bad boolean {b}"))),
+                        })?);
+                    }
+                    ResponseBody::Booleans(results)
+                }
+            }
+        }
+        s => return Err(r.err(format!("unknown status {s}"))),
+    };
+    r.finish()?;
+    Ok(ResponseFrame { id: r.id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<RequestFrame> {
+        vec![
+            RequestFrame {
+                id: 0,
+                body: RequestBody::Ping,
+            },
+            RequestFrame {
+                id: u64::MAX,
+                body: RequestBody::CheckConsistency { docs: vec![] },
+            },
+            RequestFrame {
+                id: 7,
+                body: RequestBody::CanonicalSolution {
+                    docs: vec!["db".into(), "db[book(@title=\"x\")]".into()],
+                },
+            },
+            RequestFrame {
+                id: 8,
+                body: RequestBody::CertainAnswers {
+                    query: "($x) :- work(@title=$x)".into(),
+                    docs: vec!["db".into()],
+                },
+            },
+            RequestFrame {
+                id: 9,
+                body: RequestBody::CertainAnswersBoolean {
+                    query: "() :- bib".into(),
+                    docs: vec!["".into(), "⊥ weird \"doc\"".into()],
+                },
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<ResponseFrame> {
+        let err = WireError::new(ErrorCode::NoRepair, "the children cannot be repaired");
+        vec![
+            ResponseFrame {
+                id: 1,
+                body: ResponseBody::Pong,
+            },
+            ResponseFrame {
+                id: 2,
+                body: ResponseBody::Busy,
+            },
+            ResponseFrame {
+                id: 3,
+                body: ResponseBody::Error(WireError::new(ErrorCode::MalformedFrame, "bad")),
+            },
+            ResponseFrame {
+                id: 4,
+                body: ResponseBody::Consistency(vec![true, false, true]),
+            },
+            ResponseFrame {
+                id: 5,
+                body: ResponseBody::Solutions(vec![
+                    Ok("bib[writer(@name=\"P\")]".into()),
+                    Err(err.clone()),
+                ]),
+            },
+            ResponseFrame {
+                id: 6,
+                body: ResponseBody::Answers(vec![
+                    Ok(vec![vec!["a".into(), "b".into()], vec![]]),
+                    Ok(vec![]),
+                    Err(err),
+                ]),
+            },
+            ResponseFrame {
+                id: 7,
+                body: ResponseBody::Booleans(vec![
+                    Ok(true),
+                    Ok(false),
+                    Err(WireError::new(ErrorCode::AttributeClash, "clash")),
+                ]),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            let back = decode_response(&bytes).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_payloads_never_panic() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            for cut in 0..bytes.len() {
+                let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST);
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            for cut in 0..bytes.len() {
+                let _ = decode_response(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for req in sample_requests() {
+            let mut bytes = encode_request(&req);
+            bytes.push(0);
+            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap_err();
+            assert_eq!(err.error.code, ErrorCode::MalformedFrame);
+            assert_eq!(err.id, req.id, "the id must still be echoed");
+        }
+    }
+
+    #[test]
+    fn unknown_ops_and_doc_limits_carry_codes() {
+        let mut bytes = vec![99u8];
+        bytes.extend_from_slice(&42u64.to_be_bytes());
+        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+        assert_eq!(err.id, 42);
+
+        let req = RequestFrame {
+            id: 5,
+            body: RequestBody::CheckConsistency {
+                docs: vec!["db".into(); 10],
+            },
+        };
+        let bytes = encode_request(&req);
+        let err = decode_request(&bytes, 4).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::TooManyDocs);
+        assert_eq!(err.id, 5);
+    }
+
+    #[test]
+    fn hostile_length_fields_do_not_overallocate() {
+        // A string length of u32::MAX with 3 bytes of data must fail
+        // cleanly (allocation is bounded by the actual payload).
+        let mut bytes = vec![OpCode::CertainAnswers as u8];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(b"abc");
+        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::MalformedFrame);
+    }
+
+    #[test]
+    fn every_solution_error_variant_has_a_distinct_code() {
+        use xdx_xmltree::ElementType;
+        let variants = vec![
+            SolutionError::NotFullySpecified { std_index: 0 },
+            SolutionError::DisallowedAttribute {
+                element: ElementType::new("e"),
+                attr: "@a".into(),
+            },
+            SolutionError::AttributeClash {
+                element: ElementType::new("e"),
+                attr: "@a".into(),
+                values: ("x".into(), "y".into()),
+            },
+            SolutionError::NoRepair {
+                element: ElementType::new("e"),
+            },
+            SolutionError::NoMaximumRepair {
+                element: ElementType::new("e"),
+            },
+            SolutionError::UnknownTargetElement {
+                element: ElementType::new("e"),
+            },
+            SolutionError::WildcardInTarget { std_index: 1 },
+            SolutionError::ChaseBudgetExceeded { steps: 3 },
+            SolutionError::RepairBudgetExceeded {
+                message: "m".into(),
+            },
+        ];
+        let mut codes: Vec<u16> = variants
+            .iter()
+            .map(|e| WireError::of_solution_error(e).code as u16)
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len());
+        // And every code survives the wire.
+        for e in &variants {
+            let w = WireError::of_solution_error(e);
+            assert_eq!(ErrorCode::from_u16(w.code as u16), Some(w.code));
+            assert_eq!(w.message, e.to_string());
+        }
+    }
+}

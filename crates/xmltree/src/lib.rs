@@ -25,6 +25,9 @@
 //!   tests, DTD consistency and the trimming construction of Lemma 2.2, and
 //!   the `D°`/`D*` transformations used by the nested-relational consistency
 //!   algorithm (Theorem 4.5);
+//! * [`text`] — a lossless, iterative (depth-bomb-safe) text serialization
+//!   of trees with a total parser; the document codec of the `xdx-server`
+//!   wire protocol;
 //! * [`interner`] / [`compiled`] — the compiled fast path: dense `u32`
 //!   symbol ids ([`Sym`]) and per-DTD dense-table DFAs plus occurrence-bound
 //!   summaries ([`CompiledDtd`]), built once per DTD and used by every
@@ -38,6 +41,7 @@ pub mod compiled;
 pub mod dtd;
 pub mod interner;
 pub mod name;
+pub mod text;
 pub mod tree;
 pub mod value;
 
@@ -45,5 +49,6 @@ pub use compiled::CompiledDtd;
 pub use dtd::{ConformanceViolation, Dtd, DtdBuilder, DtdError};
 pub use interner::{Interner, Sym};
 pub use name::{AttrName, ElementType};
+pub use text::{parse_tree, tree_to_text, TreeTextError};
 pub use tree::{NodeId, Preorder, TreeBuilder, XmlTree};
 pub use value::{NullGen, NullId, Value};

@@ -1,0 +1,152 @@
+//! Serve the running example over the wire — and smoke-test it.
+//!
+//! Server mode (runs until killed; used by the CI smoke step):
+//!
+//! ```text
+//! cargo run --release --example serve -- --unix /tmp/xdx.sock
+//! cargo run --release --example serve -- --tcp 127.0.0.1:7878
+//! cargo run --release --example serve -- --tcp 127.0.0.1:0 --unix /tmp/xdx.sock
+//! ```
+//!
+//! Client smoke mode (connects, runs every operation once, verifies the
+//! results against in-process oracles, exits non-zero on any mismatch):
+//!
+//! ```text
+//! cargo run --release --example serve -- --client-smoke /tmp/xdx.sock
+//! cargo run --release --example serve -- --client-smoke 127.0.0.1:7878
+//! ```
+//!
+//! The served setting is the paper's books→writers running example
+//! (Figures 1 and 2), so the smoke client's documents are Figure 1(b).
+
+use std::path::Path;
+use xdx_server::{Client, Server, ServerConfig};
+use xml_data_exchange::core::certain_answers;
+use xml_data_exchange::core::setting::{books_to_writers_setting, figure_1_source_tree};
+use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+use xml_data_exchange::xmltree::tree_to_text;
+use xml_data_exchange::XmlTree;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut smoke: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                tcp = Some(args.get(i + 1).expect("--tcp needs an address").clone());
+                i += 2;
+            }
+            "--unix" => {
+                unix = Some(args.get(i + 1).expect("--unix needs a path").clone());
+                i += 2;
+            }
+            "--client-smoke" => {
+                smoke = Some(
+                    args.get(i + 1)
+                        .expect("--client-smoke needs a socket path or address")
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(target) = smoke {
+        client_smoke(&target);
+        return;
+    }
+    if tcp.is_none() && unix.is_none() {
+        eprintln!("usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET");
+        std::process::exit(2);
+    }
+
+    let setting = books_to_writers_setting();
+    let server = Server::bind(
+        &setting,
+        tcp.as_deref(),
+        unix.as_deref().map(Path::new),
+        ServerConfig::default(),
+    )
+    .expect("bind listeners");
+    if let Some(addr) = server.tcp_addr() {
+        println!("serving books→writers on tcp://{addr}");
+    }
+    if let Some(path) = &unix {
+        println!("serving books→writers on unix://{path}");
+    }
+    println!("protocol: crates/server/PROTOCOL.md (ops: ping, consistency, solution, answers)");
+    // Runs until the process is killed; the CI smoke step does exactly that.
+    server.run().expect("event loop");
+}
+
+/// Connect, run every operation once, check against in-process oracles.
+fn client_smoke(target: &str) {
+    let mut client = if target.contains('/') {
+        Client::connect_unix(target).expect("connect unix")
+    } else {
+        Client::connect_tcp(target).expect("connect tcp")
+    };
+    client.ping().expect("ping");
+    println!("ping: ok");
+
+    let setting = books_to_writers_setting();
+    let source = figure_1_source_tree();
+    let docs: Vec<XmlTree> = vec![source.clone(), XmlTree::new("db")];
+
+    let consistent = client.check_consistency(&docs).expect("consistency");
+    assert_eq!(consistent, vec![true, true], "consistency verdicts");
+    println!("check_consistency: {consistent:?}");
+
+    let solutions = client
+        .canonical_solution_texts(&docs)
+        .expect("canonical solutions");
+    let local = xml_data_exchange::canonical_solution(&setting, &source).expect("local chase");
+    assert_eq!(
+        solutions[0].as_ref().expect("remote chase"),
+        &tree_to_text(&local),
+        "served solution must equal the local one byte-for-byte"
+    );
+    println!(
+        "canonical_solution: {} bytes (matches local result)",
+        solutions[0].as_ref().unwrap().len()
+    );
+
+    let query = UnionQuery::single(
+        ConjunctiveTreeQuery::new(
+            ["w"],
+            vec![
+                parse_pattern("writer(@name=$w)[work(@title=\"Computational Complexity\")]")
+                    .unwrap(),
+            ],
+        )
+        .unwrap(),
+    );
+    let answers = client.certain_answers(&query, &docs[..1]).expect("answers");
+    let expect: Vec<Vec<String>> = certain_answers(&setting, &source, &query)
+        .unwrap()
+        .tuples
+        .into_iter()
+        .collect();
+    assert_eq!(answers[0].as_ref().unwrap(), &expect, "certain answers");
+    println!("certain_answers: {answers:?}");
+
+    let boolean = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![parse_pattern(
+        "bib[writer(@name=\"Steiglitz\")]",
+    )
+    .unwrap()]));
+    let booleans = client
+        .certain_answers_boolean(&boolean, &docs[..1])
+        .expect("booleans");
+    assert_eq!(booleans[0].as_ref().unwrap(), &true, "boolean answer");
+    println!("certain_answers_boolean: {booleans:?}");
+
+    println!("smoke test passed");
+}

@@ -5,7 +5,7 @@
 //! Consistency and Query Answering"* (PODS 2005; expanded version in JACM
 //! 55(2), 2008).
 //!
-//! The implementation is split into five crates, re-exported here:
+//! The implementation is split into six crates, re-exported here:
 //!
 //! * [`relang`] — regular-expression algebra over element types: parsing,
 //!   NFAs/DFAs, Parikh images and permutation languages `π(r)`
@@ -20,7 +20,12 @@
 //!   satisfiability engine behind the consistency results (Theorem 4.1);
 //! * [`core`] — data exchange settings, consistency checking, the canonical
 //!   solution chase, certain answers, the dichotomy classification
-//!   (Theorem 6.2) and executable hardness gadgets.
+//!   (Theorem 6.2) and executable hardness gadgets;
+//! * [`server`] — the async serving front-end: a hand-rolled epoll event
+//!   loop and a length-prefixed wire protocol exposing consistency checks,
+//!   canonical solutions and certain answers over TCP and Unix sockets,
+//!   dispatching micro-batches to a worker pool over one compiled setting
+//!   (see `crates/server/PROTOCOL.md` and `examples/serve.rs`).
 //!
 //! ## Quickstart
 //!
@@ -68,6 +73,7 @@ pub use xdx_automata as automata;
 pub use xdx_core as core;
 pub use xdx_patterns as patterns;
 pub use xdx_relang as relang;
+pub use xdx_server as server;
 pub use xdx_xmltree as xmltree;
 
 pub use xdx_core::{

@@ -1,0 +1,177 @@
+//! Proptests for the `xdx-server` wire codec: every request/response shape
+//! round-trips, and hostile inputs — random garbage, truncations and
+//! corruptions of valid frames — decode to structured errors without ever
+//! panicking. Sampling is deterministic per test (the proptest shim
+//! derives the seed from the test name) and scales with `PROPTEST_CASES`.
+
+use proptest::prelude::*;
+use xdx_server::wire::{
+    decode_request, decode_response, encode_request, encode_response, DocResult, ErrorCode,
+    RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError, MAX_DOCS_PER_REQUEST,
+};
+
+fn cases(default: u32) -> u32 {
+    ProptestConfig::env_cases().unwrap_or(default)
+}
+
+/// Strings exercising every shape the codec must carry: empties, quotes,
+/// backslashes, multi-byte UTF-8 (incl. the null marker ⊥), long runs.
+fn random_string(rng: &mut TestRng) -> String {
+    const PIECES: [&str; 8] = [
+        "",
+        "db",
+        "db[book(@title=\"T0\")]",
+        "quote\"back\\slash",
+        "⊥7 nulls and ünïcode",
+        "($x) :- work(@title=$x)",
+        "\0binary\u{1}",
+        "spaces and , commas ] brackets",
+    ];
+    let mut s = PIECES[rng.next_u64() as usize % PIECES.len()].to_string();
+    if rng.next_u64().is_multiple_of(7) {
+        s.push_str(&"x".repeat((rng.next_u64() % 300) as usize));
+    }
+    s
+}
+
+fn random_docs(rng: &mut TestRng) -> Vec<String> {
+    (0..rng.next_u64() % 5)
+        .map(|_| random_string(rng))
+        .collect()
+}
+
+fn random_request(rng: &mut TestRng) -> RequestFrame {
+    let id = rng.next_u64();
+    let body = match rng.next_u64() % 5 {
+        0 => RequestBody::Ping,
+        1 => RequestBody::CheckConsistency {
+            docs: random_docs(rng),
+        },
+        2 => RequestBody::CanonicalSolution {
+            docs: random_docs(rng),
+        },
+        3 => RequestBody::CertainAnswers {
+            query: random_string(rng),
+            docs: random_docs(rng),
+        },
+        _ => RequestBody::CertainAnswersBoolean {
+            query: random_string(rng),
+            docs: random_docs(rng),
+        },
+    };
+    RequestFrame { id, body }
+}
+
+fn random_wire_error(rng: &mut TestRng) -> WireError {
+    const CODES: [ErrorCode; 9] = [
+        ErrorCode::MalformedFrame,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::UnknownOp,
+        ErrorCode::TreeParse,
+        ErrorCode::QuerySyntax,
+        ErrorCode::NotFullySpecified,
+        ErrorCode::AttributeClash,
+        ErrorCode::NoRepair,
+        ErrorCode::ChaseBudgetExceeded,
+    ];
+    WireError::new(
+        CODES[rng.next_u64() as usize % CODES.len()],
+        random_string(rng),
+    )
+}
+
+fn random_results<T>(
+    rng: &mut TestRng,
+    mut value: impl FnMut(&mut TestRng) -> T,
+) -> Vec<DocResult<T>> {
+    (0..rng.next_u64() % 5)
+        .map(|_| {
+            if rng.next_u64().is_multiple_of(3) {
+                Err(random_wire_error(rng))
+            } else {
+                Ok(value(rng))
+            }
+        })
+        .collect()
+}
+
+fn random_response(rng: &mut TestRng) -> ResponseFrame {
+    let id = rng.next_u64();
+    let body = match rng.next_u64() % 7 {
+        0 => ResponseBody::Pong,
+        1 => ResponseBody::Busy,
+        2 => ResponseBody::Error(random_wire_error(rng)),
+        3 => ResponseBody::Consistency((0..rng.next_u64() % 6).map(|i| i % 2 == 0).collect()),
+        4 => ResponseBody::Solutions(random_results(rng, random_string)),
+        5 => ResponseBody::Answers(random_results(rng, |rng| {
+            (0..rng.next_u64() % 4)
+                .map(|_| {
+                    (0..rng.next_u64() % 3)
+                        .map(|_| random_string(rng))
+                        .collect()
+                })
+                .collect()
+        })),
+        _ => ResponseBody::Booleans(random_results(rng, |rng| rng.next_u64() % 2 == 0)),
+    };
+    ResponseFrame { id, body }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    #[test]
+    fn every_request_shape_round_trips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let req = random_request(&mut rng);
+        let bytes = encode_request(&req);
+        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST);
+        prop_assert_eq!(Ok(req), back);
+    }
+
+    #[test]
+    fn every_response_shape_round_trips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let resp = random_response(&mut rng);
+        let bytes = encode_response(&resp);
+        let back = decode_response(&bytes);
+        prop_assert_eq!(Ok(resp), back);
+    }
+
+    #[test]
+    fn truncations_and_corruptions_never_panic(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let bytes = if seed % 2 == 0 {
+            encode_request(&random_request(&mut rng))
+        } else {
+            encode_response(&random_response(&mut rng))
+        };
+        // Truncate at a random point.
+        if !bytes.is_empty() {
+            let cut = (rng.next_u64() as usize) % bytes.len();
+            let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST);
+            let _ = decode_response(&bytes[..cut]);
+        }
+        // Flip a random byte.
+        let mut corrupted = bytes.clone();
+        if !corrupted.is_empty() {
+            let at = (rng.next_u64() as usize) % corrupted.len();
+            corrupted[at] ^= 1 << (rng.next_u64() % 8);
+            let _ = decode_request(&corrupted, MAX_DOCS_PER_REQUEST);
+            let _ = decode_response(&corrupted);
+        }
+        // A decoded-then-re-encoded frame is stable (when it decodes).
+        if let Ok(req) = decode_request(&corrupted, MAX_DOCS_PER_REQUEST) {
+            prop_assert_eq!(encode_request(&req).len(), corrupted.len());
+        }
+    }
+
+    #[test]
+    fn pure_garbage_never_panics(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let len = (rng.next_u64() % 64) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = decode_request(&garbage, MAX_DOCS_PER_REQUEST);
+        let _ = decode_response(&garbage);
+    }
+}

@@ -1,0 +1,505 @@
+//! Integration tests for the `xdx-server` serving front-end: every
+//! operation over both TCP and Unix sockets, byte-for-byte parity with
+//! direct `BatchEngine` calls under concurrent connections, malformed-frame
+//! robustness, and backpressure (`Busy`) under a saturated in-flight
+//! budget.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xdx_server::wire::ErrorCode;
+use xdx_server::{Client, ClientError, RequestBody, ResponseBody, Server, ServerConfig};
+use xml_data_exchange::core::certain::certain_answers_boolean;
+use xml_data_exchange::core::setting::books_to_writers_setting;
+use xml_data_exchange::patterns::{parse_pattern, ConjunctiveTreeQuery, UnionQuery};
+use xml_data_exchange::xmltree::tree_to_text;
+use xml_data_exchange::{BatchEngine, DataExchangeSetting, XmlTree};
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// Start a server for `setting` on both a fresh Unix socket and an
+/// ephemeral TCP port, run `f`, then shut everything down.
+fn with_server(
+    setting: &DataExchangeSetting,
+    config: ServerConfig,
+    f: impl FnOnce(std::net::SocketAddr, &Path),
+) {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "xdx-server-test-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("xdx.sock");
+    std::thread::scope(|scope| {
+        let server =
+            Server::bind(setting, Some("127.0.0.1:0"), Some(&sock), config).expect("bind server");
+        let addr = server.tcp_addr().expect("tcp bound");
+        let control = server.control();
+        let handle = scope.spawn(move || server.run());
+        // The listeners exist as soon as bind returned; no wait needed.
+        f(addr, &sock);
+        control.shutdown();
+        handle.join().expect("server thread").expect("clean run");
+    });
+    assert!(!sock.exists(), "the unix socket file must be removed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Distinct documents of growing size (book `i` has `i` authors); the same
+/// shape the engine tests use.
+fn sources(n: usize) -> Vec<XmlTree> {
+    (0..n)
+        .map(|i| {
+            let mut t = XmlTree::new("db");
+            for b in 0..=i {
+                let book = t.add_child(t.root(), "book");
+                t.set_attr(book, "@title", format!("T{b}"));
+                for a in 0..b {
+                    let author = t.add_child(book, "author");
+                    t.set_attr(author, "@name", format!("N{a}"));
+                    t.set_attr(author, "@aff", format!("U{a}"));
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+fn title_query() -> UnionQuery {
+    UnionQuery::single(
+        ConjunctiveTreeQuery::new(["t"], vec![parse_pattern("work(@title=$t)").unwrap()]).unwrap(),
+    )
+}
+
+#[test]
+fn all_ops_over_tcp_and_unix_match_the_batch_engine() {
+    let setting = books_to_writers_setting();
+    let engine = BatchEngine::new(&setting).parallelism(2);
+    let docs = sources(5);
+    let query = title_query();
+
+    // One inconsistent document in the middle exercises error plumbing.
+    let mut mixed = docs.clone();
+    mixed.insert(2, XmlTree::new("not_db"));
+
+    let expect_solutions: Vec<Result<String, _>> = engine
+        .canonical_solutions_batch(&docs)
+        .into_iter()
+        .map(|r| r.map(|t| tree_to_text(&t)))
+        .collect();
+    let expect_answers: Vec<Vec<Vec<String>>> = engine
+        .certain_answers_batch(&docs, &query)
+        .into_iter()
+        .map(|r| r.unwrap().tuples.into_iter().collect())
+        .collect();
+    let expect_consistent = engine.check_consistency_batch(&mixed);
+    let boolean = UnionQuery::single(ConjunctiveTreeQuery::boolean(vec![parse_pattern(
+        "bib[writer(@name=\"N0\")]",
+    )
+    .unwrap()]));
+    let expect_booleans: Vec<bool> = docs
+        .iter()
+        .map(|d| certain_answers_boolean(&setting, d, &boolean).unwrap())
+        .collect();
+
+    with_server(&setting, ServerConfig::default(), |addr, sock| {
+        let mut clients = vec![
+            Client::connect_tcp(&addr.to_string()).unwrap(),
+            Client::connect_unix(sock).unwrap(),
+        ];
+        for client in &mut clients {
+            client.ping().unwrap();
+
+            let consistent = client.check_consistency(&mixed).unwrap();
+            assert_eq!(consistent, expect_consistent);
+
+            let solutions = client.canonical_solution_texts(&docs).unwrap();
+            assert_eq!(solutions.len(), expect_solutions.len());
+            for (got, want) in solutions.iter().zip(&expect_solutions) {
+                // Byte-for-byte: the server's canonical solution text must
+                // equal the serialized local BatchEngine result.
+                assert_eq!(got.as_ref().unwrap(), want.as_ref().unwrap());
+            }
+
+            let answers = client.certain_answers(&query, &docs).unwrap();
+            for (got, want) in answers.iter().zip(&expect_answers) {
+                assert_eq!(got.as_ref().unwrap(), want);
+            }
+
+            let booleans = client.certain_answers_boolean(&boolean, &docs).unwrap();
+            let booleans: Vec<bool> = booleans.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(booleans, expect_booleans);
+
+            // Parsed-tree round trip agrees structurally too.
+            let trees = client.canonical_solutions(&docs).unwrap();
+            for (got, want) in trees.iter().zip(&expect_solutions) {
+                assert_eq!(tree_to_text(got.as_ref().unwrap()), *want.as_ref().unwrap());
+            }
+        }
+    });
+}
+
+#[test]
+fn per_document_errors_travel_as_structured_frames() {
+    // A chase-failing setting: two STDs force the same entry to carry
+    // clashing constants, so `CanonicalSolution` fails per document with
+    // `AttributeClash` while other documents still succeed.
+    let setting = {
+        use xml_data_exchange::xmltree::Dtd;
+        use xml_data_exchange::Std;
+        let source_dtd = Dtd::builder("db")
+            .rule("db", "book*")
+            .rule("book", "author*")
+            .attributes("book", ["@title"])
+            .attributes("author", ["@name", "@aff"])
+            .build()
+            .unwrap();
+        let target_dtd = Dtd::builder("bib")
+            .rule("bib", "writer")
+            .rule("writer", "work*")
+            .attributes("writer", ["@name"])
+            .attributes("work", ["@title", "@year"])
+            .build()
+            .unwrap();
+        let std = Std::parse(
+            "bib[writer(@name=$y)[work(@title=$x, @year=$z)]] :- db[book(@title=$x)[author(@name=$y)]]",
+        )
+        .unwrap();
+        DataExchangeSetting::new(source_dtd, target_dtd, vec![std])
+    };
+    // Two authors on one book force a writer merge with distinct @name.
+    let mut clash = XmlTree::new("db");
+    let book = clash.add_child(clash.root(), "book");
+    clash.set_attr(book, "@title", "T");
+    for name in ["A", "B"] {
+        let a = clash.add_child(book, "author");
+        clash.set_attr(a, "@name", name);
+        clash.set_attr(a, "@aff", "U");
+    }
+    let fine = XmlTree::new("db");
+
+    with_server(&setting, ServerConfig::default(), |_, sock| {
+        let mut client = Client::connect_unix(sock).unwrap();
+        let results = client
+            .canonical_solution_texts(&[fine.clone(), clash.clone()])
+            .unwrap();
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert_eq!(err.code, ErrorCode::AttributeClash);
+        assert!(err.message.contains("clashes"), "{}", err.message);
+    });
+}
+
+#[test]
+fn four_concurrent_connections_stay_byte_identical() {
+    let setting = books_to_writers_setting();
+    let engine = BatchEngine::new(&setting).parallelism(2);
+    let query = title_query();
+    // Each connection gets its own distinct document set.
+    let doc_sets: Vec<Vec<XmlTree>> = (0..4).map(|i| sources(3 + 2 * i)).collect();
+    type SolutionText = Result<String, xml_data_exchange::core::SolutionError>;
+    type Expectation = (Vec<SolutionText>, Vec<Vec<Vec<String>>>);
+    let expected: Vec<Expectation> = doc_sets
+        .iter()
+        .map(|docs| {
+            (
+                engine
+                    .canonical_solutions_batch(docs)
+                    .into_iter()
+                    .map(|r| r.map(|t| tree_to_text(&t)))
+                    .collect(),
+                engine
+                    .certain_answers_batch(docs, &query)
+                    .into_iter()
+                    .map(|r| r.unwrap().tuples.into_iter().collect())
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let config = ServerConfig {
+        workers: 3,
+        ..ServerConfig::default()
+    };
+    with_server(&setting, config, |addr, sock| {
+        std::thread::scope(|scope| {
+            for (i, (docs, (expect_solutions, expect_answers))) in
+                doc_sets.iter().zip(&expected).enumerate()
+            {
+                let query = query.clone();
+                scope.spawn(move || {
+                    // Half the connections on TCP, half on the Unix socket.
+                    let mut client = if i % 2 == 0 {
+                        Client::connect_tcp(&addr.to_string()).unwrap()
+                    } else {
+                        Client::connect_unix(sock).unwrap()
+                    };
+                    for _ in 0..3 {
+                        let solutions = client.canonical_solution_texts(docs).unwrap();
+                        for (got, want) in solutions.iter().zip(expect_solutions) {
+                            assert_eq!(got.as_ref().unwrap(), want.as_ref().unwrap());
+                        }
+                        let answers = client.certain_answers(&query, docs).unwrap();
+                        for (got, want) in answers.iter().zip(expect_answers) {
+                            assert_eq!(got.as_ref().unwrap(), want);
+                        }
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn malformed_frames_are_rejected_without_crashing() {
+    let setting = books_to_writers_setting();
+    with_server(&setting, ServerConfig::default(), |addr, sock| {
+        // 1. Garbage payload with a valid length prefix: structured error,
+        //    connection survives.
+        let mut client = Client::connect_unix(sock).unwrap();
+        client.send_raw(&[0, 0, 0, 3, 0xde, 0xad, 0xbe]).unwrap();
+        let resp = client.recv().unwrap();
+        match resp.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::MalformedFrame),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        client
+            .ping()
+            .expect("connection survives a malformed payload");
+
+        // 2. Unknown op: structured error with the id echoed.
+        let mut bytes = vec![0, 0, 0, 9, 77];
+        bytes.extend_from_slice(&123u64.to_be_bytes());
+        client.send_raw(&bytes).unwrap();
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.id, 123);
+        match resp.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::UnknownOp),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+
+        // 3. Unparseable document / query: per-request structured errors.
+        let id = client
+            .send(RequestBody::CanonicalSolution {
+                docs: vec!["db[unclosed".into()],
+            })
+            .unwrap();
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.id, id);
+        match resp.body {
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::TreeParse);
+                assert!(e.message.contains("document 0"));
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        let id = client
+            .send(RequestBody::CertainAnswers {
+                query: "($x) :-".into(),
+                docs: vec!["db".into()],
+            })
+            .unwrap();
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.id, id);
+        match resp.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::QuerySyntax),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+
+        // 4. Oversized announced length: error frame, then the server
+        //    closes this connection (the stream cannot be re-framed).
+        client.send_raw(&[0xff, 0xff, 0xff, 0xff]).unwrap();
+        let resp = client.recv().unwrap();
+        match resp.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::FrameTooLarge),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        match client.recv() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected the connection to close, got {other:?}"),
+        }
+
+        // 5. Zero-length frame: same poisoning.
+        let mut client = Client::connect_unix(sock).unwrap();
+        client.send_raw(&[0, 0, 0, 0]).unwrap();
+        let resp = client.recv().unwrap();
+        match resp.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::MalformedFrame),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+
+        // 6. A truncated frame followed by an abrupt disconnect must not
+        //    hurt the server.
+        let mut rude = Client::connect_tcp(&addr.to_string()).unwrap();
+        rude.send_raw(&[0, 0, 1, 0, 1, 2, 3]).unwrap();
+        drop(rude);
+
+        // The server is still fully alive for new connections.
+        let mut fresh = Client::connect_tcp(&addr.to_string()).unwrap();
+        fresh.ping().unwrap();
+        assert_eq!(
+            fresh.check_consistency(&sources(2)).unwrap(),
+            vec![true, true]
+        );
+    });
+}
+
+#[test]
+fn saturation_yields_busy_not_unbounded_queueing() {
+    let setting = books_to_writers_setting();
+    // Heavy-ish documents so one worker cannot race ahead of admission.
+    let doc = sources(14).pop().unwrap();
+    let config = ServerConfig {
+        workers: 1,
+        max_inflight_per_conn: 64,
+        max_inflight_total: 2,
+        ..ServerConfig::default()
+    };
+    with_server(&setting, config, |_, sock| {
+        let mut client = Client::connect_unix(sock).unwrap();
+        // Pipeline 20 requests in a single write so they arrive (for all
+        // practical purposes) in one readable batch.
+        let mut ids = Vec::new();
+        let mut bytes = Vec::new();
+        for i in 0..20u64 {
+            let frame = xdx_server::wire::frame(xdx_server::wire::encode_request(
+                &xdx_server::RequestFrame {
+                    id: 1000 + i,
+                    body: RequestBody::CanonicalSolution {
+                        docs: vec![tree_to_text(&doc)],
+                    },
+                },
+            ));
+            bytes.extend_from_slice(&frame);
+            ids.push(1000 + i);
+        }
+        client.send_raw(&bytes).unwrap();
+
+        let mut busy = 0usize;
+        let mut ok = 0usize;
+        let mut seen_ids = Vec::new();
+        for _ in 0..20 {
+            let resp = client.recv().unwrap();
+            seen_ids.push(resp.id);
+            match resp.body {
+                ResponseBody::Busy => busy += 1,
+                ResponseBody::Solutions(results) => {
+                    assert!(results.iter().all(Result::is_ok));
+                    ok += 1;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(busy + ok, 20);
+        assert!(
+            busy >= 14,
+            "a budget of 2 must shed most of 20 pipelined requests, got {busy} Busy"
+        );
+        assert!(ok >= 2, "admitted requests must still be served");
+        seen_ids.sort_unstable();
+        assert_eq!(seen_ids, ids, "every request is answered exactly once");
+
+        // After the burst drains the connection serves normally again.
+        client.ping().unwrap();
+        let solutions = client
+            .canonical_solution_texts(std::slice::from_ref(&doc))
+            .unwrap();
+        assert!(solutions[0].is_ok());
+    });
+}
+
+#[test]
+fn a_peer_that_never_reads_cannot_pin_unbounded_output() {
+    // Write-path backpressure: responses a client refuses to drain may
+    // occupy at most `max_buffered_response_bytes` per connection before
+    // the server closes it, so a read-less pipeliner cannot grow server
+    // memory with its own responses.
+    let setting = books_to_writers_setting();
+    let doc = sources(40).pop().unwrap(); // ~30 KB of response text
+    let config = ServerConfig {
+        workers: 1,
+        max_inflight_per_conn: 64,
+        max_inflight_total: 64,
+        max_buffered_response_bytes: 8 * 1024,
+        ..ServerConfig::default()
+    };
+    with_server(&setting, config, |_, sock| {
+        let mut client = Client::connect_unix(sock).unwrap();
+        // Pipeline 64 requests and do NOT read. Total response volume
+        // (~2 MB) far exceeds kernel socket buffers + the 8 KB cap, so the
+        // server must hit the cap and close the connection.
+        let mut sent = 0usize;
+        for _ in 0..64 {
+            match client.send(RequestBody::CanonicalSolution {
+                docs: vec![tree_to_text(&doc)],
+            }) {
+                Ok(_) => sent += 1,
+                Err(_) => break, // server already closed on us
+            }
+        }
+        assert!(sent > 0);
+        // Give the single worker time to compute everything while nothing
+        // drains — the write buffer must cross the cap in this window.
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        let mut received = 0usize;
+        // Errors (EOF) mean the server dropped the connection.
+        while client.recv().is_ok() {
+            received += 1;
+            assert!(received <= sent, "more responses than requests");
+        }
+        assert!(
+            received < sent,
+            "the connection must be closed before all {sent} buffered responses are delivered \
+             (got {received})"
+        );
+        // The server itself is unaffected.
+        let mut fresh = Client::connect_unix(sock).unwrap();
+        fresh.ping().unwrap();
+        assert!(fresh
+            .canonical_solution_texts(std::slice::from_ref(&doc))
+            .unwrap()[0]
+            .is_ok());
+    });
+}
+
+#[test]
+fn pipelined_responses_are_correlated_by_id() {
+    let setting = books_to_writers_setting();
+    let docs = sources(4);
+    let engine = BatchEngine::new(&setting).parallelism(1);
+    let expect: Vec<String> = engine
+        .canonical_solutions_batch(&docs)
+        .into_iter()
+        .map(|r| tree_to_text(&r.unwrap()))
+        .collect();
+    let config = ServerConfig {
+        workers: 3,
+        ..ServerConfig::default()
+    };
+    with_server(&setting, config, |addr, _| {
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        // One request per document, all in flight at once; responses may
+        // arrive in any order and are matched back by id.
+        let mut id_to_doc = std::collections::BTreeMap::new();
+        for (i, doc) in docs.iter().enumerate() {
+            let id = client
+                .send(RequestBody::CanonicalSolution {
+                    docs: vec![tree_to_text(doc)],
+                })
+                .unwrap();
+            id_to_doc.insert(id, i);
+        }
+        for _ in 0..docs.len() {
+            let resp = client.recv().unwrap();
+            let doc_index = id_to_doc.remove(&resp.id).expect("unknown response id");
+            match resp.body {
+                ResponseBody::Solutions(results) => {
+                    assert_eq!(results.len(), 1);
+                    assert_eq!(results[0].as_ref().unwrap(), &expect[doc_index]);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert!(id_to_doc.is_empty());
+    });
+}
