@@ -1,0 +1,78 @@
+//! Experiment E15 — document codec cost: µs/document to serialize and
+//! deserialize trees under the text codec (protocol v1, the differential
+//! oracle) vs the `xmltree::binary` preorder codec (protocol v2's
+//! zero-copy serving path).
+//!
+//! Two tree shapes per codec: a clio *source* document (constants only)
+//! and its canonical *solution* (invented nulls, duplicated labels — the
+//! shape the serving path actually ships back). Encode rows measure
+//! tree → bytes, decode rows bytes → tree; the binary decode row is the
+//! arena bulk-reservation path (`append_forest`), the text decode row is
+//! the recursive-descent parser.
+//!
+//! `XDX_BENCH_FAST=1` shrinks sampling for the CI smoke step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xdx_bench::{clio_setting, clio_source};
+use xdx_core::compiled::CompiledSetting;
+use xdx_xmltree::binary::{decode_tree, encode_tree};
+use xdx_xmltree::{parse_tree, tree_to_text, XmlTree};
+
+fn fast_mode() -> bool {
+    std::env::var("XDX_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn bench(c: &mut Criterion) {
+    let fast = fast_mode();
+    let mut group = c.benchmark_group("codec");
+    if fast {
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(30))
+            .measurement_time(Duration::from_millis(120));
+    } else {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(900));
+    }
+
+    let setting = clio_setting(4, 4);
+    let compiled = CompiledSetting::new(&setting);
+    let source = clio_source(4, if fast { 32 } else { 256 }, 0xE15);
+    let solution = compiled
+        .canonical_solution(&source)
+        .expect("clio source has a solution");
+    let shapes: Vec<(&str, XmlTree)> = vec![("source", source), ("solution", solution)];
+
+    for (shape, tree) in &shapes {
+        let nodes = tree.size();
+        let text = tree_to_text(tree);
+        let binary = encode_tree(tree);
+        group.bench_with_input(
+            BenchmarkId::new(format!("encode/text/{shape}"), nodes),
+            tree,
+            |b, tree| b.iter(|| tree_to_text(tree).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("encode/binary/{shape}"), nodes),
+            tree,
+            |b, tree| b.iter(|| encode_tree(tree).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("decode/text/{shape}"), nodes),
+            &text,
+            |b, text| b.iter(|| parse_tree(text).expect("text decodes").size()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("decode/binary/{shape}"), nodes),
+            &binary,
+            |b, binary| b.iter(|| decode_tree(binary).expect("binary decodes").size()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,12 +1,20 @@
 //! Experiment E14 — serving overhead: requests/sec over a loopback Unix
-//! socket (the `xdx-server` front-end: framing + text codec + event loop +
-//! worker handoff) vs direct `BatchEngine` calls on the same documents.
+//! socket (the `xdx-server` front-end: framing + document codec + event
+//! loop + worker handoff) vs direct `BatchEngine` calls on the same
+//! documents.
 //!
 //! One request carries one micro-batch of `batch` documents (sizes 1/8/64),
 //! and each document runs the full canonical-solution pipeline, so the rows
 //! isolate the per-request wire cost at different amortisation levels: at
 //! batch 1 the framing/parse cost dominates; by batch 64 the server should
 //! sit within a few percent of the direct call.
+//!
+//! The served rows run once per wire codec — `text` (protocol v1) and
+//! `binary` (v2 `Hello`-negotiated preorder frames + chunked responses) —
+//! so the codec's share of the wire overhead is directly visible.
+//! `XDX_WIRE_CODEC=text|binary` restricts the sweep to one codec. Both
+//! codec rows use the no-decode client path ([`Client::canonical_solution_docs`]),
+//! so they measure the wire, not the client's parser.
 //!
 //! `XDX_BENCH_FAST=1` shrinks the sweep and measurement windows — the CI
 //! smoke step uses it so the bench (and the server it spins up) cannot rot.
@@ -20,6 +28,15 @@ use xdx_xmltree::XmlTree;
 
 fn fast_mode() -> bool {
     std::env::var("XDX_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Codecs to sweep: both by default, one if `XDX_WIRE_CODEC` names it.
+fn codecs() -> Vec<&'static str> {
+    match std::env::var("XDX_WIRE_CODEC").as_deref() {
+        Ok("text") => vec!["text"],
+        Ok("binary") => vec!["binary"],
+        _ => vec!["text", "binary"],
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -70,19 +87,30 @@ fn bench(c: &mut Criterion) {
                     })
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new("served/canonical_solutions", batch),
-                &slice,
-                |b, slice| {
-                    b.iter(|| {
-                        let results = client
-                            .canonical_solution_texts(slice)
-                            .expect("served batch");
-                        assert!(results.iter().all(Result::is_ok));
-                        results.len()
-                    })
-                },
-            );
+        }
+
+        for codec in codecs() {
+            // One fresh connection per codec; the binary one negotiates the
+            // v2 fast path (binary documents + chunked responses).
+            let mut client = Client::connect_unix(&sock).expect("connect bench client");
+            if codec == "binary" {
+                client.use_binary().expect("negotiate binary codec");
+            }
+            for &batch in batches {
+                let slice = &docs[..batch];
+                group.bench_with_input(
+                    BenchmarkId::new(format!("served/canonical_solutions/{codec}"), batch),
+                    &slice,
+                    |b, slice| {
+                        b.iter(|| {
+                            let results =
+                                client.canonical_solution_docs(slice).expect("served batch");
+                            assert!(results.iter().all(Result::is_ok));
+                            results.len()
+                        })
+                    },
+                );
+            }
         }
 
         // The cheapest possible request: wire + event-loop round-trip floor.

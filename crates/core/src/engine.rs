@@ -96,6 +96,51 @@ impl<'s> BatchEngine<'s> {
         })
     }
 
+    /// The canonical solution of every source tree, delivered to `sink` as
+    /// each finishes (completion order, tagged with the input index) rather
+    /// than collected into a batch vector. This is the segment-friendly
+    /// form the serving layer's chunked response path wants: the consumer
+    /// can serialize and release each solution immediately, so peak memory
+    /// is the handful of solutions in flight — not the whole batch. With
+    /// `parallelism(1)` the sink is called in input order on the calling
+    /// thread; otherwise results cross a channel and arrive unordered.
+    pub fn canonical_solutions_for_each<F>(&self, trees: &[XmlTree], mut sink: F)
+    where
+        F: FnMut(usize, Result<XmlTree, SolutionError>),
+    {
+        let workers = self.parallelism.min(trees.len());
+        if workers <= 1 {
+            let mut scratch = ExchangeScratch::new();
+            for (i, tree) in trees.iter().enumerate() {
+                sink(i, self.compiled.canonical_solution_with(tree, &mut scratch));
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scratch = ExchangeScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(tree) = trees.get(i) else { break };
+                        let result = self.compiled.canonical_solution_with(tree, &mut scratch);
+                        if tx.send((i, result)).is_err() {
+                            break; // receiver gone: the scope is unwinding
+                        }
+                    }
+                });
+            }
+            drop(tx); // workers hold the only senders left
+            for (i, result) in rx {
+                sink(i, result);
+            }
+        });
+    }
+
     /// The certain answers of `query` for every source tree, in input order
     /// (parallel analogue of [`crate::certain::certain_answers`] against one
     /// shared compiled setting). The query is planned **once** per batch
@@ -304,6 +349,30 @@ mod tests {
         for (tree, result) in trees.iter().zip(got) {
             let want = canonical_solution_reference(&setting, tree).unwrap();
             assert!(result.unwrap().unordered_eq(&want));
+        }
+    }
+
+    #[test]
+    fn for_each_delivery_matches_the_batch_form() {
+        let setting = books_to_writers_setting();
+        let trees = sources(9);
+        let reference = BatchEngine::new(&setting).parallelism(1);
+        let expected = reference.canonical_solutions_batch(&trees);
+        for p in [1, 4] {
+            let engine = BatchEngine::new(&setting).parallelism(p);
+            let mut seen: Vec<Option<XmlTree>> = vec![None; trees.len()];
+            engine.canonical_solutions_for_each(&trees, |i, result| {
+                assert!(seen[i].is_none(), "index {i} delivered twice");
+                seen[i] = Some(result.unwrap());
+            });
+            for (i, (got, want)) in seen.iter().zip(&expected).enumerate() {
+                let got = got.as_ref().expect("every index delivered");
+                assert_eq!(
+                    got.size(),
+                    want.as_ref().unwrap().size(),
+                    "solution {i} at parallelism {p}"
+                );
+            }
         }
     }
 

@@ -146,7 +146,10 @@ impl TargetTemplate {
         for _ in 0..self.num_target_only {
             null_scratch.push(nulls.fresh_value());
         }
-        let base = tree.append_forest(root, &self.nodes).index();
+        let base = tree
+            .append_forest(root, &self.nodes)
+            .expect("non-empty template forest")
+            .index();
         for (slot, name, source) in &self.attrs {
             let value = match source {
                 AttrSlot::Const(v) => v.clone(),

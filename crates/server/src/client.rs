@@ -5,21 +5,33 @@
 //! request and wait for its response; [`Client::send`] / [`Client::recv`]
 //! expose the raw pipelined form (multiple requests in flight, responses
 //! correlated by id) for backpressure tests and throughput measurements.
+//!
+//! A fresh connection speaks protocol v1 (text documents, whole-frame
+//! responses). [`Client::negotiate`] sends a `Hello` to switch on v2
+//! features — [`Client::use_binary`] is the common shorthand for "binary
+//! document codec + chunked responses". Chunked (`STATUS_OK_PARTIAL`)
+//! response frames are reassembled transparently inside [`Client::recv`],
+//! so callers always see whole logical responses; chunks of *different*
+//! ids may interleave on the wire when requests are pipelined.
 
 use crate::transport::Duplex;
 use crate::wire::{
-    self, DocResult, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+    self, Codec, DocResult, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireDoc,
+    WireError,
 };
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 use xdx_patterns::query::UnionQuery;
-use xdx_xmltree::{parse_tree, tree_to_text, XmlTree};
+use xdx_xmltree::XmlTree;
 
-/// Upper bound on response payloads the client will accept (a server
-/// response can legitimately exceed the request cap — canonical solutions
-/// grow — but a corrupt length field must not trigger a huge allocation).
+/// Upper bound on (reassembled) response payloads the client will accept
+/// (a server response can legitimately exceed the request cap — canonical
+/// solutions grow — but a corrupt length field must not trigger a huge
+/// allocation).
 const MAX_RESPONSE_BYTES: usize = 256 * 1024 * 1024;
 
 /// Client-side failure.
@@ -58,25 +70,89 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     transport: Duplex,
     next_id: u64,
+    /// Negotiated document codec (see [`Client::negotiate`]).
+    codec: Codec,
+    /// Request encode buffer, reused across pipelined sends: 4 reserved
+    /// framing bytes + the payload, patched and written in one `write_all`.
+    ebuf: Vec<u8>,
+    /// In-progress chunked responses: id → (accumulated body, chunk count).
+    partials: HashMap<u64, (Vec<u8>, usize)>,
+    /// Wire frames the last logical response arrived in (1 = unchunked).
+    last_chunks: usize,
 }
 
 impl Client {
+    fn new(transport: Duplex) -> Client {
+        Client {
+            transport,
+            next_id: 1,
+            codec: Codec::Text,
+            ebuf: Vec::new(),
+            partials: HashMap::new(),
+            last_chunks: 1,
+        }
+    }
+
     /// Connect over TCP.
     pub fn connect_tcp(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client {
-            transport: Duplex::Tcp(stream),
-            next_id: 1,
-        })
+        Ok(Client::new(Duplex::Tcp(stream)))
     }
 
     /// Connect over a Unix-domain socket.
     pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
-        Ok(Client {
-            transport: Duplex::Unix(UnixStream::connect(path)?),
-            next_id: 1,
-        })
+        Ok(Client::new(Duplex::Unix(UnixStream::connect(path)?)))
+    }
+
+    /// Bound every blocking read *and* write on the socket, so a stalled
+    /// or wedged server surfaces as [`ClientError::Io`]
+    /// (`TimedOut`/`WouldBlock`) instead of hanging the caller forever.
+    /// `None` restores "wait forever".
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.transport.set_read_timeout(timeout)?;
+        self.transport.set_write_timeout(timeout)
+    }
+
+    /// Negotiate v2 features: sends `Hello` with `features`, returns the
+    /// subset the server accepted, and switches this connection's document
+    /// codec accordingly. Requests already answered are unaffected.
+    pub fn negotiate(&mut self, features: u32) -> Result<u32, ClientError> {
+        match self.round_trip(RequestBody::Hello { features })? {
+            ResponseBody::HelloOk { features: accepted } => {
+                self.codec = if accepted & wire::FEATURE_BINARY_DOCS != 0 {
+                    Codec::Binary
+                } else {
+                    Codec::Text
+                };
+                Ok(accepted)
+            }
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+
+    /// Negotiate the full v2 fast path (binary documents + chunked
+    /// responses); errors if the server does not accept the binary codec.
+    pub fn use_binary(&mut self) -> Result<(), ClientError> {
+        let accepted = self.negotiate(wire::SUPPORTED_FEATURES)?;
+        if accepted & wire::FEATURE_BINARY_DOCS == 0 {
+            return Err(ClientError::Protocol(format!(
+                "server did not accept the binary document codec (accepted features {accepted:#x})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The negotiated document codec.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Wire frames the most recent logical response arrived in (1 when it
+    /// was not chunked). Tests use this to assert streaming actually split
+    /// a large response.
+    pub fn last_response_chunk_count(&self) -> usize {
+        self.last_chunks
     }
 
     /// Send a request without waiting; returns the id to correlate the
@@ -85,13 +161,17 @@ impl Client {
     pub fn send(&mut self, body: RequestBody) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
-        let bytes = wire::frame(wire::encode_request(&RequestFrame { id, body }));
-        self.transport.write_all(&bytes)?;
+        self.ebuf.clear();
+        self.ebuf.extend_from_slice(&[0u8; 4]); // framing, patched below
+        wire::encode_request_into(&RequestFrame { id, body }, &mut self.ebuf);
+        let len = u32::try_from(self.ebuf.len() - 4).expect("request exceeds u32::MAX bytes");
+        self.ebuf[0..4].copy_from_slice(&len.to_be_bytes());
+        self.transport.write_all(&self.ebuf)?;
         Ok(id)
     }
 
-    /// Read the next response frame (any id).
-    pub fn recv(&mut self) -> Result<ResponseFrame, ClientError> {
+    /// Read one wire frame's payload.
+    fn read_frame(&mut self) -> Result<Vec<u8>, ClientError> {
         let mut header = [0u8; 4];
         self.transport.read_exact(&mut header)?;
         let len = u32::from_be_bytes(header) as usize;
@@ -102,8 +182,57 @@ impl Client {
         }
         let mut payload = vec![0u8; len];
         self.transport.read_exact(&mut payload)?;
-        wire::decode_response(&payload)
-            .map_err(|e| ClientError::Protocol(format!("undecodable response: {}", e.error)))
+        Ok(payload)
+    }
+
+    /// Read the next *logical* response (any id), reassembling
+    /// `STATUS_OK_PARTIAL` chunks until their final `STATUS_OK` frame
+    /// arrives.
+    pub fn recv(&mut self) -> Result<ResponseFrame, ClientError> {
+        loop {
+            let payload = self.read_frame()?;
+            if payload.first() == Some(&wire::STATUS_OK_PARTIAL) {
+                if payload.len() < 9 {
+                    return Err(ClientError::Protocol(
+                        "partial chunk frame shorter than its status + id header".into(),
+                    ));
+                }
+                let id = u64::from_be_bytes(payload[1..9].try_into().expect("sliced 8 bytes"));
+                let (body, count) = self.partials.entry(id).or_insert_with(|| (Vec::new(), 0));
+                body.extend_from_slice(&payload[9..]);
+                *count += 1;
+                if body.len() > MAX_RESPONSE_BYTES {
+                    return Err(ClientError::Protocol(format!(
+                        "reassembled response for id {id} exceeds {MAX_RESPONSE_BYTES} bytes"
+                    )));
+                }
+                continue; // not a complete logical response yet
+            }
+            let (payload, chunks) = match payload.first() {
+                Some(&wire::STATUS_OK) if payload.len() >= 9 => {
+                    let id = u64::from_be_bytes(payload[1..9].try_into().expect("sliced 8 bytes"));
+                    match self.partials.remove(&id) {
+                        Some((chunked, count)) => {
+                            let mut logical = Vec::with_capacity(payload.len() + chunked.len());
+                            logical.extend_from_slice(&payload[..9]);
+                            logical.extend_from_slice(&chunked);
+                            logical.extend_from_slice(&payload[9..]);
+                            if logical.len() > MAX_RESPONSE_BYTES {
+                                return Err(ClientError::Protocol(format!(
+                                    "reassembled response for id {id} exceeds {MAX_RESPONSE_BYTES} bytes"
+                                )));
+                            }
+                            (logical, count + 1)
+                        }
+                        None => (payload, 1),
+                    }
+                }
+                _ => (payload, 1),
+            };
+            self.last_chunks = chunks;
+            return wire::decode_response(&payload, self.codec)
+                .map_err(|e| ClientError::Protocol(format!("undecodable response: {}", e.error)));
+        }
     }
 
     /// Send one request and wait for its response (ids must match — the
@@ -124,6 +253,13 @@ impl Client {
         }
     }
 
+    /// Encode a micro-batch of documents in the negotiated codec.
+    fn encode_docs(&self, docs: &[XmlTree]) -> Vec<WireDoc> {
+        docs.iter()
+            .map(|t| WireDoc::from_tree(t, self.codec))
+            .collect()
+    }
+
     /// Health check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.round_trip(RequestBody::Ping)? {
@@ -135,7 +271,7 @@ impl Client {
     /// Per-document consistency of a micro-batch.
     pub fn check_consistency(&mut self, docs: &[XmlTree]) -> Result<Vec<bool>, ClientError> {
         let body = RequestBody::CheckConsistency {
-            docs: docs.iter().map(tree_to_text).collect(),
+            docs: self.encode_docs(docs),
         };
         match self.round_trip(body)? {
             ResponseBody::Consistency(flags) => Ok(flags),
@@ -143,14 +279,15 @@ impl Client {
         }
     }
 
-    /// Canonical solutions of a micro-batch, still in wire text form
-    /// (useful for byte-for-byte comparisons against local results).
-    pub fn canonical_solution_texts(
+    /// Canonical solutions of a micro-batch, still in wire form — no
+    /// client-side decoding (the serving benchmark uses this so codec
+    /// comparisons measure the wire path, not the client's parser).
+    pub fn canonical_solution_docs(
         &mut self,
         docs: &[XmlTree],
-    ) -> Result<Vec<DocResult<String>>, ClientError> {
+    ) -> Result<Vec<DocResult<WireDoc>>, ClientError> {
         let body = RequestBody::CanonicalSolution {
-            docs: docs.iter().map(tree_to_text).collect(),
+            docs: self.encode_docs(docs),
         };
         match self.round_trip(body)? {
             ResponseBody::Solutions(results) => Ok(results),
@@ -158,16 +295,36 @@ impl Client {
         }
     }
 
+    /// Canonical solutions of a micro-batch, as canonical wire *text*
+    /// (useful for byte-for-byte comparisons against local results;
+    /// binary-codec solutions are decoded and re-serialized as text).
+    pub fn canonical_solution_texts(
+        &mut self,
+        docs: &[XmlTree],
+    ) -> Result<Vec<DocResult<String>>, ClientError> {
+        self.canonical_solution_docs(docs)?
+            .into_iter()
+            .map(|result| match result {
+                Ok(WireDoc::Text(text)) => Ok(Ok(text)),
+                Ok(doc @ WireDoc::Binary(_)) => doc
+                    .to_tree()
+                    .map(|tree| Ok(xdx_xmltree::tree_to_text(&tree)))
+                    .map_err(|e| ClientError::Protocol(format!("undecodable solution: {e}"))),
+                Err(e) => Ok(Err(e)),
+            })
+            .collect()
+    }
+
     /// Canonical solutions of a micro-batch, parsed back into trees.
     pub fn canonical_solutions(
         &mut self,
         docs: &[XmlTree],
     ) -> Result<Vec<DocResult<XmlTree>>, ClientError> {
-        let texts = self.canonical_solution_texts(docs)?;
-        texts
+        self.canonical_solution_docs(docs)?
             .into_iter()
             .map(|result| match result {
-                Ok(text) => parse_tree(&text)
+                Ok(doc) => doc
+                    .to_tree()
                     .map(Ok)
                     .map_err(|e| ClientError::Protocol(format!("undecodable solution tree: {e}"))),
                 Err(e) => Ok(Err(e)),
@@ -184,7 +341,7 @@ impl Client {
     ) -> Result<Vec<DocResult<Vec<Vec<String>>>>, ClientError> {
         let body = RequestBody::CertainAnswers {
             query: query.to_string(),
-            docs: docs.iter().map(tree_to_text).collect(),
+            docs: self.encode_docs(docs),
         };
         match self.round_trip(body)? {
             ResponseBody::Answers(results) => Ok(results),
@@ -200,7 +357,7 @@ impl Client {
     ) -> Result<Vec<DocResult<bool>>, ClientError> {
         let body = RequestBody::CertainAnswersBoolean {
             query: query.to_string(),
-            docs: docs.iter().map(tree_to_text).collect(),
+            docs: self.encode_docs(docs),
         };
         match self.round_trip(body)? {
             ResponseBody::Booleans(results) => Ok(results),

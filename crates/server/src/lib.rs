@@ -12,8 +12,13 @@
 //!   conjunctive tree query (Section 7 semantics) per document;
 //!
 //! over both TCP and Unix-domain sockets, speaking a length-prefixed binary
-//! protocol (documents and queries as text, results and structured errors
-//! as typed frames — see `PROTOCOL.md` and [`wire`]).
+//! protocol (see `PROTOCOL.md` and [`wire`]). Protocol v2 adds an opt-in
+//! zero-copy serving path, negotiated per connection with a `Hello` frame:
+//! documents travel as [`xdx_xmltree::binary`] preorder frames instead of
+//! text ([`wire::FEATURE_BINARY_DOCS`]), and large responses stream as
+//! bounded `STATUS_OK_PARTIAL` chunks ([`wire::FEATURE_CHUNKED_RESPONSES`])
+//! serialized by the workers directly into the connection's write queue.
+//! Connections that never send `Hello` speak v1 unchanged.
 //!
 //! The design (see [`server`] for details): a **single-threaded
 //! non-blocking event loop** on raw `epoll` ([`sys`]) owns every socket and
@@ -47,5 +52,6 @@ pub mod wire;
 pub use client::{Client, ClientError};
 pub use server::{Server, ServerConfig, ServerControl};
 pub use wire::{
-    DocResult, ErrorCode, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+    Codec, DocResult, ErrorCode, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,
+    WireDoc, WireError, FEATURE_BINARY_DOCS, FEATURE_CHUNKED_RESPONSES, SUPPORTED_FEATURES,
 };

@@ -18,10 +18,18 @@
 //!
 //! * The **event loop** owns every socket. It never parses documents or
 //!   chases anything — it only moves bytes, frames, and verdicts.
-//! * **Workers** decode documents/queries (the expensive text parsing stays
-//!   off the loop), run the exchange pipeline on the shared
-//!   [`CompiledSetting`] (per-setting caches warm up once for all
-//!   connections), and hand fully encoded response frames back.
+//! * **Workers** decode documents/queries (the expensive parsing stays off
+//!   the loop), run the exchange pipeline on the shared [`CompiledSetting`]
+//!   (per-setting caches warm up once for all connections), and serialize
+//!   responses *directly into the connection's write queue* in bounded
+//!   segments ([`ResponseWriter`]): each sealed segment is handed to the
+//!   loop as a ready-to-send frame, moved (never re-copied) into a
+//!   per-connection segment queue and flushed with `writev`. Connections
+//!   that negotiated [`wire::FEATURE_CHUNKED_RESPONSES`] receive large
+//!   responses as `STATUS_OK_PARTIAL` chunks of at most
+//!   [`ServerConfig::chunk_bytes`] body bytes each, so a huge solution
+//!   neither pins its full size in worker memory nor head-of-line-blocks
+//!   other connections' flushes.
 //! * The **wake pipe** (a non-blocking Unix socketpair) lets workers and
 //!   [`ServerControl::shutdown`] interrupt `epoll_wait`.
 //!
@@ -49,22 +57,25 @@
 use crate::sys::{Epoll, Event, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::transport::Duplex;
 use crate::wire::{
-    self, DecodeError, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+    self, Codec, DecodeError, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,
+    WireDoc, WireError,
 };
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use xdx_core::compiled::{CompiledSetting, ExchangeScratch};
+use xdx_core::compiled::ExchangeScratch;
 use xdx_core::engine::BatchEngine;
 use xdx_core::setting::DataExchangeSetting;
+use xdx_core::solution::SolutionError;
 use xdx_patterns::parser::parse_query;
 use xdx_patterns::plan::QueryPlan;
-use xdx_xmltree::{parse_tree, tree_to_text, XmlTree};
+use xdx_xmltree::binary::ByteSink;
+use xdx_xmltree::{tree_to_text, XmlTree};
 
 /// Server tuning knobs; the defaults suit tests and small deployments.
 #[derive(Debug, Clone)]
@@ -92,6 +103,13 @@ pub struct ServerConfig {
     /// responses can legitimately exceed the request-frame cap. Crossing
     /// the cap closes the connection: the peer has stopped cooperating.
     pub max_buffered_response_bytes: usize,
+    /// Segment size for chunked responses (v2, per-connection negotiated):
+    /// a worker seals and hands off a response segment every time this many
+    /// body bytes accumulate, so its peak serialization buffer — and the
+    /// granularity at which other responses can interleave on the socket —
+    /// is this, not the full response size. Ignored for connections that
+    /// did not negotiate [`wire::FEATURE_CHUNKED_RESPONSES`].
+    pub chunk_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +122,7 @@ impl Default for ServerConfig {
             max_inflight_total: 256,
             max_connections: 1024,
             max_buffered_response_bytes: 64 * 1024 * 1024,
+            chunk_bytes: 256 * 1024,
         }
     }
 }
@@ -133,17 +152,29 @@ impl ServerControl {
 }
 
 /// One unit of work: a decoded request owned by a connection generation.
+/// Carries a snapshot of the connection's negotiated codec and chunk limit
+/// at dispatch time, so a mid-pipeline `Hello` cannot change the shape of
+/// responses already in flight.
 struct Job {
     slot: usize,
     generation: u64,
     frame: RequestFrame,
+    codec: Codec,
+    /// Maximum response-body bytes per segment; `usize::MAX` disables
+    /// chunking (the whole response is one `STATUS_OK` frame).
+    chunk_bytes: usize,
 }
 
-/// A finished response, already encoded (length prefix included).
+/// One finished response *segment*, already framed (length prefix
+/// included). An unchunked response is a single segment with `last =
+/// true`; a chunked response is any number of `STATUS_OK_PARTIAL` segments
+/// followed by the final `STATUS_OK` one. Only the last segment releases
+/// the in-flight budget.
 struct Done {
     slot: usize,
     generation: u64,
     bytes: Vec<u8>,
+    last: bool,
 }
 
 /// State shared between the loop and the workers.
@@ -171,10 +202,18 @@ struct Conn {
     /// Unparsed input; `rpos` is the consumed prefix.
     rbuf: Vec<u8>,
     rpos: usize,
-    /// Pending output; `wpos` is the written prefix.
-    wbuf: Vec<u8>,
-    wpos: usize,
+    /// Pending output as a queue of framed segments, moved (not copied)
+    /// from worker completions; flushed with gathered writes. `wfront` is
+    /// the written prefix of the front segment, `wq_bytes` the total bytes
+    /// queued (including that prefix).
+    wq: VecDeque<Vec<u8>>,
+    wfront: usize,
+    wq_bytes: usize,
     inflight: usize,
+    /// Negotiated document codec (v2 `Hello`); text until negotiated.
+    codec: Codec,
+    /// Did the peer negotiate chunked responses?
+    chunked: bool,
     /// Poisoned: flush remaining output, then close. No more reads parsed.
     closing: bool,
     /// Is `EPOLLOUT` currently part of the registration?
@@ -187,6 +226,11 @@ const TOK_TCP: u64 = 0;
 const TOK_UNIX: u64 = 1;
 const TOK_WAKE: u64 = 2;
 const TOK_CONN_BASE: u64 = 3;
+
+/// Segments gathered into one `writev` call. Linux caps an iovec array at
+/// `IOV_MAX` (1024); 32 covers deep response queues while keeping the
+/// per-flush stack small.
+const MAX_FLUSH_IOV: usize = 32;
 
 /// The serving front-end, bound but not yet running. Construct with
 /// [`Server::bind`], then call [`Server::run`] (typically on a dedicated
@@ -281,7 +325,7 @@ impl<'s> Server<'s> {
             wake_rx,
         } = self;
         let shared = Arc::new(Shared::new());
-        let compiled = engine.compiled();
+        let engine = &engine;
         let result = std::thread::scope(|scope| {
             // The epoll instance is created *before* any worker spawns, so
             // an early `?` cannot leave workers waiting forever.
@@ -289,7 +333,7 @@ impl<'s> Server<'s> {
             for _ in 0..config.workers {
                 let shared = Arc::clone(&shared);
                 let control = Arc::clone(&control);
-                scope.spawn(move || worker_loop(compiled, &shared, &control));
+                scope.spawn(move || worker_loop(engine, &shared, &control));
             }
             let mut event_loop = EventLoop {
                 config: &config,
@@ -322,7 +366,7 @@ impl<'s> Server<'s> {
 // Workers
 // ---------------------------------------------------------------------------
 
-fn worker_loop(compiled: &CompiledSetting<'_>, shared: &Shared, control: &ServerControl) {
+fn worker_loop(engine: &BatchEngine<'_>, shared: &Shared, control: &ServerControl) {
     let mut scratch = ExchangeScratch::new();
     loop {
         let job = {
@@ -337,111 +381,344 @@ fn worker_loop(compiled: &CompiledSetting<'_>, shared: &Shared, control: &Server
                 jobs = shared.jobs_ready.wait(jobs).expect("job queue poisoned");
             }
         };
-        let body = process(compiled, &mut scratch, job.frame.body);
-        let bytes = wire::frame(wire::encode_response(&ResponseFrame {
+        let writer = ResponseWriter::new(shared, control, &job);
+        respond(engine, &mut scratch, job.frame.body, job.codec, writer);
+    }
+}
+
+/// Length prefix (4) + status (1) + request id (8): the bytes every
+/// response segment starts with. The length and status are placeholders
+/// until the segment is sealed.
+const SEG_HEADER: usize = 4 + 1 + 8;
+
+/// Serializes one response *directly into the connection's write queue*,
+/// in bounded segments, from the worker thread.
+///
+/// The writer appends body bytes to the current segment; when the
+/// negotiated chunk limit fills, the segment is sealed as
+/// [`wire::STATUS_OK_PARTIAL`] and handed to the event loop immediately
+/// (a [`Done`] push + wake), so a huge solution streams out while the
+/// worker is still serializing its tail — peak buffering per response is
+/// one chunk, not the whole response, and the loop can interleave other
+/// connections' flushes between chunks. [`ResponseWriter::finish`] seals
+/// the final [`wire::STATUS_OK`] segment.
+///
+/// For an unchunked connection (`chunk_bytes == usize::MAX`) the single
+/// final segment is byte-for-byte `wire::frame(wire::encode_response(..))`
+/// — v1 clients cannot tell the difference.
+struct ResponseWriter<'w> {
+    shared: &'w Shared,
+    control: &'w ServerControl,
+    slot: usize,
+    generation: u64,
+    id: u64,
+    chunk_bytes: usize,
+    seg: Vec<u8>,
+}
+
+impl<'w> ResponseWriter<'w> {
+    fn new(shared: &'w Shared, control: &'w ServerControl, job: &Job) -> ResponseWriter<'w> {
+        let mut writer = ResponseWriter {
+            shared,
+            control,
+            slot: job.slot,
+            generation: job.generation,
             id: job.frame.id,
-            body,
-        }));
-        shared
+            chunk_bytes: job.chunk_bytes.max(1),
+            seg: Vec::new(),
+        };
+        writer.start_segment();
+        writer
+    }
+
+    fn start_segment(&mut self) {
+        let cap = SEG_HEADER + self.chunk_bytes.min(64 * 1024);
+        self.seg = Vec::with_capacity(cap);
+        self.seg.extend_from_slice(&[0u8; 4]); // length, patched on seal
+        self.seg.push(wire::STATUS_OK); // status, patched on seal
+        self.seg.extend_from_slice(&self.id.to_be_bytes());
+    }
+
+    /// Body bytes already in the open segment.
+    fn body_len(&self) -> usize {
+        self.seg.len() - SEG_HEADER
+    }
+
+    /// Seal the open segment (patch length + status) and hand it to the
+    /// event loop. `last` decides `STATUS_OK` vs `STATUS_OK_PARTIAL` and
+    /// whether the completion releases the in-flight budget.
+    fn seal(&mut self, last: bool) {
+        let payload_len = u32::try_from(self.seg.len() - 4).expect("segment exceeds u32::MAX");
+        self.seg[0..4].copy_from_slice(&payload_len.to_be_bytes());
+        self.seg[4] = if last {
+            wire::STATUS_OK
+        } else {
+            wire::STATUS_OK_PARTIAL
+        };
+        let bytes = std::mem::take(&mut self.seg);
+        self.shared
             .done
             .lock()
             .expect("completion queue poisoned")
             .push(Done {
-                slot: job.slot,
-                generation: job.generation,
+                slot: self.slot,
+                generation: self.generation,
                 bytes,
+                last,
             });
-        control.nudge();
+        self.control.nudge();
+        if !last {
+            self.start_segment();
+        }
+    }
+
+    /// Append body bytes, cutting segments at the chunk limit.
+    fn put_bytes(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let room = self.chunk_bytes - self.body_len();
+            if room == 0 {
+                self.seal(false);
+                continue;
+            }
+            let n = room.min(bytes.len());
+            self.seg.extend_from_slice(&bytes[..n]);
+            bytes = &bytes[n..];
+        }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_bytes(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_bytes(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_bytes(&v.to_be_bytes());
+    }
+
+    fn put_string(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string exceeds u32::MAX bytes"));
+        self.put_bytes(s.as_bytes());
+    }
+
+    fn put_wire_error(&mut self, e: &WireError) {
+        self.put_u16(e.code as u16);
+        self.put_string(&e.message);
+    }
+
+    /// `[status][id][op]` — the prefix of every streamed OK response.
+    fn put_ok_header(&mut self, op: OpCode, doc_count: usize) {
+        self.put_u8(op as u8);
+        self.put_u16(u16::try_from(doc_count).expect("doc count exceeds u16"));
+    }
+
+    /// Seal the final segment; the logical response is complete.
+    fn finish(mut self) {
+        self.seal(true);
+    }
+
+    /// Replace the (still body-less) response with one whole pre-encoded
+    /// frame — the path for request-level errors, which are always small
+    /// and never chunked.
+    fn whole(mut self, body: ResponseBody) {
+        debug_assert_eq!(self.body_len(), 0, "whole() after body bytes were streamed");
+        self.seg = wire::frame(wire::encode_response(&ResponseFrame { id: self.id, body }));
+        let bytes = std::mem::take(&mut self.seg);
+        self.shared
+            .done
+            .lock()
+            .expect("completion queue poisoned")
+            .push(Done {
+                slot: self.slot,
+                generation: self.generation,
+                bytes,
+                last: true,
+            });
+        self.control.nudge();
+    }
+}
+
+impl ByteSink for ResponseWriter<'_> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.put_bytes(bytes);
     }
 }
 
 /// Parse every document of a request, or fail the whole request with the
 /// index of the offending document.
-fn parse_docs(docs: &[String]) -> Result<Vec<XmlTree>, WireError> {
+fn parse_docs(docs: &[WireDoc]) -> Result<Vec<XmlTree>, WireError> {
     docs.iter()
         .enumerate()
-        .map(|(i, text)| parse_tree(text).map_err(|e| WireError::of_tree_error(i, &e)))
+        .map(|(i, doc)| {
+            doc.to_tree()
+                .map_err(|e| WireError::new(e.code, format!("document {i}: {}", e.message)))
+        })
         .collect()
 }
 
-/// Compute one request's response body. Runs entirely on a worker thread:
-/// text parsing, query planning (once per request), and the per-document
-/// exchange pipeline on the shared compiled setting with this worker's
-/// scratch. Every per-document computation is exactly the one
-/// [`BatchEngine`]'s `*_batch` methods run, so responses are byte-for-byte
-/// what a local batch call would produce.
-fn process(
-    compiled: &CompiledSetting<'_>,
+/// Stream one per-document solution result into the response body: the
+/// ok/err tag, then the document under the connection's codec. Under
+/// [`Codec::Binary`] the two-pass encoder knows the exact length before a
+/// single byte is written, so the document streams straight into the
+/// segment queue un-buffered.
+fn put_solution(w: &mut ResponseWriter<'_>, codec: Codec, result: Result<XmlTree, SolutionError>) {
+    match result {
+        Ok(solution) => {
+            w.put_u8(0);
+            match codec {
+                Codec::Text => {
+                    let text = tree_to_text(&solution);
+                    w.put_string(&text);
+                }
+                Codec::Binary => {
+                    let enc = xdx_xmltree::binary::Encoder::new(&solution);
+                    let len =
+                        u32::try_from(enc.encoded_len()).expect("document exceeds u32::MAX bytes");
+                    w.put_u32(len);
+                    enc.write_to(w);
+                }
+            }
+        }
+        Err(e) => {
+            w.put_u8(1);
+            w.put_wire_error(&WireError::of_solution_error(&e));
+        }
+    }
+}
+
+/// Compute one request's response and stream it through `writer`. Runs
+/// entirely on a worker thread: document decoding, query planning (once
+/// per request), and the per-document exchange pipeline on the shared
+/// compiled setting with this worker's scratch. Every per-document
+/// computation is exactly the one [`BatchEngine`]'s `*_batch` methods run,
+/// so responses are byte-for-byte what a local batch call would produce.
+///
+/// Request-level validation (document parsing, query parsing) happens
+/// *before* the first body byte is streamed, so a logical response is
+/// either one whole error frame or a complete OK stream — never a
+/// half-written success.
+fn respond(
+    engine: &BatchEngine<'_>,
     scratch: &mut ExchangeScratch,
     body: RequestBody,
-) -> ResponseBody {
+    codec: Codec,
+    mut w: ResponseWriter<'_>,
+) {
+    let compiled = engine.compiled();
     match body {
-        RequestBody::Ping => ResponseBody::Pong,
+        // `Ping` and `Hello` are answered inline by the event loop; a job
+        // carrying one would be a dispatch bug, but answer it anyway.
+        RequestBody::Ping => w.whole(ResponseBody::Pong),
+        RequestBody::Hello { features } => w.whole(ResponseBody::HelloOk {
+            features: features & wire::SUPPORTED_FEATURES,
+        }),
         RequestBody::CheckConsistency { docs } => match parse_docs(&docs) {
-            Err(e) => ResponseBody::Error(e),
-            Ok(trees) => ResponseBody::Consistency(
-                trees
-                    .iter()
-                    .map(|t| compiled.check_instance_consistency_with(t, scratch))
-                    .collect(),
-            ),
+            Err(e) => w.whole(ResponseBody::Error(e)),
+            Ok(trees) => {
+                w.put_ok_header(OpCode::CheckConsistency, trees.len());
+                for t in &trees {
+                    let consistent = compiled.check_instance_consistency_with(t, scratch);
+                    w.put_u8(consistent as u8);
+                }
+                w.finish();
+            }
         },
         RequestBody::CanonicalSolution { docs } => match parse_docs(&docs) {
-            Err(e) => ResponseBody::Error(e),
-            Ok(trees) => ResponseBody::Solutions(
-                trees
-                    .iter()
-                    .map(|t| {
-                        compiled
-                            .canonical_solution_with(t, scratch)
-                            .map(|solution| tree_to_text(&solution))
-                            .map_err(|e| WireError::of_solution_error(&e))
-                    })
-                    .collect(),
-            ),
+            Err(e) => w.whole(ResponseBody::Error(e)),
+            Ok(trees) => {
+                w.put_ok_header(OpCode::CanonicalSolution, trees.len());
+                // Intra-request fan-out needs real cores: with one CPU the
+                // spawn + channel + cold-scratch cost of the pool is pure
+                // loss against this worker's warm sequential loop.
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                if trees.len() > 1 && engine.configured_parallelism() > 1 && cores > 1 {
+                    // Multi-document request: fan the per-document chase out
+                    // across the engine's pool ([`BatchEngine::canonical_solutions_for_each`]),
+                    // exactly what a local batch call runs. Results arrive in
+                    // completion order; the stream must be in document order,
+                    // so out-of-order solutions wait in a reorder buffer and
+                    // each is serialized and dropped as soon as its turn
+                    // comes — peak extra memory is the in-flight skew, not
+                    // the batch.
+                    let mut pending: Vec<Option<Result<XmlTree, SolutionError>>> =
+                        (0..trees.len()).map(|_| None).collect();
+                    let mut cursor = 0usize;
+                    engine.canonical_solutions_for_each(&trees, |i, result| {
+                        pending[i] = Some(result);
+                        while let Some(slot) = pending.get_mut(cursor) {
+                            let Some(ready) = slot.take() else { break };
+                            put_solution(&mut w, codec, ready);
+                            cursor += 1;
+                        }
+                    });
+                } else {
+                    // Single document (or no pool): the worker's own warm
+                    // scratch beats spawning compute threads.
+                    for t in &trees {
+                        put_solution(&mut w, codec, compiled.canonical_solution_with(t, scratch));
+                    }
+                }
+                w.finish();
+            }
         },
         RequestBody::CertainAnswers { query, docs } => {
             let query = match parse_query(&query) {
                 Ok(q) => q,
-                Err(e) => return ResponseBody::Error(WireError::of_query_error(&e)),
+                Err(e) => return w.whole(ResponseBody::Error(WireError::of_query_error(&e))),
             };
             let trees = match parse_docs(&docs) {
                 Ok(t) => t,
-                Err(e) => return ResponseBody::Error(e),
+                Err(e) => return w.whole(ResponseBody::Error(e)),
             };
             let plan = QueryPlan::new(&query, compiled.target_dtd());
-            ResponseBody::Answers(
-                trees
-                    .iter()
-                    .map(|t| {
-                        compiled
-                            .certain_answers_planned_with(t, &plan, scratch)
-                            .map(|answers| answers.tuples.into_iter().collect())
-                            .map_err(|e| WireError::of_solution_error(&e))
-                    })
-                    .collect(),
-            )
+            w.put_ok_header(OpCode::CertainAnswers, trees.len());
+            for t in &trees {
+                match compiled.certain_answers_planned_with(t, &plan, scratch) {
+                    Ok(answers) => {
+                        w.put_u8(0);
+                        let tuples: Vec<Vec<String>> = answers.tuples.into_iter().collect();
+                        w.put_u32(u32::try_from(tuples.len()).expect("tuple count exceeds u32"));
+                        for tuple in &tuples {
+                            w.put_u16(u16::try_from(tuple.len()).expect("arity exceeds u16"));
+                            for v in tuple {
+                                w.put_string(v);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        w.put_u8(1);
+                        w.put_wire_error(&WireError::of_solution_error(&e));
+                    }
+                }
+            }
+            w.finish();
         }
         RequestBody::CertainAnswersBoolean { query, docs } => {
             let query = match parse_query(&query) {
                 Ok(q) => q,
-                Err(e) => return ResponseBody::Error(WireError::of_query_error(&e)),
+                Err(e) => return w.whole(ResponseBody::Error(WireError::of_query_error(&e))),
             };
             let trees = match parse_docs(&docs) {
                 Ok(t) => t,
-                Err(e) => return ResponseBody::Error(e),
+                Err(e) => return w.whole(ResponseBody::Error(e)),
             };
             let plan = QueryPlan::new(&query, compiled.target_dtd());
-            ResponseBody::Booleans(
-                trees
-                    .iter()
-                    .map(|t| {
-                        compiled
-                            .certain_boolean_planned_with(t, &plan, scratch)
-                            .map_err(|e| WireError::of_solution_error(&e))
-                    })
-                    .collect(),
-            )
+            w.put_ok_header(OpCode::CertainAnswersBoolean, trees.len());
+            for t in &trees {
+                match compiled.certain_boolean_planned_with(t, &plan, scratch) {
+                    Ok(b) => {
+                        w.put_u8(0);
+                        w.put_u8(b as u8);
+                    }
+                    Err(e) => {
+                        w.put_u8(1);
+                        w.put_wire_error(&WireError::of_solution_error(&e));
+                    }
+                }
+            }
+            w.finish();
         }
     }
 }
@@ -552,9 +829,12 @@ impl EventLoop<'_> {
             generation: self.next_generation,
             rbuf: Vec::new(),
             rpos: 0,
-            wbuf: Vec::new(),
-            wpos: 0,
+            wq: VecDeque::new(),
+            wfront: 0,
+            wq_bytes: 0,
             inflight: 0,
+            codec: Codec::Text,
+            chunked: false,
             closing: false,
             want_write: false,
             peer_eof: false,
@@ -638,7 +918,7 @@ impl EventLoop<'_> {
         // A finished peer with nothing pending can be dropped now;
         // otherwise pending responses flush first (drain_completions /
         // writable events call `close` when everything settles).
-        if conn.peer_eof && conn.inflight == 0 && conn.wbuf.len() == conn.wpos {
+        if conn.peer_eof && conn.inflight == 0 && conn.wq.is_empty() {
             self.close(slot);
         }
     }
@@ -704,9 +984,15 @@ impl EventLoop<'_> {
     }
 
     /// Decode one request payload and either answer inline (errors, `Ping`,
-    /// `Busy`) or queue a job for the worker pool.
+    /// `Hello`, `Busy`) or queue a job for the worker pool.
     fn dispatch_payload(&mut self, slot: usize, payload: &[u8]) {
-        let request = match wire::decode_request(payload, self.config.max_docs_per_request) {
+        let codec = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .map(|c| c.codec)
+            .unwrap_or_default();
+        let request = match wire::decode_request(payload, self.config.max_docs_per_request, codec) {
             Ok(request) => request,
             Err(DecodeError { id, error }) => {
                 // The framing is intact — only this request fails.
@@ -728,6 +1014,30 @@ impl EventLoop<'_> {
                 &ResponseFrame {
                     id: request.id,
                     body: ResponseBody::Pong,
+                },
+            );
+            return;
+        }
+        if let RequestBody::Hello { features } = request.body {
+            // Negotiation is loop-local state, so it is handled here (and,
+            // like `Ping`, bypasses the budget). The accepted feature set
+            // applies to every frame parsed *after* this one; responses to
+            // earlier frames still in flight keep the codec they were
+            // dispatched with.
+            let accepted = features & wire::SUPPORTED_FEATURES;
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.codec = if accepted & wire::FEATURE_BINARY_DOCS != 0 {
+                    Codec::Binary
+                } else {
+                    Codec::Text
+                };
+                conn.chunked = accepted & wire::FEATURE_CHUNKED_RESPONSES != 0;
+            }
+            self.enqueue_response(
+                slot,
+                &ResponseFrame {
+                    id: request.id,
+                    body: ResponseBody::HelloOk { features: accepted },
                 },
             );
             return;
@@ -757,6 +1067,12 @@ impl EventLoop<'_> {
             slot,
             generation: conn.generation,
             frame: request,
+            codec: conn.codec,
+            chunk_bytes: if conn.chunked {
+                self.config.chunk_bytes.max(1)
+            } else {
+                usize::MAX
+            },
         };
         self.shared
             .jobs
@@ -766,20 +1082,29 @@ impl EventLoop<'_> {
         self.shared.jobs_ready.notify_one();
     }
 
-    /// Move worker completions into their connections' write buffers.
+    /// Move worker completions into their connections' write queues. The
+    /// segment `Vec` is *moved*, not copied — the bytes a worker serialized
+    /// are the bytes `writev` sends. Only a response's last segment
+    /// releases the in-flight budget; partial segments of a streaming
+    /// response keep their request counted until the stream completes.
     fn drain_completions(&mut self) {
         let done: Vec<Done> =
             std::mem::take(&mut *self.shared.done.lock().expect("completion queue poisoned"));
         for completion in done {
-            self.total_inflight -= 1;
+            if completion.last {
+                self.total_inflight -= 1;
+            }
             let Some(conn) = self.conns.get_mut(completion.slot).and_then(Option::as_mut) else {
                 continue; // connection died while the job ran
             };
             if conn.generation != completion.generation {
                 continue; // slot was recycled: the response has no taker
             }
-            conn.inflight -= 1;
-            conn.wbuf.extend_from_slice(&completion.bytes);
+            if completion.last {
+                conn.inflight -= 1;
+            }
+            conn.wq_bytes += completion.bytes.len();
+            conn.wq.push_back(completion.bytes);
             self.flush(completion.slot);
         }
     }
@@ -790,13 +1115,15 @@ impl EventLoop<'_> {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
             return;
         };
-        conn.wbuf.extend_from_slice(&bytes);
+        conn.wq_bytes += bytes.len();
+        conn.wq.push_back(bytes);
         self.flush(slot);
     }
 
-    /// Write as much pending output as the socket accepts. Returns `false`
-    /// when the connection was closed. Keeps the `EPOLLOUT` registration in
-    /// sync with whether output is pending.
+    /// Write as much pending output as the socket accepts, gathering up to
+    /// [`MAX_FLUSH_IOV`] queued segments per `writev`. Returns `false` when
+    /// the connection was closed. Keeps the `EPOLLOUT` registration in sync
+    /// with whether output is pending.
     fn flush(&mut self, slot: usize) -> bool {
         let epoll = &self.epoll;
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
@@ -804,15 +1131,38 @@ impl EventLoop<'_> {
         };
         let mut dead = false;
         loop {
-            if conn.wpos >= conn.wbuf.len() {
+            if conn.wq.is_empty() {
                 break;
             }
-            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            let wrote = {
+                let mut segs = conn.wq.iter();
+                let front = segs.next().expect("queue checked non-empty");
+                let mut slices: Vec<IoSlice<'_>> =
+                    Vec::with_capacity(conn.wq.len().min(MAX_FLUSH_IOV));
+                slices.push(IoSlice::new(&front[conn.wfront..]));
+                slices.extend(segs.take(MAX_FLUSH_IOV - 1).map(|s| IoSlice::new(s)));
+                conn.stream.write_vectored(&slices)
+            };
+            match wrote {
                 Ok(0) => {
                     dead = true;
                     break;
                 }
-                Ok(n) => conn.wpos += n,
+                Ok(mut n) => {
+                    // Retire fully written segments, advance the front one.
+                    while n > 0 {
+                        let front_left = conn.wq[0].len() - conn.wfront;
+                        if n >= front_left {
+                            n -= front_left;
+                            let seg = conn.wq.pop_front().expect("front exists");
+                            conn.wq_bytes -= seg.len();
+                            conn.wfront = 0;
+                        } else {
+                            conn.wfront += n;
+                            n = 0;
+                        }
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -825,13 +1175,12 @@ impl EventLoop<'_> {
         // cannot be allowed to pin unbounded buffered output (the in-flight
         // budget is released when a response is *buffered*, so this cap is
         // what bounds per-connection memory end to end).
-        if !dead && conn.wbuf.len() - conn.wpos > self.config.max_buffered_response_bytes {
+        if !dead && conn.wq_bytes - conn.wfront > self.config.max_buffered_response_bytes {
             dead = true;
         }
         if !dead {
-            if conn.wpos == conn.wbuf.len() {
-                conn.wbuf.clear();
-                conn.wpos = 0;
+            if conn.wq.is_empty() {
+                conn.wfront = 0;
                 if conn.closing || (conn.peer_eof && conn.inflight == 0) {
                     dead = true;
                 } else if conn.want_write {

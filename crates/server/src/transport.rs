@@ -5,10 +5,11 @@
 //! timeouts, TLS once a crypto dependency exists) land in exactly one
 //! place.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 /// A connected stream socket of either family.
 pub(crate) enum Duplex {
@@ -34,6 +35,23 @@ impl Duplex {
             Duplex::Unix(s) => s.set_nonblocking(nonblocking),
         }
     }
+
+    /// Bound every blocking `read` on the socket (the blocking client's
+    /// stall guard). `None` restores "wait forever".
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Duplex::Tcp(s) => s.set_read_timeout(timeout),
+            Duplex::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Bound every blocking `write` on the socket.
+    pub(crate) fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Duplex::Tcp(s) => s.set_write_timeout(timeout),
+            Duplex::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
 }
 
 impl Read for Duplex {
@@ -50,6 +68,16 @@ impl Write for Duplex {
         match self {
             Duplex::Tcp(s) => s.write(buf),
             Duplex::Unix(s) => s.write(buf),
+        }
+    }
+
+    /// Gathered write: both socket families forward this to `writev(2)`,
+    /// so the event loop flushes a queue of response segments (frame
+    /// headers + body chunks) in one syscall instead of one per segment.
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Duplex::Tcp(s) => s.write_vectored(bufs),
+            Duplex::Unix(s) => s.write_vectored(bufs),
         }
     }
 

@@ -2,21 +2,35 @@
 //!
 //! A frame is `[len: u32 BE][payload: len bytes]`. Request payloads are
 //! `[op: u8][id: u64 BE][body]`; response payloads are
-//! `[status: u8][id: u64 BE][body]`. Documents travel as the lossless tree
-//! text of [`xdx_xmltree::text`], queries as the rule syntax of
-//! [`xdx_patterns::parser::parse_query`] — both inside length-prefixed
-//! UTF-8 strings (`[len: u32 BE][bytes]`).
+//! `[status: u8][id: u64 BE][body]`. Queries travel as the rule syntax of
+//! [`xdx_patterns::parser::parse_query`] inside length-prefixed UTF-8
+//! strings (`[len: u32 BE][bytes]`). Documents travel in the connection's
+//! negotiated [`Codec`]: the lossless tree text of [`xdx_xmltree::text`]
+//! by default (protocol v1, still the v2 default), or the binary preorder
+//! frames of [`xdx_xmltree::binary`] after a [`RequestBody::Hello`]
+//! negotiation (protocol v2) — both as length-prefixed blobs, so framing
+//! is codec-independent.
+//!
+//! v2 also adds chunked responses: when the client negotiates
+//! [`FEATURE_CHUNKED_RESPONSES`], one logical response may arrive as any
+//! number of [`STATUS_OK_PARTIAL`] frames followed by a final `STATUS_OK`
+//! frame with the same id; the logical payload is the concatenation of the
+//! partial bodies (in arrival order, which the server guarantees) plus the
+//! final one. [`decode_response`] expects a fully reassembled payload; the
+//! client does the reassembly.
 //!
 //! Every decoder in this module is **total**: arbitrary bytes produce a
 //! structured [`DecodeError`], never a panic, and no length field is
 //! trusted beyond the bytes actually present (so a hostile frame cannot
-//! cause an oversized allocation). The proptests at the bottom round-trip
-//! every frame shape and throw garbage/truncations at the decoders.
+//! cause an oversized allocation). The proptests in `tests/server_codec.rs`
+//! round-trip every frame shape and throw garbage/truncations at the
+//! decoders.
 
 use std::fmt;
 use xdx_core::solution::SolutionError;
 use xdx_patterns::QueryParseError;
-use xdx_xmltree::TreeTextError;
+use xdx_xmltree::binary::BinaryError;
+use xdx_xmltree::{parse_tree, tree_to_text, TreeTextError, XmlTree};
 
 /// Hard protocol cap on documents per request (servers may configure a
 /// lower one).
@@ -24,6 +38,119 @@ pub const MAX_DOCS_PER_REQUEST: usize = 1024;
 
 /// Default cap on a request frame's payload size (servers may configure).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Feature flag: documents travel as [`xdx_xmltree::binary`] frames instead
+/// of tree text (both directions).
+pub const FEATURE_BINARY_DOCS: u32 = 1 << 0;
+
+/// Feature flag: the server may split OK responses into
+/// [`STATUS_OK_PARTIAL`] chunk frames.
+pub const FEATURE_CHUNKED_RESPONSES: u32 = 1 << 1;
+
+/// All feature bits this implementation understands; a server answers
+/// `Hello` with the intersection of this mask and the client's request.
+pub const SUPPORTED_FEATURES: u32 = FEATURE_BINARY_DOCS | FEATURE_CHUNKED_RESPONSES;
+
+/// Which document codec a connection speaks. Text is the v1 format and the
+/// v2 default; Binary is switched on per connection by a successful
+/// [`RequestBody::Hello`] negotiation of [`FEATURE_BINARY_DOCS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Lossless tree text ([`xdx_xmltree::text`]).
+    #[default]
+    Text,
+    /// Binary preorder frames ([`xdx_xmltree::binary`]).
+    Binary,
+}
+
+impl Codec {
+    /// Parse a codec name as used by `XDX_WIRE_CODEC` and CLI flags.
+    pub fn from_name(name: &str) -> Option<Codec> {
+        match name {
+            "text" => Some(Codec::Text),
+            "binary" => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name (`"text"` / `"binary"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Text => "text",
+            Codec::Binary => "binary",
+        }
+    }
+}
+
+/// A document as it travels on the wire, in either codec. Framing is
+/// codec-independent (a length-prefixed blob); only the interpretation of
+/// the bytes differs, so the variant must match the connection's
+/// negotiated codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDoc {
+    /// Tree text ([`xdx_xmltree::text`]); must be valid UTF-8.
+    Text(String),
+    /// A binary preorder frame ([`xdx_xmltree::binary`]).
+    Binary(Vec<u8>),
+}
+
+impl WireDoc {
+    /// Serialize `tree` in the given codec.
+    pub fn from_tree(tree: &XmlTree, codec: Codec) -> WireDoc {
+        match codec {
+            Codec::Text => WireDoc::Text(tree_to_text(tree)),
+            Codec::Binary => WireDoc::Binary(xdx_xmltree::binary::encode_tree(tree)),
+        }
+    }
+
+    /// Parse back into a tree ([`ErrorCode::TreeParse`] /
+    /// [`ErrorCode::BinaryDoc`] on failure).
+    pub fn to_tree(&self) -> Result<XmlTree, WireError> {
+        match self {
+            WireDoc::Text(text) => {
+                parse_tree(text).map_err(|e| WireError::new(ErrorCode::TreeParse, e.to_string()))
+            }
+            WireDoc::Binary(bytes) => xdx_xmltree::binary::decode_tree(bytes)
+                .map_err(|e| WireError::new(ErrorCode::BinaryDoc, e.to_string())),
+        }
+    }
+
+    /// The codec this document is serialized in.
+    pub fn codec(&self) -> Codec {
+        match self {
+            WireDoc::Text(_) => Codec::Text,
+            WireDoc::Binary(_) => Codec::Binary,
+        }
+    }
+
+    /// The raw payload bytes (text bytes or binary frame).
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            WireDoc::Text(text) => text.as_bytes(),
+            WireDoc::Binary(bytes) => bytes,
+        }
+    }
+
+    /// The tree text, when this is a text document.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            WireDoc::Text(text) => Some(text),
+            WireDoc::Binary(_) => None,
+        }
+    }
+}
+
+impl From<&str> for WireDoc {
+    fn from(s: &str) -> WireDoc {
+        WireDoc::Text(s.to_string())
+    }
+}
+
+impl From<String> for WireDoc {
+    fn from(s: String) -> WireDoc {
+        WireDoc::Text(s)
+    }
+}
 
 /// Operation selector of a request frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +166,8 @@ pub enum OpCode {
     CertainAnswers = 3,
     /// Certain answer of a Boolean query per document.
     CertainAnswersBoolean = 4,
+    /// Protocol v2 feature negotiation (codec, chunked responses).
+    Hello = 5,
 }
 
 impl OpCode {
@@ -49,6 +178,7 @@ impl OpCode {
             2 => Some(OpCode::CanonicalSolution),
             3 => Some(OpCode::CertainAnswers),
             4 => Some(OpCode::CertainAnswersBoolean),
+            5 => Some(OpCode::Hello),
             _ => None,
         }
     }
@@ -79,6 +209,9 @@ pub enum ErrorCode {
     QueryMismatchedArity = 8,
     /// [`xdx_patterns::query::QueryError::EmptyUnion`].
     QueryEmptyUnion = 9,
+    /// A binary document frame failed to decode
+    /// ([`xdx_xmltree::binary::BinaryError`]). v2.
+    BinaryDoc = 10,
 
     /// [`SolutionError::NotFullySpecified`].
     NotFullySpecified = 100,
@@ -114,6 +247,7 @@ impl ErrorCode {
             7 => QueryUnboundHeadVariable,
             8 => QueryMismatchedArity,
             9 => QueryEmptyUnion,
+            10 => BinaryDoc,
             100 => NotFullySpecified,
             101 => DisallowedAttribute,
             102 => AttributeClash,
@@ -183,6 +317,12 @@ impl WireError {
     pub fn of_tree_error(doc_index: usize, e: &TreeTextError) -> WireError {
         WireError::new(ErrorCode::TreeParse, format!("document {doc_index}: {e}"))
     }
+
+    /// Map a binary-frame decode failure (with the failing document's
+    /// index).
+    pub fn of_binary_error(doc_index: usize, e: &BinaryError) -> WireError {
+        WireError::new(ErrorCode::BinaryDoc, format!("document {doc_index}: {e}"))
+    }
 }
 
 impl fmt::Display for WireError {
@@ -203,35 +343,42 @@ pub struct RequestFrame {
     pub body: RequestBody,
 }
 
-/// The operation of a request, with documents/queries still in text form
+/// The operation of a request, with documents/queries still in wire form
 /// (parsing happens in the worker pool, off the event loop).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestBody {
     /// Health check.
     Ping,
+    /// Feature negotiation (v2): the client proposes a feature set, the
+    /// server answers [`ResponseBody::HelloOk`] with the accepted subset,
+    /// which takes effect for every subsequent frame on the connection.
+    Hello {
+        /// Requested feature bits (`FEATURE_*`).
+        features: u32,
+    },
     /// Consistency of each document.
     CheckConsistency {
-        /// Source documents (tree text).
-        docs: Vec<String>,
+        /// Source documents.
+        docs: Vec<WireDoc>,
     },
     /// Canonical solution of each document.
     CanonicalSolution {
-        /// Source documents (tree text).
-        docs: Vec<String>,
+        /// Source documents.
+        docs: Vec<WireDoc>,
     },
     /// Certain answers of `query` for each document.
     CertainAnswers {
         /// The query (rule syntax).
         query: String,
-        /// Source documents (tree text).
-        docs: Vec<String>,
+        /// Source documents.
+        docs: Vec<WireDoc>,
     },
     /// Certain Boolean answer of `query` for each document.
     CertainAnswersBoolean {
         /// The query (rule syntax).
         query: String,
-        /// Source documents (tree text).
-        docs: Vec<String>,
+        /// Source documents.
+        docs: Vec<WireDoc>,
     },
 }
 
@@ -240,6 +387,7 @@ impl RequestBody {
     pub fn op(&self) -> OpCode {
         match self {
             RequestBody::Ping => OpCode::Ping,
+            RequestBody::Hello { .. } => OpCode::Hello,
             RequestBody::CheckConsistency { .. } => OpCode::CheckConsistency,
             RequestBody::CanonicalSolution { .. } => OpCode::CanonicalSolution,
             RequestBody::CertainAnswers { .. } => OpCode::CertainAnswers,
@@ -253,7 +401,7 @@ impl RequestBody {
     /// `max_inflight_total × max_docs_per_request` documents of work).
     pub fn doc_count(&self) -> usize {
         match self {
-            RequestBody::Ping => 0,
+            RequestBody::Ping | RequestBody::Hello { .. } => 0,
             RequestBody::CheckConsistency { docs }
             | RequestBody::CanonicalSolution { docs }
             | RequestBody::CertainAnswers { docs, .. }
@@ -279,6 +427,11 @@ pub type DocResult<T> = Result<T, WireError>;
 pub enum ResponseBody {
     /// Reply to [`RequestBody::Ping`].
     Pong,
+    /// Reply to [`RequestBody::Hello`]: the accepted feature subset.
+    HelloOk {
+        /// Accepted feature bits (requested ∩ [`SUPPORTED_FEATURES`]).
+        features: u32,
+    },
     /// The server is saturated (in-flight budget or per-connection
     /// pipelining cap); retry later. Carries no results.
     Busy,
@@ -286,8 +439,9 @@ pub enum ResponseBody {
     Error(WireError),
     /// Per-document consistency verdicts.
     Consistency(Vec<bool>),
-    /// Per-document canonical solutions (tree text) or errors.
-    Solutions(Vec<DocResult<String>>),
+    /// Per-document canonical solutions (in the connection codec) or
+    /// errors.
+    Solutions(Vec<DocResult<WireDoc>>),
     /// Per-document certain-answer tuple sets (each tuple a row of
     /// constants, rows in the deterministic `BTreeSet` order) or errors.
     Answers(Vec<DocResult<Vec<Vec<String>>>>),
@@ -295,9 +449,17 @@ pub enum ResponseBody {
     Booleans(Vec<DocResult<bool>>),
 }
 
-const STATUS_OK: u8 = 0;
-const STATUS_ERROR: u8 = 1;
-const STATUS_BUSY: u8 = 2;
+/// Response status: success, body follows.
+pub const STATUS_OK: u8 = 0;
+/// Response status: whole-request error, a [`WireError`] follows.
+pub const STATUS_ERROR: u8 = 1;
+/// Response status: server saturated, no body.
+pub const STATUS_BUSY: u8 = 2;
+/// Response status (v2, negotiated): a chunk of a logical OK response;
+/// more frames with the same id follow, the last one carrying
+/// [`STATUS_OK`]. Only sent after [`FEATURE_CHUNKED_RESPONSES`] was
+/// accepted on the connection.
+pub const STATUS_OK_PARTIAL: u8 = 3;
 
 /// A failure to decode a payload, with the request id when it was readable
 /// (so the error frame can still be correlated by the client).
@@ -376,6 +538,11 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| self.err("string is not valid UTF-8"))
     }
 
+    fn blob(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     fn finish(&self) -> Result<(), DecodeError> {
         if self.pos != self.buf.len() {
             Err(self.err(format!(
@@ -445,7 +612,27 @@ fn read_doc_result<T>(
     }
 }
 
-fn read_docs(r: &mut Reader<'_>, max_docs: usize) -> Result<Vec<String>, DecodeError> {
+fn read_doc(r: &mut Reader<'_>, codec: Codec) -> Result<WireDoc, DecodeError> {
+    match codec {
+        Codec::Text => Ok(WireDoc::Text(r.string()?)),
+        Codec::Binary => Ok(WireDoc::Binary(r.blob()?)),
+    }
+}
+
+fn put_doc(out: &mut Vec<u8>, doc: &WireDoc) {
+    let bytes = doc.as_bytes();
+    put_u32(
+        out,
+        u32::try_from(bytes.len()).expect("document exceeds u32::MAX bytes"),
+    );
+    out.extend_from_slice(bytes);
+}
+
+fn read_docs(
+    r: &mut Reader<'_>,
+    max_docs: usize,
+    codec: Codec,
+) -> Result<Vec<WireDoc>, DecodeError> {
     let n = r.u16()? as usize;
     if n > MAX_DOCS_PER_REQUEST.min(max_docs) {
         return Err(DecodeError::new(
@@ -459,18 +646,18 @@ fn read_docs(r: &mut Reader<'_>, max_docs: usize) -> Result<Vec<String>, DecodeE
     }
     let mut docs = Vec::with_capacity(n);
     for _ in 0..n {
-        docs.push(r.string()?);
+        docs.push(read_doc(r, codec)?);
     }
     Ok(docs)
 }
 
-fn put_docs(out: &mut Vec<u8>, docs: &[String]) {
+fn put_docs(out: &mut Vec<u8>, docs: &[WireDoc]) {
     put_u16(
         out,
         u16::try_from(docs.len()).expect("doc count exceeds u16"),
     );
     for d in docs {
-        put_string(out, d);
+        put_doc(out, d);
     }
 }
 
@@ -489,29 +676,41 @@ pub fn frame(payload: Vec<u8>) -> Vec<u8> {
     out
 }
 
-/// Encode a request payload (no length prefix; see [`frame`]).
-pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
-    let mut out = Vec::new();
+/// Encode a request payload into `out` (no length prefix; see [`frame`]).
+/// Appends without clearing, so a caller can reserve framing bytes first
+/// and reuse one buffer across pipelined requests.
+pub fn encode_request_into(req: &RequestFrame, out: &mut Vec<u8>) {
     out.push(req.body.op() as u8);
-    put_u64(&mut out, req.id);
+    put_u64(out, req.id);
     match &req.body {
         RequestBody::Ping => {}
+        RequestBody::Hello { features } => put_u32(out, *features),
         RequestBody::CheckConsistency { docs } | RequestBody::CanonicalSolution { docs } => {
-            put_docs(&mut out, docs);
+            put_docs(out, docs);
         }
         RequestBody::CertainAnswers { query, docs }
         | RequestBody::CertainAnswersBoolean { query, docs } => {
-            put_string(&mut out, query);
-            put_docs(&mut out, docs);
+            put_string(out, query);
+            put_docs(out, docs);
         }
     }
+}
+
+/// Encode a request payload (no length prefix; see [`frame`]).
+pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_request_into(req, &mut out);
     out
 }
 
 /// Decode a request payload. `max_docs` is the server's configured
 /// per-request document cap (the protocol cap [`MAX_DOCS_PER_REQUEST`]
-/// applies on top).
-pub fn decode_request(payload: &[u8], max_docs: usize) -> Result<RequestFrame, DecodeError> {
+/// applies on top); `codec` is the connection's negotiated document codec.
+pub fn decode_request(
+    payload: &[u8],
+    max_docs: usize,
+    codec: Codec,
+) -> Result<RequestFrame, DecodeError> {
     let mut r = Reader::new(payload);
     let op_raw = r.u8()?;
     r.id = r.u64()?;
@@ -520,24 +719,25 @@ pub fn decode_request(payload: &[u8], max_docs: usize) -> Result<RequestFrame, D
     })?;
     let body = match op {
         OpCode::Ping => RequestBody::Ping,
+        OpCode::Hello => RequestBody::Hello { features: r.u32()? },
         OpCode::CheckConsistency => RequestBody::CheckConsistency {
-            docs: read_docs(&mut r, max_docs)?,
+            docs: read_docs(&mut r, max_docs, codec)?,
         },
         OpCode::CanonicalSolution => RequestBody::CanonicalSolution {
-            docs: read_docs(&mut r, max_docs)?,
+            docs: read_docs(&mut r, max_docs, codec)?,
         },
         OpCode::CertainAnswers => {
             let query = r.string()?;
             RequestBody::CertainAnswers {
                 query,
-                docs: read_docs(&mut r, max_docs)?,
+                docs: read_docs(&mut r, max_docs, codec)?,
             }
         }
         OpCode::CertainAnswersBoolean => {
             let query = r.string()?;
             RequestBody::CertainAnswersBoolean {
                 query,
-                docs: read_docs(&mut r, max_docs)?,
+                docs: read_docs(&mut r, max_docs, codec)?,
             }
         }
     };
@@ -563,6 +763,12 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             put_u64(&mut out, resp.id);
             out.push(OpCode::Ping as u8);
         }
+        ResponseBody::HelloOk { features } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::Hello as u8);
+            put_u32(&mut out, *features);
+        }
         ResponseBody::Consistency(flags) => {
             out.push(STATUS_OK);
             put_u64(&mut out, resp.id);
@@ -582,7 +788,7 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
                 u16::try_from(results.len()).expect("doc count exceeds u16"),
             );
             for result in results {
-                put_doc_result(&mut out, result, |out, text| put_string(out, text));
+                put_doc_result(&mut out, result, put_doc);
             }
         }
         ResponseBody::Answers(results) => {
@@ -624,14 +830,20 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
     out
 }
 
-/// Decode a response payload.
-pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, DecodeError> {
+/// Decode a (fully reassembled) response payload. `codec` is the
+/// connection's negotiated document codec; a [`STATUS_OK_PARTIAL`] status
+/// is rejected here — chunk frames must be concatenated into the logical
+/// payload first (the client does this in `recv`).
+pub fn decode_response(payload: &[u8], codec: Codec) -> Result<ResponseFrame, DecodeError> {
     let mut r = Reader::new(payload);
     let status = r.u8()?;
     r.id = r.u64()?;
     let body = match status {
         STATUS_BUSY => ResponseBody::Busy,
         STATUS_ERROR => ResponseBody::Error(read_wire_error(&mut r)?),
+        STATUS_OK_PARTIAL => {
+            return Err(r.err("partial chunk frame passed to decode_response unassembled"))
+        }
         STATUS_OK => {
             let op_raw = r.u8()?;
             let op = OpCode::from_u8(op_raw).ok_or_else(|| {
@@ -639,6 +851,7 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, DecodeError> {
             })?;
             match op {
                 OpCode::Ping => ResponseBody::Pong,
+                OpCode::Hello => ResponseBody::HelloOk { features: r.u32()? },
                 OpCode::CheckConsistency => {
                     let n = r.u16()? as usize;
                     let mut flags = Vec::with_capacity(n.min(4096));
@@ -655,7 +868,7 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, DecodeError> {
                     let n = r.u16()? as usize;
                     let mut results = Vec::with_capacity(n.min(4096));
                     for _ in 0..n {
-                        results.push(read_doc_result(&mut r, |r| r.string())?);
+                        results.push(read_doc_result(&mut r, |r| read_doc(r, codec))?);
                     }
                     ResponseBody::Solutions(results)
                 }
@@ -710,6 +923,12 @@ mod tests {
                 body: RequestBody::Ping,
             },
             RequestFrame {
+                id: 11,
+                body: RequestBody::Hello {
+                    features: SUPPORTED_FEATURES,
+                },
+            },
+            RequestFrame {
                 id: u64::MAX,
                 body: RequestBody::CheckConsistency { docs: vec![] },
             },
@@ -746,6 +965,12 @@ mod tests {
             ResponseFrame {
                 id: 2,
                 body: ResponseBody::Busy,
+            },
+            ResponseFrame {
+                id: 12,
+                body: ResponseBody::HelloOk {
+                    features: FEATURE_BINARY_DOCS,
+                },
             },
             ResponseFrame {
                 id: 3,
@@ -785,7 +1010,7 @@ mod tests {
     fn requests_round_trip() {
         for req in sample_requests() {
             let bytes = encode_request(&req);
-            let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap();
+            let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text).unwrap();
             assert_eq!(req, back);
         }
     }
@@ -794,23 +1019,87 @@ mod tests {
     fn responses_round_trip() {
         for resp in sample_responses() {
             let bytes = encode_response(&resp);
-            let back = decode_response(&bytes).unwrap();
+            let back = decode_response(&bytes, Codec::Text).unwrap();
             assert_eq!(resp, back);
         }
     }
 
     #[test]
-    fn truncations_of_valid_payloads_never_panic() {
-        for req in sample_requests() {
-            let bytes = encode_request(&req);
-            for cut in 0..bytes.len() {
-                let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST);
+    fn binary_docs_round_trip_under_the_binary_codec() {
+        use xdx_xmltree::XmlTree;
+        let doc = WireDoc::from_tree(&XmlTree::new("db"), Codec::Binary);
+        let req = RequestFrame {
+            id: 3,
+            body: RequestBody::CanonicalSolution {
+                docs: vec![doc.clone(), WireDoc::Binary(vec![0xde, 0xad])],
+            },
+        };
+        let bytes = encode_request(&req);
+        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Binary).unwrap();
+        assert_eq!(req, back);
+        // The valid frame parses; the garbage one reports BinaryDoc.
+        assert!(doc.to_tree().is_ok());
+        let err = WireDoc::Binary(vec![0xde, 0xad]).to_tree().unwrap_err();
+        assert_eq!(err.code, ErrorCode::BinaryDoc);
+
+        let resp = ResponseFrame {
+            id: 4,
+            body: ResponseBody::Solutions(vec![Ok(doc)]),
+        };
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes, Codec::Binary).unwrap(), resp);
+    }
+
+    #[test]
+    fn codec_mismatch_is_detected_not_panicked() {
+        // A binary frame decoded as text must fail UTF-8 or tree parsing,
+        // never panic: version byte 1 is not valid tree text anyway.
+        use xdx_xmltree::XmlTree;
+        let doc = WireDoc::from_tree(&XmlTree::new("db"), Codec::Binary);
+        let req = RequestFrame {
+            id: 5,
+            body: RequestBody::CheckConsistency { docs: vec![doc] },
+        };
+        let bytes = encode_request(&req);
+        match decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text) {
+            Ok(back) => {
+                // Framing is codec-independent, so it may decode as a
+                // text doc — which must then fail to parse as a tree.
+                for d in match &back.body {
+                    RequestBody::CheckConsistency { docs } => docs,
+                    _ => panic!("op preserved"),
+                } {
+                    assert!(d.to_tree().is_err());
+                }
             }
+            Err(e) => assert_eq!(e.error.code, ErrorCode::MalformedFrame),
         }
-        for resp in sample_responses() {
-            let bytes = encode_response(&resp);
-            for cut in 0..bytes.len() {
-                let _ = decode_response(&bytes[..cut]);
+    }
+
+    #[test]
+    fn partial_status_requires_reassembly() {
+        let mut bytes = vec![STATUS_OK_PARTIAL];
+        bytes.extend_from_slice(&9u64.to_be_bytes());
+        bytes.extend_from_slice(b"chunk");
+        let err = decode_response(&bytes, Codec::Text).unwrap_err();
+        assert_eq!(err.id, 9);
+        assert!(err.error.message.contains("unassembled"));
+    }
+
+    #[test]
+    fn truncations_of_valid_payloads_never_panic() {
+        for codec in [Codec::Text, Codec::Binary] {
+            for req in sample_requests() {
+                let bytes = encode_request(&req);
+                for cut in 0..bytes.len() {
+                    let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec);
+                }
+            }
+            for resp in sample_responses() {
+                let bytes = encode_response(&resp);
+                for cut in 0..bytes.len() {
+                    let _ = decode_response(&bytes[..cut], codec);
+                }
             }
         }
     }
@@ -820,28 +1109,39 @@ mod tests {
         for req in sample_requests() {
             let mut bytes = encode_request(&req);
             bytes.push(0);
-            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap_err();
+            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text).unwrap_err();
             assert_eq!(err.error.code, ErrorCode::MalformedFrame);
             assert_eq!(err.id, req.id, "the id must still be echoed");
         }
     }
 
     #[test]
+    fn encode_request_into_appends_after_reserved_framing_bytes() {
+        let req = RequestFrame {
+            id: 1,
+            body: RequestBody::Ping,
+        };
+        let mut buf = vec![0u8; 4];
+        encode_request_into(&req, &mut buf);
+        assert_eq!(&buf[4..], encode_request(&req).as_slice());
+    }
+
+    #[test]
     fn unknown_ops_and_doc_limits_carry_codes() {
         let mut bytes = vec![99u8];
         bytes.extend_from_slice(&42u64.to_be_bytes());
-        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap_err();
+        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text).unwrap_err();
         assert_eq!(err.error.code, ErrorCode::UnknownOp);
         assert_eq!(err.id, 42);
 
         let req = RequestFrame {
             id: 5,
             body: RequestBody::CheckConsistency {
-                docs: vec!["db".into(); 10],
+                docs: vec![WireDoc::from("db"); 10],
             },
         };
         let bytes = encode_request(&req);
-        let err = decode_request(&bytes, 4).unwrap_err();
+        let err = decode_request(&bytes, 4, Codec::Text).unwrap_err();
         assert_eq!(err.error.code, ErrorCode::TooManyDocs);
         assert_eq!(err.id, 5);
     }
@@ -850,12 +1150,14 @@ mod tests {
     fn hostile_length_fields_do_not_overallocate() {
         // A string length of u32::MAX with 3 bytes of data must fail
         // cleanly (allocation is bounded by the actual payload).
-        let mut bytes = vec![OpCode::CertainAnswers as u8];
-        bytes.extend_from_slice(&1u64.to_be_bytes());
-        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
-        bytes.extend_from_slice(b"abc");
-        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST).unwrap_err();
-        assert_eq!(err.error.code, ErrorCode::MalformedFrame);
+        for codec in [Codec::Text, Codec::Binary] {
+            let mut bytes = vec![OpCode::CertainAnswers as u8];
+            bytes.extend_from_slice(&1u64.to_be_bytes());
+            bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+            bytes.extend_from_slice(b"abc");
+            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec).unwrap_err();
+            assert_eq!(err.error.code, ErrorCode::MalformedFrame);
+        }
     }
 
     #[test]

@@ -26,8 +26,12 @@
 //!   the `D°`/`D*` transformations used by the nested-relational consistency
 //!   algorithm (Theorem 4.5);
 //! * [`text`] — a lossless, iterative (depth-bomb-safe) text serialization
-//!   of trees with a total parser; the document codec of the `xdx-server`
-//!   wire protocol;
+//!   of trees with a total parser; the default document codec of the
+//!   `xdx-server` wire protocol and the differential oracle for [`binary`];
+//! * [`binary`] — the length-prefixed binary preorder codec (wire protocol
+//!   v2's negotiated fast path, and the planned `xdx-store` snapshot
+//!   format): encodes off the arena arrays, decodes by one bulk
+//!   [`XmlTree::append_forest`] reservation, no recursion either way;
 //! * [`interner`] / [`compiled`] — the compiled fast path: dense `u32`
 //!   symbol ids ([`Sym`]) and per-DTD dense-table DFAs plus occurrence-bound
 //!   summaries ([`CompiledDtd`]), built once per DTD and used by every
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod compiled;
 pub mod dtd;
 pub mod interner;
@@ -45,6 +50,7 @@ pub mod text;
 pub mod tree;
 pub mod value;
 
+pub use binary::{decode_tree, encode_tree, BinaryError, ByteSink};
 pub use compiled::CompiledDtd;
 pub use dtd::{ConformanceViolation, Dtd, DtdBuilder, DtdError};
 pub use interner::{Interner, Sym};

@@ -91,11 +91,25 @@ impl XmlTree {
         self.nodes[node.index()].attrs.get(name)
     }
 
-    /// Set (or overwrite) an attribute value at `node`.
-    pub fn set_attr(&mut self, node: NodeId, name: impl Into<AttrName>, value: impl Into<Value>) {
+    /// Mutable access to `node`'s whole attribute map — for bulk builders
+    /// (the binary decoder) that fill many attributes of one node at a time
+    /// and want to pay the node lookup once.
+    pub fn attrs_mut(&mut self, node: NodeId) -> &mut BTreeMap<AttrName, Value> {
+        &mut self.nodes[node.index()].attrs
+    }
+
+    /// Set (or overwrite) an attribute value at `node`, returning the value
+    /// it replaced (if any) — which doubles as a single-lookup existence
+    /// check for callers that must reject duplicates.
+    pub fn set_attr(
+        &mut self,
+        node: NodeId,
+        name: impl Into<AttrName>,
+        value: impl Into<Value>,
+    ) -> Option<Value> {
         self.nodes[node.index()]
             .attrs
-            .insert(name.into(), value.into());
+            .insert(name.into(), value.into())
     }
 
     /// Remove an attribute from `node`, returning its previous value.
@@ -208,17 +222,40 @@ impl XmlTree {
     /// stamped nodes is the slot order. Returns the id of slot 0; slot `i`
     /// is `NodeId::from_index(base.index() + i)`.
     ///
+    /// An empty `nodes` slice is a no-op and returns `None` — there is no
+    /// slot 0 to name. (Callers with an empty template match, and the binary
+    /// codec decoding a single-root document, hit this legitimately; it used
+    /// to be an `assert!`.)
+    ///
     /// This is the allocation-shape the template-stamped target
     /// instantiation of the exchange chase uses: one `Vec` growth for the
     /// whole fragment instead of one recursion frame + child push per node.
     ///
     /// # Panics
-    /// Panics if `nodes` is empty or a `parent_slot` is neither `u32::MAX`
-    /// nor a smaller slot index.
-    pub fn append_forest(&mut self, parent: NodeId, nodes: &[(u32, ElementType)]) -> NodeId {
-        assert!(!nodes.is_empty(), "append_forest: empty forest");
+    /// Panics if a `parent_slot` is neither `u32::MAX` nor a smaller slot
+    /// index.
+    pub fn append_forest(
+        &mut self,
+        parent: NodeId,
+        nodes: &[(u32, ElementType)],
+    ) -> Option<NodeId> {
+        if nodes.is_empty() {
+            return None;
+        }
         let base = self.nodes.len();
         self.nodes.reserve(nodes.len());
+        // Pre-count fan-out so the child-list pushes below never reallocate
+        // (bulk decode feeds whole documents through here).
+        let mut fanout = vec![0u32; nodes.len()];
+        let mut under_parent = 0usize;
+        for (parent_slot, _) in nodes {
+            if *parent_slot == u32::MAX {
+                under_parent += 1;
+            } else {
+                fanout[*parent_slot as usize] += 1;
+            }
+        }
+        self.nodes[parent.index()].children.reserve(under_parent);
         for (i, (parent_slot, label)) in nodes.iter().enumerate() {
             let id = NodeId::from_index(base + i);
             let p = if *parent_slot == u32::MAX {
@@ -233,12 +270,12 @@ impl XmlTree {
             self.nodes.push(NodeData {
                 label: label.clone(),
                 attrs: BTreeMap::new(),
-                children: Vec::new(),
+                children: Vec::with_capacity(fanout[i] as usize),
                 parent: Some(p),
             });
             self.nodes[p.index()].children.push(id);
         }
-        NodeId::from_index(base)
+        Some(NodeId::from_index(base))
     }
 
     /// Copy the subtree of `other` rooted at `other_node` into this tree as a
@@ -736,15 +773,17 @@ mod tests {
         let sec = ElementType::new("sec");
         let title = ElementType::new("title");
         let par = ElementType::new("par");
-        let base = t.append_forest(
-            t.root(),
-            &[
-                (u32::MAX, sec.clone()),
-                (0, title.clone()),
-                (0, par.clone()),
-                (u32::MAX, sec.clone()),
-            ],
-        );
+        let base = t
+            .append_forest(
+                t.root(),
+                &[
+                    (u32::MAX, sec.clone()),
+                    (0, title.clone()),
+                    (0, par.clone()),
+                    (u32::MAX, sec.clone()),
+                ],
+            )
+            .unwrap();
         assert_eq!(base.index(), 1);
         t.validate().unwrap();
         assert_eq!(t.size(), 5);
@@ -755,9 +794,20 @@ mod tests {
         assert_eq!(t.children(first_sec).len(), 2);
         assert_eq!(t.parent(NodeId::from_index(base.index() + 1)), Some(base));
         // A second stamp appends after the first.
-        let base2 = t.append_forest(t.root(), &[(u32::MAX, sec.clone())]);
+        let base2 = t
+            .append_forest(t.root(), &[(u32::MAX, sec.clone())])
+            .unwrap();
         assert_eq!(t.children(t.root()).len(), 3);
         assert_eq!(t.children(t.root())[2], base2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn append_forest_of_nothing_is_a_no_op() {
+        let mut t = XmlTree::new("doc");
+        assert_eq!(t.append_forest(t.root(), &[]), None);
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.arena_len(), 1);
         t.validate().unwrap();
     }
 

@@ -14,7 +14,12 @@
 //! ```text
 //! cargo run --release --example serve -- --client-smoke /tmp/xdx.sock
 //! cargo run --release --example serve -- --client-smoke 127.0.0.1:7878
+//! cargo run --release --example serve -- --client-smoke /tmp/xdx.sock --codec binary
 //! ```
+//!
+//! `--codec text` (the default) speaks protocol v1; `--codec binary`
+//! negotiates the v2 binary document frames + chunked responses via `Hello`
+//! first, so the CI smoke step exercises both serving paths.
 //!
 //! The served setting is the paper's books→writers running example
 //! (Figures 1 and 2), so the smoke client's documents are Figure 1(b).
@@ -32,6 +37,7 @@ fn main() {
     let mut tcp: Option<String> = None;
     let mut unix: Option<String> = None;
     let mut smoke: Option<String> = None;
+    let mut codec = "text".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,20 +57,36 @@ fn main() {
                 );
                 i += 2;
             }
+            "--codec" => {
+                codec = args.get(i + 1).expect("--codec needs text|binary").clone();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET");
+                eprintln!(
+                    "usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET [--codec text|binary]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let binary = match codec.as_str() {
+        "text" => false,
+        "binary" => true,
+        other => {
+            eprintln!("unknown codec {other} (expected text or binary)");
+            std::process::exit(2);
+        }
+    };
 
     if let Some(target) = smoke {
-        client_smoke(&target);
+        client_smoke(&target, binary);
         return;
     }
     if tcp.is_none() && unix.is_none() {
-        eprintln!("usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET");
+        eprintln!(
+            "usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET [--codec text|binary]"
+        );
         std::process::exit(2);
     }
 
@@ -88,12 +110,16 @@ fn main() {
 }
 
 /// Connect, run every operation once, check against in-process oracles.
-fn client_smoke(target: &str) {
+fn client_smoke(target: &str, binary: bool) {
     let mut client = if target.contains('/') {
         Client::connect_unix(target).expect("connect unix")
     } else {
         Client::connect_tcp(target).expect("connect tcp")
     };
+    if binary {
+        client.use_binary().expect("negotiate binary codec");
+        println!("hello: binary documents + chunked responses negotiated");
+    }
     client.ping().expect("ping");
     println!("ping: ok");
 

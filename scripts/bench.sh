@@ -7,6 +7,10 @@
 #   scripts/bench.sh                # all benches -> BENCH_$(date +%F).json
 #   scripts/bench.sh baseline      # -> BENCH_baseline.json
 #   BENCHES="consistency_nested canonical_solution" scripts/bench.sh
+#   XDX_WIRE_CODEC=text scripts/bench.sh   # E14: serve only the text codec
+#
+# The `serving` bench (E14) emits its served rows once per wire codec
+# (`…/text` and `…/binary`); set XDX_WIRE_CODEC=text|binary to restrict it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +21,7 @@ out="BENCH_${tag}.json"
 benches="${BENCHES:-consistency_nested consistency_general canonical_solution \
 certain_answers_tractable certain_answers_hardness dtd_trim parikh_membership \
 sibling_ordering univocality batch_engine satisfiability pattern_eval chase \
-serving}"
+serving codec}"
 
 for bench in $benches; do
     echo "== $bench =="

@@ -1,0 +1,127 @@
+//! Proptests for the `xmltree::binary` preorder codec against the text
+//! codec as differential oracle: `decode ∘ encode` is the identity on
+//! arbitrary trees (nulls, hostile names, deep chains included), and both
+//! codecs carry exactly the same trees — a document round-tripped through
+//! binary equals the same document round-tripped through text.
+
+use proptest::prelude::*;
+use xdx_xmltree::binary::{decode_tree, encode_tree, encoded_len};
+use xdx_xmltree::{parse_tree, tree_to_text, NullId, Value, XmlTree};
+
+fn cases(default: u32) -> u32 {
+    ProptestConfig::env_cases().unwrap_or(default)
+}
+
+/// Names that stress both codecs: text-quoting hazards (quotes,
+/// backslashes, brackets, commas) and multi-byte UTF-8 including the ⊥
+/// null marker the text parser must not confuse with a real null.
+fn random_name(rng: &mut TestRng) -> String {
+    const PIECES: [&str; 8] = [
+        "a",
+        "book",
+        "name with spaces",
+        "qu\"ote",
+        "back\\slash",
+        "⊥7",
+        "commas, and ] brackets [",
+        "ünïcode·",
+    ];
+    let mut s = PIECES[rng.next_u64() as usize % PIECES.len()].to_string();
+    if rng.next_u64().is_multiple_of(11) {
+        s.push_str(&"n".repeat((rng.next_u64() % 40) as usize));
+    }
+    s
+}
+
+fn random_value(rng: &mut TestRng) -> Value {
+    if rng.next_u64().is_multiple_of(3) {
+        Value::Null(NullId(rng.next_u64()))
+    } else {
+        Value::constant(random_name(rng))
+    }
+}
+
+/// An arbitrary tree: random fan-out/nesting, shared and unique labels,
+/// 0–3 attributes per node mixing constants and nulls.
+fn random_tree(rng: &mut TestRng) -> XmlTree {
+    let mut tree = XmlTree::new(random_name(rng));
+    let mut nodes = vec![tree.root()];
+    for _ in 0..rng.next_u64() % 20 {
+        let parent = nodes[rng.next_u64() as usize % nodes.len()];
+        let node = tree.add_child(parent, random_name(rng));
+        for _ in 0..rng.next_u64() % 4 {
+            let value = random_value(rng);
+            tree.set_attr(node, format!("@{}", random_name(rng)), value);
+        }
+        nodes.push(node);
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    #[test]
+    fn decode_of_encode_is_the_identity(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let tree = random_tree(&mut rng);
+        let bytes = encode_tree(&tree);
+        prop_assert_eq!(bytes.len(), encoded_len(&tree));
+        let back = decode_tree(&bytes).expect("own encoding decodes");
+        back.validate().expect("decoded tree is structurally valid");
+        // Ordered canonical form pins labels, attribute maps (constants
+        // AND null ids), sibling order and nesting exactly.
+        prop_assert_eq!(back.ordered_canonical_form(), tree.ordered_canonical_form());
+        // Re-encoding is deterministic byte-for-byte.
+        prop_assert_eq!(encode_tree(&back), bytes);
+    }
+
+    #[test]
+    fn binary_and_text_codecs_carry_the_same_trees(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let tree = random_tree(&mut rng);
+        let via_binary = decode_tree(&encode_tree(&tree)).expect("binary round trip");
+        let via_text = parse_tree(&tree_to_text(&tree)).expect("text round trip");
+        prop_assert_eq!(
+            via_binary.ordered_canonical_form(),
+            via_text.ordered_canonical_form()
+        );
+        // And the text serialization of the binary round trip is stable.
+        prop_assert_eq!(tree_to_text(&via_binary), tree_to_text(&tree));
+    }
+
+    #[test]
+    fn deep_chains_round_trip_without_recursion(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        // 10k–40k deep: a recursive encoder or decoder would blow the
+        // stack long before this.
+        let depth = 10_000 + (rng.next_u64() % 30_000) as usize;
+        let mut tree = XmlTree::new("r");
+        let mut cur = tree.root();
+        for i in 0..depth {
+            cur = tree.add_child(cur, if i % 2 == 0 { "a" } else { "b" });
+        }
+        tree.set_attr(cur, "@leaf", Value::Null(NullId(seed)));
+        let back = decode_tree(&encode_tree(&tree)).expect("deep chain decodes");
+        // (`XmlTree::depth` is recursive, so compare sizes and walk to the
+        // leaf iteratively instead.)
+        prop_assert_eq!(back.size(), tree.size());
+        let mut node = back.root();
+        while let Some(&child) = back.children(node).first() {
+            node = child;
+        }
+        prop_assert_eq!(
+            back.attr(node, &"@leaf".into()),
+            Some(&Value::Null(NullId(seed)))
+        );
+    }
+
+    #[test]
+    fn truncated_encodings_are_errors_not_panics(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let tree = random_tree(&mut rng);
+        let bytes = encode_tree(&tree);
+        let cut = (rng.next_u64() as usize) % bytes.len();
+        prop_assert!(decode_tree(&bytes[..cut]).is_err());
+    }
+}

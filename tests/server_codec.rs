@@ -1,14 +1,18 @@
 //! Proptests for the `xdx-server` wire codec: every request/response shape
-//! round-trips, and hostile inputs — random garbage, truncations and
-//! corruptions of valid frames — decode to structured errors without ever
-//! panicking. Sampling is deterministic per test (the proptest shim
+//! round-trips under both document codecs, and hostile inputs — random
+//! garbage, truncations and corruptions of valid wire frames *and* of
+//! valid binary document frames — decode to structured errors without
+//! ever panicking. Sampling is deterministic per test (the proptest shim
 //! derives the seed from the test name) and scales with `PROPTEST_CASES`.
 
 use proptest::prelude::*;
 use xdx_server::wire::{
-    decode_request, decode_response, encode_request, encode_response, DocResult, ErrorCode,
-    RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError, MAX_DOCS_PER_REQUEST,
+    decode_request, decode_response, encode_request, encode_response, Codec, DocResult, ErrorCode,
+    RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireDoc, WireError,
+    MAX_DOCS_PER_REQUEST, SUPPORTED_FEATURES,
 };
+use xdx_xmltree::binary::{decode_tree, encode_tree};
+use xdx_xmltree::{NullId, Value, XmlTree};
 
 fn cases(default: u32) -> u32 {
     ProptestConfig::env_cases().unwrap_or(default)
@@ -34,36 +38,78 @@ fn random_string(rng: &mut TestRng) -> String {
     s
 }
 
-fn random_docs(rng: &mut TestRng) -> Vec<String> {
+/// A random small tree: arbitrary labels/attribute names (hostile strings
+/// included), constants and nulls, a few levels of nesting.
+fn random_tree(rng: &mut TestRng) -> XmlTree {
+    let mut tree = XmlTree::new(format!("r{}", rng.next_u64() % 3));
+    let mut nodes = vec![tree.root()];
+    for _ in 0..rng.next_u64() % 12 {
+        let parent = nodes[rng.next_u64() as usize % nodes.len()];
+        let node = tree.add_child(parent, random_string(rng));
+        for _ in 0..rng.next_u64() % 3 {
+            let value = if rng.next_u64().is_multiple_of(3) {
+                Value::Null(NullId(rng.next_u64()))
+            } else {
+                Value::constant(random_string(rng))
+            };
+            tree.set_attr(node, format!("@{}", random_string(rng)), value);
+        }
+        nodes.push(node);
+    }
+    tree
+}
+
+/// A random document in the given codec. The wire layer carries binary
+/// documents as opaque blobs, so for round-trip purposes *any* bytes are a
+/// valid binary document — half the time use a real encoded tree, half
+/// the time garbage.
+fn random_doc(rng: &mut TestRng, codec: Codec) -> WireDoc {
+    match codec {
+        Codec::Text => WireDoc::Text(random_string(rng)),
+        Codec::Binary => {
+            if rng.next_u64().is_multiple_of(2) {
+                WireDoc::Binary(encode_tree(&random_tree(rng)))
+            } else {
+                let len = (rng.next_u64() % 64) as usize;
+                WireDoc::Binary((0..len).map(|_| rng.next_u64() as u8).collect())
+            }
+        }
+    }
+}
+
+fn random_docs(rng: &mut TestRng, codec: Codec) -> Vec<WireDoc> {
     (0..rng.next_u64() % 5)
-        .map(|_| random_string(rng))
+        .map(|_| random_doc(rng, codec))
         .collect()
 }
 
-fn random_request(rng: &mut TestRng) -> RequestFrame {
+fn random_request(rng: &mut TestRng, codec: Codec) -> RequestFrame {
     let id = rng.next_u64();
-    let body = match rng.next_u64() % 5 {
+    let body = match rng.next_u64() % 6 {
         0 => RequestBody::Ping,
-        1 => RequestBody::CheckConsistency {
-            docs: random_docs(rng),
+        1 => RequestBody::Hello {
+            features: rng.next_u64() as u32,
         },
-        2 => RequestBody::CanonicalSolution {
-            docs: random_docs(rng),
+        2 => RequestBody::CheckConsistency {
+            docs: random_docs(rng, codec),
         },
-        3 => RequestBody::CertainAnswers {
+        3 => RequestBody::CanonicalSolution {
+            docs: random_docs(rng, codec),
+        },
+        4 => RequestBody::CertainAnswers {
             query: random_string(rng),
-            docs: random_docs(rng),
+            docs: random_docs(rng, codec),
         },
         _ => RequestBody::CertainAnswersBoolean {
             query: random_string(rng),
-            docs: random_docs(rng),
+            docs: random_docs(rng, codec),
         },
     };
     RequestFrame { id, body }
 }
 
 fn random_wire_error(rng: &mut TestRng) -> WireError {
-    const CODES: [ErrorCode; 9] = [
+    const CODES: [ErrorCode; 10] = [
         ErrorCode::MalformedFrame,
         ErrorCode::FrameTooLarge,
         ErrorCode::UnknownOp,
@@ -73,6 +119,7 @@ fn random_wire_error(rng: &mut TestRng) -> WireError {
         ErrorCode::AttributeClash,
         ErrorCode::NoRepair,
         ErrorCode::ChaseBudgetExceeded,
+        ErrorCode::BinaryDoc,
     ];
     WireError::new(
         CODES[rng.next_u64() as usize % CODES.len()],
@@ -95,15 +142,18 @@ fn random_results<T>(
         .collect()
 }
 
-fn random_response(rng: &mut TestRng) -> ResponseFrame {
+fn random_response(rng: &mut TestRng, codec: Codec) -> ResponseFrame {
     let id = rng.next_u64();
-    let body = match rng.next_u64() % 7 {
+    let body = match rng.next_u64() % 8 {
         0 => ResponseBody::Pong,
         1 => ResponseBody::Busy,
-        2 => ResponseBody::Error(random_wire_error(rng)),
-        3 => ResponseBody::Consistency((0..rng.next_u64() % 6).map(|i| i % 2 == 0).collect()),
-        4 => ResponseBody::Solutions(random_results(rng, random_string)),
-        5 => ResponseBody::Answers(random_results(rng, |rng| {
+        2 => ResponseBody::HelloOk {
+            features: rng.next_u64() as u32 & SUPPORTED_FEATURES,
+        },
+        3 => ResponseBody::Error(random_wire_error(rng)),
+        4 => ResponseBody::Consistency((0..rng.next_u64() % 6).map(|i| i % 2 == 0).collect()),
+        5 => ResponseBody::Solutions(random_results(rng, |rng| random_doc(rng, codec))),
+        6 => ResponseBody::Answers(random_results(rng, |rng| {
             (0..rng.next_u64() % 4)
                 .map(|_| {
                     (0..rng.next_u64() % 3)
@@ -117,51 +167,67 @@ fn random_response(rng: &mut TestRng) -> ResponseFrame {
     ResponseFrame { id, body }
 }
 
+fn random_codec(rng: &mut TestRng) -> Codec {
+    if rng.next_u64().is_multiple_of(2) {
+        Codec::Text
+    } else {
+        Codec::Binary
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(256)))]
 
     #[test]
     fn every_request_shape_round_trips(seed in 0u64..u64::MAX) {
         let mut rng = TestRng::new(seed);
-        let req = random_request(&mut rng);
+        let codec = random_codec(&mut rng);
+        let req = random_request(&mut rng, codec);
         let bytes = encode_request(&req);
-        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST);
+        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec);
         prop_assert_eq!(Ok(req), back);
     }
 
     #[test]
     fn every_response_shape_round_trips(seed in 0u64..u64::MAX) {
         let mut rng = TestRng::new(seed);
-        let resp = random_response(&mut rng);
+        let codec = random_codec(&mut rng);
+        let resp = random_response(&mut rng, codec);
         let bytes = encode_response(&resp);
-        let back = decode_response(&bytes);
+        let back = decode_response(&bytes, codec);
         prop_assert_eq!(Ok(resp), back);
     }
 
     #[test]
     fn truncations_and_corruptions_never_panic(seed in 0u64..u64::MAX) {
         let mut rng = TestRng::new(seed);
+        let codec = random_codec(&mut rng);
         let bytes = if seed % 2 == 0 {
-            encode_request(&random_request(&mut rng))
+            encode_request(&random_request(&mut rng, codec))
         } else {
-            encode_response(&random_response(&mut rng))
+            encode_response(&random_response(&mut rng, codec))
         };
-        // Truncate at a random point.
+        // Truncate at a random point; decode under both codecs (a codec
+        // mismatch must fail structurally, never panic).
         if !bytes.is_empty() {
             let cut = (rng.next_u64() as usize) % bytes.len();
-            let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST);
-            let _ = decode_response(&bytes[..cut]);
+            for codec in [Codec::Text, Codec::Binary] {
+                let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec);
+                let _ = decode_response(&bytes[..cut], codec);
+            }
         }
         // Flip a random byte.
         let mut corrupted = bytes.clone();
         if !corrupted.is_empty() {
             let at = (rng.next_u64() as usize) % corrupted.len();
             corrupted[at] ^= 1 << (rng.next_u64() % 8);
-            let _ = decode_request(&corrupted, MAX_DOCS_PER_REQUEST);
-            let _ = decode_response(&corrupted);
+            for codec in [Codec::Text, Codec::Binary] {
+                let _ = decode_request(&corrupted, MAX_DOCS_PER_REQUEST, codec);
+                let _ = decode_response(&corrupted, codec);
+            }
         }
         // A decoded-then-re-encoded frame is stable (when it decodes).
-        if let Ok(req) = decode_request(&corrupted, MAX_DOCS_PER_REQUEST) {
+        if let Ok(req) = decode_request(&corrupted, MAX_DOCS_PER_REQUEST, codec) {
             prop_assert_eq!(encode_request(&req).len(), corrupted.len());
         }
     }
@@ -171,7 +237,43 @@ proptest! {
         let mut rng = TestRng::new(seed);
         let len = (rng.next_u64() % 64) as usize;
         let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-        let _ = decode_request(&garbage, MAX_DOCS_PER_REQUEST);
-        let _ = decode_response(&garbage);
+        for codec in [Codec::Text, Codec::Binary] {
+            let _ = decode_request(&garbage, MAX_DOCS_PER_REQUEST, codec);
+            let _ = decode_response(&garbage, codec);
+        }
+    }
+
+    /// The binary *document* codec under the same hostile treatment: valid
+    /// frames round-trip through the [`WireDoc`] path, and truncated /
+    /// corrupted / garbage frames are structured errors, never panics.
+    #[test]
+    fn binary_document_frames_survive_hostile_bytes(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let tree = random_tree(&mut rng);
+        let bytes = encode_tree(&tree);
+        let doc = WireDoc::Binary(bytes.clone());
+        let back = doc.to_tree().expect("valid frame decodes");
+        prop_assert_eq!(
+            back.ordered_canonical_form(),
+            tree.ordered_canonical_form()
+        );
+        let cut = (rng.next_u64() as usize) % bytes.len();
+        prop_assert!(WireDoc::Binary(bytes[..cut].to_vec()).to_tree().is_err());
+        let mut corrupted = bytes.clone();
+        let at = (rng.next_u64() as usize) % corrupted.len();
+        corrupted[at] ^= 1 << (rng.next_u64() % 8);
+        if let Ok(tree) = decode_tree(&corrupted) {
+            // A surviving corruption must still re-encode to a frame that
+            // decodes to the same tree (total decoder, no hidden state).
+            let reencoded = encode_tree(&tree);
+            let twice = decode_tree(&reencoded).expect("re-encoded frame decodes");
+            prop_assert_eq!(
+                twice.ordered_canonical_form(),
+                tree.ordered_canonical_form()
+            );
+        }
+        // Text of a binary doc and binary of a text doc: decodable or
+        // structured error, both without panicking.
+        let _ = WireDoc::Text(String::from_utf8_lossy(&corrupted).into_owned()).to_tree();
     }
 }

@@ -366,7 +366,7 @@ fn saturation_yields_busy_not_unbounded_queueing() {
                 &xdx_server::RequestFrame {
                     id: 1000 + i,
                     body: RequestBody::CanonicalSolution {
-                        docs: vec![tree_to_text(&doc)],
+                        docs: vec![tree_to_text(&doc).into()],
                     },
                 },
             ));
@@ -431,7 +431,7 @@ fn a_peer_that_never_reads_cannot_pin_unbounded_output() {
         let mut sent = 0usize;
         for _ in 0..64 {
             match client.send(RequestBody::CanonicalSolution {
-                docs: vec![tree_to_text(&doc)],
+                docs: vec![tree_to_text(&doc).into()],
             }) {
                 Ok(_) => sent += 1,
                 Err(_) => break, // server already closed on us
@@ -484,7 +484,7 @@ fn pipelined_responses_are_correlated_by_id() {
         for (i, doc) in docs.iter().enumerate() {
             let id = client
                 .send(RequestBody::CanonicalSolution {
-                    docs: vec![tree_to_text(doc)],
+                    docs: vec![tree_to_text(doc).into()],
                 })
                 .unwrap();
             id_to_doc.insert(id, i);
@@ -495,11 +495,196 @@ fn pipelined_responses_are_correlated_by_id() {
             match resp.body {
                 ResponseBody::Solutions(results) => {
                     assert_eq!(results.len(), 1);
-                    assert_eq!(results[0].as_ref().unwrap(), &expect[doc_index]);
+                    assert_eq!(
+                        results[0].as_ref().unwrap().as_text(),
+                        Some(expect[doc_index].as_str())
+                    );
                 }
                 other => panic!("unexpected response {other:?}"),
             }
         }
         assert!(id_to_doc.is_empty());
+    });
+}
+
+#[test]
+fn both_codecs_yield_identical_results_and_mixed_clients_coexist() {
+    // Byte-for-byte parity with the local BatchEngine under *both* document
+    // codecs, exercised by three concurrent connections in different
+    // protocol modes against one server: a v1 client that never negotiates,
+    // a client that sends Hello but declines every feature, and a full v2
+    // binary+chunked client.
+    let setting = books_to_writers_setting();
+    let engine = BatchEngine::new(&setting).parallelism(2);
+    let docs = sources(6);
+    let query = title_query();
+    let expect_solutions: Vec<String> = engine
+        .canonical_solutions_batch(&docs)
+        .into_iter()
+        .map(|r| tree_to_text(&r.unwrap()))
+        .collect();
+    let expect_answers: Vec<Vec<Vec<String>>> = engine
+        .certain_answers_batch(&docs, &query)
+        .into_iter()
+        .map(|r| r.unwrap().tuples.into_iter().collect())
+        .collect();
+    let expect_consistent = engine.check_consistency_batch(&docs);
+
+    with_server(&setting, ServerConfig::default(), |addr, sock| {
+        std::thread::scope(|scope| {
+            for mode in ["v1", "hello-no-features", "binary"] {
+                let (docs, query) = (&docs, &query);
+                let (expect_solutions, expect_answers, expect_consistent) =
+                    (&expect_solutions, &expect_answers, &expect_consistent);
+                let addr = addr.to_string();
+                scope.spawn(move || {
+                    let mut client = if mode == "v1" {
+                        Client::connect_unix(sock).unwrap()
+                    } else {
+                        Client::connect_tcp(&addr).unwrap()
+                    };
+                    match mode {
+                        "v1" => {}
+                        "hello-no-features" => {
+                            assert_eq!(client.negotiate(0).unwrap(), 0);
+                            assert_eq!(client.codec(), xdx_server::Codec::Text);
+                        }
+                        _ => {
+                            client.use_binary().unwrap();
+                            assert_eq!(client.codec(), xdx_server::Codec::Binary);
+                        }
+                    }
+                    for _ in 0..3 {
+                        assert_eq!(&client.check_consistency(docs).unwrap(), expect_consistent);
+                        let solutions = client.canonical_solution_texts(docs).unwrap();
+                        for (got, want) in solutions.iter().zip(expect_solutions) {
+                            // The canonical *text* of the solution must be
+                            // identical whichever codec carried it.
+                            assert_eq!(got.as_ref().unwrap(), want, "mode {mode}");
+                        }
+                        let answers = client.certain_answers(query, docs).unwrap();
+                        for (got, want) in answers.iter().zip(expect_answers) {
+                            assert_eq!(got.as_ref().unwrap(), want, "mode {mode}");
+                        }
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn negotiating_features_twice_keeps_responses_well_formed() {
+    // Hello is idempotent and re-negotiable: a connection can switch codecs
+    // mid-stream and every response decodes under the codec that was active
+    // when its request was sent.
+    let setting = books_to_writers_setting();
+    let docs = sources(3);
+    with_server(&setting, ServerConfig::default(), |_, sock| {
+        let mut client = Client::connect_unix(sock).unwrap();
+        let before = client.canonical_solution_texts(&docs).unwrap();
+        client.use_binary().unwrap();
+        let binary = client.canonical_solution_texts(&docs).unwrap();
+        assert_eq!(client.negotiate(0).unwrap(), 0);
+        assert_eq!(client.codec(), xdx_server::Codec::Text);
+        let after = client.canonical_solution_texts(&docs).unwrap();
+        for ((b, m), a) in before.iter().zip(&binary).zip(&after) {
+            assert_eq!(b.as_ref().unwrap(), m.as_ref().unwrap());
+            assert_eq!(b.as_ref().unwrap(), a.as_ref().unwrap());
+        }
+    });
+}
+
+#[test]
+fn large_responses_stream_in_segments_without_stalling_other_connections() {
+    // With a deliberately tiny chunk limit, a response much larger than one
+    // chunk must arrive as ≥ 2 `STATUS_OK_PARTIAL` + final frames on a
+    // chunk-negotiated connection — while a second connection keeps getting
+    // answers between the chunks (nothing is head-of-line blocked), and a
+    // v1 connection still receives single whole frames.
+    let setting = books_to_writers_setting();
+    let big = sources(40).pop().unwrap(); // ~30 KB of response text
+    let config = ServerConfig {
+        workers: 1,
+        chunk_bytes: 1024,
+        ..ServerConfig::default()
+    };
+    with_server(&setting, config, |addr, sock| {
+        let engine = BatchEngine::new(&setting).parallelism(1);
+        let expect = tree_to_text(
+            &engine.canonical_solutions_batch(std::slice::from_ref(&big))[0]
+                .as_ref()
+                .unwrap()
+                .clone(),
+        );
+
+        let mut chunked = Client::connect_tcp(&addr.to_string()).unwrap();
+        chunked.use_binary().unwrap();
+        let mut other = Client::connect_unix(sock).unwrap();
+
+        // Kick off the big request, then keep the other connection busy
+        // while the stream is (potentially) still in flight.
+        let id = chunked
+            .send(RequestBody::CanonicalSolution {
+                docs: vec![xdx_server::WireDoc::from_tree(&big, chunked.codec())],
+            })
+            .unwrap();
+        for _ in 0..5 {
+            other.ping().unwrap();
+        }
+        assert_eq!(
+            other.check_consistency(std::slice::from_ref(&big)).unwrap(),
+            vec![true]
+        );
+
+        let resp = chunked.recv().unwrap();
+        assert_eq!(resp.id, id);
+        let ResponseBody::Solutions(results) = resp.body else {
+            panic!("expected Solutions, got {:?}", resp.body);
+        };
+        let solution = results[0].as_ref().unwrap().to_tree().unwrap();
+        assert_eq!(tree_to_text(&solution), expect);
+        assert!(
+            chunked.last_response_chunk_count() >= 2,
+            "a response far larger than chunk_bytes=1024 must stream in ≥2 segments, got {}",
+            chunked.last_response_chunk_count()
+        );
+
+        // The v1 connection, on the same server, still gets whole frames.
+        let texts = other
+            .canonical_solution_texts(std::slice::from_ref(&big))
+            .unwrap();
+        assert_eq!(texts[0].as_ref().unwrap(), &expect);
+        assert_eq!(other.last_response_chunk_count(), 1);
+    });
+}
+
+#[test]
+fn client_timeouts_surface_stalls_instead_of_hanging() {
+    let setting = books_to_writers_setting();
+    with_server(&setting, ServerConfig::default(), |_, sock| {
+        let mut client = Client::connect_unix(sock).unwrap();
+        client
+            .set_timeout(Some(std::time::Duration::from_millis(100)))
+            .unwrap();
+        // Nothing was requested, so nothing will arrive: recv must return
+        // a timeout error instead of blocking forever.
+        let start = std::time::Instant::now();
+        match client.recv() {
+            Err(ClientError::Io(e)) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "unexpected error kind {:?}",
+                e.kind()
+            ),
+            other => panic!("expected an i/o timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        // The connection is still usable afterwards (no bytes were lost).
+        client.ping().unwrap();
+        client.set_timeout(None).unwrap();
+        client.ping().unwrap();
     });
 }
