@@ -1,0 +1,169 @@
+//! Version-tagged per-document result caching.
+//!
+//! A resident document (in `xdx-store`) is edited in place; every derived
+//! result — its consistency verdict, its canonical solution, the certain
+//! answers of queries over it — is only valid for the exact document
+//! *version* it was computed from. A [`DocResultCache`] owns the document's
+//! monotone version counter and a map from [`CacheKey`]s to results tagged
+//! with their computed-at version: bumping the version (what every applied
+//! edit batch does) invalidates the whole cache in `O(entries)`, and a
+//! result computed concurrently against a version that has since moved on
+//! is silently discarded at insertion instead of poisoning readers.
+//!
+//! The cache is deliberately generic in the cached value `V`: `xdx-core`
+//! callers can cache semantic results (solution trees, answer sets) while
+//! the server caches fully encoded response bodies for byte-for-byte reply
+//! parity. It is also deliberately *not* thread-safe — one cache belongs to
+//! one resident document, whose store already serialises mutation; the
+//! compute-outside-the-lock pattern is exactly what the `computed_at` tag
+//! at [`DocResultCache::insert`] makes safe.
+
+use std::collections::HashMap;
+
+/// What a cached entry answers. Query-shaped keys carry the query's source
+/// text: two requests asking the same question about the same document
+/// version share one entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// Per-document consistency: does the document conform to the source
+    /// DTD and admit a solution?
+    Consistency,
+    /// The canonical solution (or the error the chase reports).
+    CanonicalSolution,
+    /// Certain answers of the query with this source text.
+    CertainAnswers(String),
+    /// Boolean certain answer of the query with this source text.
+    CertainBoolean(String),
+}
+
+/// A cached value together with the document version it was computed at.
+#[derive(Debug, Clone)]
+pub struct Cached<V> {
+    /// The document version the value was computed from.
+    pub computed_at: u64,
+    /// The result itself.
+    pub value: V,
+}
+
+/// Per-document result cache with edit-driven invalidation (see the module
+/// docs). `version` starts wherever the caller says (WAL replay restores
+/// counters) and only ever moves forward.
+#[derive(Debug, Clone)]
+pub struct DocResultCache<V> {
+    version: u64,
+    entries: HashMap<CacheKey, Cached<V>>,
+}
+
+impl<V> DocResultCache<V> {
+    /// An empty cache for a document currently at `version`.
+    pub fn new(version: u64) -> Self {
+        DocResultCache {
+            version,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The document version the cache currently serves.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Record an edit: advance the version and drop every entry (they were
+    /// all computed at an older version). Returns the new version.
+    pub fn bump(&mut self) -> u64 {
+        self.version += 1;
+        self.entries.clear();
+        self.version
+    }
+
+    /// Reset the version (WAL replay / snapshot load). Drops all entries
+    /// unless the version is unchanged.
+    pub fn set_version(&mut self, version: u64) {
+        if version != self.version {
+            self.version = version;
+            self.entries.clear();
+        }
+    }
+
+    /// The cached value for `key`, if one was computed at the *current*
+    /// version. Entries tagged with an older version never escape (they are
+    /// cleared eagerly by [`DocResultCache::bump`], so this is belt and
+    /// braces against direct `set_version` misuse).
+    pub fn get(&self, key: &CacheKey) -> Option<&V> {
+        self.entries
+            .get(key)
+            .filter(|c| c.computed_at == self.version)
+            .map(|c| &c.value)
+    }
+
+    /// Insert a value computed at version `computed_at`. If the document
+    /// has moved on since the computation started the value is stale and is
+    /// dropped on the floor — the caller raced an edit and simply gets no
+    /// cache hit next time. Returns whether the value was kept.
+    pub fn insert(&mut self, key: CacheKey, computed_at: u64, value: V) -> bool {
+        if computed_at != self.version {
+            return false;
+        }
+        self.entries.insert(key, Cached { computed_at, value });
+        true
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<V> Default for DocResultCache<V> {
+    fn default() -> Self {
+        DocResultCache::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_only_at_the_current_version() {
+        let mut cache: DocResultCache<&'static str> = DocResultCache::new(7);
+        assert!(cache.insert(CacheKey::Consistency, 7, "ok"));
+        assert_eq!(cache.get(&CacheKey::Consistency), Some(&"ok"));
+        assert_eq!(cache.bump(), 8);
+        assert_eq!(cache.get(&CacheKey::Consistency), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stale_compute_results_are_discarded_at_insert() {
+        let mut cache: DocResultCache<u32> = DocResultCache::new(3);
+        // A computation started at version 3; an edit lands meanwhile.
+        cache.bump();
+        assert!(!cache.insert(CacheKey::CanonicalSolution, 3, 42));
+        assert_eq!(cache.get(&CacheKey::CanonicalSolution), None);
+        // The re-computation at the current version sticks.
+        assert!(cache.insert(CacheKey::CanonicalSolution, 4, 43));
+        assert_eq!(cache.get(&CacheKey::CanonicalSolution), Some(&43));
+    }
+
+    #[test]
+    fn query_keys_are_per_source_text() {
+        let mut cache: DocResultCache<bool> = DocResultCache::new(0);
+        cache.insert(CacheKey::CertainBoolean("q1".into()), 0, true);
+        cache.insert(CacheKey::CertainBoolean("q2".into()), 0, false);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.get(&CacheKey::CertainBoolean("q1".into())),
+            Some(&true)
+        );
+        assert_eq!(
+            cache.get(&CacheKey::CertainBoolean("q2".into())),
+            Some(&false)
+        );
+    }
+}

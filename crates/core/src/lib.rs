@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod certain;
 pub mod classify;
 pub mod compiled;
@@ -47,6 +48,7 @@ pub mod setting;
 pub mod solution;
 mod template;
 
+pub use cache::{CacheKey, Cached, DocResultCache};
 pub use certain::{
     certain_answers, certain_answers_boolean, certain_tuples, certain_tuples_planned,
     certain_tuples_planned_with, CertainAnswers,

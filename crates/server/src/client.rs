@@ -365,6 +365,122 @@ impl Client {
         }
     }
 
+    /// Store a document under `doc_id` in the server's resident store
+    /// (insert or full replace). Returns the document's new version.
+    pub fn put_doc(&mut self, doc_id: u64, doc: &XmlTree) -> Result<u64, ClientError> {
+        let body = RequestBody::PutDoc {
+            doc_id,
+            doc: WireDoc::from_tree(doc, self.codec),
+        };
+        match self.round_trip(body)? {
+            ResponseBody::PutDocOk { version } => Ok(version),
+            other => Err(unexpected("PutDocOk", &other)),
+        }
+    }
+
+    /// Fetch a stored document and its current version.
+    pub fn get_doc(&mut self, doc_id: u64) -> Result<(XmlTree, u64), ClientError> {
+        match self.round_trip(RequestBody::GetDoc { doc_id })? {
+            ResponseBody::GetDocOk { version, doc } => {
+                let tree = doc
+                    .to_tree()
+                    .map_err(|e| ClientError::Protocol(format!("undecodable stored doc: {e}")))?;
+                Ok((tree, version))
+            }
+            other => Err(unexpected("GetDocOk", &other)),
+        }
+    }
+
+    /// Apply a batch of node-local edits to a stored document. With
+    /// `base_version != 0` the edit is compare-and-swap: the server rejects
+    /// it with `VersionConflict` unless the document is still at that
+    /// version. `base_version == 0` skips the check. Returns the new
+    /// version.
+    pub fn edit_doc(
+        &mut self,
+        doc_id: u64,
+        base_version: u64,
+        edits: &[xdx_store::DocEdit],
+    ) -> Result<u64, ClientError> {
+        let mut blob = Vec::new();
+        xdx_store::encode_edits(edits, &mut blob);
+        let body = RequestBody::EditDoc {
+            doc_id,
+            base_version,
+            edits: blob,
+        };
+        match self.round_trip(body)? {
+            ResponseBody::EditDocOk { version } => Ok(version),
+            other => Err(unexpected("EditDocOk", &other)),
+        }
+    }
+
+    /// Remove a stored document.
+    pub fn delete_doc(&mut self, doc_id: u64) -> Result<(), ClientError> {
+        match self.round_trip(RequestBody::DeleteDoc { doc_id })? {
+            ResponseBody::DeleteDocOk => Ok(()),
+            other => Err(unexpected("DeleteDocOk", &other)),
+        }
+    }
+
+    /// Consistency of a stored document — same response as
+    /// [`Client::check_consistency`] on the identical document.
+    pub fn check_consistency_stored(&mut self, doc_id: u64) -> Result<bool, ClientError> {
+        match self.round_trip(RequestBody::CheckConsistencyStored { doc_id })? {
+            ResponseBody::Consistency(flags) if flags.len() == 1 => Ok(flags[0]),
+            other => Err(unexpected("Consistency", &other)),
+        }
+    }
+
+    /// Canonical solution of a stored document, still in wire form.
+    pub fn canonical_solution_stored(
+        &mut self,
+        doc_id: u64,
+    ) -> Result<DocResult<WireDoc>, ClientError> {
+        match self.round_trip(RequestBody::CanonicalSolutionStored { doc_id })? {
+            ResponseBody::Solutions(mut results) if results.len() == 1 => {
+                Ok(results.pop().expect("checked length"))
+            }
+            other => Err(unexpected("Solutions", &other)),
+        }
+    }
+
+    /// Certain answers of `query` for a stored document.
+    pub fn certain_answers_stored(
+        &mut self,
+        query: &UnionQuery,
+        doc_id: u64,
+    ) -> Result<DocResult<Vec<Vec<String>>>, ClientError> {
+        let body = RequestBody::CertainAnswersStored {
+            query: query.to_string(),
+            doc_id,
+        };
+        match self.round_trip(body)? {
+            ResponseBody::Answers(mut results) if results.len() == 1 => {
+                Ok(results.pop().expect("checked length"))
+            }
+            other => Err(unexpected("Answers", &other)),
+        }
+    }
+
+    /// Boolean certain answer of `query` for a stored document.
+    pub fn certain_answers_boolean_stored(
+        &mut self,
+        query: &UnionQuery,
+        doc_id: u64,
+    ) -> Result<DocResult<bool>, ClientError> {
+        let body = RequestBody::CertainAnswersBooleanStored {
+            query: query.to_string(),
+            doc_id,
+        };
+        match self.round_trip(body)? {
+            ResponseBody::Booleans(mut results) if results.len() == 1 => {
+                Ok(results.pop().expect("checked length"))
+            }
+            other => Err(unexpected("Booleans", &other)),
+        }
+    }
+
     /// Write raw bytes on the connection (tests use this to send garbage
     /// and truncated frames).
     pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {

@@ -20,6 +20,14 @@
 //! serialized by the workers directly into the connection's write queue.
 //! Connections that never send `Hello` speak v1 unchanged.
 //!
+//! When [`server::ServerConfig::store_dir`] is set the server also mounts a
+//! resident [`xdx_store::DocStore`]: documents persist across restarts
+//! (binary snapshot + write-ahead log), node-local edit batches re-validate
+//! in time proportional to the touched region, and per-document answer
+//! caches serve repeated queries without re-running the chase. The store
+//! ops (`PutDoc`/`GetDoc`/`EditDoc`/`DeleteDoc` and the `*Stored` query
+//! variants) answer byte-for-byte like their ship-the-document twins.
+//!
 //! The design (see [`server`] for details): a **single-threaded
 //! non-blocking event loop** on raw `epoll` ([`sys`]) owns every socket and
 //! enforces backpressure (bounded per-connection pipelining, a global
@@ -50,7 +58,7 @@ mod transport;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use server::{Server, ServerConfig, ServerControl};
+pub use server::{ConfigError, Server, ServerConfig, ServerControl};
 pub use wire::{
     Codec, DocResult, ErrorCode, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,
     WireDoc, WireError, FEATURE_BINARY_DOCS, FEATURE_CHUNKED_RESPONSES, SUPPORTED_FEATURES,

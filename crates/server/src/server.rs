@@ -68,14 +68,37 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use xdx_core::cache::CacheKey;
 use xdx_core::compiled::ExchangeScratch;
 use xdx_core::engine::BatchEngine;
 use xdx_core::setting::DataExchangeSetting;
 use xdx_core::solution::SolutionError;
 use xdx_patterns::parser::parse_query;
 use xdx_patterns::plan::QueryPlan;
+use xdx_store::{decode_edits_exact, DocStore, StoreConfig, StoreError};
 use xdx_xmltree::binary::ByteSink;
 use xdx_xmltree::{tree_to_text, XmlTree};
+
+/// What the per-document result cache holds: the *semantic* result of each
+/// op, so a hit streams through exactly the serialization path a fresh
+/// computation would — cached and uncached responses are byte-for-byte
+/// identical under every codec.
+#[derive(Debug, Clone)]
+enum CachedAnswer {
+    /// `CheckConsistencyStored` verdict.
+    Consistency(bool),
+    /// `CanonicalSolutionStored` result.
+    Solution(Result<XmlTree, SolutionError>),
+    /// `CertainAnswersStored` tuples (already in deterministic set order).
+    Answers(Result<Vec<Vec<String>>, SolutionError>),
+    /// `CertainAnswersBooleanStored` result.
+    Boolean(Result<bool, SolutionError>),
+}
+
+/// The server's resident store: documents plus version-tagged cached
+/// answers, serialized behind one mutex (ops hold it only for O(doc)
+/// copies and bookkeeping — the chase itself runs unlocked).
+type ServerStore = Mutex<DocStore<CachedAnswer>>;
 
 /// Server tuning knobs; the defaults suit tests and small deployments.
 #[derive(Debug, Clone)]
@@ -110,6 +133,14 @@ pub struct ServerConfig {
     /// is this, not the full response size. Ignored for connections that
     /// did not negotiate [`wire::FEATURE_CHUNKED_RESPONSES`].
     pub chunk_bytes: usize,
+    /// Directory of the resident document store (snapshot + WAL). `None`
+    /// disables the store: every store op answers
+    /// [`wire::ErrorCode::StoreDisabled`].
+    pub store_dir: Option<PathBuf>,
+    /// Admission cap on resident documents — `PutDoc` of a *new* id beyond
+    /// it answers [`wire::ErrorCode::StoreFull`] (existing ids can always
+    /// be overwritten). Ignored when the store is disabled.
+    pub max_resident_docs: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,7 +154,95 @@ impl Default for ServerConfig {
             max_connections: 1024,
             max_buffered_response_bytes: 64 * 1024 * 1024,
             chunk_bytes: 256 * 1024,
+            store_dir: None,
+            max_resident_docs: 1024,
         }
+    }
+}
+
+/// Why a [`ServerConfig`] was rejected at construction
+/// ([`ServerConfig::validate`], called by [`Server::bind`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A limit that must be positive was zero.
+    Zero {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A limit beyond any sane deployment — almost certainly a typo
+    /// (bytes where kilobytes were meant, etc.).
+    TooLarge {
+        /// The offending field.
+        field: &'static str,
+        /// The configured value.
+        value: usize,
+        /// The largest accepted value.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Zero { field } => write!(f, "config: {field} must be positive"),
+            ConfigError::TooLarge { field, value, max } => {
+                write!(f, "config: {field} = {value} exceeds the maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ServerConfig {
+    /// Reject zero and absurd limits before any socket is bound. A zero
+    /// budget would deadlock admission (every request answered `Busy`
+    /// forever); an absurd one is a typo that would defeat the memory
+    /// bounds the budgets exist to enforce.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        use xdx_xmltree::limits::MAX_DOCUMENT_BYTES;
+        let positive: [(&'static str, usize); 6] = [
+            ("max_frame_bytes", self.max_frame_bytes),
+            ("max_docs_per_request", self.max_docs_per_request),
+            ("max_inflight_per_conn", self.max_inflight_per_conn),
+            ("max_inflight_total", self.max_inflight_total),
+            ("max_connections", self.max_connections),
+            ("chunk_bytes", self.chunk_bytes),
+        ];
+        for (field, value) in positive {
+            if value == 0 {
+                return Err(ConfigError::Zero { field });
+            }
+        }
+        if self.max_buffered_response_bytes == 0 {
+            return Err(ConfigError::Zero {
+                field: "max_buffered_response_bytes",
+            });
+        }
+        let capped: [(&'static str, usize, usize); 7] = [
+            ("workers", self.workers, 4096),
+            ("max_frame_bytes", self.max_frame_bytes, MAX_DOCUMENT_BYTES),
+            (
+                "max_docs_per_request",
+                self.max_docs_per_request,
+                wire::MAX_DOCS_PER_REQUEST,
+            ),
+            ("max_inflight_per_conn", self.max_inflight_per_conn, 1 << 20),
+            ("max_inflight_total", self.max_inflight_total, 1 << 20),
+            ("max_connections", self.max_connections, 1 << 20),
+            ("chunk_bytes", self.chunk_bytes, MAX_DOCUMENT_BYTES),
+        ];
+        for (field, value, max) in capped {
+            if value > max {
+                return Err(ConfigError::TooLarge { field, value, max });
+            }
+        }
+        if self.store_dir.is_some() && self.max_resident_docs == 0 {
+            return Err(ConfigError::Zero {
+                field: "max_resident_docs",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -244,6 +363,7 @@ pub struct Server<'s> {
     unix_path: Option<PathBuf>,
     control: Arc<ServerControl>,
     wake_rx: UnixStream,
+    store: Option<ServerStore>,
 }
 
 impl<'s> Server<'s> {
@@ -263,6 +383,26 @@ impl<'s> Server<'s> {
                 "bind at least one of a TCP address and a Unix socket path",
             ));
         }
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let store = config
+            .store_dir
+            .as_ref()
+            .map(|dir| {
+                let store_config = StoreConfig {
+                    max_resident_docs: config.max_resident_docs,
+                    ..StoreConfig::new(dir.clone())
+                };
+                DocStore::open(store_config).map(Mutex::new).map_err(|e| {
+                    let message = e.to_string();
+                    match e {
+                        StoreError::Io(io) => io,
+                        _ => io::Error::new(io::ErrorKind::InvalidData, message),
+                    }
+                })
+            })
+            .transpose()?;
         let tcp = tcp_addr
             .map(|addr| {
                 let l = TcpListener::bind(addr)?;
@@ -299,6 +439,7 @@ impl<'s> Server<'s> {
                 wake: Mutex::new(wake_tx),
             }),
             wake_rx,
+            store,
         })
     }
 
@@ -323,9 +464,11 @@ impl<'s> Server<'s> {
             unix_path,
             control,
             wake_rx,
+            store,
         } = self;
         let shared = Arc::new(Shared::new());
         let engine = &engine;
+        let store = &store;
         let result = std::thread::scope(|scope| {
             // The epoll instance is created *before* any worker spawns, so
             // an early `?` cannot leave workers waiting forever.
@@ -333,7 +476,7 @@ impl<'s> Server<'s> {
             for _ in 0..config.workers {
                 let shared = Arc::clone(&shared);
                 let control = Arc::clone(&control);
-                scope.spawn(move || worker_loop(engine, &shared, &control));
+                scope.spawn(move || worker_loop(engine, store.as_ref(), &shared, &control));
             }
             let mut event_loop = EventLoop {
                 config: &config,
@@ -358,6 +501,13 @@ impl<'s> Server<'s> {
         if let Some(path) = unix_path {
             let _ = std::fs::remove_file(path);
         }
+        // Best-effort checkpoint on clean shutdown: compacts the WAL so the
+        // next open replays a snapshot instead of the whole edit history.
+        if let Some(store) = store {
+            if let Ok(mut guard) = store.lock() {
+                let _ = guard.checkpoint();
+            }
+        }
         result
     }
 }
@@ -366,7 +516,12 @@ impl<'s> Server<'s> {
 // Workers
 // ---------------------------------------------------------------------------
 
-fn worker_loop(engine: &BatchEngine<'_>, shared: &Shared, control: &ServerControl) {
+fn worker_loop(
+    engine: &BatchEngine<'_>,
+    store: Option<&ServerStore>,
+    shared: &Shared,
+    control: &ServerControl,
+) {
     let mut scratch = ExchangeScratch::new();
     loop {
         let job = {
@@ -382,7 +537,14 @@ fn worker_loop(engine: &BatchEngine<'_>, shared: &Shared, control: &ServerContro
             }
         };
         let writer = ResponseWriter::new(shared, control, &job);
-        respond(engine, &mut scratch, job.frame.body, job.codec, writer);
+        respond(
+            engine,
+            store,
+            &mut scratch,
+            job.frame.body,
+            job.codec,
+            writer,
+        );
     }
 }
 
@@ -588,6 +750,85 @@ fn put_solution(w: &mut ResponseWriter<'_>, codec: Codec, result: Result<XmlTree
     }
 }
 
+/// Stream one per-document certain-answers result (tuples already in the
+/// deterministic set order). Shared by the ship-the-document and stored-doc
+/// paths so both produce identical bytes.
+fn put_answers(w: &mut ResponseWriter<'_>, result: Result<Vec<Vec<String>>, SolutionError>) {
+    match result {
+        Ok(tuples) => {
+            w.put_u8(0);
+            w.put_u32(u32::try_from(tuples.len()).expect("tuple count exceeds u32"));
+            for tuple in &tuples {
+                w.put_u16(u16::try_from(tuple.len()).expect("arity exceeds u16"));
+                for v in tuple {
+                    w.put_string(v);
+                }
+            }
+        }
+        Err(e) => {
+            w.put_u8(1);
+            w.put_wire_error(&WireError::of_solution_error(&e));
+        }
+    }
+}
+
+/// Stream one per-document Boolean certain-answer result.
+fn put_boolean(w: &mut ResponseWriter<'_>, result: Result<bool, SolutionError>) {
+    match result {
+        Ok(b) => {
+            w.put_u8(0);
+            w.put_u8(b as u8);
+        }
+        Err(e) => {
+            w.put_u8(1);
+            w.put_wire_error(&WireError::of_solution_error(&e));
+        }
+    }
+}
+
+/// A store op arrived but the server mounts no store.
+fn store_disabled() -> WireError {
+    WireError::new(
+        wire::ErrorCode::StoreDisabled,
+        "this server mounts no document store",
+    )
+}
+
+/// Answer a stored-document query through the per-document result cache:
+/// under the lock, return a hit computed at the current version, or clone
+/// the tree out; compute *unlocked* (the chase can be long); re-lock and
+/// insert tagged with the version the computation actually saw — if an edit
+/// landed meanwhile the insert is discarded and the response still reflects
+/// the version it announced to no one (stored queries carry no version, so
+/// serving the version that was current at dispatch is linearizable).
+fn stored_answer(
+    store: &ServerStore,
+    doc_id: u64,
+    key: CacheKey,
+    compute: impl FnOnce(&XmlTree) -> CachedAnswer,
+) -> Result<CachedAnswer, WireError> {
+    let (tree, version) = {
+        let mut s = store.lock().expect("store poisoned");
+        if let Some(hit) = s.result_cache(doc_id).and_then(|c| c.get(&key).cloned()) {
+            return Ok(hit);
+        }
+        match s.get(doc_id) {
+            Some((tree, version)) => (tree.clone(), version),
+            None => {
+                return Err(WireError::of_store_error(&StoreError::UnknownDoc {
+                    doc_id,
+                }))
+            }
+        }
+    };
+    let value = compute(&tree);
+    let mut s = store.lock().expect("store poisoned");
+    if let Some(cache) = s.result_cache(doc_id) {
+        cache.insert(key, version, value.clone());
+    }
+    Ok(value)
+}
+
 /// Compute one request's response and stream it through `writer`. Runs
 /// entirely on a worker thread: document decoding, query planning (once
 /// per request), and the per-document exchange pipeline on the shared
@@ -601,6 +842,7 @@ fn put_solution(w: &mut ResponseWriter<'_>, codec: Codec, result: Result<XmlTree
 /// half-written success.
 fn respond(
     engine: &BatchEngine<'_>,
+    store: Option<&ServerStore>,
     scratch: &mut ExchangeScratch,
     body: RequestBody,
     codec: Codec,
@@ -675,23 +917,10 @@ fn respond(
             let plan = QueryPlan::new(&query, compiled.target_dtd());
             w.put_ok_header(OpCode::CertainAnswers, trees.len());
             for t in &trees {
-                match compiled.certain_answers_planned_with(t, &plan, scratch) {
-                    Ok(answers) => {
-                        w.put_u8(0);
-                        let tuples: Vec<Vec<String>> = answers.tuples.into_iter().collect();
-                        w.put_u32(u32::try_from(tuples.len()).expect("tuple count exceeds u32"));
-                        for tuple in &tuples {
-                            w.put_u16(u16::try_from(tuple.len()).expect("arity exceeds u16"));
-                            for v in tuple {
-                                w.put_string(v);
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        w.put_u8(1);
-                        w.put_wire_error(&WireError::of_solution_error(&e));
-                    }
-                }
+                let result = compiled
+                    .certain_answers_planned_with(t, &plan, scratch)
+                    .map(|answers| answers.tuples.into_iter().collect());
+                put_answers(&mut w, result);
             }
             w.finish();
         }
@@ -707,20 +936,178 @@ fn respond(
             let plan = QueryPlan::new(&query, compiled.target_dtd());
             w.put_ok_header(OpCode::CertainAnswersBoolean, trees.len());
             for t in &trees {
-                match compiled.certain_boolean_planned_with(t, &plan, scratch) {
-                    Ok(b) => {
-                        w.put_u8(0);
-                        w.put_u8(b as u8);
-                    }
-                    Err(e) => {
-                        w.put_u8(1);
-                        w.put_wire_error(&WireError::of_solution_error(&e));
-                    }
-                }
+                put_boolean(
+                    &mut w,
+                    compiled.certain_boolean_planned_with(t, &plan, scratch),
+                );
             }
             w.finish();
         }
+        RequestBody::PutDoc { doc_id, doc } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            let tree = match doc.to_tree() {
+                Ok(tree) => tree,
+                Err(e) => return w.whole(ResponseBody::Error(e)),
+            };
+            let result = store.lock().expect("store poisoned").put(doc_id, tree);
+            match result {
+                Ok(version) => w.whole(ResponseBody::PutDocOk { version }),
+                Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
+            }
+        }
+        RequestBody::GetDoc { doc_id } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            // Encode under the lock: the returned frame must be one
+            // consistent (version, bytes) pair even if an edit races in.
+            let mut s = store.lock().expect("store poisoned");
+            match s.get(doc_id) {
+                Some((tree, version)) => {
+                    let doc = WireDoc::from_tree(tree, codec);
+                    drop(s);
+                    w.whole(ResponseBody::GetDocOk { version, doc });
+                }
+                None => w.whole(ResponseBody::Error(WireError::of_store_error(
+                    &StoreError::UnknownDoc { doc_id },
+                ))),
+            }
+        }
+        RequestBody::EditDoc {
+            doc_id,
+            base_version,
+            edits,
+        } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            let batch = match decode_edits_exact(&edits) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    return w.whole(ResponseBody::Error(WireError::new(
+                        wire::ErrorCode::BadEdit,
+                        format!("malformed edit batch: {e}"),
+                    )))
+                }
+            };
+            let result = store
+                .lock()
+                .expect("store poisoned")
+                .edit(doc_id, base_version, &batch);
+            match result {
+                Ok(receipt) => w.whole(ResponseBody::EditDocOk {
+                    version: receipt.version,
+                }),
+                Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
+            }
+        }
+        RequestBody::DeleteDoc { doc_id } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            let result = store.lock().expect("store poisoned").delete(doc_id);
+            match result {
+                Ok(()) => w.whole(ResponseBody::DeleteDocOk),
+                Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
+            }
+        }
+        RequestBody::CheckConsistencyStored { doc_id } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            let answer = stored_answer(store, doc_id, CacheKey::Consistency, |tree| {
+                CachedAnswer::Consistency(compiled.check_instance_consistency_with(tree, scratch))
+            });
+            match answer {
+                Ok(CachedAnswer::Consistency(consistent)) => {
+                    w.put_ok_header(OpCode::CheckConsistency, 1);
+                    w.put_u8(consistent as u8);
+                    w.finish();
+                }
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Err(e) => w.whole(ResponseBody::Error(e)),
+            }
+        }
+        RequestBody::CanonicalSolutionStored { doc_id } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            let answer = stored_answer(store, doc_id, CacheKey::CanonicalSolution, |tree| {
+                CachedAnswer::Solution(compiled.canonical_solution_with(tree, scratch))
+            });
+            match answer {
+                Ok(CachedAnswer::Solution(result)) => {
+                    w.put_ok_header(OpCode::CanonicalSolution, 1);
+                    put_solution(&mut w, codec, result);
+                    w.finish();
+                }
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Err(e) => w.whole(ResponseBody::Error(e)),
+            }
+        }
+        RequestBody::CertainAnswersStored { query, doc_id } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            // Parse before the cache lookup so a malformed query fails
+            // identically whether or not an answer is cached.
+            let parsed = match parse_query(&query) {
+                Ok(q) => q,
+                Err(e) => return w.whole(ResponseBody::Error(WireError::of_query_error(&e))),
+            };
+            let answer = stored_answer(store, doc_id, CacheKey::CertainAnswers(query), |tree| {
+                let plan = QueryPlan::new(&parsed, compiled.target_dtd());
+                CachedAnswer::Answers(
+                    compiled
+                        .certain_answers_planned_with(tree, &plan, scratch)
+                        .map(|answers| answers.tuples.into_iter().collect()),
+                )
+            });
+            match answer {
+                Ok(CachedAnswer::Answers(result)) => {
+                    w.put_ok_header(OpCode::CertainAnswers, 1);
+                    put_answers(&mut w, result);
+                    w.finish();
+                }
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Err(e) => w.whole(ResponseBody::Error(e)),
+            }
+        }
+        RequestBody::CertainAnswersBooleanStored { query, doc_id } => {
+            let Some(store) = store else {
+                return w.whole(ResponseBody::Error(store_disabled()));
+            };
+            let parsed = match parse_query(&query) {
+                Ok(q) => q,
+                Err(e) => return w.whole(ResponseBody::Error(WireError::of_query_error(&e))),
+            };
+            let answer = stored_answer(store, doc_id, CacheKey::CertainBoolean(query), |tree| {
+                let plan = QueryPlan::new(&parsed, compiled.target_dtd());
+                CachedAnswer::Boolean(compiled.certain_boolean_planned_with(tree, &plan, scratch))
+            });
+            match answer {
+                Ok(CachedAnswer::Boolean(result)) => {
+                    w.put_ok_header(OpCode::CertainAnswersBoolean, 1);
+                    put_boolean(&mut w, result);
+                    w.finish();
+                }
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Err(e) => w.whole(ResponseBody::Error(e)),
+            }
+        }
     }
+}
+
+/// A cached answer came back under the wrong [`CachedAnswer`] variant.
+/// Unreachable as long as [`CacheKey`] → variant stays one-to-one; answer
+/// with a structured error instead of poisoning the worker.
+fn cache_shape_error(doc_id: u64) -> WireError {
+    WireError::new(
+        wire::ErrorCode::StoreIo,
+        format!("cached answer for document {doc_id} has the wrong shape"),
+    )
 }
 
 // ---------------------------------------------------------------------------

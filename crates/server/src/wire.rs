@@ -37,7 +37,8 @@ use xdx_xmltree::{parse_tree, tree_to_text, TreeTextError, XmlTree};
 pub const MAX_DOCS_PER_REQUEST: usize = 1024;
 
 /// Default cap on a request frame's payload size (servers may configure).
-pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+/// Shared with the codecs' own guard rails (`xdx_xmltree::limits`).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = xdx_xmltree::limits::DEFAULT_FRAME_BYTES;
 
 /// Feature flag: documents travel as [`xdx_xmltree::binary`] frames instead
 /// of tree text (both directions).
@@ -168,6 +169,23 @@ pub enum OpCode {
     CertainAnswersBoolean = 4,
     /// Protocol v2 feature negotiation (codec, chunked responses).
     Hello = 5,
+    /// Store a document under an id in the server's resident store (v2).
+    PutDoc = 6,
+    /// Fetch a stored document and its version (v2).
+    GetDoc = 7,
+    /// Apply a batch of node-local edits to a stored document (v2).
+    EditDoc = 8,
+    /// Remove a stored document (v2).
+    DeleteDoc = 9,
+    /// [`OpCode::CheckConsistency`] of one *stored* document (v2).
+    /// Responds with the base op's response shape, byte for byte.
+    CheckConsistencyStored = 10,
+    /// [`OpCode::CanonicalSolution`] of one stored document (v2).
+    CanonicalSolutionStored = 11,
+    /// [`OpCode::CertainAnswers`] over one stored document (v2).
+    CertainAnswersStored = 12,
+    /// [`OpCode::CertainAnswersBoolean`] over one stored document (v2).
+    CertainAnswersBooleanStored = 13,
 }
 
 impl OpCode {
@@ -179,6 +197,14 @@ impl OpCode {
             3 => Some(OpCode::CertainAnswers),
             4 => Some(OpCode::CertainAnswersBoolean),
             5 => Some(OpCode::Hello),
+            6 => Some(OpCode::PutDoc),
+            7 => Some(OpCode::GetDoc),
+            8 => Some(OpCode::EditDoc),
+            9 => Some(OpCode::DeleteDoc),
+            10 => Some(OpCode::CheckConsistencyStored),
+            11 => Some(OpCode::CanonicalSolutionStored),
+            12 => Some(OpCode::CertainAnswersStored),
+            13 => Some(OpCode::CertainAnswersBooleanStored),
             _ => None,
         }
     }
@@ -212,6 +238,21 @@ pub enum ErrorCode {
     /// A binary document frame failed to decode
     /// ([`xdx_xmltree::binary::BinaryError`]). v2.
     BinaryDoc = 10,
+    /// A store op named a document id the store does not hold. v2.
+    UnknownDoc = 11,
+    /// An `EditDoc` base version did not match the document's current
+    /// version (another client edited it first). v2.
+    VersionConflict = 12,
+    /// An edit batch was malformed or not applicable to the document
+    /// (rank out of range, missing attribute, …). v2.
+    BadEdit = 13,
+    /// A store op reached a server that mounts no document store. v2.
+    StoreDisabled = 14,
+    /// The store's resident-document admission cap is reached. v2.
+    StoreFull = 15,
+    /// The store failed at the storage layer (I/O error, corrupt
+    /// snapshot/WAL). v2.
+    StoreIo = 16,
 
     /// [`SolutionError::NotFullySpecified`].
     NotFullySpecified = 100,
@@ -248,6 +289,12 @@ impl ErrorCode {
             8 => QueryMismatchedArity,
             9 => QueryEmptyUnion,
             10 => BinaryDoc,
+            11 => UnknownDoc,
+            12 => VersionConflict,
+            13 => BadEdit,
+            14 => StoreDisabled,
+            15 => StoreFull,
+            16 => StoreIo,
             100 => NotFullySpecified,
             101 => DisallowedAttribute,
             102 => AttributeClash,
@@ -323,6 +370,19 @@ impl WireError {
     pub fn of_binary_error(doc_index: usize, e: &BinaryError) -> WireError {
         WireError::new(ErrorCode::BinaryDoc, format!("document {doc_index}: {e}"))
     }
+
+    /// Map a document-store failure (every variant has a code).
+    pub fn of_store_error(e: &xdx_store::StoreError) -> WireError {
+        use xdx_store::StoreError;
+        let code = match e {
+            StoreError::UnknownDoc { .. } => ErrorCode::UnknownDoc,
+            StoreError::VersionConflict { .. } => ErrorCode::VersionConflict,
+            StoreError::BadEdit(_) => ErrorCode::BadEdit,
+            StoreError::StoreFull { .. } => ErrorCode::StoreFull,
+            StoreError::Io(_) | StoreError::Corrupt { .. } => ErrorCode::StoreIo,
+        };
+        WireError::new(code, e.to_string())
+    }
 }
 
 impl fmt::Display for WireError {
@@ -380,6 +440,64 @@ pub enum RequestBody {
         /// Source documents.
         docs: Vec<WireDoc>,
     },
+    /// Store `doc` under `doc_id` in the server's resident store (v2).
+    /// Overwrites any existing document under that id, advancing its
+    /// version.
+    PutDoc {
+        /// Client-chosen document id.
+        doc_id: u64,
+        /// The document, in the connection codec.
+        doc: WireDoc,
+    },
+    /// Fetch a stored document (v2).
+    GetDoc {
+        /// The document id.
+        doc_id: u64,
+    },
+    /// Apply an edit batch to a stored document (v2). `edits` is the
+    /// store's own edit encoding (`xdx_store::encode_edits`), carried as
+    /// an opaque blob so the wire layer stays format-agnostic.
+    EditDoc {
+        /// The document id.
+        doc_id: u64,
+        /// Compare-and-swap guard: the edit applies only if the document
+        /// is still at this version. `0` skips the check.
+        base_version: u64,
+        /// Encoded edit batch (`xdx_store::encode_edits`).
+        edits: Vec<u8>,
+    },
+    /// Remove a stored document (v2).
+    DeleteDoc {
+        /// The document id.
+        doc_id: u64,
+    },
+    /// [`RequestBody::CheckConsistency`] of one stored document (v2). The
+    /// response is the base op's response, byte for byte (a one-document
+    /// batch).
+    CheckConsistencyStored {
+        /// The document id.
+        doc_id: u64,
+    },
+    /// [`RequestBody::CanonicalSolution`] of one stored document (v2).
+    CanonicalSolutionStored {
+        /// The document id.
+        doc_id: u64,
+    },
+    /// [`RequestBody::CertainAnswers`] over one stored document (v2).
+    CertainAnswersStored {
+        /// The query (rule syntax).
+        query: String,
+        /// The document id.
+        doc_id: u64,
+    },
+    /// [`RequestBody::CertainAnswersBoolean`] over one stored document
+    /// (v2).
+    CertainAnswersBooleanStored {
+        /// The query (rule syntax).
+        query: String,
+        /// The document id.
+        doc_id: u64,
+    },
 }
 
 impl RequestBody {
@@ -392,6 +510,14 @@ impl RequestBody {
             RequestBody::CanonicalSolution { .. } => OpCode::CanonicalSolution,
             RequestBody::CertainAnswers { .. } => OpCode::CertainAnswers,
             RequestBody::CertainAnswersBoolean { .. } => OpCode::CertainAnswersBoolean,
+            RequestBody::PutDoc { .. } => OpCode::PutDoc,
+            RequestBody::GetDoc { .. } => OpCode::GetDoc,
+            RequestBody::EditDoc { .. } => OpCode::EditDoc,
+            RequestBody::DeleteDoc { .. } => OpCode::DeleteDoc,
+            RequestBody::CheckConsistencyStored { .. } => OpCode::CheckConsistencyStored,
+            RequestBody::CanonicalSolutionStored { .. } => OpCode::CanonicalSolutionStored,
+            RequestBody::CertainAnswersStored { .. } => OpCode::CertainAnswersStored,
+            RequestBody::CertainAnswersBooleanStored { .. } => OpCode::CertainAnswersBooleanStored,
         }
     }
 
@@ -406,6 +532,14 @@ impl RequestBody {
             | RequestBody::CanonicalSolution { docs }
             | RequestBody::CertainAnswers { docs, .. }
             | RequestBody::CertainAnswersBoolean { docs, .. } => docs.len(),
+            RequestBody::PutDoc { .. } => 1,
+            RequestBody::GetDoc { .. }
+            | RequestBody::EditDoc { .. }
+            | RequestBody::DeleteDoc { .. }
+            | RequestBody::CheckConsistencyStored { .. }
+            | RequestBody::CanonicalSolutionStored { .. }
+            | RequestBody::CertainAnswersStored { .. }
+            | RequestBody::CertainAnswersBooleanStored { .. } => 0,
         }
     }
 }
@@ -447,6 +581,25 @@ pub enum ResponseBody {
     Answers(Vec<DocResult<Vec<Vec<String>>>>),
     /// Per-document Boolean certain answers or errors.
     Booleans(Vec<DocResult<bool>>),
+    /// Reply to [`RequestBody::PutDoc`]: the stored document's new version.
+    PutDocOk {
+        /// Version after the put (1 for a fresh id).
+        version: u64,
+    },
+    /// Reply to [`RequestBody::GetDoc`]: the document and its version.
+    GetDocOk {
+        /// Current version.
+        version: u64,
+        /// The document, in the connection codec.
+        doc: WireDoc,
+    },
+    /// Reply to [`RequestBody::EditDoc`]: the version after the batch.
+    EditDocOk {
+        /// Version after the edit batch applied.
+        version: u64,
+    },
+    /// Reply to [`RequestBody::DeleteDoc`].
+    DeleteDocOk,
 }
 
 /// Response status: success, body follows.
@@ -693,6 +846,32 @@ pub fn encode_request_into(req: &RequestFrame, out: &mut Vec<u8>) {
             put_string(out, query);
             put_docs(out, docs);
         }
+        RequestBody::PutDoc { doc_id, doc } => {
+            put_u64(out, *doc_id);
+            put_doc(out, doc);
+        }
+        RequestBody::GetDoc { doc_id }
+        | RequestBody::DeleteDoc { doc_id }
+        | RequestBody::CheckConsistencyStored { doc_id }
+        | RequestBody::CanonicalSolutionStored { doc_id } => put_u64(out, *doc_id),
+        RequestBody::EditDoc {
+            doc_id,
+            base_version,
+            edits,
+        } => {
+            put_u64(out, *doc_id);
+            put_u64(out, *base_version);
+            put_u32(
+                out,
+                u32::try_from(edits.len()).expect("edit batch exceeds u32::MAX bytes"),
+            );
+            out.extend_from_slice(edits);
+        }
+        RequestBody::CertainAnswersStored { query, doc_id }
+        | RequestBody::CertainAnswersBooleanStored { query, doc_id } => {
+            put_string(out, query);
+            put_u64(out, *doc_id);
+        }
     }
 }
 
@@ -740,6 +919,29 @@ pub fn decode_request(
                 docs: read_docs(&mut r, max_docs, codec)?,
             }
         }
+        OpCode::PutDoc => RequestBody::PutDoc {
+            doc_id: r.u64()?,
+            doc: read_doc(&mut r, codec)?,
+        },
+        OpCode::GetDoc => RequestBody::GetDoc { doc_id: r.u64()? },
+        OpCode::EditDoc => RequestBody::EditDoc {
+            doc_id: r.u64()?,
+            base_version: r.u64()?,
+            edits: r.blob()?,
+        },
+        OpCode::DeleteDoc => RequestBody::DeleteDoc { doc_id: r.u64()? },
+        OpCode::CheckConsistencyStored => RequestBody::CheckConsistencyStored { doc_id: r.u64()? },
+        OpCode::CanonicalSolutionStored => {
+            RequestBody::CanonicalSolutionStored { doc_id: r.u64()? }
+        }
+        OpCode::CertainAnswersStored => RequestBody::CertainAnswersStored {
+            query: r.string()?,
+            doc_id: r.u64()?,
+        },
+        OpCode::CertainAnswersBooleanStored => RequestBody::CertainAnswersBooleanStored {
+            query: r.string()?,
+            doc_id: r.u64()?,
+        },
     };
     r.finish()?;
     Ok(RequestFrame { id: r.id, body })
@@ -826,6 +1028,30 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
                 put_doc_result(&mut out, result, |out, &b| out.push(b as u8));
             }
         }
+        ResponseBody::PutDocOk { version } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::PutDoc as u8);
+            put_u64(&mut out, *version);
+        }
+        ResponseBody::GetDocOk { version, doc } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::GetDoc as u8);
+            put_u64(&mut out, *version);
+            put_doc(&mut out, doc);
+        }
+        ResponseBody::EditDocOk { version } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::EditDoc as u8);
+            put_u64(&mut out, *version);
+        }
+        ResponseBody::DeleteDocOk => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::DeleteDoc as u8);
+        }
     }
     out
 }
@@ -904,6 +1130,24 @@ pub fn decode_response(payload: &[u8], codec: Codec) -> Result<ResponseFrame, De
                     }
                     ResponseBody::Booleans(results)
                 }
+                OpCode::PutDoc => ResponseBody::PutDocOk { version: r.u64()? },
+                OpCode::GetDoc => ResponseBody::GetDocOk {
+                    version: r.u64()?,
+                    doc: read_doc(&mut r, codec)?,
+                },
+                OpCode::EditDoc => ResponseBody::EditDocOk { version: r.u64()? },
+                OpCode::DeleteDoc => ResponseBody::DeleteDocOk,
+                // Stored query ops answer with the *base* op's response
+                // (that is their byte-for-byte parity contract), so their
+                // own codes never appear in a well-formed response.
+                OpCode::CheckConsistencyStored
+                | OpCode::CanonicalSolutionStored
+                | OpCode::CertainAnswersStored
+                | OpCode::CertainAnswersBooleanStored => {
+                    return Err(r.err(format!(
+                        "stored-query op {op_raw} in a response (the base op is echoed instead)"
+                    )))
+                }
             }
         }
         s => return Err(r.err(format!("unknown status {s}"))),
@@ -950,6 +1194,51 @@ mod tests {
                 body: RequestBody::CertainAnswersBoolean {
                     query: "() :- bib".into(),
                     docs: vec!["".into(), "⊥ weird \"doc\"".into()],
+                },
+            },
+            RequestFrame {
+                id: 10,
+                body: RequestBody::PutDoc {
+                    doc_id: 42,
+                    doc: "db[book(@title=\"T\")]".into(),
+                },
+            },
+            RequestFrame {
+                id: 11,
+                body: RequestBody::GetDoc { doc_id: u64::MAX },
+            },
+            RequestFrame {
+                id: 12,
+                body: RequestBody::EditDoc {
+                    doc_id: 42,
+                    base_version: 7,
+                    edits: vec![0, 1, 0xde, 0xad],
+                },
+            },
+            RequestFrame {
+                id: 13,
+                body: RequestBody::DeleteDoc { doc_id: 0 },
+            },
+            RequestFrame {
+                id: 14,
+                body: RequestBody::CheckConsistencyStored { doc_id: 3 },
+            },
+            RequestFrame {
+                id: 15,
+                body: RequestBody::CanonicalSolutionStored { doc_id: 3 },
+            },
+            RequestFrame {
+                id: 16,
+                body: RequestBody::CertainAnswersStored {
+                    query: "($x) :- work(@title=$x)".into(),
+                    doc_id: 3,
+                },
+            },
+            RequestFrame {
+                id: 17,
+                body: RequestBody::CertainAnswersBooleanStored {
+                    query: "() :- bib".into(),
+                    doc_id: 9,
                 },
             },
         ]
@@ -1002,6 +1291,32 @@ mod tests {
                     Ok(false),
                     Err(WireError::new(ErrorCode::AttributeClash, "clash")),
                 ]),
+            },
+            ResponseFrame {
+                id: 8,
+                body: ResponseBody::PutDocOk { version: 1 },
+            },
+            ResponseFrame {
+                id: 9,
+                body: ResponseBody::GetDocOk {
+                    version: 3,
+                    doc: "db[book(@title=\"T\")]".into(),
+                },
+            },
+            ResponseFrame {
+                id: 10,
+                body: ResponseBody::EditDocOk { version: u64::MAX },
+            },
+            ResponseFrame {
+                id: 11,
+                body: ResponseBody::DeleteDocOk,
+            },
+            ResponseFrame {
+                id: 12,
+                body: ResponseBody::Error(WireError::new(
+                    ErrorCode::VersionConflict,
+                    "document 42 is at version 9, not 7",
+                )),
             },
         ]
     }

@@ -1,0 +1,42 @@
+//! # xdx-store — resident document store
+//!
+//! Documents served by `xdx-server` used to be ship-per-request: every
+//! consistency check, canonical solution or certain-answer query re-sent
+//! and re-parsed the whole source document. This crate keeps documents
+//! **resident**: decoded once, persisted as binary snapshots plus a
+//! write-ahead log of node-local edits, re-validated in `O(dirty)` after an
+//! edit, with derived results cached per document version.
+//!
+//! * [`store`] — the [`DocStore`]: put/get/edit/delete, crash recovery,
+//!   checkpointing, incremental conformance validation, version-tagged
+//!   result caches;
+//! * [`edit`] — [`DocEdit`] (insert/remove child, set/remove attribute),
+//!   preorder-rank addressing, the wire encoding, atomic batch application;
+//! * [`wal`] — length-prefixed, checksummed records with configurable
+//!   `fsync` batching ([`SyncPolicy`]) and prefix-consistent torn-tail
+//!   recovery;
+//! * [`snapshot`] — the checkpoint segment file: binary codec frames plus
+//!   a checksummed index, written atomically via tmp + rename.
+//!
+//! `DESIGN.md` next to this crate documents the on-disk formats and the
+//! crash-recovery argument in full.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytes;
+pub mod edit;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use edit::{
+    apply_edits, decode_edits_exact, encode_edits, AppliedEdits, DocEdit, EditError,
+    MAX_EDITS_PER_BATCH,
+};
+pub use snapshot::{
+    load_snapshot_bytes, load_snapshot_frames, SnapshotDoc, SnapshotError, SnapshotFrame,
+    SnapshotSource,
+};
+pub use store::{DocStore, EditReceipt, StoreConfig, StoreError, SNAPSHOT_FILE, WAL_FILE};
+pub use wal::{replay, SyncPolicy, Wal, WalOp, WalRecord};

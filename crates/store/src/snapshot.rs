@@ -1,0 +1,348 @@
+//! Checkpoint snapshots.
+//!
+//! A snapshot is one segment file holding every resident document as a
+//! binary codec frame ([`xdx_xmltree::binary`]), followed by a checksummed
+//! index and a footer that locates it:
+//!
+//! ```text
+//! file    := magic:8 ("XDXSNAP1")  frames…  index  footer
+//! index   := count × entry                      -- entries sorted by doc_id
+//! entry   := doc_id:u64 version:u64 offset:u64 len:u32 crc:u64   (36 bytes)
+//! footer  := index_offset:u64 index_count:u32 index_crc:u64 magic:8 ("XDXSNAPE")
+//! ```
+//!
+//! `offset`/`len` locate a frame (absolute file offsets), `crc` is FNV-1a
+//! of the frame bytes, `index_crc` FNV-1a of the index bytes. The loader
+//! validates magics, footer geometry, index checksum, entry bounds and
+//! per-frame checksums before decoding any frame, and the frame decoder
+//! itself is total — so arbitrary bytes produce a [`SnapshotError`], never
+//! a panic or an oversized allocation.
+//!
+//! Snapshots are written to `<name>.tmp`, fsynced, then atomically renamed
+//! over `<name>` (and the directory fsynced): at every instant the named
+//! file is either the complete old snapshot or the complete new one. A
+//! corrupt named snapshot therefore indicates storage-level damage, and
+//! loading reports it as an error instead of guessing.
+
+use crate::bytes::{fnv1a, Cursor};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use xdx_xmltree::{decode_tree, encode_tree, XmlTree};
+
+const MAGIC: &[u8; 8] = b"XDXSNAP1";
+const FOOTER_MAGIC: &[u8; 8] = b"XDXSNAPE";
+const ENTRY_BYTES: usize = 8 + 8 + 8 + 4 + 8;
+const FOOTER_BYTES: usize = 8 + 4 + 8 + 8;
+
+/// One document recovered from a snapshot.
+#[derive(Debug)]
+pub struct SnapshotDoc {
+    /// Document id.
+    pub doc_id: u64,
+    /// Version at checkpoint time.
+    pub version: u64,
+    /// The document.
+    pub tree: XmlTree,
+}
+
+/// One checksum-verified but still *undecoded* document frame — what the
+/// lazy load path hands to [`crate::store::DocStore`], which materializes
+/// the tree on first access instead of paying per-node construction for
+/// every resident document at open time.
+#[derive(Debug)]
+pub struct SnapshotFrame {
+    /// Document id.
+    pub doc_id: u64,
+    /// Version at checkpoint time.
+    pub version: u64,
+    /// The binary codec frame (checksum already verified).
+    pub frame: Vec<u8>,
+}
+
+/// Why a snapshot image was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SnapshotError {
+    fn new(message: impl Into<String>) -> SnapshotError {
+        SnapshotError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Decode a snapshot image fully (see the module docs; total over arbitrary
+/// bytes). Documents come back sorted by id. This is the eager twin of
+/// [`load_snapshot_frames`] — tools and tests that want trees now.
+pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Vec<SnapshotDoc>, SnapshotError> {
+    load_snapshot_frames(bytes)?
+        .into_iter()
+        .map(|f| {
+            let tree = decode_tree(&f.frame).map_err(|e| {
+                SnapshotError::new(format!(
+                    "frame for document {} does not decode: {e}",
+                    f.doc_id
+                ))
+            })?;
+            Ok(SnapshotDoc {
+                doc_id: f.doc_id,
+                version: f.version,
+                tree,
+            })
+        })
+        .collect()
+}
+
+/// Validate a snapshot image — magics, footer geometry, index checksum,
+/// entry bounds, per-frame checksums — and return the raw frames *without*
+/// decoding any tree. Total over arbitrary bytes.
+pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Vec<SnapshotFrame>, SnapshotError> {
+    if bytes.len() < MAGIC.len() + FOOTER_BYTES {
+        return Err(SnapshotError::new(format!(
+            "{} bytes is shorter than an empty snapshot",
+            bytes.len()
+        )));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::new("bad leading magic"));
+    }
+    let footer = &bytes[bytes.len() - FOOTER_BYTES..];
+    if &footer[FOOTER_BYTES - 8..] != FOOTER_MAGIC {
+        return Err(SnapshotError::new("bad trailing magic"));
+    }
+    let mut f = Cursor::new(footer);
+    let index_offset = f.u64().expect("footer sized above") as usize;
+    let index_count = f.u32().expect("footer sized above") as usize;
+    let index_crc = f.u64().expect("footer sized above");
+
+    let index_end = bytes.len() - FOOTER_BYTES;
+    let index_bytes_len = index_count
+        .checked_mul(ENTRY_BYTES)
+        .ok_or_else(|| SnapshotError::new("index count overflows"))?;
+    if index_offset < MAGIC.len()
+        || index_offset > index_end
+        || index_end - index_offset != index_bytes_len
+    {
+        return Err(SnapshotError::new(format!(
+            "footer index geometry is inconsistent \
+             (offset {index_offset}, count {index_count}, file {} bytes)",
+            bytes.len()
+        )));
+    }
+    let index = &bytes[index_offset..index_end];
+    if fnv1a(index) != index_crc {
+        return Err(SnapshotError::new("index checksum mismatch"));
+    }
+
+    let mut docs = Vec::with_capacity(index_count);
+    let mut c = Cursor::new(index);
+    let mut last_id: Option<u64> = None;
+    for _ in 0..index_count {
+        let doc_id = c.u64().expect("index sized above");
+        let version = c.u64().expect("index sized above");
+        let offset = c.u64().expect("index sized above") as usize;
+        let len = c.u32().expect("index sized above") as usize;
+        let crc = c.u64().expect("index sized above");
+        if last_id.is_some_and(|p| p >= doc_id) {
+            return Err(SnapshotError::new("index ids are not strictly increasing"));
+        }
+        last_id = Some(doc_id);
+        if offset < MAGIC.len() || offset.saturating_add(len) > index_offset {
+            return Err(SnapshotError::new(format!(
+                "frame for document {doc_id} is out of bounds"
+            )));
+        }
+        let frame = &bytes[offset..offset + len];
+        if fnv1a(frame) != crc {
+            return Err(SnapshotError::new(format!(
+                "frame checksum mismatch for document {doc_id}"
+            )));
+        }
+        docs.push(SnapshotFrame {
+            doc_id,
+            version,
+            frame: frame.to_vec(),
+        });
+    }
+    Ok(docs)
+}
+
+/// Load the snapshot at `path` without decoding trees (the store's open
+/// path). A missing file is an empty store (`Ok` with no documents);
+/// unreadable or corrupt bytes are errors.
+pub fn load_snapshot(path: &Path) -> Result<Vec<SnapshotFrame>, crate::store::StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(crate::store::StoreError::Io(e)),
+    };
+    load_snapshot_frames(&bytes).map_err(|e| crate::store::StoreError::Corrupt {
+        context: format!("{} — {e}", path.display()),
+    })
+}
+
+/// What a snapshot writer has in hand for one document: a live tree (to be
+/// encoded) or a frame that is still byte-identical to the document — an
+/// undecoded lazy load, which the checkpoint copies through verbatim
+/// instead of decode + re-encode.
+#[derive(Debug, Clone, Copy)]
+pub enum SnapshotSource<'a> {
+    /// Encode this tree.
+    Tree(&'a XmlTree),
+    /// Copy these (already encoded) frame bytes through.
+    Frame(&'a [u8]),
+}
+
+/// Serialize a snapshot image. `docs` must be sorted by id (the store's
+/// iteration provides that).
+pub fn encode_snapshot<'a>(docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let mut index = Vec::new();
+    let mut count: u32 = 0;
+    for (doc_id, version, source) in docs {
+        let frame = match source {
+            SnapshotSource::Tree(tree) => std::borrow::Cow::Owned(encode_tree(tree)),
+            SnapshotSource::Frame(bytes) => std::borrow::Cow::Borrowed(bytes),
+        };
+        index.extend_from_slice(&doc_id.to_be_bytes());
+        index.extend_from_slice(&version.to_be_bytes());
+        index.extend_from_slice(&(out.len() as u64).to_be_bytes());
+        index.extend_from_slice(
+            &u32::try_from(frame.len())
+                .expect("frame length")
+                .to_be_bytes(),
+        );
+        index.extend_from_slice(&fnv1a(&frame).to_be_bytes());
+        out.extend_from_slice(&frame);
+        count += 1;
+    }
+    let index_offset = out.len() as u64;
+    let index_crc = fnv1a(&index);
+    out.extend_from_slice(&index);
+    out.extend_from_slice(&index_offset.to_be_bytes());
+    out.extend_from_slice(&count.to_be_bytes());
+    out.extend_from_slice(&index_crc.to_be_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+    out
+}
+
+/// Write a snapshot atomically: encode, write `<path>.tmp`, fsync, rename
+/// over `path`, fsync the parent directory.
+pub fn write_snapshot<'a>(
+    path: &Path,
+    docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>,
+) -> std::io::Result<()> {
+    let bytes = encode_snapshot(docs);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself. Directories cannot be fsynced on every
+        // platform; failure to open one read-only is not a data-loss risk
+        // worth failing the checkpoint over.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_docs() -> Vec<(u64, u64, XmlTree)> {
+        let mut a = XmlTree::new("db");
+        let b = a.add_child(a.root(), "book");
+        a.set_attr(b, "@title", "CO");
+        let c = XmlTree::new("db");
+        vec![(3, 7, a), (9, 1, c)]
+    }
+
+    fn encode(docs: &[(u64, u64, XmlTree)]) -> Vec<u8> {
+        encode_snapshot(
+            docs.iter()
+                .map(|(i, v, t)| (*i, *v, SnapshotSource::Tree(t))),
+        )
+    }
+
+    #[test]
+    fn frame_sources_write_byte_identical_snapshots() {
+        let docs = sample_docs();
+        let from_trees = encode(&docs);
+        let frames = load_snapshot_frames(&from_trees).unwrap();
+        let from_frames = encode_snapshot(
+            frames
+                .iter()
+                .map(|f| (f.doc_id, f.version, SnapshotSource::Frame(&f.frame))),
+        );
+        assert_eq!(from_trees, from_frames);
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        let docs = sample_docs();
+        let back = load_snapshot_bytes(&encode(&docs)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!((back[0].doc_id, back[0].version), (3, 7));
+        assert_eq!((back[1].doc_id, back[1].version), (9, 1));
+        assert_eq!(
+            back[0].tree.ordered_canonical_form(),
+            docs[0].2.ordered_canonical_form()
+        );
+    }
+
+    #[test]
+    fn empty_snapshots_round_trip() {
+        let back = load_snapshot_bytes(&encode(&[])).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncations_and_bit_flips_never_panic() {
+        let bytes = encode(&sample_docs());
+        for cut in 0..bytes.len() {
+            assert!(load_snapshot_bytes(&bytes[..cut]).is_err());
+        }
+        for at in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[at] ^= 0x01;
+            // Must not panic; almost always an error (a flip in a frame's
+            // padding-free payload is caught by its checksum).
+            let _ = load_snapshot_bytes(&b);
+        }
+    }
+
+    #[test]
+    fn frame_corruption_is_caught_by_the_checksum() {
+        let bytes = encode(&sample_docs());
+        // Flip a bit inside the first frame (right after the magic).
+        let mut b = bytes.clone();
+        b[MAGIC.len() + 3] ^= 0x10;
+        let err = load_snapshot_bytes(&b).unwrap_err();
+        assert!(err.message.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_store() {
+        let docs = load_snapshot(Path::new("/nonexistent/xdx/snapshot.bin")).unwrap();
+        assert!(docs.is_empty());
+    }
+}

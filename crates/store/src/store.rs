@@ -1,0 +1,899 @@
+//! The resident document store.
+//!
+//! A [`DocStore`] keeps a set of documents in memory (as [`XmlTree`]s),
+//! makes every acknowledged mutation durable through the WAL, and maintains
+//! the per-document machinery that turns "a node changed" into cheap
+//! re-answers:
+//!
+//! * a monotone **version counter** per document (every `put`/`edit` bumps
+//!   it; results computed against an old version are invalidated for free);
+//! * a **dirty set** of nodes touched since the last validation, which
+//!   feeds the `O(dirty)` incremental conformance check
+//!   ([`DocStore::validate`]) and the incremental chase
+//!   ([`xdx_core::CompiledSetting::chase_incremental`]);
+//! * a **violation set** — the nodes currently failing their node-local
+//!   DTD check — kept incrementally: a document is valid iff the set is
+//!   empty, and an edit only re-checks the nodes it dirtied;
+//! * a version-tagged **result cache** ([`xdx_core::DocResultCache`]) the
+//!   embedder fills with whatever it computes per version (the server
+//!   caches encoded response bodies for byte-identical replays).
+//!
+//! # Recovery
+//!
+//! `open` loads the snapshot (if any), replays the WAL's consistent prefix
+//! on top of it, and truncates any torn tail. Snapshot frames are checksum
+//! verified at open but decoded lazily on first access, so a restart over a
+//! large corpus costs one bulk read — documents never touched again are
+//! never rebuilt node by node. Replay skips records whose
+//! `version` is not ahead of the resident document's — which makes a crash
+//! *between* snapshot rename and WAL truncation harmless: the stale records
+//! simply re-apply as no-ops. [`DocStore::checkpoint`] writes the snapshot
+//! atomically (tmp + rename) and only then resets the WAL, so a kill at any
+//! point leaves a state `open` reconstructs exactly.
+
+use crate::edit::{apply_edits, DocEdit, EditError};
+use crate::snapshot::{load_snapshot, write_snapshot, SnapshotSource};
+use crate::wal::{SyncPolicy, Wal, WalOp, WalRecord};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::PathBuf;
+use xdx_core::DocResultCache;
+use xdx_xmltree::{decode_tree, encode_tree, CompiledDtd, NodeId, XmlTree};
+
+/// File name of the snapshot segment inside the store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// File name of the write-ahead log inside the store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the snapshot and WAL (created if absent).
+    pub dir: PathBuf,
+    /// WAL durability policy.
+    pub sync: SyncPolicy,
+    /// Admission cap: `put` of a *new* document beyond this many residents
+    /// is rejected with [`StoreError::StoreFull`]. Recovery always loads
+    /// what is on disk, even past the cap.
+    pub max_resident_docs: usize,
+}
+
+impl StoreConfig {
+    /// A config with the default durability (`fsync` every 256 KiB) and
+    /// admission cap (1024 documents).
+    pub fn new(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::EveryBytes(256 * 1024),
+            max_resident_docs: 1024,
+        }
+    }
+}
+
+/// Store errors. `Corrupt` is reserved for damage the prefix-consistent
+/// recovery cannot absorb (a corrupt snapshot, or a WAL record that passed
+/// its checksum but does not apply) — the store refuses to open rather than
+/// guess at history.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// Persistent state is damaged beyond prefix recovery.
+    Corrupt {
+        /// What was damaged, and how.
+        context: String,
+    },
+    /// The document id is not resident.
+    UnknownDoc {
+        /// The id.
+        doc_id: u64,
+    },
+    /// An `edit` named a base version that is no longer current.
+    VersionConflict {
+        /// The id.
+        doc_id: u64,
+        /// The version the caller edited against.
+        expected: u64,
+        /// The document's actual current version.
+        actual: u64,
+    },
+    /// The edit batch was rejected (document unchanged).
+    BadEdit(EditError),
+    /// Admission cap reached.
+    StoreFull {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Corrupt { context } => write!(f, "store corrupt: {context}"),
+            StoreError::UnknownDoc { doc_id } => write!(f, "unknown document {doc_id}"),
+            StoreError::VersionConflict {
+                doc_id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "version conflict on document {doc_id}: edit against {expected}, current {actual}"
+            ),
+            StoreError::BadEdit(e) => write!(f, "bad edit: {e}"),
+            StoreError::StoreFull { limit } => {
+                write!(f, "store full ({limit} resident documents)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<EditError> for StoreError {
+    fn from(e: EditError) -> StoreError {
+        StoreError::BadEdit(e)
+    }
+}
+
+/// What an accepted edit batch reports back.
+#[derive(Debug)]
+pub struct EditReceipt {
+    /// The document's new version.
+    pub version: u64,
+    /// The nodes the batch dirtied (see [`crate::edit::AppliedEdits::dirty`]).
+    pub dirty: Vec<NodeId>,
+}
+
+/// One resident document and its incremental bookkeeping.
+#[derive(Debug)]
+struct Resident<V> {
+    /// The document's snapshot frame, still undecoded: snapshot load keeps
+    /// the checksum-verified bytes and defers per-node tree construction to
+    /// the first access (`Some` until then, `None` once materialized). This
+    /// is what makes `open` O(bytes) instead of O(nodes) — a restart over a
+    /// large corpus costs one bulk read plus checksums, and documents that
+    /// are never touched again are never decoded (their frames also pass
+    /// through the next checkpoint verbatim).
+    frame: Option<Vec<u8>>,
+    /// The document (a 1-node placeholder while `frame` is `Some`).
+    tree: XmlTree,
+    /// Lazily built preorder-rank → node map; `None` after structural edits.
+    preorder: Option<Vec<NodeId>>,
+    /// Nodes touched since the last [`DocStore::validate`] call.
+    dirty: BTreeSet<NodeId>,
+    /// Nodes currently failing their node-local check (valid baseline only
+    /// when `validated`).
+    violations: BTreeSet<NodeId>,
+    /// Has a full-scan validation baseline been established since load?
+    validated: bool,
+    /// Version counter + version-tagged result cache.
+    cache: DocResultCache<V>,
+}
+
+impl<V> Resident<V> {
+    fn new(tree: XmlTree, version: u64) -> Resident<V> {
+        Resident {
+            frame: None,
+            tree,
+            preorder: None,
+            dirty: BTreeSet::new(),
+            violations: BTreeSet::new(),
+            validated: false,
+            cache: DocResultCache::new(version),
+        }
+    }
+
+    fn from_frame(frame: Vec<u8>, version: u64) -> Resident<V> {
+        Resident {
+            frame: Some(frame),
+            tree: XmlTree::new("pending"),
+            preorder: None,
+            dirty: BTreeSet::new(),
+            violations: BTreeSet::new(),
+            validated: false,
+            cache: DocResultCache::new(version),
+        }
+    }
+
+    /// Decode the pending snapshot frame, if any. The frame's checksum was
+    /// verified at load and the only writer is our own encoder (the
+    /// round-trip is pinned by the codec tests), so a decode failure here
+    /// is an invariant violation, not an input condition — it panics rather
+    /// than inventing an empty document.
+    fn materialize(&mut self) {
+        if let Some(frame) = self.frame.take() {
+            self.tree = xdx_xmltree::decode_tree(&frame)
+                .expect("checksum-verified snapshot frame must decode");
+        }
+    }
+
+    fn version(&self) -> u64 {
+        self.cache.version()
+    }
+}
+
+/// The resident document store (see the module docs). Generic over the
+/// cached result type `V` — the store never interprets cached values, it
+/// only version-tags and invalidates them.
+#[derive(Debug)]
+pub struct DocStore<V = ()> {
+    config: StoreConfig,
+    wal: Wal,
+    docs: BTreeMap<u64, Resident<V>>,
+}
+
+impl<V> DocStore<V> {
+    /// Open (or create) the store in `config.dir`: load the snapshot,
+    /// replay the WAL, truncate any torn tail.
+    pub fn open(config: StoreConfig) -> Result<DocStore<V>, StoreError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let snapshot_path = config.dir.join(SNAPSHOT_FILE);
+        // A leftover tmp is a checkpoint that died before its rename; the
+        // named snapshot is still the authoritative previous state.
+        let _ = std::fs::remove_file(snapshot_path.with_extension("tmp"));
+        let mut docs: BTreeMap<u64, Resident<V>> = BTreeMap::new();
+        for doc in load_snapshot(&snapshot_path)? {
+            // Checksums verified; trees materialize on first access.
+            docs.insert(doc.doc_id, Resident::from_frame(doc.frame, doc.version));
+        }
+        let (wal, records) = Wal::open(&config.dir.join(WAL_FILE), config.sync)?;
+        for rec in records {
+            Self::replay_record(&mut docs, rec)?;
+        }
+        Ok(DocStore { config, wal, docs })
+    }
+
+    fn replay_record(
+        docs: &mut BTreeMap<u64, Resident<V>>,
+        rec: WalRecord,
+    ) -> Result<(), StoreError> {
+        // Records at or behind the resident version are already reflected
+        // in the snapshot (a checkpoint that crashed before WAL reset).
+        let current = docs.get(&rec.doc_id).map(|r| r.version()).unwrap_or(0);
+        if rec.version <= current {
+            return Ok(());
+        }
+        match rec.op {
+            WalOp::Put(frame) => {
+                let tree = decode_tree(&frame).map_err(|e| StoreError::Corrupt {
+                    context: format!("WAL put of document {} does not decode: {e}", rec.doc_id),
+                })?;
+                docs.insert(rec.doc_id, Resident::new(tree, rec.version));
+            }
+            WalOp::Edit(edits) => {
+                let r = docs
+                    .get_mut(&rec.doc_id)
+                    .ok_or_else(|| StoreError::Corrupt {
+                        context: format!("WAL edit of unknown document {}", rec.doc_id),
+                    })?;
+                r.materialize();
+                apply_edits(&mut r.tree, &mut r.preorder, &edits).map_err(|e| {
+                    StoreError::Corrupt {
+                        context: format!("WAL edit of document {} does not apply: {e}", rec.doc_id),
+                    }
+                })?;
+                r.cache.set_version(rec.version);
+            }
+            WalOp::Delete => {
+                docs.remove(&rec.doc_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Store (or replace) a whole document. Returns the new version.
+    pub fn put(&mut self, doc_id: u64, tree: XmlTree) -> Result<u64, StoreError> {
+        let current = self.docs.get(&doc_id).map(|r| r.version());
+        if current.is_none() && self.docs.len() >= self.config.max_resident_docs {
+            return Err(StoreError::StoreFull {
+                limit: self.config.max_resident_docs,
+            });
+        }
+        let version = current.unwrap_or(0) + 1;
+        self.wal.append(&WalRecord {
+            doc_id,
+            version,
+            op: WalOp::Put(encode_tree(&tree)),
+        })?;
+        self.docs.insert(doc_id, Resident::new(tree, version));
+        Ok(version)
+    }
+
+    /// The document and its current version. Takes `&mut self` because a
+    /// lazily loaded document materializes (decodes its snapshot frame) on
+    /// first access.
+    pub fn get(&mut self, doc_id: u64) -> Option<(&XmlTree, u64)> {
+        self.docs.get_mut(&doc_id).map(|r| {
+            r.materialize();
+            (&r.tree, r.version())
+        })
+    }
+
+    /// The document's current version.
+    pub fn version(&self, doc_id: u64) -> Option<u64> {
+        self.docs.get(&doc_id).map(|r| r.version())
+    }
+
+    /// Apply an edit batch. `base_version` is an optimistic-concurrency
+    /// check: the batch is rejected with [`StoreError::VersionConflict`]
+    /// unless it equals the document's current version; pass `0` to skip
+    /// the check (last-writer-wins). An empty batch is a no-op that leaves
+    /// the version unchanged.
+    pub fn edit(
+        &mut self,
+        doc_id: u64,
+        base_version: u64,
+        edits: &[DocEdit],
+    ) -> Result<EditReceipt, StoreError> {
+        let r = self
+            .docs
+            .get_mut(&doc_id)
+            .ok_or(StoreError::UnknownDoc { doc_id })?;
+        r.materialize();
+        let current = r.version();
+        if base_version != 0 && base_version != current {
+            return Err(StoreError::VersionConflict {
+                doc_id,
+                expected: base_version,
+                actual: current,
+            });
+        }
+        if edits.is_empty() {
+            return Ok(EditReceipt {
+                version: current,
+                dirty: Vec::new(),
+            });
+        }
+        // Applying *is* the validation (all-or-nothing); only an applied
+        // batch reaches the WAL, so replay can never fail on a record the
+        // running store accepted. If the append itself fails, the batch is
+        // rolled back so memory never diverges from the log.
+        let applied = apply_edits(&mut r.tree, &mut r.preorder, edits)?;
+        if let Err(e) = self.wal.append(&WalRecord {
+            doc_id,
+            version: current + 1,
+            op: WalOp::Edit(edits.to_vec()),
+        }) {
+            applied.rollback(&mut r.tree);
+            r.preorder = None;
+            return Err(e.into());
+        }
+        let version = r.cache.bump();
+        // Merge the batch's dirty set *before* stripping detached subtrees:
+        // a node inserted and then detached within one batch is in both
+        // lists, and only this order drops it. (`validate`'s reachability
+        // check only sees the detached *root*'s cleared parent link — a
+        // node deeper in a detached subtree still has its parent pointer,
+        // so leaving it dirty would fabricate violations on nodes the
+        // document no longer contains.)
+        r.dirty.extend(applied.dirty.iter().copied());
+        for &root in &applied.detached {
+            for n in r.tree.descendants_or_self(root) {
+                r.dirty.remove(&n);
+                r.violations.remove(&n);
+            }
+        }
+        Ok(EditReceipt {
+            version,
+            dirty: applied.dirty,
+        })
+    }
+
+    /// Delete a document.
+    pub fn delete(&mut self, doc_id: u64) -> Result<(), StoreError> {
+        let r = self
+            .docs
+            .get(&doc_id)
+            .ok_or(StoreError::UnknownDoc { doc_id })?;
+        self.wal.append(&WalRecord {
+            doc_id,
+            version: r.version() + 1,
+            op: WalOp::Delete,
+        })?;
+        self.docs.remove(&doc_id);
+        Ok(())
+    }
+
+    /// Does the document conform to `dtd` (ordered conformance, the check
+    /// source documents must pass)?
+    ///
+    /// The first call after load scans the whole document and establishes
+    /// the violation baseline; every later call re-checks **only the nodes
+    /// dirtied since the previous call** — `O(dirty)`, not `O(document)`.
+    /// The baseline is only meaningful against one fixed DTD: a server
+    /// serves one setting, so the store does not fingerprint the DTD (pass
+    /// a different one and the stale baseline is yours to keep).
+    pub fn validate(&mut self, doc_id: u64, dtd: &CompiledDtd) -> Result<bool, StoreError> {
+        let r = self
+            .docs
+            .get_mut(&doc_id)
+            .ok_or(StoreError::UnknownDoc { doc_id })?;
+        r.materialize();
+        if !r.validated {
+            r.violations.clear();
+            let root = r.tree.root();
+            for n in r.tree.preorder() {
+                if !node_conforms(dtd, &r.tree, n, n == root) {
+                    r.violations.insert(n);
+                }
+            }
+            r.validated = true;
+            r.dirty.clear();
+        } else {
+            let root = r.tree.root();
+            let dirty = std::mem::take(&mut r.dirty);
+            for n in dirty {
+                // A dirtied node may since have been detached (removed in a
+                // later batch); it no longer counts.
+                let reachable = n == root || r.tree.parent(n).is_some();
+                if reachable && !node_conforms(dtd, &r.tree, n, n == root) {
+                    r.violations.insert(n);
+                } else {
+                    r.violations.remove(&n);
+                }
+            }
+        }
+        Ok(r.violations.is_empty())
+    }
+
+    /// The nodes dirtied since the last [`DocStore::validate`] — the seed
+    /// set for [`xdx_core::CompiledSetting::chase_incremental`].
+    pub fn dirty_nodes(&self, doc_id: u64) -> Option<impl Iterator<Item = NodeId> + '_> {
+        self.docs.get(&doc_id).map(|r| r.dirty.iter().copied())
+    }
+
+    /// The document's version-tagged result cache.
+    pub fn result_cache(&mut self, doc_id: u64) -> Option<&mut DocResultCache<V>> {
+        self.docs.get_mut(&doc_id).map(|r| &mut r.cache)
+    }
+
+    /// Write a snapshot of every resident document (atomically), then reset
+    /// the WAL. Also compacts the arena of documents whose detached-slot
+    /// garbage exceeds their live size (which resets their validation
+    /// baseline — the next `validate` is a full scan).
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()?;
+        write_snapshot(
+            &self.config.dir.join(SNAPSHOT_FILE),
+            self.docs.iter().map(|(&id, r)| {
+                // A still-undecoded document's frame is byte-identical to
+                // the document; copy it through instead of decode+re-encode.
+                let source = match &r.frame {
+                    Some(frame) => SnapshotSource::Frame(frame),
+                    None => SnapshotSource::Tree(&r.tree),
+                };
+                (id, r.version(), source)
+            }),
+        )?;
+        self.wal.reset()?;
+        for r in self.docs.values_mut() {
+            if r.frame.is_none() && r.tree.arena_len() > 2 * r.tree.size() {
+                r.tree = decode_tree(&encode_tree(&r.tree)).expect("own encoding always decodes");
+                r.preorder = None;
+                r.dirty.clear();
+                r.violations.clear();
+                r.validated = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Force the WAL to stable storage (for batched [`SyncPolicy`]s).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Resident document ids, ascending.
+    pub fn doc_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.docs.keys().copied()
+    }
+
+    /// Number of resident documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Current WAL length in bytes (a checkpointing heuristic for callers).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+}
+
+/// The node-local conformance check: label declared (and the root's label
+/// equal to the DTD's root), attribute set exactly the declared one, child
+/// word in the content model. A document conforms iff every node passes —
+/// which is what lets validation re-check only dirtied nodes.
+fn node_conforms(dtd: &CompiledDtd, tree: &XmlTree, node: NodeId, is_root: bool) -> bool {
+    let Some(sym) = dtd.sym(tree.label(node)) else {
+        return false;
+    };
+    if is_root && sym != dtd.root_sym() {
+        return false;
+    }
+    let allowed = dtd.attrs(sym);
+    let attrs = tree.attrs(node);
+    if attrs.len() != allowed.len() || !attrs.keys().zip(allowed).all(|(a, b)| a == b) {
+        return false;
+    }
+    let mut syms = Vec::with_capacity(tree.children(node).len());
+    for &c in tree.children(node) {
+        match dtd.sym(tree.label(c)) {
+            Some(s) => syms.push(s),
+            None => return false,
+        }
+    }
+    dtd.matches_children(sym, &syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::DocEdit;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use xdx_xmltree::{parse_tree, tree_to_text, Dtd};
+
+    static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let n = DIRS.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("xdx-store-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cleanup(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn open(dir: &Path) -> DocStore {
+        DocStore::open(StoreConfig {
+            dir: dir.to_path_buf(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap()
+    }
+
+    fn book_dtd() -> Dtd {
+        Dtd::builder("db")
+            .rule("db", "book*")
+            .rule("book", "author*")
+            .attributes("book", ["@title"])
+            .attributes("author", ["@name"])
+            .build()
+            .unwrap()
+    }
+
+    fn sample() -> XmlTree {
+        parse_tree("db[book(@title=\"CO\")[author(@name=\"P\")]]").unwrap()
+    }
+
+    #[test]
+    fn put_edit_delete_survive_restart() {
+        let dir = fresh_dir("crud");
+        let mut s = open(&dir);
+        assert_eq!(s.put(1, sample()).unwrap(), 1);
+        assert_eq!(s.put(2, XmlTree::new("db")).unwrap(), 1);
+        let receipt = s
+            .edit(
+                1,
+                1,
+                &[DocEdit::SetAttr {
+                    node: 1,
+                    name: "@title".into(),
+                    value: "New".into(),
+                }],
+            )
+            .unwrap();
+        assert_eq!(receipt.version, 2);
+        s.delete(2).unwrap();
+        drop(s);
+
+        let mut s = open(&dir);
+        assert_eq!(s.len(), 1);
+        let (tree, version) = s.get(1).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(
+            tree_to_text(tree),
+            "db[book(@title=\"New\")[author(@name=\"P\")]]"
+        );
+        assert!(s.get(2).is_none());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn version_conflicts_are_rejected() {
+        let dir = fresh_dir("cas");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        let stale = &[DocEdit::RemoveChild { parent: 0, at: 0 }];
+        let err = s.edit(1, 7, stale).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::VersionConflict {
+                expected: 7,
+                actual: 1,
+                ..
+            }
+        ));
+        // base_version 0 skips the check.
+        s.edit(1, 0, stale).unwrap();
+        assert_eq!(s.version(1), Some(2));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn bad_edits_leave_no_wal_trace() {
+        let dir = fresh_dir("atomic");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        let before = tree_to_text(s.get(1).unwrap().0);
+        let err = s
+            .edit(
+                1,
+                0,
+                &[
+                    DocEdit::SetAttr {
+                        node: 0,
+                        name: "@x".into(),
+                        value: "v".into(),
+                    },
+                    DocEdit::RemoveChild { parent: 0, at: 9 },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::BadEdit(_)));
+        assert_eq!(s.version(1), Some(1), "version unchanged");
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), before);
+        drop(s);
+        let mut s = open(&dir);
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), before, "nothing logged");
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn validation_is_incremental_and_tracks_edits() {
+        let dir = fresh_dir("validate");
+        let dtd = book_dtd();
+        let dtd = dtd.compiled();
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        assert!(s.validate(1, dtd).unwrap());
+        // Remove @title: the book violates.
+        s.edit(
+            1,
+            0,
+            &[DocEdit::RemoveAttr {
+                node: 1,
+                name: "@title".into(),
+            }],
+        )
+        .unwrap();
+        assert!(!s.validate(1, dtd).unwrap());
+        // Restore it: valid again, via a one-node recheck.
+        s.edit(
+            1,
+            0,
+            &[DocEdit::SetAttr {
+                node: 1,
+                name: "@title".into(),
+                value: "CO".into(),
+            }],
+        )
+        .unwrap();
+        assert!(s.validate(1, dtd).unwrap());
+        // An undeclared child label breaks the parent's word.
+        s.edit(
+            1,
+            0,
+            &[DocEdit::InsertChild {
+                parent: 0,
+                at: 0,
+                label: "pamphlet".into(),
+            }],
+        )
+        .unwrap();
+        assert!(!s.validate(1, dtd).unwrap());
+        // Removing it heals the document (and the violating subtree's
+        // bookkeeping goes with it).
+        s.edit(1, 0, &[DocEdit::RemoveChild { parent: 0, at: 0 }])
+            .unwrap();
+        assert!(s.validate(1, dtd).unwrap());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_restart_agrees() {
+        let dir = fresh_dir("checkpoint");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        for i in 0..10u32 {
+            s.edit(
+                1,
+                0,
+                &[DocEdit::SetAttr {
+                    node: 0,
+                    name: "@rev".into(),
+                    value: format!("{i}").into(),
+                }],
+            )
+            .unwrap();
+        }
+        assert!(s.wal_len() > 0);
+        s.checkpoint().unwrap();
+        assert_eq!(s.wal_len(), 0);
+        let after = tree_to_text(s.get(1).unwrap().0);
+        let version = s.version(1).unwrap();
+        drop(s);
+        let mut s = open(&dir);
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), after);
+        assert_eq!(s.version(1), Some(version));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn stale_wal_records_after_a_checkpoint_snapshot_are_skipped() {
+        // Simulate a crash between snapshot rename and WAL reset: write the
+        // snapshot at the current state but leave the full WAL in place.
+        let dir = fresh_dir("stale");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        s.edit(
+            1,
+            0,
+            &[DocEdit::SetAttr {
+                node: 0,
+                name: "@rev".into(),
+                value: "x".into(),
+            }],
+        )
+        .unwrap();
+        let text = tree_to_text(s.get(1).unwrap().0);
+        write_snapshot(
+            &dir.join(SNAPSHOT_FILE),
+            s.docs
+                .iter()
+                .map(|(&id, r)| (id, r.version(), SnapshotSource::Tree(&r.tree))),
+        )
+        .unwrap();
+        drop(s); // WAL still holds put@1 + edit@2
+
+        let mut s = open(&dir);
+        assert_eq!(s.version(1), Some(2), "replay skipped both stale records");
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), text);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn admission_cap_applies_to_new_documents_only() {
+        let dir = fresh_dir("cap");
+        let mut s = DocStore::<()>::open(StoreConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 2,
+        })
+        .unwrap();
+        s.put(1, XmlTree::new("db")).unwrap();
+        s.put(2, XmlTree::new("db")).unwrap();
+        assert!(matches!(
+            s.put(3, XmlTree::new("db")),
+            Err(StoreError::StoreFull { limit: 2 })
+        ));
+        // Replacing a resident document is fine at the cap.
+        assert_eq!(s.put(2, sample()).unwrap(), 2);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn result_cache_is_invalidated_by_edits() {
+        let dir = fresh_dir("cache");
+        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap();
+        s.put(1, sample()).unwrap();
+        let v = s.version(1).unwrap();
+        let cache = s.result_cache(1).unwrap();
+        cache.insert(xdx_core::CacheKey::Consistency, v, "cached");
+        assert_eq!(cache.get(&xdx_core::CacheKey::Consistency), Some(&"cached"));
+        s.edit(
+            1,
+            0,
+            &[DocEdit::SetAttr {
+                node: 0,
+                name: "@a".into(),
+                value: "b".into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(
+            s.result_cache(1)
+                .unwrap()
+                .get(&xdx_core::CacheKey::Consistency),
+            None,
+            "edit bumped the version"
+        );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_garbage_heavy_arenas() {
+        let dir = fresh_dir("compact");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        // Churn: insert and remove children until the arena is mostly junk.
+        for _ in 0..8 {
+            s.edit(
+                1,
+                0,
+                &[
+                    DocEdit::InsertChild {
+                        parent: 0,
+                        at: 0,
+                        label: "book".into(),
+                    },
+                    DocEdit::RemoveChild { parent: 0, at: 0 },
+                ],
+            )
+            .unwrap();
+        }
+        let (tree, _) = s.get(1).unwrap();
+        assert!(tree.arena_len() > 2 * tree.size());
+        let text = tree_to_text(tree);
+        s.checkpoint().unwrap();
+        let (tree, _) = s.get(1).unwrap();
+        assert_eq!(tree.arena_len(), tree.size(), "arena compacted");
+        assert_eq!(tree_to_text(tree), text, "document unchanged");
+        cleanup(&dir);
+    }
+
+    /// Regression: a node inserted and then detached within one batch must
+    /// not linger in the dirty set — its parent pointer survives the
+    /// detach (only the detached *root*'s is cleared), so a stale entry
+    /// would make `validate` fabricate a violation on a node the document
+    /// no longer contains.
+    #[test]
+    fn insert_then_detach_in_one_batch_leaves_no_phantom_dirt() {
+        let dir = fresh_dir("phantom");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        let dtd = book_dtd();
+        assert!(s.validate(1, dtd.compiled()).unwrap());
+        // Insert an undeclared label under the author (rank 2), then remove
+        // the whole book subtree; the document is a bare `db` again.
+        s.edit(
+            1,
+            0,
+            &[
+                DocEdit::InsertChild {
+                    parent: 2,
+                    at: 0,
+                    label: "zzz".into(),
+                },
+                DocEdit::RemoveChild { parent: 0, at: 0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), "db");
+        assert!(
+            s.validate(1, dtd.compiled()).unwrap(),
+            "a bare root conforms; detached nodes must not count"
+        );
+        cleanup(&dir);
+    }
+}

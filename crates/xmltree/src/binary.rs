@@ -38,6 +38,7 @@
 //! beyond the bytes actually present, so hostile frames cannot cause
 //! oversized allocations.
 
+use crate::limits::{MAX_DOCUMENT_BYTES, MAX_DOCUMENT_NODES};
 use crate::name::{AttrName, ElementType};
 use crate::tree::{NodeId, XmlTree};
 use crate::value::{NullId, Value};
@@ -369,6 +370,15 @@ impl<'a, T: Clone> NameCache<'a, T> {
 /// Total over arbitrary input; every count is validated against the bytes
 /// actually present before any allocation is sized from it.
 pub fn decode_tree(bytes: &[u8]) -> Result<XmlTree, BinaryError> {
+    if bytes.len() > MAX_DOCUMENT_BYTES {
+        return Err(BinaryError::new(
+            0,
+            format!(
+                "frame of {} bytes exceeds the {MAX_DOCUMENT_BYTES}-byte document cap",
+                bytes.len()
+            ),
+        ));
+    }
     let mut r = Reader { buf: bytes, pos: 0 };
 
     let version = r.u8()?;
@@ -398,6 +408,11 @@ pub fn decode_tree(bytes: &[u8]) -> Result<XmlTree, BinaryError> {
     }
     if node_count > r.remaining() / 10 + 1 {
         return Err(r.err(format!("node count {node_count} exceeds the payload")));
+    }
+    if node_count > MAX_DOCUMENT_NODES {
+        return Err(r.err(format!(
+            "node count {node_count} exceeds the {MAX_DOCUMENT_NODES}-node document cap"
+        )));
     }
 
     let mut tree: Option<XmlTree> = None;

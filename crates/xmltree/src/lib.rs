@@ -32,6 +32,10 @@
 //!   v2's negotiated fast path, and the planned `xdx-store` snapshot
 //!   format): encodes off the arena arrays, decodes by one bulk
 //!   [`XmlTree::append_forest`] reservation, no recursion either way;
+//! * [`limits`] — the shared document-size guard constants (byte, node and
+//!   depth caps) enforced by both codecs and referenced by the server's
+//!   frame caps and the `xdx-store` snapshot/WAL loader, so every admission
+//!   layer agrees on a single notion of "too big";
 //! * [`interner`] / [`compiled`] — the compiled fast path: dense `u32`
 //!   symbol ids ([`Sym`]) and per-DTD dense-table DFAs plus occurrence-bound
 //!   summaries ([`CompiledDtd`]), built once per DTD and used by every
@@ -45,6 +49,7 @@ pub mod binary;
 pub mod compiled;
 pub mod dtd;
 pub mod interner;
+pub mod limits;
 pub mod name;
 pub mod text;
 pub mod tree;

@@ -31,6 +31,7 @@
 //! none. Names that are not plain identifiers (or are empty) are emitted
 //! quoted, so *every* tree — whatever its labels contain — round-trips.
 
+use crate::limits::{MAX_DOCUMENT_BYTES, MAX_DOCUMENT_DEPTH, MAX_DOCUMENT_NODES};
 use crate::name::ElementType;
 use crate::tree::{NodeId, XmlTree};
 use crate::value::{NullId, Value};
@@ -259,7 +260,12 @@ impl<'a> Parser<'a> {
                 *tree = Some(XmlTree::new(ElementType::new(name)));
                 tree.as_ref().expect("just set").root()
             }
-            (Some(t), Some(p)) => t.add_child(p, ElementType::new(name)),
+            (Some(t), Some(p)) => {
+                if t.arena_len() >= MAX_DOCUMENT_NODES {
+                    return Err(self.error(format!("document exceeds {MAX_DOCUMENT_NODES} nodes")));
+                }
+                t.add_child(p, ElementType::new(name))
+            }
             (Some(_), None) => unreachable!("only the root parses without a parent"),
         };
         if self.eat('(') {
@@ -288,6 +294,15 @@ impl<'a> Parser<'a> {
 /// attributes, null ids and sibling order). Iterative — nesting depth is
 /// bounded only by the input length, never by the thread stack.
 pub fn parse_tree(input: &str) -> Result<XmlTree, TreeTextError> {
+    if input.len() > MAX_DOCUMENT_BYTES {
+        return Err(TreeTextError {
+            position: 0,
+            message: format!(
+                "input of {} bytes exceeds the {MAX_DOCUMENT_BYTES}-byte document cap",
+                input.len()
+            ),
+        });
+    }
     let mut p = Parser { input, pos: 0 };
     let mut tree: Option<XmlTree> = None;
     // Stack of open `[` scopes: the parent node awaiting further children.
@@ -296,6 +311,11 @@ pub fn parse_tree(input: &str) -> Result<XmlTree, TreeTextError> {
     loop {
         if p.eat('[') {
             // The node just parsed opens a child scope; parse its first child.
+            if open.len() >= MAX_DOCUMENT_DEPTH {
+                return Err(p.error(format!(
+                    "document exceeds the nesting-depth cap of {MAX_DOCUMENT_DEPTH}"
+                )));
+            }
             open.push(node);
             node = p.parse_node(&mut tree, Some(node))?;
             continue;

@@ -140,6 +140,34 @@ impl XmlTree {
         id
     }
 
+    /// Insert a fresh child labelled `label` at position `at` of `parent`'s
+    /// child list (shifting later siblings right) and return it.
+    /// `insert_child(p, children(p).len(), l)` behaves like
+    /// [`XmlTree::add_child`]. This is the structural primitive behind the
+    /// store's node-local edit log, where point edits must land at a stated
+    /// sibling position rather than at the end.
+    ///
+    /// # Panics
+    /// Panics if `at` exceeds the current number of children.
+    pub fn insert_child(
+        &mut self,
+        parent: NodeId,
+        at: usize,
+        label: impl Into<ElementType>,
+    ) -> NodeId {
+        let n = self.nodes[parent.index()].children.len();
+        assert!(at <= n, "insert_child: position {at} outside 0..={n}");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: label.into(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent.index()].children.insert(at, id);
+        id
+    }
+
     /// Create a fresh node that is not attached anywhere yet.
     pub fn new_detached(&mut self, label: impl Into<ElementType>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
@@ -685,6 +713,34 @@ mod tests {
         assert_eq!(t.children(b).len(), 2);
         assert_eq!(t.size(), 4);
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_child_lands_at_the_stated_position() {
+        let mut t = XmlTree::new("r");
+        t.add_child(t.root(), "a");
+        t.add_child(t.root(), "c");
+        let b = t.insert_child(t.root(), 1, "b");
+        assert_eq!(t.parent(b), Some(t.root()));
+        let labels: Vec<&str> = t
+            .children(t.root())
+            .iter()
+            .map(|&n| t.label(n).as_str())
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        // At the end it behaves like add_child; on a leaf, position 0 works.
+        let d = t.insert_child(t.root(), 3, "d");
+        assert_eq!(t.children(t.root())[3], d);
+        let e = t.insert_child(b, 0, "e");
+        assert_eq!(t.children(b), &[e]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 0..=")]
+    fn insert_child_past_the_end_panics() {
+        let mut t = XmlTree::new("r");
+        t.insert_child(t.root(), 1, "a");
     }
 
     #[test]

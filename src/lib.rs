@@ -5,7 +5,7 @@
 //! Consistency and Query Answering"* (PODS 2005; expanded version in JACM
 //! 55(2), 2008).
 //!
-//! The implementation is split into six crates, re-exported here:
+//! The implementation is split into seven crates, re-exported here:
 //!
 //! * [`relang`] — regular-expression algebra over element types: parsing,
 //!   NFAs/DFAs, Parikh images and permutation languages `π(r)`
@@ -21,6 +21,10 @@
 //! * [`core`] — data exchange settings, consistency checking, the canonical
 //!   solution chase, certain answers, the dichotomy classification
 //!   (Theorem 6.2) and executable hardness gadgets;
+//! * [`store`] — the resident document store behind the server's stored-doc
+//!   ops: checksummed binary snapshots, a write-ahead log of node-local
+//!   edits with prefix-consistent crash recovery, `O(dirty)` incremental
+//!   re-validation and version-tagged answer caching;
 //! * [`server`] — the async serving front-end: a hand-rolled epoll event
 //!   loop and a length-prefixed wire protocol exposing consistency checks,
 //!   canonical solutions and certain answers over TCP and Unix sockets,
@@ -74,6 +78,7 @@ pub use xdx_core as core;
 pub use xdx_patterns as patterns;
 pub use xdx_relang as relang;
 pub use xdx_server as server;
+pub use xdx_store as store;
 pub use xdx_xmltree as xmltree;
 
 pub use xdx_core::{

@@ -688,3 +688,283 @@ fn client_timeouts_surface_stalls_instead_of_hanging() {
         client.ping().unwrap();
     });
 }
+
+// ---------------------------------------------------------------------------
+// Resident document store (PutDoc/GetDoc/EditDoc/DeleteDoc + stored queries)
+// ---------------------------------------------------------------------------
+
+/// A server config mounting the resident store in a fresh directory.
+fn store_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        store_dir: Some(dir.join("store")),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn config_validation_rejects_degenerate_limits() {
+    use xdx_server::ConfigError;
+    assert!(ServerConfig::default().validate().is_ok());
+
+    let zero_chunk = ServerConfig {
+        chunk_bytes: 0,
+        ..ServerConfig::default()
+    };
+    assert!(matches!(
+        zero_chunk.validate(),
+        Err(ConfigError::Zero {
+            field: "chunk_bytes"
+        })
+    ));
+
+    let zero_inflight = ServerConfig {
+        max_inflight_total: 0,
+        ..ServerConfig::default()
+    };
+    assert!(matches!(
+        zero_inflight.validate(),
+        Err(ConfigError::Zero {
+            field: "max_inflight_total"
+        })
+    ));
+
+    let absurd = ServerConfig {
+        chunk_bytes: usize::MAX,
+        ..ServerConfig::default()
+    };
+    assert!(matches!(
+        absurd.validate(),
+        Err(ConfigError::TooLarge {
+            field: "chunk_bytes",
+            ..
+        })
+    ));
+
+    // `workers: 0` means "auto" and must stay accepted.
+    let auto_workers = ServerConfig {
+        workers: 0,
+        ..ServerConfig::default()
+    };
+    assert!(auto_workers.validate().is_ok());
+
+    // A store mount with room for zero documents is a configuration bug...
+    let full_store = ServerConfig {
+        store_dir: Some(std::env::temp_dir().join("unused")),
+        max_resident_docs: 0,
+        ..ServerConfig::default()
+    };
+    assert!(matches!(
+        full_store.validate(),
+        Err(ConfigError::Zero {
+            field: "max_resident_docs"
+        })
+    ));
+    // ...but without a store the knob is dormant and irrelevant.
+    let no_store = ServerConfig {
+        store_dir: None,
+        max_resident_docs: 0,
+        ..ServerConfig::default()
+    };
+    assert!(no_store.validate().is_ok());
+
+    // `Server::bind` enforces validation and surfaces the message.
+    let setting = books_to_writers_setting();
+    let err = match Server::bind(&setting, Some("127.0.0.1:0"), None, zero_chunk) {
+        Err(e) => e,
+        Ok(_) => panic!("bind must reject an invalid config"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("chunk_bytes"), "{err}");
+}
+
+#[test]
+fn store_ops_are_rejected_when_no_store_is_mounted() {
+    let setting = books_to_writers_setting();
+    with_server(&setting, ServerConfig::default(), |_, sock| {
+        let mut client = Client::connect_unix(sock).unwrap();
+        let doc = sources(1).pop().unwrap();
+        match client.put_doc(1, &doc) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::StoreDisabled),
+            other => panic!("expected StoreDisabled, got {other:?}"),
+        }
+        match client.check_consistency_stored(1) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::StoreDisabled),
+            other => panic!("expected StoreDisabled, got {other:?}"),
+        }
+        client.ping().expect("connection survives store errors");
+    });
+}
+
+#[test]
+fn store_crud_versions_and_errors_round_trip() {
+    use xml_data_exchange::store::DocEdit;
+    let setting = books_to_writers_setting();
+    let dir = std::env::temp_dir().join(format!(
+        "xdx-server-store-crud-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let config = store_config(&dir);
+    with_server(&setting, config, |addr, _| {
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let doc = sources(3).pop().unwrap();
+
+        assert_eq!(client.put_doc(7, &doc).unwrap(), 1);
+        let (got, version) = client.get_doc(7).unwrap();
+        assert_eq!(tree_to_text(&got), tree_to_text(&doc));
+        assert_eq!(version, 1);
+
+        // Compare-and-swap: a stale base version is rejected...
+        let edit = vec![DocEdit::SetAttr {
+            node: 1,
+            name: "@title".into(),
+            value: "Edited".into(),
+        }];
+        match client.edit_doc(7, 99, &edit) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::VersionConflict),
+            other => panic!("expected VersionConflict, got {other:?}"),
+        }
+        // ...the current one is accepted and bumps the version.
+        assert_eq!(client.edit_doc(7, 1, &edit).unwrap(), 2);
+        let (edited, version) = client.get_doc(7).unwrap();
+        assert_eq!(version, 2);
+        assert!(tree_to_text(&edited).contains("@title=\"Edited\""));
+
+        // A malformed edit fails the whole batch and changes nothing.
+        match client.edit_doc(7, 0, &[DocEdit::RemoveChild { parent: 999, at: 0 }]) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::BadEdit),
+            other => panic!("expected BadEdit, got {other:?}"),
+        }
+        assert_eq!(client.get_doc(7).unwrap().1, 2, "failed edits do not bump");
+
+        client.delete_doc(7).unwrap();
+        match client.get_doc(7) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::UnknownDoc),
+            other => panic!("expected UnknownDoc, got {other:?}"),
+        }
+
+        // Leave a document behind for the restart check below.
+        assert_eq!(client.put_doc(8, &doc).unwrap(), 1);
+    });
+    // A clean shutdown checkpointed; a new server over the same directory
+    // serves the surviving document.
+    with_server(&setting, store_config(&dir), |addr, _| {
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let (restored, version) = client.get_doc(8).unwrap();
+        assert_eq!(
+            tree_to_text(&restored),
+            tree_to_text(&sources(3).pop().unwrap())
+        );
+        assert_eq!(version, 1);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stored_queries_match_ship_the_document_ops_byte_for_byte() {
+    use xml_data_exchange::store::DocEdit;
+    let setting = books_to_writers_setting();
+    let docs = sources(4);
+    let query = title_query();
+    let dir = std::env::temp_dir().join(format!(
+        "xdx-server-store-parity-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    with_server(&setting, store_config(&dir), |addr, sock| {
+        std::thread::scope(|scope| {
+            for (i, doc) in docs.iter().enumerate() {
+                let query = query.clone();
+                scope.spawn(move || {
+                    // Half the clients negotiate the binary codec so parity
+                    // holds under both serializations.
+                    let mut client = if i % 2 == 0 {
+                        Client::connect_tcp(&addr.to_string()).unwrap()
+                    } else {
+                        let mut c = Client::connect_unix(sock).unwrap();
+                        c.use_binary().unwrap();
+                        c
+                    };
+                    let doc_id = i as u64;
+                    client.put_doc(doc_id, doc).unwrap();
+                    // Two rounds: the first computes, the second must be
+                    // served from the answer cache — identical either way.
+                    for _ in 0..2 {
+                        let ship = client.check_consistency(std::slice::from_ref(doc)).unwrap();
+                        assert_eq!(client.check_consistency_stored(doc_id).unwrap(), ship[0]);
+
+                        let ship = client
+                            .canonical_solution_docs(std::slice::from_ref(doc))
+                            .unwrap();
+                        let stored = client.canonical_solution_stored(doc_id).unwrap();
+                        assert_eq!(stored, ship[0], "solution payloads must be identical");
+
+                        let ship = client
+                            .certain_answers(&query, std::slice::from_ref(doc))
+                            .unwrap();
+                        let stored = client.certain_answers_stored(&query, doc_id).unwrap();
+                        assert_eq!(
+                            stored.as_ref().unwrap(),
+                            ship[0].as_ref().unwrap(),
+                            "answer tuples must be identical"
+                        );
+
+                        let ship = client
+                            .certain_answers_boolean(&query, std::slice::from_ref(doc))
+                            .unwrap();
+                        let stored = client
+                            .certain_answers_boolean_stored(&query, doc_id)
+                            .unwrap();
+                        assert_eq!(stored.unwrap(), ship[0].as_ref().copied().unwrap());
+                    }
+
+                    // An edit invalidates the cache: stored answers must now
+                    // match ship-the-document answers for the *edited* tree.
+                    client
+                        .edit_doc(
+                            doc_id,
+                            0,
+                            &[DocEdit::SetAttr {
+                                node: 1,
+                                name: "@title".into(),
+                                value: format!("Edited{i}").into(),
+                            }],
+                        )
+                        .unwrap();
+                    let (edited, _) = client.get_doc(doc_id).unwrap();
+                    let ship = client
+                        .canonical_solution_docs(std::slice::from_ref(&edited))
+                        .unwrap();
+                    let stored = client.canonical_solution_stored(doc_id).unwrap();
+                    assert_eq!(stored, ship[0], "the cache must not serve pre-edit bytes");
+                    let ship = client
+                        .certain_answers(&query, std::slice::from_ref(&edited))
+                        .unwrap();
+                    let stored = client.certain_answers_stored(&query, doc_id).unwrap();
+                    assert_eq!(stored.as_ref().unwrap(), ship[0].as_ref().unwrap());
+                });
+            }
+        });
+        // A malformed stored query fails exactly like the ship-the-document
+        // op: same code, before any cache interaction.
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let id = client
+            .send(RequestBody::CertainAnswersStored {
+                query: "($x) :-".into(),
+                doc_id: 0,
+            })
+            .unwrap();
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.id, id);
+        match resp.body {
+            ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::QuerySyntax),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        // Stored queries against an unknown document are structured errors.
+        match client.check_consistency_stored(999) {
+            Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::UnknownDoc),
+            other => panic!("expected UnknownDoc, got {other:?}"),
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,515 @@
+//! Crash-recovery and incremental re-validation tests for `xdx-store`.
+//!
+//! * **Kill-at-any-point WAL recovery** — exhaustively cut the log at every
+//!   byte boundary (with and without a snapshot underneath) and assert the
+//!   reopened store holds exactly the state after the operations whose
+//!   records survived the cut: recovery is *prefix-consistent*, never a
+//!   torn mixture.
+//! * **Corruption fuzzing** — random byte flips, truncations and appended
+//!   garbage never panic the loader, and the recovered state is still some
+//!   operation prefix.
+//! * **Randomized differentials** (the default case counts sum to > 500
+//!   per run; the CI deep sweep scales them with `PROPTEST_CASES`) —
+//!   after random edit batches, the store's `O(dirty)` conformance
+//!   re-validation must equal a full re-scan of a re-parsed copy, and the
+//!   dirty-seeded incremental chase must agree with `chase_reference` run
+//!   from scratch on a re-parse.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xml_data_exchange::core::setting::DataExchangeSetting;
+use xml_data_exchange::core::solution::{chase_reference, SolutionError};
+use xml_data_exchange::core::CompiledSetting;
+use xml_data_exchange::store::{
+    DocEdit, DocStore, StoreConfig, SyncPolicy, SNAPSHOT_FILE, WAL_FILE,
+};
+use xml_data_exchange::xmltree::{
+    parse_tree, tree_to_text, AttrName, ElementType, NodeId, NullGen, Value,
+};
+use xml_data_exchange::XmlTree;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xdx-store-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        sync: SyncPolicy::Never,
+        ..StoreConfig::new(dir)
+    }
+}
+
+/// The full observable document state: id → (canonical text, version).
+/// (`get` takes `&mut` because lazily loaded documents decode on access.)
+fn state(store: &mut DocStore) -> BTreeMap<u64, (String, u64)> {
+    let ids: Vec<u64> = store.doc_ids().collect();
+    ids.into_iter()
+        .map(|id| {
+            let (tree, version) = store.get(id).unwrap();
+            (id, (tree_to_text(tree), version))
+        })
+        .collect()
+}
+
+fn doc(text: &str) -> XmlTree {
+    parse_tree(text).unwrap()
+}
+
+fn set_attr(node: u32, name: &str, value: &str) -> DocEdit {
+    DocEdit::SetAttr {
+        node,
+        name: AttrName::new(name),
+        value: Value::constant(value),
+    }
+}
+
+/// A scripted mutation against a running store, applied through the public
+/// API so each one appends exactly one WAL record.
+enum Op {
+    Put(u64, &'static str),
+    Edit(u64, Vec<DocEdit>),
+    Delete(u64),
+}
+
+fn apply(store: &mut DocStore, op: &Op) {
+    match op {
+        Op::Put(id, text) => {
+            store.put(*id, doc(text)).unwrap();
+        }
+        Op::Edit(id, edits) => {
+            store.edit(*id, 0, edits).unwrap();
+        }
+        Op::Delete(id) => store.delete(*id).unwrap(),
+    }
+}
+
+/// A recovery boundary: the WAL byte offset after an op, and the full
+/// store state at that point.
+type Boundary = (u64, BTreeMap<u64, (String, u64)>);
+
+/// Run `ops` in `dir`, recording the (wal byte offset, state) boundary
+/// after each one — including the initial boundary before any op.
+fn run_script(dir: &Path, ops: &[Op]) -> Vec<Boundary> {
+    let mut store: DocStore = DocStore::open(config(dir)).unwrap();
+    let mut boundaries = vec![(store.wal_len(), state(&mut store))];
+    for op in ops {
+        apply(&mut store, op);
+        boundaries.push((store.wal_len(), state(&mut store)));
+    }
+    store.sync().unwrap();
+    boundaries
+}
+
+/// Kill-at-any-point: for every prefix of the WAL in `dir`, a fresh store
+/// opened over that prefix (plus whatever snapshot `dir` holds) must land
+/// exactly on the last operation boundary at or before the cut.
+fn assert_prefix_consistent_recovery(dir: &Path, boundaries: &[Boundary]) {
+    let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    let snap_bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).ok();
+    for cut in 0..=wal_bytes.len() {
+        let crash = fresh_dir("crash");
+        if let Some(snap) = &snap_bytes {
+            std::fs::write(crash.join(SNAPSHOT_FILE), snap).unwrap();
+        }
+        std::fs::write(crash.join(WAL_FILE), &wal_bytes[..cut]).unwrap();
+        let mut recovered: DocStore = DocStore::open(config(&crash)).unwrap();
+        let expect = boundaries
+            .iter()
+            .rev()
+            .find(|(boundary, _)| *boundary as usize <= cut)
+            .map(|(_, s)| s)
+            .expect("the pre-op boundary is at offset 0");
+        assert_eq!(
+            &state(&mut recovered),
+            expect,
+            "recovery from a {cut}-byte WAL prefix is not an op boundary"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&crash);
+    }
+}
+
+fn script() -> Vec<Op> {
+    vec![
+        Op::Put(1, "db[book(@title=\"CO\")[author(@name=\"P\")]]"),
+        Op::Put(2, "db[book(@title=\"TCS\")]"),
+        Op::Edit(1, vec![set_attr(1, "@title", "CO2")]),
+        Op::Edit(
+            1,
+            vec![
+                DocEdit::InsertChild {
+                    parent: 0,
+                    at: 1,
+                    label: ElementType::new("book"),
+                },
+                set_attr(3, "@title", "New"),
+            ],
+        ),
+        Op::Delete(2),
+        Op::Put(2, "db[book(@title=\"Again\")]"),
+        Op::Edit(2, vec![DocEdit::RemoveChild { parent: 0, at: 0 }]),
+    ]
+}
+
+#[test]
+fn wal_recovery_is_prefix_consistent_at_every_byte() {
+    let dir = fresh_dir("kill");
+    let boundaries = run_script(&dir, &script());
+    assert_prefix_consistent_recovery(&dir, &boundaries);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_recovery_over_a_snapshot_is_prefix_consistent_at_every_byte() {
+    let dir = fresh_dir("kill-snap");
+    // Establish a snapshot baseline, then a post-checkpoint WAL tail; a
+    // crash replays the tail over the snapshot.
+    {
+        let mut store: DocStore = DocStore::open(config(&dir)).unwrap();
+        for op in &script() {
+            apply(&mut store, op);
+        }
+        store.checkpoint().unwrap();
+        assert_eq!(store.wal_len(), 0, "checkpoint must reset the WAL");
+    }
+    let mut store: DocStore = DocStore::open(config(&dir)).unwrap();
+    let mut boundaries = vec![(store.wal_len(), state(&mut store))];
+    let tail = vec![
+        Op::Edit(1, vec![set_attr(0, "@x", "post")]),
+        Op::Put(3, "db[book(@title=\"Third\")]"),
+        Op::Delete(1),
+    ];
+    for op in &tail {
+        apply(&mut store, op);
+        boundaries.push((store.wal_len(), state(&mut store)));
+    }
+    store.sync().unwrap();
+    drop(store);
+    assert_prefix_consistent_recovery(&dir, &boundaries);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The number of cases for one property: the env override when set,
+/// `default` otherwise.
+fn cases(default: u32) -> u32 {
+    ProptestConfig::env_cases().unwrap_or(default)
+}
+
+fn pick<'a, T>(rng: &mut TestRng, items: &'a [T]) -> &'a T {
+    &items[rng.next_u64() as usize % items.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(160)))]
+
+    /// Any single corruption of the WAL — a flipped byte, a truncation, or
+    /// appended garbage — must neither panic the loader nor produce a state
+    /// that is not an operation prefix. (A flipped byte fails the record's
+    /// checksum, so replay stops *at* the corrupted record; everything
+    /// after it is discarded even if intact, which is exactly the
+    /// prefix-consistency contract.)
+    #[test]
+    fn corrupted_wals_recover_to_an_op_prefix_without_panicking(
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let dir = fresh_dir("fuzz");
+        let boundaries = run_script(&dir, &script());
+        let mut bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        prop_assert!(!bytes.is_empty());
+        match rng.next_u64() % 3 {
+            0 => {
+                let at = rng.next_u64() as usize % bytes.len();
+                let mask = (rng.next_u64() % 255 + 1) as u8;
+                bytes[at] ^= mask;
+            }
+            1 => {
+                let cut = rng.next_u64() as usize % bytes.len();
+                bytes.truncate(cut);
+            }
+            _ => {
+                for _ in 0..rng.next_u64() % 40 + 1 {
+                    bytes.push(rng.next_u64() as u8);
+                }
+            }
+        }
+        std::fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        let mut recovered: DocStore = DocStore::open(config(&dir)).unwrap();
+        let got = state(&mut recovered);
+        prop_assert!(
+            boundaries.iter().any(|(_, s)| *s == got),
+            "recovered state is not an operation prefix: {got:?}"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-validation differentials
+// ---------------------------------------------------------------------------
+
+/// The E13 chase setting: target `doc -> sec* meta?`, `sec -> title par*`,
+/// attributes `sec@id`, `title@t`, `par@w` — the same fixture the chase
+/// benches and `tests/chase_differential.rs` pin.
+fn doc_setting() -> DataExchangeSetting {
+    xdx_bench::chase_setting()
+}
+
+/// A random tree over the target alphabet (plus the undeclared label `z`
+/// and the undeclared attribute `@x` at low probability), shaped to be
+/// sometimes conforming, sometimes not.
+fn random_doc_tree(rng: &mut TestRng, budget: usize) -> XmlTree {
+    let mut tree = XmlTree::new("doc");
+    let mut nodes = 1usize;
+    while nodes < budget {
+        let sec = tree.add_child(tree.root(), "sec");
+        nodes += 1;
+        if !rng.next_u64().is_multiple_of(4) {
+            tree.set_attr(sec, "@id", format!("s{}", rng.next_u64() % 3));
+        }
+        for _ in 0..rng.next_u64() % 3 {
+            if nodes >= budget {
+                break;
+            }
+            let label = *pick(rng, &["title", "par", "par", "z"]);
+            let child = tree.add_child(sec, label);
+            nodes += 1;
+            match label {
+                "title" if !rng.next_u64().is_multiple_of(4) => {
+                    tree.set_attr(child, "@t", *pick(rng, &["a", "b"]));
+                }
+                "par" if !rng.next_u64().is_multiple_of(4) => {
+                    tree.set_attr(child, "@w", "w");
+                }
+                _ => {}
+            }
+        }
+    }
+    if rng.next_u64().is_multiple_of(2) {
+        tree.add_child(tree.root(), "meta");
+    }
+    tree
+}
+
+/// One random edit batch against the current tree: ranks drawn from the
+/// live preorder, labels/attributes mostly in-alphabet with occasional
+/// off-model choices. Batches may be invalid (out-of-range position,
+/// missing attribute) — the store must reject those atomically, which the
+/// differential exercises for free.
+fn random_edit_batch(rng: &mut TestRng, tree: &XmlTree) -> Vec<DocEdit> {
+    let order: Vec<NodeId> = tree.preorder().collect();
+    let n = order.len() as u64;
+    let mut edits = Vec::new();
+    for _ in 0..rng.next_u64() % 3 + 1 {
+        let rank = (rng.next_u64() % n) as u32;
+        let node = order[rank as usize];
+        let edit = match rng.next_u64() % 5 {
+            0 => {
+                let label = match tree.label(node).as_str() {
+                    "doc" => *pick(rng, &["sec", "meta", "z"]),
+                    "sec" => *pick(rng, &["title", "par"]),
+                    _ => *pick(rng, &["par", "z"]),
+                };
+                DocEdit::InsertChild {
+                    parent: rank,
+                    at: (rng.next_u64() % (tree.children(node).len() as u64 + 1)) as u32,
+                    label: ElementType::new(label),
+                }
+            }
+            1 => DocEdit::RemoveChild {
+                parent: rank,
+                // Sometimes out of range on leaves: a rejected batch.
+                at: (rng.next_u64() % (tree.children(node).len() as u64 + 1)) as u32,
+            },
+            2 | 3 => {
+                let name = *pick(rng, &["@id", "@t", "@w", "@x"]);
+                set_attr(rank, name, &format!("c{}", rng.next_u64() % 3))
+            }
+            _ => DocEdit::RemoveAttr {
+                node: rank,
+                name: AttrName::new(*pick(rng, &["@id", "@t", "@w"])),
+            },
+        };
+        edits.push(edit);
+    }
+    edits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(192)))]
+
+    /// After every edit batch (applied or rejected), the store's
+    /// incremental `validate` — which re-checks only the nodes dirtied
+    /// since the last call — must return exactly what a full ordered
+    /// conformance scan of a *re-parsed* copy returns.
+    #[test]
+    fn incremental_validation_equals_full_rescan_of_a_reparse(
+        seed in 0u64..u64::MAX,
+        budget in 2usize..20,
+        rounds in 1usize..8,
+    ) {
+        let setting = doc_setting();
+        let dtd = setting.target_dtd.clone();
+        let mut rng = TestRng::new(seed);
+        let dir = fresh_dir("validate-diff");
+        let mut store: DocStore = DocStore::open(config(&dir)).unwrap();
+        store.put(7, random_doc_tree(&mut rng, budget)).unwrap();
+        for _ in 0..rounds {
+            let batch = random_edit_batch(&mut rng, store.get(7).unwrap().0);
+            let _ = store.edit(7, 0, &batch);
+            let incremental = store.validate(7, dtd.compiled()).unwrap();
+            let reparsed = parse_tree(&tree_to_text(store.get(7).unwrap().0)).unwrap();
+            let full = dtd.compiled().conforms(&reparsed);
+            prop_assert!(
+                incremental == full,
+                "incremental validate diverged from a full re-scan on {}",
+                tree_to_text(store.get(7).unwrap().0)
+            );
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A random edit batch that stays inside the target alphabet: labels only
+/// where a repair exists, attributes only where declared. The single
+/// reachable chase failure is then `AttributeClash` (merging `title`s with
+/// distinct constant `@t`s), so error *kinds* are assertable — the same
+/// one-fault-family discipline `tests/chase_differential.rs` uses (with
+/// several independent unrepairable faults, which one is reported is a
+/// visit-order artefact).
+fn random_in_alphabet_edit_batch(rng: &mut TestRng, tree: &XmlTree) -> Vec<DocEdit> {
+    let order: Vec<NodeId> = tree.preorder().collect();
+    let n = order.len() as u64;
+    let mut edits = Vec::new();
+    for _ in 0..rng.next_u64() % 3 + 1 {
+        let rank = (rng.next_u64() % n) as u32;
+        let node = order[rank as usize];
+        let label = tree.label(node).as_str();
+        let attr = match label {
+            "sec" => Some("@id"),
+            "title" => Some("@t"),
+            "par" => Some("@w"),
+            _ => None,
+        };
+        let kind = rng.next_u64() % 4;
+        let edit = match kind {
+            0 => {
+                let child = match label {
+                    "doc" => Some(*pick(rng, &["sec", "meta"])),
+                    "sec" => Some(*pick(rng, &["title", "par"])),
+                    _ => None,
+                };
+                child.map(|label| DocEdit::InsertChild {
+                    parent: rank,
+                    at: (rng.next_u64() % (tree.children(node).len() as u64 + 1)) as u32,
+                    label: ElementType::new(label),
+                })
+            }
+            1 => Some(DocEdit::RemoveChild {
+                parent: rank,
+                at: (rng.next_u64() % (tree.children(node).len() as u64 + 1)) as u32,
+            }),
+            2 => attr.map(|name| {
+                let value = if rng.next_u64().is_multiple_of(2) {
+                    "a"
+                } else {
+                    "b"
+                };
+                set_attr(rank, name, value)
+            }),
+            _ => attr.map(|name| DocEdit::RemoveAttr {
+                node: rank,
+                name: AttrName::new(name),
+            }),
+        };
+        // Nodes with nothing legal for the drawn kind contribute no edit.
+        edits.extend(edit);
+    }
+    edits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(192)))]
+
+    /// Chase a tree clean, store it, apply random edit batches, then chase
+    /// **only the store's accumulated dirty set** — the verdict and result
+    /// must match `chase_reference` run from scratch on a re-parse of the
+    /// edited document (equal trees up to sibling order and null renaming
+    /// on success, equal error kinds on failure).
+    #[test]
+    fn incremental_chase_equals_reference_on_a_reparse(
+        seed in 0u64..u64::MAX,
+        budget in 2usize..20,
+        rounds in 1usize..4,
+    ) {
+        let setting = doc_setting();
+        let compiled = CompiledSetting::new(&setting);
+        let mut rng = TestRng::new(seed);
+        let mut tree = random_doc_tree(&mut rng, budget);
+        let mut nulls = NullGen::new();
+        if compiled.chase(&mut tree, &mut nulls).is_err() {
+            // Unrepairable base (e.g. an off-model `z`): no clean baseline
+            // to edit from — not this property's subject.
+            return Ok(());
+        }
+        let dir = fresh_dir("chase-diff");
+        let mut store: DocStore = DocStore::open(config(&dir)).unwrap();
+        store.put(7, tree).unwrap();
+        for _ in 0..rounds {
+            let batch = random_in_alphabet_edit_batch(&mut rng, store.get(7).unwrap().0);
+            let _ = store.edit(7, 0, &batch);
+        }
+        // `validate` was never called, so the dirty set covers every change
+        // since the chase-clean baseline — the incremental contract.
+        let dirty: Vec<NodeId> = store.dirty_nodes(7).unwrap().collect();
+        let base = store.get(7).unwrap().0;
+
+        let mut incremental_tree = base.clone();
+        let mut incremental_nulls = NullGen::starting_at(1_000_000);
+        let incremental = compiled
+            .chase_incremental(&mut incremental_tree, &mut incremental_nulls, &dirty)
+            .map(|()| incremental_tree);
+
+        let mut reference_tree = parse_tree(&tree_to_text(base)).unwrap();
+        let mut reference_nulls = NullGen::starting_at(1_000_000);
+        let reference = chase_reference(&mut reference_tree, &setting, &mut reference_nulls)
+            .map(|()| reference_tree);
+
+        match (&incremental, &reference) {
+            (Ok(i), Ok(r)) => {
+                i.validate().expect("incremental chase corrupted the tree");
+                prop_assert!(
+                    i.unordered_eq(r),
+                    "incremental chase diverged from the reference:\n{i}\nvs\n{r}"
+                );
+                prop_assert!(setting.target_dtd.conforms_unordered(i));
+            }
+            (Err(ie), Err(re)) => {
+                let _: &SolutionError = ie;
+                prop_assert!(
+                    std::mem::discriminant(ie) == std::mem::discriminant(re),
+                    "chase error kinds diverged: {ie:?} vs {re:?}"
+                );
+            }
+            _ => prop_assert!(
+                false,
+                "chase verdicts diverged: {incremental:?} vs {reference:?}"
+            ),
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
