@@ -141,6 +141,12 @@ pub struct ServerConfig {
     /// it answers [`wire::ErrorCode::StoreFull`] (existing ids can always
     /// be overwritten). Ignored when the store is disabled.
     pub max_resident_docs: usize,
+    /// Opportunistic checkpoint threshold: after a store mutation, the
+    /// worker that still holds the store lock checkpoints (snapshot + WAL
+    /// reset) if the WAL has grown past this many bytes — so a long-running
+    /// server's WAL stays bounded by roughly this plus one record, instead
+    /// of growing until clean shutdown. Ignored when the store is disabled.
+    pub wal_checkpoint_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +162,7 @@ impl Default for ServerConfig {
             chunk_bytes: 256 * 1024,
             store_dir: None,
             max_resident_docs: 1024,
+            wal_checkpoint_bytes: xdx_xmltree::limits::DEFAULT_FRAME_BYTES as u64,
         }
     }
 }
@@ -240,6 +247,11 @@ impl ServerConfig {
         if self.store_dir.is_some() && self.max_resident_docs == 0 {
             return Err(ConfigError::Zero {
                 field: "max_resident_docs",
+            });
+        }
+        if self.store_dir.is_some() && self.wal_checkpoint_bytes == 0 {
+            return Err(ConfigError::Zero {
+                field: "wal_checkpoint_bytes",
             });
         }
         Ok(())
@@ -473,10 +485,19 @@ impl<'s> Server<'s> {
             // The epoll instance is created *before* any worker spawns, so
             // an early `?` cannot leave workers waiting forever.
             let epoll = Epoll::new()?;
+            let wal_checkpoint_bytes = config.wal_checkpoint_bytes;
             for _ in 0..config.workers {
                 let shared = Arc::clone(&shared);
                 let control = Arc::clone(&control);
-                scope.spawn(move || worker_loop(engine, store.as_ref(), &shared, &control));
+                scope.spawn(move || {
+                    worker_loop(
+                        engine,
+                        store.as_ref(),
+                        wal_checkpoint_bytes,
+                        &shared,
+                        &control,
+                    )
+                });
             }
             let mut event_loop = EventLoop {
                 config: &config,
@@ -519,6 +540,7 @@ impl<'s> Server<'s> {
 fn worker_loop(
     engine: &BatchEngine<'_>,
     store: Option<&ServerStore>,
+    wal_checkpoint_bytes: u64,
     shared: &Shared,
     control: &ServerControl,
 ) {
@@ -540,11 +562,24 @@ fn worker_loop(
         respond(
             engine,
             store,
+            wal_checkpoint_bytes,
             &mut scratch,
             job.frame.body,
             job.codec,
             writer,
         );
+    }
+}
+
+/// Opportunistic WAL compaction, called by the mutating worker while it
+/// still holds the store lock: once the WAL outgrows the configured
+/// threshold, checkpoint (snapshot + WAL reset) so a long-running server's
+/// log — and the replay the next open pays — stays bounded. Best-effort: a
+/// failed checkpoint leaves the WAL (and thus durability) intact, and the
+/// next mutation simply tries again.
+fn maybe_checkpoint(store: &mut DocStore<CachedAnswer>, wal_checkpoint_bytes: u64) {
+    if store.wal_len() >= wal_checkpoint_bytes {
+        let _ = store.checkpoint();
     }
 }
 
@@ -813,12 +848,8 @@ fn stored_answer(
             return Ok(hit);
         }
         match s.get(doc_id) {
-            Some((tree, version)) => (tree.clone(), version),
-            None => {
-                return Err(WireError::of_store_error(&StoreError::UnknownDoc {
-                    doc_id,
-                }))
-            }
+            Ok((tree, version)) => (tree.clone(), version),
+            Err(e) => return Err(WireError::of_store_error(&e)),
         }
     };
     let value = compute(&tree);
@@ -843,6 +874,7 @@ fn stored_answer(
 fn respond(
     engine: &BatchEngine<'_>,
     store: Option<&ServerStore>,
+    wal_checkpoint_bytes: u64,
     scratch: &mut ExchangeScratch,
     body: RequestBody,
     codec: Codec,
@@ -951,7 +983,14 @@ fn respond(
                 Ok(tree) => tree,
                 Err(e) => return w.whole(ResponseBody::Error(e)),
             };
-            let result = store.lock().expect("store poisoned").put(doc_id, tree);
+            let result = {
+                let mut s = store.lock().expect("store poisoned");
+                let result = s.put(doc_id, tree);
+                if result.is_ok() {
+                    maybe_checkpoint(&mut s, wal_checkpoint_bytes);
+                }
+                result
+            };
             match result {
                 Ok(version) => w.whole(ResponseBody::PutDocOk { version }),
                 Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
@@ -965,14 +1004,12 @@ fn respond(
             // consistent (version, bytes) pair even if an edit races in.
             let mut s = store.lock().expect("store poisoned");
             match s.get(doc_id) {
-                Some((tree, version)) => {
+                Ok((tree, version)) => {
                     let doc = WireDoc::from_tree(tree, codec);
                     drop(s);
                     w.whole(ResponseBody::GetDocOk { version, doc });
                 }
-                None => w.whole(ResponseBody::Error(WireError::of_store_error(
-                    &StoreError::UnknownDoc { doc_id },
-                ))),
+                Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
             }
         }
         RequestBody::EditDoc {
@@ -992,10 +1029,14 @@ fn respond(
                     )))
                 }
             };
-            let result = store
-                .lock()
-                .expect("store poisoned")
-                .edit(doc_id, base_version, &batch);
+            let result = {
+                let mut s = store.lock().expect("store poisoned");
+                let result = s.edit(doc_id, base_version, &batch);
+                if result.is_ok() {
+                    maybe_checkpoint(&mut s, wal_checkpoint_bytes);
+                }
+                result
+            };
             match result {
                 Ok(receipt) => w.whole(ResponseBody::EditDocOk {
                     version: receipt.version,
@@ -1007,7 +1048,14 @@ fn respond(
             let Some(store) = store else {
                 return w.whole(ResponseBody::Error(store_disabled()));
             };
-            let result = store.lock().expect("store poisoned").delete(doc_id);
+            let result = {
+                let mut s = store.lock().expect("store poisoned");
+                let result = s.delete(doc_id);
+                if result.is_ok() {
+                    maybe_checkpoint(&mut s, wal_checkpoint_bytes);
+                }
+                result
+            };
             match result {
                 Ok(()) => w.whole(ResponseBody::DeleteDocOk),
                 Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),

@@ -253,6 +253,9 @@ pub enum ErrorCode {
     /// The store failed at the storage layer (I/O error, corrupt
     /// snapshot/WAL). v2.
     StoreIo = 16,
+    /// A `PutDoc`/`EditDoc` would grow the document's binary encoding past
+    /// the codec's hard cap. v2.
+    DocTooLarge = 17,
 
     /// [`SolutionError::NotFullySpecified`].
     NotFullySpecified = 100,
@@ -295,6 +298,7 @@ impl ErrorCode {
             14 => StoreDisabled,
             15 => StoreFull,
             16 => StoreIo,
+            17 => DocTooLarge,
             100 => NotFullySpecified,
             101 => DisallowedAttribute,
             102 => AttributeClash,
@@ -379,7 +383,12 @@ impl WireError {
             StoreError::VersionConflict { .. } => ErrorCode::VersionConflict,
             StoreError::BadEdit(_) => ErrorCode::BadEdit,
             StoreError::StoreFull { .. } => ErrorCode::StoreFull,
-            StoreError::Io(_) | StoreError::Corrupt { .. } => ErrorCode::StoreIo,
+            StoreError::DocTooLarge { .. } => ErrorCode::DocTooLarge,
+            // `Locked` can only surface at open time, before any request,
+            // but the mapping is total so new callers cannot miss it.
+            StoreError::Io(_) | StoreError::Corrupt { .. } | StoreError::Locked { .. } => {
+                ErrorCode::StoreIo
+            }
         };
         WireError::new(code, e.to_string())
     }

@@ -35,8 +35,10 @@ pub use edit::{
     MAX_EDITS_PER_BATCH,
 };
 pub use snapshot::{
-    load_snapshot_bytes, load_snapshot_frames, SnapshotDoc, SnapshotError, SnapshotFrame,
+    load_snapshot_bytes, load_snapshot_frames, Snapshot, SnapshotDoc, SnapshotError, SnapshotFrame,
     SnapshotSource,
 };
-pub use store::{DocStore, EditReceipt, StoreConfig, StoreError, SNAPSHOT_FILE, WAL_FILE};
+pub use store::{
+    DocStore, EditReceipt, StoreConfig, StoreError, LOCK_FILE, SNAPSHOT_FILE, WAL_FILE,
+};
 pub use wal::{replay, SyncPolicy, Wal, WalOp, WalRecord};

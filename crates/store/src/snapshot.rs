@@ -8,15 +8,20 @@
 //! file    := magic:8 ("XDXSNAP1")  frames…  index  footer
 //! index   := count × entry                      -- entries sorted by doc_id
 //! entry   := doc_id:u64 version:u64 offset:u64 len:u32 crc:u64   (36 bytes)
-//! footer  := index_offset:u64 index_count:u32 index_crc:u64 magic:8 ("XDXSNAPE")
+//! footer  := seq:u64 index_offset:u64 index_count:u32 index_crc:u64 magic:8 ("XDXSNAPE")
 //! ```
 //!
+//! `seq` is the store-wide mutation sequence at checkpoint time — every
+//! WAL record whose version is at or below it is already reflected in the
+//! snapshot, which is what WAL replay skips by (see [`crate::store`]).
 //! `offset`/`len` locate a frame (absolute file offsets), `crc` is FNV-1a
-//! of the frame bytes, `index_crc` FNV-1a of the index bytes. The loader
-//! validates magics, footer geometry, index checksum, entry bounds and
-//! per-frame checksums before decoding any frame, and the frame decoder
-//! itself is total — so arbitrary bytes produce a [`SnapshotError`], never
-//! a panic or an oversized allocation.
+//! of the frame bytes, `index_crc` FNV-1a of the index bytes followed by
+//! the footer's own `seq`/`index_offset`/`index_count` fields (so a bit
+//! flip in the sequence cannot silently change which records replay). The
+//! loader validates magics, footer geometry, index checksum, entry bounds
+//! and per-frame checksums before decoding any frame, and the frame
+//! decoder itself is total — so arbitrary bytes produce a
+//! [`SnapshotError`], never a panic or an oversized allocation.
 //!
 //! Snapshots are written to `<name>.tmp`, fsynced, then atomically renamed
 //! over `<name>` (and the directory fsynced): at every instant the named
@@ -33,7 +38,18 @@ use xdx_xmltree::{decode_tree, encode_tree, XmlTree};
 const MAGIC: &[u8; 8] = b"XDXSNAP1";
 const FOOTER_MAGIC: &[u8; 8] = b"XDXSNAPE";
 const ENTRY_BYTES: usize = 8 + 8 + 8 + 4 + 8;
-const FOOTER_BYTES: usize = 8 + 4 + 8 + 8;
+const FOOTER_BYTES: usize = 8 + 8 + 4 + 8 + 8;
+
+/// A validated snapshot: the store-wide mutation sequence recorded at
+/// checkpoint time plus every document frame, sorted by id.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Store-wide mutation sequence at checkpoint time. WAL records whose
+    /// version is `<= seq` are already reflected in `docs`.
+    pub seq: u64,
+    /// Checksum-verified, still-undecoded document frames.
+    pub docs: Vec<SnapshotFrame>,
+}
 
 /// One document recovered from a snapshot.
 #[derive(Debug)]
@@ -88,6 +104,7 @@ impl std::error::Error for SnapshotError {}
 /// [`load_snapshot_frames`] — tools and tests that want trees now.
 pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Vec<SnapshotDoc>, SnapshotError> {
     load_snapshot_frames(bytes)?
+        .docs
         .into_iter()
         .map(|f| {
             let tree = decode_tree(&f.frame).map_err(|e| {
@@ -106,9 +123,9 @@ pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Vec<SnapshotDoc>, SnapshotErr
 }
 
 /// Validate a snapshot image — magics, footer geometry, index checksum,
-/// entry bounds, per-frame checksums — and return the raw frames *without*
-/// decoding any tree. Total over arbitrary bytes.
-pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Vec<SnapshotFrame>, SnapshotError> {
+/// entry bounds, per-frame checksums — and return the checkpoint sequence
+/// and raw frames *without* decoding any tree. Total over arbitrary bytes.
+pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     if bytes.len() < MAGIC.len() + FOOTER_BYTES {
         return Err(SnapshotError::new(format!(
             "{} bytes is shorter than an empty snapshot",
@@ -123,6 +140,7 @@ pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Vec<SnapshotFrame>, Snapshot
         return Err(SnapshotError::new("bad trailing magic"));
     }
     let mut f = Cursor::new(footer);
+    let seq = f.u64().expect("footer sized above");
     let index_offset = f.u64().expect("footer sized above") as usize;
     let index_count = f.u32().expect("footer sized above") as usize;
     let index_crc = f.u64().expect("footer sized above");
@@ -142,7 +160,7 @@ pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Vec<SnapshotFrame>, Snapshot
         )));
     }
     let index = &bytes[index_offset..index_end];
-    if fnv1a(index) != index_crc {
+    if footer_crc(index, seq, index_offset as u64, index_count as u32) != index_crc {
         return Err(SnapshotError::new("index checksum mismatch"));
     }
 
@@ -176,16 +194,33 @@ pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Vec<SnapshotFrame>, Snapshot
             frame: frame.to_vec(),
         });
     }
-    Ok(docs)
+    Ok(Snapshot { seq, docs })
+}
+
+/// Checksum guarding the index *and* the footer's own fields: a bit flip
+/// in the recorded sequence must fail validation, not silently change
+/// which WAL records replay.
+fn footer_crc(index: &[u8], seq: u64, index_offset: u64, count: u32) -> u64 {
+    let mut buf = Vec::with_capacity(index.len() + 20);
+    buf.extend_from_slice(index);
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&index_offset.to_be_bytes());
+    buf.extend_from_slice(&count.to_be_bytes());
+    fnv1a(&buf)
 }
 
 /// Load the snapshot at `path` without decoding trees (the store's open
-/// path). A missing file is an empty store (`Ok` with no documents);
-/// unreadable or corrupt bytes are errors.
-pub fn load_snapshot(path: &Path) -> Result<Vec<SnapshotFrame>, crate::store::StoreError> {
+/// path). A missing file is an empty store (`Ok` with no documents and
+/// sequence 0); unreadable or corrupt bytes are errors.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, crate::store::StoreError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Snapshot {
+                seq: 0,
+                docs: Vec::new(),
+            })
+        }
         Err(e) => return Err(crate::store::StoreError::Io(e)),
     };
     load_snapshot_frames(&bytes).map_err(|e| crate::store::StoreError::Corrupt {
@@ -205,9 +240,13 @@ pub enum SnapshotSource<'a> {
     Frame(&'a [u8]),
 }
 
-/// Serialize a snapshot image. `docs` must be sorted by id (the store's
+/// Serialize a snapshot image. `seq` is the store-wide mutation sequence
+/// the snapshot reflects; `docs` must be sorted by id (the store's
 /// iteration provides that).
-pub fn encode_snapshot<'a>(docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>) -> Vec<u8> {
+pub fn encode_snapshot<'a>(
+    seq: u64,
+    docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>,
+) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     let mut index = Vec::new();
@@ -230,8 +269,9 @@ pub fn encode_snapshot<'a>(docs: impl Iterator<Item = (u64, u64, SnapshotSource<
         count += 1;
     }
     let index_offset = out.len() as u64;
-    let index_crc = fnv1a(&index);
+    let index_crc = footer_crc(&index, seq, index_offset, count);
     out.extend_from_slice(&index);
+    out.extend_from_slice(&seq.to_be_bytes());
     out.extend_from_slice(&index_offset.to_be_bytes());
     out.extend_from_slice(&count.to_be_bytes());
     out.extend_from_slice(&index_crc.to_be_bytes());
@@ -243,9 +283,10 @@ pub fn encode_snapshot<'a>(docs: impl Iterator<Item = (u64, u64, SnapshotSource<
 /// over `path`, fsync the parent directory.
 pub fn write_snapshot<'a>(
     path: &Path,
+    seq: u64,
     docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>,
 ) -> std::io::Result<()> {
-    let bytes = encode_snapshot(docs);
+    let bytes = encode_snapshot(seq, docs);
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -278,6 +319,7 @@ mod tests {
 
     fn encode(docs: &[(u64, u64, XmlTree)]) -> Vec<u8> {
         encode_snapshot(
+            42,
             docs.iter()
                 .map(|(i, v, t)| (*i, *v, SnapshotSource::Tree(t))),
         )
@@ -287,13 +329,25 @@ mod tests {
     fn frame_sources_write_byte_identical_snapshots() {
         let docs = sample_docs();
         let from_trees = encode(&docs);
-        let frames = load_snapshot_frames(&from_trees).unwrap();
+        let snap = load_snapshot_frames(&from_trees).unwrap();
+        assert_eq!(snap.seq, 42);
         let from_frames = encode_snapshot(
-            frames
+            snap.seq,
+            snap.docs
                 .iter()
                 .map(|f| (f.doc_id, f.version, SnapshotSource::Frame(&f.frame))),
         );
         assert_eq!(from_trees, from_frames);
+    }
+
+    #[test]
+    fn a_bit_flip_in_the_footer_sequence_fails_validation() {
+        let bytes = encode(&sample_docs());
+        let seq_at = bytes.len() - FOOTER_BYTES;
+        let mut b = bytes.clone();
+        b[seq_at + 7] ^= 0x01; // low byte of seq: 42 -> 43
+        let err = load_snapshot_frames(&b).unwrap_err();
+        assert!(err.message.contains("checksum"), "{err}");
     }
 
     #[test]
@@ -342,7 +396,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_empty_store() {
-        let docs = load_snapshot(Path::new("/nonexistent/xdx/snapshot.bin")).unwrap();
-        assert!(docs.is_empty());
+        let snap = load_snapshot(Path::new("/nonexistent/xdx/snapshot.bin")).unwrap();
+        assert_eq!(snap.seq, 0);
+        assert!(snap.docs.is_empty());
     }
 }

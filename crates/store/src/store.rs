@@ -5,8 +5,13 @@
 //! the per-document machinery that turns "a node changed" into cheap
 //! re-answers:
 //!
-//! * a monotone **version counter** per document (every `put`/`edit` bumps
-//!   it; results computed against an old version are invalidated for free);
+//! * a **version** per document, drawn from a store-wide monotone mutation
+//!   sequence (every `put`/`edit`/`delete` advances it; results computed
+//!   against an old version are invalidated for free). Because the sequence
+//!   is global, a version value is never reused — not even across a
+//!   delete + re-put of the same id — which makes the `edit` base-version
+//!   check ABA-proof and gives WAL replay an unambiguous "already in the
+//!   snapshot" test;
 //! * a **dirty set** of nodes touched since the last validation, which
 //!   feeds the `O(dirty)` incremental conformance check
 //!   ([`DocStore::validate`]) and the incremental chase
@@ -24,12 +29,21 @@
 //! on top of it, and truncates any torn tail. Snapshot frames are checksum
 //! verified at open but decoded lazily on first access, so a restart over a
 //! large corpus costs one bulk read — documents never touched again are
-//! never rebuilt node by node. Replay skips records whose
-//! `version` is not ahead of the resident document's — which makes a crash
-//! *between* snapshot rename and WAL truncation harmless: the stale records
-//! simply re-apply as no-ops. [`DocStore::checkpoint`] writes the snapshot
-//! atomically (tmp + rename) and only then resets the WAL, so a kill at any
-//! point leaves a state `open` reconstructs exactly.
+//! never rebuilt node by node. The snapshot footer records the store-wide
+//! mutation sequence at checkpoint time, and replay skips every WAL record
+//! whose version (a stamp from that same sequence) is at or below it —
+//! which makes a crash *between* snapshot rename and WAL reset harmless:
+//! the stale records are exactly the ones at or below the footer sequence,
+//! regardless of how puts, edits and deletes of the same id interleave.
+//! (A per-document comparison would not survive delete + re-put: the
+//! re-put document would look "older" than a stale edit record of its
+//! predecessor.) [`DocStore::checkpoint`] writes the snapshot atomically
+//! (tmp + rename) and only then resets the WAL, so a kill at any point
+//! leaves a state `open` reconstructs exactly.
+//!
+//! `open` also takes an exclusive advisory lock on a `store.lock` file in
+//! the directory, so two processes pointed at the same store fail fast
+//! ([`StoreError::Locked`]) instead of silently corrupting each other.
 
 use crate::edit::{apply_edits, DocEdit, EditError};
 use crate::snapshot::{load_snapshot, write_snapshot, SnapshotSource};
@@ -38,12 +52,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
 use xdx_core::DocResultCache;
-use xdx_xmltree::{decode_tree, encode_tree, CompiledDtd, NodeId, XmlTree};
+use xdx_xmltree::limits::MAX_DOCUMENT_BYTES;
+use xdx_xmltree::{decode_tree, encode_tree, CompiledDtd, NodeId, Value, XmlTree};
 
 /// File name of the snapshot segment inside the store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// File name of the write-ahead log inside the store directory.
 pub const WAL_FILE: &str = "wal.log";
+/// File name of the advisory lock inside the store directory.
+pub const LOCK_FILE: &str = "store.lock";
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -104,6 +121,22 @@ pub enum StoreError {
         /// The configured cap.
         limit: usize,
     },
+    /// Another process holds the store directory (advisory lock).
+    Locked {
+        /// The contested directory.
+        dir: PathBuf,
+    },
+    /// A `put` or `edit` would grow the document's binary encoding past
+    /// [`MAX_DOCUMENT_BYTES`] — the decoder's hard cap. Admitting it would
+    /// checkpoint a frame that can never be loaded back.
+    DocTooLarge {
+        /// The id.
+        doc_id: u64,
+        /// Encoded size (for `edit`, a conservative upper bound).
+        bytes: usize,
+        /// The cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -124,6 +157,19 @@ impl fmt::Display for StoreError {
             StoreError::StoreFull { limit } => {
                 write!(f, "store full ({limit} resident documents)")
             }
+            StoreError::Locked { dir } => write!(
+                f,
+                "store directory {} is locked by another process",
+                dir.display()
+            ),
+            StoreError::DocTooLarge {
+                doc_id,
+                bytes,
+                limit,
+            } => write!(
+                f,
+                "document {doc_id} too large: {bytes} encoded bytes exceeds the {limit}-byte cap"
+            ),
         }
     }
 }
@@ -173,12 +219,17 @@ struct Resident<V> {
     violations: BTreeSet<NodeId>,
     /// Has a full-scan validation baseline been established since load?
     validated: bool,
+    /// Upper bound on the document's binary-encoded size: exact after a
+    /// `put`, load or checkpoint (the frame was in hand), then grown by a
+    /// conservative per-edit bound. Guards the [`MAX_DOCUMENT_BYTES`]
+    /// admission check without re-encoding on every edit.
+    encoded_bytes: usize,
     /// Version counter + version-tagged result cache.
     cache: DocResultCache<V>,
 }
 
 impl<V> Resident<V> {
-    fn new(tree: XmlTree, version: u64) -> Resident<V> {
+    fn new(tree: XmlTree, version: u64, encoded_bytes: usize) -> Resident<V> {
         Resident {
             frame: None,
             tree,
@@ -186,11 +237,13 @@ impl<V> Resident<V> {
             dirty: BTreeSet::new(),
             violations: BTreeSet::new(),
             validated: false,
+            encoded_bytes,
             cache: DocResultCache::new(version),
         }
     }
 
     fn from_frame(frame: Vec<u8>, version: u64) -> Resident<V> {
+        let encoded_bytes = frame.len();
         Resident {
             frame: Some(frame),
             tree: XmlTree::new("pending"),
@@ -198,24 +251,56 @@ impl<V> Resident<V> {
             dirty: BTreeSet::new(),
             violations: BTreeSet::new(),
             validated: false,
+            encoded_bytes,
             cache: DocResultCache::new(version),
         }
     }
 
     /// Decode the pending snapshot frame, if any. The frame's checksum was
-    /// verified at load and the only writer is our own encoder (the
-    /// round-trip is pinned by the codec tests), so a decode failure here
-    /// is an invariant violation, not an input condition — it panics rather
-    /// than inventing an empty document.
-    fn materialize(&mut self) {
+    /// verified at load, so a decode failure means the bytes were written
+    /// wrong in the first place (or the codec regressed) — the document is
+    /// reported as [`StoreError::Corrupt`] rather than silently replaced by
+    /// an empty tree. The frame is kept, so the error is stable across
+    /// calls and the document still passes through checkpoints verbatim.
+    fn materialize(&mut self, doc_id: u64) -> Result<(), StoreError> {
         if let Some(frame) = self.frame.take() {
-            self.tree = xdx_xmltree::decode_tree(&frame)
-                .expect("checksum-verified snapshot frame must decode");
+            match decode_tree(&frame) {
+                Ok(tree) => self.tree = tree,
+                Err(e) => {
+                    let err = StoreError::Corrupt {
+                        context: format!(
+                            "snapshot frame for document {doc_id} does not decode: {e}"
+                        ),
+                    };
+                    self.frame = Some(frame);
+                    return Err(err);
+                }
+            }
         }
+        Ok(())
     }
 
     fn version(&self) -> u64 {
         self.cache.version()
+    }
+}
+
+/// Conservative upper bound on how many bytes one edit can add to a
+/// document's binary encoding ([`xdx_xmltree::binary`] layout: 10 bytes of
+/// node header + a possible `4 + len` interner entry per fresh label;
+/// `4 + 1 + (4 + len | 8)` per attribute plus a possible interner entry
+/// for the name; removals never grow the frame).
+fn edit_growth_bound(edit: &DocEdit) -> usize {
+    match edit {
+        DocEdit::InsertChild { label, .. } => 16 + label.as_str().len(),
+        DocEdit::SetAttr { name, value, .. } => {
+            let value_bytes = match value {
+                Value::Const(s) => s.len(),
+                Value::Null(_) => 8,
+            };
+            24 + name.as_str().len() + value_bytes
+        }
+        DocEdit::RemoveChild { .. } | DocEdit::RemoveAttr { .. } => 0,
     }
 }
 
@@ -227,45 +312,86 @@ pub struct DocStore<V = ()> {
     config: StoreConfig,
     wal: Wal,
     docs: BTreeMap<u64, Resident<V>>,
+    /// Store-wide mutation sequence: the version stamp of the most recent
+    /// acknowledged mutation (0 for a fresh store). Strictly increasing
+    /// across puts, edits *and* deletes, so no version value is ever
+    /// reused — see the module docs.
+    seq: u64,
+    /// Exclusive advisory lock on [`LOCK_FILE`]; held (by the open file
+    /// handle) for the store's lifetime, released on drop.
+    _lock: std::fs::File,
+}
+
+/// Take the exclusive advisory lock on `dir`, or fail with
+/// [`StoreError::Locked`] if another process holds it.
+fn lock_dir(dir: &std::path::Path) -> Result<std::fs::File, StoreError> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(dir.join(LOCK_FILE))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(std::fs::TryLockError::WouldBlock) => Err(StoreError::Locked {
+            dir: dir.to_path_buf(),
+        }),
+        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+    }
 }
 
 impl<V> DocStore<V> {
-    /// Open (or create) the store in `config.dir`: load the snapshot,
-    /// replay the WAL, truncate any torn tail.
+    /// Open (or create) the store in `config.dir`: take the directory
+    /// lock, load the snapshot, replay the WAL, truncate any torn tail.
     pub fn open(config: StoreConfig) -> Result<DocStore<V>, StoreError> {
         std::fs::create_dir_all(&config.dir)?;
+        let lock = lock_dir(&config.dir)?;
         let snapshot_path = config.dir.join(SNAPSHOT_FILE);
         // A leftover tmp is a checkpoint that died before its rename; the
         // named snapshot is still the authoritative previous state.
         let _ = std::fs::remove_file(snapshot_path.with_extension("tmp"));
+        let snapshot = load_snapshot(&snapshot_path)?;
+        let mut seq = snapshot.seq;
         let mut docs: BTreeMap<u64, Resident<V>> = BTreeMap::new();
-        for doc in load_snapshot(&snapshot_path)? {
+        for doc in snapshot.docs {
             // Checksums verified; trees materialize on first access.
+            seq = seq.max(doc.version);
             docs.insert(doc.doc_id, Resident::from_frame(doc.frame, doc.version));
         }
         let (wal, records) = Wal::open(&config.dir.join(WAL_FILE), config.sync)?;
         for rec in records {
+            // Records at or below the snapshot's sequence are already
+            // reflected in it (a checkpoint that crashed before its WAL
+            // reset, or a reset whose truncation did not persist). The
+            // comparison is against the *global* checkpoint sequence, not
+            // any per-document version: after a delete + re-put of the
+            // same id, a stale edit record of the predecessor can carry a
+            // higher version than the re-put document, and a per-document
+            // test would wrongly replay it.
+            if rec.version <= snapshot.seq {
+                continue;
+            }
+            seq = seq.max(rec.version);
             Self::replay_record(&mut docs, rec)?;
         }
-        Ok(DocStore { config, wal, docs })
+        Ok(DocStore {
+            config,
+            wal,
+            docs,
+            seq,
+            _lock: lock,
+        })
     }
 
     fn replay_record(
         docs: &mut BTreeMap<u64, Resident<V>>,
         rec: WalRecord,
     ) -> Result<(), StoreError> {
-        // Records at or behind the resident version are already reflected
-        // in the snapshot (a checkpoint that crashed before WAL reset).
-        let current = docs.get(&rec.doc_id).map(|r| r.version()).unwrap_or(0);
-        if rec.version <= current {
-            return Ok(());
-        }
         match rec.op {
             WalOp::Put(frame) => {
                 let tree = decode_tree(&frame).map_err(|e| StoreError::Corrupt {
                     context: format!("WAL put of document {} does not decode: {e}", rec.doc_id),
                 })?;
-                docs.insert(rec.doc_id, Resident::new(tree, rec.version));
+                docs.insert(rec.doc_id, Resident::new(tree, rec.version, frame.len()));
             }
             WalOp::Edit(edits) => {
                 let r = docs
@@ -273,12 +399,14 @@ impl<V> DocStore<V> {
                     .ok_or_else(|| StoreError::Corrupt {
                         context: format!("WAL edit of unknown document {}", rec.doc_id),
                     })?;
-                r.materialize();
+                r.materialize(rec.doc_id)?;
                 apply_edits(&mut r.tree, &mut r.preorder, &edits).map_err(|e| {
                     StoreError::Corrupt {
                         context: format!("WAL edit of document {} does not apply: {e}", rec.doc_id),
                     }
                 })?;
+                let growth: usize = edits.iter().map(edit_growth_bound).sum();
+                r.encoded_bytes = r.encoded_bytes.saturating_add(growth);
                 r.cache.set_version(rec.version);
             }
             WalOp::Delete => {
@@ -288,32 +416,46 @@ impl<V> DocStore<V> {
         Ok(())
     }
 
-    /// Store (or replace) a whole document. Returns the new version.
+    /// Store (or replace) a whole document. Returns the new version (the
+    /// advanced store-wide sequence — monotone, but not dense per id).
     pub fn put(&mut self, doc_id: u64, tree: XmlTree) -> Result<u64, StoreError> {
-        let current = self.docs.get(&doc_id).map(|r| r.version());
-        if current.is_none() && self.docs.len() >= self.config.max_resident_docs {
+        if !self.docs.contains_key(&doc_id) && self.docs.len() >= self.config.max_resident_docs {
             return Err(StoreError::StoreFull {
                 limit: self.config.max_resident_docs,
             });
         }
-        let version = current.unwrap_or(0) + 1;
+        let frame = encode_tree(&tree);
+        if frame.len() > MAX_DOCUMENT_BYTES {
+            return Err(StoreError::DocTooLarge {
+                doc_id,
+                bytes: frame.len(),
+                limit: MAX_DOCUMENT_BYTES,
+            });
+        }
+        let encoded_bytes = frame.len();
+        let version = self.seq + 1;
         self.wal.append(&WalRecord {
             doc_id,
             version,
-            op: WalOp::Put(encode_tree(&tree)),
+            op: WalOp::Put(frame),
         })?;
-        self.docs.insert(doc_id, Resident::new(tree, version));
+        self.seq = version;
+        self.docs
+            .insert(doc_id, Resident::new(tree, version, encoded_bytes));
         Ok(version)
     }
 
     /// The document and its current version. Takes `&mut self` because a
     /// lazily loaded document materializes (decodes its snapshot frame) on
-    /// first access.
-    pub fn get(&mut self, doc_id: u64) -> Option<(&XmlTree, u64)> {
-        self.docs.get_mut(&doc_id).map(|r| {
-            r.materialize();
-            (&r.tree, r.version())
-        })
+    /// first access — which is also the only error path
+    /// ([`StoreError::UnknownDoc`] aside).
+    pub fn get(&mut self, doc_id: u64) -> Result<(&XmlTree, u64), StoreError> {
+        let r = self
+            .docs
+            .get_mut(&doc_id)
+            .ok_or(StoreError::UnknownDoc { doc_id })?;
+        r.materialize(doc_id)?;
+        Ok((&r.tree, r.version()))
     }
 
     /// The document's current version.
@@ -336,7 +478,7 @@ impl<V> DocStore<V> {
             .docs
             .get_mut(&doc_id)
             .ok_or(StoreError::UnknownDoc { doc_id })?;
-        r.materialize();
+        r.materialize(doc_id)?;
         let current = r.version();
         if base_version != 0 && base_version != current {
             return Err(StoreError::VersionConflict {
@@ -351,21 +493,39 @@ impl<V> DocStore<V> {
                 dirty: Vec::new(),
             });
         }
+        // Size guard, against a conservative growth bound: a document that
+        // encodes past MAX_DOCUMENT_BYTES would checkpoint fine but hit the
+        // decoder cap on the restart after — a persistent crash loop. The
+        // bound only resets to the exact size when a frame is in hand
+        // (put/load/checkpoint), so long edit churn may reject early; a
+        // checkpoint re-admits.
+        let growth: usize = edits.iter().map(edit_growth_bound).sum();
+        let bound = r.encoded_bytes.saturating_add(growth);
+        if bound > MAX_DOCUMENT_BYTES {
+            return Err(StoreError::DocTooLarge {
+                doc_id,
+                bytes: bound,
+                limit: MAX_DOCUMENT_BYTES,
+            });
+        }
         // Applying *is* the validation (all-or-nothing); only an applied
         // batch reaches the WAL, so replay can never fail on a record the
         // running store accepted. If the append itself fails, the batch is
         // rolled back so memory never diverges from the log.
         let applied = apply_edits(&mut r.tree, &mut r.preorder, edits)?;
+        let version = self.seq + 1;
         if let Err(e) = self.wal.append(&WalRecord {
             doc_id,
-            version: current + 1,
+            version,
             op: WalOp::Edit(edits.to_vec()),
         }) {
             applied.rollback(&mut r.tree);
             r.preorder = None;
             return Err(e.into());
         }
-        let version = r.cache.bump();
+        self.seq = version;
+        r.encoded_bytes = bound;
+        r.cache.set_version(version);
         // Merge the batch's dirty set *before* stripping detached subtrees:
         // a node inserted and then detached within one batch is in both
         // lists, and only this order drops it. (`validate`'s reachability
@@ -386,17 +546,20 @@ impl<V> DocStore<V> {
         })
     }
 
-    /// Delete a document.
+    /// Delete a document. Advances the store-wide sequence, so a later
+    /// re-put of the same id gets a version above every version the
+    /// predecessor ever had.
     pub fn delete(&mut self, doc_id: u64) -> Result<(), StoreError> {
-        let r = self
-            .docs
-            .get(&doc_id)
-            .ok_or(StoreError::UnknownDoc { doc_id })?;
+        if !self.docs.contains_key(&doc_id) {
+            return Err(StoreError::UnknownDoc { doc_id });
+        }
+        let version = self.seq + 1;
         self.wal.append(&WalRecord {
             doc_id,
-            version: r.version() + 1,
+            version,
             op: WalOp::Delete,
         })?;
+        self.seq = version;
         self.docs.remove(&doc_id);
         Ok(())
     }
@@ -415,7 +578,7 @@ impl<V> DocStore<V> {
             .docs
             .get_mut(&doc_id)
             .ok_or(StoreError::UnknownDoc { doc_id })?;
-        r.materialize();
+        r.materialize(doc_id)?;
         if !r.validated {
             r.violations.clear();
             let root = r.tree.root();
@@ -454,28 +617,44 @@ impl<V> DocStore<V> {
         self.docs.get_mut(&doc_id).map(|r| &mut r.cache)
     }
 
-    /// Write a snapshot of every resident document (atomically), then reset
-    /// the WAL. Also compacts the arena of documents whose detached-slot
-    /// garbage exceeds their live size (which resets their validation
-    /// baseline — the next `validate` is a full scan).
+    /// Write a snapshot of every resident document (atomically), recording
+    /// the store-wide sequence in its footer, then reset the WAL. Also
+    /// refreshes each materialized document's exact encoded size (the
+    /// frames are in hand anyway) and compacts the arena of documents whose
+    /// detached-slot garbage exceeds their live size (which resets their
+    /// validation baseline — the next `validate` is a full scan).
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
         self.wal.sync()?;
+        // Encode every materialized document once up front: the frames are
+        // the snapshot payload, the refreshed exact `encoded_bytes`, and
+        // the compaction source below.
+        let frames: BTreeMap<u64, Vec<u8>> = self
+            .docs
+            .iter()
+            .filter(|(_, r)| r.frame.is_none())
+            .map(|(&id, r)| (id, encode_tree(&r.tree)))
+            .collect();
         write_snapshot(
             &self.config.dir.join(SNAPSHOT_FILE),
+            self.seq,
             self.docs.iter().map(|(&id, r)| {
                 // A still-undecoded document's frame is byte-identical to
                 // the document; copy it through instead of decode+re-encode.
                 let source = match &r.frame {
                     Some(frame) => SnapshotSource::Frame(frame),
-                    None => SnapshotSource::Tree(&r.tree),
+                    None => SnapshotSource::Frame(&frames[&id]),
                 };
                 (id, r.version(), source)
             }),
         )?;
         self.wal.reset()?;
-        for r in self.docs.values_mut() {
-            if r.frame.is_none() && r.tree.arena_len() > 2 * r.tree.size() {
-                r.tree = decode_tree(&encode_tree(&r.tree)).expect("own encoding always decodes");
+        for (&id, r) in self.docs.iter_mut() {
+            let Some(frame) = frames.get(&id) else {
+                continue;
+            };
+            r.encoded_bytes = frame.len();
+            if r.tree.arena_len() > 2 * r.tree.size() {
+                r.tree = decode_tree(frame).expect("own encoding always decodes");
                 r.preorder = None;
                 r.dirty.clear();
                 r.violations.clear();
@@ -508,6 +687,12 @@ impl<V> DocStore<V> {
     /// Current WAL length in bytes (a checkpointing heuristic for callers).
     pub fn wal_len(&self) -> u64 {
         self.wal.len()
+    }
+
+    /// The store-wide mutation sequence (the version stamp of the most
+    /// recent acknowledged mutation; 0 for a fresh store).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 }
 
@@ -585,8 +770,10 @@ mod tests {
     fn put_edit_delete_survive_restart() {
         let dir = fresh_dir("crud");
         let mut s = open(&dir);
+        // Versions come from the store-wide sequence: every mutation
+        // (any document) advances it.
         assert_eq!(s.put(1, sample()).unwrap(), 1);
-        assert_eq!(s.put(2, XmlTree::new("db")).unwrap(), 1);
+        assert_eq!(s.put(2, XmlTree::new("db")).unwrap(), 2);
         let receipt = s
             .edit(
                 1,
@@ -598,19 +785,21 @@ mod tests {
                 }],
             )
             .unwrap();
-        assert_eq!(receipt.version, 2);
+        assert_eq!(receipt.version, 3);
         s.delete(2).unwrap();
+        assert_eq!(s.seq(), 4);
         drop(s);
 
         let mut s = open(&dir);
         assert_eq!(s.len(), 1);
+        assert_eq!(s.seq(), 4, "sequence recovered from the WAL");
         let (tree, version) = s.get(1).unwrap();
-        assert_eq!(version, 2);
+        assert_eq!(version, 3);
         assert_eq!(
             tree_to_text(tree),
             "db[book(@title=\"New\")[author(@name=\"P\")]]"
         );
-        assert!(s.get(2).is_none());
+        assert!(s.get(2).is_err());
         cleanup(&dir);
     }
 
@@ -764,6 +953,7 @@ mod tests {
         let text = tree_to_text(s.get(1).unwrap().0);
         write_snapshot(
             &dir.join(SNAPSHOT_FILE),
+            s.seq,
             s.docs
                 .iter()
                 .map(|(&id, r)| (id, r.version(), SnapshotSource::Tree(&r.tree))),
@@ -774,6 +964,180 @@ mod tests {
         let mut s = open(&dir);
         assert_eq!(s.version(1), Some(2), "replay skipped both stale records");
         assert_eq!(tree_to_text(s.get(1).unwrap().0), text);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn stale_wal_after_a_delete_and_reput_checkpoint_crash_is_skipped() {
+        // The regression the global sequence exists for: put, edit, delete,
+        // re-put, then a crash between snapshot rename and WAL reset. The
+        // stale edit record targets a node the re-put document does not
+        // have; a per-document version comparison would replay it (the
+        // re-put "restarts" below the stale edit's version) and refuse to
+        // open. The global rule skips everything at or below the footer
+        // sequence.
+        let dir = fresh_dir("stale-reput");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap(); // seq 1
+        s.edit(
+            1,
+            0,
+            &[DocEdit::SetAttr {
+                node: 1,
+                name: "@title".into(),
+                value: "A".into(),
+            }],
+        )
+        .unwrap(); // seq 2
+        s.delete(1).unwrap(); // seq 3
+        assert_eq!(s.put(1, XmlTree::new("db")).unwrap(), 4);
+        let text = tree_to_text(s.get(1).unwrap().0);
+        write_snapshot(
+            &dir.join(SNAPSHOT_FILE),
+            s.seq,
+            s.docs
+                .iter()
+                .map(|(&id, r)| (id, r.version(), SnapshotSource::Tree(&r.tree))),
+        )
+        .unwrap();
+        drop(s); // WAL still holds all four records
+
+        let mut s = open(&dir);
+        assert_eq!(s.version(1), Some(4), "the re-put document survived");
+        assert_eq!(s.seq(), 4);
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), text);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn base_versions_are_aba_proof_across_delete_and_reput() {
+        let dir = fresh_dir("aba");
+        let mut s = open(&dir);
+        let attr = [DocEdit::SetAttr {
+            node: 0,
+            name: "@rev".into(),
+            value: "x".into(),
+        }];
+        let v1 = s.put(1, sample()).unwrap();
+        s.delete(1).unwrap();
+        let v2 = s.put(1, sample()).unwrap();
+        assert!(
+            v2 > v1,
+            "a re-put version is above every version its predecessor had"
+        );
+        let err = s.edit(1, v1, &attr).unwrap_err();
+        assert!(
+            matches!(err, StoreError::VersionConflict { .. }),
+            "an edit pinned to the predecessor must not apply: {err}"
+        );
+        s.edit(1, v2, &attr).unwrap();
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn the_store_directory_is_exclusively_locked() {
+        let dir = fresh_dir("lock");
+        let s = open(&dir);
+        let err = DocStore::<()>::open(StoreConfig {
+            dir: dir.to_path_buf(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Locked { .. }), "{err}");
+        drop(s); // the lock is released with the store
+        drop(open(&dir));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn edits_that_could_exceed_the_document_cap_are_rejected() {
+        let dir = fresh_dir("toolarge");
+        let mut s = open(&dir);
+        s.put(1, sample()).unwrap();
+        // Pretend the document is one insert away from the codec cap.
+        s.docs.get_mut(&1).unwrap().encoded_bytes = MAX_DOCUMENT_BYTES - 4;
+        let grow = [DocEdit::InsertChild {
+            parent: 0,
+            at: 0,
+            label: "book".into(),
+        }];
+        let err = s.edit(1, 0, &grow).unwrap_err();
+        assert!(matches!(err, StoreError::DocTooLarge { .. }), "{err}");
+        assert_eq!(s.version(1), Some(1), "rejected before anything applied");
+        // A checkpoint refreshes the exact encoded size and re-admits.
+        s.checkpoint().unwrap();
+        s.edit(1, 0, &grow).unwrap();
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn edit_growth_bounds_dominate_real_encoding_growth() {
+        use xdx_xmltree::NullId;
+        let batches: Vec<Vec<DocEdit>> = vec![
+            vec![DocEdit::InsertChild {
+                parent: 0,
+                at: 0,
+                label: "chapter-with-a-longish-label".into(),
+            }],
+            vec![DocEdit::SetAttr {
+                node: 0,
+                name: "@summary".into(),
+                value: "a constant value of some length".into(),
+            }],
+            vec![DocEdit::SetAttr {
+                node: 1,
+                name: "@title".into(),
+                value: Value::Null(NullId(7)),
+            }],
+            vec![
+                DocEdit::InsertChild {
+                    parent: 0,
+                    at: 0,
+                    label: "book".into(),
+                },
+                DocEdit::SetAttr {
+                    node: 1,
+                    name: "@title".into(),
+                    value: "t".into(),
+                },
+                DocEdit::RemoveChild { parent: 0, at: 1 },
+            ],
+        ];
+        let mut tree = sample();
+        for batch in &batches {
+            let before = encode_tree(&tree).len();
+            let bound: usize = batch.iter().map(edit_growth_bound).sum();
+            apply_edits(&mut tree, &mut None, batch).unwrap();
+            let after = encode_tree(&tree).len();
+            assert!(
+                after <= before + bound,
+                "encoding grew {} > bound {bound}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn undecodable_snapshot_frames_surface_as_corrupt_not_panic() {
+        let dir = fresh_dir("badframe");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A frame that passes the snapshot checksum but is not a document.
+        write_snapshot(
+            &dir.join(SNAPSHOT_FILE),
+            1,
+            [(1u64, 1u64, SnapshotSource::Frame(b"not a frame"))].into_iter(),
+        )
+        .unwrap();
+        let mut s = open(&dir);
+        let err = s.get(1).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(s.get(1).is_err(), "stable across calls");
+        // The bad frame still checkpoints verbatim; nothing is invented.
+        s.checkpoint().unwrap();
+        drop(s);
+        let mut s = open(&dir);
+        assert!(matches!(s.get(1).unwrap_err(), StoreError::Corrupt { .. }));
         cleanup(&dir);
     }
 
@@ -792,8 +1156,9 @@ mod tests {
             s.put(3, XmlTree::new("db")),
             Err(StoreError::StoreFull { limit: 2 })
         ));
-        // Replacing a resident document is fine at the cap.
-        assert_eq!(s.put(2, sample()).unwrap(), 2);
+        // Replacing a resident document is fine at the cap. (The rejected
+        // put did not advance the sequence; this one is the third mutation.)
+        assert_eq!(s.put(2, sample()).unwrap(), 3);
         cleanup(&dir);
     }
 

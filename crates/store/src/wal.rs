@@ -22,10 +22,13 @@
 //!          | ε                                -- op 3 (Delete)
 //! ```
 //!
-//! `version` is the document's version **after** the operation applies;
-//! replay uses it to skip records already covered by the snapshot (which is
-//! what makes a crash between snapshot rename and WAL truncation harmless —
-//! see [`crate::store`]).
+//! `version` is the document's version **after** the operation applies — a
+//! stamp from the *store-wide* monotone mutation sequence, so record
+//! versions are strictly increasing through the file and never reused
+//! across a delete + re-put. Replay compares them against the sequence
+//! recorded in the snapshot footer to skip records the snapshot already
+//! covers (which is what makes a crash between snapshot rename and WAL
+//! truncation harmless — see [`crate::store`]).
 
 use crate::bytes::{fnv1a, Cursor};
 use crate::edit::{decode_edits, encode_edits, DocEdit};
@@ -73,7 +76,8 @@ pub enum WalOp {
 pub struct WalRecord {
     /// Document id.
     pub doc_id: u64,
-    /// Document version after this operation.
+    /// Document version after this operation (a store-wide sequence stamp;
+    /// see the module docs).
     pub version: u64,
     /// The operation.
     pub op: WalOp,

@@ -767,6 +767,26 @@ fn config_validation_rejects_degenerate_limits() {
     };
     assert!(no_store.validate().is_ok());
 
+    // Same for the checkpoint threshold: zero would checkpoint after every
+    // mutation — a typo, not a policy — but only matters with a store.
+    let zero_checkpoint = ServerConfig {
+        store_dir: Some(std::env::temp_dir().join("unused")),
+        wal_checkpoint_bytes: 0,
+        ..ServerConfig::default()
+    };
+    assert!(matches!(
+        zero_checkpoint.validate(),
+        Err(ConfigError::Zero {
+            field: "wal_checkpoint_bytes"
+        })
+    ));
+    let no_store_zero_checkpoint = ServerConfig {
+        store_dir: None,
+        wal_checkpoint_bytes: 0,
+        ..ServerConfig::default()
+    };
+    assert!(no_store_zero_checkpoint.validate().is_ok());
+
     // `Server::bind` enforces validation and surfaces the message.
     let setting = books_to_writers_setting();
     let err = match Server::bind(&setting, Some("127.0.0.1:0"), None, zero_chunk) {
@@ -843,11 +863,14 @@ fn store_crud_versions_and_errors_round_trip() {
             other => panic!("expected UnknownDoc, got {other:?}"),
         }
 
-        // Leave a document behind for the restart check below.
-        assert_eq!(client.put_doc(8, &doc).unwrap(), 1);
+        // Leave a document behind for the restart check below. Versions
+        // come from the store-wide sequence (put 7, edit 7, delete 7 came
+        // before), so this is strictly above every version document 7 had —
+        // never reused, which is what makes the CAS above ABA-proof.
+        assert_eq!(client.put_doc(8, &doc).unwrap(), 4);
     });
     // A clean shutdown checkpointed; a new server over the same directory
-    // serves the surviving document.
+    // serves the surviving document at its exact version.
     with_server(&setting, store_config(&dir), |addr, _| {
         let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
         let (restored, version) = client.get_doc(8).unwrap();
@@ -855,7 +878,59 @@ fn store_crud_versions_and_errors_round_trip() {
             tree_to_text(&restored),
             tree_to_text(&sources(3).pop().unwrap())
         );
-        assert_eq!(version, 1);
+        assert_eq!(version, 4);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_running_server_checkpoints_once_the_wal_outgrows_the_threshold() {
+    use xml_data_exchange::store::DocEdit;
+    let setting = books_to_writers_setting();
+    let dir = std::env::temp_dir().join(format!(
+        "xdx-server-store-ckpt-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let store_dir = dir.join("store");
+    let config = ServerConfig {
+        store_dir: Some(store_dir.clone()),
+        wal_checkpoint_bytes: 512,
+        ..ServerConfig::default()
+    };
+    with_server(&setting, config, |addr, _| {
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let doc = sources(1).pop().unwrap();
+        client.put_doc(1, &doc).unwrap();
+        let wal = store_dir.join("wal.log");
+        let mut checkpointed = false;
+        for i in 0..64u32 {
+            client
+                .edit_doc(
+                    1,
+                    0,
+                    &[DocEdit::SetAttr {
+                        node: 0,
+                        name: "@rev".into(),
+                        value: format!("{i}").into(),
+                    }],
+                )
+                .unwrap();
+            // The mutating worker checkpoints under the store lock before
+            // its response is serialized, so the length observed after each
+            // acknowledged edit is post-decision: at most the threshold
+            // plus the record that crossed it — never unbounded growth.
+            let len = std::fs::metadata(&wal).map(|m| m.len()).unwrap_or(0);
+            assert!(len <= 512 + 256, "WAL outgrew the threshold: {len} bytes");
+            if store_dir.join("snapshot.bin").exists() {
+                checkpointed = true;
+            }
+        }
+        assert!(checkpointed, "no mid-run checkpoint happened");
+        // The document survived the churn (and a snapshot + short-WAL
+        // restart serves it identically — covered by the restart test).
+        let (tree, _) = client.get_doc(1).unwrap();
+        assert!(tree_to_text(&tree).contains("@rev=\"63\""));
     });
     let _ = std::fs::remove_dir_all(&dir);
 }
