@@ -93,7 +93,7 @@ fn bench(c: &mut Criterion) {
         |b, dir| {
             b.iter(|| {
                 let mut store: DocStore = DocStore::open(config(dir)).expect("snapshot loads");
-                let ids: Vec<u64> = store.doc_ids().collect();
+                let ids: Vec<xdx_store::DocKey> = store.doc_ids().collect();
                 ids.into_iter()
                     .map(|id| store.get(id).expect("resident").0.size())
                     .sum::<usize>()

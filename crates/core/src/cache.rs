@@ -43,23 +43,49 @@ pub struct Cached<V> {
     pub computed_at: u64,
     /// The result itself.
     pub value: V,
+    /// LRU stamp: the cache's logical clock at the last hit or insert.
+    last_used: u64,
 }
+
+/// Default per-document entry cap (see [`DocResultCache::with_capacity`]).
+/// Generous for real workloads — one consistency + one solution entry plus
+/// a working set of distinct query texts — while keeping the worst case
+/// (a client spraying distinct `CertainAnswers(text)` keys at a pinned
+/// document version) bounded per document.
+pub const DEFAULT_MAX_CACHE_ENTRIES: usize = 64;
 
 /// Per-document result cache with edit-driven invalidation (see the module
 /// docs). `version` starts wherever the caller says (WAL replay restores
 /// counters) and only ever moves forward.
+///
+/// The entry count is capped: version bumps already clear the map, but a
+/// document that is *read* under many distinct query texts at one version
+/// would otherwise grow without bound. At the cap, inserting a new key
+/// evicts the least-recently-used entry (`get` hits refresh recency).
 #[derive(Debug, Clone)]
 pub struct DocResultCache<V> {
     version: u64,
     entries: HashMap<CacheKey, Cached<V>>,
+    /// Logical clock driving LRU stamps; advanced by hits and inserts.
+    clock: u64,
+    /// Entry cap (≥ 1); reaching it evicts the LRU entry.
+    max_entries: usize,
 }
 
 impl<V> DocResultCache<V> {
-    /// An empty cache for a document currently at `version`.
+    /// An empty cache for a document currently at `version`, with the
+    /// [`DEFAULT_MAX_CACHE_ENTRIES`] entry cap.
     pub fn new(version: u64) -> Self {
+        DocResultCache::with_capacity(version, DEFAULT_MAX_CACHE_ENTRIES)
+    }
+
+    /// An empty cache with an explicit entry cap (clamped to ≥ 1).
+    pub fn with_capacity(version: u64, max_entries: usize) -> Self {
         DocResultCache {
             version,
             entries: HashMap::new(),
+            clock: 0,
+            max_entries: max_entries.max(1),
         }
     }
 
@@ -88,24 +114,64 @@ impl<V> DocResultCache<V> {
     /// The cached value for `key`, if one was computed at the *current*
     /// version. Entries tagged with an older version never escape (they are
     /// cleared eagerly by [`DocResultCache::bump`], so this is belt and
-    /// braces against direct `set_version` misuse).
-    pub fn get(&self, key: &CacheKey) -> Option<&V> {
+    /// braces against direct `set_version` misuse). A hit refreshes the
+    /// entry's LRU recency (hence `&mut self`).
+    pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        let version = self.version;
+        self.clock += 1;
+        let clock = self.clock;
         self.entries
-            .get(key)
-            .filter(|c| c.computed_at == self.version)
-            .map(|c| &c.value)
+            .get_mut(key)
+            .filter(|c| c.computed_at == version)
+            .map(|c| {
+                c.last_used = clock;
+                &c.value
+            })
     }
 
     /// Insert a value computed at version `computed_at`. If the document
     /// has moved on since the computation started the value is stale and is
     /// dropped on the floor — the caller raced an edit and simply gets no
-    /// cache hit next time. Returns whether the value was kept.
+    /// cache hit next time. At the entry cap, the least-recently-used entry
+    /// makes room. Returns whether the value was kept.
     pub fn insert(&mut self, key: CacheKey, computed_at: u64, value: V) -> bool {
         if computed_at != self.version {
             return false;
         }
-        self.entries.insert(key, Cached { computed_at, value });
+        if self.entries.len() >= self.max_entries && !self.entries.contains_key(&key) {
+            // O(cap) scan; the cap is small and eviction only runs when a
+            // *new* key lands in a full cache.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            Cached {
+                computed_at,
+                value,
+                last_used: self.clock,
+            },
+        );
         true
+    }
+
+    /// Drop every entry without touching the version — the invalidation for
+    /// "the *setting* under this document changed" (the version counter
+    /// tracks document edits only).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The entry cap.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
     }
 
     /// Number of live entries.
@@ -149,6 +215,61 @@ mod tests {
         // The re-computation at the current version sticks.
         assert!(cache.insert(CacheKey::CanonicalSolution, 4, 43));
         assert_eq!(cache.get(&CacheKey::CanonicalSolution), Some(&43));
+    }
+
+    #[test]
+    fn entry_count_is_bounded_with_lru_eviction() {
+        // The regression: many distinct query texts at one pinned version
+        // must not grow the cache past its cap.
+        let mut cache: DocResultCache<usize> = DocResultCache::with_capacity(0, 4);
+        for i in 0..1000 {
+            assert!(cache.insert(CacheKey::CertainAnswers(format!("q{i}")), 0, i));
+            assert!(cache.len() <= 4, "cache grew past its cap at insert {i}");
+        }
+        // The most recent four survive.
+        for i in 996..1000 {
+            assert_eq!(
+                cache.get(&CacheKey::CertainAnswers(format!("q{i}"))),
+                Some(&i)
+            );
+        }
+        assert_eq!(cache.get(&CacheKey::CertainAnswers("q0".into())), None);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut cache: DocResultCache<u32> = DocResultCache::with_capacity(0, 2);
+        cache.insert(CacheKey::Consistency, 0, 1);
+        cache.insert(CacheKey::CanonicalSolution, 0, 2);
+        // Touch the older entry, then insert a third key: the *untouched*
+        // middle entry is the LRU victim.
+        assert_eq!(cache.get(&CacheKey::Consistency), Some(&1));
+        cache.insert(CacheKey::CertainBoolean("q".into()), 0, 3);
+        assert_eq!(cache.get(&CacheKey::Consistency), Some(&1));
+        assert_eq!(cache.get(&CacheKey::CanonicalSolution), None);
+        assert_eq!(cache.get(&CacheKey::CertainBoolean("q".into())), Some(&3));
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache: DocResultCache<u32> = DocResultCache::with_capacity(0, 2);
+        cache.insert(CacheKey::Consistency, 0, 1);
+        cache.insert(CacheKey::CanonicalSolution, 0, 2);
+        // Overwrite in place at the cap: both keys must survive.
+        cache.insert(CacheKey::Consistency, 0, 9);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&CacheKey::Consistency), Some(&9));
+        assert_eq!(cache.get(&CacheKey::CanonicalSolution), Some(&2));
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_the_version() {
+        let mut cache: DocResultCache<u32> = DocResultCache::new(5);
+        cache.insert(CacheKey::Consistency, 5, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.version(), 5);
+        assert!(cache.insert(CacheKey::Consistency, 5, 2));
     }
 
     #[test]

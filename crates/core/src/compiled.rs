@@ -203,9 +203,9 @@ impl RepairContextCache {
 /// setting can serve concurrent requests — share it behind an `Arc` or via
 /// scoped threads, or use [`crate::engine::BatchEngine`] for whole batches.
 pub struct CompiledSetting<'s> {
-    setting: &'s DataExchangeSetting,
-    source: &'s CompiledDtd,
-    target: &'s CompiledDtd,
+    setting: SettingHold<'s>,
+    source: Arc<CompiledDtd>,
+    target: Arc<CompiledDtd>,
     stds: Vec<CompiledStd>,
     /// Element types forced by target patterns; repair contexts must cover
     /// them in addition to the content-model alphabet.
@@ -216,6 +216,28 @@ pub struct CompiledSetting<'s> {
     nested: OnceLock<Option<NestedRelationalPlan>>,
     source_solver: OnceLock<PatternSatisfiability>,
     target_solver: OnceLock<PatternSatisfiability>,
+}
+
+/// How a [`CompiledSetting`] holds its setting: borrowed (the historical
+/// embed-in-your-stack shape, zero indirection) or owned behind an `Arc`
+/// (what a *registry* of settings uploaded at runtime needs — a
+/// `CompiledSetting<'static>` with no external lifetime to thread through
+/// caches and worker pools).
+#[derive(Debug)]
+enum SettingHold<'s> {
+    Borrowed(&'s DataExchangeSetting),
+    Owned(Arc<DataExchangeSetting>),
+}
+
+impl std::ops::Deref for SettingHold<'_> {
+    type Target = DataExchangeSetting;
+
+    fn deref(&self) -> &DataExchangeSetting {
+        match self {
+            SettingHold::Borrowed(s) => s,
+            SettingHold::Owned(s) => s,
+        }
+    }
 }
 
 // Compile-time audit: the whole compiled layer must stay shareable across
@@ -243,8 +265,21 @@ impl<'s> CompiledSetting<'s> {
     /// caches (repair contexts, consistency plans) fill in lazily on first
     /// use and then persist for the lifetime of this value.
     pub fn new(setting: &'s DataExchangeSetting) -> Self {
-        let source = setting.source_dtd.compiled();
-        let target = setting.target_dtd.compiled();
+        CompiledSetting::from_hold(SettingHold::Borrowed(setting))
+    }
+
+    /// As [`CompiledSetting::new`], but owning the setting behind an `Arc`.
+    /// The result is `'static`: the shape a setting *registry* needs, where
+    /// settings arrive over the wire at runtime and compiled artefacts are
+    /// cached and shared with no enclosing stack frame to borrow from.
+    pub fn new_owned(setting: Arc<DataExchangeSetting>) -> CompiledSetting<'static> {
+        CompiledSetting::from_hold(SettingHold::Owned(setting))
+    }
+
+    fn from_hold(hold: SettingHold<'s>) -> Self {
+        let setting: &DataExchangeSetting = &hold;
+        let source = setting.source_dtd.compiled_arc();
+        let target = setting.target_dtd.compiled_arc();
         let target_root = setting.target_dtd.root();
         let mut forced_target_elements: BTreeSet<ElementType> = BTreeSet::new();
         let stds = setting
@@ -252,8 +287,8 @@ impl<'s> CompiledSetting<'s> {
             .iter()
             .map(|std| {
                 forced_target_elements.extend(std.target.element_types());
-                let source_compiled = CompiledPattern::new(&std.source, source);
-                let target_compiled = CompiledPattern::new(&std.target, target);
+                let source_compiled = CompiledPattern::new(&std.source, &source);
+                let target_compiled = CompiledPattern::new(&std.target, &target);
                 // One free-vars pass per side covers both variable sets
                 // (`Std::{shared,target_only}_vars` would each redo both).
                 let source_vars = std.source.free_vars();
@@ -276,7 +311,7 @@ impl<'s> CompiledSetting<'s> {
             })
             .collect();
         CompiledSetting {
-            setting,
+            setting: hold,
             source,
             target,
             stds,
@@ -289,18 +324,18 @@ impl<'s> CompiledSetting<'s> {
     }
 
     /// The underlying setting.
-    pub fn setting(&self) -> &'s DataExchangeSetting {
-        self.setting
+    pub fn setting(&self) -> &DataExchangeSetting {
+        &self.setting
     }
 
     /// The compiled source DTD.
-    pub fn source_dtd(&self) -> &'s CompiledDtd {
-        self.source
+    pub fn source_dtd(&self) -> &CompiledDtd {
+        &self.source
     }
 
     /// The compiled target DTD.
-    pub fn target_dtd(&self) -> &'s CompiledDtd {
-        self.target
+    pub fn target_dtd(&self) -> &CompiledDtd {
+        &self.target
     }
 
     /// The compiled STDs, in setting order.
@@ -340,7 +375,7 @@ impl<'s> CompiledSetting<'s> {
             null_vals: null_scratch,
             ..
         } = scratch;
-        let index = ExchangeScratch::index_for(source_index, source_tree, self.source);
+        let index = ExchangeScratch::index_for(source_index, source_tree, &self.source);
         for (std_index, cstd) in self.stds.iter().enumerate() {
             if cstd.target_uses_wildcard {
                 return Err(SolutionError::WildcardInTarget { std_index });
@@ -749,7 +784,7 @@ impl<'s> CompiledSetting<'s> {
             eval,
             ..
         } = scratch;
-        let index = ExchangeScratch::index_for(solution_index, &solution, self.target);
+        let index = ExchangeScratch::index_for(solution_index, &solution, &self.target);
         let tuples = crate::certain::certain_tuples_planned_with(&solution, plan, index, eval);
         Ok(crate::certain::CertainAnswers { tuples, solution })
     }
@@ -769,7 +804,7 @@ impl<'s> CompiledSetting<'s> {
             eval,
             ..
         } = scratch;
-        let index = ExchangeScratch::index_for(solution_index, &solution, self.target);
+        let index = ExchangeScratch::index_for(solution_index, &solution, &self.target);
         Ok(plan.evaluate_boolean_with(&solution, index, eval))
     }
 
@@ -787,8 +822,8 @@ impl<'s> CompiledSetting<'s> {
         if !conforms {
             return false;
         }
-        let source_index = TreeIndex::new(source_tree, self.source);
-        let target_index = TreeIndex::new(target_tree, self.target);
+        let source_index = TreeIndex::new(source_tree, &self.source);
+        let target_index = TreeIndex::new(target_tree, &self.target);
         for cstd in &self.stds {
             let target_matches = cstd.target_plan().all_matches(target_tree, &target_index);
             let all_hold = cstd

@@ -30,6 +30,15 @@ use xdx_patterns::plan::QueryPlan;
 use xdx_patterns::query::UnionQuery;
 use xdx_xmltree::XmlTree;
 
+/// Default worker count: the machine's available parallelism, probed once
+/// at engine construction (never again on the request path — serving
+/// decisions gate on [`BatchEngine::configured_parallelism`] alone).
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A compiled setting plus a thread pool configuration; see the module docs.
 ///
 /// Build one per setting with [`BatchEngine::new`], tune the worker count
@@ -46,12 +55,19 @@ impl<'s> BatchEngine<'s> {
     /// Compile `setting` and configure as many workers as the machine has
     /// available parallelism.
     pub fn new(setting: &'s DataExchangeSetting) -> Self {
-        let parallelism = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         BatchEngine {
             compiled: CompiledSetting::new(setting),
-            parallelism,
+            parallelism: default_parallelism(),
+        }
+    }
+
+    /// As [`BatchEngine::new`], but owning the setting behind an `Arc` —
+    /// the engine is `'static` and can live in a registry of settings
+    /// uploaded at runtime (see [`CompiledSetting::new_owned`]).
+    pub fn new_owned(setting: std::sync::Arc<DataExchangeSetting>) -> BatchEngine<'static> {
+        BatchEngine {
+            compiled: CompiledSetting::new_owned(setting),
+            parallelism: default_parallelism(),
         }
     }
 

@@ -44,6 +44,7 @@ pub mod consistency;
 pub mod engine;
 pub mod gadgets;
 pub mod ordering;
+pub mod settext;
 pub mod setting;
 pub mod solution;
 mod template;
@@ -58,5 +59,6 @@ pub use compiled::{CompiledSetting, CompiledStd, ExchangeScratch};
 pub use consistency::{check_consistency, ConsistencyMethod, ConsistencyVerdict};
 pub use engine::BatchEngine;
 pub use ordering::{impose_sibling_order, impose_sibling_order_with, SiblingOrderMemo};
+pub use settext::{parse_setting, setting_to_text, SettingTextError};
 pub use setting::{DataExchangeSetting, SettingError, Std};
 pub use solution::{canonical_presolution, canonical_solution, is_solution, SolutionError};

@@ -1,0 +1,395 @@
+//! The setting-upload text syntax: a whole data exchange setting
+//! (source DTD, target DTD, STDs) in one string.
+//!
+//! This is the wire format of the server's setting registry — tenants
+//! upload settings as text, the server parses and compiles them. The
+//! grammar composes the workspace's existing sub-syntaxes instead of
+//! inventing new ones: content models are `xdx-relang` regex text, STDs are
+//! the pattern rule syntax of [`crate::setting::Std::parse`], and the
+//! tokenizer is the shared [`xdx_xmltree::lexer`] (the hoisted cursor the
+//! tree-text and pattern grammars are also built on — this module is the
+//! reason it was hoisted).
+//!
+//! ## Grammar
+//!
+//! ```text
+//! setting ::= 'source' dtd_block 'target' dtd_block std_line*
+//! dtd_block ::= '{' 'root' NAME ';' decl* '}'
+//! decl    ::= 'rule' NAME '=' REGEX ';'          (relang content-model text)
+//!           | 'attrs' NAME '=' NAME (',' NAME)* ';'
+//! std_line ::= 'std' STD ';'                     (pattern rule text,
+//!                                                 target :- source)
+//! NAME    ::= [A-Za-z0-9_@.-]+
+//! ```
+//!
+//! `REGEX` and `STD` bodies run to the terminating `;` — inside an STD, a
+//! `;` inside a quoted pattern constant does *not* terminate (constants are
+//! raw text in the pattern grammar, so `"a;b"` is a legal title).
+//! Whitespace (including newlines) separates tokens and is otherwise
+//! ignored. Example — the paper's books→writers setting:
+//!
+//! ```text
+//! source {
+//!   root db;
+//!   rule db = book*;
+//!   rule book = author*;
+//!   rule author = eps;
+//!   attrs book = @title;
+//!   attrs author = @name, @aff;
+//! }
+//! target {
+//!   root bib;
+//!   rule bib = writer*;
+//!   rule writer = work*;
+//!   rule work = eps;
+//!   attrs writer = @name;
+//!   attrs work = @title, @year;
+//! }
+//! std bib[writer(@name=$y)[work(@title=$x, @year=$z)]]
+//!     :- db[book(@title=$x)[author(@name=$y)]];
+//! ```
+//!
+//! [`setting_to_text`] renders any setting whose element/attribute names
+//! fit the `NAME` alphabet (everything the parser itself can produce), and
+//! `parse_setting(&setting_to_text(s))` reconstructs `s` exactly — the
+//! round-trip the proptests in `tests/settings.rs` pin down.
+//!
+//! Robustness: every sub-parser is either iterative or depth-capped
+//! (`relang::MAX_REGEX_DEPTH`, `patterns::MAX_PATTERN_DEPTH`), the input
+//! length is capped before any work, and every malformed input is a
+//! structured [`SettingTextError`] — never a panic. Semantic validation
+//! ([`DataExchangeSetting::validate`]) runs after parsing, so a
+//! syntactically well-formed setting with, say, an STD over unknown element
+//! types is rejected here too.
+
+use crate::setting::{DataExchangeSetting, SettingError, Std};
+use std::fmt;
+use xdx_xmltree::lexer::{Cursor, LexError};
+use xdx_xmltree::{Dtd, DtdError};
+
+/// Hard cap on the byte length of a setting text. Settings are schemas, not
+/// documents — far smaller than any document cap — and the registry hashes
+/// and retains the text of every bound setting, so the cap also bounds
+/// registry memory per binding.
+pub const MAX_SETTING_TEXT_BYTES: usize = 1 << 20;
+
+/// Error raised by [`parse_setting`]: where in the text, and what went
+/// wrong — lexical, in a nested sub-grammar, or semantic (a structurally
+/// valid setting the engine rejects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettingTextError {
+    /// Byte offset of the error in the input (the start of the offending
+    /// sub-grammar body for nested regex/STD/DTD errors).
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SettingTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "setting text error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for SettingTextError {}
+
+impl From<LexError> for SettingTextError {
+    fn from(e: LexError) -> Self {
+        SettingTextError {
+            position: e.position,
+            message: e.message,
+        }
+    }
+}
+
+/// The `NAME` alphabet — identical to the tree-text identifier alphabet, so
+/// any element/attribute name this grammar admits serializes unquoted in
+/// documents too.
+fn name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '@' | '.' | '-')
+}
+
+/// Parse a whole data exchange setting from its text form (see the module
+/// docs for the grammar) and validate it semantically. Never panics; the
+/// worst hostile input costs `O(len)` work.
+pub fn parse_setting(input: &str) -> Result<DataExchangeSetting, SettingTextError> {
+    if input.len() > MAX_SETTING_TEXT_BYTES {
+        return Err(SettingTextError {
+            position: 0,
+            message: format!(
+                "input of {} bytes exceeds the {MAX_SETTING_TEXT_BYTES}-byte setting cap",
+                input.len()
+            ),
+        });
+    }
+    let mut cur = Cursor::new(input);
+    expect_keyword(&mut cur, "source")?;
+    let source_dtd = parse_dtd_block(&mut cur, "source")?;
+    expect_keyword(&mut cur, "target")?;
+    let target_dtd = parse_dtd_block(&mut cur, "target")?;
+    let mut stds = Vec::new();
+    while cur.eat_str("std") {
+        cur.skip_ws();
+        let start = cur.pos();
+        let body = take_until_semi(&mut cur)?;
+        let std = Std::parse(body).map_err(|e| SettingTextError {
+            position: start + e.position,
+            message: format!("in STD: {}", e.message),
+        })?;
+        cur.expect(';')?;
+        stds.push(std);
+    }
+    if !cur.at_end() {
+        return Err(cur
+            .error("expected 'std' or end of input after the target DTD")
+            .into());
+    }
+    let setting = DataExchangeSetting::new(source_dtd, target_dtd, stds);
+    setting
+        .validate(false)
+        .map_err(|e: SettingError| SettingTextError {
+            position: input.len(),
+            message: format!("invalid setting: {e}"),
+        })?;
+    Ok(setting)
+}
+
+fn expect_keyword(cur: &mut Cursor<'_>, kw: &str) -> Result<(), SettingTextError> {
+    if cur.eat_str(kw) {
+        Ok(())
+    } else {
+        Err(cur.error(format!("expected '{kw}'")).into())
+    }
+}
+
+/// One `{ root NAME; decl* }` block, lowered through [`Dtd::builder`] (which
+/// parses each content model with `xdx-relang` and validates the DTD's
+/// structural rules).
+fn parse_dtd_block(cur: &mut Cursor<'_>, which: &str) -> Result<Dtd, SettingTextError> {
+    cur.expect('{')?;
+    expect_keyword(cur, "root")?;
+    let root = cur.ident(name_char, "the root element name")?.to_string();
+    cur.expect(';')?;
+    let block_start = cur.pos();
+    let mut builder = Dtd::builder(root);
+    loop {
+        if cur.eat_str("rule") {
+            let elem = cur
+                .ident(name_char, "an element name after 'rule'")?
+                .to_string();
+            cur.expect('=')?;
+            cur.skip_ws();
+            let body_start = cur.pos();
+            let body = take_until_semi(cur)?;
+            cur.expect(';')?;
+            // Reject now (with the body's own position) rather than letting
+            // `build()` report it without one.
+            if let Err(e) = xdx_relang::parser::parse(body) {
+                return Err(SettingTextError {
+                    position: body_start + e.position,
+                    message: format!("in the content model of {elem}: {}", e.message),
+                });
+            }
+            builder = builder.rule(elem, body);
+        } else if cur.eat_str("attrs") {
+            let elem = cur
+                .ident(name_char, "an element name after 'attrs'")?
+                .to_string();
+            cur.expect('=')?;
+            let mut names = Vec::new();
+            loop {
+                names.push(cur.ident(name_char, "an attribute name")?.to_string());
+                if cur.eat(',') {
+                    continue;
+                }
+                cur.expect(';')?;
+                break;
+            }
+            builder = builder.attributes(elem, names);
+        } else if cur.eat('}') {
+            break;
+        } else {
+            return Err(cur
+                .error("expected 'rule', 'attrs' or '}' in a DTD block")
+                .into());
+        }
+    }
+    builder.build().map_err(|e: DtdError| SettingTextError {
+        position: block_start,
+        message: format!("invalid {which} DTD: {e}"),
+    })
+}
+
+/// The raw text up to the terminating `;` — skipping `;` inside quoted
+/// pattern constants (raw strings, no escapes: the quote state simply
+/// toggles). Errors if the input ends first.
+fn take_until_semi<'a>(cur: &mut Cursor<'a>) -> Result<&'a str, SettingTextError> {
+    let mut in_quotes = false;
+    let body = cur.take_while(|c| {
+        if c == '"' {
+            in_quotes = !in_quotes;
+        }
+        in_quotes || c != ';'
+    });
+    if cur.peek() == Some(';') {
+        Ok(body)
+    } else {
+        Err(cur.error("unterminated body: expected ';'").into())
+    }
+}
+
+/// Render `setting` in the text syntax of [`parse_setting`]. The inverse of
+/// parsing for every setting the parser can produce: element and attribute
+/// names in the `NAME` alphabet, content models whose `Display` re-parses
+/// (true for everything but the unwritable `∅`), STD constants without `"`.
+pub fn setting_to_text(setting: &DataExchangeSetting) -> String {
+    let mut out = String::new();
+    push_dtd(&mut out, "source", &setting.source_dtd);
+    push_dtd(&mut out, "target", &setting.target_dtd);
+    for std in &setting.stds {
+        out.push_str(&format!("std {std};\n"));
+    }
+    out
+}
+
+fn push_dtd(out: &mut String, which: &str, dtd: &Dtd) {
+    out.push_str(which);
+    out.push_str(" {\n");
+    out.push_str(&format!("  root {};\n", dtd.root()));
+    // `element_types()` iterates the rule map in sorted order, so rendering
+    // is deterministic and re-parsing rebuilds the identical map.
+    for elem in dtd.element_types() {
+        out.push_str(&format!("  rule {elem} = {};\n", dtd.rule(elem)));
+    }
+    for elem in dtd.element_types() {
+        let attrs = dtd.attrs_of(elem);
+        if !attrs.is_empty() {
+            let names: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+            out.push_str(&format!("  attrs {elem} = {};\n", names.join(", ")));
+        }
+    }
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setting::books_to_writers_setting;
+
+    #[test]
+    fn parses_the_books_to_writers_setting() {
+        let text = "
+            source {
+              root db;
+              rule db = book*;
+              rule book = author*;
+              rule author = eps;
+              attrs book = @title;
+              attrs author = @name, @aff;
+            }
+            target {
+              root bib;
+              rule bib = writer*;
+              rule writer = work*;
+              rule work = eps;
+              attrs writer = @name;
+              attrs work = @title, @year;
+            }
+            std bib[writer(@name=$y)[work(@title=$x, @year=$z)]]
+                :- db[book(@title=$x)[author(@name=$y)]];
+        ";
+        let parsed = parse_setting(text).unwrap();
+        let fixture = books_to_writers_setting();
+        assert_eq!(parsed.to_string(), fixture.to_string());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let setting = books_to_writers_setting();
+        let text = setting_to_text(&setting);
+        let back = parse_setting(&text).unwrap();
+        assert_eq!(back.to_string(), setting.to_string());
+        // And rendering is a fixed point.
+        assert_eq!(setting_to_text(&back), text);
+    }
+
+    #[test]
+    fn semicolons_inside_std_constants_do_not_terminate() {
+        let text = "
+            source { root r; rule r = a*; rule a = eps; attrs a = @x; }
+            target { root t; rule t = b*; rule b = eps; attrs b = @x; }
+            std t[b(@x=\"v;1\")] :- r[a(@x=\"v;1\")];
+        ";
+        let s = parse_setting(text).unwrap();
+        assert_eq!(s.stds.len(), 1);
+        assert!(s.stds[0].to_string().contains("v;1"));
+    }
+
+    #[test]
+    fn structured_errors_never_panics() {
+        for bad in [
+            "",
+            "source",
+            "source {",
+            "source { root; }",
+            "source { root r }",
+            "source { root r; rule }",
+            "source { root r; rule r = ; }",
+            "source { root r; rule r = (a; }",
+            "source { root r; rule r = a*; } target",
+            "source { root r; rule r = a*; } target { root t; } trailing",
+            "source { root r; rule r = a*; } target { root t; } std ;",
+            "source { root r; rule r = a*; } target { root t; } std x :- y",
+            "source { root r; rule r = r; } target { root t; }",
+            "source { root r; attrs r = @a; } target { root t; }",
+            "source { root r; rule r = a*; rule r = b; } target { root t; }",
+        ] {
+            let err = parse_setting(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.to_string().contains("byte"));
+        }
+    }
+
+    #[test]
+    fn semantic_validation_runs() {
+        // Syntactically fine, semantically broken: the STD mentions an
+        // element the target DTD does not declare.
+        let text = "
+            source { root r; rule r = a*; rule a = eps; }
+            target { root t; rule t = b*; rule b = eps; }
+            std nope[b] :- r[a];
+        ";
+        let err = parse_setting(text).unwrap_err();
+        assert!(err.message.contains("invalid setting"), "{err}");
+    }
+
+    #[test]
+    fn depth_bombs_in_sub_grammars_are_errors() {
+        let regex_bomb = format!(
+            "source {{ root r; rule r = {}a{}; }} target {{ root t; }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let err = parse_setting(&regex_bomb).unwrap_err();
+        assert!(err.message.contains("nesting-depth"), "{err}");
+
+        let std_bomb = format!(
+            "source {{ root r; rule r = a*; rule a = eps; }} target {{ root t; rule t = b*; rule b = eps; }} std {}b{} :- r;",
+            "t[".repeat(10_000),
+            "]".repeat(10_000)
+        );
+        let err = parse_setting(&std_bomb).unwrap_err();
+        assert!(err.message.contains("nesting-depth"), "{err}");
+    }
+
+    #[test]
+    fn oversized_inputs_are_rejected_before_parsing() {
+        let big = "x".repeat(MAX_SETTING_TEXT_BYTES + 1);
+        let err = parse_setting(&big).unwrap_err();
+        assert!(err.message.contains("setting cap"), "{err}");
+    }
+}

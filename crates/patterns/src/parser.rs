@@ -20,7 +20,15 @@
 use crate::pattern::{AttrBinding, AttrFormula, LabelTest, Term, TreePattern, Var};
 use crate::query::{ConjunctiveTreeQuery, QueryError, UnionQuery};
 use std::fmt;
+use xdx_xmltree::lexer::{Cursor, LexError};
 use xdx_xmltree::{AttrName, ElementType};
+
+/// Hard cap on pattern nesting depth (`[`-nesting plus `//` chains). The
+/// parser is recursive-descent, so without a cap a hostile input of a few
+/// hundred kilobytes (`a[a[a[…`) would overflow the parsing thread's stack
+/// rather than return an error. Far above any pattern the paper's
+/// constructions produce, and far below stack-overflow territory.
+pub const MAX_PATTERN_DEPTH: usize = 512;
 
 /// Error raised by [`parse_pattern`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +50,15 @@ impl fmt::Display for PatternParseError {
 }
 
 impl std::error::Error for PatternParseError {}
+
+impl From<LexError> for PatternParseError {
+    fn from(e: LexError) -> Self {
+        PatternParseError {
+            position: e.position,
+            message: e.message,
+        }
+    }
+}
 
 /// Error raised by [`parse_query`]: either the text does not parse, or it
 /// parses into a structurally invalid query (unbound head variable,
@@ -80,10 +97,11 @@ impl From<QueryError> for QueryParseError {
 
 /// Parse a tree-pattern formula from its text syntax.
 pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
-    let mut p = Parser { input, pos: 0 };
-    let pat = p.parse_pattern()?;
-    p.skip_ws();
-    if p.pos < p.input.len() {
+    let mut p = Parser {
+        cur: Cursor::new(input),
+    };
+    let pat = p.parse_pattern(0)?;
+    if !p.cur.at_end() {
         return Err(p.error("unexpected trailing input"));
     }
     Ok(pat)
@@ -111,112 +129,83 @@ pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
 /// assert_eq!(q, round);
 /// ```
 pub fn parse_query(input: &str) -> Result<UnionQuery, QueryParseError> {
-    let mut p = Parser { input, pos: 0 };
+    let mut p = Parser {
+        cur: Cursor::new(input),
+    };
     let mut branches = vec![p.parse_branch()?];
-    while p.eat('∪') || p.eat('|') {
+    while p.cur.eat('∪') || p.cur.eat('|') {
         branches.push(p.parse_branch()?);
     }
-    p.skip_ws();
-    if p.pos < p.input.len() {
+    if !p.cur.at_end() {
         return Err(p.error("unexpected trailing input").into());
     }
     Ok(UnionQuery::new(branches)?)
 }
 
+/// The identifier alphabet of this grammar (deliberately Unicode-friendly —
+/// paper examples use labels like `vr` but nothing stops a setting from
+/// using non-ASCII element names).
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '@' || c == '-' || c == '.'
+}
+
+/// The grammar layer over the shared [`Cursor`] (see
+/// [`xdx_xmltree::lexer`]); tokenization lives there, pattern structure
+/// here.
 struct Parser<'a> {
-    input: &'a str,
-    pos: usize,
+    cur: Cursor<'a>,
 }
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> PatternParseError {
-        PatternParseError {
-            position: self.pos,
-            message: message.to_string(),
-        }
-    }
-
-    fn rest(&self) -> &'a str {
-        &self.input[self.pos..]
-    }
-
-    fn peek(&self) -> Option<char> {
-        self.rest().chars().next()
-    }
-
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek()?;
-        self.pos += c.len_utf8();
-        Some(c)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.bump();
-        }
-    }
-
-    fn eat(&mut self, c: char) -> bool {
-        self.skip_ws();
-        if self.peek() == Some(c) {
-            self.bump();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, c: char) -> Result<(), PatternParseError> {
-        if self.eat(c) {
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected {c:?}")))
-        }
+        self.cur.error(message).into()
     }
 
     /// One union branch: `(head vars) :- pattern ∧ … ∧ pattern`.
     fn parse_branch(&mut self) -> Result<ConjunctiveTreeQuery, QueryParseError> {
-        self.expect('(')?;
+        self.cur.expect('(').map_err(PatternParseError::from)?;
         let mut head: Vec<Var> = Vec::new();
-        if !self.eat(')') {
+        if !self.cur.eat(')') {
             loop {
-                self.expect('$')?;
+                self.cur.expect('$').map_err(PatternParseError::from)?;
                 head.push(Var::new(self.parse_ident()?));
-                if self.eat(',') {
+                if self.cur.eat(',') {
                     continue;
                 }
-                self.expect(')')?;
+                self.cur.expect(')').map_err(PatternParseError::from)?;
                 break;
             }
         }
-        self.skip_ws();
-        if !self.rest().starts_with(":-") {
+        if !self.cur.eat_str(":-") {
             return Err(self.error("expected ':-' after the query head").into());
         }
-        self.pos += 2;
-        let mut patterns = vec![self.parse_pattern()?];
-        while self.eat('∧') || self.eat('&') {
-            patterns.push(self.parse_pattern()?);
+        let mut patterns = vec![self.parse_pattern(0)?];
+        while self.cur.eat('∧') || self.cur.eat('&') {
+            patterns.push(self.parse_pattern(0)?);
         }
         Ok(ConjunctiveTreeQuery::new(head, patterns)?)
     }
 
-    fn parse_pattern(&mut self) -> Result<TreePattern, PatternParseError> {
-        self.skip_ws();
-        if self.rest().starts_with("//") {
-            self.pos += 2;
-            let inner = self.parse_pattern()?;
+    fn parse_pattern(&mut self, depth: usize) -> Result<TreePattern, PatternParseError> {
+        if depth >= MAX_PATTERN_DEPTH {
+            return Err(self.error(&format!(
+                "pattern exceeds the nesting-depth cap of {MAX_PATTERN_DEPTH}"
+            )));
+        }
+        self.cur.skip_ws();
+        if self.cur.eat_str("//") {
+            let inner = self.parse_pattern(depth + 1)?;
             return Ok(TreePattern::descendant(inner));
         }
         let attr = self.parse_attrform()?;
         let mut children = Vec::new();
-        if self.eat('[') {
+        if self.cur.eat('[') {
             loop {
-                children.push(self.parse_pattern()?);
-                if self.eat(',') {
+                children.push(self.parse_pattern(depth + 1)?);
+                if self.cur.eat(',') {
                     continue;
                 }
-                self.expect(']')?;
+                self.cur.expect(']')?;
                 break;
             }
         }
@@ -224,29 +213,28 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_attrform(&mut self) -> Result<AttrFormula, PatternParseError> {
-        self.skip_ws();
-        let label = if self.peek() == Some('_') {
-            self.bump();
+        self.cur.skip_ws();
+        let label = if self.cur.peek() == Some('_') {
+            self.cur.bump();
             LabelTest::Wildcard
         } else {
             let ident = self.parse_ident()?;
             LabelTest::Element(ElementType::new(ident))
         };
         let mut bindings = Vec::new();
-        if self.eat('(') {
+        if self.cur.eat('(') {
             loop {
-                self.skip_ws();
                 let attr = self.parse_ident()?;
-                self.expect('=')?;
+                self.cur.expect('=')?;
                 let term = self.parse_term()?;
                 bindings.push(AttrBinding {
                     attr: AttrName::new(attr),
                     term,
                 });
-                if self.eat(',') {
+                if self.cur.eat(',') {
                     continue;
                 }
-                self.expect(')')?;
+                self.cur.expect(')')?;
                 break;
             }
         }
@@ -254,45 +242,22 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_term(&mut self) -> Result<Term, PatternParseError> {
-        self.skip_ws();
-        match self.peek() {
+        self.cur.skip_ws();
+        match self.cur.peek() {
             Some('$') => {
-                self.bump();
+                self.cur.bump();
                 let ident = self.parse_ident()?;
                 Ok(Term::Var(Var::new(ident)))
             }
-            Some('"') => {
-                self.bump();
-                let start = self.pos;
-                while let Some(c) = self.peek() {
-                    if c == '"' {
-                        let s = self.input[start..self.pos].to_string();
-                        self.bump();
-                        return Ok(Term::Const(s));
-                    }
-                    self.bump();
-                }
-                Err(self.error("unterminated string constant"))
-            }
+            // Constants are raw up to the closing quote — no escapes, a
+            // deliberate difference from the tree-text grammar.
+            Some('"') => Ok(Term::Const(self.cur.quoted_raw()?.to_string())),
             _ => Err(self.error("expected a term: $variable or \"constant\"")),
         }
     }
 
     fn parse_ident(&mut self) -> Result<String, PatternParseError> {
-        self.skip_ws();
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c.is_alphanumeric() || c == '_' || c == '@' || c == '-' || c == '.' {
-                self.bump();
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            Err(self.error("expected an identifier"))
-        } else {
-            Ok(self.input[start..self.pos].to_string())
-        }
+        Ok(self.cur.ident(ident_char, "an identifier")?.to_string())
     }
 }
 
@@ -415,6 +380,21 @@ mod tests {
             parse_query("($x) :- writer(@name=$x) | () :- bib"),
             Err(QueryParseError::Invalid(QueryError::MismatchedArity { .. }))
         ));
+    }
+
+    #[test]
+    fn depth_bombs_error_instead_of_overflowing() {
+        // Deeper than MAX_PATTERN_DEPTH: both the `[`-nesting and the `//`
+        // chain must come back as structured errors, not stack overflows.
+        let bomb = "a[".repeat(100_000) + "b" + &"]".repeat(100_000);
+        let err = parse_pattern(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting-depth"), "{err}");
+        let slashes = "//".repeat(100_000) + "a";
+        let err = parse_pattern(&slashes).unwrap_err();
+        assert!(err.message.contains("nesting-depth"), "{err}");
+        // At the cap boundary both sides still work.
+        let deep = "a[".repeat(MAX_PATTERN_DEPTH - 1) + "b" + &"]".repeat(MAX_PATTERN_DEPTH - 1);
+        assert!(parse_pattern(&deep).is_ok());
     }
 
     #[test]

@@ -40,13 +40,19 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Hard cap on parenthesis-nesting depth. The parser is recursive-descent,
+/// so without a cap a hostile `((((…` input would overflow the parsing
+/// thread's stack instead of returning an error. Far beyond any content
+/// model the paper's constructions (or a sane DTD) produce.
+pub const MAX_REGEX_DEPTH: usize = 512;
+
 /// Parse a regular expression over string symbols.
 pub fn parse(input: &str) -> Result<Regex<String>, ParseError> {
     let mut p = Parser {
         chars: input.char_indices().peekable(),
         input,
     };
-    let e = p.parse_alt()?;
+    let e = p.parse_alt(0)?;
     p.skip_ws();
     if let Some(&(pos, c)) = p.chars.peek() {
         return Err(ParseError {
@@ -73,14 +79,14 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_alt(&mut self) -> Result<Regex<String>, ParseError> {
-        let mut terms = vec![self.parse_concat()?];
+    fn parse_alt(&mut self, depth: usize) -> Result<Regex<String>, ParseError> {
+        let mut terms = vec![self.parse_concat(depth)?];
         loop {
             self.skip_ws();
             match self.chars.peek() {
                 Some(&(_, '|')) => {
                     self.chars.next();
-                    terms.push(self.parse_concat()?);
+                    terms.push(self.parse_concat(depth)?);
                 }
                 _ => break,
             }
@@ -88,14 +94,14 @@ impl<'a> Parser<'a> {
         Ok(Regex::union(terms))
     }
 
-    fn parse_concat(&mut self) -> Result<Regex<String>, ParseError> {
+    fn parse_concat(&mut self, depth: usize) -> Result<Regex<String>, ParseError> {
         let mut factors = Vec::new();
         loop {
             self.skip_ws();
             match self.chars.peek() {
                 Some(&(_, c)) if c == ')' || c == '|' => break,
                 None => break,
-                _ => factors.push(self.parse_postfix()?),
+                _ => factors.push(self.parse_postfix(depth)?),
             }
         }
         if factors.is_empty() {
@@ -106,8 +112,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_postfix(&mut self) -> Result<Regex<String>, ParseError> {
-        let mut base = self.parse_atom()?;
+    fn parse_postfix(&mut self, depth: usize) -> Result<Regex<String>, ParseError> {
+        let mut base = self.parse_atom(depth)?;
         loop {
             match self.chars.peek() {
                 Some(&(_, '*')) => {
@@ -128,7 +134,7 @@ impl<'a> Parser<'a> {
         Ok(base)
     }
 
-    fn parse_atom(&mut self) -> Result<Regex<String>, ParseError> {
+    fn parse_atom(&mut self, depth: usize) -> Result<Regex<String>, ParseError> {
         self.skip_ws();
         match self.chars.peek().copied() {
             None => Err(ParseError {
@@ -136,8 +142,16 @@ impl<'a> Parser<'a> {
                 message: "unexpected end of input".to_string(),
             }),
             Some((pos, '(')) => {
+                if depth >= MAX_REGEX_DEPTH {
+                    return Err(ParseError {
+                        position: pos,
+                        message: format!(
+                            "expression exceeds the nesting-depth cap of {MAX_REGEX_DEPTH}"
+                        ),
+                    });
+                }
                 self.chars.next();
-                let inner = self.parse_alt()?;
+                let inner = self.parse_alt(depth + 1)?;
                 self.skip_ws();
                 match self.chars.next() {
                     Some((_, ')')) => Ok(inner),
@@ -258,6 +272,15 @@ mod tests {
         assert!(e.position >= 2);
         assert!(parse("(a").is_err());
         assert!(parse("").is_err() || parse("").unwrap() == Regex::Epsilon);
+    }
+
+    #[test]
+    fn paren_bombs_error_instead_of_overflowing() {
+        let bomb = "(".repeat(100_000) + "a" + &")".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting-depth"), "{}", err.message);
+        let deep = "(".repeat(MAX_REGEX_DEPTH - 1) + "a" + &")".repeat(MAX_REGEX_DEPTH - 1);
+        assert!(parse(&deep).is_ok());
     }
 
     #[test]

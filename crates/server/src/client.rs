@@ -16,8 +16,8 @@
 
 use crate::transport::Duplex;
 use crate::wire::{
-    self, Codec, DocResult, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireDoc,
-    WireError,
+    self, Codec, DocResult, RequestBody, RequestFrame, ResponseBody, ResponseFrame, SettingEntry,
+    WireDoc, WireError,
 };
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -72,6 +72,11 @@ pub struct Client {
     next_id: u64,
     /// Negotiated document codec (see [`Client::negotiate`]).
     codec: Codec,
+    /// Did the server accept [`wire::FEATURE_SETTINGS`]? Only then do
+    /// request frames carry a setting id.
+    settings: bool,
+    /// The setting id stamped on every request ([`Client::set_setting`]).
+    setting_id: u64,
     /// Request encode buffer, reused across pipelined sends: 4 reserved
     /// framing bytes + the payload, patched and written in one `write_all`.
     ebuf: Vec<u8>,
@@ -87,6 +92,8 @@ impl Client {
             transport,
             next_id: 1,
             codec: Codec::Text,
+            settings: false,
+            setting_id: 0,
             ebuf: Vec::new(),
             partials: HashMap::new(),
             last_chunks: 1,
@@ -125,6 +132,7 @@ impl Client {
                 } else {
                     Codec::Text
                 };
+                self.settings = accepted & wire::FEATURE_SETTINGS != 0;
                 Ok(accepted)
             }
             other => Err(unexpected("HelloOk", &other)),
@@ -163,7 +171,15 @@ impl Client {
         self.next_id += 1;
         self.ebuf.clear();
         self.ebuf.extend_from_slice(&[0u8; 4]); // framing, patched below
-        wire::encode_request_into(&RequestFrame { id, body }, &mut self.ebuf);
+        wire::encode_request_into(
+            &RequestFrame {
+                id,
+                setting_id: self.setting_id,
+                body,
+            },
+            self.settings,
+            &mut self.ebuf,
+        );
         let len = u32::try_from(self.ebuf.len() - 4).expect("request exceeds u32::MAX bytes");
         self.ebuf[0..4].copy_from_slice(&len.to_be_bytes());
         self.transport.write_all(&self.ebuf)?;
@@ -478,6 +494,53 @@ impl Client {
                 Ok(results.pop().expect("checked length"))
             }
             other => Err(unexpected("Booleans", &other)),
+        }
+    }
+
+    /// Address every subsequent request to setting `id` (v3). Takes
+    /// effect on the wire only after [`wire::FEATURE_SETTINGS`] was
+    /// negotiated; before that, requests implicitly address setting 0.
+    pub fn set_setting(&mut self, id: u64) {
+        self.setting_id = id;
+    }
+
+    /// The setting id subsequent requests address.
+    pub fn setting(&self) -> u64 {
+        self.setting_id
+    }
+
+    /// Upload a setting (the `settext` syntax) and bind it to `bind_id`
+    /// (v3). Returns the server's content hash of the canonical text and
+    /// whether an identical-text compilation was reused.
+    pub fn put_setting(&mut self, bind_id: u64, text: &str) -> Result<(u64, bool), ClientError> {
+        let body = RequestBody::PutSetting {
+            bind_id,
+            text: text.to_string(),
+        };
+        match self.round_trip(body)? {
+            ResponseBody::PutSettingOk {
+                content_hash,
+                reused,
+            } => Ok((content_hash, reused)),
+            other => Err(unexpected("PutSettingOk", &other)),
+        }
+    }
+
+    /// List the server's setting bindings (v3).
+    pub fn list_settings(&mut self) -> Result<Vec<SettingEntry>, ClientError> {
+        match self.round_trip(RequestBody::ListSettings)? {
+            ResponseBody::SettingList { entries } => Ok(entries),
+            other => Err(unexpected("SettingList", &other)),
+        }
+    }
+
+    /// Drop `bind_id`'s compiled artifact (v3); the binding, its text and
+    /// its stored documents survive. Returns whether an artifact was
+    /// resident.
+    pub fn evict_setting(&mut self, bind_id: u64) -> Result<bool, ClientError> {
+        match self.round_trip(RequestBody::EvictSetting { bind_id })? {
+            ResponseBody::EvictSettingOk { dropped } => Ok(dropped),
+            other => Err(unexpected("EvictSettingOk", &other)),
         }
     }
 

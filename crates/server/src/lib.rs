@@ -52,6 +52,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod client;
+mod registry;
 pub mod server;
 pub mod sys;
 mod transport;
@@ -61,5 +62,6 @@ pub use client::{Client, ClientError};
 pub use server::{ConfigError, Server, ServerConfig, ServerControl};
 pub use wire::{
     Codec, DocResult, ErrorCode, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,
-    WireDoc, WireError, FEATURE_BINARY_DOCS, FEATURE_CHUNKED_RESPONSES, SUPPORTED_FEATURES,
+    SettingEntry, WireDoc, WireError, FEATURE_BINARY_DOCS, FEATURE_CHUNKED_RESPONSES,
+    FEATURE_SETTINGS, SUPPORTED_FEATURES,
 };

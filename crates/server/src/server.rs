@@ -54,13 +54,14 @@
 //! connection (error frame, flush, close), since the stream can no longer
 //! be framed safely; merely malformed payloads only fail their own request.
 
+use crate::registry::Registry;
 use crate::sys::{Epoll, Event, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::transport::Duplex;
 use crate::wire::{
     self, Codec, DecodeError, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,
     WireDoc, WireError,
 };
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
@@ -71,11 +72,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use xdx_core::cache::CacheKey;
 use xdx_core::compiled::ExchangeScratch;
 use xdx_core::engine::BatchEngine;
+use xdx_core::settext::setting_to_text;
 use xdx_core::setting::DataExchangeSetting;
 use xdx_core::solution::SolutionError;
 use xdx_patterns::parser::parse_query;
 use xdx_patterns::plan::QueryPlan;
-use xdx_store::{decode_edits_exact, DocStore, StoreConfig, StoreError};
+use xdx_store::{decode_edits_exact, DocKey, DocStore, StoreConfig, StoreError};
 use xdx_xmltree::binary::ByteSink;
 use xdx_xmltree::{tree_to_text, XmlTree};
 
@@ -147,6 +149,21 @@ pub struct ServerConfig {
     /// server's WAL stays bounded by roughly this plus one record, instead
     /// of growing until clean shutdown. Ignored when the store is disabled.
     pub wal_checkpoint_bytes: u64,
+    /// Cap on setting *bindings* (v3 registry), counting the pinned
+    /// default binding 0. `PutSetting` of a new id beyond it answers
+    /// [`wire::ErrorCode::SettingLimit`].
+    pub max_settings: usize,
+    /// Cost budget of the compiled-setting LRU cache, in canonical
+    /// setting-text bytes. Past it, least-recently-used artifacts are
+    /// evicted (bindings, their text, and their stored documents survive;
+    /// the next request recompiles).
+    pub max_compiled_cost: u64,
+    /// Per-setting in-flight admission budget: across all connections, at
+    /// most this many unanswered requests may address one setting id, so a
+    /// flood against one tenant cannot starve the rest. The default equals
+    /// [`ServerConfig::max_inflight_total`], which makes the check
+    /// unobservable for v1/v2 traffic (it all addresses setting 0).
+    pub max_inflight_per_setting: usize,
 }
 
 impl Default for ServerConfig {
@@ -163,6 +180,9 @@ impl Default for ServerConfig {
             store_dir: None,
             max_resident_docs: 1024,
             wal_checkpoint_bytes: xdx_xmltree::limits::DEFAULT_FRAME_BYTES as u64,
+            max_settings: 64,
+            max_compiled_cost: 64 * xdx_core::settext::MAX_SETTING_TEXT_BYTES as u64,
+            max_inflight_per_setting: 256,
         }
     }
 }
@@ -208,13 +228,19 @@ impl ServerConfig {
     /// bounds the budgets exist to enforce.
     pub fn validate(&self) -> Result<(), ConfigError> {
         use xdx_xmltree::limits::MAX_DOCUMENT_BYTES;
-        let positive: [(&'static str, usize); 6] = [
+        let positive: [(&'static str, usize); 9] = [
             ("max_frame_bytes", self.max_frame_bytes),
             ("max_docs_per_request", self.max_docs_per_request),
             ("max_inflight_per_conn", self.max_inflight_per_conn),
             ("max_inflight_total", self.max_inflight_total),
+            ("max_inflight_per_setting", self.max_inflight_per_setting),
             ("max_connections", self.max_connections),
             ("chunk_bytes", self.chunk_bytes),
+            ("max_settings", self.max_settings),
+            (
+                "max_compiled_cost",
+                self.max_compiled_cost.min(usize::MAX as u64) as usize,
+            ),
         ];
         for (field, value) in positive {
             if value == 0 {
@@ -226,7 +252,7 @@ impl ServerConfig {
                 field: "max_buffered_response_bytes",
             });
         }
-        let capped: [(&'static str, usize, usize); 7] = [
+        let capped: [(&'static str, usize, usize); 9] = [
             ("workers", self.workers, 4096),
             ("max_frame_bytes", self.max_frame_bytes, MAX_DOCUMENT_BYTES),
             (
@@ -236,7 +262,13 @@ impl ServerConfig {
             ),
             ("max_inflight_per_conn", self.max_inflight_per_conn, 1 << 20),
             ("max_inflight_total", self.max_inflight_total, 1 << 20),
+            (
+                "max_inflight_per_setting",
+                self.max_inflight_per_setting,
+                1 << 20,
+            ),
             ("max_connections", self.max_connections, 1 << 20),
+            ("max_settings", self.max_settings, 1 << 20),
             ("chunk_bytes", self.chunk_bytes, MAX_DOCUMENT_BYTES),
         ];
         for (field, value, max) in capped {
@@ -304,6 +336,9 @@ struct Job {
 struct Done {
     slot: usize,
     generation: u64,
+    /// The setting the request addressed — releases its per-setting
+    /// admission budget when `last`.
+    setting_id: u64,
     bytes: Vec<u8>,
     last: bool,
 }
@@ -345,6 +380,8 @@ struct Conn {
     codec: Codec,
     /// Did the peer negotiate chunked responses?
     chunked: bool,
+    /// Did the peer negotiate the v3 settings frame layout?
+    settings: bool,
     /// Poisoned: flush remaining output, then close. No more reads parsed.
     closing: bool,
     /// Is `EPOLLOUT` currently part of the registration?
@@ -367,8 +404,8 @@ const MAX_FLUSH_IOV: usize = 32;
 /// [`Server::bind`], then call [`Server::run`] (typically on a dedicated
 /// thread, with the [`ServerControl`] from [`Server::control`] kept for
 /// shutdown).
-pub struct Server<'s> {
-    engine: BatchEngine<'s>,
+pub struct Server {
+    registry: Arc<Registry>,
     config: ServerConfig,
     tcp: Option<TcpListener>,
     unix: Option<UnixListener>,
@@ -378,17 +415,17 @@ pub struct Server<'s> {
     store: Option<ServerStore>,
 }
 
-impl<'s> Server<'s> {
+impl Server {
     /// Bind listeners for `setting`. At least one of `tcp_addr` (e.g.
     /// `"127.0.0.1:0"`) and `unix_path` must be given; both may be. The
     /// Unix socket file must not exist yet and is removed again when
     /// [`Server::run`] returns.
     pub fn bind(
-        setting: &'s DataExchangeSetting,
+        setting: &DataExchangeSetting,
         tcp_addr: Option<&str>,
         unix_path: Option<&Path>,
         config: ServerConfig,
-    ) -> io::Result<Server<'s>> {
+    ) -> io::Result<Server> {
         if tcp_addr.is_none() && unix_path.is_none() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -439,9 +476,20 @@ impl<'s> Server<'s> {
         } else {
             config.workers
         };
-        let engine = BatchEngine::new(setting).parallelism(workers);
-        Ok(Server {
+        // The startup setting becomes the registry's pinned binding 0 —
+        // every v1/v2 request (and any v3 request that does not name a
+        // setting) runs against it, so pre-registry deployments behave
+        // identically.
+        let engine = BatchEngine::new_owned(Arc::new(setting.clone())).parallelism(workers);
+        let registry = Arc::new(Registry::new(
             engine,
+            setting_to_text(setting),
+            workers,
+            config.max_settings,
+            config.max_compiled_cost,
+        ));
+        Ok(Server {
+            registry,
             config: ServerConfig { workers, ..config },
             tcp,
             unix,
@@ -469,7 +517,7 @@ impl<'s> Server<'s> {
     /// worker pool as scoped threads; joins everything before returning.
     pub fn run(self) -> io::Result<()> {
         let Server {
-            engine,
+            registry,
             config,
             tcp,
             unix,
@@ -479,7 +527,7 @@ impl<'s> Server<'s> {
             store,
         } = self;
         let shared = Arc::new(Shared::new());
-        let engine = &engine;
+        let registry = &registry;
         let store = &store;
         let result = std::thread::scope(|scope| {
             // The epoll instance is created *before* any worker spawns, so
@@ -491,7 +539,7 @@ impl<'s> Server<'s> {
                 let control = Arc::clone(&control);
                 scope.spawn(move || {
                     worker_loop(
-                        engine,
+                        registry,
                         store.as_ref(),
                         wal_checkpoint_bytes,
                         &shared,
@@ -511,6 +559,7 @@ impl<'s> Server<'s> {
                 free_slots: Vec::new(),
                 live_conns: 0,
                 total_inflight: 0,
+                inflight_per_setting: HashMap::new(),
                 next_generation: 0,
             };
             let result = event_loop.run();
@@ -538,7 +587,7 @@ impl<'s> Server<'s> {
 // ---------------------------------------------------------------------------
 
 fn worker_loop(
-    engine: &BatchEngine<'_>,
+    registry: &Registry,
     store: Option<&ServerStore>,
     wal_checkpoint_bytes: u64,
     shared: &Shared,
@@ -559,15 +608,77 @@ fn worker_loop(
             }
         };
         let writer = ResponseWriter::new(shared, control, &job);
-        respond(
-            engine,
-            store,
-            wal_checkpoint_bytes,
-            &mut scratch,
-            job.frame.body,
-            job.codec,
-            writer,
-        );
+        let setting_id = job.frame.setting_id;
+        match job.frame.body {
+            // Registry ops run here so compilation (potentially long)
+            // stays off the event loop, like every other expensive path.
+            body @ (RequestBody::PutSetting { .. }
+            | RequestBody::ListSettings
+            | RequestBody::EvictSetting { .. }) => {
+                registry_op(registry, store, body, writer);
+            }
+            body => {
+                // Resolve the addressed setting's engine: an LRU/cache
+                // hit is an `Arc` clone; a cold binding recompiles from
+                // its retained text right here, on this worker.
+                let engine = match registry.resolve(setting_id) {
+                    Ok(engine) => engine,
+                    Err(e) => {
+                        writer.whole(ResponseBody::Error(e));
+                        continue;
+                    }
+                };
+                respond(
+                    &engine,
+                    store,
+                    wal_checkpoint_bytes,
+                    &mut scratch,
+                    setting_id,
+                    body,
+                    job.codec,
+                    writer,
+                );
+            }
+        }
+    }
+}
+
+/// Answer one registry op (v3). A rebind that changes a setting's text
+/// invalidates that setting's derived store state — cached answers and
+/// validation baselines — while stored documents and versions survive
+/// untouched (they belong to the setting id, not the compiled artifact).
+fn registry_op(
+    registry: &Registry,
+    store: Option<&ServerStore>,
+    body: RequestBody,
+    w: ResponseWriter<'_>,
+) {
+    match body {
+        RequestBody::PutSetting { bind_id, text } => match registry.put(bind_id, &text) {
+            Ok(outcome) => {
+                if outcome.rebound {
+                    if let Some(store) = store {
+                        store
+                            .lock()
+                            .expect("store poisoned")
+                            .invalidate_setting(bind_id);
+                    }
+                }
+                w.whole(ResponseBody::PutSettingOk {
+                    content_hash: outcome.content_hash,
+                    reused: outcome.reused,
+                });
+            }
+            Err(e) => w.whole(ResponseBody::Error(e)),
+        },
+        RequestBody::ListSettings => w.whole(ResponseBody::SettingList {
+            entries: registry.list(),
+        }),
+        RequestBody::EvictSetting { bind_id } => match registry.evict(bind_id) {
+            Ok(dropped) => w.whole(ResponseBody::EvictSettingOk { dropped }),
+            Err(e) => w.whole(ResponseBody::Error(e)),
+        },
+        _ => unreachable!("caller matched a registry op"),
     }
 }
 
@@ -609,6 +720,7 @@ struct ResponseWriter<'w> {
     slot: usize,
     generation: u64,
     id: u64,
+    setting_id: u64,
     chunk_bytes: usize,
     seg: Vec<u8>,
 }
@@ -621,6 +733,7 @@ impl<'w> ResponseWriter<'w> {
             slot: job.slot,
             generation: job.generation,
             id: job.frame.id,
+            setting_id: job.frame.setting_id,
             chunk_bytes: job.chunk_bytes.max(1),
             seg: Vec::new(),
         };
@@ -660,6 +773,7 @@ impl<'w> ResponseWriter<'w> {
             .push(Done {
                 slot: self.slot,
                 generation: self.generation,
+                setting_id: self.setting_id,
                 bytes,
                 last,
             });
@@ -730,6 +844,7 @@ impl<'w> ResponseWriter<'w> {
             .push(Done {
                 slot: self.slot,
                 generation: self.generation,
+                setting_id: self.setting_id,
                 bytes,
                 last: true,
             });
@@ -838,23 +953,23 @@ fn store_disabled() -> WireError {
 /// serving the version that was current at dispatch is linearizable).
 fn stored_answer(
     store: &ServerStore,
-    doc_id: u64,
+    doc: DocKey,
     key: CacheKey,
     compute: impl FnOnce(&XmlTree) -> CachedAnswer,
 ) -> Result<CachedAnswer, WireError> {
     let (tree, version) = {
         let mut s = store.lock().expect("store poisoned");
-        if let Some(hit) = s.result_cache(doc_id).and_then(|c| c.get(&key).cloned()) {
+        if let Some(hit) = s.result_cache(doc).and_then(|c| c.get(&key).cloned()) {
             return Ok(hit);
         }
-        match s.get(doc_id) {
+        match s.get(doc) {
             Ok((tree, version)) => (tree.clone(), version),
             Err(e) => return Err(WireError::of_store_error(&e)),
         }
     };
     let value = compute(&tree);
     let mut s = store.lock().expect("store poisoned");
-    if let Some(cache) = s.result_cache(doc_id) {
+    if let Some(cache) = s.result_cache(doc) {
         cache.insert(key, version, value.clone());
     }
     Ok(value)
@@ -871,11 +986,13 @@ fn stored_answer(
 /// *before* the first body byte is streamed, so a logical response is
 /// either one whole error frame or a complete OK stream — never a
 /// half-written success.
+#[allow(clippy::too_many_arguments)]
 fn respond(
     engine: &BatchEngine<'_>,
     store: Option<&ServerStore>,
     wal_checkpoint_bytes: u64,
     scratch: &mut ExchangeScratch,
+    setting: u64,
     body: RequestBody,
     codec: Codec,
     mut w: ResponseWriter<'_>,
@@ -903,11 +1020,13 @@ fn respond(
             Err(e) => w.whole(ResponseBody::Error(e)),
             Ok(trees) => {
                 w.put_ok_header(OpCode::CanonicalSolution, trees.len());
-                // Intra-request fan-out needs real cores: with one CPU the
-                // spawn + channel + cold-scratch cost of the pool is pure
-                // loss against this worker's warm sequential loop.
-                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                if trees.len() > 1 && engine.configured_parallelism() > 1 && cores > 1 {
+                // Fan out on the engine's *configured* parallelism alone.
+                // Consulting live `available_parallelism()` here made the
+                // branch untestable (a 1-core CI box could never exercise
+                // the reorder buffer below) and second-guessed an explicit
+                // `workers` configuration; whoever builds the engine owns
+                // the single-core-pool-is-a-loss call.
+                if trees.len() > 1 && engine.configured_parallelism() > 1 {
                     // Multi-document request: fan the per-document chase out
                     // across the engine's pool ([`BatchEngine::canonical_solutions_for_each`]),
                     // exactly what a local batch call runs. Results arrive in
@@ -985,7 +1104,7 @@ fn respond(
             };
             let result = {
                 let mut s = store.lock().expect("store poisoned");
-                let result = s.put(doc_id, tree);
+                let result = s.put(DocKey::new(setting, doc_id), tree);
                 if result.is_ok() {
                     maybe_checkpoint(&mut s, wal_checkpoint_bytes);
                 }
@@ -1003,7 +1122,7 @@ fn respond(
             // Encode under the lock: the returned frame must be one
             // consistent (version, bytes) pair even if an edit races in.
             let mut s = store.lock().expect("store poisoned");
-            match s.get(doc_id) {
+            match s.get(DocKey::new(setting, doc_id)) {
                 Ok((tree, version)) => {
                     let doc = WireDoc::from_tree(tree, codec);
                     drop(s);
@@ -1031,7 +1150,7 @@ fn respond(
             };
             let result = {
                 let mut s = store.lock().expect("store poisoned");
-                let result = s.edit(doc_id, base_version, &batch);
+                let result = s.edit(DocKey::new(setting, doc_id), base_version, &batch);
                 if result.is_ok() {
                     maybe_checkpoint(&mut s, wal_checkpoint_bytes);
                 }
@@ -1050,7 +1169,7 @@ fn respond(
             };
             let result = {
                 let mut s = store.lock().expect("store poisoned");
-                let result = s.delete(doc_id);
+                let result = s.delete(DocKey::new(setting, doc_id));
                 if result.is_ok() {
                     maybe_checkpoint(&mut s, wal_checkpoint_bytes);
                 }
@@ -1065,16 +1184,25 @@ fn respond(
             let Some(store) = store else {
                 return w.whole(ResponseBody::Error(store_disabled()));
             };
-            let answer = stored_answer(store, doc_id, CacheKey::Consistency, |tree| {
-                CachedAnswer::Consistency(compiled.check_instance_consistency_with(tree, scratch))
-            });
+            let answer = stored_answer(
+                store,
+                DocKey::new(setting, doc_id),
+                CacheKey::Consistency,
+                |tree| {
+                    CachedAnswer::Consistency(
+                        compiled.check_instance_consistency_with(tree, scratch),
+                    )
+                },
+            );
             match answer {
                 Ok(CachedAnswer::Consistency(consistent)) => {
                     w.put_ok_header(OpCode::CheckConsistency, 1);
                     w.put_u8(consistent as u8);
                     w.finish();
                 }
-                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(DocKey::new(
+                    setting, doc_id,
+                )))),
                 Err(e) => w.whole(ResponseBody::Error(e)),
             }
         }
@@ -1082,16 +1210,21 @@ fn respond(
             let Some(store) = store else {
                 return w.whole(ResponseBody::Error(store_disabled()));
             };
-            let answer = stored_answer(store, doc_id, CacheKey::CanonicalSolution, |tree| {
-                CachedAnswer::Solution(compiled.canonical_solution_with(tree, scratch))
-            });
+            let answer = stored_answer(
+                store,
+                DocKey::new(setting, doc_id),
+                CacheKey::CanonicalSolution,
+                |tree| CachedAnswer::Solution(compiled.canonical_solution_with(tree, scratch)),
+            );
             match answer {
                 Ok(CachedAnswer::Solution(result)) => {
                     w.put_ok_header(OpCode::CanonicalSolution, 1);
                     put_solution(&mut w, codec, result);
                     w.finish();
                 }
-                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(DocKey::new(
+                    setting, doc_id,
+                )))),
                 Err(e) => w.whole(ResponseBody::Error(e)),
             }
         }
@@ -1105,21 +1238,28 @@ fn respond(
                 Ok(q) => q,
                 Err(e) => return w.whole(ResponseBody::Error(WireError::of_query_error(&e))),
             };
-            let answer = stored_answer(store, doc_id, CacheKey::CertainAnswers(query), |tree| {
-                let plan = QueryPlan::new(&parsed, compiled.target_dtd());
-                CachedAnswer::Answers(
-                    compiled
-                        .certain_answers_planned_with(tree, &plan, scratch)
-                        .map(|answers| answers.tuples.into_iter().collect()),
-                )
-            });
+            let answer = stored_answer(
+                store,
+                DocKey::new(setting, doc_id),
+                CacheKey::CertainAnswers(query),
+                |tree| {
+                    let plan = QueryPlan::new(&parsed, compiled.target_dtd());
+                    CachedAnswer::Answers(
+                        compiled
+                            .certain_answers_planned_with(tree, &plan, scratch)
+                            .map(|answers| answers.tuples.into_iter().collect()),
+                    )
+                },
+            );
             match answer {
                 Ok(CachedAnswer::Answers(result)) => {
                     w.put_ok_header(OpCode::CertainAnswers, 1);
                     put_answers(&mut w, result);
                     w.finish();
                 }
-                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(DocKey::new(
+                    setting, doc_id,
+                )))),
                 Err(e) => w.whole(ResponseBody::Error(e)),
             }
         }
@@ -1131,19 +1271,40 @@ fn respond(
                 Ok(q) => q,
                 Err(e) => return w.whole(ResponseBody::Error(WireError::of_query_error(&e))),
             };
-            let answer = stored_answer(store, doc_id, CacheKey::CertainBoolean(query), |tree| {
-                let plan = QueryPlan::new(&parsed, compiled.target_dtd());
-                CachedAnswer::Boolean(compiled.certain_boolean_planned_with(tree, &plan, scratch))
-            });
+            let answer = stored_answer(
+                store,
+                DocKey::new(setting, doc_id),
+                CacheKey::CertainBoolean(query),
+                |tree| {
+                    let plan = QueryPlan::new(&parsed, compiled.target_dtd());
+                    CachedAnswer::Boolean(
+                        compiled.certain_boolean_planned_with(tree, &plan, scratch),
+                    )
+                },
+            );
             match answer {
                 Ok(CachedAnswer::Boolean(result)) => {
                     w.put_ok_header(OpCode::CertainAnswersBoolean, 1);
                     put_boolean(&mut w, result);
                     w.finish();
                 }
-                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(doc_id))),
+                Ok(_) => w.whole(ResponseBody::Error(cache_shape_error(DocKey::new(
+                    setting, doc_id,
+                )))),
                 Err(e) => w.whole(ResponseBody::Error(e)),
             }
+        }
+        // Registry ops are answered by the registry path before `respond`
+        // is reached; a job carrying one here is a dispatch bug, but
+        // answer it with a structured error instead of poisoning the
+        // worker.
+        RequestBody::PutSetting { .. }
+        | RequestBody::ListSettings
+        | RequestBody::EvictSetting { .. } => {
+            w.whole(ResponseBody::Error(WireError::new(
+                wire::ErrorCode::UnknownOp,
+                "registry op dispatched to the exchange path".to_string(),
+            )));
         }
     }
 }
@@ -1151,10 +1312,10 @@ fn respond(
 /// A cached answer came back under the wrong [`CachedAnswer`] variant.
 /// Unreachable as long as [`CacheKey`] → variant stays one-to-one; answer
 /// with a structured error instead of poisoning the worker.
-fn cache_shape_error(doc_id: u64) -> WireError {
+fn cache_shape_error(doc: DocKey) -> WireError {
     WireError::new(
         wire::ErrorCode::StoreIo,
-        format!("cached answer for document {doc_id} has the wrong shape"),
+        format!("cached answer for document {doc} has the wrong shape"),
     )
 }
 
@@ -1174,6 +1335,9 @@ struct EventLoop<'e> {
     free_slots: Vec<usize>,
     live_conns: usize,
     total_inflight: usize,
+    /// In-flight requests per addressed setting id (entries removed at
+    /// zero, so the map stays as small as the set of *active* settings).
+    inflight_per_setting: HashMap<u64, usize>,
     next_generation: u64,
 }
 
@@ -1270,6 +1434,7 @@ impl EventLoop<'_> {
             inflight: 0,
             codec: Codec::Text,
             chunked: false,
+            settings: false,
             closing: false,
             want_write: false,
             peer_eof: false,
@@ -1427,7 +1592,18 @@ impl EventLoop<'_> {
             .and_then(Option::as_ref)
             .map(|c| c.codec)
             .unwrap_or_default();
-        let request = match wire::decode_request(payload, self.config.max_docs_per_request, codec) {
+        let settings = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .map(|c| c.settings)
+            .unwrap_or(false);
+        let request = match wire::decode_request(
+            payload,
+            self.config.max_docs_per_request,
+            codec,
+            settings,
+        ) {
             Ok(request) => request,
             Err(DecodeError { id, error }) => {
                 // The framing is intact — only this request fails.
@@ -1467,6 +1643,7 @@ impl EventLoop<'_> {
                     Codec::Text
                 };
                 conn.chunked = accepted & wire::FEATURE_CHUNKED_RESPONSES != 0;
+                conn.settings = accepted & wire::FEATURE_SETTINGS != 0;
             }
             self.enqueue_response(
                 slot,
@@ -1477,13 +1654,42 @@ impl EventLoop<'_> {
             );
             return;
         }
+        if !settings
+            && matches!(
+                request.body,
+                RequestBody::PutSetting { .. }
+                    | RequestBody::ListSettings
+                    | RequestBody::EvictSetting { .. }
+            )
+        {
+            // To a v1/v2 peer these opcodes do not exist; rejecting them
+            // before negotiation keeps pre-v3 behavior exact.
+            self.enqueue_response(
+                slot,
+                &ResponseFrame {
+                    id: request.id,
+                    body: ResponseBody::Error(WireError::new(
+                        wire::ErrorCode::UnknownOp,
+                        "registry ops require negotiating FEATURE_SETTINGS",
+                    )),
+                },
+            );
+            return;
+        }
         let over_conn_cap = self
             .conns
             .get(slot)
             .and_then(Option::as_ref)
             .map(|c| c.inflight >= self.config.max_inflight_per_conn)
             .unwrap_or(true);
-        if over_conn_cap || self.total_inflight >= self.config.max_inflight_total {
+        let over_setting_cap = self
+            .inflight_per_setting
+            .get(&request.setting_id)
+            .is_some_and(|&n| n >= self.config.max_inflight_per_setting);
+        if over_conn_cap
+            || over_setting_cap
+            || self.total_inflight >= self.config.max_inflight_total
+        {
             self.enqueue_response(
                 slot,
                 &ResponseFrame {
@@ -1498,6 +1704,10 @@ impl EventLoop<'_> {
         };
         conn.inflight += 1;
         self.total_inflight += 1;
+        *self
+            .inflight_per_setting
+            .entry(request.setting_id)
+            .or_insert(0) += 1;
         let job = Job {
             slot,
             generation: conn.generation,
@@ -1528,6 +1738,12 @@ impl EventLoop<'_> {
         for completion in done {
             if completion.last {
                 self.total_inflight -= 1;
+                if let Some(n) = self.inflight_per_setting.get_mut(&completion.setting_id) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.inflight_per_setting.remove(&completion.setting_id);
+                    }
+                }
             }
             let Some(conn) = self.conns.get_mut(completion.slot).and_then(Option::as_mut) else {
                 continue; // connection died while the job ran

@@ -48,9 +48,20 @@ pub const FEATURE_BINARY_DOCS: u32 = 1 << 0;
 /// [`STATUS_OK_PARTIAL`] chunk frames.
 pub const FEATURE_CHUNKED_RESPONSES: u32 = 1 << 1;
 
+/// Feature flag (v3): multi-tenant settings. After negotiation every
+/// request payload carries a **setting id** (u64, directly after the
+/// request id) naming the setting binding the request addresses — id 0 is
+/// the setting the server was started with — and the registry ops
+/// ([`OpCode::PutSetting`], [`OpCode::ListSettings`],
+/// [`OpCode::EvictSetting`]) become available. Connections that do not
+/// negotiate this bit keep the v1/v2 layout byte for byte and implicitly
+/// address setting 0.
+pub const FEATURE_SETTINGS: u32 = 1 << 2;
+
 /// All feature bits this implementation understands; a server answers
 /// `Hello` with the intersection of this mask and the client's request.
-pub const SUPPORTED_FEATURES: u32 = FEATURE_BINARY_DOCS | FEATURE_CHUNKED_RESPONSES;
+pub const SUPPORTED_FEATURES: u32 =
+    FEATURE_BINARY_DOCS | FEATURE_CHUNKED_RESPONSES | FEATURE_SETTINGS;
 
 /// Which document codec a connection speaks. Text is the v1 format and the
 /// v2 default; Binary is switched on per connection by a successful
@@ -186,6 +197,12 @@ pub enum OpCode {
     CertainAnswersStored = 12,
     /// [`OpCode::CertainAnswersBoolean`] over one stored document (v2).
     CertainAnswersBooleanStored = 13,
+    /// Upload a setting's text and bind it to a setting id (v3).
+    PutSetting = 14,
+    /// List the server's setting bindings (v3).
+    ListSettings = 15,
+    /// Drop a binding's compiled artifact from the cache (v3).
+    EvictSetting = 16,
 }
 
 impl OpCode {
@@ -205,6 +222,9 @@ impl OpCode {
             11 => Some(OpCode::CanonicalSolutionStored),
             12 => Some(OpCode::CertainAnswersStored),
             13 => Some(OpCode::CertainAnswersBooleanStored),
+            14 => Some(OpCode::PutSetting),
+            15 => Some(OpCode::ListSettings),
+            16 => Some(OpCode::EvictSetting),
             _ => None,
         }
     }
@@ -256,6 +276,18 @@ pub enum ErrorCode {
     /// A `PutDoc`/`EditDoc` would grow the document's binary encoding past
     /// the codec's hard cap. v2.
     DocTooLarge = 17,
+    /// The request named a setting id with no binding (or a registry op
+    /// named the reserved default binding 0). v3.
+    UnknownSetting = 18,
+    /// The uploaded setting text failed to parse
+    /// ([`xdx_core::SettingTextError`]). v3.
+    SettingParse = 19,
+    /// The uploaded setting parsed but was rejected by compilation
+    /// (semantic validation). v3.
+    SettingReject = 20,
+    /// A registry limit was hit (binding count, compiled-cost budget, or
+    /// per-setting admission). v3.
+    SettingLimit = 21,
 
     /// [`SolutionError::NotFullySpecified`].
     NotFullySpecified = 100,
@@ -299,6 +331,10 @@ impl ErrorCode {
             15 => StoreFull,
             16 => StoreIo,
             17 => DocTooLarge,
+            18 => UnknownSetting,
+            19 => SettingParse,
+            20 => SettingReject,
+            21 => SettingLimit,
             100 => NotFullySpecified,
             101 => DisallowedAttribute,
             102 => AttributeClash,
@@ -408,8 +444,23 @@ pub struct RequestFrame {
     /// Client-chosen id, echoed verbatim in the response (responses may
     /// arrive out of order under pipelining).
     pub id: u64,
+    /// The setting binding this request addresses (v3). On the wire only
+    /// after [`FEATURE_SETTINGS`] negotiation; always `0` — the default
+    /// setting — on v1/v2 connections.
+    pub setting_id: u64,
     /// The operation and its arguments.
     pub body: RequestBody,
+}
+
+impl RequestFrame {
+    /// A frame addressing the default setting (what v1/v2 always do).
+    pub fn new(id: u64, body: RequestBody) -> RequestFrame {
+        RequestFrame {
+            id,
+            setting_id: 0,
+            body,
+        }
+    }
 }
 
 /// The operation of a request, with documents/queries still in wire form
@@ -507,6 +558,42 @@ pub enum RequestBody {
         /// The document id.
         doc_id: u64,
     },
+    /// Upload a setting in the text syntax of `xdx_core::settext` and bind
+    /// `bind_id` to it (v3). Identical text re-uses the cached compilation
+    /// (the response says so); rebinding to *different* text invalidates
+    /// the binding's cached answers and validation baselines, while its
+    /// stored documents survive.
+    PutSetting {
+        /// The binding id to create or rebind. `0` — the default setting
+        /// the server was started with — is reserved and rejected.
+        bind_id: u64,
+        /// The setting text (`source {…} target {…} std …;`).
+        text: String,
+    },
+    /// List the server's setting bindings (v3).
+    ListSettings,
+    /// Drop a binding's *compiled* artifact (v3). The binding, its text
+    /// and its stored documents survive; the next request against the
+    /// binding recompiles from the retained text.
+    EvictSetting {
+        /// The binding id (`0` is rejected: the default setting is pinned).
+        bind_id: u64,
+    },
+}
+
+/// One row of a [`ResponseBody::SettingList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettingEntry {
+    /// The binding id.
+    pub bind_id: u64,
+    /// FNV-1a hash of the bound setting's canonical text (identical
+    /// uploads share it).
+    pub content_hash: u64,
+    /// Is a compiled artifact currently resident for this binding?
+    pub compiled: bool,
+    /// The compiled artifact's cost in the LRU budget's unit (canonical
+    /// text bytes).
+    pub cost: u64,
 }
 
 impl RequestBody {
@@ -527,6 +614,9 @@ impl RequestBody {
             RequestBody::CanonicalSolutionStored { .. } => OpCode::CanonicalSolutionStored,
             RequestBody::CertainAnswersStored { .. } => OpCode::CertainAnswersStored,
             RequestBody::CertainAnswersBooleanStored { .. } => OpCode::CertainAnswersBooleanStored,
+            RequestBody::PutSetting { .. } => OpCode::PutSetting,
+            RequestBody::ListSettings => OpCode::ListSettings,
+            RequestBody::EvictSetting { .. } => OpCode::EvictSetting,
         }
     }
 
@@ -548,7 +638,10 @@ impl RequestBody {
             | RequestBody::CheckConsistencyStored { .. }
             | RequestBody::CanonicalSolutionStored { .. }
             | RequestBody::CertainAnswersStored { .. }
-            | RequestBody::CertainAnswersBooleanStored { .. } => 0,
+            | RequestBody::CertainAnswersBooleanStored { .. }
+            | RequestBody::PutSetting { .. }
+            | RequestBody::ListSettings
+            | RequestBody::EvictSetting { .. } => 0,
         }
     }
 }
@@ -609,6 +702,25 @@ pub enum ResponseBody {
     },
     /// Reply to [`RequestBody::DeleteDoc`].
     DeleteDocOk,
+    /// Reply to [`RequestBody::PutSetting`] (v3).
+    PutSettingOk {
+        /// Content hash of the accepted setting text.
+        content_hash: u64,
+        /// Whether an identical-text compilation was reused (the upload
+        /// cost no compile).
+        reused: bool,
+    },
+    /// Reply to [`RequestBody::ListSettings`] (v3).
+    SettingList {
+        /// One row per binding, ascending by binding id.
+        entries: Vec<SettingEntry>,
+    },
+    /// Reply to [`RequestBody::EvictSetting`] (v3).
+    EvictSettingOk {
+        /// Whether a compiled artifact was actually dropped (`false` when
+        /// the binding was already cold).
+        dropped: bool,
+    },
 }
 
 /// Response status: success, body follows.
@@ -774,6 +886,14 @@ fn read_doc_result<T>(
     }
 }
 
+fn read_bool(r: &mut Reader<'_>) -> Result<bool, DecodeError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(r.err(format!("bad boolean {b}"))),
+    }
+}
+
 fn read_doc(r: &mut Reader<'_>, codec: Codec) -> Result<WireDoc, DecodeError> {
     match codec {
         Codec::Text => Ok(WireDoc::Text(r.string()?)),
@@ -840,10 +960,15 @@ pub fn frame(payload: Vec<u8>) -> Vec<u8> {
 
 /// Encode a request payload into `out` (no length prefix; see [`frame`]).
 /// Appends without clearing, so a caller can reserve framing bytes first
-/// and reuse one buffer across pipelined requests.
-pub fn encode_request_into(req: &RequestFrame, out: &mut Vec<u8>) {
+/// and reuse one buffer across pipelined requests. `settings` says whether
+/// [`FEATURE_SETTINGS`] was negotiated on the connection — only then does
+/// the frame carry its setting id.
+pub fn encode_request_into(req: &RequestFrame, settings: bool, out: &mut Vec<u8>) {
     out.push(req.body.op() as u8);
     put_u64(out, req.id);
+    if settings {
+        put_u64(out, req.setting_id);
+    }
     match &req.body {
         RequestBody::Ping => {}
         RequestBody::Hello { features } => put_u32(out, *features),
@@ -881,27 +1006,37 @@ pub fn encode_request_into(req: &RequestFrame, out: &mut Vec<u8>) {
             put_string(out, query);
             put_u64(out, *doc_id);
         }
+        RequestBody::PutSetting { bind_id, text } => {
+            put_u64(out, *bind_id);
+            put_string(out, text);
+        }
+        RequestBody::ListSettings => {}
+        RequestBody::EvictSetting { bind_id } => put_u64(out, *bind_id),
     }
 }
 
 /// Encode a request payload (no length prefix; see [`frame`]).
-pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
+pub fn encode_request(req: &RequestFrame, settings: bool) -> Vec<u8> {
     let mut out = Vec::new();
-    encode_request_into(req, &mut out);
+    encode_request_into(req, settings, &mut out);
     out
 }
 
 /// Decode a request payload. `max_docs` is the server's configured
 /// per-request document cap (the protocol cap [`MAX_DOCS_PER_REQUEST`]
-/// applies on top); `codec` is the connection's negotiated document codec.
+/// applies on top); `codec` is the connection's negotiated document codec;
+/// `settings` says whether [`FEATURE_SETTINGS`] was negotiated (only then
+/// does the frame carry a setting id).
 pub fn decode_request(
     payload: &[u8],
     max_docs: usize,
     codec: Codec,
+    settings: bool,
 ) -> Result<RequestFrame, DecodeError> {
     let mut r = Reader::new(payload);
     let op_raw = r.u8()?;
     r.id = r.u64()?;
+    let setting_id = if settings { r.u64()? } else { 0 };
     let op = OpCode::from_u8(op_raw).ok_or_else(|| {
         DecodeError::new(r.id, ErrorCode::UnknownOp, format!("unknown op {op_raw}"))
     })?;
@@ -951,9 +1086,19 @@ pub fn decode_request(
             query: r.string()?,
             doc_id: r.u64()?,
         },
+        OpCode::PutSetting => RequestBody::PutSetting {
+            bind_id: r.u64()?,
+            text: r.string()?,
+        },
+        OpCode::ListSettings => RequestBody::ListSettings,
+        OpCode::EvictSetting => RequestBody::EvictSetting { bind_id: r.u64()? },
     };
     r.finish()?;
-    Ok(RequestFrame { id: r.id, body })
+    Ok(RequestFrame {
+        id: r.id,
+        setting_id,
+        body,
+    })
 }
 
 /// Encode a response payload (no length prefix; see [`frame`]).
@@ -1061,6 +1206,37 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             put_u64(&mut out, resp.id);
             out.push(OpCode::DeleteDoc as u8);
         }
+        ResponseBody::PutSettingOk {
+            content_hash,
+            reused,
+        } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::PutSetting as u8);
+            put_u64(&mut out, *content_hash);
+            out.push(*reused as u8);
+        }
+        ResponseBody::SettingList { entries } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::ListSettings as u8);
+            put_u16(
+                &mut out,
+                u16::try_from(entries.len()).expect("binding count exceeds u16"),
+            );
+            for e in entries {
+                put_u64(&mut out, e.bind_id);
+                put_u64(&mut out, e.content_hash);
+                out.push(e.compiled as u8);
+                put_u64(&mut out, e.cost);
+            }
+        }
+        ResponseBody::EvictSettingOk { dropped } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::EvictSetting as u8);
+            out.push(*dropped as u8);
+        }
     }
     out
 }
@@ -1146,6 +1322,26 @@ pub fn decode_response(payload: &[u8], codec: Codec) -> Result<ResponseFrame, De
                 },
                 OpCode::EditDoc => ResponseBody::EditDocOk { version: r.u64()? },
                 OpCode::DeleteDoc => ResponseBody::DeleteDocOk,
+                OpCode::PutSetting => ResponseBody::PutSettingOk {
+                    content_hash: r.u64()?,
+                    reused: read_bool(&mut r)?,
+                },
+                OpCode::ListSettings => {
+                    let n = r.u16()? as usize;
+                    let mut entries = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        entries.push(SettingEntry {
+                            bind_id: r.u64()?,
+                            content_hash: r.u64()?,
+                            compiled: read_bool(&mut r)?,
+                            cost: r.u64()?,
+                        });
+                    }
+                    ResponseBody::SettingList { entries }
+                }
+                OpCode::EvictSetting => ResponseBody::EvictSettingOk {
+                    dropped: read_bool(&mut r)?,
+                },
                 // Stored query ops answer with the *base* op's response
                 // (that is their byte-for-byte parity contract), so their
                 // own codes never appear in a well-formed response.
@@ -1173,26 +1369,31 @@ mod tests {
         vec![
             RequestFrame {
                 id: 0,
+                setting_id: 0,
                 body: RequestBody::Ping,
             },
             RequestFrame {
                 id: 11,
+                setting_id: 0,
                 body: RequestBody::Hello {
                     features: SUPPORTED_FEATURES,
                 },
             },
             RequestFrame {
                 id: u64::MAX,
+                setting_id: 0,
                 body: RequestBody::CheckConsistency { docs: vec![] },
             },
             RequestFrame {
                 id: 7,
+                setting_id: 0,
                 body: RequestBody::CanonicalSolution {
                     docs: vec!["db".into(), "db[book(@title=\"x\")]".into()],
                 },
             },
             RequestFrame {
                 id: 8,
+                setting_id: 0,
                 body: RequestBody::CertainAnswers {
                     query: "($x) :- work(@title=$x)".into(),
                     docs: vec!["db".into()],
@@ -1200,6 +1401,7 @@ mod tests {
             },
             RequestFrame {
                 id: 9,
+                setting_id: 0,
                 body: RequestBody::CertainAnswersBoolean {
                     query: "() :- bib".into(),
                     docs: vec!["".into(), "⊥ weird \"doc\"".into()],
@@ -1207,6 +1409,7 @@ mod tests {
             },
             RequestFrame {
                 id: 10,
+                setting_id: 0,
                 body: RequestBody::PutDoc {
                     doc_id: 42,
                     doc: "db[book(@title=\"T\")]".into(),
@@ -1214,10 +1417,12 @@ mod tests {
             },
             RequestFrame {
                 id: 11,
+                setting_id: 0,
                 body: RequestBody::GetDoc { doc_id: u64::MAX },
             },
             RequestFrame {
                 id: 12,
+                setting_id: 0,
                 body: RequestBody::EditDoc {
                     doc_id: 42,
                     base_version: 7,
@@ -1226,18 +1431,22 @@ mod tests {
             },
             RequestFrame {
                 id: 13,
+                setting_id: 0,
                 body: RequestBody::DeleteDoc { doc_id: 0 },
             },
             RequestFrame {
                 id: 14,
+                setting_id: 0,
                 body: RequestBody::CheckConsistencyStored { doc_id: 3 },
             },
             RequestFrame {
                 id: 15,
+                setting_id: 0,
                 body: RequestBody::CanonicalSolutionStored { doc_id: 3 },
             },
             RequestFrame {
                 id: 16,
+                setting_id: 0,
                 body: RequestBody::CertainAnswersStored {
                     query: "($x) :- work(@title=$x)".into(),
                     doc_id: 3,
@@ -1245,10 +1454,29 @@ mod tests {
             },
             RequestFrame {
                 id: 17,
+                setting_id: 0,
                 body: RequestBody::CertainAnswersBooleanStored {
                     query: "() :- bib".into(),
                     doc_id: 9,
                 },
+            },
+            RequestFrame {
+                id: 18,
+                setting_id: 0,
+                body: RequestBody::PutSetting {
+                    bind_id: 3,
+                    text: "source { db -> (book)* } target { lib -> (work)* }\n".into(),
+                },
+            },
+            RequestFrame {
+                id: 19,
+                setting_id: 0,
+                body: RequestBody::ListSettings,
+            },
+            RequestFrame {
+                id: 20,
+                setting_id: 0,
+                body: RequestBody::EvictSetting { bind_id: u64::MAX },
             },
         ]
     }
@@ -1327,14 +1555,48 @@ mod tests {
                     "document 42 is at version 9, not 7",
                 )),
             },
+            ResponseFrame {
+                id: 13,
+                body: ResponseBody::PutSettingOk {
+                    content_hash: 0xdead_beef_cafe_f00d,
+                    reused: true,
+                },
+            },
+            ResponseFrame {
+                id: 14,
+                body: ResponseBody::SettingList {
+                    entries: vec![
+                        SettingEntry {
+                            bind_id: 0,
+                            content_hash: 17,
+                            compiled: true,
+                            cost: 321,
+                        },
+                        SettingEntry {
+                            bind_id: 9,
+                            content_hash: u64::MAX,
+                            compiled: false,
+                            cost: 0,
+                        },
+                    ],
+                },
+            },
+            ResponseFrame {
+                id: 15,
+                body: ResponseBody::SettingList { entries: vec![] },
+            },
+            ResponseFrame {
+                id: 16,
+                body: ResponseBody::EvictSettingOk { dropped: false },
+            },
         ]
     }
 
     #[test]
     fn requests_round_trip() {
         for req in sample_requests() {
-            let bytes = encode_request(&req);
-            let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text).unwrap();
+            let bytes = encode_request(&req, false);
+            let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text, false).unwrap();
             assert_eq!(req, back);
         }
     }
@@ -1354,12 +1616,13 @@ mod tests {
         let doc = WireDoc::from_tree(&XmlTree::new("db"), Codec::Binary);
         let req = RequestFrame {
             id: 3,
+            setting_id: 0,
             body: RequestBody::CanonicalSolution {
                 docs: vec![doc.clone(), WireDoc::Binary(vec![0xde, 0xad])],
             },
         };
-        let bytes = encode_request(&req);
-        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Binary).unwrap();
+        let bytes = encode_request(&req, false);
+        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Binary, false).unwrap();
         assert_eq!(req, back);
         // The valid frame parses; the garbage one reports BinaryDoc.
         assert!(doc.to_tree().is_ok());
@@ -1382,10 +1645,11 @@ mod tests {
         let doc = WireDoc::from_tree(&XmlTree::new("db"), Codec::Binary);
         let req = RequestFrame {
             id: 5,
+            setting_id: 0,
             body: RequestBody::CheckConsistency { docs: vec![doc] },
         };
-        let bytes = encode_request(&req);
-        match decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text) {
+        let bytes = encode_request(&req, false);
+        match decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text, false) {
             Ok(back) => {
                 // Framing is codec-independent, so it may decode as a
                 // text doc — which must then fail to parse as a tree.
@@ -1414,9 +1678,9 @@ mod tests {
     fn truncations_of_valid_payloads_never_panic() {
         for codec in [Codec::Text, Codec::Binary] {
             for req in sample_requests() {
-                let bytes = encode_request(&req);
+                let bytes = encode_request(&req, false);
                 for cut in 0..bytes.len() {
-                    let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec);
+                    let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec, false);
                 }
             }
             for resp in sample_responses() {
@@ -1431,9 +1695,9 @@ mod tests {
     #[test]
     fn trailing_garbage_is_rejected() {
         for req in sample_requests() {
-            let mut bytes = encode_request(&req);
+            let mut bytes = encode_request(&req, false);
             bytes.push(0);
-            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text).unwrap_err();
+            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text, false).unwrap_err();
             assert_eq!(err.error.code, ErrorCode::MalformedFrame);
             assert_eq!(err.id, req.id, "the id must still be echoed");
         }
@@ -1443,29 +1707,31 @@ mod tests {
     fn encode_request_into_appends_after_reserved_framing_bytes() {
         let req = RequestFrame {
             id: 1,
+            setting_id: 0,
             body: RequestBody::Ping,
         };
         let mut buf = vec![0u8; 4];
-        encode_request_into(&req, &mut buf);
-        assert_eq!(&buf[4..], encode_request(&req).as_slice());
+        encode_request_into(&req, false, &mut buf);
+        assert_eq!(&buf[4..], encode_request(&req, false).as_slice());
     }
 
     #[test]
     fn unknown_ops_and_doc_limits_carry_codes() {
         let mut bytes = vec![99u8];
         bytes.extend_from_slice(&42u64.to_be_bytes());
-        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text).unwrap_err();
+        let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text, false).unwrap_err();
         assert_eq!(err.error.code, ErrorCode::UnknownOp);
         assert_eq!(err.id, 42);
 
         let req = RequestFrame {
             id: 5,
+            setting_id: 0,
             body: RequestBody::CheckConsistency {
                 docs: vec![WireDoc::from("db"); 10],
             },
         };
-        let bytes = encode_request(&req);
-        let err = decode_request(&bytes, 4, Codec::Text).unwrap_err();
+        let bytes = encode_request(&req, false);
+        let err = decode_request(&bytes, 4, Codec::Text, false).unwrap_err();
         assert_eq!(err.error.code, ErrorCode::TooManyDocs);
         assert_eq!(err.id, 5);
     }
@@ -1479,7 +1745,7 @@ mod tests {
             bytes.extend_from_slice(&1u64.to_be_bytes());
             bytes.extend_from_slice(&u32::MAX.to_be_bytes());
             bytes.extend_from_slice(b"abc");
-            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec).unwrap_err();
+            let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec, false).unwrap_err();
             assert_eq!(err.error.code, ErrorCode::MalformedFrame);
         }
     }
@@ -1526,5 +1792,81 @@ mod tests {
             assert_eq!(ErrorCode::from_u16(w.code as u16), Some(w.code));
             assert_eq!(w.message, e.to_string());
         }
+    }
+
+    #[test]
+    fn settings_framing_round_trips_every_op() {
+        for mut req in sample_requests() {
+            req.setting_id = 0x0102_0304_0506_0708;
+            let bytes = encode_request(&req, true);
+            let legacy = encode_request(&req, false);
+            // The setting id is exactly one u64 after the request id; the
+            // rest of the payload is byte-identical to the legacy layout.
+            assert_eq!(bytes.len(), legacy.len() + 8);
+            assert_eq!(bytes[..9], legacy[..9]);
+            assert_eq!(bytes[9..17], 0x0102_0304_0506_0708u64.to_be_bytes());
+            assert_eq!(bytes[17..], legacy[9..]);
+            let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, Codec::Text, true).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn legacy_framing_ignores_the_setting_field() {
+        // v1/v2 connections never see a setting id: the field is not
+        // encoded, and decoding always yields the default setting.
+        let mut req = RequestFrame::new(4, RequestBody::Ping);
+        let v2 = encode_request(&req, false);
+        req.setting_id = 99;
+        assert_eq!(encode_request(&req, false), v2);
+        let back = decode_request(&v2, MAX_DOCS_PER_REQUEST, Codec::Text, false).unwrap();
+        assert_eq!(back.setting_id, 0);
+    }
+
+    #[test]
+    fn settings_truncations_never_panic() {
+        for codec in [Codec::Text, Codec::Binary] {
+            for mut req in sample_requests() {
+                req.setting_id = u64::MAX;
+                let bytes = encode_request(&req, true);
+                for cut in 0..bytes.len() {
+                    let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec, true);
+                }
+                let mut bytes = bytes;
+                bytes.push(0);
+                let err = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec, true).unwrap_err();
+                assert_eq!(err.error.code, ErrorCode::MalformedFrame);
+                assert_eq!(err.id, req.id);
+            }
+        }
+    }
+
+    #[test]
+    fn setting_responses_reject_bad_booleans() {
+        let resp = ResponseFrame {
+            id: 3,
+            body: ResponseBody::PutSettingOk {
+                content_hash: 1,
+                reused: false,
+            },
+        };
+        let mut bytes = encode_response(&resp);
+        *bytes.last_mut().unwrap() = 2;
+        let err = decode_response(&bytes, Codec::Text).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::MalformedFrame);
+        assert!(err.error.message.contains("bad boolean"));
+    }
+
+    #[test]
+    fn new_error_codes_survive_the_wire() {
+        for code in [
+            ErrorCode::UnknownSetting,
+            ErrorCode::SettingParse,
+            ErrorCode::SettingReject,
+            ErrorCode::SettingLimit,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
+        const { assert!(SUPPORTED_FEATURES & FEATURE_SETTINGS != 0) };
     }
 }

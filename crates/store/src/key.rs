@@ -1,0 +1,115 @@
+//! Setting-scoped document keys.
+//!
+//! A multi-tenant server stores documents for more than one exchange
+//! setting, and two tenants may well both call their document `1`. Every
+//! store index — the resident map, WAL records, snapshot entries, result
+//! caches — is therefore keyed by a [`DocKey`]: the pair of a **setting
+//! binding id** and the document id within it.
+//!
+//! Setting id [`DEFAULT_SETTING`] (`0`) is the setting a server is born
+//! with (the one passed to its constructor); protocol v1/v2 clients, which
+//! cannot name a setting, implicitly address it. `From<u64>` maps a bare
+//! document id into the default setting so single-setting embedders and the
+//! pre-registry call sites keep working unchanged.
+
+use std::fmt;
+
+/// The implicit setting binding: what a bare document id (protocol v1/v2,
+/// or `DocKey::from(doc_id)`) addresses.
+pub const DEFAULT_SETTING: u64 = 0;
+
+/// A setting-scoped document key. Ordered by `(setting, doc)`, so all of a
+/// setting's documents are contiguous in the store's BTree indexes and a
+/// per-setting scan is one `range`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocKey {
+    /// The setting binding id (see [`DEFAULT_SETTING`]).
+    pub setting: u64,
+    /// The document id within the setting.
+    pub doc: u64,
+}
+
+impl DocKey {
+    /// A key in an explicit setting.
+    pub fn new(setting: u64, doc: u64) -> DocKey {
+        DocKey { setting, doc }
+    }
+
+    /// The smallest key of `setting` (for range scans).
+    pub fn setting_min(setting: u64) -> DocKey {
+        DocKey { setting, doc: 0 }
+    }
+
+    /// The largest key of `setting` (for range scans).
+    pub fn setting_max(setting: u64) -> DocKey {
+        DocKey {
+            setting,
+            doc: u64::MAX,
+        }
+    }
+}
+
+impl From<u64> for DocKey {
+    /// A bare document id addresses the default setting.
+    fn from(doc: u64) -> DocKey {
+        DocKey {
+            setting: DEFAULT_SETTING,
+            doc,
+        }
+    }
+}
+
+impl From<(u64, u64)> for DocKey {
+    /// `(setting, doc)`.
+    fn from((setting, doc): (u64, u64)) -> DocKey {
+        DocKey { setting, doc }
+    }
+}
+
+impl fmt::Display for DocKey {
+    /// Default-setting keys print as the bare document id (matching the
+    /// single-setting era's messages); scoped keys as `setting/doc`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.setting == DEFAULT_SETTING {
+            write!(f, "{}", self.doc)
+        } else {
+            write!(f, "{}/{}", self.setting, self.doc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_groups_by_setting() {
+        let mut keys = [
+            DocKey::new(1, 0),
+            DocKey::new(0, 5),
+            DocKey::new(1, 2),
+            DocKey::new(0, 1),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            [
+                DocKey::new(0, 1),
+                DocKey::new(0, 5),
+                DocKey::new(1, 0),
+                DocKey::new(1, 2),
+            ]
+        );
+        assert!(DocKey::setting_min(1) <= DocKey::new(1, 0));
+        assert!(DocKey::setting_max(1) >= DocKey::new(1, u64::MAX));
+    }
+
+    #[test]
+    fn bare_ids_address_the_default_setting_and_print_bare() {
+        let k: DocKey = 7u64.into();
+        assert_eq!(k, DocKey::new(DEFAULT_SETTING, 7));
+        assert_eq!(k.to_string(), "7");
+        assert_eq!(DocKey::new(3, 7).to_string(), "3/7");
+        assert_eq!(DocKey::from((3, 7)), DocKey::new(3, 7));
+    }
+}

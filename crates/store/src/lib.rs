@@ -26,9 +26,12 @@
 
 mod bytes;
 pub mod edit;
+pub mod key;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
+
+pub use key::{DocKey, DEFAULT_SETTING};
 
 pub use edit::{
     apply_edits, decode_edits_exact, encode_edits, AppliedEdits, DocEdit, EditError,

@@ -5,11 +5,15 @@
 //! index and a footer that locates it:
 //!
 //! ```text
-//! file    := magic:8 ("XDXSNAP1")  frames…  index  footer
-//! index   := count × entry                      -- entries sorted by doc_id
-//! entry   := doc_id:u64 version:u64 offset:u64 len:u32 crc:u64   (36 bytes)
+//! file    := magic:8 ("XDXSNAP2")  frames…  index  footer
+//! index   := count × entry                 -- entries sorted by (setting, doc)
+//! entry   := setting_id:u64 doc_id:u64 version:u64 offset:u64 len:u32 crc:u64   (44 bytes)
 //! footer  := seq:u64 index_offset:u64 index_count:u32 index_crc:u64 magic:8 ("XDXSNAPE")
 //! ```
+//!
+//! Format v1 (`XDXSNAP1`, 36-byte entries without the setting id) predates
+//! the multi-tenant setting registry; the magic bump makes a v1 file fail
+//! loudly at open instead of misparsing (see `DESIGN.md`).
 //!
 //! `seq` is the store-wide mutation sequence at checkpoint time — every
 //! WAL record whose version is at or below it is already reflected in the
@@ -30,14 +34,16 @@
 //! loading reports it as an error instead of guessing.
 
 use crate::bytes::{fnv1a, Cursor};
+use crate::key::DocKey;
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
 use xdx_xmltree::{decode_tree, encode_tree, XmlTree};
 
-const MAGIC: &[u8; 8] = b"XDXSNAP1";
+const MAGIC: &[u8; 8] = b"XDXSNAP2";
+const V1_MAGIC: &[u8; 8] = b"XDXSNAP1";
 const FOOTER_MAGIC: &[u8; 8] = b"XDXSNAPE";
-const ENTRY_BYTES: usize = 8 + 8 + 8 + 4 + 8;
+const ENTRY_BYTES: usize = 8 + 8 + 8 + 8 + 4 + 8;
 const FOOTER_BYTES: usize = 8 + 8 + 4 + 8 + 8;
 
 /// A validated snapshot: the store-wide mutation sequence recorded at
@@ -54,8 +60,8 @@ pub struct Snapshot {
 /// One document recovered from a snapshot.
 #[derive(Debug)]
 pub struct SnapshotDoc {
-    /// Document id.
-    pub doc_id: u64,
+    /// Setting-scoped document key.
+    pub key: DocKey,
     /// Version at checkpoint time.
     pub version: u64,
     /// The document.
@@ -68,8 +74,8 @@ pub struct SnapshotDoc {
 /// every resident document at open time.
 #[derive(Debug)]
 pub struct SnapshotFrame {
-    /// Document id.
-    pub doc_id: u64,
+    /// Setting-scoped document key.
+    pub key: DocKey,
     /// Version at checkpoint time.
     pub version: u64,
     /// The binary codec frame (checksum already verified).
@@ -108,13 +114,10 @@ pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Vec<SnapshotDoc>, SnapshotErr
         .into_iter()
         .map(|f| {
             let tree = decode_tree(&f.frame).map_err(|e| {
-                SnapshotError::new(format!(
-                    "frame for document {} does not decode: {e}",
-                    f.doc_id
-                ))
+                SnapshotError::new(format!("frame for document {} does not decode: {e}", f.key))
             })?;
             Ok(SnapshotDoc {
-                doc_id: f.doc_id,
+                key: f.key,
                 version: f.version,
                 tree,
             })
@@ -133,6 +136,12 @@ pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         )));
     }
     if &bytes[..MAGIC.len()] != MAGIC {
+        if &bytes[..V1_MAGIC.len()] == V1_MAGIC {
+            return Err(SnapshotError::new(
+                "format-v1 snapshot (XDXSNAP1, no setting ids) — \
+                 this build reads only format v2; see DESIGN.md",
+            ));
+        }
         return Err(SnapshotError::new("bad leading magic"));
     }
     let footer = &bytes[bytes.len() - FOOTER_BYTES..];
@@ -166,30 +175,32 @@ pub fn load_snapshot_frames(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 
     let mut docs = Vec::with_capacity(index_count);
     let mut c = Cursor::new(index);
-    let mut last_id: Option<u64> = None;
+    let mut last_key: Option<DocKey> = None;
     for _ in 0..index_count {
-        let doc_id = c.u64().expect("index sized above");
+        let setting = c.u64().expect("index sized above");
+        let doc = c.u64().expect("index sized above");
+        let key = DocKey::new(setting, doc);
         let version = c.u64().expect("index sized above");
         let offset = c.u64().expect("index sized above") as usize;
         let len = c.u32().expect("index sized above") as usize;
         let crc = c.u64().expect("index sized above");
-        if last_id.is_some_and(|p| p >= doc_id) {
-            return Err(SnapshotError::new("index ids are not strictly increasing"));
+        if last_key.is_some_and(|p| p >= key) {
+            return Err(SnapshotError::new("index keys are not strictly increasing"));
         }
-        last_id = Some(doc_id);
+        last_key = Some(key);
         if offset < MAGIC.len() || offset.saturating_add(len) > index_offset {
             return Err(SnapshotError::new(format!(
-                "frame for document {doc_id} is out of bounds"
+                "frame for document {key} is out of bounds"
             )));
         }
         let frame = &bytes[offset..offset + len];
         if fnv1a(frame) != crc {
             return Err(SnapshotError::new(format!(
-                "frame checksum mismatch for document {doc_id}"
+                "frame checksum mismatch for document {key}"
             )));
         }
         docs.push(SnapshotFrame {
-            doc_id,
+            key,
             version,
             frame: frame.to_vec(),
         });
@@ -241,22 +252,23 @@ pub enum SnapshotSource<'a> {
 }
 
 /// Serialize a snapshot image. `seq` is the store-wide mutation sequence
-/// the snapshot reflects; `docs` must be sorted by id (the store's
+/// the snapshot reflects; `docs` must be sorted by key (the store's
 /// iteration provides that).
 pub fn encode_snapshot<'a>(
     seq: u64,
-    docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>,
+    docs: impl Iterator<Item = (DocKey, u64, SnapshotSource<'a>)>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     let mut index = Vec::new();
     let mut count: u32 = 0;
-    for (doc_id, version, source) in docs {
+    for (key, version, source) in docs {
         let frame = match source {
             SnapshotSource::Tree(tree) => std::borrow::Cow::Owned(encode_tree(tree)),
             SnapshotSource::Frame(bytes) => std::borrow::Cow::Borrowed(bytes),
         };
-        index.extend_from_slice(&doc_id.to_be_bytes());
+        index.extend_from_slice(&key.setting.to_be_bytes());
+        index.extend_from_slice(&key.doc.to_be_bytes());
         index.extend_from_slice(&version.to_be_bytes());
         index.extend_from_slice(&(out.len() as u64).to_be_bytes());
         index.extend_from_slice(
@@ -284,7 +296,7 @@ pub fn encode_snapshot<'a>(
 pub fn write_snapshot<'a>(
     path: &Path,
     seq: u64,
-    docs: impl Iterator<Item = (u64, u64, SnapshotSource<'a>)>,
+    docs: impl Iterator<Item = (DocKey, u64, SnapshotSource<'a>)>,
 ) -> std::io::Result<()> {
     let bytes = encode_snapshot(seq, docs);
     let tmp = path.with_extension("tmp");
@@ -309,19 +321,20 @@ pub fn write_snapshot<'a>(
 mod tests {
     use super::*;
 
-    fn sample_docs() -> Vec<(u64, u64, XmlTree)> {
+    fn sample_docs() -> Vec<(DocKey, u64, XmlTree)> {
         let mut a = XmlTree::new("db");
         let b = a.add_child(a.root(), "book");
         a.set_attr(b, "@title", "CO");
         let c = XmlTree::new("db");
-        vec![(3, 7, a), (9, 1, c)]
+        // Same doc id under two settings: scoped keys keep them distinct.
+        vec![(DocKey::new(0, 7), 7, a), (DocKey::new(2, 7), 1, c)]
     }
 
-    fn encode(docs: &[(u64, u64, XmlTree)]) -> Vec<u8> {
+    fn encode(docs: &[(DocKey, u64, XmlTree)]) -> Vec<u8> {
         encode_snapshot(
             42,
             docs.iter()
-                .map(|(i, v, t)| (*i, *v, SnapshotSource::Tree(t))),
+                .map(|(k, v, t)| (*k, *v, SnapshotSource::Tree(t))),
         )
     }
 
@@ -335,7 +348,7 @@ mod tests {
             snap.seq,
             snap.docs
                 .iter()
-                .map(|f| (f.doc_id, f.version, SnapshotSource::Frame(&f.frame))),
+                .map(|f| (f.key, f.version, SnapshotSource::Frame(&f.frame))),
         );
         assert_eq!(from_trees, from_frames);
     }
@@ -355,8 +368,8 @@ mod tests {
         let docs = sample_docs();
         let back = load_snapshot_bytes(&encode(&docs)).unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!((back[0].doc_id, back[0].version), (3, 7));
-        assert_eq!((back[1].doc_id, back[1].version), (9, 1));
+        assert_eq!((back[0].key, back[0].version), (DocKey::new(0, 7), 7));
+        assert_eq!((back[1].key, back[1].version), (DocKey::new(2, 7), 1));
         assert_eq!(
             back[0].tree.ordered_canonical_form(),
             docs[0].2.ordered_canonical_form()
@@ -392,6 +405,14 @@ mod tests {
         b[MAGIC.len() + 3] ^= 0x10;
         let err = load_snapshot_bytes(&b).unwrap_err();
         assert!(err.message.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn format_v1_snapshots_fail_loudly_by_name() {
+        let mut bytes = encode(&sample_docs());
+        bytes[..V1_MAGIC.len()].copy_from_slice(V1_MAGIC);
+        let err = load_snapshot_frames(&bytes).unwrap_err();
+        assert!(err.message.contains("format-v1"), "{err}");
     }
 
     #[test]

@@ -41,11 +41,22 @@
 //! (tmp + rename) and only then resets the WAL, so a kill at any point
 //! leaves a state `open` reconstructs exactly.
 //!
+//! # Setting scoping
+//!
+//! Every index is keyed by a [`DocKey`] — a `(setting, doc)` pair — so one
+//! store serves every setting binding of a multi-tenant server without id
+//! collisions. A bare `u64` converts into the default setting's key, which
+//! is what protocol v1/v2 clients (and single-setting embedders) address.
+//! Rebinding a setting id to a different compiled setting calls
+//! [`DocStore::invalidate_setting`]: derived state (result caches,
+//! validation baselines) is discarded, the documents themselves survive.
+//!
 //! `open` also takes an exclusive advisory lock on a `store.lock` file in
 //! the directory, so two processes pointed at the same store fail fast
 //! ([`StoreError::Locked`]) instead of silently corrupting each other.
 
 use crate::edit::{apply_edits, DocEdit, EditError};
+use crate::key::DocKey;
 use crate::snapshot::{load_snapshot, write_snapshot, SnapshotSource};
 use crate::wal::{SyncPolicy, Wal, WalOp, WalRecord};
 use std::collections::{BTreeMap, BTreeSet};
@@ -100,15 +111,15 @@ pub enum StoreError {
         /// What was damaged, and how.
         context: String,
     },
-    /// The document id is not resident.
+    /// The document key is not resident.
     UnknownDoc {
-        /// The id.
-        doc_id: u64,
+        /// The key.
+        key: DocKey,
     },
     /// An `edit` named a base version that is no longer current.
     VersionConflict {
-        /// The id.
-        doc_id: u64,
+        /// The key.
+        key: DocKey,
         /// The version the caller edited against.
         expected: u64,
         /// The document's actual current version.
@@ -130,8 +141,8 @@ pub enum StoreError {
     /// [`MAX_DOCUMENT_BYTES`] — the decoder's hard cap. Admitting it would
     /// checkpoint a frame that can never be loaded back.
     DocTooLarge {
-        /// The id.
-        doc_id: u64,
+        /// The key.
+        key: DocKey,
         /// Encoded size (for `edit`, a conservative upper bound).
         bytes: usize,
         /// The cap.
@@ -144,14 +155,14 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store I/O: {e}"),
             StoreError::Corrupt { context } => write!(f, "store corrupt: {context}"),
-            StoreError::UnknownDoc { doc_id } => write!(f, "unknown document {doc_id}"),
+            StoreError::UnknownDoc { key } => write!(f, "unknown document {key}"),
             StoreError::VersionConflict {
-                doc_id,
+                key,
                 expected,
                 actual,
             } => write!(
                 f,
-                "version conflict on document {doc_id}: edit against {expected}, current {actual}"
+                "version conflict on document {key}: edit against {expected}, current {actual}"
             ),
             StoreError::BadEdit(e) => write!(f, "bad edit: {e}"),
             StoreError::StoreFull { limit } => {
@@ -162,13 +173,9 @@ impl fmt::Display for StoreError {
                 "store directory {} is locked by another process",
                 dir.display()
             ),
-            StoreError::DocTooLarge {
-                doc_id,
-                bytes,
-                limit,
-            } => write!(
+            StoreError::DocTooLarge { key, bytes, limit } => write!(
                 f,
-                "document {doc_id} too large: {bytes} encoded bytes exceeds the {limit}-byte cap"
+                "document {key} too large: {bytes} encoded bytes exceeds the {limit}-byte cap"
             ),
         }
     }
@@ -262,15 +269,13 @@ impl<V> Resident<V> {
     /// reported as [`StoreError::Corrupt`] rather than silently replaced by
     /// an empty tree. The frame is kept, so the error is stable across
     /// calls and the document still passes through checkpoints verbatim.
-    fn materialize(&mut self, doc_id: u64) -> Result<(), StoreError> {
+    fn materialize(&mut self, key: DocKey) -> Result<(), StoreError> {
         if let Some(frame) = self.frame.take() {
             match decode_tree(&frame) {
                 Ok(tree) => self.tree = tree,
                 Err(e) => {
                     let err = StoreError::Corrupt {
-                        context: format!(
-                            "snapshot frame for document {doc_id} does not decode: {e}"
-                        ),
+                        context: format!("snapshot frame for document {key} does not decode: {e}"),
                     };
                     self.frame = Some(frame);
                     return Err(err);
@@ -311,7 +316,7 @@ fn edit_growth_bound(edit: &DocEdit) -> usize {
 pub struct DocStore<V = ()> {
     config: StoreConfig,
     wal: Wal,
-    docs: BTreeMap<u64, Resident<V>>,
+    docs: BTreeMap<DocKey, Resident<V>>,
     /// Store-wide mutation sequence: the version stamp of the most recent
     /// acknowledged mutation (0 for a fresh store). Strictly increasing
     /// across puts, edits *and* deletes, so no version value is ever
@@ -351,11 +356,11 @@ impl<V> DocStore<V> {
         let _ = std::fs::remove_file(snapshot_path.with_extension("tmp"));
         let snapshot = load_snapshot(&snapshot_path)?;
         let mut seq = snapshot.seq;
-        let mut docs: BTreeMap<u64, Resident<V>> = BTreeMap::new();
+        let mut docs: BTreeMap<DocKey, Resident<V>> = BTreeMap::new();
         for doc in snapshot.docs {
             // Checksums verified; trees materialize on first access.
             seq = seq.max(doc.version);
-            docs.insert(doc.doc_id, Resident::from_frame(doc.frame, doc.version));
+            docs.insert(doc.key, Resident::from_frame(doc.frame, doc.version));
         }
         let (wal, records) = Wal::open(&config.dir.join(WAL_FILE), config.sync)?;
         for rec in records {
@@ -383,26 +388,24 @@ impl<V> DocStore<V> {
     }
 
     fn replay_record(
-        docs: &mut BTreeMap<u64, Resident<V>>,
+        docs: &mut BTreeMap<DocKey, Resident<V>>,
         rec: WalRecord,
     ) -> Result<(), StoreError> {
         match rec.op {
             WalOp::Put(frame) => {
                 let tree = decode_tree(&frame).map_err(|e| StoreError::Corrupt {
-                    context: format!("WAL put of document {} does not decode: {e}", rec.doc_id),
+                    context: format!("WAL put of document {} does not decode: {e}", rec.key),
                 })?;
-                docs.insert(rec.doc_id, Resident::new(tree, rec.version, frame.len()));
+                docs.insert(rec.key, Resident::new(tree, rec.version, frame.len()));
             }
             WalOp::Edit(edits) => {
-                let r = docs
-                    .get_mut(&rec.doc_id)
-                    .ok_or_else(|| StoreError::Corrupt {
-                        context: format!("WAL edit of unknown document {}", rec.doc_id),
-                    })?;
-                r.materialize(rec.doc_id)?;
+                let r = docs.get_mut(&rec.key).ok_or_else(|| StoreError::Corrupt {
+                    context: format!("WAL edit of unknown document {}", rec.key),
+                })?;
+                r.materialize(rec.key)?;
                 apply_edits(&mut r.tree, &mut r.preorder, &edits).map_err(|e| {
                     StoreError::Corrupt {
-                        context: format!("WAL edit of document {} does not apply: {e}", rec.doc_id),
+                        context: format!("WAL edit of document {} does not apply: {e}", rec.key),
                     }
                 })?;
                 let growth: usize = edits.iter().map(edit_growth_bound).sum();
@@ -410,16 +413,17 @@ impl<V> DocStore<V> {
                 r.cache.set_version(rec.version);
             }
             WalOp::Delete => {
-                docs.remove(&rec.doc_id);
+                docs.remove(&rec.key);
             }
         }
         Ok(())
     }
 
     /// Store (or replace) a whole document. Returns the new version (the
-    /// advanced store-wide sequence — monotone, but not dense per id).
-    pub fn put(&mut self, doc_id: u64, tree: XmlTree) -> Result<u64, StoreError> {
-        if !self.docs.contains_key(&doc_id) && self.docs.len() >= self.config.max_resident_docs {
+    /// advanced store-wide sequence — monotone, but not dense per key).
+    pub fn put(&mut self, key: impl Into<DocKey>, tree: XmlTree) -> Result<u64, StoreError> {
+        let key = key.into();
+        if !self.docs.contains_key(&key) && self.docs.len() >= self.config.max_resident_docs {
             return Err(StoreError::StoreFull {
                 limit: self.config.max_resident_docs,
             });
@@ -427,7 +431,7 @@ impl<V> DocStore<V> {
         let frame = encode_tree(&tree);
         if frame.len() > MAX_DOCUMENT_BYTES {
             return Err(StoreError::DocTooLarge {
-                doc_id,
+                key,
                 bytes: frame.len(),
                 limit: MAX_DOCUMENT_BYTES,
             });
@@ -435,13 +439,13 @@ impl<V> DocStore<V> {
         let encoded_bytes = frame.len();
         let version = self.seq + 1;
         self.wal.append(&WalRecord {
-            doc_id,
+            key,
             version,
             op: WalOp::Put(frame),
         })?;
         self.seq = version;
         self.docs
-            .insert(doc_id, Resident::new(tree, version, encoded_bytes));
+            .insert(key, Resident::new(tree, version, encoded_bytes));
         Ok(version)
     }
 
@@ -449,18 +453,19 @@ impl<V> DocStore<V> {
     /// lazily loaded document materializes (decodes its snapshot frame) on
     /// first access — which is also the only error path
     /// ([`StoreError::UnknownDoc`] aside).
-    pub fn get(&mut self, doc_id: u64) -> Result<(&XmlTree, u64), StoreError> {
+    pub fn get(&mut self, key: impl Into<DocKey>) -> Result<(&XmlTree, u64), StoreError> {
+        let key = key.into();
         let r = self
             .docs
-            .get_mut(&doc_id)
-            .ok_or(StoreError::UnknownDoc { doc_id })?;
-        r.materialize(doc_id)?;
+            .get_mut(&key)
+            .ok_or(StoreError::UnknownDoc { key })?;
+        r.materialize(key)?;
         Ok((&r.tree, r.version()))
     }
 
     /// The document's current version.
-    pub fn version(&self, doc_id: u64) -> Option<u64> {
-        self.docs.get(&doc_id).map(|r| r.version())
+    pub fn version(&self, key: impl Into<DocKey>) -> Option<u64> {
+        self.docs.get(&key.into()).map(|r| r.version())
     }
 
     /// Apply an edit batch. `base_version` is an optimistic-concurrency
@@ -470,19 +475,20 @@ impl<V> DocStore<V> {
     /// the version unchanged.
     pub fn edit(
         &mut self,
-        doc_id: u64,
+        key: impl Into<DocKey>,
         base_version: u64,
         edits: &[DocEdit],
     ) -> Result<EditReceipt, StoreError> {
+        let key = key.into();
         let r = self
             .docs
-            .get_mut(&doc_id)
-            .ok_or(StoreError::UnknownDoc { doc_id })?;
-        r.materialize(doc_id)?;
+            .get_mut(&key)
+            .ok_or(StoreError::UnknownDoc { key })?;
+        r.materialize(key)?;
         let current = r.version();
         if base_version != 0 && base_version != current {
             return Err(StoreError::VersionConflict {
-                doc_id,
+                key,
                 expected: base_version,
                 actual: current,
             });
@@ -503,7 +509,7 @@ impl<V> DocStore<V> {
         let bound = r.encoded_bytes.saturating_add(growth);
         if bound > MAX_DOCUMENT_BYTES {
             return Err(StoreError::DocTooLarge {
-                doc_id,
+                key,
                 bytes: bound,
                 limit: MAX_DOCUMENT_BYTES,
             });
@@ -515,7 +521,7 @@ impl<V> DocStore<V> {
         let applied = apply_edits(&mut r.tree, &mut r.preorder, edits)?;
         let version = self.seq + 1;
         if let Err(e) = self.wal.append(&WalRecord {
-            doc_id,
+            key,
             version,
             op: WalOp::Edit(edits.to_vec()),
         }) {
@@ -547,20 +553,21 @@ impl<V> DocStore<V> {
     }
 
     /// Delete a document. Advances the store-wide sequence, so a later
-    /// re-put of the same id gets a version above every version the
+    /// re-put of the same key gets a version above every version the
     /// predecessor ever had.
-    pub fn delete(&mut self, doc_id: u64) -> Result<(), StoreError> {
-        if !self.docs.contains_key(&doc_id) {
-            return Err(StoreError::UnknownDoc { doc_id });
+    pub fn delete(&mut self, key: impl Into<DocKey>) -> Result<(), StoreError> {
+        let key = key.into();
+        if !self.docs.contains_key(&key) {
+            return Err(StoreError::UnknownDoc { key });
         }
         let version = self.seq + 1;
         self.wal.append(&WalRecord {
-            doc_id,
+            key,
             version,
             op: WalOp::Delete,
         })?;
         self.seq = version;
-        self.docs.remove(&doc_id);
+        self.docs.remove(&key);
         Ok(())
     }
 
@@ -570,15 +577,22 @@ impl<V> DocStore<V> {
     /// The first call after load scans the whole document and establishes
     /// the violation baseline; every later call re-checks **only the nodes
     /// dirtied since the previous call** — `O(dirty)`, not `O(document)`.
-    /// The baseline is only meaningful against one fixed DTD: a server
-    /// serves one setting, so the store does not fingerprint the DTD (pass
-    /// a different one and the stale baseline is yours to keep).
-    pub fn validate(&mut self, doc_id: u64, dtd: &CompiledDtd) -> Result<bool, StoreError> {
+    /// The baseline is only meaningful against one fixed DTD: each setting
+    /// binding pins one source DTD, so the store does not fingerprint the
+    /// DTD — a setting *rebind* must call [`DocStore::invalidate_setting`]
+    /// to discard the stale baselines (pass a mismatched DTD without that
+    /// and the stale baseline is yours to keep).
+    pub fn validate(
+        &mut self,
+        key: impl Into<DocKey>,
+        dtd: &CompiledDtd,
+    ) -> Result<bool, StoreError> {
+        let key = key.into();
         let r = self
             .docs
-            .get_mut(&doc_id)
-            .ok_or(StoreError::UnknownDoc { doc_id })?;
-        r.materialize(doc_id)?;
+            .get_mut(&key)
+            .ok_or(StoreError::UnknownDoc { key })?;
+        r.materialize(key)?;
         if !r.validated {
             r.violations.clear();
             let root = r.tree.root();
@@ -608,13 +622,37 @@ impl<V> DocStore<V> {
 
     /// The nodes dirtied since the last [`DocStore::validate`] — the seed
     /// set for [`xdx_core::CompiledSetting::chase_incremental`].
-    pub fn dirty_nodes(&self, doc_id: u64) -> Option<impl Iterator<Item = NodeId> + '_> {
-        self.docs.get(&doc_id).map(|r| r.dirty.iter().copied())
+    pub fn dirty_nodes(&self, key: impl Into<DocKey>) -> Option<impl Iterator<Item = NodeId> + '_> {
+        self.docs.get(&key.into()).map(|r| r.dirty.iter().copied())
     }
 
     /// The document's version-tagged result cache.
-    pub fn result_cache(&mut self, doc_id: u64) -> Option<&mut DocResultCache<V>> {
-        self.docs.get_mut(&doc_id).map(|r| &mut r.cache)
+    pub fn result_cache(&mut self, key: impl Into<DocKey>) -> Option<&mut DocResultCache<V>> {
+        self.docs.get_mut(&key.into()).map(|r| &mut r.cache)
+    }
+
+    /// Discard every *derived* artifact of `setting`'s resident documents —
+    /// cached results, validation baselines, dirty bookkeeping — while
+    /// keeping the documents (and their versions) themselves. This is what
+    /// a setting **rebind** calls: cached answers and violation baselines
+    /// were computed against the old setting's DTDs and patterns, but the
+    /// documents are tenant data that must survive a setting upload (and a
+    /// compiled-setting eviction must cost nothing here at all). The next
+    /// `validate` per document is a full scan. Returns how many documents
+    /// were invalidated.
+    pub fn invalidate_setting(&mut self, setting: u64) -> usize {
+        let mut n = 0;
+        for (_, r) in self
+            .docs
+            .range_mut(DocKey::setting_min(setting)..=DocKey::setting_max(setting))
+        {
+            r.cache.clear();
+            r.validated = false;
+            r.dirty.clear();
+            r.violations.clear();
+            n += 1;
+        }
+        n
     }
 
     /// Write a snapshot of every resident document (atomically), recording
@@ -628,28 +666,28 @@ impl<V> DocStore<V> {
         // Encode every materialized document once up front: the frames are
         // the snapshot payload, the refreshed exact `encoded_bytes`, and
         // the compaction source below.
-        let frames: BTreeMap<u64, Vec<u8>> = self
+        let frames: BTreeMap<DocKey, Vec<u8>> = self
             .docs
             .iter()
             .filter(|(_, r)| r.frame.is_none())
-            .map(|(&id, r)| (id, encode_tree(&r.tree)))
+            .map(|(&key, r)| (key, encode_tree(&r.tree)))
             .collect();
         write_snapshot(
             &self.config.dir.join(SNAPSHOT_FILE),
             self.seq,
-            self.docs.iter().map(|(&id, r)| {
+            self.docs.iter().map(|(&key, r)| {
                 // A still-undecoded document's frame is byte-identical to
                 // the document; copy it through instead of decode+re-encode.
                 let source = match &r.frame {
                     Some(frame) => SnapshotSource::Frame(frame),
-                    None => SnapshotSource::Frame(&frames[&id]),
+                    None => SnapshotSource::Frame(&frames[&key]),
                 };
-                (id, r.version(), source)
+                (key, r.version(), source)
             }),
         )?;
         self.wal.reset()?;
-        for (&id, r) in self.docs.iter_mut() {
-            let Some(frame) = frames.get(&id) else {
+        for (&key, r) in self.docs.iter_mut() {
+            let Some(frame) = frames.get(&key) else {
                 continue;
             };
             r.encoded_bytes = frame.len();
@@ -669,9 +707,16 @@ impl<V> DocStore<V> {
         Ok(self.wal.sync()?)
     }
 
-    /// Resident document ids, ascending.
-    pub fn doc_ids(&self) -> impl Iterator<Item = u64> + '_ {
+    /// Resident document keys, ascending by `(setting, doc)`.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocKey> + '_ {
         self.docs.keys().copied()
+    }
+
+    /// The document ids resident in `setting`, ascending.
+    pub fn docs_in_setting(&self, setting: u64) -> impl Iterator<Item = u64> + '_ {
+        self.docs
+            .range(DocKey::setting_min(setting)..=DocKey::setting_max(setting))
+            .map(|(k, _)| k.doc)
     }
 
     /// Number of resident documents.
@@ -956,7 +1001,7 @@ mod tests {
             s.seq,
             s.docs
                 .iter()
-                .map(|(&id, r)| (id, r.version(), SnapshotSource::Tree(&r.tree))),
+                .map(|(&key, r)| (key, r.version(), SnapshotSource::Tree(&r.tree))),
         )
         .unwrap();
         drop(s); // WAL still holds put@1 + edit@2
@@ -997,7 +1042,7 @@ mod tests {
             s.seq,
             s.docs
                 .iter()
-                .map(|(&id, r)| (id, r.version(), SnapshotSource::Tree(&r.tree))),
+                .map(|(&key, r)| (key, r.version(), SnapshotSource::Tree(&r.tree))),
         )
         .unwrap();
         drop(s); // WAL still holds all four records
@@ -1056,7 +1101,7 @@ mod tests {
         let mut s = open(&dir);
         s.put(1, sample()).unwrap();
         // Pretend the document is one insert away from the codec cap.
-        s.docs.get_mut(&1).unwrap().encoded_bytes = MAX_DOCUMENT_BYTES - 4;
+        s.docs.get_mut(&DocKey::from(1)).unwrap().encoded_bytes = MAX_DOCUMENT_BYTES - 4;
         let grow = [DocEdit::InsertChild {
             parent: 0,
             at: 0,
@@ -1126,7 +1171,7 @@ mod tests {
         write_snapshot(
             &dir.join(SNAPSHOT_FILE),
             1,
-            [(1u64, 1u64, SnapshotSource::Frame(b"not a frame"))].into_iter(),
+            [(DocKey::from(1), 1u64, SnapshotSource::Frame(b"not a frame"))].into_iter(),
         )
         .unwrap();
         let mut s = open(&dir);
@@ -1259,6 +1304,94 @@ mod tests {
             s.validate(1, dtd.compiled()).unwrap(),
             "a bare root conforms; detached nodes must not count"
         );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn settings_scope_documents_and_survive_restart() {
+        let dir = fresh_dir("settings");
+        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap();
+        // The same doc id under two settings names two documents.
+        s.put(7, sample()).unwrap();
+        s.put((2, 7), XmlTree::new("db")).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(tree_to_text(s.get((2, 7)).unwrap().0), "db");
+        assert_ne!(
+            tree_to_text(s.get(7).unwrap().0),
+            "db",
+            "default-setting document is untouched"
+        );
+        assert_eq!(s.docs_in_setting(2).collect::<Vec<u64>>(), vec![7]);
+        assert_eq!(s.docs_in_setting(0).collect::<Vec<u64>>(), vec![7]);
+        // Scoping survives the WAL…
+        drop(s);
+        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap();
+        assert_eq!(tree_to_text(s.get((2, 7)).unwrap().0), "db");
+        // …and the snapshot.
+        s.checkpoint().unwrap();
+        drop(s);
+        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap();
+        assert_eq!(tree_to_text(s.get((2, 7)).unwrap().0), "db");
+        assert_eq!(s.len(), 2);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn invalidate_setting_drops_derived_state_but_keeps_documents() {
+        let dir = fresh_dir("invalidate");
+        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
+            dir: dir.clone(),
+            sync: SyncPolicy::Never,
+            max_resident_docs: 8,
+        })
+        .unwrap();
+        let dtd = book_dtd();
+        s.put((2, 1), sample()).unwrap();
+        s.put(1, sample()).unwrap();
+        let v = s.version((2, 1)).unwrap();
+        assert!(s.validate((2, 1), dtd.compiled()).unwrap());
+        s.result_cache((2, 1))
+            .unwrap()
+            .insert(xdx_core::CacheKey::Consistency, v, "stale");
+        let v0 = s.version(1).unwrap();
+        s.result_cache(1)
+            .unwrap()
+            .insert(xdx_core::CacheKey::Consistency, v0, "kept");
+        assert_eq!(s.invalidate_setting(2), 1);
+        // The document and its version survive; the derived state is gone.
+        assert_eq!(s.version((2, 1)), Some(v));
+        assert_eq!(
+            s.result_cache((2, 1))
+                .unwrap()
+                .get(&xdx_core::CacheKey::Consistency),
+            None,
+            "cached result dropped on rebind"
+        );
+        assert_eq!(
+            s.result_cache(1)
+                .unwrap()
+                .get(&xdx_core::CacheKey::Consistency),
+            Some(&"kept"),
+            "other settings untouched"
+        );
+        // The validation baseline was reset: the next validate is a full
+        // scan (observable as still-correct answers after the reset).
+        assert!(s.validate((2, 1), dtd.compiled()).unwrap());
         cleanup(&dir);
     }
 }

@@ -10,17 +10,22 @@
 //! ends; [`Wal::open`] truncates the file there, so a torn tail can never
 //! corrupt — only shorten — history.
 //!
-//! # Record layout
+//! # Record layout (format v2 — setting-scoped keys)
 //!
 //! All integers big-endian, like the rest of the workspace's formats.
 //!
 //! ```text
 //! record  := len:u32  crc:u64  payload        -- len = |payload|, crc = FNV-1a(payload)
-//! payload := op:u8  doc_id:u64  version:u64  body
-//! body    := frame                            -- op 1 (Put): a binary document frame
-//!          | n:u16  n × edit                  -- op 2 (Edit): see crate::edit
-//!          | ε                                -- op 3 (Delete)
+//! payload := op:u8  setting_id:u64  doc_id:u64  version:u64  body
+//! body    := frame                            -- op 0x11 (Put): a binary document frame
+//!          | n:u16  n × edit                  -- op 0x12 (Edit): see crate::edit
+//!          | ε                                -- op 0x13 (Delete)
 //! ```
+//!
+//! Format v1 (ops `1..=3`, no `setting_id`) predates the multi-tenant
+//! setting registry. The op codes were bumped with the layout so a v1
+//! record can never half-decode as a v2 one: replay treats a v1 log as an
+//! unrecognizable tail (see `DESIGN.md` on the pre-1.0 format bump).
 //!
 //! `version` is the document's version **after** the operation applies — a
 //! stamp from the *store-wide* monotone mutation sequence, so record
@@ -32,6 +37,7 @@
 
 use crate::bytes::{fnv1a, Cursor};
 use crate::edit::{decode_edits, encode_edits, DocEdit};
+use crate::key::DocKey;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
@@ -70,12 +76,12 @@ pub enum WalOp {
     Delete,
 }
 
-/// One WAL record: which document, the version after the operation, and
-/// the operation itself.
+/// One WAL record: which document (setting-scoped), the version after the
+/// operation, and the operation itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
-    /// Document id.
-    pub doc_id: u64,
+    /// Setting-scoped document key.
+    pub key: DocKey,
     /// Document version after this operation (a store-wide sequence stamp;
     /// see the module docs).
     pub version: u64,
@@ -83,15 +89,18 @@ pub struct WalRecord {
     pub op: WalOp,
 }
 
-const OP_PUT: u8 = 1;
-const OP_EDIT: u8 = 2;
-const OP_DELETE: u8 = 3;
+// Format-v2 op codes; v1 used 1..=3 with a setting-less payload, and the
+// bump keeps the two layouts from ever half-decoding as each other.
+const OP_PUT: u8 = 0x11;
+const OP_EDIT: u8 = 0x12;
+const OP_DELETE: u8 = 0x13;
 
 impl WalRecord {
     /// Encode the payload (everything the checksum covers).
     fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
             1 + 8
+                + 8
                 + 8
                 + match &self.op {
                     WalOp::Put(frame) => frame.len(),
@@ -104,7 +113,8 @@ impl WalRecord {
             WalOp::Edit(_) => OP_EDIT,
             WalOp::Delete => OP_DELETE,
         });
-        out.extend_from_slice(&self.doc_id.to_be_bytes());
+        out.extend_from_slice(&self.key.setting.to_be_bytes());
+        out.extend_from_slice(&self.key.doc.to_be_bytes());
         out.extend_from_slice(&self.version.to_be_bytes());
         match &self.op {
             WalOp::Put(frame) => out.extend_from_slice(frame),
@@ -119,7 +129,8 @@ impl WalRecord {
     fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
         let mut c = Cursor::new(payload);
         let op = c.u8()?;
-        let doc_id = c.u64()?;
+        let setting = c.u64()?;
+        let doc = c.u64()?;
         let version = c.u64()?;
         let op = match op {
             OP_PUT => WalOp::Put(c.take(c.remaining())?.to_vec()),
@@ -139,7 +150,7 @@ impl WalRecord {
             _ => return None,
         };
         Some(WalRecord {
-            doc_id,
+            key: DocKey::new(setting, doc),
             version,
             op,
         })
@@ -287,12 +298,12 @@ mod tests {
     fn sample_records() -> Vec<WalRecord> {
         vec![
             WalRecord {
-                doc_id: 1,
+                key: DocKey::from(1),
                 version: 1,
                 op: WalOp::Put(vec![1, 2, 3, 4]),
             },
             WalRecord {
-                doc_id: 1,
+                key: DocKey::new(9, 1),
                 version: 2,
                 op: WalOp::Edit(vec![DocEdit::SetAttr {
                     node: 0,
@@ -301,7 +312,7 @@ mod tests {
                 }]),
             },
             WalRecord {
-                doc_id: 1,
+                key: DocKey::from(1),
                 version: 3,
                 op: WalOp::Delete,
             },
@@ -367,6 +378,23 @@ mod tests {
         b.extend_from_slice(&[0u8; 32]);
         let (r, good) = replay(&b);
         assert!(r.is_empty());
+        assert_eq!(good, 0);
+    }
+
+    #[test]
+    fn format_v1_records_do_not_half_decode() {
+        // A well-checksummed v1 record (op 1, no setting_id): the v2
+        // decoder must reject it outright — ending the prefix — rather
+        // than misread its fields into a scoped key.
+        let mut payload = vec![1u8]; // v1 OP_PUT
+        payload.extend_from_slice(&7u64.to_be_bytes()); // doc_id
+        payload.extend_from_slice(&1u64.to_be_bytes()); // version
+        payload.extend_from_slice(&[0xAA; 16]); // frame
+        let mut bytes = (payload.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&fnv1a(&payload).to_be_bytes());
+        bytes.extend_from_slice(&payload);
+        let (records, good) = replay(&bytes);
+        assert!(records.is_empty());
         assert_eq!(good, 0);
     }
 

@@ -1,0 +1,247 @@
+//! The shared hand-rolled lexer under this workspace's text grammars.
+//!
+//! Three grammars ship documents and formulae as text — the tree text of
+//! [`crate::text`], the pattern/query syntax of `xdx-patterns`, and the
+//! setting-upload syntax of `xdx-core` — and before this module each carried
+//! its own copy of the same cursor: byte-position error reporting,
+//! `peek`/`bump`/`skip_ws`, single-char `eat`/`expect`, identifier scans,
+//! quoted strings. The copies had already started to drift (ASCII-only vs
+//! Unicode identifiers), and every new grammar was one more copy. The
+//! *tokenizer* now lives here once; each grammar keeps its deliberate
+//! differences as explicit choices:
+//!
+//! * identifier alphabets are a caller-supplied predicate ([`Cursor::ident`]);
+//! * quoted strings come in two flavours — [`Cursor::quoted_escaped`]
+//!   (tree text: `\"` and `\\` escapes, anything else is an error) and
+//!   [`Cursor::quoted_raw`] (pattern constants: raw bytes up to the closing
+//!   quote, no escapes) — so the two wire-visible grammars keep their exact
+//!   historical semantics, byte for byte.
+//!
+//! Errors are a position + message pair ([`LexError`]); each grammar wraps
+//! them into its own public error type via `From`.
+
+use std::fmt;
+
+/// A lexical error: byte offset + human-readable description. Grammars
+/// convert this into their own error types ([`crate::text::TreeTextError`]
+/// et al.), preserving the position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A character cursor over a `&str` with byte-position error reporting.
+///
+/// All methods that skip leading whitespace say so; none allocate except
+/// the escape-processing [`Cursor::quoted_escaped`] (and error paths).
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The whole input.
+    pub fn input(&self) -> &'a str {
+        self.input
+    }
+
+    /// The unconsumed suffix.
+    pub fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    /// An error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// Next character without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Consume and return the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Skip Unicode whitespace.
+    pub fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace; consume `c` if it is next. Returns whether it was.
+    pub fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skip whitespace; consume the literal `kw` if it is next.
+    pub fn eat_str(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// [`Cursor::eat`] or a positioned `expected {c:?}` error.
+    pub fn expect(&mut self, c: char) -> Result<(), LexError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?}")))
+        }
+    }
+
+    /// Skip whitespace, then true iff the input is exhausted.
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    /// Consume the longest (possibly empty) run of characters satisfying
+    /// `pred`; no whitespace skipping. `FnMut` so callers can thread scan
+    /// state (e.g. an in-quotes toggle) through the predicate.
+    pub fn take_while(&mut self, mut pred: impl FnMut(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+        &self.input[start..self.pos]
+    }
+
+    /// Skip whitespace, then consume a non-empty run of `pred` characters —
+    /// an identifier in the calling grammar's alphabet. On an empty match,
+    /// errors with `expected {what}`.
+    pub fn ident(
+        &mut self,
+        pred: impl FnMut(char) -> bool,
+        what: &str,
+    ) -> Result<&'a str, LexError> {
+        self.skip_ws();
+        let s = self.take_while(pred);
+        if s.is_empty() {
+            Err(self.error(format!("expected {what}")))
+        } else {
+            Ok(s)
+        }
+    }
+
+    /// A quoted string with escapes: `"…"` where `\"` and `\\` are the only
+    /// escapes (tree-text semantics). Assumes the caller has already seen
+    /// the opening quote via [`Cursor::peek`] or skipped whitespace; this
+    /// expects and consumes it.
+    pub fn quoted_escaped(&mut self) -> Result<String, LexError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated quoted string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(c) => return Err(self.error(format!("invalid escape \\{c}"))),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    /// A raw quoted string: everything up to the next `"`, no escapes
+    /// (pattern-constant semantics — a constant can hold any character but
+    /// `"`). Expects and consumes the opening quote.
+    pub fn quoted_raw(&mut self) -> Result<&'a str, LexError> {
+        self.expect('"')?;
+        let s = self.take_while(|c| c != '"');
+        if self.peek() == Some('"') {
+            self.bump();
+            Ok(s)
+        } else {
+            Err(self.error("unterminated string constant"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_respect_the_predicate() {
+        let mut c = Cursor::new("  abc-1 ✓rest");
+        let id = c.ident(|ch| ch.is_ascii_alphanumeric() || ch == '-', "a name");
+        assert_eq!(id.unwrap(), "abc-1");
+        let err = c
+            .ident(|ch| ch.is_ascii_alphanumeric(), "a name")
+            .unwrap_err();
+        assert_eq!(err.message, "expected a name");
+        assert_eq!(err.position, 8);
+    }
+
+    #[test]
+    fn quoted_flavours_differ_on_escapes() {
+        let mut esc = Cursor::new(r#""a\"b\\c""#);
+        assert_eq!(esc.quoted_escaped().unwrap(), "a\"b\\c");
+        // The raw flavour stops at the first quote, escapes and all.
+        let mut raw = Cursor::new(r#""a\"b""#);
+        assert_eq!(raw.quoted_raw().unwrap(), "a\\");
+        // Unknown escapes only error in the escaped flavour.
+        assert!(Cursor::new(r#""\n""#).quoted_escaped().is_err());
+        assert_eq!(Cursor::new(r#""\n""#).quoted_raw().unwrap(), "\\n");
+    }
+
+    #[test]
+    fn eat_expect_and_end() {
+        let mut c = Cursor::new(" ( x )  ");
+        assert!(c.eat('('));
+        assert!(!c.eat(')'));
+        assert_eq!(
+            c.ident(char::is_alphanumeric, "an identifier").unwrap(),
+            "x"
+        );
+        c.expect(')').unwrap();
+        assert!(c.at_end());
+        let mut k = Cursor::new("  :- tail");
+        assert!(k.eat_str(":-"));
+        assert_eq!(k.rest(), " tail");
+    }
+}

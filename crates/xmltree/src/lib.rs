@@ -49,6 +49,7 @@ pub mod binary;
 pub mod compiled;
 pub mod dtd;
 pub mod interner;
+pub mod lexer;
 pub mod limits;
 pub mod name;
 pub mod text;
@@ -59,6 +60,7 @@ pub use binary::{decode_tree, encode_tree, BinaryError, ByteSink};
 pub use compiled::CompiledDtd;
 pub use dtd::{ConformanceViolation, Dtd, DtdBuilder, DtdError};
 pub use interner::{Interner, Sym};
+pub use lexer::{Cursor, LexError};
 pub use name::{AttrName, ElementType};
 pub use text::{parse_tree, tree_to_text, TreeTextError};
 pub use tree::{NodeId, Preorder, TreeBuilder, XmlTree};

@@ -31,6 +31,7 @@
 //! none. Names that are not plain identifiers (or are empty) are emitted
 //! quoted, so *every* tree — whatever its labels contain — round-trips.
 
+use crate::lexer::{Cursor, LexError};
 use crate::limits::{MAX_DOCUMENT_BYTES, MAX_DOCUMENT_DEPTH, MAX_DOCUMENT_NODES};
 use crate::name::ElementType;
 use crate::tree::{NodeId, XmlTree};
@@ -58,11 +59,24 @@ impl fmt::Display for TreeTextError {
 
 impl std::error::Error for TreeTextError {}
 
+impl From<LexError> for TreeTextError {
+    fn from(e: LexError) -> Self {
+        TreeTextError {
+            position: e.position,
+            message: e.message,
+        }
+    }
+}
+
+/// The identifier alphabet of this grammar (deliberately ASCII-only — the
+/// serializer quotes anything else).
+fn ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '@' | '.' | '-')
+}
+
 /// Is `s` a plain identifier the serializer may emit unquoted?
 fn is_ident(s: &str) -> bool {
-    !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '@' | '.' | '-'))
+    !s.is_empty() && s.chars().all(ident_char)
 }
 
 fn push_name(out: &mut String, name: &str) {
@@ -139,106 +153,40 @@ pub fn tree_to_text(tree: &XmlTree) -> String {
     out
 }
 
+/// The grammar layer over the shared [`Cursor`]: tree-text names, values
+/// and node headers. Tokenization itself lives in [`crate::lexer`].
 struct Parser<'a> {
-    input: &'a str,
-    pos: usize,
+    cur: Cursor<'a>,
 }
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> TreeTextError {
-        TreeTextError {
-            position: self.pos,
-            message: message.into(),
-        }
+        self.cur.error(message).into()
     }
 
-    fn peek(&self) -> Option<char> {
-        self.input[self.pos..].chars().next()
-    }
-
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek()?;
-        self.pos += c.len_utf8();
-        Some(c)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.bump();
-        }
-    }
-
-    fn eat(&mut self, c: char) -> bool {
-        self.skip_ws();
-        if self.peek() == Some(c) {
-            self.bump();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, c: char) -> Result<(), TreeTextError> {
-        if self.eat(c) {
-            Ok(())
-        } else {
-            Err(self.error(format!("expected {c:?}")))
-        }
-    }
-
-    /// A name: bare identifier or quoted string.
+    /// A name: bare identifier or quoted string (with escapes).
     fn parse_name(&mut self) -> Result<String, TreeTextError> {
-        self.skip_ws();
-        if self.peek() == Some('"') {
-            return self.parse_quoted();
+        self.cur.skip_ws();
+        if self.cur.peek() == Some('"') {
+            return Ok(self.cur.quoted_escaped()?);
         }
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c.is_ascii_alphanumeric() || matches!(c, '_' | '@' | '.' | '-') {
-                self.bump();
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            Err(self.error("expected a name (identifier or quoted string)"))
-        } else {
-            Ok(self.input[start..self.pos].to_string())
-        }
-    }
-
-    fn parse_quoted(&mut self) -> Result<String, TreeTextError> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                None => return Err(self.error("unterminated quoted string")),
-                Some('"') => return Ok(out),
-                Some('\\') => match self.bump() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some(c) => return Err(self.error(format!("invalid escape \\{c}"))),
-                    None => return Err(self.error("unterminated escape")),
-                },
-                Some(c) => out.push(c),
-            }
-        }
+        Ok(self
+            .cur
+            .ident(ident_char, "a name (identifier or quoted string)")?
+            .to_string())
     }
 
     fn parse_value(&mut self) -> Result<Value, TreeTextError> {
-        self.skip_ws();
-        match self.peek() {
-            Some('"') => Ok(Value::constant(self.parse_quoted()?)),
+        self.cur.skip_ws();
+        match self.cur.peek() {
+            Some('"') => Ok(Value::constant(self.cur.quoted_escaped()?)),
             Some('⊥') | Some('~') => {
-                self.bump();
-                let start = self.pos;
-                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                    self.bump();
-                }
-                if self.pos == start {
+                self.cur.bump();
+                let digits = self.cur.take_while(|c| c.is_ascii_digit());
+                if digits.is_empty() {
                     return Err(self.error("expected digits after the null marker"));
                 }
-                let id: u64 = self.input[start..self.pos]
+                let id: u64 = digits
                     .parse()
                     .map_err(|_| self.error("null identifier does not fit in u64"))?;
                 Ok(Value::Null(NullId(id)))
@@ -268,20 +216,20 @@ impl<'a> Parser<'a> {
             }
             (Some(_), None) => unreachable!("only the root parses without a parent"),
         };
-        if self.eat('(') {
+        if self.cur.eat('(') {
             let t = tree.as_mut().expect("tree exists once a node was made");
             loop {
                 let attr = self.parse_name()?;
-                self.expect('=')?;
+                self.cur.expect('=')?;
                 let value = self.parse_value()?;
                 if t.attr(node, &attr.as_str().into()).is_some() {
                     return Err(self.error(format!("duplicate attribute {attr}")));
                 }
                 t.set_attr(node, attr, value);
-                if self.eat(',') {
+                if self.cur.eat(',') {
                     continue;
                 }
-                self.expect(')')?;
+                self.cur.expect(')')?;
                 break;
             }
         }
@@ -303,13 +251,15 @@ pub fn parse_tree(input: &str) -> Result<XmlTree, TreeTextError> {
             ),
         });
     }
-    let mut p = Parser { input, pos: 0 };
+    let mut p = Parser {
+        cur: Cursor::new(input),
+    };
     let mut tree: Option<XmlTree> = None;
     // Stack of open `[` scopes: the parent node awaiting further children.
     let mut open: Vec<NodeId> = Vec::new();
     let mut node = p.parse_node(&mut tree, None)?;
     loop {
-        if p.eat('[') {
+        if p.cur.eat('[') {
             // The node just parsed opens a child scope; parse its first child.
             if open.len() >= MAX_DOCUMENT_DEPTH {
                 return Err(p.error(format!(
@@ -323,13 +273,13 @@ pub fn parse_tree(input: &str) -> Result<XmlTree, TreeTextError> {
         // Close as many scopes as the input does, then either continue with
         // a sibling or finish.
         loop {
-            if p.eat(',') {
+            if p.cur.eat(',') {
                 let Some(&parent) = open.last() else {
                     return Err(p.error("',' outside a child list"));
                 };
                 node = p.parse_node(&mut tree, Some(parent))?;
                 break;
-            } else if p.eat(']') {
+            } else if p.cur.eat(']') {
                 // A closed node cannot reopen a child list (`a[b][c]` is not
                 // in the grammar), so the scope is simply popped.
                 if open.pop().is_none() {
@@ -337,8 +287,7 @@ pub fn parse_tree(input: &str) -> Result<XmlTree, TreeTextError> {
                 }
                 continue;
             } else {
-                p.skip_ws();
-                if p.pos < p.input.len() {
+                if !p.cur.at_end() {
                     return Err(p.error("unexpected trailing input"));
                 }
                 if !open.is_empty() {

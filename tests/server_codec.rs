@@ -105,7 +105,11 @@ fn random_request(rng: &mut TestRng, codec: Codec) -> RequestFrame {
             docs: random_docs(rng, codec),
         },
     };
-    RequestFrame { id, body }
+    RequestFrame {
+        id,
+        setting_id: 0,
+        body,
+    }
 }
 
 fn random_wire_error(rng: &mut TestRng) -> WireError {
@@ -183,8 +187,8 @@ proptest! {
         let mut rng = TestRng::new(seed);
         let codec = random_codec(&mut rng);
         let req = random_request(&mut rng, codec);
-        let bytes = encode_request(&req);
-        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec);
+        let bytes = encode_request(&req, false);
+        let back = decode_request(&bytes, MAX_DOCS_PER_REQUEST, codec, false);
         prop_assert_eq!(Ok(req), back);
     }
 
@@ -203,7 +207,7 @@ proptest! {
         let mut rng = TestRng::new(seed);
         let codec = random_codec(&mut rng);
         let bytes = if seed % 2 == 0 {
-            encode_request(&random_request(&mut rng, codec))
+            encode_request(&random_request(&mut rng, codec), false)
         } else {
             encode_response(&random_response(&mut rng, codec))
         };
@@ -212,7 +216,7 @@ proptest! {
         if !bytes.is_empty() {
             let cut = (rng.next_u64() as usize) % bytes.len();
             for codec in [Codec::Text, Codec::Binary] {
-                let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec);
+                let _ = decode_request(&bytes[..cut], MAX_DOCS_PER_REQUEST, codec, false);
                 let _ = decode_response(&bytes[..cut], codec);
             }
         }
@@ -222,13 +226,13 @@ proptest! {
             let at = (rng.next_u64() as usize) % corrupted.len();
             corrupted[at] ^= 1 << (rng.next_u64() % 8);
             for codec in [Codec::Text, Codec::Binary] {
-                let _ = decode_request(&corrupted, MAX_DOCS_PER_REQUEST, codec);
+                let _ = decode_request(&corrupted, MAX_DOCS_PER_REQUEST, codec, false);
                 let _ = decode_response(&corrupted, codec);
             }
         }
         // A decoded-then-re-encoded frame is stable (when it decodes).
-        if let Ok(req) = decode_request(&corrupted, MAX_DOCS_PER_REQUEST, codec) {
-            prop_assert_eq!(encode_request(&req).len(), corrupted.len());
+        if let Ok(req) = decode_request(&corrupted, MAX_DOCS_PER_REQUEST, codec, false) {
+            prop_assert_eq!(encode_request(&req, false).len(), corrupted.len());
         }
     }
 
@@ -238,7 +242,7 @@ proptest! {
         let len = (rng.next_u64() % 64) as usize;
         let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         for codec in [Codec::Text, Codec::Binary] {
-            let _ = decode_request(&garbage, MAX_DOCS_PER_REQUEST, codec);
+            let _ = decode_request(&garbage, MAX_DOCS_PER_REQUEST, codec, false);
             let _ = decode_response(&garbage, codec);
         }
     }

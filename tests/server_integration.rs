@@ -365,10 +365,12 @@ fn saturation_yields_busy_not_unbounded_queueing() {
             let frame = xdx_server::wire::frame(xdx_server::wire::encode_request(
                 &xdx_server::RequestFrame {
                     id: 1000 + i,
+                    setting_id: 0,
                     body: RequestBody::CanonicalSolution {
                         docs: vec![tree_to_text(&doc).into()],
                     },
                 },
+                false,
             ));
             bytes.extend_from_slice(&frame);
             ids.push(1000 + i);

@@ -1,0 +1,156 @@
+//! Proptests for the setting text syntax (`xdx_core::settext`): generated
+//! settings round-trip through `setting_to_text` exactly, and hostile
+//! inputs — truncations of valid text, random garbage, and regex/pattern
+//! depth bombs — always come back as structured [`SettingTextError`]s,
+//! never panics or runaway work. Sampling is deterministic per test (the
+//! proptest shim derives the seed from the test name) and scales with
+//! `PROPTEST_CASES`.
+
+use proptest::prelude::*;
+use xml_data_exchange::core::settext::{parse_setting, setting_to_text, MAX_SETTING_TEXT_BYTES};
+use xml_data_exchange::core::setting::books_to_writers_setting;
+
+fn cases(default: u32) -> u32 {
+    ProptestConfig::env_cases().unwrap_or(default)
+}
+
+/// A random *valid* setting text: two-level DTDs (a root over a handful of
+/// leaf children, each `eps`), random content-model shapes over the
+/// declared children, random attribute declarations, and zero or more
+/// no-variable or one-variable STDs over declared elements.
+fn random_setting_text(rng: &mut TestRng) -> String {
+    let n_src = 1 + (rng.next_u64() % 3) as usize;
+    let n_tgt = 1 + (rng.next_u64() % 3) as usize;
+    let mut text = String::new();
+    for (which, root, prefix, n) in [("source", "s", "c", n_src), ("target", "t", "d", n_tgt)] {
+        text.push_str(&format!("{which} {{ root {root}; "));
+        // The root's content model: one random shape over the children.
+        let children: Vec<String> = (0..n).map(|i| format!("{prefix}{i}")).collect();
+        let model = match rng.next_u64() % 4 {
+            0 => children.join(" "),
+            1 => format!("({})*", children.join("|")),
+            2 => children
+                .iter()
+                .map(|c| format!("{c}*"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            _ => children
+                .iter()
+                .map(|c| format!("{c}?"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        };
+        text.push_str(&format!("rule {root} = {model}; "));
+        for c in &children {
+            text.push_str(&format!("rule {c} = eps; "));
+            if rng.next_u64().is_multiple_of(2) {
+                text.push_str(&format!("attrs {c} = @a, @b; "));
+            }
+        }
+        text.push_str("} ");
+    }
+    // STDs over the declared roots/children; attribute patterns only on
+    // elements that declared attrs (every generated attrs line is @a, @b).
+    for _ in 0..rng.next_u64() % 3 {
+        let sc = format!("c{}", rng.next_u64() as usize % n_src);
+        let tc = format!("d{}", rng.next_u64() as usize % n_tgt);
+        let src_has_attrs = text.contains(&format!("attrs {sc} ="));
+        let tgt_has_attrs = text.contains(&format!("attrs {tc} ="));
+        if src_has_attrs && tgt_has_attrs && rng.next_u64().is_multiple_of(2) {
+            text.push_str(&format!("std t[{tc}(@a=$x)] :- s[{sc}(@a=$x)]; "));
+        } else {
+            text.push_str(&format!("std t[{tc}] :- s[{sc}]; "));
+        }
+    }
+    text
+}
+
+#[test]
+fn the_paper_example_round_trips_exactly() {
+    let setting = books_to_writers_setting();
+    let text = setting_to_text(&setting);
+    let back = parse_setting(&text).expect("canonical text parses");
+    assert_eq!(setting_to_text(&back), text);
+}
+
+#[test]
+fn depth_bombs_fail_structurally() {
+    // A content model nested past the relang depth cap.
+    let bomb = format!(
+        "source {{ root r; rule r = {}a{}; }} target {{ root t; rule t = eps; }}",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    let err = parse_setting(&bomb).expect_err("regex bomb rejected");
+    assert!(err.position > 0);
+
+    // An STD pattern nested past the pattern depth cap.
+    let bomb = format!(
+        "source {{ root s; rule s = eps; }} target {{ root t; rule t = eps; }} std {}t{} :- s;",
+        "t[".repeat(5000),
+        "]".repeat(5000)
+    );
+    parse_setting(&bomb).expect_err("pattern bomb rejected");
+
+    // Input over the hard byte cap is rejected before any parsing work.
+    let big = "x".repeat(MAX_SETTING_TEXT_BYTES + 1);
+    let err = parse_setting(&big).expect_err("oversized input rejected");
+    assert!(err.message.contains("exceeds"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    #[test]
+    fn generated_settings_round_trip_through_their_canonical_text(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let text = random_setting_text(&mut rng);
+        let setting = match parse_setting(&text) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::Fail(format!(
+                "generated setting must parse: {e}\n{text}"
+            ))),
+        };
+        let canonical = setting_to_text(&setting);
+        let back = parse_setting(&canonical).map_err(|e| TestCaseError::Fail(format!(
+            "canonical text must re-parse: {e}\n{canonical}"
+        )))?;
+        // `DataExchangeSetting` has no structural equality; the canonical
+        // text being a fixed point is the round-trip property.
+        prop_assert_eq!(setting_to_text(&back), canonical);
+    }
+
+    #[test]
+    fn truncations_of_valid_settings_never_panic(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let text = random_setting_text(&mut rng);
+        let cut = (rng.next_u64() as usize) % (text.len() + 1);
+        if let Some(prefix) = text.get(..cut) {
+            let _ = parse_setting(prefix);
+        }
+        // Flip one byte (when it stays valid UTF-8).
+        let mut bytes = text.clone().into_bytes();
+        if !bytes.is_empty() {
+            let at = (rng.next_u64() as usize) % bytes.len();
+            bytes[at] ^= 1 << (rng.next_u64() % 8);
+            if let Ok(corrupted) = String::from_utf8(bytes) {
+                let _ = parse_setting(&corrupted);
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        const PIECES: [&str; 10] = [
+            "source", "target", "std", "{", "}", ";", "rule r =", "attrs",
+            "(((", "\"un;closed",
+        ];
+        let mut text = String::new();
+        for _ in 0..rng.next_u64() % 24 {
+            text.push_str(PIECES[rng.next_u64() as usize % PIECES.len()]);
+            text.push(' ');
+        }
+        let _ = parse_setting(&text);
+    }
+}

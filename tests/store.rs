@@ -53,11 +53,11 @@ fn config(dir: &Path) -> StoreConfig {
 /// The full observable document state: id → (canonical text, version).
 /// (`get` takes `&mut` because lazily loaded documents decode on access.)
 fn state(store: &mut DocStore) -> BTreeMap<u64, (String, u64)> {
-    let ids: Vec<u64> = store.doc_ids().collect();
+    let ids: Vec<xdx_store::DocKey> = store.doc_ids().collect();
     ids.into_iter()
-        .map(|id| {
-            let (tree, version) = store.get(id).unwrap();
-            (id, (tree_to_text(tree), version))
+        .map(|key| {
+            let (tree, version) = store.get(key).unwrap();
+            (key.doc, (tree_to_text(tree), version))
         })
         .collect()
 }
