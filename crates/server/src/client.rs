@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 use xdx_patterns::query::UnionQuery;
 use xdx_xmltree::XmlTree;
@@ -33,6 +33,12 @@ use xdx_xmltree::XmlTree;
 /// solutions grow — but a corrupt length field must not trigger a huge
 /// allocation).
 const MAX_RESPONSE_BYTES: usize = 256 * 1024 * 1024;
+
+/// Default socket read/write timeout applied by [`Client::connect_tcp`]
+/// and [`Client::connect_unix`] — a hung server surfaces as an error
+/// instead of blocking the caller forever. Override (or disable with
+/// `None`) via [`Client::set_timeout`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -45,6 +51,10 @@ pub enum ClientError {
     Remote(WireError),
     /// The server is saturated; retry later.
     Busy,
+    /// The server is draining for shutdown; the request was not executed
+    /// and the connection is about to close. Retry against another (or a
+    /// restarted) server.
+    GoAway,
 }
 
 impl std::fmt::Display for ClientError {
@@ -54,6 +64,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Remote(e) => write!(f, "server error: {e}"),
             ClientError::Busy => write!(f, "server busy"),
+            ClientError::GoAway => write!(f, "server draining for shutdown"),
         }
     }
 }
@@ -63,6 +74,77 @@ impl std::error::Error for ClientError {}
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Capped exponential backoff with jitter, driving the [`Client`]'s
+/// automatic retries (see [`Client::set_retry_policy`]).
+///
+/// What retries is decided by *safety*, not by the policy:
+///
+/// * `Busy` and `GoAway` responses — the server answered without starting
+///   the work, so **every** op retries (after a reconnect, for `GoAway`);
+/// * connection failures while *reconnecting* — nothing was sent;
+/// * transport failures mid-request — the server may or may not have
+///   executed the op, so only ops whose duplicate execution is harmless or
+///   detectable retry: the pure-compute ops, all reads, and `EditDoc`
+///   *with a compare-and-swap `base_version`* (a duplicate apply fails
+///   loudly as `VersionConflict` instead of applying twice). `PutDoc`,
+///   `DeleteDoc`, unguarded `EditDoc` and the registry mutations are never
+///   blindly re-sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry up to
+    /// [`RetryPolicy::max_backoff`].
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+/// How this client was connected, retained so a broken connection can be
+/// re-established transparently under a [`RetryPolicy`].
+#[derive(Debug, Clone)]
+enum ConnectTarget {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+/// May `body` be re-sent when the client cannot know whether the server
+/// executed the first attempt?
+fn safe_to_resend(body: &RequestBody) -> bool {
+    match body {
+        RequestBody::Ping
+        | RequestBody::Hello { .. }
+        | RequestBody::CheckConsistency { .. }
+        | RequestBody::CanonicalSolution { .. }
+        | RequestBody::CertainAnswers { .. }
+        | RequestBody::CertainAnswersBoolean { .. }
+        | RequestBody::GetDoc { .. }
+        | RequestBody::CheckConsistencyStored { .. }
+        | RequestBody::CanonicalSolutionStored { .. }
+        | RequestBody::CertainAnswersStored { .. }
+        | RequestBody::CertainAnswersBooleanStored { .. }
+        | RequestBody::ListSettings
+        | RequestBody::Stats => true,
+        // The CAS guard turns a duplicate apply into a VersionConflict
+        // error; an unguarded edit would silently apply twice.
+        RequestBody::EditDoc { base_version, .. } => *base_version != 0,
+        RequestBody::PutDoc { .. }
+        | RequestBody::DeleteDoc { .. }
+        | RequestBody::PutSetting { .. }
+        | RequestBody::EvictSetting { .. } => false,
     }
 }
 
@@ -84,10 +166,29 @@ pub struct Client {
     partials: HashMap<u64, (Vec<u8>, usize)>,
     /// Wire frames the last logical response arrived in (1 = unchunked).
     last_chunks: usize,
+    /// Where this client dialed, retained for [`Client::reconnect`].
+    target: Option<ConnectTarget>,
+    /// The socket timeout in force, re-applied after a reconnect.
+    timeout: Option<Duration>,
+    /// Features last passed to [`Client::negotiate`], re-negotiated after
+    /// a reconnect.
+    requested_features: Option<u32>,
+    /// The connection is known dead (transport error or `GoAway`); the
+    /// next retried request reconnects first.
+    broken: bool,
+    /// Automatic retry policy; `None` surfaces every failure to the caller.
+    retry: Option<RetryPolicy>,
+    /// xorshift64 state for backoff jitter (always nonzero).
+    jitter: u64,
 }
 
 impl Client {
-    fn new(transport: Duplex) -> Client {
+    fn new(transport: Duplex, target: Option<ConnectTarget>) -> Client {
+        let jitter = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15)
+            | 1;
         Client {
             transport,
             next_id: 1,
@@ -97,46 +198,116 @@ impl Client {
             ebuf: Vec::new(),
             partials: HashMap::new(),
             last_chunks: 1,
+            target,
+            timeout: None,
+            requested_features: None,
+            broken: false,
+            retry: None,
+            jitter,
         }
     }
 
-    /// Connect over TCP.
+    /// Connect over TCP, with [`DEFAULT_TIMEOUT`] on socket reads and
+    /// writes (override via [`Client::set_timeout`]).
     pub fn connect_tcp(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client::new(Duplex::Tcp(stream)))
+        let mut client = Client::new(
+            Duplex::Tcp(stream),
+            Some(ConnectTarget::Tcp(addr.to_string())),
+        );
+        client.set_timeout(Some(DEFAULT_TIMEOUT))?;
+        Ok(client)
     }
 
-    /// Connect over a Unix-domain socket.
+    /// Connect over a Unix-domain socket, with [`DEFAULT_TIMEOUT`] on
+    /// socket reads and writes (override via [`Client::set_timeout`]).
     pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
-        Ok(Client::new(Duplex::Unix(UnixStream::connect(path)?)))
+        let path = path.as_ref();
+        let mut client = Client::new(
+            Duplex::Unix(UnixStream::connect(path)?),
+            Some(ConnectTarget::Unix(path.to_path_buf())),
+        );
+        client.set_timeout(Some(DEFAULT_TIMEOUT))?;
+        Ok(client)
     }
 
     /// Bound every blocking read *and* write on the socket, so a stalled
     /// or wedged server surfaces as [`ClientError::Io`]
     /// (`TimedOut`/`WouldBlock`) instead of hanging the caller forever.
-    /// `None` restores "wait forever".
-    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+    /// `None` restores "wait forever". Survives reconnects.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.transport.set_read_timeout(timeout)?;
-        self.transport.set_write_timeout(timeout)
+        self.transport.set_write_timeout(timeout)?;
+        self.timeout = timeout;
+        Ok(())
+    }
+
+    /// Install (or clear) the automatic retry policy. With a policy set,
+    /// `Busy`/`GoAway` responses back off and retry, a dead connection is
+    /// re-dialed and re-negotiated, and requests that are safe to re-send
+    /// are retried across the new connection; see [`RetryPolicy`] for
+    /// which failures qualify.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Record the accepted feature set on this connection.
+    fn apply_accepted(&mut self, accepted: u32) {
+        self.codec = if accepted & wire::FEATURE_BINARY_DOCS != 0 {
+            Codec::Binary
+        } else {
+            Codec::Text
+        };
+        self.settings = accepted & wire::FEATURE_SETTINGS != 0;
     }
 
     /// Negotiate v2 features: sends `Hello` with `features`, returns the
     /// subset the server accepted, and switches this connection's document
-    /// codec accordingly. Requests already answered are unaffected.
+    /// codec accordingly. Requests already answered are unaffected. The
+    /// feature set is remembered and re-negotiated automatically when a
+    /// [`RetryPolicy`] reconnects.
     pub fn negotiate(&mut self, features: u32) -> Result<u32, ClientError> {
+        self.requested_features = Some(features);
         match self.round_trip(RequestBody::Hello { features })? {
             ResponseBody::HelloOk { features: accepted } => {
-                self.codec = if accepted & wire::FEATURE_BINARY_DOCS != 0 {
-                    Codec::Binary
-                } else {
-                    Codec::Text
-                };
-                self.settings = accepted & wire::FEATURE_SETTINGS != 0;
+                self.apply_accepted(accepted);
                 Ok(accepted)
             }
             other => Err(unexpected("HelloOk", &other)),
         }
+    }
+
+    /// Re-dial the recorded target, re-apply the socket timeout, and
+    /// re-negotiate the last requested feature set. All per-connection
+    /// state (partial responses, codec) is reset first.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.broken = true; // stays set on any early return below
+        let target = self.target.clone().ok_or_else(|| {
+            ClientError::Protocol("connection broken and no reconnect target recorded".into())
+        })?;
+        self.transport = match &target {
+            ConnectTarget::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                let _ = stream.set_nodelay(true);
+                Duplex::Tcp(stream)
+            }
+            ConnectTarget::Unix(path) => Duplex::Unix(UnixStream::connect(path)?),
+        };
+        self.partials.clear();
+        self.codec = Codec::Text;
+        self.settings = false;
+        self.transport.set_read_timeout(self.timeout)?;
+        self.transport.set_write_timeout(self.timeout)?;
+        if let Some(features) = self.requested_features {
+            // Not via `negotiate`: that retries, and retrying reconnects.
+            match self.round_trip_once(RequestBody::Hello { features })? {
+                ResponseBody::HelloOk { features: accepted } => self.apply_accepted(accepted),
+                other => return Err(unexpected("HelloOk", &other)),
+            }
+        }
+        self.broken = false;
+        Ok(())
     }
 
     /// Negotiate the full v2 fast path (binary documents + chunked
@@ -251,9 +422,9 @@ impl Client {
         }
     }
 
-    /// Send one request and wait for its response (ids must match — the
-    /// high-level methods never pipeline).
-    fn round_trip(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+    /// One attempt: send one request and wait for its response (ids must
+    /// match — the high-level methods never pipeline).
+    fn round_trip_once(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
         let id = self.send(body)?;
         let resp = self.recv()?;
         if resp.id != id {
@@ -264,8 +435,92 @@ impl Client {
         }
         match resp.body {
             ResponseBody::Busy => Err(ClientError::Busy),
+            ResponseBody::GoAway => Err(ClientError::GoAway),
             ResponseBody::Error(e) => Err(ClientError::Remote(e)),
             body => Ok(body),
+        }
+    }
+
+    /// The next backoff delay: capped exponential with jitter in
+    /// [base/2, base], so a thundering herd of reconnecting clients
+    /// spreads out.
+    fn backoff_delay(&mut self, policy: &RetryPolicy, attempt: u32) -> Duration {
+        let base = policy
+            .initial_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(policy.max_backoff);
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let nanos = base.as_nanos().min(u64::MAX as u128) as u64;
+        let half = nanos / 2;
+        Duration::from_nanos(
+            half + if half == 0 {
+                0
+            } else {
+                self.jitter % (half + 1)
+            },
+        )
+    }
+
+    /// Send one request and wait for its response, retrying per the
+    /// installed [`RetryPolicy`] (none by default). `Busy` and `GoAway`
+    /// retry unconditionally — the server never executed the request;
+    /// transport failures reconnect and retry only requests that are
+    /// [safe to re-send](RetryPolicy). Remote errors and protocol errors
+    /// surface immediately.
+    fn round_trip(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let policy = match &self.retry {
+            Some(p) if p.max_retries > 0 => p.clone(),
+            _ => {
+                if self.broken {
+                    self.reconnect()?;
+                }
+                return self.round_trip_once(body);
+            }
+        };
+        let mut attempt = 0u32;
+        loop {
+            let err = if self.broken {
+                // Connect-phase failure: nothing was sent, always retryable.
+                self.reconnect().err()
+            } else {
+                None
+            };
+            let err = match err {
+                Some(e) => e,
+                None => match self.round_trip_once(body.clone()) {
+                    Ok(resp) => return Ok(resp),
+                    // Answered without starting the work — always safe.
+                    Err(e @ ClientError::Busy) => e,
+                    Err(e @ ClientError::GoAway) => {
+                        self.broken = true;
+                        e
+                    }
+                    Err(ClientError::Io(e)) => {
+                        // The server may or may not have executed the op.
+                        self.broken = true;
+                        let e = ClientError::Io(e);
+                        if !safe_to_resend(&body) {
+                            return Err(e);
+                        }
+                        e
+                    }
+                    // Remote errors are authoritative; protocol errors mean
+                    // the stream is in an undefined state — give up (the
+                    // *next* call will reconnect).
+                    Err(e @ ClientError::Protocol(_)) => {
+                        self.broken = true;
+                        return Err(e);
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            attempt += 1;
+            std::thread::sleep(self.backoff_delay(&policy, attempt));
         }
     }
 
@@ -281,6 +536,15 @@ impl Client {
         match self.round_trip(RequestBody::Ping)? {
             ResponseBody::Pong => Ok(()),
             other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Fetch the server's operational counters (v4), sorted ascending by
+    /// name. Unknown names must be ignored — servers grow counters.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.round_trip(RequestBody::Stats)? {
+            ResponseBody::StatsOk { counters } => Ok(counters),
+            other => Err(unexpected("StatsOk", &other)),
         }
     }
 

@@ -58,7 +58,7 @@ pub mod sys;
 mod transport;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy, DEFAULT_TIMEOUT};
 pub use server::{ConfigError, Server, ServerConfig, ServerControl};
 pub use wire::{
     Codec, DocResult, ErrorCode, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,

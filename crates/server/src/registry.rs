@@ -29,6 +29,7 @@
 
 use crate::wire::{self, SettingEntry, WireError};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use xdx_core::engine::BatchEngine;
 use xdx_core::settext::parse_setting;
@@ -81,6 +82,10 @@ pub(crate) struct Registry {
     parallelism: usize,
     max_settings: usize,
     max_compiled_cost: u64,
+    /// Resolves answered by a resident artifact (`Stats` wire op).
+    artifact_hits: AtomicU64,
+    /// Resolves that had to recompile from retained text.
+    artifact_misses: AtomicU64,
 }
 
 /// What [`Registry::put`] tells the caller beyond the wire response: a
@@ -133,7 +138,18 @@ impl Registry {
             parallelism,
             max_settings,
             max_compiled_cost,
+            artifact_hits: AtomicU64::new(0),
+            artifact_misses: AtomicU64::new(0),
         }
+    }
+
+    /// `(hits, misses)` of [`Registry::resolve`] against the compiled
+    /// cache since startup.
+    pub(crate) fn artifact_counters(&self) -> (u64, u64) {
+        (
+            self.artifact_hits.load(Ordering::Relaxed),
+            self.artifact_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Parse, canonicalize, compile (or reuse) and bind `text` to
@@ -220,10 +236,12 @@ impl Registry {
                     .get_mut(&hash)
                     .expect("checked resident")
                     .last_used = tick;
+                self.artifact_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(engine);
             }
             (hash, text)
         };
+        self.artifact_misses.fetch_add(1, Ordering::Relaxed);
         // Cold binding: recompile from the retained canonical text. It
         // parsed when it was uploaded, so a failure here is a bug, but
         // answer with a structured error rather than poisoning the worker.

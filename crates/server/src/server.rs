@@ -67,8 +67,9 @@ use std::net::{SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use xdx_core::cache::CacheKey;
 use xdx_core::compiled::ExchangeScratch;
 use xdx_core::engine::BatchEngine;
@@ -164,6 +165,18 @@ pub struct ServerConfig {
     /// [`ServerConfig::max_inflight_total`], which makes the check
     /// unobservable for v1/v2 traffic (it all addresses setting 0).
     pub max_inflight_per_setting: usize,
+    /// Close a connection with no unanswered requests, no pending output
+    /// and no partial frame after this long without activity, so abandoned
+    /// sockets cannot pin `max_connections` slots forever. `None` disables
+    /// the check.
+    pub idle_timeout: Option<Duration>,
+    /// A started request frame must *complete* within this long of its
+    /// first byte (the clock restarts whenever a whole frame is parsed,
+    /// not on every byte) — a slow-loris peer dribbling one byte per
+    /// second holds a connection slot for at most this, while a healthy
+    /// pipelining client at any pace never has a partial frame older than
+    /// one frame's transmission. `None` disables the check.
+    pub read_progress_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -183,6 +196,8 @@ impl Default for ServerConfig {
             max_settings: 64,
             max_compiled_cost: 64 * xdx_core::settext::MAX_SETTING_TEXT_BYTES as u64,
             max_inflight_per_setting: 256,
+            idle_timeout: Some(Duration::from_secs(60)),
+            read_progress_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -286,6 +301,18 @@ impl ServerConfig {
                 field: "wal_checkpoint_bytes",
             });
         }
+        // A zero deadline would reap every connection on its first tick;
+        // "no deadline" is spelled `None`.
+        if self.idle_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(ConfigError::Zero {
+                field: "idle_timeout",
+            });
+        }
+        if self.read_progress_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(ConfigError::Zero {
+                field: "read_progress_timeout",
+            });
+        }
         Ok(())
     }
 }
@@ -294,14 +321,48 @@ impl ServerConfig {
 #[derive(Debug)]
 pub struct ServerControl {
     stop: AtomicBool,
+    draining: AtomicBool,
+    drain_deadline: Mutex<Option<Instant>>,
     wake: Mutex<UnixStream>,
 }
 
 impl ServerControl {
     /// Ask the event loop to exit. Idempotent; safe from any thread.
+    /// In-flight work is abandoned (connections close without their
+    /// responses); prefer [`ServerControl::drain`] for a graceful exit.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.nudge();
+    }
+
+    /// Ask the server to drain and exit gracefully: stop accepting, answer
+    /// every *new* request with [`wire::STATUS_GOAWAY`] (never starting
+    /// work on it), flush the responses already in flight, and close each
+    /// connection as it settles. Connections still unsettled `grace` from
+    /// now are force-closed; then [`Server::run`] returns (checkpointing
+    /// the store on the way out, as on any clean exit). Idempotent — the
+    /// first call's deadline wins; safe from any thread.
+    pub fn drain(&self, grace: Duration) {
+        {
+            let mut deadline = self.drain_deadline.lock().expect("drain deadline poisoned");
+            if deadline.is_none() {
+                *deadline = Some(Instant::now() + grace);
+            }
+        }
+        self.draining.store(true, Ordering::SeqCst);
+        self.nudge();
+    }
+
+    /// Has [`ServerControl::drain`] been called?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn drain_deadline(&self) -> Option<Instant> {
+        if !self.is_draining() {
+            return None;
+        }
+        *self.drain_deadline.lock().expect("drain deadline poisoned")
     }
 
     /// Wake the event loop without stopping it (used by workers after
@@ -312,6 +373,118 @@ impl ServerControl {
             let _ = wake.write(&[1]);
         }
     }
+}
+
+/// Operational counters behind the `Stats` wire op (v4). Everything is a
+/// monotonically increasing `u64` (or a level read at request time), so a
+/// scraper can diff consecutive snapshots without special cases.
+#[derive(Debug)]
+struct ServerStats {
+    started: Instant,
+    /// Connections accepted and registered (shed ones excluded).
+    accepted_conns: AtomicU64,
+    /// Requests answered `Busy` by admission control.
+    busy_rejected: AtomicU64,
+    /// Requests answered `GoAway` while draining.
+    goaway_rejected: AtomicU64,
+    /// Connections reaped by the idle deadline.
+    reaped_idle: AtomicU64,
+    /// Connections reaped by the read-progress (slow-loris) deadline.
+    reaped_slow: AtomicU64,
+    /// Highest simultaneous in-flight request count ever observed.
+    inflight_highwater: AtomicU64,
+    /// Highest in-flight count any single setting ever reached.
+    setting_inflight_highwater: AtomicU64,
+    /// Stored-query answers served from the per-document result cache.
+    store_cache_hits: AtomicU64,
+    /// Stored-query answers that had to be computed.
+    store_cache_misses: AtomicU64,
+}
+
+impl ServerStats {
+    fn new() -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            accepted_conns: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            goaway_rejected: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            reaped_slow: AtomicU64::new(0),
+            inflight_highwater: AtomicU64::new(0),
+            setting_inflight_highwater: AtomicU64::new(0),
+            store_cache_hits: AtomicU64::new(0),
+            store_cache_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Snapshot every counter for one `Stats` response: the loop-side and
+/// worker-side atomics, the registry's compiled-cache counters, and — when
+/// a store is mounted — the store's own health gauges, taken under its
+/// lock. Rows ascend by name (the wire contract).
+fn collect_stats(
+    stats: &ServerStats,
+    registry: &Registry,
+    store: Option<&ServerStore>,
+) -> Vec<(String, u64)> {
+    let (hits, misses) = registry.artifact_counters();
+    let mut counters = vec![
+        ("registry.artifact_hits".to_string(), hits),
+        ("registry.artifact_misses".to_string(), misses),
+        (
+            "server.accepted_conns".to_string(),
+            stats.accepted_conns.load(Ordering::Relaxed),
+        ),
+        (
+            "server.busy_rejected".to_string(),
+            stats.busy_rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "server.goaway_rejected".to_string(),
+            stats.goaway_rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "server.inflight_highwater".to_string(),
+            stats.inflight_highwater.load(Ordering::Relaxed),
+        ),
+        (
+            "server.reaped_idle".to_string(),
+            stats.reaped_idle.load(Ordering::Relaxed),
+        ),
+        (
+            "server.reaped_slow".to_string(),
+            stats.reaped_slow.load(Ordering::Relaxed),
+        ),
+        (
+            "server.setting_inflight_highwater".to_string(),
+            stats.setting_inflight_highwater.load(Ordering::Relaxed),
+        ),
+        (
+            "server.uptime_secs".to_string(),
+            stats.started.elapsed().as_secs(),
+        ),
+    ];
+    if let Some(store) = store {
+        let s = store.lock().expect("store poisoned");
+        counters.extend([
+            (
+                "store.cache_hits".to_string(),
+                stats.store_cache_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "store.cache_misses".to_string(),
+                stats.store_cache_misses.load(Ordering::Relaxed),
+            ),
+            ("store.degraded".to_string(), s.is_degraded() as u64),
+            ("store.dirty_docs".to_string(), s.dirty_total() as u64),
+            ("store.resident_docs".to_string(), s.len() as u64),
+            ("store.seq".to_string(), s.seq()),
+            ("store.wal_bytes".to_string(), s.wal_len()),
+            ("store.wal_rollbacks".to_string(), s.wal_rollbacks()),
+        ]);
+    }
+    debug_assert!(counters.windows(2).all(|w| w[0].0 < w[1].0));
+    counters
 }
 
 /// One unit of work: a decoded request owned by a connection generation.
@@ -388,6 +561,13 @@ struct Conn {
     want_write: bool,
     /// The peer closed its write half (no more requests will arrive).
     peer_eof: bool,
+    /// Last observed progress (bytes read, response queued, bytes
+    /// written) — the idle deadline measures from here.
+    last_activity: Instant,
+    /// When the partial frame at the head of `rbuf` started. Restarted
+    /// each time a whole frame completes, *not* on every arriving byte, so
+    /// a drip-feeding peer cannot keep resetting the read-progress clock.
+    partial_since: Option<Instant>,
 }
 
 const TOK_TCP: u64 = 0;
@@ -413,6 +593,7 @@ pub struct Server {
     control: Arc<ServerControl>,
     wake_rx: UnixStream,
     store: Option<ServerStore>,
+    stats: Arc<ServerStats>,
 }
 
 impl Server {
@@ -496,10 +677,13 @@ impl Server {
             unix_path: unix_path.map(Path::to_path_buf),
             control: Arc::new(ServerControl {
                 stop: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                drain_deadline: Mutex::new(None),
                 wake: Mutex::new(wake_tx),
             }),
             wake_rx,
             store,
+            stats: Arc::new(ServerStats::new()),
         })
     }
 
@@ -525,10 +709,12 @@ impl Server {
             control,
             wake_rx,
             store,
+            stats,
         } = self;
         let shared = Arc::new(Shared::new());
         let registry = &registry;
         let store = &store;
+        let stats = &stats;
         let result = std::thread::scope(|scope| {
             // The epoll instance is created *before* any worker spawns, so
             // an early `?` cannot leave workers waiting forever.
@@ -541,6 +727,7 @@ impl Server {
                     worker_loop(
                         registry,
                         store.as_ref(),
+                        stats,
                         wal_checkpoint_bytes,
                         &shared,
                         &control,
@@ -554,6 +741,7 @@ impl Server {
                 wake_rx,
                 control: &control,
                 shared: &shared,
+                stats,
                 epoll,
                 conns: Vec::new(),
                 free_slots: Vec::new(),
@@ -589,6 +777,7 @@ impl Server {
 fn worker_loop(
     registry: &Registry,
     store: Option<&ServerStore>,
+    stats: &ServerStats,
     wal_checkpoint_bytes: u64,
     shared: &Shared,
     control: &ServerControl,
@@ -617,6 +806,13 @@ fn worker_loop(
             | RequestBody::EvictSetting { .. }) => {
                 registry_op(registry, store, body, writer);
             }
+            // `Stats` aggregates server-wide counters — it addresses no
+            // setting, so it never resolves (or compiles) an engine.
+            RequestBody::Stats => {
+                writer.whole(ResponseBody::StatsOk {
+                    counters: collect_stats(stats, registry, store),
+                });
+            }
             body => {
                 // Resolve the addressed setting's engine: an LRU/cache
                 // hit is an `Arc` clone; a cold binding recompiles from
@@ -631,6 +827,7 @@ fn worker_loop(
                 respond(
                     &engine,
                     store,
+                    stats,
                     wal_checkpoint_bytes,
                     &mut scratch,
                     setting_id,
@@ -953,6 +1150,7 @@ fn store_disabled() -> WireError {
 /// serving the version that was current at dispatch is linearizable).
 fn stored_answer(
     store: &ServerStore,
+    stats: &ServerStats,
     doc: DocKey,
     key: CacheKey,
     compute: impl FnOnce(&XmlTree) -> CachedAnswer,
@@ -960,6 +1158,7 @@ fn stored_answer(
     let (tree, version) = {
         let mut s = store.lock().expect("store poisoned");
         if let Some(hit) = s.result_cache(doc).and_then(|c| c.get(&key).cloned()) {
+            stats.store_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         match s.get(doc) {
@@ -967,6 +1166,7 @@ fn stored_answer(
             Err(e) => return Err(WireError::of_store_error(&e)),
         }
     };
+    stats.store_cache_misses.fetch_add(1, Ordering::Relaxed);
     let value = compute(&tree);
     let mut s = store.lock().expect("store poisoned");
     if let Some(cache) = s.result_cache(doc) {
@@ -990,6 +1190,7 @@ fn stored_answer(
 fn respond(
     engine: &BatchEngine<'_>,
     store: Option<&ServerStore>,
+    stats: &ServerStats,
     wal_checkpoint_bytes: u64,
     scratch: &mut ExchangeScratch,
     setting: u64,
@@ -1186,6 +1387,7 @@ fn respond(
             };
             let answer = stored_answer(
                 store,
+                stats,
                 DocKey::new(setting, doc_id),
                 CacheKey::Consistency,
                 |tree| {
@@ -1212,6 +1414,7 @@ fn respond(
             };
             let answer = stored_answer(
                 store,
+                stats,
                 DocKey::new(setting, doc_id),
                 CacheKey::CanonicalSolution,
                 |tree| CachedAnswer::Solution(compiled.canonical_solution_with(tree, scratch)),
@@ -1240,6 +1443,7 @@ fn respond(
             };
             let answer = stored_answer(
                 store,
+                stats,
                 DocKey::new(setting, doc_id),
                 CacheKey::CertainAnswers(query),
                 |tree| {
@@ -1273,6 +1477,7 @@ fn respond(
             };
             let answer = stored_answer(
                 store,
+                stats,
                 DocKey::new(setting, doc_id),
                 CacheKey::CertainBoolean(query),
                 |tree| {
@@ -1300,7 +1505,8 @@ fn respond(
         // worker.
         RequestBody::PutSetting { .. }
         | RequestBody::ListSettings
-        | RequestBody::EvictSetting { .. } => {
+        | RequestBody::EvictSetting { .. }
+        | RequestBody::Stats => {
             w.whole(ResponseBody::Error(WireError::new(
                 wire::ErrorCode::UnknownOp,
                 "registry op dispatched to the exchange path".to_string(),
@@ -1330,6 +1536,7 @@ struct EventLoop<'e> {
     wake_rx: UnixStream,
     control: &'e ServerControl,
     shared: &'e Shared,
+    stats: &'e ServerStats,
     epoll: Epoll,
     conns: Vec<Option<Conn>>,
     free_slots: Vec<usize>,
@@ -1353,7 +1560,8 @@ impl EventLoop<'_> {
             .add(self.wake_rx.as_raw_fd(), EPOLLIN, TOK_WAKE)?;
         let mut events: Vec<Event> = Vec::new();
         while !self.control.stop.load(Ordering::SeqCst) {
-            self.epoll.wait(&mut events, -1)?;
+            let timeout_ms = self.next_timeout_ms();
+            self.epoll.wait(&mut events, timeout_ms)?;
             for &event in &events {
                 match event.token {
                     TOK_TCP => self.accept_tcp(),
@@ -1363,8 +1571,90 @@ impl EventLoop<'_> {
                 }
             }
             self.drain_completions();
+            self.enforce_deadlines();
+            // A draining server exits once every connection has settled
+            // and closed (or the drain deadline force-closed it). Workers
+            // may still be finishing jobs whose connections died; their
+            // completions have no taker either way.
+            if self.control.is_draining() && self.live_conns == 0 {
+                break;
+            }
         }
         Ok(())
+    }
+
+    /// How long `epoll_wait` may sleep: until the earliest live deadline —
+    /// drain, read-progress or idle — or forever when none is armed.
+    fn next_timeout_ms(&self) -> i32 {
+        let mut next: Option<Instant> = self.control.drain_deadline();
+        let mut consider = |candidate: Instant| {
+            next = Some(match next {
+                Some(current) => current.min(candidate),
+                None => candidate,
+            });
+        };
+        for conn in self.conns.iter().flatten() {
+            if let (Some(limit), Some(since)) =
+                (self.config.read_progress_timeout, conn.partial_since)
+            {
+                consider(since + limit);
+            }
+            if let Some(limit) = self.config.idle_timeout {
+                if conn.inflight == 0 && conn.partial_since.is_none() {
+                    consider(conn.last_activity + limit);
+                }
+            }
+        }
+        match next {
+            None => -1,
+            Some(deadline) => {
+                // Round up so one wake-up does not land just *before* the
+                // deadline and schedule a second, zero-length sleep.
+                let millis = deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_millis();
+                millis.saturating_add(1).min(i32::MAX as u128) as i32
+            }
+        }
+    }
+
+    /// Close every connection past a deadline: drain-settled connections,
+    /// anything still open at the drain deadline, slow-loris peers past
+    /// the read-progress limit, and idle connections past the idle limit.
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        let drain_deadline = self.control.drain_deadline();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            if drain_deadline.is_some_and(|deadline| now >= deadline) {
+                self.close(slot); // grace expired: abandon what is left
+                continue;
+            }
+            if drain_deadline.is_some() && conn.inflight == 0 && conn.wq.is_empty() {
+                self.close(slot); // drained clean
+                continue;
+            }
+            if self
+                .config
+                .read_progress_timeout
+                .zip(conn.partial_since)
+                .is_some_and(|(limit, since)| now.duration_since(since) >= limit)
+            {
+                self.stats.reaped_slow.fetch_add(1, Ordering::Relaxed);
+                self.close(slot);
+                continue;
+            }
+            if self.config.idle_timeout.is_some_and(|limit| {
+                conn.inflight == 0
+                    && conn.partial_since.is_none()
+                    && now.duration_since(conn.last_activity) >= limit
+            }) {
+                self.stats.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                self.close(slot);
+            }
+        }
     }
 
     fn drain_wake(&mut self) {
@@ -1389,6 +1679,9 @@ impl EventLoop<'_> {
                 .accept()
             {
                 Ok((stream, _)) => {
+                    if self.control.is_draining() {
+                        continue; // drop the socket: the server is leaving
+                    }
                     let _ = stream.set_nodelay(true);
                     self.register(Duplex::Tcp(stream));
                 }
@@ -1407,7 +1700,12 @@ impl EventLoop<'_> {
                 .expect("Unix event without listener")
                 .accept()
             {
-                Ok((stream, _)) => self.register(Duplex::Unix(stream)),
+                Ok((stream, _)) => {
+                    if self.control.is_draining() {
+                        continue; // drop the socket: the server is leaving
+                    }
+                    self.register(Duplex::Unix(stream));
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => return,
@@ -1438,6 +1736,8 @@ impl EventLoop<'_> {
             closing: false,
             want_write: false,
             peer_eof: false,
+            last_activity: Instant::now(),
+            partial_since: None,
         };
         let slot = match self.free_slots.pop() {
             Some(slot) => {
@@ -1464,6 +1764,7 @@ impl EventLoop<'_> {
             return;
         }
         self.live_conns += 1;
+        self.stats.accepted_conns.fetch_add(1, Ordering::Relaxed);
     }
 
     fn handle_conn_event(&mut self, token: u64, event: Event) {
@@ -1494,6 +1795,7 @@ impl EventLoop<'_> {
                     break;
                 }
                 Ok(n) => {
+                    conn.last_activity = Instant::now();
                     if !conn.closing {
                         conn.rbuf.extend_from_slice(&chunk[..n]);
                     }
@@ -1532,6 +1834,7 @@ impl EventLoop<'_> {
             if conn.closing {
                 conn.rbuf.clear();
                 conn.rpos = 0;
+                conn.partial_since = None;
                 return;
             }
             let unread = conn.rbuf.len() - conn.rpos;
@@ -1563,6 +1866,7 @@ impl EventLoop<'_> {
                 conn.closing = true;
                 conn.rbuf.clear();
                 conn.rpos = 0;
+                conn.partial_since = None;
                 self.enqueue_response(slot, &frame);
                 return;
             }
@@ -1574,12 +1878,24 @@ impl EventLoop<'_> {
             conn.rpos += 4 + len;
             self.dispatch_payload(slot, &payload);
         }
-        // Compact the consumed prefix.
+        // Compact the consumed prefix, and keep the read-progress clock
+        // honest: it restarts when a frame *completes* (progress was made)
+        // or starts when a partial first appears — arriving bytes that
+        // complete nothing leave it running, which is exactly what defeats
+        // a drip-feed.
         if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
-            if conn.rpos > 0 {
+            let progressed = conn.rpos > 0;
+            if progressed {
                 conn.rbuf.drain(..conn.rpos);
                 conn.rpos = 0;
             }
+            conn.partial_since = if conn.rbuf.is_empty() {
+                None
+            } else if progressed || conn.partial_since.is_none() {
+                Some(Instant::now())
+            } else {
+                conn.partial_since
+            };
         }
     }
 
@@ -1617,6 +1933,19 @@ impl EventLoop<'_> {
                 return;
             }
         };
+        if self.control.is_draining() {
+            // The request was decoded but never started: GoAway is an
+            // unconditional retry-elsewhere signal, for every op.
+            self.stats.goaway_rejected.fetch_add(1, Ordering::Relaxed);
+            self.enqueue_response(
+                slot,
+                &ResponseFrame {
+                    id: request.id,
+                    body: ResponseBody::GoAway,
+                },
+            );
+            return;
+        }
         if matches!(request.body, RequestBody::Ping) {
             // Health checks bypass the pool (and the budget): they must
             // answer even when the server is saturated.
@@ -1690,6 +2019,7 @@ impl EventLoop<'_> {
             || over_setting_cap
             || self.total_inflight >= self.config.max_inflight_total
         {
+            self.stats.busy_rejected.fetch_add(1, Ordering::Relaxed);
             self.enqueue_response(
                 slot,
                 &ResponseFrame {
@@ -1704,10 +2034,17 @@ impl EventLoop<'_> {
         };
         conn.inflight += 1;
         self.total_inflight += 1;
-        *self
+        self.stats
+            .inflight_highwater
+            .fetch_max(self.total_inflight as u64, Ordering::Relaxed);
+        let setting_inflight = self
             .inflight_per_setting
             .entry(request.setting_id)
-            .or_insert(0) += 1;
+            .or_insert(0);
+        *setting_inflight += 1;
+        self.stats
+            .setting_inflight_highwater
+            .fetch_max(*setting_inflight as u64, Ordering::Relaxed);
         let job = Job {
             slot,
             generation: conn.generation,
@@ -1754,6 +2091,7 @@ impl EventLoop<'_> {
             if completion.last {
                 conn.inflight -= 1;
             }
+            conn.last_activity = Instant::now();
             conn.wq_bytes += completion.bytes.len();
             conn.wq.push_back(completion.bytes);
             self.flush(completion.slot);
@@ -1800,6 +2138,7 @@ impl EventLoop<'_> {
                     break;
                 }
                 Ok(mut n) => {
+                    conn.last_activity = Instant::now();
                     // Retire fully written segments, advance the front one.
                     while n > 0 {
                         let front_left = conn.wq[0].len() - conn.wfront;

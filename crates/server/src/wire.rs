@@ -203,6 +203,10 @@ pub enum OpCode {
     ListSettings = 15,
     /// Drop a binding's compiled artifact from the cache (v3).
     EvictSetting = 16,
+    /// Fetch the server's operational counters (v4). Ungated, like the
+    /// store ops: servers that predate it answer `UnknownOp`, which is a
+    /// complete, honest negotiation.
+    Stats = 17,
 }
 
 impl OpCode {
@@ -225,6 +229,7 @@ impl OpCode {
             14 => Some(OpCode::PutSetting),
             15 => Some(OpCode::ListSettings),
             16 => Some(OpCode::EvictSetting),
+            17 => Some(OpCode::Stats),
             _ => None,
         }
     }
@@ -288,6 +293,10 @@ pub enum ErrorCode {
     /// A registry limit was hit (binding count, compiled-cost budget, or
     /// per-setting admission). v3.
     SettingLimit = 21,
+    /// The store is in sticky degraded read-only mode after a storage
+    /// fault (a failed fsync is never retried); mutations are rejected
+    /// until the operator restarts the server, reads keep working. v4.
+    StoreDegraded = 22,
 
     /// [`SolutionError::NotFullySpecified`].
     NotFullySpecified = 100,
@@ -335,6 +344,7 @@ impl ErrorCode {
             19 => SettingParse,
             20 => SettingReject,
             21 => SettingLimit,
+            22 => StoreDegraded,
             100 => NotFullySpecified,
             101 => DisallowedAttribute,
             102 => AttributeClash,
@@ -420,6 +430,7 @@ impl WireError {
             StoreError::BadEdit(_) => ErrorCode::BadEdit,
             StoreError::StoreFull { .. } => ErrorCode::StoreFull,
             StoreError::DocTooLarge { .. } => ErrorCode::DocTooLarge,
+            StoreError::Degraded { .. } => ErrorCode::StoreDegraded,
             // `Locked` can only surface at open time, before any request,
             // but the mapping is total so new callers cannot miss it.
             StoreError::Io(_) | StoreError::Corrupt { .. } | StoreError::Locked { .. } => {
@@ -579,6 +590,10 @@ pub enum RequestBody {
         /// The binding id (`0` is rejected: the default setting is pinned).
         bind_id: u64,
     },
+    /// Fetch the server's operational counters (v4): uptime, in-flight
+    /// highwater marks, registry and store cache hit rates, fault and
+    /// degraded-mode counters. Carries no arguments.
+    Stats,
 }
 
 /// One row of a [`ResponseBody::SettingList`].
@@ -617,6 +632,7 @@ impl RequestBody {
             RequestBody::PutSetting { .. } => OpCode::PutSetting,
             RequestBody::ListSettings => OpCode::ListSettings,
             RequestBody::EvictSetting { .. } => OpCode::EvictSetting,
+            RequestBody::Stats => OpCode::Stats,
         }
     }
 
@@ -641,7 +657,8 @@ impl RequestBody {
             | RequestBody::CertainAnswersBooleanStored { .. }
             | RequestBody::PutSetting { .. }
             | RequestBody::ListSettings
-            | RequestBody::EvictSetting { .. } => 0,
+            | RequestBody::EvictSetting { .. }
+            | RequestBody::Stats => 0,
         }
     }
 }
@@ -721,6 +738,18 @@ pub enum ResponseBody {
         /// the binding was already cold).
         dropped: bool,
     },
+    /// The server is draining for shutdown (v4): this request was *not*
+    /// executed; the connection will close once in-flight responses have
+    /// flushed. Safe to retry any op against another (or a restarted)
+    /// server. Carries no results.
+    GoAway,
+    /// Reply to [`RequestBody::Stats`] (v4): named counters, ascending by
+    /// name. The set of names is additive across versions — clients must
+    /// ignore names they do not know.
+    StatsOk {
+        /// `(name, value)` rows, ascending by name.
+        counters: Vec<(String, u64)>,
+    },
 }
 
 /// Response status: success, body follows.
@@ -734,6 +763,11 @@ pub const STATUS_BUSY: u8 = 2;
 /// [`STATUS_OK`]. Only sent after [`FEATURE_CHUNKED_RESPONSES`] was
 /// accepted on the connection.
 pub const STATUS_OK_PARTIAL: u8 = 3;
+/// Response status (v4): the server is draining for shutdown; the request
+/// was not executed and the connection will close after in-flight
+/// responses flush. No body. Like [`STATUS_BUSY`], always safe to retry —
+/// the server never starts work on a request it answers this way.
+pub const STATUS_GOAWAY: u8 = 4;
 
 /// A failure to decode a payload, with the request id when it was readable
 /// (so the error frame can still be correlated by the client).
@@ -1012,6 +1046,7 @@ pub fn encode_request_into(req: &RequestFrame, settings: bool, out: &mut Vec<u8>
         }
         RequestBody::ListSettings => {}
         RequestBody::EvictSetting { bind_id } => put_u64(out, *bind_id),
+        RequestBody::Stats => {}
     }
 }
 
@@ -1092,6 +1127,7 @@ pub fn decode_request(
         },
         OpCode::ListSettings => RequestBody::ListSettings,
         OpCode::EvictSetting => RequestBody::EvictSetting { bind_id: r.u64()? },
+        OpCode::Stats => RequestBody::Stats,
     };
     r.finish()?;
     Ok(RequestFrame {
@@ -1112,6 +1148,10 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
         }
         ResponseBody::Busy => {
             out.push(STATUS_BUSY);
+            put_u64(&mut out, resp.id);
+        }
+        ResponseBody::GoAway => {
+            out.push(STATUS_GOAWAY);
             put_u64(&mut out, resp.id);
         }
         ResponseBody::Pong => {
@@ -1237,6 +1277,19 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             out.push(OpCode::EvictSetting as u8);
             out.push(*dropped as u8);
         }
+        ResponseBody::StatsOk { counters } => {
+            out.push(STATUS_OK);
+            put_u64(&mut out, resp.id);
+            out.push(OpCode::Stats as u8);
+            put_u16(
+                &mut out,
+                u16::try_from(counters.len()).expect("counter count exceeds u16"),
+            );
+            for (name, value) in counters {
+                put_string(&mut out, name);
+                put_u64(&mut out, *value);
+            }
+        }
     }
     out
 }
@@ -1251,6 +1304,7 @@ pub fn decode_response(payload: &[u8], codec: Codec) -> Result<ResponseFrame, De
     r.id = r.u64()?;
     let body = match status {
         STATUS_BUSY => ResponseBody::Busy,
+        STATUS_GOAWAY => ResponseBody::GoAway,
         STATUS_ERROR => ResponseBody::Error(read_wire_error(&mut r)?),
         STATUS_OK_PARTIAL => {
             return Err(r.err("partial chunk frame passed to decode_response unassembled"))
@@ -1342,6 +1396,14 @@ pub fn decode_response(payload: &[u8], codec: Codec) -> Result<ResponseFrame, De
                 OpCode::EvictSetting => ResponseBody::EvictSettingOk {
                     dropped: read_bool(&mut r)?,
                 },
+                OpCode::Stats => {
+                    let n = r.u16()? as usize;
+                    let mut counters = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        counters.push((r.string()?, r.u64()?));
+                    }
+                    ResponseBody::StatsOk { counters }
+                }
                 // Stored query ops answer with the *base* op's response
                 // (that is their byte-for-byte parity contract), so their
                 // own codes never appear in a well-formed response.
@@ -1478,6 +1540,11 @@ mod tests {
                 setting_id: 0,
                 body: RequestBody::EvictSetting { bind_id: u64::MAX },
             },
+            RequestFrame {
+                id: 21,
+                setting_id: 0,
+                body: RequestBody::Stats,
+            },
         ]
     }
 
@@ -1588,6 +1655,31 @@ mod tests {
             ResponseFrame {
                 id: 16,
                 body: ResponseBody::EvictSettingOk { dropped: false },
+            },
+            ResponseFrame {
+                id: 17,
+                body: ResponseBody::GoAway,
+            },
+            ResponseFrame {
+                id: 18,
+                body: ResponseBody::StatsOk {
+                    counters: vec![
+                        ("server.uptime_secs".into(), 12),
+                        ("store.degraded".into(), 0),
+                        ("store.wal_rollbacks".into(), u64::MAX),
+                    ],
+                },
+            },
+            ResponseFrame {
+                id: 19,
+                body: ResponseBody::StatsOk { counters: vec![] },
+            },
+            ResponseFrame {
+                id: 20,
+                body: ResponseBody::Error(WireError::new(
+                    ErrorCode::StoreDegraded,
+                    "the store is degraded: WAL fsync: injected fault",
+                )),
             },
         ]
     }

@@ -16,10 +16,14 @@
 //!   `fsync` batching ([`SyncPolicy`]) and prefix-consistent torn-tail
 //!   recovery;
 //! * [`snapshot`] — the checkpoint segment file: binary codec frames plus
-//!   a checksummed index, written atomically via tmp + rename.
+//!   a checksummed index, written atomically via tmp + rename;
+//! * [`vfs`] — the filesystem seam: every store I/O goes through a
+//!   [`Vfs`], so the deterministic [`FaultVfs`] can fail any single
+//!   operation and the fault-matrix tests can reach every error path.
 //!
-//! `DESIGN.md` next to this crate documents the on-disk formats and the
-//! crash-recovery argument in full.
+//! `DESIGN.md` next to this crate documents the on-disk formats, the
+//! crash-recovery argument, and the failure semantics (rollback vs sticky
+//! degraded read-only mode) in full.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod edit;
 pub mod key;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use key::{DocKey, DEFAULT_SETTING};
@@ -39,9 +44,10 @@ pub use edit::{
 };
 pub use snapshot::{
     load_snapshot_bytes, load_snapshot_frames, Snapshot, SnapshotDoc, SnapshotError, SnapshotFrame,
-    SnapshotSource,
+    SnapshotSource, SnapshotWriteError,
 };
 pub use store::{
     DocStore, EditReceipt, StoreConfig, StoreError, LOCK_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
-pub use wal::{replay, SyncPolicy, Wal, WalOp, WalRecord};
+pub use vfs::{FaultKind, FaultPlan, FaultVfs, RealVfs, Vfs, VfsFile};
+pub use wal::{replay, SyncPolicy, Wal, WalError, WalOp, WalRecord};

@@ -35,8 +35,8 @@
 
 use crate::bytes::{fnv1a, Cursor};
 use crate::key::DocKey;
+use crate::vfs::Vfs;
 use std::fmt;
-use std::io::Write;
 use std::path::Path;
 use xdx_xmltree::{decode_tree, encode_tree, XmlTree};
 
@@ -223,8 +223,8 @@ fn footer_crc(index: &[u8], seq: u64, index_offset: u64, count: u32) -> u64 {
 /// Load the snapshot at `path` without decoding trees (the store's open
 /// path). A missing file is an empty store (`Ok` with no documents and
 /// sequence 0); unreadable or corrupt bytes are errors.
-pub fn load_snapshot(path: &Path) -> Result<Snapshot, crate::store::StoreError> {
-    let bytes = match std::fs::read(path) {
+pub fn load_snapshot(vfs: &dyn Vfs, path: &Path) -> Result<Snapshot, crate::store::StoreError> {
+    let bytes = match vfs.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(Snapshot {
@@ -291,28 +291,71 @@ pub fn encode_snapshot<'a>(
     out
 }
 
+/// How a snapshot write failed — which side of the "is the old state still
+/// authoritative, with durability intact?" line the failure landed on. The
+/// store's checkpoint turns this into its rollback-vs-degraded decision
+/// (see `DESIGN.md`).
+#[derive(Debug)]
+pub enum SnapshotWriteError {
+    /// The attempt died before anything replaced the named snapshot and
+    /// without an fsync failing (tmp create/write, or the rename itself):
+    /// the previous snapshot is untouched and still durable — the
+    /// checkpoint simply did not happen.
+    Abandoned(std::io::Error),
+    /// An fsync failed — the tmp file's before the rename, or the parent
+    /// directory's after it. Durability of what the kernel accepted is
+    /// unknown and a failed fsync is never retried, so the caller must
+    /// stop trusting further writes.
+    SyncFailed(std::io::Error),
+}
+
+impl SnapshotWriteError {
+    /// Take the underlying I/O error.
+    pub fn into_io(self) -> std::io::Error {
+        match self {
+            SnapshotWriteError::Abandoned(e) | SnapshotWriteError::SyncFailed(e) => e,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotWriteError::Abandoned(e) => {
+                write!(f, "snapshot write abandoned (old snapshot intact): {e}")
+            }
+            SnapshotWriteError::SyncFailed(e) => write!(f, "snapshot fsync failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotWriteError {}
+
 /// Write a snapshot atomically: encode, write `<path>.tmp`, fsync, rename
-/// over `path`, fsync the parent directory.
+/// over `path`, fsync the parent directory. The error distinguishes an
+/// abandoned attempt (old snapshot intact and durable) from a failed fsync
+/// (durability unknown) — see [`SnapshotWriteError`].
 pub fn write_snapshot<'a>(
+    vfs: &dyn Vfs,
     path: &Path,
     seq: u64,
     docs: impl Iterator<Item = (DocKey, u64, SnapshotSource<'a>)>,
-) -> std::io::Result<()> {
+) -> Result<(), SnapshotWriteError> {
     let bytes = encode_snapshot(seq, docs);
     let tmp = path.with_extension("tmp");
     {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
+        let mut f = vfs.create(&tmp).map_err(SnapshotWriteError::Abandoned)?;
+        f.write_all(&bytes).map_err(SnapshotWriteError::Abandoned)?;
+        f.sync_all().map_err(SnapshotWriteError::SyncFailed)?;
     }
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)
+        .map_err(SnapshotWriteError::Abandoned)?;
     if let Some(dir) = path.parent() {
-        // Persist the rename itself. Directories cannot be fsynced on every
-        // platform; failure to open one read-only is not a data-loss risk
-        // worth failing the checkpoint over.
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        // Persist the rename itself. A directory-fsync failure is a real
+        // durability hole — a crash could resurrect the *old* snapshot
+        // after the caller has acted on the new one (e.g. reset the WAL) —
+        // so it propagates instead of being swallowed.
+        vfs.sync_dir(dir).map_err(SnapshotWriteError::SyncFailed)?;
     }
     Ok(())
 }
@@ -417,7 +460,11 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_empty_store() {
-        let snap = load_snapshot(Path::new("/nonexistent/xdx/snapshot.bin")).unwrap();
+        let snap = load_snapshot(
+            &crate::vfs::RealVfs,
+            Path::new("/nonexistent/xdx/snapshot.bin"),
+        )
+        .unwrap();
         assert_eq!(snap.seq, 0);
         assert!(snap.docs.is_empty());
     }

@@ -57,11 +57,13 @@
 
 use crate::edit::{apply_edits, DocEdit, EditError};
 use crate::key::DocKey;
-use crate::snapshot::{load_snapshot, write_snapshot, SnapshotSource};
-use crate::wal::{SyncPolicy, Wal, WalOp, WalRecord};
+use crate::snapshot::{load_snapshot, write_snapshot, SnapshotSource, SnapshotWriteError};
+use crate::vfs::{RealVfs, Vfs};
+use crate::wal::{SyncPolicy, Wal, WalError, WalOp, WalRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use xdx_core::DocResultCache;
 use xdx_xmltree::limits::MAX_DOCUMENT_BYTES;
 use xdx_xmltree::{decode_tree, encode_tree, CompiledDtd, NodeId, Value, XmlTree};
@@ -84,17 +86,28 @@ pub struct StoreConfig {
     /// is rejected with [`StoreError::StoreFull`]. Recovery always loads
     /// what is on disk, even past the cap.
     pub max_resident_docs: usize,
+    /// The filesystem the store performs its I/O through. Production uses
+    /// [`RealVfs`]; tests inject a [`crate::vfs::FaultVfs`] to reach every
+    /// error path deterministically.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl StoreConfig {
-    /// A config with the default durability (`fsync` every 256 KiB) and
-    /// admission cap (1024 documents).
+    /// A config with the default durability (`fsync` every 256 KiB),
+    /// admission cap (1024 documents), and the real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> StoreConfig {
         StoreConfig {
             dir: dir.into(),
             sync: SyncPolicy::EveryBytes(256 * 1024),
             max_resident_docs: 1024,
+            vfs: Arc::new(RealVfs),
         }
+    }
+
+    /// The same config with `vfs` substituted.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> StoreConfig {
+        self.vfs = vfs;
+        self
     }
 }
 
@@ -148,6 +161,17 @@ pub enum StoreError {
         /// The cap.
         limit: usize,
     },
+    /// The store is in **sticky degraded read-only mode**: an earlier I/O
+    /// failure (a failed fsync, or a WAL rollback that itself failed) left
+    /// on-disk durability unknown, so the store stopped acknowledging
+    /// mutations. Reads and pure-compute operations keep serving the
+    /// in-memory state, which reflects exactly the acknowledged history.
+    /// Recovery is a process restart: `open` replays the consistent
+    /// on-disk prefix. See `DESIGN.md` § failure semantics.
+    Degraded {
+        /// The failure that degraded the store.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -177,6 +201,9 @@ impl fmt::Display for StoreError {
                 f,
                 "document {key} too large: {bytes} encoded bytes exceeds the {limit}-byte cap"
             ),
+            StoreError::Degraded { reason } => {
+                write!(f, "store degraded (read-only): {reason}")
+            }
         }
     }
 }
@@ -322,6 +349,12 @@ pub struct DocStore<V = ()> {
     /// across puts, edits *and* deletes, so no version value is ever
     /// reused — see the module docs.
     seq: u64,
+    /// `Some(reason)` once the store has entered sticky degraded read-only
+    /// mode (see [`StoreError::Degraded`]); never cleared in-process.
+    degraded: Option<String>,
+    /// Mutations rejected by a *rolled-back* WAL append (disk stayed
+    /// consistent, the store stayed healthy) — an observability counter.
+    wal_rollbacks: u64,
     /// Exclusive advisory lock on [`LOCK_FILE`]; held (by the open file
     /// handle) for the store's lifetime, released on drop.
     _lock: std::fs::File,
@@ -348,13 +381,13 @@ impl<V> DocStore<V> {
     /// Open (or create) the store in `config.dir`: take the directory
     /// lock, load the snapshot, replay the WAL, truncate any torn tail.
     pub fn open(config: StoreConfig) -> Result<DocStore<V>, StoreError> {
-        std::fs::create_dir_all(&config.dir)?;
+        config.vfs.create_dir_all(&config.dir)?;
         let lock = lock_dir(&config.dir)?;
         let snapshot_path = config.dir.join(SNAPSHOT_FILE);
         // A leftover tmp is a checkpoint that died before its rename; the
         // named snapshot is still the authoritative previous state.
-        let _ = std::fs::remove_file(snapshot_path.with_extension("tmp"));
-        let snapshot = load_snapshot(&snapshot_path)?;
+        let _ = config.vfs.remove_file(&snapshot_path.with_extension("tmp"));
+        let snapshot = load_snapshot(config.vfs.as_ref(), &snapshot_path)?;
         let mut seq = snapshot.seq;
         let mut docs: BTreeMap<DocKey, Resident<V>> = BTreeMap::new();
         for doc in snapshot.docs {
@@ -362,7 +395,8 @@ impl<V> DocStore<V> {
             seq = seq.max(doc.version);
             docs.insert(doc.key, Resident::from_frame(doc.frame, doc.version));
         }
-        let (wal, records) = Wal::open(&config.dir.join(WAL_FILE), config.sync)?;
+        let (wal, records) =
+            Wal::open(config.vfs.as_ref(), &config.dir.join(WAL_FILE), config.sync)?;
         for rec in records {
             // Records at or below the snapshot's sequence are already
             // reflected in it (a checkpoint that crashed before its WAL
@@ -383,8 +417,44 @@ impl<V> DocStore<V> {
             wal,
             docs,
             seq,
+            degraded: None,
+            wal_rollbacks: 0,
             _lock: lock,
         })
+    }
+
+    /// Reject the call if the store is degraded (mutations only; reads and
+    /// pure-compute operations keep serving).
+    fn check_writable(&self) -> Result<(), StoreError> {
+        match &self.degraded {
+            Some(reason) => Err(StoreError::Degraded {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Enter sticky degraded read-only mode and return the error to hand
+    /// the caller. Idempotent in effect: the first reason wins.
+    fn degrade(&mut self, context: &str, e: std::io::Error) -> StoreError {
+        let reason = format!("{context}: {e}");
+        if self.degraded.is_none() {
+            self.degraded = Some(reason.clone());
+        }
+        StoreError::Degraded { reason }
+    }
+
+    /// Map a WAL append failure per the failure-semantics table: a rolled-
+    /// back append rejects only this operation (the store stays healthy); a
+    /// broken log degrades the store.
+    fn wal_failure(&mut self, context: &str, e: WalError) -> StoreError {
+        match e {
+            WalError::RolledBack(e) => {
+                self.wal_rollbacks += 1;
+                StoreError::Io(e)
+            }
+            WalError::Broken(e) => self.degrade(context, e),
+        }
     }
 
     fn replay_record(
@@ -423,6 +493,7 @@ impl<V> DocStore<V> {
     /// advanced store-wide sequence — monotone, but not dense per key).
     pub fn put(&mut self, key: impl Into<DocKey>, tree: XmlTree) -> Result<u64, StoreError> {
         let key = key.into();
+        self.check_writable()?;
         if !self.docs.contains_key(&key) && self.docs.len() >= self.config.max_resident_docs {
             return Err(StoreError::StoreFull {
                 limit: self.config.max_resident_docs,
@@ -438,11 +509,15 @@ impl<V> DocStore<V> {
         }
         let encoded_bytes = frame.len();
         let version = self.seq + 1;
-        self.wal.append(&WalRecord {
+        if let Err(e) = self.wal.append(&WalRecord {
             key,
             version,
             op: WalOp::Put(frame),
-        })?;
+        }) {
+            // Nothing was inserted yet: memory matches acknowledged
+            // history in both outcomes.
+            return Err(self.wal_failure("WAL append (put)", e));
+        }
         self.seq = version;
         self.docs
             .insert(key, Resident::new(tree, version, encoded_bytes));
@@ -480,6 +555,7 @@ impl<V> DocStore<V> {
         edits: &[DocEdit],
     ) -> Result<EditReceipt, StoreError> {
         let key = key.into();
+        self.check_writable()?;
         let r = self
             .docs
             .get_mut(&key)
@@ -525,9 +601,11 @@ impl<V> DocStore<V> {
             version,
             op: WalOp::Edit(edits.to_vec()),
         }) {
+            // Whatever the log's fate, the batch rolls back in memory so
+            // reads keep serving exactly the acknowledged history.
             applied.rollback(&mut r.tree);
             r.preorder = None;
-            return Err(e.into());
+            return Err(self.wal_failure("WAL append (edit)", e));
         }
         self.seq = version;
         r.encoded_bytes = bound;
@@ -557,15 +635,18 @@ impl<V> DocStore<V> {
     /// predecessor ever had.
     pub fn delete(&mut self, key: impl Into<DocKey>) -> Result<(), StoreError> {
         let key = key.into();
+        self.check_writable()?;
         if !self.docs.contains_key(&key) {
             return Err(StoreError::UnknownDoc { key });
         }
         let version = self.seq + 1;
-        self.wal.append(&WalRecord {
+        if let Err(e) = self.wal.append(&WalRecord {
             key,
             version,
             op: WalOp::Delete,
-        })?;
+        }) {
+            return Err(self.wal_failure("WAL append (delete)", e));
+        }
         self.seq = version;
         self.docs.remove(&key);
         Ok(())
@@ -662,7 +743,12 @@ impl<V> DocStore<V> {
     /// detached-slot garbage exceeds their live size (which resets their
     /// validation baseline — the next `validate` is a full scan).
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
-        self.wal.sync()?;
+        self.check_writable()?;
+        // Never retry a failed fsync: if the WAL's tail cannot be made
+        // durable, no snapshot may supersede it either.
+        if let Err(e) = self.wal.sync() {
+            return Err(self.degrade("WAL fsync at checkpoint", e));
+        }
         // Encode every materialized document once up front: the frames are
         // the snapshot payload, the refreshed exact `encoded_bytes`, and
         // the compaction source below.
@@ -672,7 +758,8 @@ impl<V> DocStore<V> {
             .filter(|(_, r)| r.frame.is_none())
             .map(|(&key, r)| (key, encode_tree(&r.tree)))
             .collect();
-        write_snapshot(
+        if let Err(e) = write_snapshot(
+            self.config.vfs.as_ref(),
             &self.config.dir.join(SNAPSHOT_FILE),
             self.seq,
             self.docs.iter().map(|(&key, r)| {
@@ -684,8 +771,21 @@ impl<V> DocStore<V> {
                 };
                 (key, r.version(), source)
             }),
-        )?;
-        self.wal.reset()?;
+        ) {
+            return Err(match e {
+                // The old snapshot (plus the intact WAL) is still the
+                // authoritative durable state: the checkpoint just did not
+                // happen, the store stays healthy.
+                SnapshotWriteError::Abandoned(e) => StoreError::Io(e),
+                SnapshotWriteError::SyncFailed(e) => self.degrade("snapshot fsync", e),
+            });
+        }
+        if let Err(e) = self.wal.reset() {
+            // The new snapshot is durable, so the stale WAL records would
+            // be skipped on replay — but the log's own state is now
+            // unknown, and further appends to it could not be trusted.
+            return Err(self.degrade("WAL reset after checkpoint", e));
+        }
         for (&key, r) in self.docs.iter_mut() {
             let Some(frame) = frames.get(&key) else {
                 continue;
@@ -702,9 +802,15 @@ impl<V> DocStore<V> {
         Ok(())
     }
 
-    /// Force the WAL to stable storage (for batched [`SyncPolicy`]s).
+    /// Force the WAL to stable storage (for batched [`SyncPolicy`]s). A
+    /// failure degrades the store: the unsynced tail's durability is
+    /// unknown and a failed fsync is never retried.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        Ok(self.wal.sync()?)
+        self.check_writable()?;
+        if let Err(e) = self.wal.sync() {
+            return Err(self.degrade("WAL fsync", e));
+        }
+        Ok(())
     }
 
     /// Resident document keys, ascending by `(setting, doc)`.
@@ -738,6 +844,28 @@ impl<V> DocStore<V> {
     /// recent acknowledged mutation; 0 for a fresh store).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Why the store is in sticky degraded read-only mode, if it is.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Is the store in sticky degraded read-only mode?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// How many mutations were rejected by a rolled-back WAL append (the
+    /// store stayed healthy each time).
+    pub fn wal_rollbacks(&self) -> u64 {
+        self.wal_rollbacks
+    }
+
+    /// Total nodes across every resident document's dirty set — the
+    /// backlog the next round of incremental validations will re-check.
+    pub fn dirty_total(&self) -> usize {
+        self.docs.values().map(|r| r.dirty.len()).sum()
     }
 }
 
@@ -788,13 +916,16 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    fn open(dir: &Path) -> DocStore {
-        DocStore::open(StoreConfig {
-            dir: dir.to_path_buf(),
+    fn config(dir: &Path) -> StoreConfig {
+        StoreConfig {
             sync: SyncPolicy::Never,
             max_resident_docs: 8,
-        })
-        .unwrap()
+            ..StoreConfig::new(dir)
+        }
+    }
+
+    fn open(dir: &Path) -> DocStore {
+        DocStore::open(config(dir)).unwrap()
     }
 
     fn book_dtd() -> Dtd {
@@ -997,6 +1128,7 @@ mod tests {
         .unwrap();
         let text = tree_to_text(s.get(1).unwrap().0);
         write_snapshot(
+            &RealVfs,
             &dir.join(SNAPSHOT_FILE),
             s.seq,
             s.docs
@@ -1038,6 +1170,7 @@ mod tests {
         assert_eq!(s.put(1, XmlTree::new("db")).unwrap(), 4);
         let text = tree_to_text(s.get(1).unwrap().0);
         write_snapshot(
+            &RealVfs,
             &dir.join(SNAPSHOT_FILE),
             s.seq,
             s.docs
@@ -1083,12 +1216,7 @@ mod tests {
     fn the_store_directory_is_exclusively_locked() {
         let dir = fresh_dir("lock");
         let s = open(&dir);
-        let err = DocStore::<()>::open(StoreConfig {
-            dir: dir.to_path_buf(),
-            sync: SyncPolicy::Never,
-            max_resident_docs: 8,
-        })
-        .unwrap_err();
+        let err = DocStore::<()>::open(config(&dir)).unwrap_err();
         assert!(matches!(err, StoreError::Locked { .. }), "{err}");
         drop(s); // the lock is released with the store
         drop(open(&dir));
@@ -1169,6 +1297,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         // A frame that passes the snapshot checksum but is not a document.
         write_snapshot(
+            &RealVfs,
             &dir.join(SNAPSHOT_FILE),
             1,
             [(DocKey::from(1), 1u64, SnapshotSource::Frame(b"not a frame"))].into_iter(),
@@ -1190,9 +1319,8 @@ mod tests {
     fn admission_cap_applies_to_new_documents_only() {
         let dir = fresh_dir("cap");
         let mut s = DocStore::<()>::open(StoreConfig {
-            dir: dir.clone(),
-            sync: SyncPolicy::Never,
             max_resident_docs: 2,
+            ..config(&dir)
         })
         .unwrap();
         s.put(1, XmlTree::new("db")).unwrap();
@@ -1210,12 +1338,7 @@ mod tests {
     #[test]
     fn result_cache_is_invalidated_by_edits() {
         let dir = fresh_dir("cache");
-        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
-            dir: dir.clone(),
-            sync: SyncPolicy::Never,
-            max_resident_docs: 8,
-        })
-        .unwrap();
+        let mut s: DocStore<&'static str> = DocStore::open(config(&dir)).unwrap();
         s.put(1, sample()).unwrap();
         let v = s.version(1).unwrap();
         let cache = s.result_cache(1).unwrap();
@@ -1310,12 +1433,7 @@ mod tests {
     #[test]
     fn settings_scope_documents_and_survive_restart() {
         let dir = fresh_dir("settings");
-        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
-            dir: dir.clone(),
-            sync: SyncPolicy::Never,
-            max_resident_docs: 8,
-        })
-        .unwrap();
+        let mut s: DocStore<&'static str> = DocStore::open(config(&dir)).unwrap();
         // The same doc id under two settings names two documents.
         s.put(7, sample()).unwrap();
         s.put((2, 7), XmlTree::new("db")).unwrap();
@@ -1330,22 +1448,12 @@ mod tests {
         assert_eq!(s.docs_in_setting(0).collect::<Vec<u64>>(), vec![7]);
         // Scoping survives the WAL…
         drop(s);
-        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
-            dir: dir.clone(),
-            sync: SyncPolicy::Never,
-            max_resident_docs: 8,
-        })
-        .unwrap();
+        let mut s: DocStore<&'static str> = DocStore::open(config(&dir)).unwrap();
         assert_eq!(tree_to_text(s.get((2, 7)).unwrap().0), "db");
         // …and the snapshot.
         s.checkpoint().unwrap();
         drop(s);
-        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
-            dir: dir.clone(),
-            sync: SyncPolicy::Never,
-            max_resident_docs: 8,
-        })
-        .unwrap();
+        let mut s: DocStore<&'static str> = DocStore::open(config(&dir)).unwrap();
         assert_eq!(tree_to_text(s.get((2, 7)).unwrap().0), "db");
         assert_eq!(s.len(), 2);
         cleanup(&dir);
@@ -1354,12 +1462,7 @@ mod tests {
     #[test]
     fn invalidate_setting_drops_derived_state_but_keeps_documents() {
         let dir = fresh_dir("invalidate");
-        let mut s: DocStore<&'static str> = DocStore::open(StoreConfig {
-            dir: dir.clone(),
-            sync: SyncPolicy::Never,
-            max_resident_docs: 8,
-        })
-        .unwrap();
+        let mut s: DocStore<&'static str> = DocStore::open(config(&dir)).unwrap();
         let dtd = book_dtd();
         s.put((2, 1), sample()).unwrap();
         s.put(1, sample()).unwrap();
@@ -1392,6 +1495,163 @@ mod tests {
         // The validation baseline was reset: the next validate is a full
         // scan (observable as still-correct answers after the reset).
         assert!(s.validate((2, 1), dtd.compiled()).unwrap());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn a_failed_wal_fsync_degrades_the_store_stickily() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let dir = fresh_dir("degraded-fsync");
+        let vfs = FaultVfs::real(FaultPlan::count_only());
+        let mut s: DocStore = DocStore::open(StoreConfig {
+            sync: SyncPolicy::Always,
+            vfs: Arc::new(vfs.clone()),
+            ..config(&dir)
+        })
+        .unwrap();
+        s.put(1, sample()).unwrap();
+        let text = tree_to_text(s.get(1).unwrap().0);
+        // Fail the next fsync: the record's bytes may be written, but
+        // durability is unknown — the put must not be acknowledged and the
+        // store must go read-only.
+        vfs.set_plan(FaultPlan::fail_sync(vfs.sync_ops()));
+        let err = s.put(2, sample()).unwrap_err();
+        assert!(matches!(err, StoreError::Degraded { .. }), "{err}");
+        assert!(s.is_degraded());
+        assert_eq!(vfs.injected(), 1);
+        // Memory reflects exactly the acknowledged history...
+        assert_eq!(s.seq(), 1);
+        assert!(matches!(s.get(2), Err(StoreError::UnknownDoc { .. })));
+        // ...reads keep serving...
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), text);
+        assert!(s.validate(1, book_dtd().compiled()).unwrap());
+        // ...and every further mutation is rejected, including checkpoints
+        // (sticky: the failed fsync is never retried).
+        assert!(matches!(
+            s.put(3, sample()),
+            Err(StoreError::Degraded { .. })
+        ));
+        assert!(matches!(s.delete(1), Err(StoreError::Degraded { .. })));
+        assert!(matches!(s.checkpoint(), Err(StoreError::Degraded { .. })));
+        drop(s);
+        // A restart recovers a consistent prefix: doc 1 for sure; doc 2
+        // only if its (unacknowledged) record reached the log in full.
+        let mut s = open(&dir);
+        assert!(!s.is_degraded());
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), text);
+        assert!(s.seq() == 1 || s.seq() == 2);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn a_rolled_back_append_rejects_one_op_and_stays_healthy() {
+        use crate::vfs::{FaultKind, FaultPlan, FaultVfs};
+        let dir = fresh_dir("rollback");
+        let vfs = FaultVfs::real(FaultPlan::count_only());
+        let mut s: DocStore = DocStore::open(StoreConfig {
+            sync: SyncPolicy::Always,
+            vfs: Arc::new(vfs.clone()),
+            ..config(&dir)
+        })
+        .unwrap();
+        s.put(1, sample()).unwrap();
+        // Tear the next WAL write: the append rolls the log back, the edit
+        // rolls back in memory, and the store keeps serving writes.
+        vfs.set_plan(FaultPlan::fail_op_with(vfs.ops(), FaultKind::ShortWrite));
+        let before = tree_to_text(s.get(1).unwrap().0);
+        let err = s
+            .edit(
+                1,
+                0,
+                &[DocEdit::SetAttr {
+                    node: 0,
+                    name: "@rev".into(),
+                    value: "x".into(),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        assert!(!s.is_degraded());
+        assert_eq!(s.wal_rollbacks(), 1);
+        assert_eq!(s.version(1), Some(1), "the failed edit was not applied");
+        assert_eq!(tree_to_text(s.get(1).unwrap().0), before);
+        // The same edit succeeds on retry.
+        s.edit(
+            1,
+            0,
+            &[DocEdit::SetAttr {
+                node: 0,
+                name: "@rev".into(),
+                value: "x".into(),
+            }],
+        )
+        .unwrap();
+        drop(s);
+        let mut s = open(&dir);
+        assert_eq!(s.version(1), Some(2), "acknowledged history recovered");
+        let (tree, _) = s.get(1).unwrap();
+        assert!(tree.attrs(tree.root()).contains_key("@rev"));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn a_failed_snapshot_dir_sync_degrades_instead_of_being_swallowed() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let dir = fresh_dir("dirsync");
+        let vfs = FaultVfs::real(FaultPlan::count_only());
+        let mut s: DocStore = DocStore::open(StoreConfig {
+            sync: SyncPolicy::Always,
+            vfs: Arc::new(vfs.clone()),
+            ..config(&dir)
+        })
+        .unwrap();
+        s.put(1, sample()).unwrap();
+        // The checkpoint's sync order is: tmp-file fsync, then (after the
+        // rename) the directory fsync. Fail the second sync from here.
+        vfs.set_plan(FaultPlan::fail_sync(vfs.sync_ops() + 1));
+        let err = s.checkpoint().unwrap_err();
+        assert!(matches!(err, StoreError::Degraded { .. }), "{err}");
+        assert!(
+            s.degraded_reason().unwrap().contains("snapshot fsync"),
+            "{:?}",
+            s.degraded_reason()
+        );
+        // Crucially, the WAL was NOT reset: if the rename's durability is
+        // unknown, the log must keep covering the full history.
+        assert!(s.wal_len() > 0);
+        drop(s);
+        let s = open(&dir);
+        assert_eq!(s.version(1), Some(1));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn an_abandoned_snapshot_write_fails_the_checkpoint_but_not_the_store() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let dir = fresh_dir("abandon");
+        let vfs = FaultVfs::real(FaultPlan::count_only());
+        let mut s: DocStore = DocStore::open(StoreConfig {
+            sync: SyncPolicy::Always,
+            vfs: Arc::new(vfs.clone()),
+            ..config(&dir)
+        })
+        .unwrap();
+        s.put(1, sample()).unwrap();
+        let wal_before = s.wal_len();
+        // Fail the tmp-file create (the next non-sync op after wal.sync's
+        // no-op): the old snapshot and the WAL stay authoritative.
+        vfs.set_plan(FaultPlan::fail_op(vfs.ops()));
+        let err = s.checkpoint().unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        assert!(!s.is_degraded());
+        assert_eq!(s.wal_len(), wal_before, "WAL untouched");
+        // The store still accepts writes, and a later checkpoint works.
+        s.put(2, sample()).unwrap();
+        s.checkpoint().unwrap();
+        assert_eq!(s.wal_len(), 0);
+        drop(s);
+        let s = open(&dir);
+        assert_eq!(s.len(), 2);
         cleanup(&dir);
     }
 }

@@ -1,0 +1,467 @@
+//! The store's filesystem seam.
+//!
+//! Every byte the store moves to or from disk goes through a [`Vfs`] — a
+//! small trait covering exactly the operations the WAL, the snapshot writer
+//! and the store's open path perform: whole-file reads, append-oriented
+//! opens, truncating creates, rename, remove, and file/directory fsync.
+//! Production uses [`RealVfs`] (a thin veneer over `std::fs`); tests wrap
+//! it in a [`FaultVfs`] that injects one deterministic failure — an error,
+//! a short write, a failed fsync — at a chosen operation index, which is
+//! what makes *every* I/O failure point in the store reachable from the
+//! fault-matrix harness without touching a real disk's error paths.
+//!
+//! The seam deliberately excludes the advisory lock file: lock acquisition
+//! failures are an ordinary, already-tested error path
+//! ([`crate::store::StoreError::Locked`]), and injecting faults there would
+//! only test `std`.
+
+use std::fmt::Debug;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// An open file handle, as the store uses one: sequential appends, explicit
+/// syncs, truncation, and repositioning. Reads happen through
+/// [`Vfs::read`] (the store only ever reads whole files).
+pub trait VfsFile: Debug + Send {
+    /// Write the whole buffer at the current position.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// `fdatasync` — flush file data (not necessarily metadata).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// `fsync` — flush file data and metadata.
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncate (or extend) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Reposition to absolute offset `pos`.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+}
+
+/// The filesystem operations the store performs. Implementations must be
+/// shareable across threads (the server keeps one store behind a mutex but
+/// opens it from whichever thread constructs it).
+pub trait Vfs: Debug + Send + Sync {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Open for read+write, creating if absent, **without** truncating —
+    /// the WAL's open mode.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (truncating) for write — the snapshot tmp file's mode.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically rename `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Open `dir` and fsync it — what persists a rename within it.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: `std::fs`, nothing else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile(std::fs::File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.0, buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        io::Seek::seek(&mut self.0, io::SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directories cannot be opened for sync on every platform; opening
+        // read-only is the portable approximation.
+        std::fs::File::open(dir)?.sync_all()
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+/// How an injected fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails outright, touching nothing.
+    Error,
+    /// A write lands only a prefix of its buffer before failing — a torn
+    /// write. Non-write operations scheduled with this kind fail outright.
+    ShortWrite,
+}
+
+/// One deterministic fault schedule. Operations are counted in the order
+/// the store performs them; the schedule names which one fails and how.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Fail the operation with this 0-based index (`None`: count only).
+    pub fail_at: Option<u64>,
+    /// How the chosen operation fails.
+    pub kind: FaultKind,
+    /// Count (and fail) only sync operations (`sync_data`/`sync_all`/
+    /// `sync_dir`) — the fsync-error schedules.
+    pub sync_only: bool,
+    /// Error-then-recover: disarm after the first injection, so every
+    /// later operation succeeds.
+    pub once: bool,
+}
+
+impl FaultPlan {
+    /// Count operations without ever failing one (the matrix's sizing run).
+    pub fn count_only() -> FaultPlan {
+        FaultPlan {
+            fail_at: None,
+            kind: FaultKind::Error,
+            sync_only: false,
+            once: false,
+        }
+    }
+
+    /// Fail operation `n` with an outright error, then recover.
+    pub fn fail_op(n: u64) -> FaultPlan {
+        FaultPlan {
+            fail_at: Some(n),
+            kind: FaultKind::Error,
+            sync_only: false,
+            once: true,
+        }
+    }
+
+    /// Fail operation `n` with `kind`, then recover.
+    pub fn fail_op_with(n: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            fail_at: Some(n),
+            kind,
+            sync_only: false,
+            once: true,
+        }
+    }
+
+    /// Fail the `n`-th **sync** operation (fsync-error schedule).
+    pub fn fail_sync(n: u64) -> FaultPlan {
+        FaultPlan {
+            fail_at: Some(n),
+            kind: FaultKind::Error,
+            sync_only: true,
+            once: true,
+        }
+    }
+
+    /// A schedule derived deterministically from `seed`: some operation in
+    /// `0..horizon` fails, with kind, sync-scoping and recovery chosen by
+    /// the seed's bits. Two runs with the same seed inject identically.
+    pub fn seeded(seed: u64, horizon: u64) -> FaultPlan {
+        // xorshift64: deterministic, dependency-free.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let fail_at = next() % horizon.max(1);
+        let kind = if next() % 3 == 0 {
+            FaultKind::ShortWrite
+        } else {
+            FaultKind::Error
+        };
+        let sync_only = next() % 4 == 0;
+        FaultPlan {
+            fail_at: Some(fail_at),
+            kind,
+            sync_only,
+            once: next() % 2 == 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Fallible operations seen (every class).
+    ops: u64,
+    /// Sync-class operations seen.
+    sync_ops: u64,
+    /// Faults injected.
+    injected: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Sync,
+    Write,
+    Other,
+}
+
+/// A [`Vfs`] wrapper that injects one scheduled failure (see [`FaultPlan`])
+/// and counts every fallible operation, including those performed through
+/// files it has already handed out. Cloning shares the schedule and the
+/// counters, so a test can keep a handle while the store owns another.
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: Arc<dyn Vfs>, plan: FaultPlan) -> FaultVfs {
+        FaultVfs {
+            inner,
+            state: Arc::new(Mutex::new(FaultState {
+                plan,
+                ops: 0,
+                sync_ops: 0,
+                injected: 0,
+            })),
+        }
+    }
+
+    /// Wrap the real filesystem under `plan`.
+    pub fn real(plan: FaultPlan) -> FaultVfs {
+        FaultVfs::new(Arc::new(RealVfs), plan)
+    }
+
+    /// Total fallible operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("fault state").ops
+    }
+
+    /// Sync-class operations observed so far.
+    pub fn sync_ops(&self) -> u64 {
+        self.state.lock().expect("fault state").sync_ops
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault state").injected
+    }
+
+    /// Replace the schedule (counters keep running).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.state.lock().expect("fault state").plan = plan;
+    }
+
+    /// Count one operation of `class`; `Some(kind)` means it must fail.
+    fn check(&self, class: OpClass) -> Option<FaultKind> {
+        let mut st = self.state.lock().expect("fault state");
+        let idx = if class == OpClass::Sync {
+            st.sync_ops += 1;
+            st.sync_ops - 1
+        } else {
+            st.ops
+        };
+        st.ops += 1;
+        let idx = if st.plan.sync_only {
+            if class != OpClass::Sync {
+                return None;
+            }
+            idx
+        } else {
+            st.ops - 1
+        };
+        if st.plan.fail_at == Some(idx) {
+            st.injected += 1;
+            if st.plan.once {
+                st.plan.fail_at = None;
+            }
+            Some(st.plan.kind)
+        } else {
+            None
+        }
+    }
+
+    fn injected_error(&self, what: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {what}"))
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    vfs: FaultVfs,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.vfs.check(OpClass::Write) {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::Error) => Err(self.vfs.injected_error("write_all")),
+            Some(FaultKind::ShortWrite) => {
+                // A torn write: a prefix reaches the file, the rest never
+                // does, and the caller sees a failure.
+                let half = buf.len() / 2;
+                let _ = self.inner.write_all(&buf[..half]);
+                Err(self.vfs.injected_error("short write"))
+            }
+        }
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.vfs.check(OpClass::Sync) {
+            None => self.inner.sync_data(),
+            Some(_) => Err(self.vfs.injected_error("sync_data")),
+        }
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.vfs.check(OpClass::Sync) {
+            None => self.inner.sync_all(),
+            Some(_) => Err(self.vfs.injected_error("sync_all")),
+        }
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.vfs.check(OpClass::Other) {
+            None => self.inner.set_len(len),
+            Some(_) => Err(self.vfs.injected_error("set_len")),
+        }
+    }
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        // Repositioning is a pure in-process state change; not a fault site.
+        self.inner.seek_to(pos)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.check(OpClass::Other) {
+            None => self.inner.read(path),
+            Some(_) => Err(self.injected_error("read")),
+        }
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.check(OpClass::Other) {
+            None => Ok(Box::new(FaultFile {
+                inner: self.inner.open_rw(path)?,
+                vfs: self.clone(),
+            })),
+            Some(_) => Err(self.injected_error("open_rw")),
+        }
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.check(OpClass::Other) {
+            None => Ok(Box::new(FaultFile {
+                inner: self.inner.create(path)?,
+                vfs: self.clone(),
+            })),
+            Some(_) => Err(self.injected_error("create")),
+        }
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.check(OpClass::Other) {
+            None => self.inner.rename(from, to),
+            Some(_) => Err(self.injected_error("rename")),
+        }
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.check(OpClass::Other) {
+            None => self.inner.remove_file(path),
+            Some(_) => Err(self.injected_error("remove_file")),
+        }
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.check(OpClass::Sync) {
+            None => self.inner.sync_dir(dir),
+            Some(_) => Err(self.injected_error("sync_dir")),
+        }
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        // Store-open plumbing, not a per-operation fault site worth a
+        // matrix slot: a failure here is indistinguishable from open_rw
+        // failing on the WAL path.
+        self.inner.create_dir_all(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_op_schedules_hit_exactly_once_and_recover() {
+        let dir = std::env::temp_dir().join(format!("xdx-vfs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let vfs = FaultVfs::real(FaultPlan::fail_op(1));
+        let mut f = vfs.create(&path).unwrap(); // op 0
+        let err = f.write_all(b"abc").unwrap_err(); // op 1: injected
+        assert!(err.to_string().contains("injected"));
+        f.write_all(b"abc").unwrap(); // recovered (once)
+        assert_eq!(vfs.injected(), 1);
+        assert_eq!(vfs.ops(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_writes_leave_a_prefix() {
+        let dir = std::env::temp_dir().join(format!("xdx-vfs-short-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let vfs = FaultVfs::real(FaultPlan::fail_op_with(1, FaultKind::ShortWrite));
+        let mut f = vfs.create(&path).unwrap();
+        assert!(f.write_all(b"abcdefgh").is_err());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcd");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_only_schedules_skip_other_classes() {
+        let dir = std::env::temp_dir().join(format!("xdx-vfs-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f");
+        let vfs = FaultVfs::real(FaultPlan::fail_sync(0));
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"abc").unwrap();
+        assert!(f.sync_data().is_err(), "first sync-class op fails");
+        f.write_all(b"def").unwrap();
+        f.sync_data().unwrap();
+        assert_eq!(vfs.injected(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed, 100);
+            let b = FaultPlan::seeded(seed, 100);
+            assert_eq!(a.fail_at, b.fail_at);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.sync_only, b.sync_only);
+            assert_eq!(a.once, b.once);
+            assert!(a.fail_at.unwrap() < 100);
+        }
+    }
+}

@@ -38,8 +38,8 @@
 use crate::bytes::{fnv1a, Cursor};
 use crate::edit::{decode_edits, encode_edits, DocEdit};
 use crate::key::DocKey;
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use crate::vfs::{Vfs, VfsFile};
+use std::fmt;
 use std::path::Path;
 use xdx_xmltree::limits::MAX_DOCUMENT_BYTES;
 
@@ -185,10 +185,53 @@ pub fn replay(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, good)
 }
 
+/// How a WAL write failed — the distinction the store's failure semantics
+/// turn on (see `DESIGN.md`).
+#[derive(Debug)]
+pub enum WalError {
+    /// The operation failed but the log was **rolled back** to its
+    /// pre-operation length: the on-disk log still matches what the store
+    /// has acknowledged, so the store can reject the one operation and
+    /// keep serving normally.
+    RolledBack(std::io::Error),
+    /// The log's on-disk state is no longer known to match memory — a
+    /// failed `fsync` (which may have dropped dirty pages; it is never
+    /// retried), or a rollback that itself failed. The store must stop
+    /// acknowledging mutations (sticky degraded mode).
+    Broken(std::io::Error),
+}
+
+impl WalError {
+    /// The underlying I/O error.
+    pub fn io(&self) -> &std::io::Error {
+        match self {
+            WalError::RolledBack(e) | WalError::Broken(e) => e,
+        }
+    }
+
+    /// Take the underlying I/O error.
+    pub fn into_io(self) -> std::io::Error {
+        match self {
+            WalError::RolledBack(e) | WalError::Broken(e) => e,
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::RolledBack(e) => write!(f, "WAL append failed (rolled back): {e}"),
+            WalError::Broken(e) => write!(f, "WAL broken (on-disk state unknown): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
 /// An open, append-only WAL file.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     policy: SyncPolicy,
     unsynced: u64,
     len: u64,
@@ -198,24 +241,23 @@ impl Wal {
     /// Open (creating if absent) the log at `path`, replay its consistent
     /// prefix, and truncate any torn tail. Returns the log positioned for
     /// appends plus the replayed records.
-    pub fn open(path: &Path, policy: SyncPolicy) -> std::io::Result<(Wal, Vec<WalRecord>)> {
-        let bytes = match std::fs::read(path) {
+    pub fn open(
+        vfs: &dyn Vfs,
+        path: &Path,
+        policy: SyncPolicy,
+    ) -> std::io::Result<(Wal, Vec<WalRecord>)> {
+        let bytes = match vfs.read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
         let (records, good) = replay(&bytes);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .read(true)
-            .write(true)
-            .open(path)?;
+        let mut file = vfs.open_rw(path)?;
         if bytes.len() > good {
             file.set_len(good as u64)?;
             file.sync_all()?;
         }
-        file.seek(SeekFrom::Start(good as u64))?;
+        file.seek_to(good as u64)?;
         Ok((
             Wal {
                 file,
@@ -230,7 +272,13 @@ impl Wal {
     /// Append one record (and `fsync` per the policy). The operation is
     /// recoverable once this returns — immediately under
     /// [`SyncPolicy::Always`], after the next sync otherwise.
-    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+    ///
+    /// On failure the error says which side of the rollback line the log
+    /// landed on: [`WalError::RolledBack`] means the log was truncated back
+    /// to its pre-append length (disk still matches acknowledged history);
+    /// [`WalError::Broken`] means it was not — a failed rollback, or a
+    /// failed `fsync` after the bytes were already written.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
         let payload = record.encode_payload();
         assert!(
             payload.len() <= MAX_RECORD_BYTES,
@@ -244,14 +292,33 @@ impl Wal {
         );
         buf.extend_from_slice(&fnv1a(&payload).to_be_bytes());
         buf.extend_from_slice(&payload);
-        self.file.write_all(&buf)?;
+        let pre_len = self.len;
+        if let Err(e) = self.file.write_all(&buf) {
+            // A failed (possibly short) write: truncate the log back to the
+            // acknowledged prefix and reposition. If that works, disk still
+            // matches memory; if it does not, the tail is in an unknown
+            // state and the log is broken. (Replay would truncate a torn
+            // tail at the next open either way — the rollback is what lets
+            // the *running* store keep serving.)
+            return match self
+                .file
+                .set_len(pre_len)
+                .and_then(|()| self.file.seek_to(pre_len))
+            {
+                Ok(()) => Err(WalError::RolledBack(e)),
+                Err(_) => Err(WalError::Broken(e)),
+            };
+        }
         self.len += buf.len() as u64;
         self.unsynced += buf.len() as u64;
         match self.policy {
-            SyncPolicy::Always => self.sync()?,
+            // A failed fsync is never rolled back and never retried: the
+            // kernel may have discarded the dirty pages while reporting
+            // which of them reached the disk to nobody.
+            SyncPolicy::Always => self.sync().map_err(WalError::Broken)?,
             SyncPolicy::EveryBytes(n) => {
                 if self.unsynced >= n {
-                    self.sync()?;
+                    self.sync().map_err(WalError::Broken)?;
                 }
             }
             SyncPolicy::Never => {}
@@ -259,7 +326,10 @@ impl Wal {
         Ok(())
     }
 
-    /// Force everything appended so far to stable storage.
+    /// Force everything appended so far to stable storage. A failure here
+    /// means durability of the unsynced tail is unknown — callers must
+    /// treat it as fatal for further mutations (never retry a failed
+    /// fsync; see `DESIGN.md`).
     pub fn sync(&mut self) -> std::io::Result<()> {
         if self.unsynced > 0 {
             self.file.sync_data()?;
@@ -268,10 +338,12 @@ impl Wal {
         Ok(())
     }
 
-    /// Discard the whole log (a checkpoint has made it redundant).
+    /// Discard the whole log (a checkpoint has made it redundant). On
+    /// failure the file's state is unknown — callers must treat it like a
+    /// failed fsync.
     pub fn reset(&mut self) -> std::io::Result<()> {
         self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
+        self.file.seek_to(0)?;
         self.file.sync_all()?;
         self.len = 0;
         self.unsynced = 0;
@@ -411,18 +483,68 @@ mod tests {
         torn.extend_from_slice(&encode_all(&records[2..])[..7]); // torn third record
         std::fs::write(&path, &torn).unwrap();
 
-        let (mut wal, replayed) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        let (mut wal, replayed) =
+            Wal::open(&crate::vfs::RealVfs, &path, SyncPolicy::Always).unwrap();
         assert_eq!(replayed, records[..2]);
         assert_eq!(wal.len(), keep as u64);
         wal.append(&records[2]).unwrap();
         drop(wal);
 
-        let (_, replayed) = Wal::open(&path, SyncPolicy::Never).unwrap();
+        let (_, replayed) = Wal::open(&crate::vfs::RealVfs, &path, SyncPolicy::Never).unwrap();
         assert_eq!(
             replayed, records,
             "append lands cleanly after the truncation"
         );
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn failed_appends_roll_the_log_back_to_the_acknowledged_prefix() {
+        use crate::vfs::{FaultKind, FaultPlan, FaultVfs};
+        let dir = std::env::temp_dir().join(format!("xdx-wal-rollback-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+
+        let vfs = FaultVfs::real(FaultPlan::count_only());
+        let (mut wal, _) = Wal::open(&vfs, &path, SyncPolicy::Always).unwrap();
+        wal.append(&records[0]).unwrap();
+        // Fail the next write with a torn (short) write: the rollback must
+        // truncate the partial record so the on-disk log still holds
+        // exactly the acknowledged record.
+        let next_write = vfs.ops(); // append's write_all is the next op
+        vfs.set_plan(FaultPlan::fail_op_with(next_write, FaultKind::ShortWrite));
+        let err = wal.append(&records[1]).unwrap_err();
+        assert!(matches!(err, WalError::RolledBack(_)), "{err}");
+        assert_eq!(wal.len(), {
+            let p = records[0].encode_payload();
+            (12 + p.len()) as u64
+        });
+        // The log keeps working: the rolled-back record can be re-appended.
+        wal.append(&records[1]).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&crate::vfs::RealVfs, &path, SyncPolicy::Never).unwrap();
+        assert_eq!(replayed, records[..2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fsyncs_report_the_log_broken() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let dir = std::env::temp_dir().join(format!("xdx-wal-fsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+
+        let vfs = FaultVfs::real(FaultPlan::count_only());
+        let (mut wal, _) = Wal::open(&vfs, &path, SyncPolicy::Always).unwrap();
+        wal.append(&records[0]).unwrap();
+        vfs.set_plan(FaultPlan::fail_sync(vfs.sync_ops()));
+        let err = wal.append(&records[1]).unwrap_err();
+        assert!(matches!(err, WalError::Broken(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

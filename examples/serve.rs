@@ -1,6 +1,9 @@
 //! Serve the running example over the wire — and smoke-test it.
 //!
-//! Server mode (runs until killed; used by the CI smoke step):
+//! Server mode (runs until drained or killed; the CI smoke step writes
+//! `drain` to its stdin — or just closes it — for a graceful exit that
+//! flushes in-flight responses, answers new requests with `GoAway` and
+//! checkpoints the store):
 //!
 //! ```text
 //! cargo run --release --example serve -- --unix /tmp/xdx.sock
@@ -105,8 +108,28 @@ fn main() {
         println!("serving books→writers on unix://{path}");
     }
     println!("protocol: crates/server/PROTOCOL.md (ops: ping, consistency, solution, answers)");
-    // Runs until the process is killed; the CI smoke step does exactly that.
+    // A `drain` line on stdin — or stdin closing — triggers a graceful
+    // drain: stop accepting, answer new requests with GoAway, flush
+    // in-flight responses, checkpoint, exit. SIGKILL still works; drain
+    // is just kinder, and the CI smoke step uses it.
+    let control = server.control();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) => break, // stdin closed
+                Ok(_) if line.trim() == "drain" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        println!("draining (grace 10s)...");
+        control.drain(std::time::Duration::from_secs(10));
+    });
     server.run().expect("event loop");
+    println!("drained; exiting");
 }
 
 /// Connect, run every operation once, check against in-process oracles.

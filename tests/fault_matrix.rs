@@ -1,0 +1,294 @@
+//! Exhaustive fault-injection matrix for `xdx-store`.
+//!
+//! For a fixed operation trace, a sizing run (with [`FaultPlan::count_only`])
+//! counts every fallible VFS call the trace performs. The matrix then
+//! re-runs the trace once per call site, failing exactly that call —
+//! outright errors, torn (short) writes, and fsync failures each get a
+//! sweep — and asserts the store's documented failure semantics:
+//!
+//! * **never a wrong answer, never a panic** — every op either applies
+//!   fully or fails with a rollback (`Io`) or degradation (`Degraded`);
+//!   the in-memory state after the faulty run is byte-identical to a fresh
+//!   fault-free store replaying exactly the acknowledged ops;
+//! * **sticky degradation** — once degraded, every further mutation is
+//!   rejected with `Degraded` while reads keep serving;
+//! * **prefix-consistent recovery** — reopening the directory with the
+//!   real filesystem always succeeds, and recovers either exactly the
+//!   acknowledged ops or (only when durability of the faulted record was
+//!   left unknown) the acknowledged ops plus the single faulted one.
+//!
+//! Budget: each sweep visits every `k`-th call site, with
+//! `k = ceil(sites / XDX_FAULT_BUDGET)` (default budget 24 per sweep, so
+//! the default test job stays fast). CI's deep sweep sets a huge budget to
+//! make the matrix exhaustive.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use xml_data_exchange::store::{
+    DocEdit, DocStore, FaultKind, FaultPlan, FaultVfs, StoreConfig, StoreError, SyncPolicy,
+};
+use xml_data_exchange::xmltree::{parse_tree, tree_to_text, AttrName, ElementType, Value};
+use xml_data_exchange::XmlTree;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xdx-fault-matrix-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn doc(text: &str) -> XmlTree {
+    parse_tree(text).unwrap()
+}
+
+fn set_attr(node: u32, name: &str, value: &str) -> DocEdit {
+    DocEdit::SetAttr {
+        node,
+        name: AttrName::new(name),
+        value: Value::constant(value),
+    }
+}
+
+/// One scripted store mutation. `Checkpoint` exercises the snapshot path's
+/// call sites; the others exercise the WAL's.
+enum Op {
+    Put(u64, &'static str),
+    Edit(u64, Vec<DocEdit>),
+    Delete(u64),
+    Checkpoint,
+}
+
+/// The trace under test: WAL appends of every record kind, a mid-trace
+/// checkpoint (snapshot write + WAL reset + directory fsync), then more
+/// appends over the snapshot, and a final checkpoint.
+fn script() -> Vec<Op> {
+    vec![
+        Op::Put(1, "db[book(@title=\"CO\")[author(@name=\"P\")]]"),
+        Op::Put(2, "db[book(@title=\"TCS\")]"),
+        Op::Edit(1, vec![set_attr(1, "@title", "CO2")]),
+        Op::Checkpoint,
+        Op::Edit(
+            1,
+            vec![
+                DocEdit::InsertChild {
+                    parent: 0,
+                    at: 1,
+                    label: ElementType::new("book"),
+                },
+                set_attr(3, "@title", "New"),
+            ],
+        ),
+        Op::Delete(2),
+        Op::Put(2, "db[book(@title=\"Again\")]"),
+        Op::Edit(2, vec![DocEdit::RemoveChild { parent: 0, at: 0 }]),
+        Op::Checkpoint,
+        Op::Put(3, "db[book(@title=\"Third\")]"),
+    ]
+}
+
+fn config(dir: &Path, vfs: Arc<dyn xml_data_exchange::store::Vfs>) -> StoreConfig {
+    StoreConfig {
+        sync: SyncPolicy::Always,
+        ..StoreConfig::new(dir)
+    }
+    .with_vfs(vfs)
+}
+
+/// Apply one op; `Ok(true)` when it acknowledged.
+fn apply(store: &mut DocStore, op: &Op) -> Result<(), StoreError> {
+    match op {
+        Op::Put(id, text) => store.put(*id, doc(text)).map(|_| ()),
+        Op::Edit(id, edits) => store.edit(*id, 0, edits).map(|_| ()),
+        Op::Delete(id) => store.delete(*id),
+        Op::Checkpoint => store.checkpoint(),
+    }
+}
+
+/// The full observable document state: id → (canonical text, version).
+fn state(store: &mut DocStore) -> BTreeMap<u64, (String, u64)> {
+    let ids: Vec<_> = store.doc_ids().collect();
+    ids.into_iter()
+        .map(|key| {
+            let (tree, version) = store.get(key).unwrap();
+            (key.doc, (tree_to_text(tree), version))
+        })
+        .collect()
+}
+
+/// Replay the ops with the given indices on a fresh fault-free store and
+/// return the resulting state — the matrix's differential oracle. Every
+/// acknowledged subsequence replays cleanly because each acked op executed
+/// against exactly the state the earlier acked ops built.
+fn oracle(indices: &[usize]) -> BTreeMap<u64, (String, u64)> {
+    let ops = script();
+    let dir = fresh_dir("oracle");
+    let mut store: DocStore =
+        DocStore::open(config(&dir, Arc::new(xml_data_exchange::store::RealVfs))).unwrap();
+    for &i in indices {
+        apply(&mut store, &ops[i]).unwrap_or_else(|e| {
+            panic!("oracle replay of acked op {i} failed: {e}");
+        });
+    }
+    let s = state(&mut store);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    s
+}
+
+/// Run the trace once under `plan` and assert every contract. Returns the
+/// number of (all-class, sync-class) VFS calls the run performed, so the
+/// sizing run can reuse it with [`FaultPlan::count_only`].
+fn run_case(plan: FaultPlan, tag: &str) -> (u64, u64) {
+    let ops = script();
+    let dir = fresh_dir(tag);
+    let vfs = FaultVfs::real(plan);
+    let mut applied: Vec<usize> = Vec::new();
+    let mut failed: Option<usize> = None;
+    let mut durability_unknown = false;
+
+    match DocStore::open(config(&dir, Arc::new(vfs.clone()))) {
+        Ok(mut store) => {
+            for (i, op) in ops.iter().enumerate() {
+                match apply(&mut store, op) {
+                    Ok(()) => applied.push(i),
+                    Err(e) => {
+                        if failed.is_none() {
+                            failed = Some(i);
+                        }
+                        match e {
+                            StoreError::Degraded { .. } => {
+                                assert!(
+                                    store.is_degraded(),
+                                    "[{tag}] Degraded error, healthy store"
+                                );
+                            }
+                            StoreError::Io(_) => {
+                                // A rollback: the op vanished, the store
+                                // keeps serving.
+                            }
+                            StoreError::UnknownDoc { .. } | StoreError::VersionConflict { .. } => {
+                                // A dependency casualty: an earlier op in
+                                // the trace rolled back, so this one now
+                                // targets a document that never appeared.
+                                // Atomic rejection, state unchanged.
+                            }
+                            other => panic!("[{tag}] op {i} failed with {other}"),
+                        }
+                        if store.is_degraded() {
+                            durability_unknown = true;
+                            // Sticky: every further mutation must be
+                            // rejected with Degraded, state untouched.
+                            for (j, later) in ops.iter().enumerate().skip(i + 1) {
+                                match apply(&mut store, later) {
+                                    Err(StoreError::Degraded { .. }) => {}
+                                    other => panic!(
+                                        "[{tag}] degraded store answered op {j} with {other:?}"
+                                    ),
+                                }
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            // Degraded or not: reads keep serving, and the surviving state
+            // is byte-identical to a fresh store replaying the acked ops.
+            assert_eq!(
+                state(&mut store),
+                oracle(&applied),
+                "[{tag}] in-memory state diverged from the fault-free oracle"
+            );
+        }
+        Err(e) => {
+            // The fault fired inside open() itself: acceptable, as long as
+            // it is an I/O failure (never Corrupt) and a real-filesystem
+            // reopen below recovers.
+            assert!(
+                matches!(e, StoreError::Io(_)),
+                "[{tag}] open failed with {e}"
+            );
+            durability_unknown = true;
+        }
+    }
+
+    // Recovery: reopening with the real filesystem must always succeed and
+    // land on the acked state — or, when the faulted record's durability
+    // was left unknown (degradation / failed open), on acked + that one op.
+    let mut reopened: DocStore =
+        DocStore::open(config(&dir, Arc::new(xml_data_exchange::store::RealVfs)))
+            .unwrap_or_else(|e| panic!("[{tag}] reopen after fault failed: {e}"));
+    let recovered = state(&mut reopened);
+    let acked = oracle(&applied);
+    let mut candidates = vec![acked];
+    if durability_unknown {
+        if let Some(f) = failed {
+            let mut with_failed = applied.clone();
+            with_failed.push(f);
+            with_failed.sort_unstable();
+            candidates.push(oracle(&with_failed));
+        }
+    }
+    assert!(
+        candidates.contains(&recovered),
+        "[{tag}] recovered state is not prefix-consistent:\n  got {recovered:?}\n  acked {:?}",
+        candidates[0]
+    );
+    let counts = (vfs.ops(), vfs.sync_ops());
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+    counts
+}
+
+/// Per-sweep fault budget: `XDX_FAULT_BUDGET` when set (the CI deep sweep
+/// sets it huge for exhaustiveness), 24 otherwise.
+fn budget() -> u64 {
+    std::env::var("XDX_FAULT_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+        .max(1)
+}
+
+fn stride(sites: u64) -> u64 {
+    sites.div_ceil(budget()).max(1)
+}
+
+#[test]
+fn every_failed_vfs_call_rolls_back_or_degrades_and_recovers() {
+    let (sites, _) = run_case(FaultPlan::count_only(), "sizing");
+    assert!(sites > 20, "the trace performs {sites} VFS calls — too few");
+    let step = stride(sites);
+    for k in (0..sites).step_by(step as usize) {
+        run_case(FaultPlan::fail_op(k), &format!("err-{k}"));
+    }
+}
+
+#[test]
+fn every_torn_write_rolls_back_or_degrades_and_recovers() {
+    let (sites, _) = run_case(FaultPlan::count_only(), "sizing-torn");
+    let step = stride(sites);
+    for k in (0..sites).step_by(step as usize) {
+        run_case(
+            FaultPlan::fail_op_with(k, FaultKind::ShortWrite),
+            &format!("torn-{k}"),
+        );
+    }
+}
+
+#[test]
+fn every_failed_fsync_degrades_stickily_and_recovers() {
+    let (_, syncs) = run_case(FaultPlan::count_only(), "sizing-sync");
+    assert!(syncs > 5, "the trace performs {syncs} syncs — too few");
+    let step = stride(syncs);
+    for k in (0..syncs).step_by(step as usize) {
+        run_case(FaultPlan::fail_sync(k), &format!("sync-{k}"));
+    }
+}
