@@ -109,6 +109,20 @@ struct NestedRelationalPlan {
 /// paths. [`crate::engine::BatchEngine`] keeps one per worker thread, as
 /// does the `xdx-server` dispatcher.
 ///
+/// Per-request engine work counters, accumulated on the worker's
+/// [`ExchangeScratch`]: chase node visits and applied repairs. The serving
+/// layer zeroes them before a request and reads them after, turning them
+/// into per-request histograms — no atomics, because a scratch belongs to
+/// one worker by construction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineCounters {
+    /// Worklist pops of the chase (each is one node visit: a fast accept
+    /// or a repair attempt).
+    pub chase_steps: u64,
+    /// Repairs the chase actually applied (the budgeted step count).
+    pub chase_repairs: u64,
+}
+
 /// Deliberately not `Sync`: one scratch belongs to one worker.
 #[derive(Debug, Default)]
 pub struct ExchangeScratch {
@@ -123,12 +137,27 @@ pub struct ExchangeScratch {
     shared_vals: Vec<Value>,
     /// Template-stamping buffer: per-instantiation null values.
     null_vals: Vec<Value>,
+    /// Chase work counters of requests run on this scratch (see
+    /// [`EngineCounters`]); the caller zeroes and reads them per request.
+    pub counters: EngineCounters,
 }
 
 impl ExchangeScratch {
     /// A fresh scratch (what the non-`_with` entry points build per call).
     pub fn new() -> Self {
         ExchangeScratch::default()
+    }
+
+    /// Zero the per-request [`EngineCounters`] (serving-layer hook: call
+    /// before a request, read `self.counters` after).
+    pub fn reset_counters(&mut self) {
+        self.counters = EngineCounters::default();
+    }
+
+    /// The assignment-store high-watermark of the pattern evaluator (see
+    /// [`xdx_patterns::plan::EvalScratch::assign_highwater`]).
+    pub fn assign_highwater(&self) -> usize {
+        self.eval.assign_highwater()
     }
 
     /// The index slot for `tree`, rebuilt in place (or built on first use).
@@ -462,7 +491,28 @@ impl<'s> CompiledSetting<'s> {
         for &n in &queue {
             queued[n.index()] = true;
         }
-        self.chase_seeded(tree, nulls, budget, queue, queued)
+        self.chase_seeded(tree, nulls, budget, queue, queued, None)
+    }
+
+    /// As [`CompiledSetting::chase`], but charging pops and applied repairs
+    /// to `counters` — the instrumented path [`canonical_solution_with`]
+    /// (and through it the serving dispatcher) takes so per-request chase
+    /// work is observable without taxing the public entry points.
+    ///
+    /// [`canonical_solution_with`]: CompiledSetting::canonical_solution_with
+    fn chase_counted(
+        &self,
+        tree: &mut XmlTree,
+        nulls: &mut NullGen,
+        counters: &mut EngineCounters,
+    ) -> Result<(), SolutionError> {
+        let budget = chase_budget(tree.size());
+        let queue: VecDeque<NodeId> = tree.preorder().collect();
+        let mut queued = vec![false; tree.arena_len()];
+        for &n in &queue {
+            queued[n.index()] = true;
+        }
+        self.chase_seeded(tree, nulls, budget, queue, queued, Some(counters))
     }
 
     /// Re-chase an **already chase-clean** tree after node-local edits,
@@ -523,7 +573,7 @@ impl<'s> CompiledSetting<'s> {
                 queue.push_back(n);
             }
         }
-        self.chase_seeded(tree, nulls, budget, queue, queued)
+        self.chase_seeded(tree, nulls, budget, queue, queued, None)
     }
 
     /// The worklist chase proper, shared by the full and incremental entry
@@ -535,6 +585,7 @@ impl<'s> CompiledSetting<'s> {
         budget: usize,
         mut queue: VecDeque<NodeId>,
         mut queued: Vec<bool>,
+        mut counters: Option<&mut EngineCounters>,
     ) -> Result<(), SolutionError> {
         let repair_config = RepairConfig::default();
         let mut steps = 0usize;
@@ -567,6 +618,13 @@ impl<'s> CompiledSetting<'s> {
 
         while let Some(node) = queue.pop_front() {
             queued[node.index()] = false;
+            // Work accounting is written through immediately (not at the
+            // end), so budget-exceeded and unrepairable exits still report
+            // the work done. One predictable branch per pop — noise next
+            // to the per-node attribute walk and child scan.
+            if let Some(c) = counters.as_deref_mut() {
+                c.chase_steps += 1;
+            }
             // Merged-away children are detached by `ChangeReg`; their queue
             // entries are stale and simply expire here.
             if node != tree.root() && tree.parent(node).is_none() {
@@ -707,6 +765,9 @@ impl<'s> CompiledSetting<'s> {
                 });
             };
             steps += 1;
+            if let Some(c) = counters.as_deref_mut() {
+                c.chase_repairs += 1;
+            }
             if steps > budget {
                 return Err(SolutionError::ChaseBudgetExceeded { steps });
             }
@@ -751,7 +812,7 @@ impl<'s> CompiledSetting<'s> {
     ) -> Result<XmlTree, SolutionError> {
         let mut nulls = NullGen::new();
         let mut tree = self.canonical_presolution_with(source_tree, &mut nulls, scratch)?;
-        self.chase(&mut tree, &mut nulls)?;
+        self.chase_counted(&mut tree, &mut nulls, &mut scratch.counters)?;
         Ok(tree)
     }
 

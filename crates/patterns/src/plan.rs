@@ -144,6 +144,11 @@ impl AssignStore {
         store
     }
 
+    /// Interned assignments currently in the arena.
+    fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
     /// Forget every interned assignment but keep the allocated hash tables
     /// and the arena `Vec`'s capacity, so the next evaluation starts with
     /// warm heap blocks (the point of [`EvalScratch`]).
@@ -381,6 +386,9 @@ impl TreeIndex {
 pub struct EvalScratch {
     store: AssignStore,
     seen: FxHashSet<AssignId>,
+    /// Largest assignment-store population any evaluation on this scratch
+    /// ever reached (captured at reset; the live store counts too).
+    highwater: usize,
 }
 
 impl EvalScratch {
@@ -390,12 +398,21 @@ impl EvalScratch {
         EvalScratch {
             store: AssignStore::new(),
             seen: FxHashSet::default(),
+            highwater: 0,
         }
     }
 
     fn reset(&mut self) {
+        self.highwater = self.highwater.max(self.store.len());
         self.store.reset();
         self.seen.clear();
+    }
+
+    /// Largest number of interned assignments any evaluation on this
+    /// scratch ever held at once — the memory high-watermark of the join
+    /// machinery, exported by the server as `engine.assign_highwater`.
+    pub fn assign_highwater(&self) -> usize {
+        self.highwater.max(self.store.len())
     }
 }
 
@@ -524,7 +541,7 @@ impl PatternPlan {
         mut f: impl FnMut(&Assignment) -> Result<(), E>,
     ) -> Result<(), E> {
         scratch.reset();
-        let EvalScratch { store, seen } = scratch;
+        let EvalScratch { store, seen, .. } = scratch;
         let ids = self.matches_ids(tree, index, store);
         for id in ids {
             let full = store.get(id);

@@ -40,6 +40,71 @@ const MAX_RESPONSE_BYTES: usize = 256 * 1024 * 1024;
 /// `None`) via [`Client::set_timeout`].
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// A typed `Stats` response: flat counters, plus histogram rows when the
+/// connection negotiated [`wire::FEATURE_STATS_V2`] (empty against a v4
+/// server or without negotiation). Both lists are sorted ascending by
+/// name. The [`std::fmt::Display`] impl renders the operator-facing form
+/// `--client-smoke` prints.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Counter rows (name, value).
+    pub counters: Vec<(String, u64)>,
+    /// Histogram rows in sparse wire form; rebuild with
+    /// [`xdx_obs::HistogramSnapshot::from_sparse`] for percentiles.
+    pub histograms: Vec<wire::StatsHistogram>,
+}
+
+impl StatsSnapshot {
+    /// Look up one counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up one histogram row by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&wire::StatsHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            writeln!(f, "{name:<width$}  {value}")?;
+        }
+        for h in &self.histograms {
+            let snap = xdx_obs::HistogramSnapshot::from_sparse(
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.buckets.iter().copied(),
+            );
+            let unit = xdx_obs::Unit::from_tag(h.unit).suffix();
+            writeln!(
+                f,
+                "{:<width$}  count={} p50={}{unit} p90={}{unit} p99={}{unit} max={}{unit}",
+                h.name,
+                snap.count,
+                snap.p50(),
+                snap.p90(),
+                snap.p99(),
+                snap.max,
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
@@ -539,11 +604,19 @@ impl Client {
         }
     }
 
-    /// Fetch the server's operational counters (v4), sorted ascending by
-    /// name. Unknown names must be ignored — servers grow counters.
-    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+    /// Fetch the server's operational counters (v4) — and, when the
+    /// connection negotiated [`wire::FEATURE_STATS_V2`], its histogram
+    /// rows — as a typed [`StatsSnapshot`]. Unknown names must be ignored —
+    /// servers grow counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.round_trip(RequestBody::Stats)? {
-            ResponseBody::StatsOk { counters } => Ok(counters),
+            ResponseBody::StatsOk {
+                counters,
+                histograms,
+            } => Ok(StatsSnapshot {
+                counters,
+                histograms,
+            }),
             other => Err(unexpected("StatsOk", &other)),
         }
     }

@@ -58,10 +58,10 @@ pub mod sys;
 mod transport;
 pub mod wire;
 
-pub use client::{Client, ClientError, RetryPolicy, DEFAULT_TIMEOUT};
-pub use server::{ConfigError, Server, ServerConfig, ServerControl};
+pub use client::{Client, ClientError, RetryPolicy, StatsSnapshot, DEFAULT_TIMEOUT};
+pub use server::{ConfigError, Server, ServerConfig, ServerControl, StatsHandle};
 pub use wire::{
     Codec, DocResult, ErrorCode, OpCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame,
-    SettingEntry, WireDoc, WireError, FEATURE_BINARY_DOCS, FEATURE_CHUNKED_RESPONSES,
-    FEATURE_SETTINGS, SUPPORTED_FEATURES,
+    SettingEntry, StatsHistogram, WireDoc, WireError, FEATURE_BINARY_DOCS,
+    FEATURE_CHUNKED_RESPONSES, FEATURE_SETTINGS, FEATURE_STATS_V2, SUPPORTED_FEATURES,
 };

@@ -68,7 +68,7 @@ use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use xdx_core::cache::CacheKey;
 use xdx_core::compiled::ExchangeScratch;
@@ -76,6 +76,7 @@ use xdx_core::engine::BatchEngine;
 use xdx_core::settext::setting_to_text;
 use xdx_core::setting::DataExchangeSetting;
 use xdx_core::solution::SolutionError;
+use xdx_obs::{Histogram, HistogramSnapshot, MetricRegistry, Trace, Unit};
 use xdx_patterns::parser::parse_query;
 use xdx_patterns::plan::QueryPlan;
 use xdx_store::{decode_edits_exact, DocKey, DocStore, StoreConfig, StoreError};
@@ -177,6 +178,18 @@ pub struct ServerConfig {
     /// pipelining client at any pace never has a partial frame older than
     /// one frame's transmission. `None` disables the check.
     pub read_progress_timeout: Option<Duration>,
+    /// Per-request phase tracing: when `true` (the default) every
+    /// worker-path request carries an [`xdx_obs::Trace`] from frame decode
+    /// to final flush, feeding the per-`(op, setting)` phase histograms of
+    /// the Stats-v2 export and the slow-request log. Off, requests carry
+    /// no trace and only the plain counters remain (bench `E18` measures
+    /// the difference).
+    pub instrumentation: bool,
+    /// Log a rate-limited one-line phase breakdown (to stderr) for every
+    /// fully flushed request whose wall time reaches this threshold, and
+    /// count it in `server.slow_requests`. `None` (the default) disables
+    /// the log; the counter still counts nothing.
+    pub slow_request_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -198,6 +211,8 @@ impl Default for ServerConfig {
             max_inflight_per_setting: 256,
             idle_timeout: Some(Duration::from_secs(60)),
             read_progress_timeout: Some(Duration::from_secs(10)),
+            instrumentation: true,
+            slow_request_threshold: None,
         }
     }
 }
@@ -313,6 +328,14 @@ impl ServerConfig {
                 field: "read_progress_timeout",
             });
         }
+        // A zero threshold would log (and count) every request; "log
+        // everything" is not a sane production setting and is almost
+        // certainly a milliseconds-vs-nanoseconds typo.
+        if self.slow_request_threshold.is_some_and(|t| t.is_zero()) {
+            return Err(ConfigError::Zero {
+                field: "slow_request_threshold",
+            });
+        }
         Ok(())
     }
 }
@@ -399,10 +422,67 @@ struct ServerStats {
     store_cache_hits: AtomicU64,
     /// Stored-query answers that had to be computed.
     store_cache_misses: AtomicU64,
+    /// Requests whose wall time reached
+    /// [`ServerConfig::slow_request_threshold`].
+    slow_requests: AtomicU64,
+    /// Highest live-assignment count any worker's evaluation scratch ever
+    /// reached ([`ExchangeScratch::assign_highwater`]) — the peak working
+    /// set of pattern matching.
+    assign_highwater: AtomicU64,
+}
+
+/// Counter names of every [`ServerStats`]-backed `Stats` row that exists
+/// regardless of a store, ascending — the order [`collect_stats`] emits
+/// and the wire contract requires. Kept as one table (rather than inline
+/// strings) so ascending order is asserted **once at construction**
+/// ([`ServerStats::new`]), not re-checked per `Stats` request.
+const BASE_STAT_NAMES: [&str; 12] = [
+    "engine.assign_highwater",
+    "registry.artifact_hits",
+    "registry.artifact_misses",
+    "server.accepted_conns",
+    "server.busy_rejected",
+    "server.goaway_rejected",
+    "server.inflight_highwater",
+    "server.reaped_idle",
+    "server.reaped_slow",
+    "server.setting_inflight_highwater",
+    "server.slow_requests",
+    "server.uptime_secs",
+];
+
+/// Counter names appended when a store is mounted; ascending, and every
+/// entry sorts after the whole base table (`store.` > `server.`).
+const STORE_STAT_NAMES: [&str; 11] = [
+    "store.cache_hits",
+    "store.cache_misses",
+    "store.degraded",
+    "store.dirty_docs",
+    "store.replay_ns",
+    "store.replayed_records",
+    "store.resident_docs",
+    "store.resident_tree_bytes",
+    "store.seq",
+    "store.wal_bytes",
+    "store.wal_rollbacks",
+];
+
+fn assert_stat_names_ascending() {
+    let sorted = |names: &[&str]| names.windows(2).all(|w| w[0] < w[1]);
+    assert!(
+        sorted(&BASE_STAT_NAMES)
+            && sorted(&STORE_STAT_NAMES)
+            && BASE_STAT_NAMES.last() < STORE_STAT_NAMES.first(),
+        "Stats counter name tables must be strictly ascending"
+    );
 }
 
 impl ServerStats {
     fn new() -> ServerStats {
+        // The ordering invariant the wire contract needs is established
+        // here, once per server, instead of debug-asserted on every
+        // `collect_stats` call.
+        assert_stat_names_ascending();
         ServerStats {
             started: Instant::now(),
             accepted_conns: AtomicU64::new(0),
@@ -414,6 +494,8 @@ impl ServerStats {
             setting_inflight_highwater: AtomicU64::new(0),
             store_cache_hits: AtomicU64::new(0),
             store_cache_misses: AtomicU64::new(0),
+            slow_requests: AtomicU64::new(0),
+            assign_highwater: AtomicU64::new(0),
         }
     }
 }
@@ -428,63 +510,241 @@ fn collect_stats(
     store: Option<&ServerStore>,
 ) -> Vec<(String, u64)> {
     let (hits, misses) = registry.artifact_counters();
-    let mut counters = vec![
-        ("registry.artifact_hits".to_string(), hits),
-        ("registry.artifact_misses".to_string(), misses),
-        (
-            "server.accepted_conns".to_string(),
-            stats.accepted_conns.load(Ordering::Relaxed),
-        ),
-        (
-            "server.busy_rejected".to_string(),
-            stats.busy_rejected.load(Ordering::Relaxed),
-        ),
-        (
-            "server.goaway_rejected".to_string(),
-            stats.goaway_rejected.load(Ordering::Relaxed),
-        ),
-        (
-            "server.inflight_highwater".to_string(),
-            stats.inflight_highwater.load(Ordering::Relaxed),
-        ),
-        (
-            "server.reaped_idle".to_string(),
-            stats.reaped_idle.load(Ordering::Relaxed),
-        ),
-        (
-            "server.reaped_slow".to_string(),
-            stats.reaped_slow.load(Ordering::Relaxed),
-        ),
-        (
-            "server.setting_inflight_highwater".to_string(),
-            stats.setting_inflight_highwater.load(Ordering::Relaxed),
-        ),
-        (
-            "server.uptime_secs".to_string(),
-            stats.started.elapsed().as_secs(),
-        ),
+    // Values in the same positional order as the name tables, whose
+    // ascending order [`ServerStats::new`] asserted at construction.
+    let base: [u64; BASE_STAT_NAMES.len()] = [
+        stats.assign_highwater.load(Ordering::Relaxed),
+        hits,
+        misses,
+        stats.accepted_conns.load(Ordering::Relaxed),
+        stats.busy_rejected.load(Ordering::Relaxed),
+        stats.goaway_rejected.load(Ordering::Relaxed),
+        stats.inflight_highwater.load(Ordering::Relaxed),
+        stats.reaped_idle.load(Ordering::Relaxed),
+        stats.reaped_slow.load(Ordering::Relaxed),
+        stats.setting_inflight_highwater.load(Ordering::Relaxed),
+        stats.slow_requests.load(Ordering::Relaxed),
+        stats.started.elapsed().as_secs(),
     ];
+    let mut counters: Vec<(String, u64)> = BASE_STAT_NAMES
+        .iter()
+        .zip(base)
+        .map(|(&n, v)| (n.to_string(), v))
+        .collect();
     if let Some(store) = store {
         let s = store.lock().expect("store poisoned");
-        counters.extend([
-            (
-                "store.cache_hits".to_string(),
-                stats.store_cache_hits.load(Ordering::Relaxed),
-            ),
-            (
-                "store.cache_misses".to_string(),
-                stats.store_cache_misses.load(Ordering::Relaxed),
-            ),
-            ("store.degraded".to_string(), s.is_degraded() as u64),
-            ("store.dirty_docs".to_string(), s.dirty_total() as u64),
-            ("store.resident_docs".to_string(), s.len() as u64),
-            ("store.seq".to_string(), s.seq()),
-            ("store.wal_bytes".to_string(), s.wal_len()),
-            ("store.wal_rollbacks".to_string(), s.wal_rollbacks()),
-        ]);
+        let m = s.metrics();
+        let store_vals: [u64; STORE_STAT_NAMES.len()] = [
+            stats.store_cache_hits.load(Ordering::Relaxed),
+            stats.store_cache_misses.load(Ordering::Relaxed),
+            s.is_degraded() as u64,
+            s.dirty_total() as u64,
+            m.replay_ns,
+            m.replayed_records,
+            s.len() as u64,
+            s.resident_tree_bytes(),
+            s.seq(),
+            s.wal_len(),
+            s.wal_rollbacks(),
+        ];
+        counters.extend(
+            STORE_STAT_NAMES
+                .iter()
+                .zip(store_vals)
+                .map(|(&n, v)| (n.to_string(), v)),
+        );
     }
-    debug_assert!(counters.windows(2).all(|w| w[0].0 < w[1].0));
     counters
+}
+
+// ---------------------------------------------------------------------------
+// Per-request tracing and latency histograms
+// ---------------------------------------------------------------------------
+
+/// Phase indices of a request's [`Trace`] (slots of `Trace`'s fixed
+/// array). The phases partition a request's wall time: every interval
+/// from frame decode to final flush is charged to exactly one of them, so
+/// the per-phase histogram sums reconstruct the total (the property
+/// `tests/server_integration.rs` pins at ≥ 90%).
+const PHASE_DECODE: usize = 0;
+const PHASE_QUEUE: usize = 1;
+const PHASE_RESOLVE: usize = 2;
+const PHASE_PLAN: usize = 3;
+const PHASE_EXEC: usize = 4;
+const PHASE_STORE: usize = 5;
+const PHASE_ENCODE: usize = 6;
+const PHASE_FLUSH: usize = 7;
+
+/// Wire/export names of the phases, indexed by the constants above.
+const PHASE_NAMES: [&str; 8] = [
+    "decode", "queue", "resolve", "plan", "exec", "store", "encode", "flush",
+];
+
+/// A request's trace plus the key it will be recorded under. Boxed on the
+/// [`Job`]/[`Done`] handoffs so the untraced configuration pays one
+/// pointer, not the trace array.
+struct ReqTrace {
+    /// The op byte (key half one; [`OpCode::name`] at export time).
+    op: u8,
+    /// The addressed setting (key half two).
+    setting: u64,
+    trace: Trace,
+}
+
+/// The latency histograms of one `(op, setting)` key.
+struct PhaseSet {
+    /// One histogram per [`PHASE_NAMES`] entry, nanoseconds.
+    phases: [Histogram; PHASE_NAMES.len()],
+    /// Wall time decode-start → fully-flushed, nanoseconds.
+    total: Histogram,
+}
+
+impl PhaseSet {
+    const fn new() -> PhaseSet {
+        // Repeat-initializer idiom: each array element gets its own copy.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const H: Histogram = Histogram::new();
+        PhaseSet {
+            phases: [H; PHASE_NAMES.len()],
+            total: H,
+        }
+    }
+}
+
+/// Construction indices of [`GLOBAL_HISTOGRAMS`] (asserted by the
+/// registry's own ordering check at startup).
+const HIST_CHASE_REPAIRS: usize = 0;
+const HIST_CHASE_STEPS: usize = 1;
+
+/// The static-name global histograms (engine-side work distributions,
+/// recorded once per engine-path request).
+const GLOBAL_HISTOGRAMS: [(&str, Unit); 2] = [
+    ("engine.chase_repairs", Unit::Count),
+    ("engine.chase_steps", Unit::Count),
+];
+
+/// Server-side latency/work histograms, shared by workers (record), the
+/// event loop (trace finalization) and exporters (Stats v2, Prometheus).
+struct ServerMetrics {
+    /// Static-name histograms ([`GLOBAL_HISTOGRAMS`]).
+    global: MetricRegistry,
+    /// Per-`(op, setting)` phase histograms. The map only ever grows (an
+    /// entry per *op actually used* per live setting — bounded by 18 ×
+    /// `max_settings`); reads take the lock briefly to clone the `Arc`,
+    /// records then run lock-free on the histograms themselves.
+    phases: RwLock<HashMap<(u8, u64), Arc<PhaseSet>>>,
+    /// Last slow-request line's timestamp (the ~1/sec rate limit).
+    slow_log_last: Mutex<Option<Instant>>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        ServerMetrics {
+            global: MetricRegistry::new(&[], &[], &GLOBAL_HISTOGRAMS),
+            phases: RwLock::new(HashMap::new()),
+            slow_log_last: Mutex::new(None),
+        }
+    }
+
+    /// The phase set of `(op, setting)`, creating it on first use.
+    fn phase_set(&self, op: u8, setting: u64) -> Arc<PhaseSet> {
+        if let Some(set) = self
+            .phases
+            .read()
+            .expect("phase table poisoned")
+            .get(&(op, setting))
+        {
+            return Arc::clone(set);
+        }
+        Arc::clone(
+            self.phases
+                .write()
+                .expect("phase table poisoned")
+                .entry((op, setting))
+                .or_insert_with(|| Arc::new(PhaseSet::new())),
+        )
+    }
+
+    /// May another slow-request line be emitted? Takes the token when yes.
+    fn slow_log_permit(&self) -> bool {
+        let mut last = self.slow_log_last.lock().expect("slow log clock poisoned");
+        let now = Instant::now();
+        match *last {
+            Some(at) if now.duration_since(at) < Duration::from_secs(1) => false,
+            _ => {
+                *last = Some(now);
+                true
+            }
+        }
+    }
+}
+
+/// One [`wire::StatsHistogram`] row from a snapshot.
+fn histogram_row(name: String, unit: Unit, snap: &HistogramSnapshot) -> wire::StatsHistogram {
+    wire::StatsHistogram {
+        name,
+        unit: unit.tag(),
+        count: snap.count,
+        sum: snap.sum,
+        min: snap.min,
+        max: snap.max,
+        buckets: snap.nonzero_buckets().collect(),
+    }
+}
+
+/// Snapshot every histogram for a Stats-v2 response (or the Prometheus
+/// rendering): the global engine rows, every non-empty per-`(op, setting)`
+/// phase row, and — when a store is mounted — its fsync/checkpoint
+/// latencies. Rows ascend by name, like the counters.
+fn collect_histograms(
+    metrics: &ServerMetrics,
+    store: Option<&ServerStore>,
+) -> Vec<wire::StatsHistogram> {
+    let mut rows: Vec<wire::StatsHistogram> = Vec::new();
+    for (name, unit, snap) in metrics.global.histogram_rows() {
+        rows.push(histogram_row(name.to_string(), unit, &snap));
+    }
+    {
+        let table = metrics.phases.read().expect("phase table poisoned");
+        for (&(op, setting), set) in table.iter() {
+            let op_name = OpCode::from_u8(op).map(OpCode::name).unwrap_or("unknown");
+            for (i, phase) in PHASE_NAMES.iter().enumerate() {
+                let snap = set.phases[i].snapshot();
+                if snap.count == 0 {
+                    continue;
+                }
+                rows.push(histogram_row(
+                    format!("req.{op_name}.s{setting}.{phase}"),
+                    Unit::Nanos,
+                    &snap,
+                ));
+            }
+            let total = set.total.snapshot();
+            if total.count > 0 {
+                rows.push(histogram_row(
+                    format!("req.{op_name}.s{setting}.total"),
+                    Unit::Nanos,
+                    &total,
+                ));
+            }
+        }
+    }
+    if let Some(store) = store {
+        let s = store.lock().expect("store poisoned");
+        let m = s.metrics();
+        rows.push(histogram_row(
+            "store.checkpoint".to_string(),
+            Unit::Nanos,
+            &m.checkpoint.snapshot(),
+        ));
+        rows.push(histogram_row(
+            "store.fsync".to_string(),
+            Unit::Nanos,
+            &m.fsync.snapshot(),
+        ));
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    rows
 }
 
 /// One unit of work: a decoded request owned by a connection generation.
@@ -499,6 +759,13 @@ struct Job {
     /// Maximum response-body bytes per segment; `usize::MAX` disables
     /// chunking (the whole response is one `STATUS_OK` frame).
     chunk_bytes: usize,
+    /// Did the connection negotiate [`wire::FEATURE_STATS_V2`] (snapshot
+    /// at dispatch, like `codec`)? Shapes `Stats` responses only.
+    stats_v2: bool,
+    /// The request's phase trace (instrumentation on), running since frame
+    /// decode; rides to the worker and back so queue/handoff latencies
+    /// stay inside measured phases.
+    trace: Option<Box<ReqTrace>>,
 }
 
 /// One finished response *segment*, already framed (length prefix
@@ -514,6 +781,10 @@ struct Done {
     setting_id: u64,
     bytes: Vec<u8>,
     last: bool,
+    /// The request's trace, handed back with the *final* segment (its
+    /// encode phase already stamped); the event loop finishes the flush
+    /// phase when the segment leaves the socket.
+    trace: Option<Box<ReqTrace>>,
 }
 
 /// State shared between the loop and the workers.
@@ -545,7 +816,7 @@ struct Conn {
     /// from worker completions; flushed with gathered writes. `wfront` is
     /// the written prefix of the front segment, `wq_bytes` the total bytes
     /// queued (including that prefix).
-    wq: VecDeque<Vec<u8>>,
+    wq: VecDeque<WqSeg>,
     wfront: usize,
     wq_bytes: usize,
     inflight: usize,
@@ -555,6 +826,8 @@ struct Conn {
     chunked: bool,
     /// Did the peer negotiate the v3 settings frame layout?
     settings: bool,
+    /// Did the peer negotiate Stats-v2 histogram rows?
+    stats_v2: bool,
     /// Poisoned: flush remaining output, then close. No more reads parsed.
     closing: bool,
     /// Is `EPOLLOUT` currently part of the registration?
@@ -568,6 +841,15 @@ struct Conn {
     /// each time a whole frame completes, *not* on every arriving byte, so
     /// a drip-feeding peer cannot keep resetting the read-progress clock.
     partial_since: Option<Instant>,
+}
+
+/// One queued output segment: the framed bytes, plus — on a response's
+/// final segment — the request's trace, finalized when the segment's last
+/// byte leaves the socket (so the flush phase covers real sink latency,
+/// not just queueing).
+struct WqSeg {
+    bytes: Vec<u8>,
+    trace: Option<Box<ReqTrace>>,
 }
 
 const TOK_TCP: u64 = 0;
@@ -592,8 +874,57 @@ pub struct Server {
     unix_path: Option<PathBuf>,
     control: Arc<ServerControl>,
     wake_rx: UnixStream,
-    store: Option<ServerStore>,
+    store: Option<Arc<ServerStore>>,
     stats: Arc<ServerStats>,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// A read-only observability handle onto a (possibly running) server:
+/// counters, latency histograms, and a Prometheus-style text rendering.
+/// Cheap to clone; obtained from [`Server::stats_handle`] before `run`
+/// consumes the server, and usable from any thread while it runs.
+#[derive(Clone)]
+pub struct StatsHandle {
+    stats: Arc<ServerStats>,
+    metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    store: Option<Arc<ServerStore>>,
+}
+
+impl StatsHandle {
+    /// The counter rows a `Stats` wire response would carry, ascending by
+    /// name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        collect_stats(&self.stats, &self.registry, self.store.as_deref())
+    }
+
+    /// Render every counter and histogram in the Prometheus text format
+    /// (`examples/serve.rs` prints this for the `stats` stdin command and
+    /// the periodic dump).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            // Every row is rendered as a gauge: several (uptime, levels,
+            // highwaters) genuinely are, and a scraper can rate() either.
+            xdx_obs::prom::scalar(&mut out, &name, value, true);
+        }
+        for row in collect_histograms(&self.metrics, self.store.as_deref()) {
+            let snap = HistogramSnapshot::from_sparse(
+                row.count,
+                row.sum,
+                row.min,
+                row.max,
+                row.buckets.iter().copied(),
+            );
+            xdx_obs::prom::histogram(&mut out, &row.name, Unit::from_tag(row.unit), &snap);
+        }
+        out
+    }
+
+    /// How many requests crossed the slow threshold so far.
+    pub fn slow_requests(&self) -> u64 {
+        self.stats.slow_requests.load(Ordering::Relaxed)
+    }
 }
 
 impl Server {
@@ -624,13 +955,15 @@ impl Server {
                     max_resident_docs: config.max_resident_docs,
                     ..StoreConfig::new(dir.clone())
                 };
-                DocStore::open(store_config).map(Mutex::new).map_err(|e| {
-                    let message = e.to_string();
-                    match e {
-                        StoreError::Io(io) => io,
-                        _ => io::Error::new(io::ErrorKind::InvalidData, message),
-                    }
-                })
+                DocStore::open(store_config)
+                    .map(|s| Arc::new(Mutex::new(s)))
+                    .map_err(|e| {
+                        let message = e.to_string();
+                        match e {
+                            StoreError::Io(io) => io,
+                            _ => io::Error::new(io::ErrorKind::InvalidData, message),
+                        }
+                    })
             })
             .transpose()?;
         let tcp = tcp_addr
@@ -684,12 +1017,24 @@ impl Server {
             wake_rx,
             store,
             stats: Arc::new(ServerStats::new()),
+            metrics: Arc::new(ServerMetrics::new()),
         })
     }
 
     /// The shutdown handle.
     pub fn control(&self) -> Arc<ServerControl> {
         Arc::clone(&self.control)
+    }
+
+    /// An observability handle that outlives [`Server::run`] (counters,
+    /// histograms, Prometheus rendering).
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle {
+            stats: Arc::clone(&self.stats),
+            metrics: Arc::clone(&self.metrics),
+            registry: Arc::clone(&self.registry),
+            store: self.store.clone(),
+        }
     }
 
     /// The bound TCP address (useful after binding port 0).
@@ -710,11 +1055,13 @@ impl Server {
             wake_rx,
             store,
             stats,
+            metrics,
         } = self;
         let shared = Arc::new(Shared::new());
         let registry = &registry;
         let store = &store;
         let stats = &stats;
+        let metrics = &metrics;
         let result = std::thread::scope(|scope| {
             // The epoll instance is created *before* any worker spawns, so
             // an early `?` cannot leave workers waiting forever.
@@ -726,8 +1073,9 @@ impl Server {
                 scope.spawn(move || {
                     worker_loop(
                         registry,
-                        store.as_ref(),
+                        store.as_deref(),
                         stats,
+                        metrics,
                         wal_checkpoint_bytes,
                         &shared,
                         &control,
@@ -742,6 +1090,7 @@ impl Server {
                 control: &control,
                 shared: &shared,
                 stats,
+                metrics,
                 epoll,
                 conns: Vec::new(),
                 free_slots: Vec::new(),
@@ -778,13 +1127,14 @@ fn worker_loop(
     registry: &Registry,
     store: Option<&ServerStore>,
     stats: &ServerStats,
+    metrics: &ServerMetrics,
     wal_checkpoint_bytes: u64,
     shared: &Shared,
     control: &ServerControl,
 ) {
     let mut scratch = ExchangeScratch::new();
     loop {
-        let job = {
+        let mut job = {
             let mut jobs = shared.jobs.lock().expect("job queue poisoned");
             loop {
                 if let Some(job) = jobs.pop_front() {
@@ -796,7 +1146,10 @@ fn worker_loop(
                 jobs = shared.jobs_ready.wait(jobs).expect("job queue poisoned");
             }
         };
-        let writer = ResponseWriter::new(shared, control, &job);
+        // Taking the writer stamps the queue phase: everything between
+        // frame decode and this pop — enqueue, wake, contention — was
+        // queue wait.
+        let mut writer = ResponseWriter::new(shared, control, &mut job);
         let setting_id = job.frame.setting_id;
         match job.frame.body {
             // Registry ops run here so compilation (potentially long)
@@ -809,8 +1162,14 @@ fn worker_loop(
             // `Stats` aggregates server-wide counters — it addresses no
             // setting, so it never resolves (or compiles) an engine.
             RequestBody::Stats => {
+                let histograms = if job.stats_v2 {
+                    collect_histograms(metrics, store)
+                } else {
+                    Vec::new()
+                };
                 writer.whole(ResponseBody::StatsOk {
                     counters: collect_stats(stats, registry, store),
+                    histograms,
                 });
             }
             body => {
@@ -824,6 +1183,10 @@ fn worker_loop(
                         continue;
                     }
                 };
+                // The resolve phase covers the registry lookup including
+                // a recompile-on-miss (potentially milliseconds).
+                writer.step(PHASE_RESOLVE);
+                scratch.reset_counters();
                 respond(
                     &engine,
                     store,
@@ -835,6 +1198,24 @@ fn worker_loop(
                     job.codec,
                     writer,
                 );
+                // Chase work the request just did, as per-request
+                // distributions (how many pops/repairs a request costs),
+                // plus the assignment-store highwater. Requests that never
+                // chased (store mutations, gets) record nothing.
+                let c = scratch.counters;
+                if c.chase_steps > 0 {
+                    metrics
+                        .global
+                        .histogram(HIST_CHASE_STEPS)
+                        .record(c.chase_steps);
+                    metrics
+                        .global
+                        .histogram(HIST_CHASE_REPAIRS)
+                        .record(c.chase_repairs);
+                }
+                stats
+                    .assign_highwater
+                    .fetch_max(scratch.assign_highwater() as u64, Ordering::Relaxed);
             }
         }
     }
@@ -920,10 +1301,14 @@ struct ResponseWriter<'w> {
     setting_id: u64,
     chunk_bytes: usize,
     seg: Vec<u8>,
+    /// The request's phase trace, carried from the event loop through this
+    /// worker and handed back (on the final segment's [`Done`]) so the event
+    /// loop can charge the flush phase and finalize it.
+    trace: Option<Box<ReqTrace>>,
 }
 
 impl<'w> ResponseWriter<'w> {
-    fn new(shared: &'w Shared, control: &'w ServerControl, job: &Job) -> ResponseWriter<'w> {
+    fn new(shared: &'w Shared, control: &'w ServerControl, job: &mut Job) -> ResponseWriter<'w> {
         let mut writer = ResponseWriter {
             shared,
             control,
@@ -933,9 +1318,21 @@ impl<'w> ResponseWriter<'w> {
             setting_id: job.frame.setting_id,
             chunk_bytes: job.chunk_bytes.max(1),
             seg: Vec::new(),
+            trace: job.trace.take(),
         };
+        // Everything since the decode step — completion-queue enqueue, the
+        // wake, lock contention, sitting behind other jobs — was queue wait.
+        writer.step(PHASE_QUEUE);
         writer.start_segment();
         writer
+    }
+
+    /// Charge the elapsed-since-last-mark to `phase`. No-op when the
+    /// request is untraced (instrumentation off).
+    fn step(&mut self, phase: usize) {
+        if let Some(t) = &mut self.trace {
+            t.trace.step(phase);
+        }
     }
 
     fn start_segment(&mut self) {
@@ -962,7 +1359,16 @@ impl<'w> ResponseWriter<'w> {
         } else {
             wire::STATUS_OK_PARTIAL
         };
+        if last {
+            // Body bytes were streamed (encoded) between the last compute
+            // step and this seal.
+            self.step(PHASE_ENCODE);
+        }
         let bytes = std::mem::take(&mut self.seg);
+        // Only the final segment carries the trace back: the event loop
+        // finalizes it when that segment is fully written to the socket,
+        // so the flush phase spans the whole response, not one chunk.
+        let trace = if last { self.trace.take() } else { None };
         self.shared
             .done
             .lock()
@@ -973,6 +1379,7 @@ impl<'w> ResponseWriter<'w> {
                 setting_id: self.setting_id,
                 bytes,
                 last,
+                trace,
             });
         self.control.nudge();
         if !last {
@@ -1033,7 +1440,9 @@ impl<'w> ResponseWriter<'w> {
     fn whole(mut self, body: ResponseBody) {
         debug_assert_eq!(self.body_len(), 0, "whole() after body bytes were streamed");
         self.seg = wire::frame(wire::encode_response(&ResponseFrame { id: self.id, body }));
+        self.step(PHASE_ENCODE);
         let bytes = std::mem::take(&mut self.seg);
+        let trace = self.trace.take();
         self.shared
             .done
             .lock()
@@ -1044,6 +1453,7 @@ impl<'w> ResponseWriter<'w> {
                 setting_id: self.setting_id,
                 bytes,
                 last: true,
+                trace,
             });
         self.control.nudge();
     }
@@ -1151,6 +1561,7 @@ fn store_disabled() -> WireError {
 fn stored_answer(
     store: &ServerStore,
     stats: &ServerStats,
+    w: &mut ResponseWriter<'_>,
     doc: DocKey,
     key: CacheKey,
     compute: impl FnOnce(&XmlTree) -> CachedAnswer,
@@ -1159,6 +1570,9 @@ fn stored_answer(
         let mut s = store.lock().expect("store poisoned");
         if let Some(hit) = s.result_cache(doc).and_then(|c| c.get(&key).cloned()) {
             stats.store_cache_hits.fetch_add(1, Ordering::Relaxed);
+            drop(s);
+            // A cache hit is pure store time: lock + lookup + clone.
+            w.step(PHASE_STORE);
             return Ok(hit);
         }
         match s.get(doc) {
@@ -1166,12 +1580,16 @@ fn stored_answer(
             Err(e) => return Err(WireError::of_store_error(&e)),
         }
     };
+    w.step(PHASE_STORE);
     stats.store_cache_misses.fetch_add(1, Ordering::Relaxed);
     let value = compute(&tree);
+    w.step(PHASE_EXEC);
     let mut s = store.lock().expect("store poisoned");
     if let Some(cache) = s.result_cache(doc) {
         cache.insert(key, version, value.clone());
     }
+    drop(s);
+    w.step(PHASE_STORE);
     Ok(value)
 }
 
@@ -1209,17 +1627,20 @@ fn respond(
         RequestBody::CheckConsistency { docs } => match parse_docs(&docs) {
             Err(e) => w.whole(ResponseBody::Error(e)),
             Ok(trees) => {
+                w.step(PHASE_DECODE);
                 w.put_ok_header(OpCode::CheckConsistency, trees.len());
                 for t in &trees {
                     let consistent = compiled.check_instance_consistency_with(t, scratch);
                     w.put_u8(consistent as u8);
                 }
+                w.step(PHASE_EXEC);
                 w.finish();
             }
         },
         RequestBody::CanonicalSolution { docs } => match parse_docs(&docs) {
             Err(e) => w.whole(ResponseBody::Error(e)),
             Ok(trees) => {
+                w.step(PHASE_DECODE);
                 w.put_ok_header(OpCode::CanonicalSolution, trees.len());
                 // Fan out on the engine's *configured* parallelism alone.
                 // Consulting live `available_parallelism()` here made the
@@ -1254,6 +1675,11 @@ fn respond(
                         put_solution(&mut w, codec, compiled.canonical_solution_with(t, scratch));
                     }
                 }
+                // Streaming paths interleave compute and serialization, so
+                // the exec phase deliberately includes per-document
+                // encoding; the encode phase then covers only the residue
+                // after the last document.
+                w.step(PHASE_EXEC);
                 w.finish();
             }
         },
@@ -1266,7 +1692,9 @@ fn respond(
                 Ok(t) => t,
                 Err(e) => return w.whole(ResponseBody::Error(e)),
             };
+            w.step(PHASE_DECODE);
             let plan = QueryPlan::new(&query, compiled.target_dtd());
+            w.step(PHASE_PLAN);
             w.put_ok_header(OpCode::CertainAnswers, trees.len());
             for t in &trees {
                 let result = compiled
@@ -1274,6 +1702,7 @@ fn respond(
                     .map(|answers| answers.tuples.into_iter().collect());
                 put_answers(&mut w, result);
             }
+            w.step(PHASE_EXEC);
             w.finish();
         }
         RequestBody::CertainAnswersBoolean { query, docs } => {
@@ -1285,7 +1714,9 @@ fn respond(
                 Ok(t) => t,
                 Err(e) => return w.whole(ResponseBody::Error(e)),
             };
+            w.step(PHASE_DECODE);
             let plan = QueryPlan::new(&query, compiled.target_dtd());
+            w.step(PHASE_PLAN);
             w.put_ok_header(OpCode::CertainAnswersBoolean, trees.len());
             for t in &trees {
                 put_boolean(
@@ -1293,6 +1724,7 @@ fn respond(
                     compiled.certain_boolean_planned_with(t, &plan, scratch),
                 );
             }
+            w.step(PHASE_EXEC);
             w.finish();
         }
         RequestBody::PutDoc { doc_id, doc } => {
@@ -1303,6 +1735,7 @@ fn respond(
                 Ok(tree) => tree,
                 Err(e) => return w.whole(ResponseBody::Error(e)),
             };
+            w.step(PHASE_DECODE);
             let result = {
                 let mut s = store.lock().expect("store poisoned");
                 let result = s.put(DocKey::new(setting, doc_id), tree);
@@ -1311,6 +1744,7 @@ fn respond(
                 }
                 result
             };
+            w.step(PHASE_STORE);
             match result {
                 Ok(version) => w.whole(ResponseBody::PutDocOk { version }),
                 Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
@@ -1327,9 +1761,14 @@ fn respond(
                 Ok((tree, version)) => {
                     let doc = WireDoc::from_tree(tree, codec);
                     drop(s);
+                    w.step(PHASE_STORE);
                     w.whole(ResponseBody::GetDocOk { version, doc });
                 }
-                Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
+                Err(e) => {
+                    drop(s);
+                    w.step(PHASE_STORE);
+                    w.whole(ResponseBody::Error(WireError::of_store_error(&e)));
+                }
             }
         }
         RequestBody::EditDoc {
@@ -1349,6 +1788,7 @@ fn respond(
                     )))
                 }
             };
+            w.step(PHASE_DECODE);
             let result = {
                 let mut s = store.lock().expect("store poisoned");
                 let result = s.edit(DocKey::new(setting, doc_id), base_version, &batch);
@@ -1357,6 +1797,7 @@ fn respond(
                 }
                 result
             };
+            w.step(PHASE_STORE);
             match result {
                 Ok(receipt) => w.whole(ResponseBody::EditDocOk {
                     version: receipt.version,
@@ -1376,6 +1817,7 @@ fn respond(
                 }
                 result
             };
+            w.step(PHASE_STORE);
             match result {
                 Ok(()) => w.whole(ResponseBody::DeleteDocOk),
                 Err(e) => w.whole(ResponseBody::Error(WireError::of_store_error(&e))),
@@ -1388,6 +1830,7 @@ fn respond(
             let answer = stored_answer(
                 store,
                 stats,
+                &mut w,
                 DocKey::new(setting, doc_id),
                 CacheKey::Consistency,
                 |tree| {
@@ -1415,6 +1858,7 @@ fn respond(
             let answer = stored_answer(
                 store,
                 stats,
+                &mut w,
                 DocKey::new(setting, doc_id),
                 CacheKey::CanonicalSolution,
                 |tree| CachedAnswer::Solution(compiled.canonical_solution_with(tree, scratch)),
@@ -1444,6 +1888,7 @@ fn respond(
             let answer = stored_answer(
                 store,
                 stats,
+                &mut w,
                 DocKey::new(setting, doc_id),
                 CacheKey::CertainAnswers(query),
                 |tree| {
@@ -1478,6 +1923,7 @@ fn respond(
             let answer = stored_answer(
                 store,
                 stats,
+                &mut w,
                 DocKey::new(setting, doc_id),
                 CacheKey::CertainBoolean(query),
                 |tree| {
@@ -1537,6 +1983,7 @@ struct EventLoop<'e> {
     control: &'e ServerControl,
     shared: &'e Shared,
     stats: &'e ServerStats,
+    metrics: &'e ServerMetrics,
     epoll: Epoll,
     conns: Vec<Option<Conn>>,
     free_slots: Vec<usize>,
@@ -1733,6 +2180,7 @@ impl EventLoop<'_> {
             codec: Codec::Text,
             chunked: false,
             settings: false,
+            stats_v2: false,
             closing: false,
             want_write: false,
             peer_eof: false,
@@ -1902,6 +2350,14 @@ impl EventLoop<'_> {
     /// Decode one request payload and either answer inline (errors, `Ping`,
     /// `Hello`, `Busy`) or queue a job for the worker pool.
     fn dispatch_payload(&mut self, slot: usize, payload: &[u8]) {
+        // Start the clock before the frame decode so the decode phase
+        // covers it; inline answers (Ping/Hello/errors) drop the trace —
+        // only pool-dispatched requests are measured.
+        let mut trace = if self.config.instrumentation {
+            Some(Trace::new())
+        } else {
+            None
+        };
         let codec = self
             .conns
             .get(slot)
@@ -1920,7 +2376,12 @@ impl EventLoop<'_> {
             codec,
             settings,
         ) {
-            Ok(request) => request,
+            Ok(request) => {
+                if let Some(t) = &mut trace {
+                    t.step(PHASE_DECODE);
+                }
+                request
+            }
             Err(DecodeError { id, error }) => {
                 // The framing is intact — only this request fails.
                 self.enqueue_response(
@@ -1973,6 +2434,7 @@ impl EventLoop<'_> {
                 };
                 conn.chunked = accepted & wire::FEATURE_CHUNKED_RESPONSES != 0;
                 conn.settings = accepted & wire::FEATURE_SETTINGS != 0;
+                conn.stats_v2 = accepted & wire::FEATURE_STATS_V2 != 0;
             }
             self.enqueue_response(
                 slot,
@@ -2048,13 +2510,21 @@ impl EventLoop<'_> {
         let job = Job {
             slot,
             generation: conn.generation,
-            frame: request,
             codec: conn.codec,
             chunk_bytes: if conn.chunked {
                 self.config.chunk_bytes.max(1)
             } else {
                 usize::MAX
             },
+            stats_v2: conn.stats_v2,
+            trace: trace.map(|t| {
+                Box::new(ReqTrace {
+                    op: request.body.op() as u8,
+                    setting: request.setting_id,
+                    trace: t,
+                })
+            }),
+            frame: request,
         };
         self.shared
             .jobs
@@ -2082,18 +2552,33 @@ impl EventLoop<'_> {
                     }
                 }
             }
-            let Some(conn) = self.conns.get_mut(completion.slot).and_then(Option::as_mut) else {
-                continue; // connection died while the job ran
+            // Dead connection or recycled slot: the response has no taker,
+            // but the work still happened — finalize the trace (its flush
+            // phase collapses to the drop itself).
+            let orphaned = match self.conns.get(completion.slot).and_then(Option::as_ref) {
+                None => true,
+                Some(conn) => conn.generation != completion.generation,
             };
-            if conn.generation != completion.generation {
-                continue; // slot was recycled: the response has no taker
+            if orphaned {
+                if let Some(t) = completion.trace {
+                    self.finalize_trace(t);
+                }
+                continue;
             }
+            let conn = self
+                .conns
+                .get_mut(completion.slot)
+                .and_then(Option::as_mut)
+                .expect("liveness checked above");
             if completion.last {
                 conn.inflight -= 1;
             }
             conn.last_activity = Instant::now();
             conn.wq_bytes += completion.bytes.len();
-            conn.wq.push_back(completion.bytes);
+            conn.wq.push_back(WqSeg {
+                bytes: completion.bytes,
+                trace: completion.trace,
+            });
             self.flush(completion.slot);
         }
     }
@@ -2105,7 +2590,7 @@ impl EventLoop<'_> {
             return;
         };
         conn.wq_bytes += bytes.len();
-        conn.wq.push_back(bytes);
+        conn.wq.push_back(WqSeg { bytes, trace: None });
         self.flush(slot);
     }
 
@@ -2119,6 +2604,9 @@ impl EventLoop<'_> {
             return false;
         };
         let mut dead = false;
+        // Traces of segments fully written this flush; finalized after the
+        // connection borrow ends.
+        let mut finished: Vec<Box<ReqTrace>> = Vec::new();
         loop {
             if conn.wq.is_empty() {
                 break;
@@ -2128,8 +2616,8 @@ impl EventLoop<'_> {
                 let front = segs.next().expect("queue checked non-empty");
                 let mut slices: Vec<IoSlice<'_>> =
                     Vec::with_capacity(conn.wq.len().min(MAX_FLUSH_IOV));
-                slices.push(IoSlice::new(&front[conn.wfront..]));
-                slices.extend(segs.take(MAX_FLUSH_IOV - 1).map(|s| IoSlice::new(s)));
+                slices.push(IoSlice::new(&front.bytes[conn.wfront..]));
+                slices.extend(segs.take(MAX_FLUSH_IOV - 1).map(|s| IoSlice::new(&s.bytes)));
                 conn.stream.write_vectored(&slices)
             };
             match wrote {
@@ -2141,12 +2629,15 @@ impl EventLoop<'_> {
                     conn.last_activity = Instant::now();
                     // Retire fully written segments, advance the front one.
                     while n > 0 {
-                        let front_left = conn.wq[0].len() - conn.wfront;
+                        let front_left = conn.wq[0].bytes.len() - conn.wfront;
                         if n >= front_left {
                             n -= front_left;
                             let seg = conn.wq.pop_front().expect("front exists");
-                            conn.wq_bytes -= seg.len();
+                            conn.wq_bytes -= seg.bytes.len();
                             conn.wfront = 0;
+                            if let Some(t) = seg.trace {
+                                finished.push(t);
+                            }
                         } else {
                             conn.wfront += n;
                             n = 0;
@@ -2190,6 +2681,9 @@ impl EventLoop<'_> {
                 );
             }
         }
+        for t in finished {
+            self.finalize_trace(t);
+        }
         if dead {
             self.close(slot);
             return false;
@@ -2198,12 +2692,64 @@ impl EventLoop<'_> {
     }
 
     /// Tear a connection down. In-flight jobs keep running; their
-    /// completions are dropped by the generation check.
+    /// completions are dropped by the generation check. Responses still
+    /// queued (fully or partially unwritten) finalize their traces here —
+    /// the work happened even if the peer never read it.
     fn close(&mut self, slot: usize) {
-        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+        if let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) {
             let _ = self.epoll.delete(conn.stream.raw_fd());
             self.live_conns -= 1;
             self.free_slots.push(slot);
+            for seg in conn.wq.drain(..) {
+                if let Some(t) = seg.trace {
+                    self.finalize_trace(t);
+                }
+            }
+        }
+    }
+
+    /// Retire a finished request's trace: charge the flush phase (final
+    /// seal → last byte handed to the socket), fold every phase plus the
+    /// wall-clock total into the request's `(op, setting)` histogram set,
+    /// and emit the rate-limited slow-request log line when the wall time
+    /// crosses [`ServerConfig::slow_request_threshold`].
+    // Traces travel boxed (an `Option<Box<_>>` on every job keeps the
+    // uninstrumented path to one pointer); take the box whole here rather
+    // than re-flatten it at the last hop.
+    #[allow(clippy::boxed_local)]
+    fn finalize_trace(&self, mut t: Box<ReqTrace>) {
+        t.trace.step(PHASE_FLUSH);
+        let wall = t.trace.wall_ns();
+        let set = self.metrics.phase_set(t.op, t.setting);
+        for i in 0..PHASE_NAMES.len() {
+            let ns = t.trace.phase_ns(i);
+            if ns > 0 {
+                set.phases[i].record(ns);
+            }
+        }
+        set.total.record(wall);
+        let slow = self
+            .config
+            .slow_request_threshold
+            .is_some_and(|th| wall >= th.as_nanos() as u64);
+        if slow {
+            self.stats.slow_requests.fetch_add(1, Ordering::Relaxed);
+            if self.metrics.slow_log_permit() {
+                let op = OpCode::from_u8(t.op).map(OpCode::name).unwrap_or("unknown");
+                let mut phases = String::new();
+                for (i, name) in PHASE_NAMES.iter().enumerate() {
+                    let ns = t.trace.phase_ns(i);
+                    if ns > 0 {
+                        use std::fmt::Write as _;
+                        let _ = write!(phases, " {name}_us={}", ns / 1_000);
+                    }
+                }
+                eprintln!(
+                    "slow-request op={op} setting={} wall_ms={:.3}{phases}",
+                    t.setting,
+                    wall as f64 / 1e6,
+                );
+            }
         }
     }
 }

@@ -58,10 +58,17 @@ pub const FEATURE_CHUNKED_RESPONSES: u32 = 1 << 1;
 /// address setting 0.
 pub const FEATURE_SETTINGS: u32 = 1 << 2;
 
+/// Feature flag (v5): typed histogram rows in [`ResponseBody::StatsOk`].
+/// After negotiation, `Stats` responses append a histogram section (count
+/// plus [`StatsHistogram`] rows) behind the counter rows. Connections that
+/// do not negotiate this bit receive the v4 counters-only encoding byte
+/// for byte — the section is never present there, not merely empty.
+pub const FEATURE_STATS_V2: u32 = 1 << 3;
+
 /// All feature bits this implementation understands; a server answers
 /// `Hello` with the intersection of this mask and the client's request.
 pub const SUPPORTED_FEATURES: u32 =
-    FEATURE_BINARY_DOCS | FEATURE_CHUNKED_RESPONSES | FEATURE_SETTINGS;
+    FEATURE_BINARY_DOCS | FEATURE_CHUNKED_RESPONSES | FEATURE_SETTINGS | FEATURE_STATS_V2;
 
 /// Which document codec a connection speaks. Text is the v1 format and the
 /// v2 default; Binary is switched on per connection by a successful
@@ -210,7 +217,7 @@ pub enum OpCode {
 }
 
 impl OpCode {
-    fn from_u8(op: u8) -> Option<OpCode> {
+    pub(crate) fn from_u8(op: u8) -> Option<OpCode> {
         match op {
             0 => Some(OpCode::Ping),
             1 => Some(OpCode::CheckConsistency),
@@ -231,6 +238,32 @@ impl OpCode {
             16 => Some(OpCode::EvictSetting),
             17 => Some(OpCode::Stats),
             _ => None,
+        }
+    }
+
+    /// Short lower-case identifier for metric keys and log lines — stable
+    /// across versions (`req.{name}.…` Stats-v2 rows are part of the wire
+    /// vocabulary, see `PROTOCOL.md`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::Ping => "ping",
+            OpCode::CheckConsistency => "check",
+            OpCode::CanonicalSolution => "solution",
+            OpCode::CertainAnswers => "answers",
+            OpCode::CertainAnswersBoolean => "boolean",
+            OpCode::Hello => "hello",
+            OpCode::PutDoc => "put_doc",
+            OpCode::GetDoc => "get_doc",
+            OpCode::EditDoc => "edit_doc",
+            OpCode::DeleteDoc => "delete_doc",
+            OpCode::CheckConsistencyStored => "check_stored",
+            OpCode::CanonicalSolutionStored => "solution_stored",
+            OpCode::CertainAnswersStored => "answers_stored",
+            OpCode::CertainAnswersBooleanStored => "boolean_stored",
+            OpCode::PutSetting => "put_setting",
+            OpCode::ListSettings => "list_settings",
+            OpCode::EvictSetting => "evict_setting",
+            OpCode::Stats => "stats",
         }
     }
 }
@@ -749,7 +782,35 @@ pub enum ResponseBody {
     StatsOk {
         /// `(name, value)` rows, ascending by name.
         counters: Vec<(String, u64)>,
+        /// Histogram rows, ascending by name — present on the wire only
+        /// when [`FEATURE_STATS_V2`] was negotiated (and, like the
+        /// counters, additive: unknown names must be ignored). Always
+        /// empty on non-negotiated connections.
+        histograms: Vec<StatsHistogram>,
     },
+}
+
+/// One typed histogram row of a Stats-v2 response: a sparse snapshot of an
+/// [`xdx_obs::Histogram`] — summary moments plus the non-zero log₂ buckets
+/// (`(bucket index, count)`, ascending by index). Reconstruct quantiles
+/// client-side with [`xdx_obs::HistogramSnapshot::from_sparse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsHistogram {
+    /// Metric name (`req.{op}.s{setting}.{phase}`, `store.fsync`, …).
+    pub name: String,
+    /// Unit tag ([`xdx_obs::Unit::tag`]: 0 nanoseconds, 1 count, 2 bytes;
+    /// unknown tags decode as count).
+    pub unit: u8,
+    /// Total recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when `count` is 0).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `(bucket index, count)` for each non-zero bucket, ascending index.
+    pub buckets: Vec<(u8, u64)>,
 }
 
 /// Response status: success, body follows.
@@ -849,6 +910,10 @@ impl<'a> Reader<'a> {
     fn blob(&mut self) -> Result<Vec<u8>, DecodeError> {
         let len = self.u32()? as usize;
         Ok(self.take(len)?.to_vec())
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -1277,7 +1342,10 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             out.push(OpCode::EvictSetting as u8);
             out.push(*dropped as u8);
         }
-        ResponseBody::StatsOk { counters } => {
+        ResponseBody::StatsOk {
+            counters,
+            histograms,
+        } => {
             out.push(STATUS_OK);
             put_u64(&mut out, resp.id);
             out.push(OpCode::Stats as u8);
@@ -1288,6 +1356,29 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             for (name, value) in counters {
                 put_string(&mut out, name);
                 put_u64(&mut out, *value);
+            }
+            // The v2 histogram section exists on the wire only when there
+            // is one: a server that did not negotiate FEATURE_STATS_V2
+            // passes an empty vec and the frame stays byte-identical to
+            // the v4 encoding (pinned by `stats_v4_bytes_pinned`).
+            if !histograms.is_empty() {
+                put_u16(
+                    &mut out,
+                    u16::try_from(histograms.len()).expect("histogram count exceeds u16"),
+                );
+                for h in histograms {
+                    put_string(&mut out, &h.name);
+                    out.push(h.unit);
+                    put_u64(&mut out, h.count);
+                    put_u64(&mut out, h.sum);
+                    put_u64(&mut out, h.min);
+                    put_u64(&mut out, h.max);
+                    out.push(u8::try_from(h.buckets.len()).expect("more than 64 buckets"));
+                    for &(idx, n) in &h.buckets {
+                        out.push(idx);
+                        put_u64(&mut out, n);
+                    }
+                }
             }
         }
     }
@@ -1402,7 +1493,40 @@ pub fn decode_response(payload: &[u8], codec: Codec) -> Result<ResponseFrame, De
                     for _ in 0..n {
                         counters.push((r.string()?, r.u64()?));
                     }
-                    ResponseBody::StatsOk { counters }
+                    // A histogram section is present exactly when bytes
+                    // remain (v2 servers omit it entirely on v4
+                    // connections, so presence is unambiguous).
+                    let mut histograms = Vec::new();
+                    if r.has_remaining() {
+                        let n = r.u16()? as usize;
+                        histograms.reserve(n.min(4096));
+                        for _ in 0..n {
+                            let name = r.string()?;
+                            let unit = r.u8()?;
+                            let count = r.u64()?;
+                            let sum = r.u64()?;
+                            let min = r.u64()?;
+                            let max = r.u64()?;
+                            let nb = r.u8()? as usize;
+                            let mut buckets = Vec::with_capacity(nb);
+                            for _ in 0..nb {
+                                buckets.push((r.u8()?, r.u64()?));
+                            }
+                            histograms.push(StatsHistogram {
+                                name,
+                                unit,
+                                count,
+                                sum,
+                                min,
+                                max,
+                                buckets,
+                            });
+                        }
+                    }
+                    ResponseBody::StatsOk {
+                        counters,
+                        histograms,
+                    }
                 }
                 // Stored query ops answer with the *base* op's response
                 // (that is their byte-for-byte parity contract), so their
@@ -1668,11 +1792,41 @@ mod tests {
                         ("store.degraded".into(), 0),
                         ("store.wal_rollbacks".into(), u64::MAX),
                     ],
+                    histograms: vec![],
                 },
             },
             ResponseFrame {
                 id: 19,
-                body: ResponseBody::StatsOk { counters: vec![] },
+                body: ResponseBody::StatsOk {
+                    counters: vec![],
+                    histograms: vec![],
+                },
+            },
+            ResponseFrame {
+                id: 1918,
+                body: ResponseBody::StatsOk {
+                    counters: vec![("server.uptime_secs".into(), 1)],
+                    histograms: vec![
+                        StatsHistogram {
+                            name: "req.solution.s0.total".into(),
+                            unit: 0,
+                            count: 3,
+                            sum: 3000,
+                            min: 900,
+                            max: 1200,
+                            buckets: vec![(10, 2), (11, 1)],
+                        },
+                        StatsHistogram {
+                            name: "store.fsync".into(),
+                            unit: 0,
+                            count: 0,
+                            sum: 0,
+                            min: 0,
+                            max: 0,
+                            buckets: vec![],
+                        },
+                    ],
+                },
             },
             ResponseFrame {
                 id: 20,

@@ -47,7 +47,8 @@ pub use snapshot::{
     SnapshotSource, SnapshotWriteError,
 };
 pub use store::{
-    DocStore, EditReceipt, StoreConfig, StoreError, LOCK_FILE, SNAPSHOT_FILE, WAL_FILE,
+    DocStore, EditReceipt, StoreConfig, StoreError, StoreMetrics, LOCK_FILE, SNAPSHOT_FILE,
+    WAL_FILE,
 };
 pub use vfs::{FaultKind, FaultPlan, FaultVfs, RealVfs, Vfs, VfsFile};
 pub use wal::{replay, SyncPolicy, Wal, WalError, WalOp, WalRecord};

@@ -64,7 +64,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 use xdx_core::DocResultCache;
+use xdx_obs::Histogram;
 use xdx_xmltree::limits::MAX_DOCUMENT_BYTES;
 use xdx_xmltree::{decode_tree, encode_tree, CompiledDtd, NodeId, Value, XmlTree};
 
@@ -336,6 +338,39 @@ fn edit_growth_bound(edit: &DocEdit) -> usize {
     }
 }
 
+/// Durability and recovery timings the store records about itself —
+/// latency histograms for the I/O it performs and one-shot recovery facts
+/// from `open`. Exposed by [`DocStore::metrics`]; histogram snapshots are
+/// what the serving layer exports as `store.fsync` / `store.checkpoint`
+/// Stats-v2 rows.
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// Latency of each data-`fsync` the WAL performed (shared with the
+    /// [`Wal`], which records into it at the `sync_data` call site).
+    pub fsync: Arc<Histogram>,
+    /// Wall time of each successful [`DocStore::checkpoint`] (WAL sync +
+    /// snapshot write + WAL reset). Failed checkpoints are not recorded.
+    pub checkpoint: Histogram,
+    /// Wall time of WAL replay inside [`DocStore::open`] (reading, decoding
+    /// and re-applying the post-snapshot records), nanoseconds. One value
+    /// per process lifetime.
+    pub replay_ns: u64,
+    /// WAL records re-applied by that replay (records at or below the
+    /// snapshot sequence are skipped and not counted).
+    pub replayed_records: u64,
+}
+
+impl StoreMetrics {
+    fn new() -> StoreMetrics {
+        StoreMetrics {
+            fsync: Arc::new(Histogram::new()),
+            checkpoint: Histogram::new(),
+            replay_ns: 0,
+            replayed_records: 0,
+        }
+    }
+}
+
 /// The resident document store (see the module docs). Generic over the
 /// cached result type `V` — the store never interprets cached values, it
 /// only version-tags and invalidates them.
@@ -355,6 +390,8 @@ pub struct DocStore<V = ()> {
     /// Mutations rejected by a *rolled-back* WAL append (disk stayed
     /// consistent, the store stayed healthy) — an observability counter.
     wal_rollbacks: u64,
+    /// Self-recorded durability/recovery timings (see [`StoreMetrics`]).
+    metrics: StoreMetrics,
     /// Exclusive advisory lock on [`LOCK_FILE`]; held (by the open file
     /// handle) for the store's lifetime, released on drop.
     _lock: std::fs::File,
@@ -395,7 +432,9 @@ impl<V> DocStore<V> {
             seq = seq.max(doc.version);
             docs.insert(doc.key, Resident::from_frame(doc.frame, doc.version));
         }
-        let (wal, records) =
+        let mut metrics = StoreMetrics::new();
+        let replay_start = Instant::now();
+        let (mut wal, records) =
             Wal::open(config.vfs.as_ref(), &config.dir.join(WAL_FILE), config.sync)?;
         for rec in records {
             // Records at or below the snapshot's sequence are already
@@ -411,7 +450,10 @@ impl<V> DocStore<V> {
             }
             seq = seq.max(rec.version);
             Self::replay_record(&mut docs, rec)?;
+            metrics.replayed_records += 1;
         }
+        metrics.replay_ns = u64::try_from(replay_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        wal.set_fsync_histogram(Arc::clone(&metrics.fsync));
         Ok(DocStore {
             config,
             wal,
@@ -419,6 +461,7 @@ impl<V> DocStore<V> {
             seq,
             degraded: None,
             wal_rollbacks: 0,
+            metrics,
             _lock: lock,
         })
     }
@@ -744,6 +787,7 @@ impl<V> DocStore<V> {
     /// validation baseline — the next `validate` is a full scan).
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
         self.check_writable()?;
+        let checkpoint_start = Instant::now();
         // Never retry a failed fsync: if the WAL's tail cannot be made
         // durable, no snapshot may supersede it either.
         if let Err(e) = self.wal.sync() {
@@ -799,6 +843,9 @@ impl<V> DocStore<V> {
                 r.validated = false;
             }
         }
+        self.metrics
+            .checkpoint
+            .record_duration(checkpoint_start.elapsed());
         Ok(())
     }
 
@@ -866,6 +913,25 @@ impl<V> DocStore<V> {
     /// backlog the next round of incremental validations will re-check.
     pub fn dirty_total(&self) -> usize {
         self.docs.values().map(|r| r.dirty.len()).sum()
+    }
+
+    /// The store's self-recorded durability/recovery timings.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Approximate bytes of resident document state: undecoded snapshot
+    /// frames at their exact length, materialized trees via
+    /// [`XmlTree::approx_heap_bytes`]. An observability gauge (recomputed
+    /// per call, `O(resident nodes)`), not an allocator measurement.
+    pub fn resident_tree_bytes(&self) -> u64 {
+        self.docs
+            .values()
+            .map(|r| match &r.frame {
+                Some(frame) => frame.len() as u64,
+                None => r.tree.approx_heap_bytes() as u64,
+            })
+            .sum()
     }
 }
 

@@ -235,6 +235,7 @@ pub struct Wal {
     policy: SyncPolicy,
     unsynced: u64,
     len: u64,
+    fsync_hist: Option<std::sync::Arc<xdx_obs::Histogram>>,
 }
 
 impl Wal {
@@ -264,6 +265,7 @@ impl Wal {
                 policy,
                 unsynced: 0,
                 len: good as u64,
+                fsync_hist: None,
             },
             records,
         ))
@@ -332,10 +334,23 @@ impl Wal {
     /// fsync; see `DESIGN.md`).
     pub fn sync(&mut self) -> std::io::Result<()> {
         if self.unsynced > 0 {
+            let started = self.fsync_hist.as_ref().map(|_| std::time::Instant::now());
             self.file.sync_data()?;
+            if let (Some(hist), Some(t0)) = (&self.fsync_hist, started) {
+                hist.record_duration(t0.elapsed());
+            }
             self.unsynced = 0;
         }
         Ok(())
+    }
+
+    /// Record every subsequent data-`fsync` latency into `hist`. Only syncs
+    /// that actually reach [`VfsFile::sync_data`] are recorded (a no-op
+    /// [`Wal::sync`] with nothing unsynced is free and stays unrecorded),
+    /// and failed syncs are not: the store is about to go degraded and a
+    /// partial timing would pollute the latency profile.
+    pub fn set_fsync_histogram(&mut self, hist: std::sync::Arc<xdx_obs::Histogram>) {
+        self.fsync_hist = Some(hist);
     }
 
     /// Discard the whole log (a checkpoint has made it redundant). On

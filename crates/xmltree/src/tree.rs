@@ -392,6 +392,31 @@ impl XmlTree {
         self.preorder().count()
     }
 
+    /// Approximate heap footprint of the tree in bytes — the arena capacity
+    /// plus per-node child vectors and attribute entries (including detached
+    /// slots, which still occupy memory). An *estimate* for observability
+    /// gauges, not an accounting guarantee: `Arc<str>` names are charged
+    /// their string length at every holder (shared allocations are counted
+    /// once per reference), and `BTreeMap` node overhead is folded into a
+    /// flat per-entry constant.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<NodeData>();
+        for n in &self.nodes {
+            bytes += n.children.capacity() * std::mem::size_of::<NodeId>();
+            bytes += n.label.as_str().len();
+            for (name, value) in &n.attrs {
+                // ~3 words of B-tree bookkeeping per entry plus the entry
+                // payload itself, then the string heap behind it.
+                bytes += 24 + std::mem::size_of::<(AttrName, Value)>();
+                bytes += name.as_str().len();
+                if let Value::Const(s) = value {
+                    bytes += s.len();
+                }
+            }
+        }
+        bytes
+    }
+
     /// Length of the longest root-to-leaf path (a single node has depth 1).
     pub fn depth(&self) -> usize {
         fn go(t: &XmlTree, n: NodeId) -> usize {

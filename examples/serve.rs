@@ -41,6 +41,9 @@ fn main() {
     let mut unix: Option<String> = None;
     let mut smoke: Option<String> = None;
     let mut codec = "text".to_string();
+    let mut stats_every: Option<u64> = None;
+    let mut slow_ms: Option<u64> = None;
+    let usage = "usage: serve [--tcp ADDR] [--unix PATH] [--stats-every SECS] [--slow-ms N] | --client-smoke TARGET [--codec text|binary]";
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,11 +67,27 @@ fn main() {
                 codec = args.get(i + 1).expect("--codec needs text|binary").clone();
                 i += 2;
             }
+            "--stats-every" => {
+                stats_every = Some(
+                    args.get(i + 1)
+                        .expect("--stats-every needs seconds")
+                        .parse()
+                        .expect("--stats-every takes an integer number of seconds"),
+                );
+                i += 2;
+            }
+            "--slow-ms" => {
+                slow_ms = Some(
+                    args.get(i + 1)
+                        .expect("--slow-ms needs milliseconds")
+                        .parse()
+                        .expect("--slow-ms takes an integer number of milliseconds"),
+                );
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!(
-                    "usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET [--codec text|binary]"
-                );
+                eprintln!("{usage}");
                 std::process::exit(2);
             }
         }
@@ -87,18 +106,20 @@ fn main() {
         return;
     }
     if tcp.is_none() && unix.is_none() {
-        eprintln!(
-            "usage: serve [--tcp ADDR] [--unix PATH] | --client-smoke TARGET [--codec text|binary]"
-        );
+        eprintln!("{usage}");
         std::process::exit(2);
     }
 
     let setting = books_to_writers_setting();
+    let config = ServerConfig {
+        slow_request_threshold: slow_ms.map(std::time::Duration::from_millis),
+        ..ServerConfig::default()
+    };
     let server = Server::bind(
         &setting,
         tcp.as_deref(),
         unix.as_deref().map(Path::new),
-        ServerConfig::default(),
+        config,
     )
     .expect("bind listeners");
     if let Some(addr) = server.tcp_addr() {
@@ -111,23 +132,39 @@ fn main() {
     // A `drain` line on stdin — or stdin closing — triggers a graceful
     // drain: stop accepting, answer new requests with GoAway, flush
     // in-flight responses, checkpoint, exit. SIGKILL still works; drain
-    // is just kinder, and the CI smoke step uses it.
+    // is just kinder, and the CI smoke step uses it. A `stats` line dumps
+    // the Prometheus-style metrics rendering to stdout.
     let control = server.control();
-    std::thread::spawn(move || {
-        let stdin = std::io::stdin();
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
-                Ok(0) => break, // stdin closed
-                Ok(_) if line.trim() == "drain" => break,
-                Ok(_) => {}
-                Err(_) => break,
+    let stats_handle = server.stats_handle();
+    {
+        let stats_handle = stats_handle.clone();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                    Ok(0) => break, // stdin closed
+                    Ok(_) if line.trim() == "drain" => break,
+                    Ok(_) if line.trim() == "stats" => {
+                        print!("{}", stats_handle.render_prometheus());
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
             }
-        }
-        println!("draining (grace 10s)...");
-        control.drain(std::time::Duration::from_secs(10));
-    });
+            println!("draining (grace 10s)...");
+            control.drain(std::time::Duration::from_secs(10));
+        });
+    }
+    if let Some(secs) = stats_every {
+        let stats_handle = stats_handle.clone();
+        let period = std::time::Duration::from_secs(secs.max(1));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            print!("{}", stats_handle.render_prometheus());
+        });
+    }
     server.run().expect("event loop");
     println!("drained; exiting");
 }
@@ -196,6 +233,23 @@ fn client_smoke(target: &str, binary: bool) {
         .expect("booleans");
     assert_eq!(booleans[0].as_ref().unwrap(), &true, "boolean answer");
     println!("certain_answers_boolean: {booleans:?}");
+
+    // Negotiate Stats-v2 and fetch the typed snapshot: the requests this
+    // smoke run just made must already show up in the phase histograms.
+    let accepted = client
+        .negotiate(xdx_server::FEATURE_STATS_V2)
+        .expect("negotiate stats v2");
+    assert_ne!(
+        accepted & xdx_server::FEATURE_STATS_V2,
+        0,
+        "server must accept FEATURE_STATS_V2"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(
+        !stats.histograms.is_empty(),
+        "stats v2 must carry histogram rows after served requests"
+    );
+    println!("stats (v2):\n{stats}");
 
     println!("smoke test passed");
 }

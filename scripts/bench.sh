@@ -21,7 +21,7 @@ out="BENCH_${tag}.json"
 benches="${BENCHES:-consistency_nested consistency_general canonical_solution \
 certain_answers_tractable certain_answers_hardness dtd_trim parikh_membership \
 sibling_ordering univocality batch_engine satisfiability pattern_eval chase \
-serving codec store registry}"
+serving codec store registry obs}"
 
 for bench in $benches; do
     echo "== $bench =="

@@ -75,6 +75,7 @@
 
 pub use xdx_automata as automata;
 pub use xdx_core as core;
+pub use xdx_obs as obs;
 pub use xdx_patterns as patterns;
 pub use xdx_relang as relang;
 pub use xdx_server as server;

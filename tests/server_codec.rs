@@ -281,3 +281,71 @@ proptest! {
         let _ = WireDoc::Text(String::from_utf8_lossy(&corrupted).into_owned()).to_tree();
     }
 }
+
+/// The v4 `StatsOk` encoding is pinned byte for byte: a server that did
+/// not negotiate `FEATURE_STATS_V2` (empty histogram vec) must produce
+/// exactly the hand-assembled pre-v5 frame — the histogram section is
+/// absent, not present-but-empty.
+#[test]
+fn stats_v4_bytes_pinned() {
+    let counters = vec![
+        ("server.accepted_conns".to_string(), 3u64),
+        ("server.uptime_secs".to_string(), 17u64),
+    ];
+    let resp = ResponseFrame {
+        id: 0xDEAD_BEEF_0042,
+        body: ResponseBody::StatsOk {
+            counters: counters.clone(),
+            histograms: vec![],
+        },
+    };
+    // [status][id][op][u16 n][(u32 len + name + u64 value)*] — the exact
+    // layout PROTOCOL.md fixed for protocol v4.
+    let mut expect = vec![0u8]; // STATUS_OK
+    expect.extend_from_slice(&0xDEAD_BEEF_0042u64.to_be_bytes());
+    expect.push(17); // OpCode::Stats
+    expect.extend_from_slice(&(counters.len() as u16).to_be_bytes());
+    for (name, value) in &counters {
+        expect.extend_from_slice(&(name.len() as u32).to_be_bytes());
+        expect.extend_from_slice(name.as_bytes());
+        expect.extend_from_slice(&value.to_be_bytes());
+    }
+    assert_eq!(encode_response(&resp), expect, "v4 StatsOk bytes changed");
+    // And those bytes decode back with no histogram rows.
+    assert_eq!(Ok(resp), decode_response(&expect, Codec::Text));
+}
+
+/// Stats-v2 histogram rows survive an encode/decode round trip, including
+/// empty histograms and rows with multiple sparse buckets.
+#[test]
+fn stats_v2_histogram_rows_round_trip() {
+    use xdx_server::wire::StatsHistogram;
+    let resp = ResponseFrame {
+        id: 99,
+        body: ResponseBody::StatsOk {
+            counters: vec![("a".to_string(), 1)],
+            histograms: vec![
+                StatsHistogram {
+                    name: "req.solution.s0.total".to_string(),
+                    unit: 0,
+                    count: 3,
+                    sum: 3000,
+                    min: 800,
+                    max: 1400,
+                    buckets: vec![(10, 2), (11, 1)],
+                },
+                StatsHistogram {
+                    name: "store.fsync".to_string(),
+                    unit: 0,
+                    count: 0,
+                    sum: 0,
+                    min: 0,
+                    max: 0,
+                    buckets: vec![],
+                },
+            ],
+        },
+    };
+    let bytes = encode_response(&resp);
+    assert_eq!(Ok(resp), decode_response(&bytes, Codec::Text));
+}

@@ -1045,3 +1045,54 @@ fn stored_queries_match_ship_the_document_ops_byte_for_byte() {
     });
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Acceptance: the Stats-v2 phase histograms account for (nearly) all of a
+/// measured request's wall time. Every nanosecond between frame decode on
+/// the event loop and the response's last byte leaving the socket is
+/// charged to *some* phase, so the per-phase sums must cover at least 90%
+/// of the total-histogram sum for the same `(op, setting)` key.
+#[test]
+fn stats_v2_phase_histograms_cover_request_wall_time() {
+    let setting = books_to_writers_setting();
+    with_server(&setting, ServerConfig::default(), |addr, _sock| {
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let accepted = client.negotiate(xdx_server::FEATURE_STATS_V2).unwrap();
+        assert_ne!(
+            accepted & xdx_server::FEATURE_STATS_V2,
+            0,
+            "server must accept FEATURE_STATS_V2"
+        );
+        let docs = sources(4);
+        let requests = 8u64;
+        for _ in 0..requests {
+            client.canonical_solution_texts(&docs).unwrap();
+        }
+        let stats = client.stats().unwrap();
+        let total = stats
+            .histogram("req.solution.s0.total")
+            .expect("total histogram for the measured op");
+        assert_eq!(total.count, requests, "one total record per request");
+        let phase_sum: u64 = stats
+            .histograms
+            .iter()
+            .filter(|h| h.name.starts_with("req.solution.s0.") && !h.name.ends_with(".total"))
+            .map(|h| h.sum)
+            .sum();
+        assert!(
+            phase_sum as f64 >= 0.9 * total.sum as f64,
+            "phase sums ({phase_sum}ns) must cover >= 90% of wall time ({}ns)",
+            total.sum
+        );
+        // The v4 counters ride along unchanged, via the typed accessor.
+        assert!(stats.counter("server.accepted_conns").unwrap() >= 1);
+        assert_eq!(stats.counter("server.slow_requests"), Some(0));
+        // A plain-v4 connection to the same server sees no histogram rows.
+        let mut plain = Client::connect_tcp(&addr.to_string()).unwrap();
+        let v4 = plain.stats().unwrap();
+        assert!(
+            v4.histograms.is_empty(),
+            "histograms must not leak to non-negotiated connections"
+        );
+        assert!(!v4.counters.is_empty());
+    });
+}

@@ -210,11 +210,7 @@ fn drain_flushes_in_flight_responses_and_answers_new_requests_with_goaway() {
         let mut observer = Client::connect_tcp(&addr.to_string()).unwrap();
         loop {
             let stats = observer.stats().unwrap();
-            let highwater = stats
-                .iter()
-                .find(|(name, _)| name == "server.inflight_highwater")
-                .map(|(_, v)| *v)
-                .unwrap_or(0);
+            let highwater = stats.counter("server.inflight_highwater").unwrap_or(0);
             if highwater >= 1 {
                 break;
             }
